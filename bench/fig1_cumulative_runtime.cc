@@ -1,0 +1,68 @@
+// Figure 1: cumulative runtime of fibo and sysbench over time, on CFS (a)
+// and ULE (b).
+//
+// Shape to reproduce: on CFS fibo keeps accumulating runtime (at ~half
+// speed) while sysbench executes; on ULE fibo's curve is flat (starved)
+// until sysbench completes.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/report.h"
+#include "src/core/scenarios.h"
+#include "src/metrics/csv.h"
+
+using namespace schedbattle;
+
+namespace {
+
+void PrintSeries(const FiboSysbenchResult& r) {
+  std::printf("--- %s ---\n", SchedName(r.sched).data());
+  std::printf("%10s  %14s  %18s\n", "time(s)", "fibo-runtime(s)", "sysbench-runtime(s)");
+  const auto& fp = r.fibo_runtime_series.points();
+  for (size_t i = 0; i < fp.size(); i += 20) {  // every 10s of sim time
+    const SimTime t = fp[i].t;
+    std::printf("%10.1f  %14.1f  %18.1f\n", ToSeconds(t), fp[i].value,
+                r.sysbench_runtime_series.ValueAt(t));
+  }
+  std::printf("\n");
+}
+
+// Fibo's runtime gain over [t1, t2].
+double FiboGain(const FiboSysbenchResult& r, double t1, double t2) {
+  return r.fibo_runtime_series.ValueAt(SecondsF(t2)) -
+         r.fibo_runtime_series.ValueAt(SecondsF(t1));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  std::printf("%s", BannerLine("Figure 1: cumulative runtime of fibo and sysbench").c_str());
+
+  FiboSysbenchResult cfs = RunFiboSysbench(SchedKind::kCfs, args.seed, args.scale);
+  FiboSysbenchResult ule = RunFiboSysbench(SchedKind::kUle, args.seed, args.scale);
+  PrintSeries(cfs);
+  PrintSeries(ule);
+
+  // Shape checks over a window where sysbench is active on both schedulers:
+  // from shortly after the sysbench launch to ULE's sysbench finish.
+  const double t1 = 15.0 * args.scale + 7.0;
+  const double t2 = ToSeconds(ule.sysbench_finish) * 0.9;
+  const double cfs_rate = FiboGain(cfs, t1, t2) / (t2 - t1);
+  const double ule_rate = FiboGain(ule, t1, t2) / (t2 - t1);
+  std::printf("fibo progress rate while sysbench active: CFS %.2f s/s, ULE %.2f s/s\n", cfs_rate,
+              ule_rate);
+  const bool cfs_shares = cfs_rate > 0.25 && cfs_rate < 0.75;
+  const bool ule_starves = ule_rate < 0.02;
+  std::printf("shape check: CFS shares the core (~50%% to fibo): %s\n",
+              cfs_shares ? "REPRODUCED" : "NOT reproduced");
+  std::printf("shape check: ULE starves fibo (flat curve): %s\n",
+              ule_starves ? "REPRODUCED" : "NOT reproduced");
+
+  if (!args.csv_path.empty()) {
+    WriteFile(args.csv_path,
+              SeriesToCsv({&cfs.fibo_runtime_series, &cfs.sysbench_runtime_series,
+                           &ule.fibo_runtime_series, &ule.sysbench_runtime_series}));
+  }
+  return cfs_shares && ule_starves ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// Figures 3 and 4: starvation *within* a single application (sysbench with
+// 128 threads under ULE).
+//
+// Shape to reproduce: the master forks 128 workers while its own penalty
+// rises through the interactivity threshold, so early-forked workers inherit
+// interactive scores (their penalty then drops toward 0 and they run), while
+// late-forked workers inherit batch scores and starve — near-zero cumulative
+// runtime and a persistently high penalty band.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/report.h"
+#include "src/core/scenarios.h"
+#include "src/metrics/csv.h"
+
+using namespace schedbattle;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  std::printf("%s",
+              BannerLine("Figures 3+4: sysbench threads under ULE (128 threads, one core)")
+                  .c_str());
+
+  SysbenchThreadsResult r = RunSysbenchThreads(SchedKind::kUle, args.seed, args.scale);
+
+  std::printf("%8s  %10s  %12s  %10s  %12s  %10s\n", "time(s)", "master(s)", "interact(s)",
+              "backgr(s)", "interact-pen", "backgr-pen");
+  const auto& mp = r.master_runtime.points();
+  for (size_t i = 0; i < mp.size(); i += 10) {
+    const SimTime t = mp[i].t;
+    std::printf("%8.1f  %10.2f  %12.2f  %10.2f  %12.0f  %10.0f\n", ToSeconds(t), mp[i].value,
+                r.interactive_runtime.ValueAt(t), r.background_runtime.ValueAt(t),
+                r.interactive_penalty.ValueAt(t), r.background_penalty.ValueAt(t));
+  }
+  std::printf("\n");
+  std::printf("worker classes: %d interactive (ran), %d background, of which %d starved\n",
+              r.interactive_count, r.background_count, r.starved_count);
+  std::printf("(paper: 80 interactive, 48 background/starving)\n");
+
+  const bool two_bands = r.interactive_count >= 40 && r.background_count >= 20;
+  // The paper's claim (Figure 4): the running band stays below the
+  // interactivity threshold (30), the starved band above it.
+  const auto& ip = r.interactive_penalty.points();
+  const auto& bp = r.background_penalty.points();
+  const bool penalties_split =
+      !ip.empty() && !bp.empty() && ip.back().value < 30 && bp.back().value > 30;
+  std::printf("shape check: interactive band runs, background band starves: %s\n",
+              two_bands ? "REPRODUCED" : "NOT reproduced");
+  std::printf("shape check: penalty bands split (low for runners, high for starved): %s\n",
+              penalties_split ? "REPRODUCED" : "NOT reproduced");
+
+  if (!args.csv_path.empty()) {
+    WriteFile(args.csv_path,
+              SeriesToCsv({&r.master_runtime, &r.interactive_runtime, &r.background_runtime,
+                           &r.interactive_penalty, &r.background_penalty}));
+  }
+  return two_bands && penalties_split ? 0 : 1;
+}

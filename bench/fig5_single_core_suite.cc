@@ -1,0 +1,68 @@
+// Figure 5: performance of ULE relative to CFS for the application suite on
+// a single core (positive = faster on ULE).
+//
+// Shape to reproduce (Section 5.3): most applications within a few percent
+// of each other; scimark (the GC-heavy variant) ~-36% on ULE because JVM
+// background threads get absolute priority; apache ~+40% on ULE because ab
+// is never wakeup-preempted (the paper counts ~2M preemptions of ab under
+// CFS and none under ULE).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/registry.h"
+#include "src/core/report.h"
+#include "src/core/scenarios.h"
+
+using namespace schedbattle;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv, /*default_scale=*/0.3);
+  std::printf("%s", BannerLine("Figure 5: ULE vs CFS, single core (positive = ULE faster)")
+                        .c_str());
+  std::printf("(scale=%.2f seed=%llu)\n\n", args.scale,
+              static_cast<unsigned long long>(args.seed));
+
+  TextTable table({"application", "CFS metric", "ULE metric", "ULE vs CFS",
+                   "CFS wakeup-preempt", "ULE wakeup-preempt"});
+  double sum_diff = 0;
+  int n = 0;
+  double scimark_heavy = 0, apache_diff = 0;
+  uint64_t apache_cfs_preempt = 0, apache_ule_preempt = 0;
+  for (const AppEntry& e : BenchmarkSuite()) {
+    const SuiteRow row = RunSuiteApp(e.name, /*cores=*/1, args.seed, args.scale);
+    table.AddRow({row.name, TextTable::Num(row.cfs_metric, 4), TextTable::Num(row.ule_metric, 4),
+                  TextTable::Pct(row.diff_pct), std::to_string(row.cfs_wakeup_preemptions),
+                  std::to_string(row.ule_wakeup_preemptions)});
+    sum_diff += row.diff_pct;
+    ++n;
+    if (e.name == "scimark2-(2)") {
+      scimark_heavy = row.diff_pct;
+    }
+    if (e.name == "apache") {
+      apache_diff = row.diff_pct;
+      apache_cfs_preempt = row.cfs_wakeup_preemptions;
+      apache_ule_preempt = row.ule_wakeup_preemptions;
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("average difference: %+.1f%% (paper: +1.5%% in favour of ULE)\n", sum_diff / n);
+  std::printf("scimark2-(2): %+.1f%% (paper: -36%%), apache: %+.1f%% (paper: +40%%)\n",
+              scimark_heavy, apache_diff);
+  std::printf("apache wakeup preemptions: CFS %llu vs ULE %llu (paper: ~2M vs 0)\n",
+              static_cast<unsigned long long>(apache_cfs_preempt),
+              static_cast<unsigned long long>(apache_ule_preempt));
+
+  const bool avg_small = sum_diff / n > -8 && sum_diff / n < 12;
+  const bool scimark_loses = scimark_heavy < -15;
+  const bool apache_wins = apache_diff > 15;
+  const bool preempt_gap = apache_cfs_preempt > 100 * (apache_ule_preempt + 1);
+  std::printf("shape check: average difference small: %s\n",
+              avg_small ? "REPRODUCED" : "NOT reproduced");
+  std::printf("shape check: scimark GC variant much slower on ULE: %s\n",
+              scimark_loses ? "REPRODUCED" : "NOT reproduced");
+  std::printf("shape check: apache much faster on ULE: %s\n",
+              apache_wins ? "REPRODUCED" : "NOT reproduced");
+  std::printf("shape check: ab preempted under CFS, never under ULE: %s\n",
+              preempt_gap ? "REPRODUCED" : "NOT reproduced");
+  return (avg_small && scimark_loses && apache_wins && preempt_gap) ? 0 : 1;
+}

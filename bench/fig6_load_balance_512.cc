@@ -1,0 +1,82 @@
+// Figure 6: 512 spinning threads pinned to core 0, unpinned at t=14.5s.
+//
+// Shape to reproduce (Section 6.1):
+//  - ULE: on unpin each idle core steals exactly one thread (core 0 keeps
+//    481); afterwards only core 0's periodic balancer moves one thread per
+//    invocation (~0.5-1.5s apart), so full balance takes hundreds of
+//    invocations / on the order of minutes.
+//  - CFS: moves hundreds of threads within fractions of a second, but never
+//    reaches a perfect balance (the 25% NUMA-level imbalance rule leaves
+//    e.g. 15-vs-18 splits).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/report.h"
+#include "src/core/scenarios.h"
+#include "src/metrics/csv.h"
+
+using namespace schedbattle;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  std::printf("%s",
+              BannerLine("Figure 6: threads per core over time (512 spinners unpinned)").c_str());
+
+  // ULE needs minutes of simulated time to converge; tolerance 1 thread.
+  LoadBalanceResult ule = RunLoadBalance512(SchedKind::kUle, args.seed, Seconds(700), 1);
+  // CFS converges fast but imperfectly; measure with the same tolerance and
+  // also a loose one.
+  LoadBalanceResult cfs = RunLoadBalance512(SchedKind::kCfs, args.seed, Seconds(60), 1);
+
+  for (const LoadBalanceResult* r : {&ule, &cfs}) {
+    std::printf("--- %s ---\n", SchedName(r->sched).data());
+    std::printf("%s", r->heatmap->RenderAscii(96).c_str());
+    const auto just_after = r->heatmap->CountsAt(r->unpin_time + Milliseconds(400));
+    int mx = 0, mn = 1 << 30;
+    for (int v : just_after) {
+      mx = std::max(mx, v);
+      mn = std::min(mn, v);
+    }
+    std::printf("0.4s after unpin: max/core %d, min/core %d\n", mx, mn);
+    if (r->balanced_time >= 0) {
+      std::printf("balanced (max-min<=1) after %.1fs (at t=%.1fs)\n",
+                  ToSeconds(r->balanced_time - r->unpin_time), ToSeconds(r->balanced_time));
+    } else {
+      std::printf("never balanced to max-min<=1; final spread %d..%d\n", r->final_min,
+                  r->final_max);
+    }
+    std::printf("migrations: %llu, balancer invocations: %llu\n\n",
+                static_cast<unsigned long long>(r->migrations),
+                static_cast<unsigned long long>(r->balance_invocations));
+  }
+
+  // Shape checks.
+  const auto ule_after = ule.heatmap->CountsAt(ule.unpin_time + Milliseconds(400));
+  const bool ule_steal_one =
+      !ule_after.empty() && ule_after[0] > 450;  // core 0 kept ~481 after idle steals
+  const double ule_balance_secs =
+      ule.balanced_time >= 0 ? ToSeconds(ule.balanced_time - ule.unpin_time) : 1e9;
+  const bool ule_slow = ule_balance_secs > 60.0;  // paper: ~240s
+  const auto cfs_after = cfs.heatmap->CountsAt(cfs.unpin_time + Milliseconds(400));
+  int cfs_max_after = 0;
+  for (int v : cfs_after) {
+    cfs_max_after = std::max(cfs_max_after, v);
+  }
+  const bool cfs_fast = cfs_max_after < 200;  // paper: >380 threads moved in 0.2s
+  const bool cfs_imperfect = cfs.balanced_time < 0 && cfs.final_max - cfs.final_min >= 2;
+
+  std::printf("shape check: ULE idle cores steal one thread each (core 0 keeps ~481): %s\n",
+              ule_steal_one ? "REPRODUCED" : "NOT reproduced");
+  std::printf("shape check: ULE takes minutes to balance: %s\n",
+              ule_slow ? "REPRODUCED" : "NOT reproduced");
+  std::printf("shape check: CFS balances most load within ~0.4s: %s\n",
+              cfs_fast ? "REPRODUCED" : "NOT reproduced");
+  std::printf("shape check: CFS never reaches perfect balance (25%% NUMA rule): %s\n",
+              cfs_imperfect ? "REPRODUCED" : "NOT reproduced");
+
+  if (!args.csv_path.empty()) {
+    WriteFile(args.csv_path, "## ULE\n" + ule.heatmap->ToCsv() + "## CFS\n" +
+                                 cfs.heatmap->ToCsv());
+  }
+  return (ule_steal_one && ule_slow && cfs_fast && cfs_imperfect) ? 0 : 1;
+}

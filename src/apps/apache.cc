@@ -1,0 +1,95 @@
+#include "src/apps/apache.h"
+
+#include "src/workload/script.h"
+
+namespace schedbattle {
+
+namespace {
+
+class ApacheApp : public Application {
+ public:
+  explicit ApacheApp(ApacheParams p) : Application("apache"), p_(std::move(p)) {}
+
+  // The benchmark is done when ab exits; httpd workers stay parked on the
+  // request pipe, like a real server.
+  bool finished() const override { return launched() && ab_exited_; }
+
+  void NoteThreadExited(SimThread* thread, SimTime now) override {
+    if (thread == ab_thread_) {
+      ab_exited_ = true;
+    }
+    Application::NoteThreadExited(thread, now);
+  }
+
+  void Launch(Machine& machine) override {
+    auto requests = std::make_shared<SimPipe>();
+    auto responses = std::make_shared<SimPipe>();
+    KeepAlive(requests);
+    KeepAlive(responses);
+    AppStats* stats = &this->stats();
+    const ApacheParams p = p_;
+
+    // httpd worker: serve forever.
+    auto worker_script = ScriptBuilder()
+                             .Loop(-1)
+                             .PipeRead(requests.get())
+                             .ComputeFn([p](ScriptEnv& env) {
+                               return std::max<SimDuration>(
+                                   Microseconds(2),
+                                   static_cast<SimDuration>(env.rng.NextExponential(
+                                       static_cast<double>(p.service_cost))));
+                             })
+                             .PipeWrite(responses.get())
+                             .EndLoop()
+                             .Build();
+    for (int i = 0; i < p.httpd_threads; ++i) {
+      ThreadSpec spec;
+      spec.name = "httpd-" + std::to_string(i);
+      spec.body = MakeScriptBody(worker_script, Rng(p.seed * 1000 + i));
+      spec.parent_sleep_hint = Seconds(4);
+      SpawnThread(machine, std::move(spec), nullptr);
+    }
+
+    // ab: batches of `window` requests.
+    const int batches = static_cast<int>(p.total_requests / p.window);
+    auto batch_start = std::make_shared<SimTime>(0);
+    auto ab_script =
+        ScriptBuilder()
+            .Loop(batches)
+            .Call([batch_start](ScriptEnv& env) { *batch_start = env.ctx.now(); })
+            .Loop(p.window)
+            .Compute(p.send_cost)
+            .PipeWrite(requests.get())
+            .EndLoop()
+            .Loop(p.window)
+            .PipeRead(responses.get())
+            .EndLoop()
+            .Call([stats, batch_start, p](ScriptEnv& env) {
+              // One latency sample per request in the batch.
+              for (int i = 0; i < p.window; ++i) {
+                stats->RecordOp(*batch_start, env.ctx.now());
+              }
+            })
+            .EndLoop()
+            .Build();
+    ThreadSpec ab;
+    ab.name = "ab";
+    ab.body = MakeScriptBody(ab_script, Rng(p.seed));
+    ab.parent_sleep_hint = Seconds(4);
+    ab_thread_ = SpawnThread(machine, std::move(ab), nullptr);
+    MarkLaunched();
+  }
+
+ private:
+  ApacheParams p_;
+  SimThread* ab_thread_ = nullptr;
+  bool ab_exited_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Application> MakeApache(ApacheParams p) {
+  return std::make_unique<ApacheApp>(std::move(p));
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,31 @@
+// Apache model: httpd with 100 worker threads plus `ab`, a single-threaded
+// closed-loop load injector (paper Section 5.3).
+//
+// ab keeps a window of in-flight requests: it sends a batch, then waits for
+// the responses. Under CFS every request wakes an httpd thread whose
+// vruntime is far behind, so ab is preempted once per request (the paper
+// counts 2 million preemptions); under ULE ab is never preempted and sends
+// its whole window back-to-back — the source of apache's +40% on ULE.
+#ifndef SRC_APPS_APACHE_H_
+#define SRC_APPS_APACHE_H_
+
+#include <memory>
+
+#include "src/workload/app.h"
+
+namespace schedbattle {
+
+struct ApacheParams {
+  int httpd_threads = 100;
+  int window = 100;                       // ab's in-flight request window
+  int64_t total_requests = 500000;
+  SimDuration send_cost = Microseconds(6);     // ab per-request CPU
+  SimDuration service_cost = Microseconds(22); // httpd per-request CPU
+  uint64_t seed = 1;
+};
+
+std::unique_ptr<Application> MakeApache(ApacheParams p = {});
+
+}  // namespace schedbattle
+
+#endif  // SRC_APPS_APACHE_H_

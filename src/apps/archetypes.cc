@@ -1,0 +1,235 @@
+#include "src/apps/archetypes.h"
+
+#include <cassert>
+
+namespace schedbattle {
+
+std::unique_ptr<Application> MakeComputeBound(ComputeBoundParams p) {
+  auto app = std::make_unique<ScriptedApp>(p.name, p.seed);
+  const SimDuration per_thread = p.total_work / p.threads;
+  const int chunks = std::max<int>(1, static_cast<int>(per_thread / p.chunk));
+  ScriptBuilder b;
+  b.Loop(chunks);
+  b.Compute(p.chunk);
+  if (p.io_sleep > 0) {
+    // Sleep only every io_every chunks: model with a chunk counter hook is
+    // overkill; approximate by scaling the sleep down.
+    b.Sleep(p.io_sleep / std::max(1, p.io_every));
+  }
+  b.EndLoop();
+  ScriptedApp::ThreadTemplate tmpl;
+  tmpl.name = "worker";
+  tmpl.script = b.Build();
+  tmpl.count = p.threads;
+  tmpl.parent_runtime_hint = p.parent_runtime_hint;
+  tmpl.parent_sleep_hint = p.parent_sleep_hint;
+  app->AddThreads(std::move(tmpl));
+  return app;
+}
+
+std::unique_ptr<Application> MakeBarrierParallel(BarrierParallelParams p) {
+  auto app = std::make_unique<ScriptedApp>(p.name, p.seed);
+  auto barrier = std::make_shared<SimSpinBarrier>(p.threads);
+  app->KeepAlive(barrier);
+  const SimDuration jitter_ns = static_cast<SimDuration>(p.work_per_iter * p.jitter);
+  ScriptBuilder b;
+  b.Loop(p.iterations);
+  b.ComputeFn([work = p.work_per_iter, jitter_ns](ScriptEnv& env) {
+    return work + (jitter_ns > 0 ? env.rng.NextInRange(-jitter_ns, jitter_ns) : 0);
+  });
+  b.SpinBarrier(barrier.get(), p.spin_poll, p.spin_limit);
+  b.EndLoop();
+  ScriptedApp::ThreadTemplate tmpl;
+  tmpl.name = "worker";
+  tmpl.script = b.Build();
+  tmpl.count = p.threads;
+  tmpl.parent_runtime_hint = p.parent_runtime_hint;
+  tmpl.parent_sleep_hint = p.parent_sleep_hint;
+  app->AddThreads(std::move(tmpl));
+  return app;
+}
+
+std::unique_ptr<Application> MakePipeline(PipelineParams p) {
+  assert(!p.stages.empty());
+  auto app = std::make_unique<ScriptedApp>(p.name, p.seed);
+  // Queues between stages; queue[0] is pre-filled with all items by stage 0
+  // being a generator (it has no input queue).
+  std::vector<std::shared_ptr<SimPipe>> queues;
+  for (size_t i = 0; i + 1 < p.stages.size(); ++i) {
+    auto pipe = std::make_shared<SimPipe>();
+    app->KeepAlive(pipe);
+    queues.push_back(std::move(pipe));
+  }
+  // Exact per-thread quotas so every message produced is consumed (a stage's
+  // input is exactly the previous stage's output).
+  int stage_in = p.items;
+  for (size_t s = 0; s < p.stages.size(); ++s) {
+    const auto [threads, cost] = p.stages[s];
+    const int nthreads = std::max(1, threads);
+    const int total = s == 0 ? p.items : stage_in;
+    int assigned = 0;
+    for (int i = 0; i < nthreads; ++i) {
+      int quota = total / nthreads + (i < total % nthreads ? 1 : 0);
+      ScriptBuilder b;
+      if (s == 0 && p.source_batch > 1) {
+        // Batched source: one disk read produces source_batch items.
+        const int batches = std::max(1, quota / p.source_batch);
+        quota = batches * p.source_batch;
+        b.Loop(batches);
+        if (p.source_io > 0) {
+          b.SleepFn([io = p.source_io * p.source_batch](ScriptEnv& env) {
+            return std::max<SimDuration>(Microseconds(10),
+                                         static_cast<SimDuration>(env.rng.NextExponential(
+                                             static_cast<double>(io))));
+          });
+        }
+        b.Loop(p.source_batch);
+        b.ComputeFn([cost = cost](ScriptEnv& env) {
+          return std::max<SimDuration>(1000, static_cast<SimDuration>(env.rng.NextExponential(
+                                                 static_cast<double>(cost))));
+        });
+        b.PipeWrite(queues[s].get());
+        b.EndLoop();
+        b.EndLoop();
+        assigned += quota;
+      } else {
+        assigned += quota;
+        b.Loop(quota);
+        if (s > 0) {
+          b.PipeRead(queues[s - 1].get());
+        } else if (p.source_io > 0) {
+          b.SleepFn([io = p.source_io](ScriptEnv& env) {
+            return std::max<SimDuration>(Microseconds(10),
+                                         static_cast<SimDuration>(env.rng.NextExponential(
+                                             static_cast<double>(io))));
+          });
+        }
+        b.ComputeFn([cost = cost](ScriptEnv& env) {
+          return std::max<SimDuration>(
+              1000, static_cast<SimDuration>(env.rng.NextExponential(static_cast<double>(cost))));
+        });
+        if (s + 1 < p.stages.size()) {
+          b.PipeWrite(queues[s].get());
+        }
+        b.EndLoop();
+      }
+      ScriptedApp::ThreadTemplate tmpl;
+      tmpl.name = "stage" + std::to_string(s) + "-" + std::to_string(i);
+      tmpl.script = b.Build();
+      tmpl.count = 1;
+      app->AddThreads(std::move(tmpl));
+    }
+    stage_in = assigned;
+  }
+  return app;
+}
+
+namespace {
+
+// Build driver: spawns `jobs` compile jobs, `parallelism` at a time, through
+// a semaphore acting as the jobserver.
+class BuildApp : public Application {
+ public:
+  explicit BuildApp(BuildParams p) : Application(p.name), p_(std::move(p)) {}
+
+  void Launch(Machine& machine) override {
+    auto slots = std::make_shared<SimSemaphore>(p_.parallelism);
+    auto job_script = ScriptBuilder()
+                          .ComputeFn([work = p_.job_work](ScriptEnv& env) {
+                            return static_cast<SimDuration>(
+                                env.rng.NextExponential(static_cast<double>(work)));
+                          })
+                          .SleepFn([io = p_.job_io](ScriptEnv& env) {
+                            return static_cast<SimDuration>(
+                                env.rng.NextExponential(static_cast<double>(io)));
+                          })
+                          .ComputeFn([work = p_.job_work](ScriptEnv& env) {
+                            return static_cast<SimDuration>(
+                                env.rng.NextExponential(static_cast<double>(work) / 3));
+                          })
+                          .Call([slots](ScriptEnv& env) {
+                            slots->Post(env.ctx.machine(), &env.ctx.thread());
+                          })
+                          .Build();
+    Application* self = this;
+    Rng rng(p_.seed);
+    auto driver =
+        ScriptBuilder()
+            .Loop(p_.jobs)
+            .SemWait(slots.get())
+            .Compute(Microseconds(200))  // make parsing/forking work
+            .Call([self, job_script, seed = p_.seed](ScriptEnv& env) mutable {
+              ThreadSpec spec;
+              spec.name = self->name() + "/cc";
+              spec.body = MakeScriptBody(job_script, env.rng.Split());
+              self->SpawnThread(env.ctx.machine(), std::move(spec), &env.ctx.thread());
+            })
+            .EndLoop()
+            .Build();
+    ThreadSpec spec;
+    spec.name = name() + "/make";
+    spec.body = MakeScriptBody(driver, rng.Split());
+    spec.parent_sleep_hint = Seconds(4);  // launched from an interactive shell
+    SpawnThread(machine, std::move(spec), nullptr);
+    MarkLaunched();
+  }
+
+ private:
+  BuildParams p_;
+};
+
+}  // namespace
+
+std::unique_ptr<Application> MakeBuild(BuildParams p) {
+  return std::make_unique<BuildApp>(std::move(p));
+}
+
+std::unique_ptr<Application> MakeSystemNoise(SystemNoiseParams p) {
+  auto app = std::make_unique<ScriptedApp>(p.name, p.seed);
+  auto make_script = [&p] {
+    return ScriptBuilder()
+        .Loop(-1)
+        .SleepFn([mean = p.mean_sleep](ScriptEnv& env) {
+          return std::max<SimDuration>(Microseconds(100),
+                                       static_cast<SimDuration>(env.rng.NextExponential(
+                                           static_cast<double>(mean))));
+        })
+        .ComputeFn([mean = p.mean_work](ScriptEnv& env) {
+          return std::max<SimDuration>(1000, static_cast<SimDuration>(env.rng.NextExponential(
+                                                 static_cast<double>(mean))));
+        })
+        .EndLoop()
+        .Build();
+  };
+  for (int c = 0; c < p.num_cores; ++c) {
+    ScriptedApp::ThreadTemplate tmpl;
+    tmpl.name = "ktimer" + std::to_string(c);
+    tmpl.script = make_script();
+    tmpl.count = p.threads_per_core;
+    tmpl.affinity = CpuMask::Single(c);
+    app->AddThreads(std::move(tmpl));
+  }
+  if (p.heavy_threads > 0) {
+    ScriptedApp::ThreadTemplate heavy;
+    heavy.name = "kworker";
+    heavy.count = p.heavy_threads;
+    heavy.script = ScriptBuilder()
+                       .Loop(-1)
+                       .SleepFn([mean = p.heavy_sleep](ScriptEnv& env) {
+                         return std::max<SimDuration>(
+                             Milliseconds(1), static_cast<SimDuration>(env.rng.NextExponential(
+                                                  static_cast<double>(mean))));
+                       })
+                       .ComputeFn([mean = p.heavy_work](ScriptEnv& env) {
+                         return std::max<SimDuration>(
+                             Microseconds(100), static_cast<SimDuration>(env.rng.NextExponential(
+                                                    static_cast<double>(mean))));
+                       })
+                       .EndLoop()
+                       .Build();
+    app->AddThreads(std::move(heavy));
+  }
+  return app;
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,110 @@
+// Workload archetypes: the recurring thread-behaviour structures of the
+// paper's 37 applications.
+//
+// Each application model in this directory instantiates one of these shapes
+// with parameters calibrated to the scheduling-relevant behaviour the paper
+// describes for that application (compute/sleep ratios, thread counts,
+// synchronization pattern). Absolute work sizes are scaled so single-core
+// runs complete in tens of simulated seconds.
+#ifndef SRC_APPS_ARCHETYPES_H_
+#define SRC_APPS_ARCHETYPES_H_
+
+#include <memory>
+#include <string>
+
+#include "src/workload/app.h"
+
+namespace schedbattle {
+
+// How an application's "performance" is measured (paper Section 5.3: ops/s
+// for databases and NAS, 1/execution-time for the rest).
+enum class MetricKind { kInvTime, kOpsPerSec };
+
+// Pure computation split over `threads` workers, each burning
+// total_work/threads in `chunk`-sized bursts, optionally with a short I/O
+// sleep between bursts (compilers/compressors reading input).
+struct ComputeBoundParams {
+  std::string name;
+  int threads = 1;
+  SimDuration total_work = Seconds(30);
+  SimDuration chunk = Milliseconds(20);
+  SimDuration io_sleep = 0;        // sleep between chunks (0 = never sleeps)
+  int io_every = 1;                // chunks per sleep
+  // ULE fork-inheritance hints for the launching process (a long-idle shell
+  // by default; HPC launcher scripts pass batch-like histories).
+  SimDuration parent_runtime_hint = 0;
+  SimDuration parent_sleep_hint = Seconds(4);
+  uint64_t seed = 1;
+};
+std::unique_ptr<Application> MakeComputeBound(ComputeBoundParams p);
+
+// Bulk-synchronous parallel: `threads` workers iterate (compute ± jitter,
+// spin-barrier). The barrier spins for up to `spin_limit` before sleeping
+// (the paper's MG "waits on a spin-barrier for 100ms and then sleeps").
+// Well-placed threads never sleep at all; one doubled-up core delays every
+// other thread by a whole extra compute phase (paper Section 6.3).
+struct BarrierParallelParams {
+  std::string name;
+  int threads = 32;
+  int iterations = 200;
+  SimDuration work_per_iter = Milliseconds(20);
+  double jitter = 0.05;                        // relative compute jitter per iteration
+  SimDuration spin_poll = Microseconds(500);   // busy-wait burst between barrier polls
+  SimDuration spin_limit = Milliseconds(100);  // spin budget before sleeping
+  SimDuration parent_runtime_hint = 0;
+  SimDuration parent_sleep_hint = Seconds(4);
+  uint64_t seed = 1;
+};
+std::unique_ptr<Application> MakeBarrierParallel(BarrierParallelParams p);
+
+// Software pipeline (PARSEC ferret/x264): stages connected by queues, stage
+// i threads read from queue i, compute, write to queue i+1.
+struct PipelineParams {
+  std::string name;
+  int items = 2000;
+  std::vector<std::pair<int, SimDuration>> stages;  // (threads, cost per item)
+  // I/O sleep of the source stage per item (reading inputs from disk); this
+  // keeps the source interactive under ULE and caps the pipeline's demand.
+  SimDuration source_io = 0;
+  // Items produced per disk read (readahead); large batches amortize the
+  // source's scheduling waits.
+  int source_batch = 1;
+  uint64_t seed = 1;
+};
+std::unique_ptr<Application> MakePipeline(PipelineParams p);
+
+// Fork-heavy build (build-apache/build-php): a make-like driver spawning
+// batches of short-lived compile jobs, `parallelism` at a time.
+struct BuildParams {
+  std::string name;
+  int jobs = 150;
+  int parallelism = 1;             // make -jN
+  SimDuration job_work = Milliseconds(150);
+  SimDuration job_io = Milliseconds(4);
+  uint64_t seed = 1;
+};
+std::unique_ptr<Application> MakeBuild(BuildParams p);
+
+// Per-core background "kernel threads": short frequent wakeups that create
+// the micro load changes the paper blames for CFS's MG placement mistakes
+// (Section 6.3). Runs forever (bounded by the experiment horizon).
+struct SystemNoiseParams {
+  std::string name = "kthreads";
+  // Per-core pinned kthreads with short frequent wakeups (timers, RCU).
+  int threads_per_core = 1;
+  int num_cores = 32;
+  SimDuration mean_sleep = Milliseconds(25);
+  SimDuration mean_work = Microseconds(250);
+  // Unbound kworkers with occasional multi-millisecond bursts (writeback,
+  // events): these are the "micro changes in the load of cores" that make
+  // CFS's balancer move application threads (paper Section 6.3).
+  int heavy_threads = 8;
+  SimDuration heavy_sleep = Milliseconds(120);
+  SimDuration heavy_work = Milliseconds(4);
+  uint64_t seed = 1;
+};
+std::unique_ptr<Application> MakeSystemNoise(SystemNoiseParams p);
+
+}  // namespace schedbattle
+
+#endif  // SRC_APPS_ARCHETYPES_H_

@@ -1,0 +1,18 @@
+#include "src/apps/fibo.h"
+
+#include "src/apps/archetypes.h"
+
+namespace schedbattle {
+
+std::unique_ptr<Application> MakeFibo(FiboParams p) {
+  ComputeBoundParams cb;
+  cb.name = "fibo";
+  cb.threads = 1;
+  cb.total_work = p.total_work;
+  cb.chunk = p.chunk;
+  cb.io_sleep = 0;  // never sleeps
+  cb.seed = p.seed;
+  return MakeComputeBound(std::move(cb));
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,24 @@
+// fibo: the paper's synthetic CPU hog — a single thread computing Fibonacci
+// numbers, never sleeping. Under ULE it is quickly classified batch and can
+// be starved unboundedly by interactive threads (Section 5.1).
+#ifndef SRC_APPS_FIBO_H_
+#define SRC_APPS_FIBO_H_
+
+#include <memory>
+
+#include "src/workload/app.h"
+
+namespace schedbattle {
+
+struct FiboParams {
+  // Total CPU time to burn (calibrated to Table 2's ~160s standalone run).
+  SimDuration total_work = Seconds(160);
+  SimDuration chunk = Milliseconds(10);
+  uint64_t seed = 1;
+};
+
+std::unique_ptr<Application> MakeFibo(FiboParams p = {});
+
+}  // namespace schedbattle
+
+#endif  // SRC_APPS_FIBO_H_

@@ -1,0 +1,68 @@
+#include "src/apps/hackbench.h"
+
+#include <vector>
+
+#include "src/workload/script.h"
+
+namespace schedbattle {
+
+namespace {
+
+class HackbenchApp : public Application {
+ public:
+  explicit HackbenchApp(HackbenchParams p) : Application(p.name), p_(std::move(p)) {}
+
+  void Launch(Machine& machine) override {
+    Rng rng(p_.seed);
+    for (int g = 0; g < p_.groups; ++g) {
+      // One pipe per receiver in the group.
+      auto pipes = std::make_shared<std::vector<std::unique_ptr<SimPipe>>>();
+      for (int r = 0; r < p_.fan; ++r) {
+        pipes->push_back(std::make_unique<SimPipe>());
+      }
+      // Sender: round-robin one message to each receiver, `messages` rounds.
+      ScriptBuilder sb;
+      sb.Loop(p_.messages);
+      for (int r = 0; r < p_.fan; ++r) {
+        sb.Compute(p_.per_message_work);
+        sb.PipeWrite((*pipes)[r].get());
+      }
+      sb.EndLoop();
+      sb.Call([pipes](ScriptEnv&) {});  // keep pipes alive
+      auto sender_script = sb.Build();
+
+      for (int s = 0; s < p_.fan; ++s) {
+        ThreadSpec spec;
+        spec.name = name() + "/g" + std::to_string(g) + "-send" + std::to_string(s);
+        spec.body = MakeScriptBody(sender_script, rng.Split());
+        SpawnThread(machine, std::move(spec), nullptr);
+      }
+      // Receiver r: read fan*messages messages from its pipe.
+      for (int r = 0; r < p_.fan; ++r) {
+        auto receiver_script = ScriptBuilder()
+                                   .Loop(p_.fan * p_.messages)
+                                   .PipeRead((*pipes)[r].get())
+                                   .Compute(p_.per_message_work)
+                                   .EndLoop()
+                                   .Call([pipes](ScriptEnv&) {})
+                                   .Build();
+        ThreadSpec spec;
+        spec.name = name() + "/g" + std::to_string(g) + "-recv" + std::to_string(r);
+        spec.body = MakeScriptBody(receiver_script, rng.Split());
+        SpawnThread(machine, std::move(spec), nullptr);
+      }
+    }
+    MarkLaunched();
+  }
+
+ private:
+  HackbenchParams p_;
+};
+
+}  // namespace
+
+std::unique_ptr<Application> MakeHackbench(HackbenchParams p) {
+  return std::make_unique<HackbenchApp>(std::move(p));
+}
+
+}  // namespace schedbattle

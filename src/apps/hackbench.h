@@ -1,0 +1,30 @@
+// Hackbench: the Linux community's scheduler stress test (paper Section 4.2).
+//
+// N groups; each group has `fan` senders and `fan` receivers. Every sender
+// writes `messages` messages to each receiver's pipe. Threads run for a
+// short time and exchange data constantly — the workload is pure scheduler
+// churn (the paper's 32,000-thread configuration measures scheduler
+// overhead: ULE 1% vs CFS 0.3%).
+#ifndef SRC_APPS_HACKBENCH_H_
+#define SRC_APPS_HACKBENCH_H_
+
+#include <memory>
+
+#include "src/workload/app.h"
+
+namespace schedbattle {
+
+struct HackbenchParams {
+  std::string name = "hackbench";
+  int groups = 10;
+  int fan = 20;       // senders and receivers per group
+  int messages = 20;  // messages from each sender to each receiver
+  SimDuration per_message_work = Microseconds(3);
+  uint64_t seed = 1;
+};
+
+std::unique_ptr<Application> MakeHackbench(HackbenchParams p = {});
+
+}  // namespace schedbattle
+
+#endif  // SRC_APPS_HACKBENCH_H_

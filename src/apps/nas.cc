@@ -1,0 +1,79 @@
+#include "src/apps/nas.h"
+
+#include <cassert>
+
+#include "src/apps/archetypes.h"
+
+namespace schedbattle {
+
+std::unique_ptr<Application> MakeNas(const std::string& kernel, int threads, uint64_t seed,
+                                     double scale) {
+  // EP is embarrassingly parallel: no synchronization at all.
+  if (kernel == "EP") {
+    ComputeBoundParams p;
+    p.name = "EP";
+    p.threads = threads;
+    // Launched from a busy job script: inherits a batch-like history.
+    p.parent_runtime_hint = Seconds(3);
+    p.parent_sleep_hint = Seconds(1);
+    p.total_work = SecondsF(20.0 * scale) * threads;
+    p.chunk = Milliseconds(25);
+    p.seed = seed;
+    return MakeComputeBound(std::move(p));
+  }
+  // DC (data cube) is I/O-bound: compute with regular disk sleeps.
+  if (kernel == "DC") {
+    ComputeBoundParams p;
+    p.name = "DC";
+    p.threads = threads;
+    p.total_work = SecondsF(12.0 * scale) * threads;
+    p.chunk = Milliseconds(8);
+    p.io_sleep = Milliseconds(2);
+    p.seed = seed;
+    return MakeComputeBound(std::move(p));
+  }
+
+  BarrierParallelParams p;
+  p.name = kernel;
+  p.threads = threads;
+  p.parent_runtime_hint = Seconds(3);
+  p.parent_sleep_hint = Seconds(1);
+  p.seed = seed;
+
+  // Iteration structure per kernel: MG/IS/CG have short, barrier-heavy
+  // iterations; BT/SP/LU/FT/UA have longer compute phases.
+  if (kernel == "MG") {
+    p.iterations = static_cast<int>(1500 * scale);
+    p.work_per_iter = Milliseconds(10);
+    p.jitter = 0.04;
+  } else if (kernel == "CG") {
+    p.iterations = static_cast<int>(500 * scale);
+    p.work_per_iter = Milliseconds(30);
+    p.jitter = 0.05;
+  } else if (kernel == "IS") {
+    p.iterations = static_cast<int>(400 * scale);
+    p.work_per_iter = Milliseconds(20);
+    p.jitter = 0.06;
+  } else if (kernel == "FT") {
+    p.iterations = static_cast<int>(250 * scale);
+    p.work_per_iter = Milliseconds(60);
+    p.jitter = 0.04;
+  } else if (kernel == "UA") {
+    p.iterations = static_cast<int>(300 * scale);
+    p.work_per_iter = Milliseconds(45);
+    p.jitter = 0.05;
+  } else if (kernel == "BT" || kernel == "SP") {
+    p.iterations = static_cast<int>(150 * scale);
+    p.work_per_iter = Milliseconds(120);
+    p.jitter = 0.03;
+  } else if (kernel == "LU") {
+    p.iterations = static_cast<int>(180 * scale);
+    p.work_per_iter = Milliseconds(90);
+    p.jitter = 0.03;
+  } else {
+    assert(false && "unknown NAS kernel");
+  }
+  return MakeBarrierParallel(std::move(p));
+}
+
+}  // namespace schedbattle

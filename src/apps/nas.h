@@ -1,0 +1,24 @@
+// NAS Parallel Benchmarks model (paper Section 4.2, Figures 5 and 8).
+//
+// HPC kernels: one thread per core, bulk-synchronous iteration with
+// spin-then-sleep barriers. MG is the paper's headline case (+73% on ULE):
+// short iterations make it maximally sensitive to a single mis-placed thread
+// delaying every barrier.
+#ifndef SRC_APPS_NAS_H_
+#define SRC_APPS_NAS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/workload/app.h"
+
+namespace schedbattle {
+
+// kernel in {BT, CG, DC, EP, FT, IS, LU, MG, SP, UA}; threads is normally
+// the core count; scale shrinks total work for quick runs.
+std::unique_ptr<Application> MakeNas(const std::string& kernel, int threads, uint64_t seed,
+                                     double scale = 1.0);
+
+}  // namespace schedbattle
+
+#endif  // SRC_APPS_NAS_H_

@@ -1,0 +1,102 @@
+#include "src/apps/parsec.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/apps/archetypes.h"
+
+namespace schedbattle {
+
+std::unique_ptr<Application> MakeParsec(const std::string& app, int threads, uint64_t seed,
+                                        double scale) {
+  auto barrier = [&](int iters, SimDuration work, double jitter) {
+    BarrierParallelParams p;
+    p.name = app;
+    p.threads = threads;
+    p.iterations = std::max(1, static_cast<int>(iters * scale));
+    p.work_per_iter = work;
+    p.jitter = jitter;
+    // pthread barriers give up the CPU quickly, unlike NAS's 100ms spin.
+    p.spin_poll = Microseconds(100);
+    p.spin_limit = Milliseconds(1);
+    p.seed = seed;
+    return MakeBarrierParallel(std::move(p));
+  };
+  auto compute = [&](double seconds_per_thread, SimDuration chunk, SimDuration io) {
+    ComputeBoundParams p;
+    p.name = app;
+    p.threads = threads;
+    p.total_work = SecondsF(seconds_per_thread * scale) * threads;
+    p.chunk = chunk;
+    p.io_sleep = io;
+    p.seed = seed;
+    return MakeComputeBound(std::move(p));
+  };
+  auto pipeline = [&](std::vector<std::pair<int, SimDuration>> stages, int items,
+                      SimDuration source_io = 0, int source_batch = 1) {
+    PipelineParams p;
+    p.name = app;
+    p.items = std::max(threads, static_cast<int>(items * scale));
+    p.stages = std::move(stages);
+    p.source_io = source_io;
+    p.source_batch = source_batch;
+    p.seed = seed;
+    return MakePipeline(std::move(p));
+  };
+
+  if (app == "blackscholes") {
+    return barrier(200, Milliseconds(60), 0.03);
+  }
+  if (app == "bodytrack") {
+    return barrier(260, Milliseconds(35), 0.10);
+  }
+  if (app == "canneal") {
+    return compute(15.0, Milliseconds(5), Microseconds(200));
+  }
+  if (app == "facesim") {
+    return barrier(120, Milliseconds(110), 0.08);
+  }
+  if (app == "ferret") {
+    // 6-stage pipeline: load -> segment -> extract -> index -> rank -> output.
+    // The single-threaded load stage caps throughput, so the worker stages
+    // run below saturation — they sleep on their queues often enough to stay
+    // interactive under ULE (the Figure 9 blackscholes+ferret behaviour).
+    const int mid = std::max(1, 3 * threads / 4);
+    return pipeline({{1, Microseconds(60)},
+                     {mid, Microseconds(900)},
+                     {mid, Microseconds(1200)},
+                     {mid, Microseconds(800)},
+                     {mid, Microseconds(1300)},
+                     {1, Microseconds(200)}},
+                    30000, /*source_io=*/Microseconds(108), /*source_batch=*/512);
+  }
+  if (app == "fluidanimate") {
+    return barrier(300, Milliseconds(40), 0.05);
+  }
+  if (app == "freqmine") {
+    return compute(18.0, Milliseconds(12), 0);
+  }
+  if (app == "raytrace") {
+    return compute(16.0, Milliseconds(8), 0);
+  }
+  if (app == "streamcluster") {
+    return barrier(700, Milliseconds(12), 0.06);
+  }
+  if (app == "swaptions") {
+    return compute(17.0, Milliseconds(20), 0);
+  }
+  if (app == "vips") {
+    const int mid = std::max(1, threads / 2);
+    return pipeline({{1, Microseconds(100)}, {mid, Microseconds(700)}, {1, Microseconds(150)}},
+                    25000);
+  }
+  if (app == "x264") {
+    const int mid = std::max(1, threads - 2);
+    return pipeline({{1, Microseconds(300)}, {mid, Microseconds(2500)}, {1, Microseconds(250)}},
+                    12000);
+  }
+  assert(false && "unknown PARSEC app");
+  return nullptr;
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,22 @@
+// PARSEC benchmark suite models (paper Section 4.2).
+//
+// Each application uses the parallelization structure of the real benchmark:
+// data-parallel with barriers (blackscholes, fluidanimate, streamcluster,
+// facesim, bodytrack), pure task parallelism (swaptions, freqmine, raytrace,
+// canneal), or software pipelines (ferret, x264, vips).
+#ifndef SRC_APPS_PARSEC_H_
+#define SRC_APPS_PARSEC_H_
+
+#include <memory>
+#include <string>
+
+#include "src/workload/app.h"
+
+namespace schedbattle {
+
+std::unique_ptr<Application> MakeParsec(const std::string& app, int threads, uint64_t seed,
+                                        double scale = 1.0);
+
+}  // namespace schedbattle
+
+#endif  // SRC_APPS_PARSEC_H_

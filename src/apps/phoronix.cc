@@ -1,0 +1,139 @@
+#include "src/apps/phoronix.h"
+
+#include <cassert>
+#include <vector>
+
+#include "src/apps/archetypes.h"
+#include "src/workload/script.h"
+
+namespace schedbattle {
+
+namespace {
+
+// c-ray: the master creates `threads` render threads one by one (so they
+// inherit its rising interactivity penalty, as in sysbench), then the
+// threads start through a cascading barrier: thread 0 wakes 1, 1 wakes 2,
+// and so on, before rendering (paper Section 6.2).
+class CrayApp : public Application {
+ public:
+  explicit CrayApp(CrayParams p) : Application("c-ray"), p_(std::move(p)) {}
+
+  void Launch(Machine& machine) override {
+    auto sems = std::make_shared<std::vector<std::unique_ptr<SimSemaphore>>>();
+    for (int i = 0; i < p_.threads; ++i) {
+      sems->push_back(std::make_unique<SimSemaphore>(i == 0 ? 1 : 0));
+    }
+    Application* self = this;
+    const CrayParams p = p_;
+
+    auto make_render = [sems, p](int idx) {
+      ScriptBuilder b;
+      b.SemWait((*sems)[idx].get());
+      if (idx + 1 < p.threads) {
+        b.SemPost((*sems)[idx + 1].get());
+      }
+      const int chunks = std::max<int>(1, static_cast<int>(p.work_per_thread / Milliseconds(10)));
+      b.Loop(chunks);
+      b.Compute(p.work_per_thread / chunks);
+      b.EndLoop();
+      b.Call([sems](ScriptEnv&) {});  // keep semaphores alive
+      return b.Build();
+    };
+
+    ScriptBuilder mb;
+    for (int i = 0; i < p.threads; ++i) {
+      mb.Compute(p.per_create_work);
+      mb.Sleep(p.per_create_io);
+      mb.Call([self, make_render, i](ScriptEnv& env) {
+        ThreadSpec spec;
+        spec.name = "c-ray/render-" + std::to_string(i);
+        spec.body = MakeScriptBody(make_render(i), env.rng.Split());
+        self->SpawnThread(env.ctx.machine(), std::move(spec), &env.ctx.thread());
+      });
+    }
+    auto master_script = mb.Build();
+    ThreadSpec master;
+    master.name = "c-ray/main";
+    master.body = MakeScriptBody(master_script, Rng(p.seed));
+    // Launched through the phoronix wrapper scripts: a freshly started shell
+    // with little banked history, so the master's interactivity penalty
+    // crosses ULE's threshold partway through thread creation.
+    master.parent_runtime_hint = Milliseconds(100);
+    master.parent_sleep_hint = Milliseconds(1500);
+    SpawnThread(machine, std::move(master), nullptr);
+    MarkLaunched();
+  }
+
+ private:
+  CrayParams p_;
+};
+
+}  // namespace
+
+std::unique_ptr<Application> MakeCray(CrayParams p) { return std::make_unique<CrayApp>(p); }
+
+std::unique_ptr<Application> MakePhoronix(const std::string& app, int threads, uint64_t seed,
+                                          double scale) {
+  auto compute = [&](const std::string& name, int nthreads, double seconds_per_thread,
+                     SimDuration chunk, SimDuration io) {
+    ComputeBoundParams p;
+    p.name = name;
+    p.threads = nthreads;
+    p.total_work = SecondsF(seconds_per_thread * scale) * nthreads;
+    p.chunk = chunk;
+    p.io_sleep = io;
+    p.seed = seed;
+    return MakeComputeBound(std::move(p));
+  };
+
+  if (app == "build-apache") {
+    BuildParams p;
+    p.name = app;
+    p.jobs = static_cast<int>(140 * scale);
+    p.parallelism = threads;
+    p.job_work = Milliseconds(140);
+    p.job_io = Milliseconds(4);
+    p.seed = seed;
+    return MakeBuild(std::move(p));
+  }
+  if (app == "build-php") {
+    BuildParams p;
+    p.name = app;
+    p.jobs = static_cast<int>(220 * scale);
+    p.parallelism = threads;
+    p.job_work = Milliseconds(120);
+    p.job_io = Milliseconds(3);
+    p.seed = seed;
+    return MakeBuild(std::move(p));
+  }
+  if (app == "7zip") {
+    return compute(app, threads, 14.0, Milliseconds(6), Microseconds(300));
+  }
+  if (app == "gzip") {
+    return compute(app, 1, 18.0, Milliseconds(4), Microseconds(500));
+  }
+  if (app == "c-ray") {
+    CrayParams p;
+    p.seed = seed;
+    p.work_per_thread =
+        static_cast<SimDuration>(p.work_per_thread * scale * (threads >= 32 ? 1.0 : 0.05));
+    return MakeCray(p);
+  }
+  if (app == "dcraw") {
+    return compute(app, 1, 16.0, Milliseconds(10), Microseconds(800));
+  }
+  if (app == "himeno") {
+    return compute(app, 1, 20.0, Milliseconds(15), 0);
+  }
+  if (app == "hmmer") {
+    return compute(app, 1, 17.0, Milliseconds(12), 0);
+  }
+  if (app == "john-1" || app == "john-2" || app == "john-3") {
+    const double work = app == "john-1" ? 12.0 : (app == "john-2" ? 15.0 : 18.0);
+    return compute(app, threads, work, Milliseconds(8), 0);
+  }
+  assert(false && "unknown phoronix app");
+  return nullptr;
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,32 @@
+// Phoronix test suite models (paper Section 4.2): compilation, compression,
+// image processing, scientific and cryptography benchmarks, including the
+// c-ray renderer whose cascading-barrier startup exposes ULE's
+// within-application starvation (Figure 7).
+#ifndef SRC_APPS_PHORONIX_H_
+#define SRC_APPS_PHORONIX_H_
+
+#include <memory>
+#include <string>
+
+#include "src/workload/app.h"
+
+namespace schedbattle {
+
+// app in {build-apache, build-php, 7zip, gzip, c-ray, dcraw, himeno, hmmer,
+// john-1, john-2, john-3}.
+std::unique_ptr<Application> MakePhoronix(const std::string& app, int threads, uint64_t seed,
+                                          double scale = 1.0);
+
+struct CrayParams {
+  int threads = 512;
+  SimDuration work_per_thread = Milliseconds(1500);
+  SimDuration per_create_work = Microseconds(1200);
+  SimDuration per_create_io = Microseconds(800);  // scene/alloc I/O between creates
+  uint64_t seed = 1;
+};
+// c-ray with explicit parameters (used directly by the Figure 7 bench).
+std::unique_ptr<Application> MakeCray(CrayParams p);
+
+}  // namespace schedbattle
+
+#endif  // SRC_APPS_PHORONIX_H_

@@ -1,0 +1,32 @@
+// Registry of the applications evaluated in the paper's Figures 5 and 8.
+#ifndef SRC_APPS_REGISTRY_H_
+#define SRC_APPS_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/archetypes.h"
+#include "src/workload/app.h"
+
+namespace schedbattle {
+
+struct AppEntry {
+  std::string name;  // the label used on the figure's x axis
+  MetricKind metric;
+  // factory(threads_hint, seed, scale): threads_hint is the core count for
+  // apps that size themselves to the machine.
+  std::function<std::unique_ptr<Application>(int, uint64_t, double)> make;
+};
+
+// The benchmark suite in figure order: Phoronix (8), scimark2 x6, john x3,
+// apache, NAS x10, sysbench, rocksdb, PARSEC x12.
+const std::vector<AppEntry>& BenchmarkSuite();
+
+// Looks up an entry by name; nullptr if unknown.
+const AppEntry* FindApp(const std::string& name);
+
+}  // namespace schedbattle
+
+#endif  // SRC_APPS_REGISTRY_H_

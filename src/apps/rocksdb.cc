@@ -1,0 +1,80 @@
+#include "src/apps/rocksdb.h"
+
+#include "src/workload/script.h"
+
+namespace schedbattle {
+
+namespace {
+
+class RocksdbApp : public Application {
+ public:
+  explicit RocksdbApp(RocksdbParams p) : Application("rocksdb"), p_(std::move(p)) {}
+
+  void Launch(Machine& machine) override {
+    auto remaining = std::make_shared<int64_t>(p_.total_ops);
+    AppStats* stats = &this->stats();
+    auto wal_lock = std::make_shared<SimMutex>();
+    KeepAlive(wal_lock);
+    const RocksdbParams p = p_;
+
+    auto make_worker = [remaining, stats, wal_lock, p](bool writer) {
+      const SimDuration compute = writer ? p.write_compute : p.read_compute;
+      const SimDuration stall = writer ? p.write_stall : p.read_stall;
+      ScriptBuilder b;
+      b.LoopWhile([remaining](ScriptEnv&) { return *remaining > 0; });
+      auto op_start = std::make_shared<SimTime>(0);
+      b.Call([op_start](ScriptEnv& env) { *op_start = env.ctx.now(); });
+      b.ComputeFn([compute](ScriptEnv& env) {
+        return std::max<SimDuration>(Microseconds(20),
+                                     static_cast<SimDuration>(env.rng.NextExponential(
+                                         static_cast<double>(compute))));
+      });
+      if (writer) {
+        b.Lock(wal_lock.get());
+        b.Compute(Microseconds(40));
+        b.Unlock(wal_lock.get());
+      }
+      b.SleepFn([stall](ScriptEnv& env) {
+        return std::max<SimDuration>(Microseconds(10),
+                                     static_cast<SimDuration>(env.rng.NextExponential(
+                                         static_cast<double>(stall))));
+      });
+      b.Call([remaining, stats, op_start](ScriptEnv& env) {
+        if (*remaining > 0) {
+          --*remaining;
+          stats->RecordOp(*op_start, env.ctx.now());
+        }
+      });
+      b.EndLoop();
+      return b.Build();
+    };
+
+    Rng rng(p.seed);
+    for (int i = 0; i < p.readers; ++i) {
+      ThreadSpec spec;
+      spec.name = "rocksdb/reader-" + std::to_string(i);
+      spec.body = MakeScriptBody(make_worker(false), rng.Split());
+      spec.parent_sleep_hint = Seconds(4);
+      SpawnThread(machine, std::move(spec), nullptr);
+    }
+    for (int i = 0; i < p.writers; ++i) {
+      ThreadSpec spec;
+      spec.name = "rocksdb/writer-" + std::to_string(i);
+      spec.body = MakeScriptBody(make_worker(true), rng.Split());
+      spec.parent_sleep_hint = Seconds(4);
+      SpawnThread(machine, std::move(spec), nullptr);
+    }
+    MarkLaunched();
+  }
+
+ private:
+  RocksdbParams p_;
+};
+
+}  // namespace
+
+std::unique_ptr<Application> MakeRocksdb(RocksdbParams p) {
+  return std::make_unique<RocksdbApp>(std::move(p));
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,29 @@
+// RocksDB read-write workload model (paper Section 4.2): a key-value store
+// with mixed thread behaviour — reader threads that mostly hit the block
+// cache (compute-heavy) and writer threads that stall on compaction/WAL
+// (sleep-heavy), so the scheduler sees heterogeneous threads within one app.
+#ifndef SRC_APPS_ROCKSDB_H_
+#define SRC_APPS_ROCKSDB_H_
+
+#include <memory>
+
+#include "src/workload/app.h"
+
+namespace schedbattle {
+
+struct RocksdbParams {
+  int readers = 24;
+  int writers = 8;
+  int64_t total_ops = 120000;
+  SimDuration read_compute = Microseconds(500);
+  SimDuration read_stall = Microseconds(250);   // occasional cache miss
+  SimDuration write_compute = Microseconds(300);
+  SimDuration write_stall = Microseconds(2500);  // WAL/compaction waits
+  uint64_t seed = 1;
+};
+
+std::unique_ptr<Application> MakeRocksdb(RocksdbParams p = {});
+
+}  // namespace schedbattle
+
+#endif  // SRC_APPS_ROCKSDB_H_

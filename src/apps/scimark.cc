@@ -1,0 +1,106 @@
+#include "src/apps/scimark.h"
+
+#include <cassert>
+
+#include "src/workload/script.h"
+
+namespace schedbattle {
+
+namespace {
+
+struct ScimarkConfig {
+  SimDuration compute_total;
+  int gc_threads;
+  SimDuration gc_work;   // per GC/JIT burst
+  SimDuration gc_sleep;  // between bursts
+};
+
+// Per-variant JVM background activity. The allocation-heavy variant runs six
+// GC/JIT threads at a ~28% duty cycle: their per-cycle run:sleep ratio keeps
+// the interactivity score ~19 (< ULE's threshold) no matter how long they
+// wait for the CPU, so under ULE the interactive queue is almost never empty
+// and the batch compute thread only runs in the rare gaps — while CFS caps
+// every thread at its 1/7 fair share, leaving compute a steady ~14%. The
+// light variants' threads demand ~3% and both schedulers behave alike.
+ScimarkConfig ConfigFor(int variant) {
+  ScimarkConfig cfg;
+  cfg.compute_total = Seconds(18) + Seconds(variant);
+  if (variant == 2) {
+    cfg.gc_threads = 6;
+    cfg.gc_work = Milliseconds(28);
+    cfg.gc_sleep = Milliseconds(74);
+  } else {
+    cfg.gc_threads = 2;
+    cfg.gc_work = Milliseconds(1);
+    cfg.gc_sleep = Milliseconds(25 + 5 * variant);
+  }
+  return cfg;
+}
+
+class ScimarkApp : public Application {
+ public:
+  ScimarkApp(int variant, uint64_t seed)
+      : Application("scimark2-(" + std::to_string(variant) + ")"),
+        cfg_(ConfigFor(variant)),
+        seed_(seed) {}
+
+  // GC threads run as long as the JVM lives; the benchmark is the compute
+  // thread's completion.
+  bool finished() const override { return launched() && compute_done_; }
+
+  void NoteThreadExited(SimThread* thread, SimTime now) override {
+    if (thread == compute_thread_) {
+      compute_done_ = true;
+    }
+    Application::NoteThreadExited(thread, now);
+  }
+
+  void Launch(Machine& machine) override {
+    const int chunks = static_cast<int>(cfg_.compute_total / Milliseconds(10));
+    auto compute_script =
+        ScriptBuilder().Loop(chunks).Compute(Milliseconds(10)).EndLoop().Build();
+    ThreadSpec compute;
+    compute.name = name() + "/main";
+    compute.body = MakeScriptBody(compute_script, Rng(seed_));
+    compute.parent_sleep_hint = Seconds(4);
+    compute_thread_ = SpawnThread(machine, std::move(compute), nullptr);
+
+    auto gc_script = ScriptBuilder()
+                         .Loop(-1)
+                         .SleepFn([s = cfg_.gc_sleep](ScriptEnv& env) {
+                           return std::max<SimDuration>(
+                               Microseconds(100), static_cast<SimDuration>(env.rng.NextExponential(
+                                                      static_cast<double>(s))));
+                         })
+                         .ComputeFn([w = cfg_.gc_work](ScriptEnv& env) {
+                           return std::max<SimDuration>(
+                               Microseconds(20), static_cast<SimDuration>(env.rng.NextExponential(
+                                                     static_cast<double>(w))));
+                         })
+                         .EndLoop()
+                         .Build();
+    for (int i = 0; i < cfg_.gc_threads; ++i) {
+      ThreadSpec gc;
+      gc.name = name() + "/jvm-" + std::to_string(i);
+      gc.body = MakeScriptBody(gc_script, Rng(seed_ * 977 + i + 1));
+      gc.parent_sleep_hint = Seconds(4);
+      SpawnThread(machine, std::move(gc), nullptr);
+    }
+    MarkLaunched();
+  }
+
+ private:
+  ScimarkConfig cfg_;
+  uint64_t seed_;
+  SimThread* compute_thread_ = nullptr;
+  bool compute_done_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Application> MakeScimark(int variant, uint64_t seed) {
+  assert(variant >= 1 && variant <= 6);
+  return std::make_unique<ScimarkApp>(variant, seed);
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,28 @@
+// SciMark2 model: a single-threaded Java benchmark (paper Section 5.3).
+//
+// "It launches one compute thread, and the Java runtime executes other Java
+// system threads in the background (for the garbage collector, I/O, etc.).
+// When the application is executed with ULE, the compute thread can be
+// delayed, because Java system threads are considered interactive and get
+// priority over the computation thread."
+//
+// Six variants (the six SciMark kernels); the allocation-heavy variant
+// drives enough GC activity that the JVM background threads' combined demand
+// exceeds their CFS fair share — under ULE they take it all (absolute
+// priority), under CFS they are capped at 1/(n+1).
+#ifndef SRC_APPS_SCIMARK_H_
+#define SRC_APPS_SCIMARK_H_
+
+#include <memory>
+
+#include "src/workload/app.h"
+
+namespace schedbattle {
+
+// variant in [1, 6]. Variant 2 (the allocation-heavy kernel) is the paper's
+// -36% outlier; other variants have light GC activity.
+std::unique_ptr<Application> MakeScimark(int variant, uint64_t seed);
+
+}  // namespace schedbattle
+
+#endif  // SRC_APPS_SCIMARK_H_

@@ -1,0 +1,194 @@
+#include "src/cfs/cfs_rq.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/cfs/group.h"
+#include "src/cfs/timeline.h"
+
+namespace schedbattle {
+
+SimDuration CfsSchedPeriod(const CfsTunables& tun, int nr_running) {
+  if (nr_running > tun.nr_latency) {
+    return nr_running * tun.min_granularity;
+  }
+  return tun.sched_latency;
+}
+
+SimDuration CfsSchedSlice(const CfsTunables& tun, const CfsRq* rq, const SchedEntity* se) {
+  // Weighted share of the period at this rq level; ancestors are accounted by
+  // the caller checking each level (kernel folds the hierarchy in similarly).
+  const int nr = rq->nr_running + (se->on_rq ? 0 : 1);
+  const SimDuration period = CfsSchedPeriod(tun, nr);
+  uint64_t total_weight = rq->load_weight;
+  if (!se->on_rq) {
+    total_weight += se->weight;
+  }
+  if (total_weight == 0) {
+    return period;
+  }
+  return static_cast<SimDuration>(static_cast<unsigned __int128>(period) * se->weight /
+                                  total_weight);
+}
+
+void CfsUpdateMinVruntime(CfsRq* rq) {
+  int64_t vruntime;
+  const SchedEntity* left = TimelineFirst(rq);
+  if (rq->curr != nullptr && rq->curr->on_rq) {
+    vruntime = rq->curr->vruntime;
+    if (left != nullptr) {
+      vruntime = std::min(vruntime, left->vruntime);
+    }
+  } else if (left != nullptr) {
+    vruntime = left->vruntime;
+  } else {
+    return;
+  }
+  // Monotonic ratchet.
+  rq->min_vruntime = std::max(rq->min_vruntime, vruntime);
+}
+
+void CfsUpdateCurr(CfsRq* rq, SimTime now) {
+  SchedEntity* curr = rq->curr;
+  if (curr == nullptr) {
+    return;
+  }
+  const SimDuration delta = now - curr->exec_start;
+  if (delta <= 0) {
+    return;
+  }
+  curr->exec_start = now;
+  curr->sum_exec_runtime += delta;
+  curr->vruntime += static_cast<int64_t>(CalcDeltaFair(delta, curr->weight));
+  CfsUpdateMinVruntime(rq);
+}
+
+void CfsPlaceEntity(const CfsTunables& tun, CfsRq* rq, SchedEntity* se, bool initial) {
+  int64_t vruntime = rq->min_vruntime;
+  if (initial) {
+    if (tun.start_debit) {
+      // New threads start one slice "in debt" so they cannot immediately
+      // starve the queue (paper: "starts with a vruntime equal to the
+      // maximum vruntime of the threads waiting in the runqueue").
+      const SimDuration slice = CfsSchedSlice(tun, rq, se);
+      vruntime += static_cast<int64_t>(CalcDeltaFair(slice, se->weight));
+    }
+    se->vruntime = std::max(se->vruntime, vruntime);
+    return;
+  }
+  // Waking entity: give sleeper credit so threads that sleep a lot run first
+  // (paper: low latency for interactive applications).
+  SimDuration thresh = tun.sleeper_credit ? tun.sched_latency : 0;
+  if (tun.gentle_fair_sleepers) {
+    thresh >>= 1;
+  }
+  vruntime -= thresh;
+  se->vruntime = std::max(se->vruntime, vruntime);
+}
+
+void CfsAccountEnqueue(CfsRq* rq, SchedEntity* se) {
+  rq->load_weight += se->weight;
+  rq->nr_running += 1;
+  if (rq->tg != nullptr && !rq->tg->is_root()) {
+    rq->tg->load_sum += se->weight;
+  }
+}
+
+void CfsAccountDequeue(CfsRq* rq, SchedEntity* se) {
+  assert(rq->load_weight >= se->weight);
+  rq->load_weight -= se->weight;
+  rq->nr_running -= 1;
+  assert(rq->nr_running >= 0);
+  if (rq->tg != nullptr && !rq->tg->is_root()) {
+    rq->tg->load_sum -= std::min(rq->tg->load_sum, static_cast<uint64_t>(se->weight));
+  }
+}
+
+void CfsEnqueueEntity(const CfsTunables& tun, CfsRq* rq, SchedEntity* se, bool wakeup,
+                      SimTime now) {
+  assert(!se->on_rq);
+  CfsUpdateCurr(rq, now);
+  if (wakeup) {
+    CfsPlaceEntity(tun, rq, se, /*initial=*/false);
+  }
+  CfsAccountEnqueue(rq, se);
+  se->cfs_rq = rq;
+  se->on_rq = true;
+  if (se != rq->curr) {
+    TimelineEnqueue(rq, se);
+  }
+}
+
+void CfsDequeueEntity(const CfsTunables& tun, CfsRq* rq, SchedEntity* se, bool sleep,
+                      bool migrating, SimTime now) {
+  (void)tun;
+  assert(se->on_rq);
+  CfsUpdateCurr(rq, now);
+  if (se != rq->curr && rq->timeline.Contains(&se->rb)) {
+    TimelineDequeue(rq, se);
+  }
+  CfsAccountDequeue(rq, se);
+  se->on_rq = false;
+  if (se == rq->curr) {
+    rq->curr = nullptr;
+  }
+  if (!sleep && migrating) {
+    // Renormalize: vruntime becomes rq-relative so the destination rq can
+    // add its own min_vruntime (kernel: migrate_task_rq_fair).
+    se->vruntime -= rq->min_vruntime;
+  }
+  CfsUpdateMinVruntime(rq);
+}
+
+void CfsSetNextEntity(CfsRq* rq, SchedEntity* se, SimTime now) {
+  if (se->on_rq && rq->timeline.Contains(&se->rb)) {
+    TimelineDequeue(rq, se);
+  }
+  se->exec_start = now;
+  se->prev_sum_exec_runtime = se->sum_exec_runtime;
+  rq->curr = se;
+}
+
+void CfsPutPrevEntity(CfsRq* rq, SchedEntity* se, SimTime now) {
+  assert(rq->curr == se);
+  CfsUpdateCurr(rq, now);
+  if (se->on_rq) {
+    TimelineEnqueue(rq, se);
+  }
+  rq->curr = nullptr;
+}
+
+bool CfsCheckPreemptTick(const CfsTunables& tun, CfsRq* rq, SimTime now) {
+  SchedEntity* curr = rq->curr;
+  if (curr == nullptr) {
+    return false;
+  }
+  CfsUpdateCurr(rq, now);
+  const SimDuration ideal = CfsSchedSlice(tun, rq, curr);
+  const SimDuration delta_exec =
+      static_cast<SimDuration>(curr->sum_exec_runtime - curr->prev_sum_exec_runtime);
+  if (delta_exec > ideal) {
+    return true;
+  }
+  if (delta_exec < tun.min_granularity) {
+    return false;
+  }
+  const SchedEntity* left = TimelineFirst(rq);
+  if (left == nullptr) {
+    return false;
+  }
+  return curr->vruntime - left->vruntime > ideal;
+}
+
+bool CfsWakeupPreemptEntity(const CfsTunables& tun, const SchedEntity* curr,
+                            const SchedEntity* se) {
+  const int64_t vdiff = curr->vruntime - se->vruntime;
+  if (vdiff <= 0) {
+    return false;
+  }
+  const int64_t gran =
+      static_cast<int64_t>(CalcDeltaFair(tun.wakeup_granularity, se->weight));
+  return vdiff > gran;
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,103 @@
+// Per-runqueue CFS mechanics: vruntime accounting, entity enqueue/dequeue,
+// sleeper placement, slice computation and tick preemption.
+//
+// These functions operate on a single CfsRq level; the scheduler walks the
+// group hierarchy and calls them per level (kernel: fair.c entity layer).
+#ifndef SRC_CFS_CFS_RQ_H_
+#define SRC_CFS_CFS_RQ_H_
+
+#include "src/cfs/entity.h"
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+struct CfsTunables {
+  // Scheduling period for up to nr_latency runnable threads (paper: 48ms).
+  SimDuration sched_latency = Milliseconds(48);
+  // Minimum per-thread slice; period grows to nr * this beyond nr_latency
+  // (paper: 6ms, "chosen to avoid preempting threads too frequently").
+  SimDuration min_granularity = Milliseconds(6);
+  // Wakeup preemption granularity (paper: 1ms vruntime difference).
+  SimDuration wakeup_granularity = Milliseconds(1);
+  int nr_latency = 8;
+
+  bool gentle_fair_sleepers = true;  // sleeper credit capped at latency/2
+  // Sleeper credit at all: when off, woken threads are placed at
+  // min_vruntime exactly (no bonus). Ablation knob.
+  bool sleeper_credit = true;
+  bool start_debit = true;           // new entities start one vslice ahead
+
+  // Group scheduling (one cgroup per application, autogroup-style). The
+  // ablation_cgroups bench disables this to show per-thread fairness.
+  bool group_scheduling = true;
+
+  // ---- load balancing ----
+  SimDuration balance_interval = Milliseconds(4);  // paper: every 4ms
+  // A busy core balances its domains far less often than an idle one
+  // (kernel: busy_factor = 32); idle cores are balanced at the base rate via
+  // newidle balancing and NOHZ kicks.
+  int busy_factor = 32;
+  SimDuration max_balance_interval = Milliseconds(128);
+  SimDuration migration_cost = Microseconds(500);  // cache-hot threshold
+  int max_migrate = 32;                            // paper: up to 32 threads per pull
+  double imbalance_pct_smt = 1.10;
+  double imbalance_pct_llc = 1.17;
+  double imbalance_pct_numa = 1.25;  // paper: 25% between NUMA nodes
+  int max_balance_failed = 4;        // ignore cache hotness after this many failures
+
+  // ---- simulated overhead model ----
+  SimDuration wake_scan_cost_per_core = Nanoseconds(80);
+  SimDuration balance_cost_per_core = Nanoseconds(150);
+
+  SimDuration tick = Milliseconds(1);  // HZ=1000
+};
+
+// The scheduling period: nr <= nr_latency ? sched_latency : nr * min_gran.
+SimDuration CfsSchedPeriod(const CfsTunables& tun, int nr_running);
+
+// This entity's slice of the period, weighted by its (hierarchical) weight.
+SimDuration CfsSchedSlice(const CfsTunables& tun, const CfsRq* rq, const SchedEntity* se);
+
+// Advances rq->curr's vruntime/exec stats to `now` and ratchets min_vruntime.
+void CfsUpdateCurr(CfsRq* rq, SimTime now);
+
+void CfsUpdateMinVruntime(CfsRq* rq);
+
+// Places a new (initial=true) or waking (initial=false) entity relative to
+// min_vruntime (paper: new threads start at the max/queued vruntime, woken
+// threads at least at the min; the kernel's actual rules are START_DEBIT and
+// GENTLE_FAIR_SLEEPERS, implemented here).
+void CfsPlaceEntity(const CfsTunables& tun, CfsRq* rq, SchedEntity* se, bool initial);
+
+// Adds/removes the entity's weight and counts (does not touch the tree).
+void CfsAccountEnqueue(CfsRq* rq, SchedEntity* se);
+void CfsAccountDequeue(CfsRq* rq, SchedEntity* se);
+
+// Full entity enqueue: update curr, place if waking, account, insert in tree.
+void CfsEnqueueEntity(const CfsTunables& tun, CfsRq* rq, SchedEntity* se, bool wakeup,
+                      SimTime now);
+
+// Full entity dequeue. `sleep` distinguishes a blocking dequeue from a
+// migration dequeue; migration renormalizes vruntime to be rq-relative.
+void CfsDequeueEntity(const CfsTunables& tun, CfsRq* rq, SchedEntity* se, bool sleep,
+                      bool migrating, SimTime now);
+
+// Marks `se` as the running entity: removes it from the tree, snapshots its
+// runtime for slice accounting.
+void CfsSetNextEntity(CfsRq* rq, SchedEntity* se, SimTime now);
+
+// The running entity stops: re-inserts it in the tree if still on_rq.
+void CfsPutPrevEntity(CfsRq* rq, SchedEntity* se, SimTime now);
+
+// Tick preemption check for rq->curr: true if it should be preempted
+// (exhausted its slice, or a leftmost entity is too far behind).
+bool CfsCheckPreemptTick(const CfsTunables& tun, CfsRq* rq, SimTime now);
+
+// Wakeup preemption test between two entities on the same rq: should `se`
+// preempt `curr`? (vruntime difference above the weighted wakeup granularity.)
+bool CfsWakeupPreemptEntity(const CfsTunables& tun, const SchedEntity* curr,
+                            const SchedEntity* se);
+
+}  // namespace schedbattle
+
+#endif  // SRC_CFS_CFS_RQ_H_

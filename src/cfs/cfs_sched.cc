@@ -1,0 +1,350 @@
+#include "src/cfs/cfs_sched.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/cfs/timeline.h"
+
+namespace schedbattle {
+
+CfsScheduler::CfsScheduler(CfsTunables tunables) : tun_(tunables) {}
+CfsScheduler::~CfsScheduler() = default;
+
+void CfsScheduler::Attach(Machine* machine) {
+  machine_ = machine;
+  const int n = machine->num_cores();
+  root_ = MakeTaskGroup(kRootGroup, n, nullptr, kNice0Load);
+  cores_.resize(n);
+}
+
+void CfsScheduler::Start() {
+  // Stagger the periodic balancer across cores, as the kernel's softirq
+  // timing effectively does.
+  for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+    ArmBalance(c, tun_.balance_interval + (tun_.balance_interval * c) / machine_->num_cores());
+  }
+}
+
+void CfsScheduler::DeclareGroup(GroupId id, GroupId parent) {
+  group_parent_[id] = parent;
+}
+
+TaskGroup* CfsScheduler::GroupFor(GroupId id) {
+  if (id == kRootGroup || !tun_.group_scheduling) {
+    return root_.get();
+  }
+  auto it = groups_.find(id);
+  if (it == groups_.end()) {
+    auto pit = group_parent_.find(id);
+    TaskGroup* parent =
+        pit == group_parent_.end() ? root_.get() : GroupFor(pit->second);
+    it = groups_
+             .emplace(id, MakeTaskGroup(id, machine_->num_cores(), parent, kNice0Load))
+             .first;
+  }
+  return it->second.get();
+}
+
+void CfsScheduler::TaskNew(SimThread* thread, SimThread* /*parent*/) {
+  auto data = std::make_unique<CfsTaskData>();
+  SchedEntity& se = data->se;
+  se.thread = thread;
+  se.weight = CfsWeightOf(thread->nice());
+  se.seq = next_seq_++;
+  // New tasks start with a full load contribution so placement immediately
+  // accounts for them (kernel: init_entity_runnable_average).
+  se.avg.last_update_time = machine_->now();
+  se.avg.load_sum = kLoadAvgMax;
+  se.avg.load_avg = se.weight;
+  se.avg.util_sum = static_cast<uint64_t>(kLoadAvgMax) << 10;
+  se.avg.util_avg = 1024;
+  thread->set_sched_data(std::move(data));
+}
+
+void CfsScheduler::ReniceTask(SimThread* thread) {
+  SchedEntity* se = SeOf(thread);
+  const uint64_t new_weight = CfsWeightOf(thread->nice());
+  if (new_weight == se->weight) {
+    return;
+  }
+  // kernel: reweight_entity — adjust the queued weight accounting in place.
+  CfsRq* rq = se->cfs_rq;
+  if (se->on_rq && rq != nullptr) {
+    CfsUpdateCurr(rq, machine_->now());
+    rq->load_weight -= se->weight;
+    rq->load_weight += new_weight;
+    if (rq->tg != nullptr && !rq->tg->is_root()) {
+      rq->tg->load_sum -= std::min(rq->tg->load_sum, se->weight);
+      rq->tg->load_sum += new_weight;
+    }
+  }
+  se->weight = new_weight;
+  UpdateGroupWeight(se->parent);
+}
+
+void CfsScheduler::TaskExit(SimThread* thread) {
+  // The exiting thread was running, so (kernel convention) it is still
+  // on_rq: run the full hierarchical dequeue.
+  DequeueTaskInternal(thread->cpu(), thread, /*sleep=*/true, /*migrating=*/false,
+                      /*from_running=*/true);
+}
+
+void CfsScheduler::UpdateTaskLoad(SimThread* t, bool running) const {
+  SchedEntity* se = SeOf(t);
+  const bool runnable = t->state() == ThreadState::kRunnable || running;
+  se->avg.Update(machine_->now(), se->weight, runnable, running);
+}
+
+void CfsScheduler::UpdateGroupWeight(SchedEntity* gse) {
+  if (gse == nullptr || gse->my_q == nullptr) {
+    return;
+  }
+  const uint64_t new_weight = CalcGroupWeight(gse->my_q->tg, gse->my_q->cpu);
+  if (new_weight == gse->weight) {
+    return;
+  }
+  CfsRq* prq = gse->cfs_rq;
+  if (gse->on_rq) {
+    prq->load_weight -= gse->weight;
+    prq->load_weight += new_weight;
+    if (prq->tg != nullptr && !prq->tg->is_root()) {
+      prq->tg->load_sum -= std::min(prq->tg->load_sum, gse->weight);
+      prq->tg->load_sum += new_weight;
+    }
+  }
+  gse->weight = new_weight;
+}
+
+void CfsScheduler::EnqueueTaskInternal(CoreId core, SimThread* t, EnqueueKind kind) {
+  const SimTime now = machine_->now();
+  TaskGroup* tg = GroupFor(t->group());
+  SchedEntity* se = SeOf(t);
+
+  // Wire the task's entity onto this CPU's hierarchy.
+  CfsRq* target = tg->rqs[core].get();
+  se->parent = tg->is_root() ? nullptr : tg->ses[core].get();
+  se->depth = (se->parent == nullptr) ? 0 : se->parent->depth + 1;
+
+  // vruntime renormalization across runqueues.
+  switch (kind) {
+    case EnqueueKind::kFork:
+      se->vruntime = target->min_vruntime;
+      CfsPlaceEntity(tun_, target, se, /*initial=*/true);
+      break;
+    case EnqueueKind::kWakeup:
+      if (se->cfs_rq != nullptr && se->cfs_rq != target) {
+        se->vruntime -= se->cfs_rq->min_vruntime;
+        se->vruntime += target->min_vruntime;
+      }
+      break;
+    case EnqueueKind::kMigrate:
+    case EnqueueKind::kRequeue:
+      // kMigrate arrives rq-relative (dequeue normalized it).
+      if (kind == EnqueueKind::kMigrate) {
+        se->vruntime += target->min_vruntime;
+      }
+      break;
+  }
+  UpdateTaskLoad(t, /*running=*/false);
+
+  bool enq_wakeup = kind == EnqueueKind::kWakeup;
+  for (SchedEntity* it = se; it != nullptr; it = it->parent) {
+    if (it->on_rq) {
+      break;
+    }
+    CfsRq* rq = (it == se) ? target : it->cfs_rq;
+    CfsEnqueueEntity(tun_, rq, it, enq_wakeup, now);
+    UpdateGroupWeight(it->parent);
+    enq_wakeup = true;  // parents get sleeper placement as in the kernel
+  }
+  // Hierarchical task count along the whole chain.
+  for (CfsRq* rq = target; rq != nullptr;
+       rq = rq->tg->is_root() ? nullptr : rq->tg->parent->rqs[core].get()) {
+    rq->h_nr_running += 1;
+  }
+  cores_[core].attached.push_back(t);
+}
+
+void CfsScheduler::DequeueTaskInternal(CoreId core, SimThread* t, bool sleep, bool migrating,
+                                       bool from_running) {
+  const SimTime now = machine_->now();
+  SchedEntity* se = SeOf(t);
+  CfsRq* target = se->cfs_rq;
+  assert(target != nullptr && target->cpu == core);
+  UpdateTaskLoad(t, /*running=*/from_running);
+
+  // Phase 1: dequeue the task entity, then cascade upward, dequeueing each
+  // group entity whose queue became empty.
+  SchedEntity* it = se;
+  bool task_level = true;
+  while (it != nullptr) {
+    CfsDequeueEntity(tun_, it->cfs_rq, it, sleep && task_level, migrating && task_level, now);
+    UpdateGroupWeight(it->parent);
+    SchedEntity* parent = it->parent;
+    task_level = false;
+    if (parent == nullptr) {
+      it = nullptr;
+      break;
+    }
+    if (parent->my_q->nr_running > 0) {
+      it = parent;  // parent stays queued; stop the cascade here
+      break;
+    }
+    it = parent;
+  }
+  // Phase 2 (only when the departing task was the one running): the
+  // remaining queued ancestors formed its curr chain and must be put back
+  // into their trees, since the machine will pick a fresh chain next.
+  if (from_running) {
+    for (; it != nullptr; it = it->parent) {
+      if (it->cfs_rq->curr == it) {
+        CfsPutPrevEntity(it->cfs_rq, it, now);
+      }
+    }
+  }
+  for (CfsRq* rq = target; rq != nullptr;
+       rq = rq->tg->is_root() ? nullptr : rq->tg->parent->rqs[core].get()) {
+    rq->h_nr_running -= 1;
+    assert(rq->h_nr_running >= 0);
+  }
+  auto& attached = cores_[core].attached;
+  attached.erase(std::remove(attached.begin(), attached.end(), t), attached.end());
+}
+
+void CfsScheduler::EnqueueTask(CoreId core, SimThread* thread, EnqueueKind kind) {
+  EnqueueTaskInternal(core, thread, kind);
+}
+
+void CfsScheduler::DequeueTask(CoreId core, SimThread* thread) {
+  DequeueTaskInternal(core, thread, /*sleep=*/false, /*migrating=*/true, /*from_running=*/false);
+}
+
+SimThread* CfsScheduler::PickNextTask(CoreId core) {
+  const SimTime now = machine_->now();
+  CfsRq* rq = RootRq(core);
+  if (rq->nr_running == 0) {
+    return nullptr;
+  }
+  SchedEntity* se = nullptr;
+  while (true) {
+    se = TimelineFirst(rq);
+    if (se == nullptr) {
+      return nullptr;  // accounting breakage guard; should not happen
+    }
+    CfsSetNextEntity(rq, se, now);
+    if (se->my_q != nullptr) {
+      assert(se->my_q->nr_running > 0);
+      rq = se->my_q;
+      continue;
+    }
+    break;
+  }
+  return se->thread;
+}
+
+void CfsScheduler::PutPrevTask(CoreId core, SimThread* thread) {
+  (void)core;
+  const SimTime now = machine_->now();
+  UpdateTaskLoad(thread, /*running=*/true);
+  for (SchedEntity* se = SeOf(thread); se != nullptr; se = se->parent) {
+    CfsPutPrevEntity(se->cfs_rq, se, now);
+  }
+}
+
+void CfsScheduler::OnTaskBlock(CoreId core, SimThread* thread, bool /*voluntary*/) {
+  DequeueTaskInternal(core, thread, /*sleep=*/true, /*migrating=*/false, /*from_running=*/true);
+}
+
+void CfsScheduler::YieldTask(CoreId core, SimThread* thread) {
+  // sched_yield under CFS: update accounting and go back in the tree; with
+  // the updated vruntime the thread naturally sorts behind equal peers.
+  PutPrevTask(core, thread);
+}
+
+void CfsScheduler::UpdateCurrChain(CoreId core) {
+  SimThread* curr = machine_->CurrentOn(core);
+  if (curr == nullptr) {
+    return;
+  }
+  const SimTime now = machine_->now();
+  for (SchedEntity* se = SeOf(curr); se != nullptr; se = se->parent) {
+    CfsUpdateCurr(se->cfs_rq, now);
+  }
+}
+
+void CfsScheduler::TaskTick(CoreId core, SimThread* current) {
+  if (current == nullptr) {
+    return;
+  }
+  const SimTime now = machine_->now();
+  UpdateTaskLoad(current, /*running=*/true);
+  bool resched = false;
+  for (SchedEntity* se = SeOf(current); se != nullptr; se = se->parent) {
+    // Keep group-entity weights in sync with the group's load distribution
+    // (kernel: entity_tick -> update_cfs_group).
+    UpdateGroupWeight(se->parent);
+    if (CfsCheckPreemptTick(tun_, se->cfs_rq, now)) {
+      resched = true;
+    }
+  }
+  if (resched) {
+    ++machine_->counters().tick_preemptions;
+    machine_->SetNeedResched(core);
+  }
+}
+
+void CfsScheduler::CheckPreemptWakeup(CoreId core, SimThread* woken) {
+  SimThread* curr = machine_->CurrentOn(core);
+  if (curr == nullptr || curr == woken) {
+    return;
+  }
+  UpdateCurrChain(core);
+  // Find comparable entities on a common runqueue (kernel: find_matching_se).
+  SchedEntity* se_curr = SeOf(curr);
+  SchedEntity* se_woken = SeOf(woken);
+  while (se_curr->cfs_rq != se_woken->cfs_rq) {
+    if (se_curr->depth >= se_woken->depth) {
+      se_curr = se_curr->parent;
+    } else {
+      se_woken = se_woken->parent;
+    }
+    if (se_curr == nullptr || se_woken == nullptr) {
+      return;
+    }
+  }
+  if (CfsWakeupPreemptEntity(tun_, se_curr, se_woken)) {
+    ++machine_->counters().wakeup_preemptions;
+    machine_->SetNeedResched(core);
+  }
+}
+
+double CfsScheduler::TaskHLoad(const SimThread* thread) const {
+  const SchedEntity* se = &CfsOf(thread).se;
+  double load = static_cast<double>(se->avg.load_avg);
+  // Scale through group levels: fraction of the parent's weight this level
+  // contributes (kernel: task_h_load).
+  for (const SchedEntity* g = se->parent; g != nullptr; g = g->parent) {
+    const uint64_t q_load = g->my_q->load_weight;
+    if (q_load > 0) {
+      load = load * static_cast<double>(g->weight) / static_cast<double>(q_load);
+    }
+  }
+  return load;
+}
+
+double CfsScheduler::CoreLoad(CoreId core) const {
+  double sum = 0.0;
+  for (SimThread* t : cores_[core].attached) {
+    UpdateTaskLoad(t, /*running=*/t == machine_->CurrentOn(core));
+    sum += TaskHLoad(t);
+  }
+  return sum;
+}
+
+double CfsScheduler::LoadOf(CoreId core) const { return CoreLoad(core); }
+
+int CfsScheduler::RunnableCountOf(CoreId core) const {
+  return static_cast<int>(cores_[core].attached.size());
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,124 @@
+// CfsScheduler: the Completely Fair Scheduler (Linux 4.9 semantics, as
+// described in Section 2.1 of the paper).
+//
+//  - Per-core scheduling: weighted fair queueing on vruntime, with a
+//    48ms/6ms*n scheduling period, 1ms wakeup preemption granularity,
+//    sleeper credit, START_DEBIT for new threads, and hierarchical task
+//    groups (one per application by default) for application-level fairness.
+//  - Load: per-entity PELT decaying averages — "a thread that never sleeps
+//    has a higher load than one that sleeps a lot".
+//  - Load balancing: periodic every 4ms per core, hierarchical over the
+//    topology with level-dependent imbalance thresholds (25% between NUMA
+//    nodes), pulling up to 32 threads, plus idle (newidle) balancing, and
+//    wake placement with wake_affine / wake_wide / idle-sibling search.
+#ifndef SRC_CFS_CFS_SCHED_H_
+#define SRC_CFS_CFS_SCHED_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cfs/cfs_rq.h"
+#include "src/cfs/group.h"
+#include "src/sched/machine.h"
+#include "src/sched/sched_class.h"
+
+namespace schedbattle {
+
+class CfsScheduler : public Scheduler {
+ public:
+  explicit CfsScheduler(CfsTunables tunables = {});
+  ~CfsScheduler() override;
+
+  std::string_view name() const override { return "cfs"; }
+  void Attach(Machine* machine) override;
+  void Start() override;
+
+  void DeclareGroup(GroupId id, GroupId parent) override;
+  void TaskNew(SimThread* thread, SimThread* parent) override;
+  void TaskExit(SimThread* thread) override;
+  void ReniceTask(SimThread* thread) override;
+  CoreId SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind kind) override;
+  void EnqueueTask(CoreId core, SimThread* thread, EnqueueKind kind) override;
+  void DequeueTask(CoreId core, SimThread* thread) override;
+  SimThread* PickNextTask(CoreId core) override;
+  void PutPrevTask(CoreId core, SimThread* thread) override;
+  void OnTaskBlock(CoreId core, SimThread* thread, bool voluntary) override;
+  void YieldTask(CoreId core, SimThread* thread) override;
+  void TaskTick(CoreId core, SimThread* current) override;
+  void CheckPreemptWakeup(CoreId core, SimThread* woken) override;
+  void OnCoreIdle(CoreId core) override;
+  SimDuration TickPeriod() const override { return tun_.tick; }
+
+  double LoadOf(CoreId core) const override;
+  int RunnableCountOf(CoreId core) const override;
+
+  const CfsTunables& tunables() const { return tun_; }
+  CfsRq* RootRq(CoreId core) { return root_->rqs[core].get(); }
+
+  // Hierarchy-aware load of one task (kernel: task_h_load), based on its
+  // PELT average scaled by its group's per-CPU weight fraction.
+  double TaskHLoad(const SimThread* thread) const;
+
+  // Sum of TaskHLoad over the tasks attached to the core (the balancing
+  // metric). Public for tests and metrics.
+  double CoreLoad(CoreId core) const;
+
+ private:
+  struct CoreState {
+    std::vector<SimThread*> attached;  // runnable + running tasks on this core
+    int nr_balance_failed = 0;
+    EventHandle balance_event;
+    // Next time each domain level may be balanced by this core (busy_factor).
+    SimTime next_balance[5] = {0, 0, 0, 0, 0};
+  };
+
+  TaskGroup* GroupFor(GroupId id);
+  SchedEntity* SeOf(SimThread* t) const { return &CfsOf(t).se; }
+
+  // Full hierarchical enqueue/dequeue of a task on a core.
+  void EnqueueTaskInternal(CoreId core, SimThread* t, EnqueueKind kind);
+  void DequeueTaskInternal(CoreId core, SimThread* t, bool sleep, bool migrating,
+                           bool from_running);
+
+  // Recomputes a group entity's weight from its group's load split.
+  void UpdateGroupWeight(SchedEntity* gse);
+
+  // Updates vruntime accounting for the whole curr chain on a core.
+  void UpdateCurrChain(CoreId core);
+
+  // Refreshes a task's PELT average to now.
+  void UpdateTaskLoad(SimThread* t, bool running) const;
+
+  // ---- wake placement (wake_placement.cc) ----
+  void RecordWakee(SimThread* waker, SimThread* wakee);
+  bool WakeWide(SimThread* waker, SimThread* wakee, CoreId cpu) const;
+  CoreId SelectIdleSibling(SimThread* t, CoreId target);
+  CoreId FindIdlestCore(SimThread* t, CoreId origin);
+
+  // ---- load balancing (load_balance.cc) ----
+  void PeriodicBalance(CoreId core);
+  void ArmBalance(CoreId core, SimDuration delay);
+  bool ShouldBalanceAtLevel(CoreId core, TopoLevel level) const;
+  double GroupLoadAt(const std::vector<CoreId>& cores) const;
+  // One balance pass pulling toward `dst` at `level`; returns #migrated.
+  int BalanceAtLevel(CoreId dst, TopoLevel level, bool idle_pull);
+  // Pulls tasks; sets *all_hot when candidates existed but were all
+  // cache-hot (kernel: LBF_ALL_PINNED/hot accounting feeding
+  // nr_balance_failed).
+  int PullTasks(CoreId src, CoreId dst, double target_load, int max_tasks, bool* all_hot);
+  bool CanMigrate(SimThread* t, CoreId src, CoreId dst) const;
+  double ImbalancePct(TopoLevel level) const;
+
+  Machine* machine_ = nullptr;
+  CfsTunables tun_;
+  std::unique_ptr<TaskGroup> root_;
+  std::unordered_map<GroupId, std::unique_ptr<TaskGroup>> groups_;
+  std::unordered_map<GroupId, GroupId> group_parent_;
+  std::vector<CoreState> cores_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_CFS_CFS_SCHED_H_

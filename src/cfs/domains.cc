@@ -1,0 +1,63 @@
+// Scheduling-domain helpers: per-level imbalance thresholds and the
+// designated-balancer rule.
+//
+// Paper, Section 2.1: "This load balancing takes into account the topology
+// of the machine: cores try to steal work more frequently from cores that
+// are 'close' to them than from cores that are 'remote'. ... If the load
+// difference between the nodes is small (less than 25% in practice), then no
+// load balancing is performed. The greater the distance between two cores,
+// the higher the imbalance has to be."
+#include "src/cfs/cfs_sched.h"
+
+namespace schedbattle {
+
+double CfsScheduler::ImbalancePct(TopoLevel level) const {
+  switch (level) {
+    case TopoLevel::kSmt:
+      return tun_.imbalance_pct_smt;
+    case TopoLevel::kLlc:
+      return tun_.imbalance_pct_llc;
+    default:
+      return tun_.imbalance_pct_numa;
+  }
+}
+
+bool CfsScheduler::ShouldBalanceAtLevel(CoreId core, TopoLevel level) const {
+  // kernel: should_we_balance(). At each domain level, the balancing core
+  // must be the first idle core of its *local group* (the child group it
+  // pulls toward), or failing that the local group's first core. At the
+  // lowest level the local group is the core itself, so every core balances
+  // within its own LLC.
+  TopoLevel child;
+  switch (level) {
+    case TopoLevel::kMachine:
+      child = TopoLevel::kNode;
+      break;
+    case TopoLevel::kNode:
+      child = TopoLevel::kLlc;
+      break;
+    case TopoLevel::kLlc:
+      child = TopoLevel::kSmt;
+      break;
+    default:
+      child = TopoLevel::kCore;
+      break;
+  }
+  const auto& group = machine_->topology().GroupOf(core, child);
+  for (CoreId c : group) {
+    if (machine_->core(c).idle()) {
+      return c == core;
+    }
+  }
+  return group.front() == core;
+}
+
+double CfsScheduler::GroupLoadAt(const std::vector<CoreId>& cores) const {
+  double sum = 0.0;
+  for (CoreId c : cores) {
+    sum += CoreLoad(c);
+  }
+  return sum;
+}
+
+}  // namespace schedbattle

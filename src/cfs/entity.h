@@ -1,0 +1,85 @@
+// CFS scheduling entities and runqueues.
+//
+// A SchedEntity is either a task (thread == non-null) or a group entity
+// representing a task group's presence on one CPU (my_q == the group's
+// per-CPU runqueue). Group entities give CFS its fairness *between
+// applications* (paper Section 2.1: cgroups); the experiment harness assigns
+// one group per application, mirroring systemd/autogroup.
+#ifndef SRC_CFS_ENTITY_H_
+#define SRC_CFS_ENTITY_H_
+
+#include <cstdint>
+
+#include "src/cfs/pelt.h"
+#include "src/cfs/rbtree.h"
+#include "src/cfs/weights.h"
+#include "src/sched/thread.h"
+#include "src/sched/types.h"
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+struct CfsRq;
+struct TaskGroup;
+
+struct SchedEntity {
+  // Timeline ordering. vruntime is signed so that relative placement
+  // arithmetic (migration renormalization, sleeper credit) cannot underflow.
+  int64_t vruntime = 0;
+  uint64_t seq = 0;  // tie-break for deterministic timeline order
+  RbNode rb;
+
+  uint64_t weight = kNice0Load;
+  PeltAvg avg;
+
+  SimTime exec_start = 0;
+  uint64_t sum_exec_runtime = 0;
+  uint64_t prev_sum_exec_runtime = 0;  // snapshot at set_next (slice accounting)
+  bool on_rq = false;
+  int depth = 0;
+
+  SimThread* thread = nullptr;  // null for group entities
+  CfsRq* cfs_rq = nullptr;      // the runqueue this entity is (or was) queued on
+  CfsRq* my_q = nullptr;        // group entity: the runqueue it represents
+  SchedEntity* parent = nullptr;
+
+  bool is_task() const { return thread != nullptr; }
+};
+
+struct CfsRq {
+  CoreId cpu = 0;
+  TaskGroup* tg = nullptr;  // owning group (root group for the root runqueue)
+
+  // Timeline of *queued* entities, excluding curr (kernel convention: the
+  // running entity is removed from the tree by set_next_entity).
+  RbTree timeline;
+  int64_t min_vruntime = 0;
+
+  uint64_t load_weight = 0;  // sum of weights of on_rq entities (incl. curr)
+  int nr_running = 0;        // on_rq entities (incl. curr)
+  int h_nr_running = 0;      // hierarchical count of on_rq *tasks*
+  SchedEntity* curr = nullptr;
+
+  CfsRq();
+};
+
+// Per-thread CFS state (the task's sched_entity plus wakeup-pattern stats
+// used by the wake_wide heuristic).
+struct CfsTaskData : ThreadSchedData {
+  SchedEntity se;
+  // wake_wide bookkeeping (kernel: record_wakee).
+  ThreadId last_wakee = kInvalidThread;
+  uint64_t wakee_flips = 0;
+  SimTime wakee_flip_decay_ts = 0;
+};
+
+inline CfsTaskData& CfsOf(SimThread* t) { return t->sched<CfsTaskData>(); }
+inline const CfsTaskData& CfsOf(const SimThread* t) {
+  return *static_cast<const CfsTaskData*>(t->sched_data());
+}
+
+inline SchedEntity* EntityOwner(RbNode* node) { return static_cast<SchedEntity*>(node->owner); }
+
+}  // namespace schedbattle
+
+#endif  // SRC_CFS_ENTITY_H_

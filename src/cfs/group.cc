@@ -1,0 +1,48 @@
+#include "src/cfs/group.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace schedbattle {
+
+std::unique_ptr<TaskGroup> MakeTaskGroup(GroupId id, int num_cpus, TaskGroup* parent,
+                                         uint64_t shares) {
+  auto tg = std::make_unique<TaskGroup>();
+  tg->id = id;
+  tg->shares = shares;
+  tg->parent = parent;
+  tg->rqs.reserve(num_cpus);
+  for (CoreId c = 0; c < num_cpus; ++c) {
+    auto rq = std::make_unique<CfsRq>();
+    rq->cpu = c;
+    rq->tg = tg.get();
+    tg->rqs.push_back(std::move(rq));
+  }
+  if (parent != nullptr) {
+    tg->ses.reserve(num_cpus);
+    for (CoreId c = 0; c < num_cpus; ++c) {
+      auto se = std::make_unique<SchedEntity>();
+      se->my_q = tg->rqs[c].get();
+      se->cfs_rq = parent->rqs[c].get();
+      se->weight = shares;
+      se->depth = (parent->ses.empty() ? 0 : parent->ses[c]->depth) + 1;
+      se->parent = parent->ses.empty() ? nullptr : parent->ses[c].get();
+      tg->ses.push_back(std::move(se));
+    }
+  }
+  return tg;
+}
+
+uint64_t CalcGroupWeight(const TaskGroup* tg, CoreId cpu) {
+  assert(!tg->is_root());
+  const uint64_t local = tg->rqs[cpu]->load_weight;
+  const uint64_t total = std::max<uint64_t>(tg->load_sum, local);
+  if (total == 0) {
+    return tg->shares;  // empty group: full shares (matters only pre-enqueue)
+  }
+  const uint64_t w =
+      static_cast<uint64_t>(static_cast<unsigned __int128>(tg->shares) * local / total);
+  return std::clamp<uint64_t>(w, 2, tg->shares);
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,49 @@
+// Task groups (cgroups) for CFS group scheduling.
+//
+// Since Linux 2.6.38 CFS is fair between *groups* of threads, not individual
+// threads (paper Section 2.1). A TaskGroup owns one runqueue and one group
+// entity per CPU; the group entity is enqueued on its parent's runqueue and
+// its weight is the group's shares scaled by how much of the group's load
+// lives on that CPU.
+#ifndef SRC_CFS_GROUP_H_
+#define SRC_CFS_GROUP_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cfs/entity.h"
+#include "src/sched/types.h"
+
+namespace schedbattle {
+
+struct TaskGroup {
+  GroupId id = kRootGroup;
+  uint64_t shares = kNice0Load;  // weight of the whole group at nice-0 scale
+  TaskGroup* parent = nullptr;
+
+  // Per-CPU runqueues; rqs[c]->tg == this.
+  std::vector<std::unique_ptr<CfsRq>> rqs;
+  // Per-CPU group entities (empty for the root group).
+  std::vector<std::unique_ptr<SchedEntity>> ses;
+
+  // Sum of rqs[c]->load_weight across CPUs, maintained incrementally; the
+  // denominator of the per-CPU shares split (kernel: tg->load_avg, here
+  // weight-based for simplicity and determinism).
+  uint64_t load_sum = 0;
+
+  bool is_root() const { return parent == nullptr; }
+};
+
+// Creates a group with per-CPU runqueues (and group entities if non-root),
+// wired into `parent`'s runqueues.
+std::unique_ptr<TaskGroup> MakeTaskGroup(GroupId id, int num_cpus, TaskGroup* parent,
+                                         uint64_t shares);
+
+// Recomputes the weight of `tg`'s entity on cpu from the group's local load
+// fraction: shares * local_load / total_load, clamped to [2, shares].
+// (kernel: calc_group_shares). Returns the new weight.
+uint64_t CalcGroupWeight(const TaskGroup* tg, CoreId cpu);
+
+}  // namespace schedbattle
+
+#endif  // SRC_CFS_GROUP_H_

@@ -1,0 +1,236 @@
+// CFS load balancing (kernel: load_balance / rebalance_domains).
+//
+// Paper, Section 2.1: "Load balancing also happens periodically. Every 4ms
+// every core tries to steal work from other cores. ... it tries to even out
+// the load between the two cores by stealing as many as 32 threads. Cores
+// also immediately call the periodic load balancer when they become idle.
+// On large NUMA machines, CFS ... balances the load in a hierarchical way."
+#include <algorithm>
+#include <cassert>
+
+#include "src/cfs/cfs_sched.h"
+
+namespace schedbattle {
+
+namespace {
+
+// The child level whose groups are compared when balancing at `level`.
+TopoLevel ChildLevelOf(TopoLevel level) {
+  switch (level) {
+    case TopoLevel::kMachine:
+      return TopoLevel::kNode;
+    case TopoLevel::kNode:
+      return TopoLevel::kLlc;
+    case TopoLevel::kLlc:
+      return TopoLevel::kSmt;
+    default:
+      return TopoLevel::kCore;
+  }
+}
+
+}  // namespace
+
+void CfsScheduler::ArmBalance(CoreId core, SimDuration delay) {
+  cores_[core].balance_event =
+      machine_->engine().After(delay, [this, core] { PeriodicBalance(core); });
+}
+
+void CfsScheduler::PeriodicBalance(CoreId core) {
+  ++machine_->counters().balance_invocations;
+  // NOHZ: a tickless idle core does not run its own periodic balance; it is
+  // balanced on demand when an overloaded core kicks it (nohz_balancer_kick).
+  if (!machine_->core(core).idle()) {
+    const SimTime now = machine_->now();
+    for (TopoLevel level : {TopoLevel::kLlc, TopoLevel::kNode, TopoLevel::kMachine}) {
+      const auto& enclosing = machine_->topology().GroupOf(core, level);
+      const auto& child = machine_->topology().GroupOf(core, ChildLevelOf(level));
+      if (enclosing.size() == child.size()) {
+        continue;  // degenerate level (e.g. one LLC per node)
+      }
+      // Busy cores balance each domain level only every
+      // interval * busy_factor (wider domains less often).
+      const int li = static_cast<int>(level);
+      if (now < cores_[core].next_balance[li]) {
+        continue;
+      }
+      const SimDuration level_scale = 1 + (li - static_cast<int>(TopoLevel::kLlc));
+      const SimDuration interval = std::min(
+          tun_.balance_interval * level_scale * tun_.busy_factor, tun_.max_balance_interval);
+      cores_[core].next_balance[li] = now + interval;
+      if (!ShouldBalanceAtLevel(core, level)) {
+        continue;
+      }
+      BalanceAtLevel(core, level, /*idle_pull=*/false);
+    }
+    // Overloaded with idle cores elsewhere: kick the first idle core; it
+    // runs an idle-balance pass on its own domains.
+    if (RunnableCountOf(core) > 1) {
+      for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+        if (machine_->core(c).idle()) {
+          OnCoreIdle(c);
+          if (!machine_->core(c).idle()) {
+            break;  // the pull dispatched work there
+          }
+          break;
+        }
+      }
+    }
+  }
+  ArmBalance(core, tun_.balance_interval);
+}
+
+void CfsScheduler::OnCoreIdle(CoreId core) {
+  // A core that tends to idle only momentarily skips newidle balancing
+  // entirely — pulling work it cannot amortize just bounces tasks around
+  // (kernel: this_rq->avg_idle < sysctl_sched_migration_cost).
+  if (machine_->core(core).avg_idle < tun_.migration_cost) {
+    return;
+  }
+  // newidle balance: climb the domain hierarchy until something is pulled.
+  for (TopoLevel level : {TopoLevel::kLlc, TopoLevel::kNode, TopoLevel::kMachine}) {
+    const auto& enclosing = machine_->topology().GroupOf(core, level);
+    const auto& child = machine_->topology().GroupOf(core, ChildLevelOf(level));
+    if (enclosing.size() == child.size()) {
+      continue;
+    }
+    if (BalanceAtLevel(core, level, /*idle_pull=*/true) > 0) {
+      return;
+    }
+  }
+}
+
+int CfsScheduler::BalanceAtLevel(CoreId dst, TopoLevel level, bool idle_pull) {
+  const CpuTopology& topo = machine_->topology();
+  const TopoLevel child_level = ChildLevelOf(level);
+  const auto& enclosing = topo.GroupOf(dst, level);
+  const auto& local_cores = topo.GroupOf(dst, child_level);
+
+  // Enumerate sibling child groups inside the enclosing group.
+  const double local_load = GroupLoadAt(local_cores);
+  double busiest_load = -1.0;
+  const std::vector<CoreId>* busiest_group = nullptr;
+  int scanned = 0;
+  for (const auto& group : topo.GroupsAt(child_level)) {
+    // Same enclosing group, different child group.
+    if (topo.GroupOf(group.front(), level).front() != enclosing.front()) {
+      continue;
+    }
+    if (group.front() == local_cores.front()) {
+      continue;
+    }
+    scanned += static_cast<int>(group.size());
+    const double load = GroupLoadAt(group);
+    if (load > busiest_load) {
+      busiest_load = load;
+      busiest_group = &group;
+    }
+  }
+  machine_->ChargeOverhead(dst, scanned * tun_.balance_cost_per_core, OverheadKind::kLoadBalance);
+  if (busiest_group == nullptr) {
+    return 0;
+  }
+
+  // Level-dependent imbalance threshold; "the greater the distance, the
+  // higher the imbalance has to be".
+  const double pct = ImbalancePct(level);
+  if (busiest_load <= local_load * pct + 1e-9) {
+    cores_[dst].nr_balance_failed = 0;
+    return 0;
+  }
+  // Normalize group loads to per-core averages so differently sized groups
+  // compare sensibly, then pull toward the mean.
+  const double local_avg = local_load / static_cast<double>(local_cores.size());
+  const double busiest_avg = busiest_load / static_cast<double>(busiest_group->size());
+  if (busiest_avg <= local_avg * pct + 1e-9) {
+    return 0;
+  }
+  const double imbalance = (busiest_avg - local_avg) / 2.0 * local_cores.size();
+
+  // Busiest core inside the busiest group with something pullable.
+  CoreId src = kInvalidCore;
+  double src_load = -1.0;
+  for (CoreId c : *busiest_group) {
+    if (RunnableCountOf(c) < 2 && !machine_->core(c).idle()) {
+      continue;  // only a running thread; nothing to detach
+    }
+    if (RunnableCountOf(c) < 1) {
+      continue;
+    }
+    const double load = CoreLoad(c);
+    if (load > src_load) {
+      src_load = load;
+      src = c;
+    }
+  }
+  if (src == kInvalidCore || src == dst) {
+    return 0;
+  }
+  bool all_hot = false;
+  const int moved = PullTasks(src, dst, imbalance, tun_.max_migrate, &all_hot);
+  if (moved == 0) {
+    // Only a pull blocked purely by cache hotness counts as a failure
+    // (repeated failures eventually override hotness); an empty source is
+    // not a failure, otherwise transient load ripples would permanently
+    // disable the hot-task protection.
+    if (all_hot) {
+      ++cores_[dst].nr_balance_failed;
+    }
+  } else {
+    cores_[dst].nr_balance_failed = 0;
+  }
+  (void)idle_pull;
+  return moved;
+}
+
+bool CfsScheduler::CanMigrate(SimThread* t, CoreId src, CoreId dst) const {
+  if (t->state() != ThreadState::kRunnable) {
+    return false;  // running (or blocked) threads are not migratable
+  }
+  if (machine_->CurrentOn(src) == t) {
+    return false;
+  }
+  if (!t->CanRunOn(dst)) {
+    return false;
+  }
+  // Cache hotness (kernel: task_hot / sched_migration_cost), overridden when
+  // balancing keeps failing.
+  const bool hot = t->last_descheduled > 0 &&
+                   machine_->now() - t->last_descheduled < tun_.migration_cost;
+  if (hot && cores_[dst].nr_balance_failed <= tun_.max_balance_failed) {
+    return false;
+  }
+  return true;
+}
+
+int CfsScheduler::PullTasks(CoreId src, CoreId dst, double target_load, int max_tasks,
+                            bool* all_hot) {
+  // Snapshot: DequeueTask mutates the attached list.
+  std::vector<SimThread*> candidates = cores_[src].attached;
+  machine_->ChargeOverhead(dst, candidates.size() * tun_.balance_cost_per_core,
+                           OverheadKind::kLoadBalance);
+  int moved = 0;
+  int hot_skips = 0;
+  double moved_load = 0.0;
+  for (SimThread* t : candidates) {
+    if (moved >= max_tasks || moved_load >= target_load) {
+      break;
+    }
+    if (!CanMigrate(t, src, dst)) {
+      if (t->state() == ThreadState::kRunnable && machine_->CurrentOn(src) != t &&
+          t->CanRunOn(dst)) {
+        ++hot_skips;  // blocked only by cache hotness
+      }
+      continue;
+    }
+    const double h_load = std::max(TaskHLoad(t), 1.0);
+    DequeueTaskInternal(src, t, /*sleep=*/false, /*migrating=*/true, /*from_running=*/false);
+    EnqueueTaskInternal(dst, t, EnqueueKind::kMigrate);
+    machine_->NoteMigration(t, src, dst);
+    ++moved;
+    moved_load += h_load;
+  }
+  *all_hot = moved == 0 && hot_skips > 0;
+  return moved;
+}
+
+}  // namespace schedbattle

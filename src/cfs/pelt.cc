@@ -1,0 +1,87 @@
+#include "src/cfs/pelt.h"
+
+#include <cassert>
+
+#include "src/cfs/weights.h"
+
+namespace schedbattle {
+
+namespace {
+
+// Precomputed y^n * 2^32 for n in [0, 31], y^32 = 0.5 (kernel table).
+constexpr uint32_t kRunnableAvgYnInv[32] = {
+    0xffffffff, 0xfa83b2da, 0xf5257d14, 0xefe4b99a, 0xeac0c6e6, 0xe5b906e6, 0xe0ccdeeb, 0xdbfbb796,
+    0xd744fcc9, 0xd2a81d91, 0xce248c14, 0xc9b9bd85, 0xc5672a10, 0xc12c4cc9, 0xbd08a39e, 0xb8fbaf46,
+    0xb504f333, 0xb123f581, 0xad583ee9, 0xa9a15ab4, 0xa5fed6a9, 0xa2704302, 0x9ef5325f, 0x9b8d39b9,
+    0x9837f050, 0x94f4efa8, 0x91c3d373, 0x8ea4398a, 0x8b95c1e3, 0x88980e80, 0x85aac367, 0x82cd8698,
+};
+
+// Sum of the full geometric series for n periods: 1024 * (y + y^2 + ... + y^n).
+uint32_t AccumulateSegments(uint64_t periods, uint32_t d1, uint32_t d3) {
+  // c1 = d1 decayed over all `periods`; c2 = 1024 * sum_{i=1..periods-1} y^i
+  //    = (kLoadAvgMax - kLoadAvgMax*y^periods) - 1024; c3 = d3 (current period).
+  const uint32_t c1 = static_cast<uint32_t>(PeltDecayLoad(d1, periods));
+  const uint32_t c2 =
+      kLoadAvgMax - static_cast<uint32_t>(PeltDecayLoad(kLoadAvgMax, periods)) - 1024;
+  return c1 + c2 + d3;
+}
+
+}  // namespace
+
+uint64_t PeltDecayLoad(uint64_t val, uint64_t n) {
+  if (n == 0) {
+    return val;
+  }
+  // After 63 half-lives (2016 periods) everything has decayed to zero.
+  if (n > 63 * 32) {
+    return 0;
+  }
+  // y^n = 1/2^(n/32) * y^(n%32)
+  val >>= n / 32;
+  n %= 32;
+  return (val * kRunnableAvgYnInv[n]) >> 32;
+}
+
+bool PeltAvg::Update(SimTime now, uint64_t weight, bool runnable, bool running) {
+  if (now <= last_update_time) {
+    return false;
+  }
+  uint64_t delta = static_cast<uint64_t>(now - last_update_time);
+  last_update_time = now;
+
+  // Work in microseconds, as the kernel does (1 PELT unit = 1us).
+  delta >>= 10;
+  if (delta == 0) {
+    last_update_time = now - (static_cast<SimDuration>(delta) << 10);
+    return false;
+  }
+
+  uint64_t periods = (delta + period_contrib) / 1024;
+  const uint32_t d3 = static_cast<uint32_t>((delta + period_contrib) % 1024);
+
+  uint32_t contrib = static_cast<uint32_t>(delta);
+  if (periods > 0) {
+    load_sum = PeltDecayLoad(load_sum, periods);
+    util_sum = PeltDecayLoad(util_sum, periods);
+    const uint32_t d1 = 1024 - period_contrib;
+    contrib = AccumulateSegments(periods, d1, d3);
+  }
+  period_contrib = periods > 0 ? d3 : period_contrib + static_cast<uint32_t>(delta);
+
+  if (runnable) {
+    load_sum += contrib;
+  }
+  if (running) {
+    util_sum += static_cast<uint64_t>(contrib) << 10;  // util scaled like kernel
+  }
+
+  if (periods > 0) {
+    const uint32_t divider = kLoadAvgMax - 1024 + period_contrib;
+    load_avg = weight * load_sum / divider;
+    util_avg = util_sum / divider;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace schedbattle

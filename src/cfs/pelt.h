@@ -1,0 +1,53 @@
+// PELT: Per-Entity Load Tracking.
+//
+// CFS's load metric (paper Section 2.1, "Load balancing") is not a runnable
+// count but a decaying average of each thread's CPU utilization, weighted by
+// priority: "a thread that never sleeps has a higher load than one that
+// sleeps a lot". This implements the kernel's PELT scheme: time is divided
+// into 1024us periods and contributions decay geometrically with
+// y^32 = 1/2, so roughly the last 350ms of behaviour dominates.
+//
+// The arithmetic (decay table, segment accumulation, LOAD_AVG_MAX) follows
+// kernel/sched/pelt.c.
+#ifndef SRC_CFS_PELT_H_
+#define SRC_CFS_PELT_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+// One PELT period: 1024us (in ns).
+inline constexpr SimDuration kPeltPeriod = 1024 * 1024;
+
+// Maximum value of the geometric series sum: sum_{n>=0} 1024 * y^n.
+inline constexpr uint32_t kLoadAvgMax = 47742;
+
+// Decays `val` by n periods (val * y^n).
+uint64_t PeltDecayLoad(uint64_t val, uint64_t n);
+
+struct PeltAvg {
+  SimTime last_update_time = 0;
+  // Sub-period remainder carried between updates (ns within current period).
+  uint32_t period_contrib = 0;
+  // Geometric sums, scaled: load counts time runnable, util counts time running.
+  uint64_t load_sum = 0;
+  uint64_t util_sum = 0;
+  // Averages: load_avg is weight-scaled (kNice0Load for a 100%-runnable
+  // nice-0 thread), util_avg in [0, 1024].
+  uint64_t load_avg = 0;
+  uint64_t util_avg = 0;
+
+  // Advances the average to `now`. While `runnable`, the entity accrues load
+  // (scaled by `weight`); while `running`, it accrues utilization.
+  // Returns true if a full period boundary was crossed (averages changed).
+  bool Update(SimTime now, uint64_t weight, bool runnable, bool running);
+
+  // Decay-only update (entity blocked): Update with runnable=running=false.
+  bool Decay(SimTime now) { return Update(now, 0, false, false); }
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_CFS_PELT_H_

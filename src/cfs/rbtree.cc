@@ -1,0 +1,302 @@
+#include "src/cfs/rbtree.h"
+
+#include <cassert>
+
+namespace schedbattle {
+
+RbTree::RbTree(LessFn less) : less_(less) {
+  nil_.red = false;
+  nil_.parent = nil_.left = nil_.right = &nil_;
+  root_ = &nil_;
+  leftmost_ = &nil_;
+}
+
+void RbTree::RotateLeft(RbNode* x) {
+  RbNode* y = x->right;
+  x->right = y->left;
+  if (y->left != &nil_) {
+    y->left->parent = x;
+  }
+  y->parent = x->parent;
+  if (x->parent == &nil_) {
+    root_ = y;
+  } else if (x == x->parent->left) {
+    x->parent->left = y;
+  } else {
+    x->parent->right = y;
+  }
+  y->left = x;
+  x->parent = y;
+}
+
+void RbTree::RotateRight(RbNode* x) {
+  RbNode* y = x->left;
+  x->left = y->right;
+  if (y->right != &nil_) {
+    y->right->parent = x;
+  }
+  y->parent = x->parent;
+  if (x->parent == &nil_) {
+    root_ = y;
+  } else if (x == x->parent->right) {
+    x->parent->right = y;
+  } else {
+    x->parent->left = y;
+  }
+  y->right = x;
+  x->parent = y;
+}
+
+void RbTree::Insert(RbNode* z) {
+  assert(!z->linked && "node already in a tree");
+  RbNode* y = &nil_;
+  RbNode* x = root_;
+  bool went_left_everywhere = true;
+  while (x != &nil_) {
+    y = x;
+    if (less_(z, x)) {
+      x = x->left;
+    } else {
+      x = x->right;
+      went_left_everywhere = false;
+    }
+  }
+  z->parent = y;
+  if (y == &nil_) {
+    root_ = z;
+  } else if (less_(z, y)) {
+    y->left = z;
+  } else {
+    y->right = z;
+  }
+  z->left = &nil_;
+  z->right = &nil_;
+  z->red = true;
+  z->linked = true;
+  ++size_;
+  if (went_left_everywhere) {
+    leftmost_ = z;
+  }
+  InsertFixup(z);
+}
+
+void RbTree::InsertFixup(RbNode* z) {
+  while (z->parent->red) {
+    if (z->parent == z->parent->parent->left) {
+      RbNode* y = z->parent->parent->right;
+      if (y->red) {
+        z->parent->red = false;
+        y->red = false;
+        z->parent->parent->red = true;
+        z = z->parent->parent;
+      } else {
+        if (z == z->parent->right) {
+          z = z->parent;
+          RotateLeft(z);
+        }
+        z->parent->red = false;
+        z->parent->parent->red = true;
+        RotateRight(z->parent->parent);
+      }
+    } else {
+      RbNode* y = z->parent->parent->left;
+      if (y->red) {
+        z->parent->red = false;
+        y->red = false;
+        z->parent->parent->red = true;
+        z = z->parent->parent;
+      } else {
+        if (z == z->parent->left) {
+          z = z->parent;
+          RotateRight(z);
+        }
+        z->parent->red = false;
+        z->parent->parent->red = true;
+        RotateLeft(z->parent->parent);
+      }
+    }
+  }
+  root_->red = false;
+}
+
+void RbTree::Transplant(RbNode* u, RbNode* v) {
+  if (u->parent == &nil_) {
+    root_ = v;
+  } else if (u == u->parent->left) {
+    u->parent->left = v;
+  } else {
+    u->parent->right = v;
+  }
+  v->parent = u->parent;
+}
+
+RbNode* RbTree::Minimum(RbNode* n) const {
+  while (n->left != &nil_) {
+    n = n->left;
+  }
+  return n;
+}
+
+void RbTree::Erase(RbNode* z) {
+  assert(z->linked && "erasing node not in tree");
+  if (z == leftmost_) {
+    leftmost_ = Next(z);
+    if (leftmost_ == nullptr) {
+      leftmost_ = &nil_;
+    }
+  }
+
+  RbNode* y = z;
+  bool y_original_red = y->red;
+  RbNode* x = nullptr;
+  if (z->left == &nil_) {
+    x = z->right;
+    Transplant(z, z->right);
+  } else if (z->right == &nil_) {
+    x = z->left;
+    Transplant(z, z->left);
+  } else {
+    y = Minimum(z->right);
+    y_original_red = y->red;
+    x = y->right;
+    if (y->parent == z) {
+      x->parent = y;  // x may be nil_; fixup needs its parent
+    } else {
+      Transplant(y, y->right);
+      y->right = z->right;
+      y->right->parent = y;
+    }
+    Transplant(z, y);
+    y->left = z->left;
+    y->left->parent = y;
+    y->red = z->red;
+  }
+  if (!y_original_red) {
+    EraseFixup(x);
+  }
+  z->parent = z->left = z->right = nullptr;
+  z->linked = false;
+  --size_;
+}
+
+void RbTree::EraseFixup(RbNode* x) {
+  while (x != root_ && !x->red) {
+    if (x == x->parent->left) {
+      RbNode* w = x->parent->right;
+      if (w->red) {
+        w->red = false;
+        x->parent->red = true;
+        RotateLeft(x->parent);
+        w = x->parent->right;
+      }
+      if (!w->left->red && !w->right->red) {
+        w->red = true;
+        x = x->parent;
+      } else {
+        if (!w->right->red) {
+          w->left->red = false;
+          w->red = true;
+          RotateRight(w);
+          w = x->parent->right;
+        }
+        w->red = x->parent->red;
+        x->parent->red = false;
+        w->right->red = false;
+        RotateLeft(x->parent);
+        x = root_;
+      }
+    } else {
+      RbNode* w = x->parent->left;
+      if (w->red) {
+        w->red = false;
+        x->parent->red = true;
+        RotateRight(x->parent);
+        w = x->parent->left;
+      }
+      if (!w->right->red && !w->left->red) {
+        w->red = true;
+        x = x->parent;
+      } else {
+        if (!w->left->red) {
+          w->right->red = false;
+          w->red = true;
+          RotateLeft(w);
+          w = x->parent->left;
+        }
+        w->red = x->parent->red;
+        x->parent->red = false;
+        w->left->red = false;
+        RotateRight(x->parent);
+        x = root_;
+      }
+    }
+  }
+  x->red = false;
+}
+
+RbNode* RbTree::Last() const {
+  if (root_ == &nil_) {
+    return nullptr;
+  }
+  RbNode* n = root_;
+  while (n->right != &nil_) {
+    n = n->right;
+  }
+  return n;
+}
+
+RbNode* RbTree::Next(RbNode* node) const {
+  if (node->right != &nil_) {
+    RbNode* n = node->right;
+    while (n->left != &nil_) {
+      n = n->left;
+    }
+    return n;
+  }
+  RbNode* p = node->parent;
+  while (p != &nil_ && node == p->right) {
+    node = p;
+    p = p->parent;
+  }
+  return p == &nil_ ? nullptr : p;
+}
+
+int RbTree::CheckSubtree(const RbNode* n, bool* ok) const {
+  if (n == &nil_) {
+    return 1;
+  }
+  if (n->red && (n->left->red || n->right->red)) {
+    *ok = false;  // red node with red child
+  }
+  if (n->left != &nil_ && less_(n, n->left)) {
+    *ok = false;  // ordering violation
+  }
+  if (n->right != &nil_ && less_(n->right, n)) {
+    *ok = false;
+  }
+  const int lh = CheckSubtree(n->left, ok);
+  const int rh = CheckSubtree(n->right, ok);
+  if (lh != rh) {
+    *ok = false;
+  }
+  return lh + (n->red ? 0 : 1);
+}
+
+int RbTree::CheckInvariants() const {
+  if (root_ == &nil_) {
+    return 0;
+  }
+  bool ok = !root_->red;
+  // Leftmost cache must match the actual minimum.
+  const RbNode* min = root_;
+  while (min->left != &nil_) {
+    min = min->left;
+  }
+  if (min != leftmost_) {
+    ok = false;
+  }
+  const int h = CheckSubtree(root_, &ok);
+  return ok ? h : -1;
+}
+
+}  // namespace schedbattle

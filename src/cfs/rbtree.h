@@ -1,0 +1,74 @@
+// Intrusive red-black tree with cached leftmost node.
+//
+// CFS keeps each runqueue's entities in a red-black tree ordered by vruntime,
+// with the leftmost (smallest-vruntime) node cached so picking the next
+// thread is O(1). This is a from-scratch implementation of that substrate
+// (the kernel's lib/rbtree.c equivalent), written against the classic CLRS
+// algorithms with a per-tree nil sentinel.
+//
+// Nodes carry an `owner` pointer back to their containing object; ordering is
+// supplied by the tree's comparator over owners. Duplicate keys are allowed
+// (the comparator should break ties deterministically if stable order
+// matters, as the CFS timeline does with a sequence number).
+#ifndef SRC_CFS_RBTREE_H_
+#define SRC_CFS_RBTREE_H_
+
+#include <cstddef>
+
+namespace schedbattle {
+
+struct RbNode {
+  RbNode* parent = nullptr;
+  RbNode* left = nullptr;
+  RbNode* right = nullptr;
+  bool red = false;
+  void* owner = nullptr;
+  bool linked = false;  // membership flag, for assertions
+};
+
+class RbTree {
+ public:
+  // less(a, b): strict weak ordering over node owners.
+  using LessFn = bool (*)(const RbNode* a, const RbNode* b);
+
+  explicit RbTree(LessFn less);
+  RbTree(const RbTree&) = delete;
+  RbTree& operator=(const RbTree&) = delete;
+
+  bool empty() const { return root_ == &nil_; }
+  size_t size() const { return size_; }
+
+  void Insert(RbNode* node);
+  void Erase(RbNode* node);
+
+  // Smallest node, or nullptr if empty. O(1) (cached).
+  RbNode* First() const { return leftmost_ == &nil_ ? nullptr : leftmost_; }
+  // Largest node, or nullptr if empty. O(log n).
+  RbNode* Last() const;
+  // In-order successor, or nullptr.
+  RbNode* Next(RbNode* node) const;
+
+  bool Contains(const RbNode* node) const { return node->linked; }
+
+  // Validates red-black invariants (test helper); returns black height or -1.
+  int CheckInvariants() const;
+
+ private:
+  void RotateLeft(RbNode* x);
+  void RotateRight(RbNode* x);
+  void InsertFixup(RbNode* z);
+  void Transplant(RbNode* u, RbNode* v);
+  void EraseFixup(RbNode* x);
+  RbNode* Minimum(RbNode* n) const;
+  int CheckSubtree(const RbNode* n, bool* ok) const;
+
+  LessFn less_;
+  mutable RbNode nil_;  // sentinel; nil_.red == false always
+  RbNode* root_;
+  RbNode* leftmost_;
+  size_t size_ = 0;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_CFS_RBTREE_H_

@@ -1,0 +1,33 @@
+#include "src/cfs/timeline.h"
+
+namespace schedbattle {
+
+bool TimelineLess(const RbNode* a, const RbNode* b) {
+  const SchedEntity* ea = static_cast<const SchedEntity*>(a->owner);
+  const SchedEntity* eb = static_cast<const SchedEntity*>(b->owner);
+  if (ea->vruntime != eb->vruntime) {
+    return ea->vruntime < eb->vruntime;
+  }
+  return ea->seq < eb->seq;
+}
+
+CfsRq::CfsRq() : timeline(TimelineLess) {}
+
+void TimelineEnqueue(CfsRq* rq, SchedEntity* se) {
+  se->rb.owner = se;
+  rq->timeline.Insert(&se->rb);
+}
+
+void TimelineDequeue(CfsRq* rq, SchedEntity* se) { rq->timeline.Erase(&se->rb); }
+
+SchedEntity* TimelineFirst(const CfsRq* rq) {
+  RbNode* n = rq->timeline.First();
+  return n == nullptr ? nullptr : EntityOwner(n);
+}
+
+SchedEntity* TimelineNext(const CfsRq* rq, SchedEntity* se) {
+  RbNode* n = rq->timeline.Next(&se->rb);
+  return n == nullptr ? nullptr : EntityOwner(n);
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,23 @@
+// Timeline helpers: the vruntime-ordered tree operations on a CfsRq.
+#ifndef SRC_CFS_TIMELINE_H_
+#define SRC_CFS_TIMELINE_H_
+
+#include "src/cfs/entity.h"
+
+namespace schedbattle {
+
+// Strict ordering for the timeline: by vruntime, ties by insertion sequence.
+bool TimelineLess(const RbNode* a, const RbNode* b);
+
+void TimelineEnqueue(CfsRq* rq, SchedEntity* se);
+void TimelineDequeue(CfsRq* rq, SchedEntity* se);
+
+// Entity with the smallest vruntime, or nullptr.
+SchedEntity* TimelineFirst(const CfsRq* rq);
+
+// Second-smallest entity (used by yield-to and some preemption checks).
+SchedEntity* TimelineNext(const CfsRq* rq, SchedEntity* se);
+
+}  // namespace schedbattle
+
+#endif  // SRC_CFS_TIMELINE_H_

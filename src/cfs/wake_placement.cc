@@ -1,0 +1,202 @@
+// CFS thread placement on wakeup/fork (kernel: select_task_rq_fair).
+//
+// Paper, Section 2.1: "The scheduler first decides which cores are suitable
+// to host the thread. ... if CFS detects a 1-to-many producer-consumer
+// pattern, then it spreads out the consumer threads as much as possible on
+// the machine ... In a 1-to-1 communication pattern, CFS restricts the list
+// of suitable cores to cores sharing a cache with the thread that initiated
+// the wakeup. Then, among all suitable cores, CFS chooses the core with the
+// lowest load."
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "src/cfs/cfs_sched.h"
+
+namespace schedbattle {
+
+void CfsScheduler::RecordWakee(SimThread* waker, SimThread* wakee) {
+  CfsTaskData& wd = CfsOf(waker);
+  const SimTime now = machine_->now();
+  if (now - wd.wakee_flip_decay_ts > Seconds(1)) {
+    wd.wakee_flips >>= 1;
+    wd.wakee_flip_decay_ts = now;
+  }
+  if (wd.last_wakee != wakee->id()) {
+    wd.last_wakee = wakee->id();
+    ++wd.wakee_flips;
+  }
+}
+
+bool CfsScheduler::WakeWide(SimThread* waker, SimThread* wakee, CoreId cpu) const {
+  // kernel: wake_wide(). Heavy wakee-switching relative to the LLC fan-out
+  // indicates a 1-to-N pattern; spread instead of packing near the waker.
+  const uint64_t factor = static_cast<uint64_t>(machine_->topology().LlcSize(cpu));
+  uint64_t master = CfsOf(waker).wakee_flips;
+  uint64_t slave = CfsOf(wakee).wakee_flips;
+  if (master < slave) {
+    std::swap(master, slave);
+  }
+  if (slave < factor || master < slave * factor) {
+    return false;
+  }
+  return true;
+}
+
+CoreId CfsScheduler::SelectIdleSibling(SimThread* t, CoreId target) {
+  const CpuTopology& topo = machine_->topology();
+  if (t->CanRunOn(target) && machine_->core(target).idle()) {
+    return target;
+  }
+  // Scan the LLC of `target` for an idle core (kernel: select_idle_sibling /
+  // select_idle_cpu). The scan consumes cycles on the waking core.
+  const auto& llc = topo.GroupOf(target, TopoLevel::kLlc);
+  int scanned = 0;
+  CoreId found = kInvalidCore;
+  for (CoreId c : llc) {
+    ++scanned;
+    if (c != target && t->CanRunOn(c) && machine_->core(c).idle()) {
+      found = c;
+      break;
+    }
+  }
+  machine_->counters().pickcpu_scans += scanned;
+  machine_->ChargeOverhead(target, scanned * tun_.wake_scan_cost_per_core,
+                           OverheadKind::kWakePlacement);
+  if (found != kInvalidCore) {
+    return found;
+  }
+  if (t->CanRunOn(target)) {
+    return target;
+  }
+  // Affinity excludes the whole neighbourhood; fall back to the least loaded
+  // allowed core.
+  return FindIdlestCore(t, target);
+}
+
+CoreId CfsScheduler::FindIdlestCore(SimThread* t, CoreId origin) {
+  // Slow path (kernel: find_idlest_group / find_idlest_cpu): descend the
+  // domain hierarchy greedily, at each level choosing the child group with
+  // the lowest *average* load, then pick the least loaded allowed core of
+  // the final group. The greedy average-chasing is what occasionally picks
+  // a group whose individual cores are all busier than an idle core
+  // elsewhere — one source of the paper's CFS placement mistakes.
+  const CpuTopology& topo = machine_->topology();
+  int scanned = 0;
+  auto group_avg = [&](const std::vector<CoreId>& cores) {
+    double sum = 0;
+    int allowed = 0;
+    for (CoreId c : cores) {
+      ++scanned;
+      sum += CoreLoad(c);
+      if (t->CanRunOn(c)) {
+        ++allowed;
+      }
+    }
+    if (allowed == 0) {
+      return std::numeric_limits<double>::max();
+    }
+    return sum / static_cast<double>(cores.size());
+  };
+
+  // Pick the idlest group at each level, narrowing to its cores.
+  std::vector<CoreId> cohort = topo.GroupOf(0, TopoLevel::kMachine);
+  for (TopoLevel level : {TopoLevel::kNode, TopoLevel::kLlc}) {
+    const std::vector<CoreId>* best_group = nullptr;
+    double best_avg = std::numeric_limits<double>::max();
+    for (const auto& group : topo.GroupsAt(level)) {
+      if (std::find(cohort.begin(), cohort.end(), group.front()) == cohort.end()) {
+        continue;  // outside the chosen parent group
+      }
+      const double avg = group_avg(group);
+      if (avg < best_avg) {
+        best_avg = avg;
+        best_group = &group;
+      }
+    }
+    if (best_group == nullptr) {
+      break;
+    }
+    cohort = *best_group;
+  }
+
+  CoreId best = kInvalidCore;
+  double best_load = std::numeric_limits<double>::max();
+  int best_nr = std::numeric_limits<int>::max();
+  for (CoreId c : cohort) {
+    if (!t->CanRunOn(c)) {
+      continue;
+    }
+    const double load = CoreLoad(c);
+    const int nr = RunnableCountOf(c);
+    if (load < best_load - 1e-9 || (std::abs(load - best_load) <= 1e-9 && nr < best_nr)) {
+      best = c;
+      best_load = load;
+      best_nr = nr;
+    }
+  }
+  if (best == kInvalidCore) {
+    // Affinity excludes the chosen cohort entirely: fall back to any allowed.
+    for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+      if (t->CanRunOn(c) && (best == kInvalidCore || CoreLoad(c) < best_load)) {
+        best = c;
+        best_load = CoreLoad(c);
+      }
+    }
+  }
+  machine_->counters().pickcpu_scans += scanned;
+  if (origin != kInvalidCore) {
+    machine_->ChargeOverhead(origin, scanned * tun_.wake_scan_cost_per_core,
+                             OverheadKind::kWakePlacement);
+  }
+  assert(best != kInvalidCore);
+  return best;
+}
+
+CoreId CfsScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind kind) {
+  if (thread->affinity().Count() == 1) {
+    for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+      if (thread->CanRunOn(c)) {
+        return c;
+      }
+    }
+  }
+  switch (kind) {
+    case EnqueueKind::kFork:
+    case EnqueueKind::kMigrate:
+      return FindIdlestCore(thread, origin);
+    case EnqueueKind::kRequeue:
+      return thread->CanRunOn(origin) ? origin : FindIdlestCore(thread, origin);
+    case EnqueueKind::kWakeup:
+      break;
+  }
+
+  CoreId prev = thread->last_ran_cpu() != kInvalidCore ? thread->last_ran_cpu() : origin;
+  if (!thread->CanRunOn(prev)) {
+    prev = kInvalidCore;
+  }
+  SimThread* waker = origin != kInvalidCore ? machine_->CurrentOn(origin) : nullptr;
+
+  bool want_affine = true;
+  if (waker != nullptr) {
+    RecordWakee(waker, thread);
+    want_affine = !WakeWide(waker, thread, origin);
+  }
+  if (!want_affine) {
+    return FindIdlestCore(thread, origin);
+  }
+
+  // wake_affine: choose between the waker's core and the previous core by
+  // load, then look for an idle sibling in that core's LLC.
+  CoreId target;
+  if (prev == kInvalidCore) {
+    target = thread->CanRunOn(origin) ? origin : FindIdlestCore(thread, origin);
+  } else if (waker != nullptr && origin != prev && thread->CanRunOn(origin)) {
+    target = CoreLoad(origin) < CoreLoad(prev) ? origin : prev;
+  } else {
+    target = prev;
+  }
+  return SelectIdleSibling(thread, target);
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,36 @@
+#include "src/cfs/weights.h"
+
+#include <cassert>
+
+namespace schedbattle {
+
+namespace {
+// Linux kernel sched_prio_to_weight[], index 0 = nice -20.
+constexpr uint64_t kNiceToWeight[40] = {
+    88761, 71755, 56483, 46273, 36291,  // -20 .. -16
+    29154, 23254, 18705, 14949, 11916,  // -15 .. -11
+    9548,  7620,  6100,  4904,  3906,   // -10 .. -6
+    3121,  2501,  1991,  1586,  1277,   //  -5 .. -1
+    1024,  820,   655,   526,   423,    //   0 ..  4
+    335,   272,   215,   172,   137,    //   5 ..  9
+    110,   87,    70,    56,    45,     //  10 .. 14
+    36,    29,    23,    18,    15,     //  15 .. 19
+};
+}  // namespace
+
+uint64_t CfsWeightOf(Nice nice) {
+  assert(nice >= kNiceMin && nice <= kNiceMax);
+  return kNiceToWeight[nice - kNiceMin];
+}
+
+uint64_t CalcDeltaFair(uint64_t delta, uint64_t weight) {
+  if (weight == kNice0Load) {
+    return delta;
+  }
+  assert(weight > 0);
+  // The kernel uses a fixed-point inverse (wmult); 128-bit division is
+  // simpler and exact, and this is a simulator, not a kernel fast path.
+  return static_cast<uint64_t>(static_cast<unsigned __int128>(delta) * kNice0Load / weight);
+}
+
+}  // namespace schedbattle

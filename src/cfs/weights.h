@@ -1,0 +1,28 @@
+// CFS nice-to-weight mapping.
+//
+// CFS divides CPU cycles between threads weighted by priority (Section 2.1 of
+// the paper). The weights form a geometric series: each nice step changes a
+// thread's share by ~25%. These are the exact values from the Linux kernel's
+// sched_prio_to_weight[] table.
+#ifndef SRC_CFS_WEIGHTS_H_
+#define SRC_CFS_WEIGHTS_H_
+
+#include <cstdint>
+
+#include "src/sched/types.h"
+
+namespace schedbattle {
+
+// Weight of a nice-0 thread; vruntime advances at wall speed at this weight.
+inline constexpr uint64_t kNice0Load = 1024;
+
+// Weight for a nice value in [-20, 19].
+uint64_t CfsWeightOf(Nice nice);
+
+// delta_exec scaled by (kNice0Load / weight): how much vruntime a thread of
+// `weight` accrues for `delta` of execution.
+uint64_t CalcDeltaFair(uint64_t delta, uint64_t weight);
+
+}  // namespace schedbattle
+
+#endif  // SRC_CFS_WEIGHTS_H_

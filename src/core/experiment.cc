@@ -1,0 +1,31 @@
+#include "src/core/experiment.h"
+
+namespace schedbattle {
+
+std::string_view SchedName(SchedKind kind) { return kind == SchedKind::kCfs ? "CFS" : "ULE"; }
+
+ExperimentConfig ExperimentConfig::SingleCore(SchedKind kind, uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.sched = kind;
+  cfg.topology = CpuTopology::Flat(1).config();
+  cfg.machine.seed = seed;
+  return cfg;
+}
+
+ExperimentConfig ExperimentConfig::Multicore(SchedKind kind, uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.sched = kind;
+  cfg.topology = CpuTopology::Opteron6172().config();
+  cfg.machine.seed = seed;
+  cfg.system_noise = true;
+  return cfg;
+}
+
+std::unique_ptr<Scheduler> MakeSchedulerFor(const ExperimentConfig& config) {
+  if (config.sched == SchedKind::kCfs) {
+    return std::make_unique<CfsScheduler>(config.cfs);
+  }
+  return std::make_unique<UleScheduler>(config.ule);
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,42 @@
+// Experiment configuration: one machine + one scheduler + tunables.
+//
+// The harness realizes the paper's methodology in simulator form: build two
+// otherwise identical machines — one scheduled by CFS, one by ULE — run the
+// same workload on both, and attribute every difference to the scheduler.
+#ifndef SRC_CORE_EXPERIMENT_H_
+#define SRC_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/sched/machine.h"
+#include "src/topo/topology.h"
+#include "src/ule/ule_sched.h"
+
+namespace schedbattle {
+
+enum class SchedKind { kCfs, kUle };
+
+std::string_view SchedName(SchedKind kind);
+
+struct ExperimentConfig {
+  SchedKind sched = SchedKind::kCfs;
+  TopologyConfig topology = CpuTopology::Opteron6172().config();
+  MachineParams machine;
+  CfsTunables cfs;
+  UleTunables ule;
+  SimTime horizon = Seconds(600);
+  // Per-core background kernel threads, as on the paper's real testbed; on
+  // by default for multicore runs (scenarios set it).
+  bool system_noise = false;
+
+  static ExperimentConfig SingleCore(SchedKind kind, uint64_t seed = 42);
+  static ExperimentConfig Multicore(SchedKind kind, uint64_t seed = 42);
+};
+
+std::unique_ptr<Scheduler> MakeSchedulerFor(const ExperimentConfig& config);
+
+}  // namespace schedbattle
+
+#endif  // SRC_CORE_EXPERIMENT_H_

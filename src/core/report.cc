@@ -1,0 +1,66 @@
+#include "src/core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace schedbattle {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "" : "  ");
+      os << row[i];
+      for (size_t pad = row[i].size(); pad < widths[i]; ++pad) {
+        os << ' ';
+      }
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  std::string rule;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    rule += std::string(widths[i], '-') + (i + 1 < header_.size() ? "  " : "");
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+std::string TextTable::Num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TextTable::Pct(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", decimals, v);
+  return buf;
+}
+
+std::string BannerLine(const std::string& title) {
+  std::string line(78, '=');
+  return line + "\n" + title + "\n" + line + "\n";
+}
+
+}  // namespace schedbattle

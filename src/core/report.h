@@ -1,0 +1,31 @@
+// Plain-text table rendering for experiment reports.
+#ifndef SRC_CORE_REPORT_H_
+#define SRC_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace schedbattle {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  std::string Render() const;
+
+  // Formatting helpers.
+  static std::string Num(double v, int decimals = 1);
+  static std::string Pct(double v, int decimals = 1);  // "+12.3%"
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// A standard header line for experiment outputs.
+std::string BannerLine(const std::string& title);
+
+}  // namespace schedbattle
+
+#endif  // SRC_CORE_REPORT_H_

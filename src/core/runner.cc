@@ -1,0 +1,32 @@
+#include "src/core/runner.h"
+
+namespace schedbattle {
+
+ExperimentRun::ExperimentRun(ExperimentConfig config) : config_(std::move(config)) {
+  machine_ = std::make_unique<Machine>(&engine_, CpuTopology(config_.topology),
+                                       MakeSchedulerFor(config_), config_.machine);
+  workload_ = std::make_unique<Workload>(machine_.get());
+  if (config_.system_noise) {
+    SystemNoiseParams noise;
+    noise.num_cores = machine_->num_cores();
+    noise.seed = config_.machine.seed ^ 0x6e6f697365ULL;
+    auto app = MakeSystemNoise(noise);
+    app->set_background(true);
+    workload_->Add(std::move(app), 0);
+  }
+}
+
+SimTime ExperimentRun::Run() { return workload_->Run(config_.horizon); }
+
+double ExperimentRun::MetricFor(const Application& app, MetricKind kind) const {
+  const AppStats& s = app.stats();
+  if (kind == MetricKind::kOpsPerSec) {
+    return s.OpsPerSecond(engine_.now());
+  }
+  if (s.started < 0 || s.finished < 0 || s.finished <= s.started) {
+    return 0.0;
+  }
+  return 1.0 / ToSeconds(s.finished - s.started);
+}
+
+}  // namespace schedbattle

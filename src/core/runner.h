@@ -1,0 +1,43 @@
+// ExperimentRun: engine + machine + workload with correct lifetimes, plus
+// metric extraction.
+#ifndef SRC_CORE_RUNNER_H_
+#define SRC_CORE_RUNNER_H_
+
+#include <memory>
+
+#include "src/apps/archetypes.h"
+#include "src/core/experiment.h"
+#include "src/workload/workload.h"
+
+namespace schedbattle {
+
+class ExperimentRun {
+ public:
+  explicit ExperimentRun(ExperimentConfig config);
+
+  SimEngine& engine() { return engine_; }
+  Machine& machine() { return *machine_; }
+  Workload& workload() { return *workload_; }
+  const ExperimentConfig& config() const { return config_; }
+
+  Application* Add(std::unique_ptr<Application> app, SimTime start_at = 0) {
+    return workload_->Add(std::move(app), start_at);
+  }
+
+  // Runs to completion (or the configured horizon); returns the finish time.
+  SimTime Run();
+
+  // The paper's performance metric for an application: ops/s for databases
+  // and NAS, 1/execution-time otherwise (Section 5.3).
+  double MetricFor(const Application& app, MetricKind kind) const;
+
+ private:
+  ExperimentConfig config_;
+  SimEngine engine_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<Workload> workload_;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_CORE_RUNNER_H_

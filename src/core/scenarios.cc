@@ -1,0 +1,343 @@
+#include "src/core/scenarios.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "src/apps/apache.h"
+#include "src/apps/fibo.h"
+#include "src/apps/nas.h"
+#include "src/apps/parsec.h"
+#include "src/apps/phoronix.h"
+#include "src/apps/registry.h"
+#include "src/apps/sysbench.h"
+
+namespace schedbattle {
+
+namespace {
+
+// Average interactivity penalty over a set of threads (ULE; -1 under CFS).
+double AvgPenalty(const Machine& machine, const std::vector<SimThread*>& threads) {
+  if (threads.empty()) {
+    return -1;
+  }
+  double sum = 0;
+  for (const SimThread* t : threads) {
+    sum += machine.scheduler().InteractivityPenaltyOf(t);
+  }
+  return sum / static_cast<double>(threads.size());
+}
+
+bool IsWorker(const SimThread* t) { return t->name().find("/worker-") != std::string::npos; }
+
+}  // namespace
+
+FiboSysbenchResult RunFiboSysbench(SchedKind kind, uint64_t seed, double scale) {
+  ExperimentRun run(ExperimentConfig::SingleCore(kind, seed));
+  FiboParams fp;
+  fp.total_work = SecondsF(160.0 * scale);
+  fp.seed = seed;
+  Application* fibo = run.Add(MakeFibo(fp), /*start_at=*/0);
+  SysbenchParams sp = SysbenchTable2();
+  sp.seed = seed + 1;
+  sp.total_transactions = static_cast<int64_t>(sp.total_transactions * scale);
+  Application* sys = run.Add(MakeSysbench(sp), /*start_at=*/Seconds(7));
+
+  FiboSysbenchResult result;
+  result.sched = kind;
+  result.fibo_runtime_series = TimeSeries("fibo_runtime_s");
+  result.sysbench_runtime_series = TimeSeries("sysbench_runtime_s");
+  result.fibo_penalty_series = TimeSeries("fibo_penalty");
+  result.sysbench_penalty_series = TimeSeries("sysbench_penalty");
+
+  Machine& m = run.machine();
+  PeriodicSampler sampler(&m, Milliseconds(500), [&](SimTime t) {
+    if (!fibo->threads().empty()) {
+      SimThread* ft = fibo->threads().front();
+      result.fibo_runtime_series.Push(t, ToSeconds(ft->RuntimeAt(t)));
+      result.fibo_penalty_series.Push(t, m.scheduler().InteractivityPenaltyOf(ft));
+    }
+    SimDuration sys_runtime = 0;
+    std::vector<SimThread*> workers;
+    for (SimThread* st : sys->threads()) {
+      sys_runtime += st->RuntimeAt(t);
+      if (IsWorker(st)) {
+        workers.push_back(st);
+      }
+    }
+    result.sysbench_runtime_series.Push(t, ToSeconds(sys_runtime));
+    result.sysbench_penalty_series.Push(t, AvgPenalty(m, workers));
+  });
+
+  run.Run();
+  sampler.Stop();
+
+  if (!fibo->threads().empty()) {
+    result.fibo_runtime = fibo->threads().front()->total_runtime;
+  }
+  result.fibo_finish = fibo->stats().finished;
+  result.sysbench_tps = sys->stats().OpsPerSecond(run.engine().now());
+  result.sysbench_avg_latency = static_cast<SimDuration>(sys->stats().latency.Mean());
+  result.sysbench_finish = sys->stats().finished;
+  return result;
+}
+
+SysbenchThreadsResult RunSysbenchThreads(SchedKind kind, uint64_t seed, double scale) {
+  ExperimentRun run(ExperimentConfig::SingleCore(kind, seed));
+  SysbenchParams sp = SysbenchFig3();
+  sp.seed = seed;
+  sp.total_transactions = static_cast<int64_t>(sp.total_transactions * scale);
+  Application* sys = run.Add(MakeSysbench(sp), 0);
+
+  // Per-thread sample log; classified into the figure's bands afterwards.
+  struct Sample {
+    SimTime t;
+    std::vector<std::pair<const SimThread*, std::pair<double, int>>> threads;  // (runtime_s, penalty)
+  };
+  std::vector<Sample> samples;
+  Machine& m = run.machine();
+  PeriodicSampler sampler(&m, Milliseconds(500), [&](SimTime t) {
+    Sample s;
+    s.t = t;
+    for (SimThread* st : sys->threads()) {
+      s.threads.push_back(
+          {st, {ToSeconds(st->RuntimeAt(t)), m.scheduler().InteractivityPenaltyOf(st)}});
+    }
+    samples.push_back(std::move(s));
+  });
+  run.Run();
+  sampler.Stop();
+
+  SysbenchThreadsResult result;
+  result.master_runtime = TimeSeries("master_runtime_s");
+  result.interactive_runtime = TimeSeries("interactive_avg_runtime_s");
+  result.background_runtime = TimeSeries("background_avg_runtime_s");
+  result.interactive_penalty = TimeSeries("interactive_avg_penalty");
+  result.background_penalty = TimeSeries("background_avg_penalty");
+
+  // Classify workers by final runtime: the paper's "background" band is the
+  // starved set (near-zero runtime).
+  const SimTime end = run.engine().now();
+  std::vector<const SimThread*> interactive;
+  std::vector<const SimThread*> background;
+  double max_runtime = 0;
+  for (SimThread* st : sys->threads()) {
+    if (IsWorker(st)) {
+      max_runtime = std::max(max_runtime, ToSeconds(st->RuntimeAt(end)));
+    }
+  }
+  for (SimThread* st : sys->threads()) {
+    if (!IsWorker(st)) {
+      continue;
+    }
+    if (ToSeconds(st->RuntimeAt(end)) < 0.05 * max_runtime) {
+      background.push_back(st);
+    } else {
+      interactive.push_back(st);
+    }
+  }
+  result.interactive_count = static_cast<int>(interactive.size());
+  result.background_count = static_cast<int>(background.size());
+  for (const SimThread* st : background) {
+    if (ToSeconds(st->RuntimeAt(end)) < 0.01 * max_runtime) {
+      ++result.starved_count;
+    }
+  }
+
+  auto in_set = [](const std::vector<const SimThread*>& set, const SimThread* t) {
+    return std::find(set.begin(), set.end(), t) != set.end();
+  };
+  for (const Sample& s : samples) {
+    double master_rt = 0;
+    double int_rt = 0, bg_rt = 0, int_pen = 0, bg_pen = 0;
+    int int_n = 0, bg_n = 0;
+    for (const auto& [t, vals] : s.threads) {
+      if (!IsWorker(t)) {
+        master_rt = vals.first;
+      } else if (in_set(interactive, t)) {
+        int_rt += vals.first;
+        int_pen += vals.second;
+        ++int_n;
+      } else if (in_set(background, t)) {
+        bg_rt += vals.first;
+        bg_pen += vals.second;
+        ++bg_n;
+      }
+    }
+    result.master_runtime.Push(s.t, master_rt);
+    if (int_n > 0) {
+      result.interactive_runtime.Push(s.t, int_rt / int_n);
+      result.interactive_penalty.Push(s.t, int_pen / int_n);
+    }
+    if (bg_n > 0) {
+      result.background_runtime.Push(s.t, bg_rt / bg_n);
+      result.background_penalty.Push(s.t, bg_pen / bg_n);
+    }
+  }
+  return result;
+}
+
+SuiteRow RunSuiteApp(const std::string& name, int cores, uint64_t seed, double scale) {
+  const AppEntry* entry = FindApp(name);
+  SuiteRow row;
+  row.name = name;
+  if (entry == nullptr) {
+    return row;
+  }
+  for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
+    ExperimentConfig cfg = cores == 1 ? ExperimentConfig::SingleCore(kind, seed)
+                                      : ExperimentConfig::Multicore(kind, seed);
+    ExperimentRun run(cfg);
+    Application* app = run.Add(entry->make(cores, seed, scale), 0);
+    run.Run();
+    const double metric = run.MetricFor(*app, entry->metric);
+    const double overhead = 100.0 * run.machine().SchedulerWorkFraction();
+    if (kind == SchedKind::kCfs) {
+      row.cfs_metric = metric;
+      row.cfs_overhead_pct = overhead;
+      row.cfs_wakeup_preemptions = run.machine().counters().wakeup_preemptions;
+    } else {
+      row.ule_metric = metric;
+      row.ule_overhead_pct = overhead;
+      row.ule_wakeup_preemptions = run.machine().counters().wakeup_preemptions;
+    }
+  }
+  if (row.cfs_metric > 0) {
+    row.diff_pct = 100.0 * (row.ule_metric - row.cfs_metric) / row.cfs_metric;
+  }
+  return row;
+}
+
+LoadBalanceResult RunLoadBalance512(SchedKind kind, uint64_t seed, SimTime run_for,
+                                    int tolerance) {
+  ExperimentConfig cfg = ExperimentConfig::Multicore(kind, seed);
+  cfg.system_noise = false;  // the paper's experiment uses only the spinners
+  cfg.horizon = run_for;
+  ExperimentRun run(cfg);
+
+  auto spinners = std::make_unique<ScriptedApp>("spinners", seed);
+  ScriptedApp::ThreadTemplate tmpl;
+  tmpl.name = "spin";
+  tmpl.count = 512;
+  tmpl.affinity = CpuMask::Single(0);
+  tmpl.script = ScriptBuilder().Loop(-1).Compute(Milliseconds(5)).EndLoop().Build();
+  spinners->AddThreads(std::move(tmpl));
+  spinners->set_background(true);
+  Application* app = run.Add(std::move(spinners), 0);
+
+  LoadBalanceResult result;
+  result.sched = kind;
+  result.unpin_time = SecondsF(14.5);
+  result.heatmap = std::make_unique<CoreLoadHeatmap>(&run.machine(), Milliseconds(100));
+
+  Machine& m = run.machine();
+  run.engine().At(result.unpin_time, [&m, app] {
+    const CpuMask all = CpuMask::AllOf(m.num_cores());
+    for (SimThread* t : app->threads()) {
+      m.SetAffinity(t, all);
+    }
+  });
+
+  run.Run();
+  result.heatmap->Stop();
+  result.balanced_time = result.heatmap->TimeToBalance(tolerance);
+  const auto final_counts = result.heatmap->CountsAt(run.engine().now());
+  if (!final_counts.empty()) {
+    result.final_max = *std::max_element(final_counts.begin(), final_counts.end());
+    result.final_min = *std::min_element(final_counts.begin(), final_counts.end());
+  }
+  result.migrations = m.counters().migrations;
+  result.balance_invocations = m.counters().balance_invocations;
+  return result;
+}
+
+CrayResult RunCrayPlacement(SchedKind kind, uint64_t seed, double scale) {
+  ExperimentConfig cfg = ExperimentConfig::Multicore(kind, seed);
+  cfg.system_noise = false;
+  ExperimentRun run(cfg);
+  CrayParams cp;
+  cp.seed = seed;
+  cp.work_per_thread = static_cast<SimDuration>(cp.work_per_thread * scale);
+  Application* app = run.Add(MakeCray(cp), 0);
+
+  CrayResult result;
+  result.sched = kind;
+  result.heatmap = std::make_unique<CoreLoadHeatmap>(&run.machine(), Milliseconds(100));
+  run.Run();
+  result.heatmap->Stop();
+  result.finish_time = app->stats().finished;
+  SimTime all_runnable = 0;
+  for (SimThread* t : app->threads()) {
+    all_runnable = std::max(all_runnable, t->first_dispatch);
+  }
+  result.all_runnable_time = all_runnable;
+  return result;
+}
+
+std::vector<MultiAppRow> RunMultiAppPairs(uint64_t seed, double scale) {
+  struct PairDef {
+    std::string pair;
+    std::string a;
+    std::string b;
+  };
+  const std::vector<PairDef> pairs = {
+      {"c-ray + EP", "c-ray", "EP"},
+      {"fibo + sysbench", "fibo", "sysbench"},
+      {"blackscholes + ferret", "blackscholes", "ferret"},
+      {"apache + sysbench", "apache", "sysbench"},
+  };
+  const int cores = 32;
+
+  auto make_app = [&](const std::string& name) -> std::unique_ptr<Application> {
+    if (name == "fibo") {
+      FiboParams p;
+      p.total_work = SecondsF(60.0 * scale);
+      p.seed = seed;
+      return MakeFibo(p);
+    }
+    const AppEntry* e = FindApp(name);
+    // The server-style apps are open-ended in the paper's pairs; run them
+    // long enough to overlap their partner for most of the measurement.
+    const bool open_ended = name == "sysbench" || name == "ferret" || name == "apache";
+    return e->make(cores, seed, open_ended ? 3.0 * scale : scale);
+  };
+  auto metric_kind = [&](const std::string& name) {
+    if (name == "fibo") {
+      return MetricKind::kInvTime;
+    }
+    return FindApp(name)->metric;
+  };
+
+  std::vector<MultiAppRow> rows;
+  for (const PairDef& pd : pairs) {
+    MultiAppRow ra, rb;
+    ra.pair_name = rb.pair_name = pd.pair;
+    ra.app_name = pd.a;
+    rb.app_name = pd.b;
+    for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
+      // Alone runs.
+      for (const std::string* name : {&pd.a, &pd.b}) {
+        ExperimentRun run(ExperimentConfig::Multicore(kind, seed));
+        Application* app = run.Add(make_app(*name), 0);
+        run.Run();
+        const double v = run.MetricFor(*app, metric_kind(*name));
+        MultiAppRow& r = (name == &pd.a) ? ra : rb;
+        (kind == SchedKind::kCfs ? r.alone_cfs : r.alone_ule) = v;
+      }
+      // Co-scheduled run.
+      ExperimentRun run(ExperimentConfig::Multicore(kind, seed));
+      Application* a = run.Add(make_app(pd.a), 0);
+      Application* b = run.Add(make_app(pd.b), 0);
+      run.Run();
+      (kind == SchedKind::kCfs ? ra.multi_cfs : ra.multi_ule) =
+          run.MetricFor(*a, metric_kind(pd.a));
+      (kind == SchedKind::kCfs ? rb.multi_cfs : rb.multi_ule) =
+          run.MetricFor(*b, metric_kind(pd.b));
+    }
+    rows.push_back(ra);
+    rows.push_back(rb);
+  }
+  return rows;
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,96 @@
+// Canned scenarios for every table and figure in the paper's evaluation.
+// The bench binaries are thin wrappers over these functions.
+#ifndef SRC_CORE_SCENARIOS_H_
+#define SRC_CORE_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/runner.h"
+#include "src/metrics/heatmap.h"
+#include "src/metrics/timeseries.h"
+
+namespace schedbattle {
+
+// ---- Table 2 / Figures 1 and 2: fibo + sysbench on one core ----
+struct FiboSysbenchResult {
+  SchedKind sched;
+  SimDuration fibo_runtime;      // CPU time fibo accumulated (should be ~160s)
+  SimTime fibo_finish;           // wall-clock completion
+  double sysbench_tps;           // transactions per second
+  SimDuration sysbench_avg_latency;
+  SimTime sysbench_finish;
+  TimeSeries fibo_runtime_series;       // Figure 1: cumulative runtime over time
+  TimeSeries sysbench_runtime_series;   //
+  TimeSeries fibo_penalty_series;       // Figure 2: interactivity penalty (ULE)
+  TimeSeries sysbench_penalty_series;   //
+};
+FiboSysbenchResult RunFiboSysbench(SchedKind kind, uint64_t seed, double scale = 1.0);
+
+// ---- Figures 3 and 4: sysbench's own threads under ULE ----
+struct SysbenchThreadsResult {
+  // One series per thread class, as in the figures.
+  TimeSeries master_runtime;
+  TimeSeries interactive_runtime;   // average of interactive workers
+  TimeSeries background_runtime;    // average of starving workers
+  TimeSeries interactive_penalty;
+  TimeSeries background_penalty;
+  int interactive_count = 0;
+  int background_count = 0;
+  int starved_count = 0;  // workers with (almost) zero runtime at the end
+};
+SysbenchThreadsResult RunSysbenchThreads(SchedKind kind, uint64_t seed, double scale = 1.0);
+
+// ---- Figures 5 and 8: the application suite ----
+struct SuiteRow {
+  std::string name;
+  double cfs_metric = 0;
+  double ule_metric = 0;
+  // Percentage difference of ULE vs CFS ("higher = ULE faster").
+  double diff_pct = 0;
+  double cfs_overhead_pct = 0;  // scheduler cycles / busy cycles
+  double ule_overhead_pct = 0;
+  uint64_t cfs_wakeup_preemptions = 0;
+  uint64_t ule_wakeup_preemptions = 0;
+};
+// Runs one app under both schedulers. cores==1 reproduces Figure 5 rows,
+// cores==32 Figure 8 rows.
+SuiteRow RunSuiteApp(const std::string& name, int cores, uint64_t seed, double scale);
+
+// ---- Figure 6: 512 pinned spinners unpinned at t=14.5s ----
+struct LoadBalanceResult {
+  SchedKind sched;
+  std::unique_ptr<CoreLoadHeatmap> heatmap;
+  SimTime unpin_time;
+  SimTime balanced_time;  // first time max-min <= tolerance (-1 if never)
+  int final_max = 0;
+  int final_min = 0;
+  uint64_t migrations = 0;
+  uint64_t balance_invocations = 0;
+};
+LoadBalanceResult RunLoadBalance512(SchedKind kind, uint64_t seed, SimTime run_for,
+                                    int tolerance);
+
+// ---- Figure 7: c-ray thread placement ----
+struct CrayResult {
+  SchedKind sched;
+  std::unique_ptr<CoreLoadHeatmap> heatmap;
+  SimTime all_runnable_time;  // when all render threads have started running
+  SimTime finish_time;
+};
+CrayResult RunCrayPlacement(SchedKind kind, uint64_t seed, double scale = 1.0);
+
+// ---- Figure 9: multi-application workloads ----
+struct MultiAppRow {
+  std::string pair_name;
+  std::string app_name;
+  double alone_cfs = 0;   // metric running alone on CFS (the figure's baseline)
+  double multi_cfs = 0;   // co-scheduled on CFS
+  double alone_ule = 0;
+  double multi_ule = 0;
+};
+std::vector<MultiAppRow> RunMultiAppPairs(uint64_t seed, double scale = 1.0);
+
+}  // namespace schedbattle
+
+#endif  // SRC_CORE_SCENARIOS_H_

@@ -1,0 +1,30 @@
+#include "src/metrics/counters.h"
+
+#include <sstream>
+
+namespace schedbattle {
+
+std::string FormatCounters(const Machine& machine) {
+  const MachineCounters& c = machine.counters();
+  std::ostringstream os;
+  os << "  context switches:    " << c.context_switches << "\n"
+     << "  wakeup preemptions:  " << c.wakeup_preemptions << "\n"
+     << "  tick preemptions:    " << c.tick_preemptions << "\n"
+     << "  migrations:          " << c.migrations << "\n"
+     << "  wakeups:             " << c.wakeups << "\n"
+     << "  forks/exits:         " << c.forks << "/" << c.exits << "\n"
+     << "  pickcpu cores scanned: " << c.pickcpu_scans << "\n"
+     << "  balancer invocations:  " << c.balance_invocations << "\n";
+  const double busy = static_cast<double>(machine.TotalBusyTime());
+  auto pct = [busy](SimDuration d) {
+    return busy > 0 ? 100.0 * static_cast<double>(d) / busy : 0.0;
+  };
+  os << "  sched overhead: total " << 100.0 * machine.OverheadFraction() << "% of busy cycles ("
+     << "ctxsw " << pct(c.overhead_ns[0]) << "%, "
+     << "pickcpu " << pct(c.overhead_ns[1]) << "%, "
+     << "balance " << pct(c.overhead_ns[2]) << "%, "
+     << "wakeplace " << pct(c.overhead_ns[3]) << "%)\n";
+  return os.str();
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,17 @@
+// Pretty-printing of machine counters and scheduler overhead accounting.
+#ifndef SRC_METRICS_COUNTERS_H_
+#define SRC_METRICS_COUNTERS_H_
+
+#include <string>
+
+#include "src/sched/machine.h"
+
+namespace schedbattle {
+
+// Multi-line human-readable dump of the machine's counters (context
+// switches, preemptions, migrations, pickcpu scans, overhead fractions).
+std::string FormatCounters(const Machine& machine);
+
+}  // namespace schedbattle
+
+#endif  // SRC_METRICS_COUNTERS_H_

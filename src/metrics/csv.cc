@@ -1,0 +1,42 @@
+#include "src/metrics/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace schedbattle {
+
+std::string SeriesToCsv(const std::vector<const TimeSeries*>& series) {
+  std::ostringstream os;
+  os << "time_s";
+  for (const TimeSeries* s : series) {
+    os << "," << s->label();
+  }
+  os << "\n";
+  std::set<SimTime> times;
+  for (const TimeSeries* s : series) {
+    for (const TimePoint& p : s->points()) {
+      times.insert(p.t);
+    }
+  }
+  for (SimTime t : times) {
+    os << ToSeconds(t);
+    for (const TimeSeries* s : series) {
+      os << "," << s->ValueAt(t);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,21 @@
+// Minimal CSV writing for experiment outputs.
+#ifndef SRC_METRICS_CSV_H_
+#define SRC_METRICS_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/metrics/timeseries.h"
+
+namespace schedbattle {
+
+// Merges several time series into "t,series1,series2,..." rows (step-hold
+// interpolation at the union of sample times).
+std::string SeriesToCsv(const std::vector<const TimeSeries*>& series);
+
+// Writes `content` to `path`; returns false on I/O failure.
+bool WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace schedbattle
+
+#endif  // SRC_METRICS_CSV_H_

@@ -1,0 +1,93 @@
+#include "src/metrics/heatmap.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace schedbattle {
+
+CoreLoadHeatmap::CoreLoadHeatmap(Machine* machine, SimDuration period) : machine_(machine) {
+  sampler_ = std::make_unique<PeriodicSampler>(machine, period, [this](SimTime t) {
+    std::vector<int> counts(machine_->num_cores());
+    for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+      counts[c] = machine_->scheduler().RunnableCountOf(c);
+    }
+    samples_.emplace_back(t, std::move(counts));
+  });
+}
+
+SimTime CoreLoadHeatmap::TimeToBalance(int tolerance) const {
+  SimTime balanced_since = -1;
+  for (const auto& [t, counts] : samples_) {
+    const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+    if (*mx - *mn <= tolerance) {
+      if (balanced_since < 0) {
+        balanced_since = t;
+      }
+    } else {
+      balanced_since = -1;
+    }
+  }
+  return balanced_since;
+}
+
+std::vector<int> CoreLoadHeatmap::CountsAt(SimTime t) const {
+  if (samples_.empty()) {
+    return {};
+  }
+  const auto* best = &samples_.front();
+  for (const auto& s : samples_) {
+    if (std::abs(s.first - t) < std::abs(best->first - t)) {
+      best = &s;
+    }
+  }
+  return best->second;
+}
+
+std::string CoreLoadHeatmap::RenderAscii(int max_cols) const {
+  if (samples_.empty()) {
+    return "(no samples)\n";
+  }
+  const int cores = static_cast<int>(samples_.front().second.size());
+  const int n = static_cast<int>(samples_.size());
+  const int stride = std::max(1, n / max_cols);
+  static const char kShades[] = " .:-=+*#%@";
+  int maxv = 1;
+  for (const auto& [t, counts] : samples_) {
+    for (int v : counts) {
+      maxv = std::max(maxv, v);
+    }
+  }
+  std::ostringstream os;
+  os << "threads-per-core over time (rows: cores, cols: time; scale max=" << maxv << ")\n";
+  for (int c = 0; c < cores; ++c) {
+    os << (c < 10 ? " " : "") << c << " |";
+    for (int i = 0; i < n; i += stride) {
+      const int v = samples_[i].second[c];
+      const int shade = v == 0 ? 0 : 1 + std::min(8, v * 9 / (maxv + 1));
+      os << kShades[shade];
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+std::string CoreLoadHeatmap::ToCsv() const {
+  std::ostringstream os;
+  os << "time_s";
+  if (!samples_.empty()) {
+    for (size_t c = 0; c < samples_.front().second.size(); ++c) {
+      os << ",core" << c;
+    }
+  }
+  os << "\n";
+  for (const auto& [t, counts] : samples_) {
+    os << ToSeconds(t);
+    for (int v : counts) {
+      os << "," << v;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,48 @@
+// Threads-per-core heatmap (the paper's Figures 6 and 7).
+#ifndef SRC_METRICS_HEATMAP_H_
+#define SRC_METRICS_HEATMAP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/metrics/timeseries.h"
+#include "src/sched/machine.h"
+
+namespace schedbattle {
+
+// Samples the scheduler's runnable count per core every `period` and renders
+// the result as text/CSV.
+class CoreLoadHeatmap {
+ public:
+  CoreLoadHeatmap(Machine* machine, SimDuration period);
+
+  // Stop sampling (e.g. when the workload finished).
+  void Stop() { sampler_->Stop(); }
+
+  int num_samples() const { return static_cast<int>(samples_.size()); }
+  // samples()[i] = (time, per-core runnable counts).
+  const std::vector<std::pair<SimTime, std::vector<int>>>& samples() const { return samples_; }
+
+  // First time at which max-min <= tolerance across cores held (and kept
+  // holding until the end of sampling); -1 if never.
+  SimTime TimeToBalance(int tolerance) const;
+
+  // Per-core counts at the sample nearest to `t`.
+  std::vector<int> CountsAt(SimTime t) const;
+
+  // Compact ASCII rendering: one row per core, one column per sample bucket.
+  std::string RenderAscii(int max_cols = 100) const;
+
+  // CSV: time,core0,core1,...
+  std::string ToCsv() const;
+
+ private:
+  Machine* machine_;
+  std::vector<std::pair<SimTime, std::vector<int>>> samples_;
+  std::unique_ptr<PeriodicSampler> sampler_;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_METRICS_HEATMAP_H_

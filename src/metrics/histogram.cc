@@ -1,0 +1,60 @@
+#include "src/metrics/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace schedbattle {
+
+void LatencyHistogram::Record(SimDuration value) {
+  samples_.push_back(value);
+  sorted_ = false;
+}
+
+void LatencyHistogram::SortIfNeeded() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+SimDuration LatencyHistogram::min() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  SortIfNeeded();
+  return samples_.front();
+}
+
+SimDuration LatencyHistogram::max() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  SortIfNeeded();
+  return samples_.back();
+}
+
+double LatencyHistogram::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return sum / static_cast<double>(samples_.size());
+}
+
+SimDuration LatencyHistogram::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  SortIfNeeded();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t idx = static_cast<size_t>(rank + 0.5);
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+void LatencyHistogram::Clear() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+}  // namespace schedbattle

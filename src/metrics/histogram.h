@@ -1,0 +1,35 @@
+// Latency histogram with exact percentiles (samples are retained; simulation
+// volumes are small enough that exactness beats bucketing).
+#ifndef SRC_METRICS_HISTOGRAM_H_
+#define SRC_METRICS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+class LatencyHistogram {
+ public:
+  void Record(SimDuration value);
+
+  uint64_t count() const { return samples_.size(); }
+  SimDuration min() const;
+  SimDuration max() const;
+  double Mean() const;
+  // p in [0, 100]; exact order statistic (nearest-rank).
+  SimDuration Percentile(double p) const;
+
+  void Clear();
+
+ private:
+  void SortIfNeeded() const;
+
+  mutable std::vector<SimDuration> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_METRICS_HISTOGRAM_H_

@@ -1,0 +1,41 @@
+#include "src/metrics/timeseries.h"
+
+namespace schedbattle {
+
+double TimeSeries::ValueAt(SimTime t) const {
+  double last = 0.0;
+  for (const TimePoint& p : points_) {
+    if (p.t > t) {
+      break;
+    }
+    last = p.value;
+  }
+  return last;
+}
+
+PeriodicSampler::PeriodicSampler(Machine* machine, SimDuration period,
+                                 std::function<void(SimTime)> fn)
+    : machine_(machine), period_(period), fn_(std::move(fn)) {
+  Arm();
+}
+
+PeriodicSampler::~PeriodicSampler() { Stop(); }
+
+void PeriodicSampler::Stop() {
+  if (!stopped_) {
+    stopped_ = true;
+    machine_->engine().Cancel(event_);
+  }
+}
+
+void PeriodicSampler::Arm() {
+  event_ = machine_->engine().After(period_, [this] {
+    if (stopped_) {
+      return;
+    }
+    fn_(machine_->now());
+    Arm();
+  });
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,56 @@
+// Time series recording and periodic sampling.
+#ifndef SRC_METRICS_TIMESERIES_H_
+#define SRC_METRICS_TIMESERIES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sched/machine.h"
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+struct TimePoint {
+  SimTime t;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string label = "") : label_(std::move(label)) {}
+
+  void Push(SimTime t, double value) { points_.push_back({t, value}); }
+  const std::vector<TimePoint>& points() const { return points_; }
+  const std::string& label() const { return label_; }
+  bool empty() const { return points_.empty(); }
+
+  // Last value at or before `t` (0.0 if none).
+  double ValueAt(SimTime t) const;
+
+ private:
+  std::string label_;
+  std::vector<TimePoint> points_;
+};
+
+// Runs `fn` every `period` of simulated time until the engine stops.
+class PeriodicSampler {
+ public:
+  PeriodicSampler(Machine* machine, SimDuration period, std::function<void(SimTime)> fn);
+  ~PeriodicSampler();
+
+  void Stop();
+
+ private:
+  void Arm();
+
+  Machine* machine_;
+  SimDuration period_;
+  std::function<void(SimTime)> fn_;
+  EventHandle event_;
+  bool stopped_ = false;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_METRICS_TIMESERIES_H_

@@ -1,0 +1,159 @@
+#include "src/metrics/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace schedbattle {
+
+SchedTrace::SchedTrace(Machine* machine, size_t capacity)
+    : machine_(machine), capacity_(std::max<size_t>(capacity, 16)) {
+  machine_->set_observer(this);
+  attached_ = true;
+}
+
+SchedTrace::~SchedTrace() { Detach(); }
+
+void SchedTrace::Detach() {
+  if (attached_ && machine_->observer() == this) {
+    machine_->set_observer(nullptr);
+  }
+  attached_ = false;
+}
+
+void SchedTrace::Push(const TraceEvent& e) {
+  if (events_.size() < capacity_) {
+    events_.push_back(e);
+    return;
+  }
+  events_[head_] = e;
+  head_ = (head_ + 1) % capacity_;
+  wrapped_ = true;
+  ++dropped_;
+}
+
+void SchedTrace::OnDispatch(SimTime now, CoreId core, const SimThread& thread) {
+  Push({TraceEvent::Kind::kDispatch, now, thread.id(), core, kInvalidCore, 0});
+}
+void SchedTrace::OnDeschedule(SimTime now, CoreId core, const SimThread& thread, char reason) {
+  Push({TraceEvent::Kind::kDeschedule, now, thread.id(), core, kInvalidCore, reason});
+}
+void SchedTrace::OnWake(SimTime now, const SimThread& thread, CoreId target) {
+  Push({TraceEvent::Kind::kWake, now, thread.id(), target, kInvalidCore, 0});
+}
+void SchedTrace::OnMigrate(SimTime now, const SimThread& thread, CoreId from, CoreId to) {
+  Push({TraceEvent::Kind::kMigrate, now, thread.id(), to, from, 0});
+}
+void SchedTrace::OnFork(SimTime now, const SimThread& thread, CoreId target) {
+  Push({TraceEvent::Kind::kFork, now, thread.id(), target, kInvalidCore, 0});
+}
+
+std::vector<TraceEvent> SchedTrace::Events() const {
+  if (!wrapped_) {
+    return events_;
+  }
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+std::string SchedTrace::NameOf(ThreadId id) const {
+  const SimThread* t = machine_->FindThread(id);
+  return t != nullptr ? t->name() : ("tid" + std::to_string(id));
+}
+
+std::string SchedTrace::ToText(size_t max_events) const {
+  static const char* kNames[] = {"DISPATCH", "DESCHED ", "WAKE    ", "MIGRATE ", "FORK    "};
+  std::ostringstream os;
+  const auto events = Events();
+  const size_t start = events.size() > max_events ? events.size() - max_events : 0;
+  for (size_t i = start; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    char line[160];
+    if (e.kind == TraceEvent::Kind::kMigrate) {
+      std::snprintf(line, sizeof(line), "%12.6f c%02d %s tid=%lld %s (from c%02d)\n",
+                    ToSeconds(e.t), e.core, kNames[static_cast<int>(e.kind)],
+                    static_cast<long long>(e.thread), NameOf(e.thread).c_str(), e.from_core);
+    } else if (e.kind == TraceEvent::Kind::kDeschedule) {
+      std::snprintf(line, sizeof(line), "%12.6f c%02d %s tid=%lld %s [%c]\n", ToSeconds(e.t),
+                    e.core, kNames[static_cast<int>(e.kind)], static_cast<long long>(e.thread),
+                    NameOf(e.thread).c_str(), e.reason);
+    } else {
+      std::snprintf(line, sizeof(line), "%12.6f c%02d %s tid=%lld %s\n", ToSeconds(e.t), e.core,
+                    kNames[static_cast<int>(e.kind)], static_cast<long long>(e.thread),
+                    NameOf(e.thread).c_str());
+    }
+    os << line;
+  }
+  return os.str();
+}
+
+std::string SchedTrace::ToChromeJson() const {
+  // trace_event format: pid = 0, tid = core id; "X" complete events for run
+  // intervals, "i" instants for wakes/migrations/forks.
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& json) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << json;
+  };
+  // Name the per-core tracks.
+  for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\","
+                  "\"args\":{\"name\":\"core %d\"}}",
+                  c, c);
+    emit(buf);
+  }
+  // Pair dispatch/deschedule per core into slices.
+  std::map<CoreId, TraceEvent> open;
+  for (const TraceEvent& e : Events()) {
+    char buf[256];
+    switch (e.kind) {
+      case TraceEvent::Kind::kDispatch:
+        open[e.core] = e;
+        break;
+      case TraceEvent::Kind::kDeschedule: {
+        auto it = open.find(e.core);
+        if (it != open.end() && it->second.thread == e.thread) {
+          const double us_start = static_cast<double>(it->second.t) / 1000.0;
+          const double us_dur = static_cast<double>(e.t - it->second.t) / 1000.0;
+          std::snprintf(buf, sizeof(buf),
+                        "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,"
+                        "\"name\":\"%s\",\"args\":{\"end\":\"%c\"}}",
+                        e.core, us_start, us_dur, NameOf(e.thread).c_str(), e.reason);
+          emit(buf);
+          open.erase(it);
+        }
+        break;
+      }
+      case TraceEvent::Kind::kWake:
+      case TraceEvent::Kind::kMigrate:
+      case TraceEvent::Kind::kFork: {
+        const char* name = e.kind == TraceEvent::Kind::kWake
+                               ? "wake"
+                               : (e.kind == TraceEvent::Kind::kMigrate ? "migrate" : "fork");
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s %s\","
+                      "\"s\":\"t\"}",
+                      e.core, static_cast<double>(e.t) / 1000.0, name,
+                      NameOf(e.thread).c_str());
+        emit(buf);
+        break;
+      }
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,69 @@
+// SchedTrace: records scheduling events (dispatch, deschedule, wake,
+// migrate, fork) through the MachineObserver interface and exports them as
+//   - a human-readable text log, and
+//   - Chrome trace_event JSON (open in chrome://tracing or Perfetto), with
+//     one lane per core showing which thread ran when.
+#ifndef SRC_METRICS_TRACE_H_
+#define SRC_METRICS_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sched/machine.h"
+
+namespace schedbattle {
+
+struct TraceEvent {
+  enum class Kind : uint8_t { kDispatch, kDeschedule, kWake, kMigrate, kFork };
+  Kind kind;
+  SimTime t;
+  ThreadId thread;
+  CoreId core;       // dispatch/deschedule/wake/fork: the core; migrate: destination
+  CoreId from_core;  // migrate only
+  char reason;       // deschedule only: P/B/X/Y
+};
+
+class SchedTrace : public MachineObserver {
+ public:
+  // Attaches to the machine as its observer. `capacity` bounds memory: when
+  // full, the oldest events are dropped (ring buffer).
+  explicit SchedTrace(Machine* machine, size_t capacity = 1 << 20);
+  ~SchedTrace() override;
+
+  void OnDispatch(SimTime now, CoreId core, const SimThread& thread) override;
+  void OnDeschedule(SimTime now, CoreId core, const SimThread& thread, char reason) override;
+  void OnWake(SimTime now, const SimThread& thread, CoreId target) override;
+  void OnMigrate(SimTime now, const SimThread& thread, CoreId from, CoreId to) override;
+  void OnFork(SimTime now, const SimThread& thread, CoreId target) override;
+
+  // Stops recording (the machine's observer slot is released).
+  void Detach();
+
+  size_t size() const { return events_.size(); }
+  size_t dropped() const { return dropped_; }
+  // Events in chronological order (ring-buffer order resolved).
+  std::vector<TraceEvent> Events() const;
+
+  // One line per event: "12.345678 c03 DISPATCH  tid=7 name".
+  std::string ToText(size_t max_events = 10000) const;
+
+  // Chrome trace_event JSON: complete ("X") slices per dispatch interval on
+  // per-core tracks, plus instant events for wakes/migrations.
+  std::string ToChromeJson() const;
+
+ private:
+  void Push(const TraceEvent& e);
+  std::string NameOf(ThreadId id) const;
+
+  Machine* machine_;
+  size_t capacity_;
+  std::vector<TraceEvent> events_;  // ring buffer
+  size_t head_ = 0;                 // next write position once wrapped
+  bool wrapped_ = false;
+  size_t dropped_ = 0;
+  bool attached_ = false;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_METRICS_TRACE_H_

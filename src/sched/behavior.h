@@ -1,0 +1,64 @@
+// Thread behaviour interface.
+//
+// A thread's workload is modelled by a ThreadBody. Whenever the thread is
+// able to make progress (first dispatch, a compute segment finished, or it
+// was woken after blocking), the Machine calls OnRun(), which performs any
+// instantaneous bookkeeping (releasing a lock, writing to a pipe, recording a
+// latency sample) and returns the next Step:
+//
+//   kCompute  - burn `duration` of CPU; OnRun is called again when done.
+//               The segment may be preempted and resumed transparently.
+//   kBlock    - the thread blocks voluntarily. The body (or a sync primitive
+//               it used) is responsible for arranging a future Machine::Wake.
+//   kYield    - give the CPU back to the scheduler, stay runnable.
+//   kExit     - the thread terminates.
+//
+// All blocking synchronization (sleep, locks, pipes, barriers) is built on
+// kBlock + Machine::Wake in src/workload/sync.h.
+#ifndef SRC_SCHED_BEHAVIOR_H_
+#define SRC_SCHED_BEHAVIOR_H_
+
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+class Machine;
+class SimThread;
+
+struct Step {
+  enum class Kind { kCompute, kBlock, kYield, kExit };
+
+  Kind kind;
+  SimDuration duration = 0;  // only for kCompute
+
+  static Step Compute(SimDuration d) { return Step{Kind::kCompute, d}; }
+  static Step Block() { return Step{Kind::kBlock, 0}; }
+  static Step Yield() { return Step{Kind::kYield, 0}; }
+  static Step Exit() { return Step{Kind::kExit, 0}; }
+};
+
+// Execution context handed to ThreadBody::OnRun.
+class ThreadContext {
+ public:
+  ThreadContext(Machine* machine, SimThread* thread) : machine_(machine), thread_(thread) {}
+
+  Machine& machine() const { return *machine_; }
+  SimThread& thread() const { return *thread_; }
+  SimTime now() const;
+
+ private:
+  Machine* machine_;
+  SimThread* thread_;
+};
+
+class ThreadBody {
+ public:
+  virtual ~ThreadBody() = default;
+
+  // Called each time the thread can make progress; returns the next step.
+  virtual Step OnRun(ThreadContext& ctx) = 0;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_SCHED_BEHAVIOR_H_

@@ -1,0 +1,5 @@
+#include "src/sched/core.h"
+
+namespace schedbattle {
+// Core is currently header-only; this file anchors the target in the build.
+}  // namespace schedbattle

@@ -1,0 +1,46 @@
+// Core: a logical CPU in the simulated machine.
+#ifndef SRC_SCHED_CORE_H_
+#define SRC_SCHED_CORE_H_
+
+#include <cstdint>
+
+#include "src/sched/thread.h"
+#include "src/sched/types.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+class Core {
+ public:
+  explicit Core(CoreId id) : id_(id) {}
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  CoreId id() const { return id_; }
+
+  SimThread* current() const { return current_; }
+  void set_current(SimThread* t) { current_ = t; }
+  bool idle() const { return current_ == nullptr; }
+
+  // ---- state managed by Machine ----
+  bool resched_pending = false;       // a reschedule event is queued
+  EventHandle completion_event;       // pending compute-segment completion
+  EventHandle tick_event;
+  SimTime idle_since = 0;
+  SimDuration idle_ns = 0;            // cumulative idle time
+  // Exponential average of recent idle-period lengths (kernel: rq->avg_idle;
+  // newidle balancing is skipped when this is very small).
+  SimDuration avg_idle = Seconds(1);
+  SimDuration sched_overhead_ns = 0;  // cumulative simulated scheduler cycles
+  uint64_t context_switches = 0;
+  uint64_t preemptions = 0;           // involuntary deschedules on this core
+
+ private:
+  CoreId id_;
+  SimThread* current_ = nullptr;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_SCHED_CORE_H_

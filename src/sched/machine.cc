@@ -1,0 +1,452 @@
+#include "src/sched/machine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace schedbattle {
+
+SimTime ThreadContext::now() const { return machine_->now(); }
+
+Machine::Machine(SimEngine* engine, CpuTopology topology, std::unique_ptr<Scheduler> scheduler,
+                 MachineParams params)
+    : engine_(engine),
+      topology_(std::move(topology)),
+      scheduler_(std::move(scheduler)),
+      params_(params),
+      rng_(params.seed) {
+  assert(topology_.num_cores() <= 64 && "CpuMask supports at most 64 cores");
+  cores_.reserve(topology_.num_cores());
+  for (CoreId c = 0; c < topology_.num_cores(); ++c) {
+    cores_.push_back(std::make_unique<Core>(c));
+    cores_.back()->idle_since = 0;
+  }
+  scheduler_->Attach(this);
+}
+
+Machine::~Machine() = default;
+
+void Machine::Boot() {
+  assert(!booted_);
+  booted_ = true;
+  const SimDuration period = scheduler_->TickPeriod();
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    // Stagger first ticks across cores so the simulation does not create an
+    // artificial global tick synchrony real hardware does not have.
+    const SimDuration offset = (period * c) / num_cores();
+    Core* core = cores_[c].get();
+    core->tick_event = engine_->After(offset + period, [this, c] { TickCore(c); });
+  }
+  scheduler_->Start();
+}
+
+SimThread* Machine::CreateThread(ThreadSpec spec) {
+  assert(spec.body != nullptr && "threads need a body");
+  if (spec.affinity.Empty()) {
+    spec.affinity = CpuMask::AllOf(num_cores());
+  }
+  threads_.push_back(std::make_unique<SimThread>(next_thread_id_++, std::move(spec)));
+  return threads_.back().get();
+}
+
+void Machine::StartThread(SimThread* thread, SimThread* parent) {
+  assert(booted_ && "Boot() the machine before starting threads");
+  assert(thread->state() == ThreadState::kCreated);
+  ++counters_.forks;
+  ++alive_threads_;
+  scheduler_->TaskNew(thread, parent);
+  const CoreId origin =
+      (parent != nullptr && parent->cpu() != kInvalidCore) ? parent->cpu() : CoreId{0};
+  const CoreId cpu = scheduler_->SelectTaskRq(thread, origin, EnqueueKind::kFork);
+  assert(thread->CanRunOn(cpu));
+  thread->set_cpu(cpu);
+  thread->set_state(ThreadState::kRunnable);
+  thread->runnable_since = now();
+  scheduler_->EnqueueTask(cpu, thread, EnqueueKind::kFork);
+  scheduler_->CheckPreemptWakeup(cpu, thread);
+  if (observer_ != nullptr) {
+    observer_->OnFork(now(), *thread, cpu);
+  }
+  if (cores_[cpu]->idle()) {
+    SetNeedResched(cpu);
+  }
+}
+
+SimThread* Machine::Spawn(ThreadSpec spec, SimThread* parent) {
+  SimThread* t = CreateThread(std::move(spec));
+  StartThread(t, parent);
+  return t;
+}
+
+bool Machine::Wake(SimThread* thread, CoreId waker_core) {
+  if (thread->state() != ThreadState::kBlocked) {
+    return false;
+  }
+  ++counters_.wakeups;
+  thread->last_sleep_duration = now() - thread->block_start;
+  thread->total_sleep += thread->last_sleep_duration;
+  CoreId origin = waker_core;
+  if (origin == kInvalidCore) {
+    origin = thread->last_ran_cpu() != kInvalidCore ? thread->last_ran_cpu() : CoreId{0};
+  }
+  const CoreId cpu = scheduler_->SelectTaskRq(thread, origin, EnqueueKind::kWakeup);
+  assert(thread->CanRunOn(cpu));
+  thread->set_cpu(cpu);
+  thread->set_state(ThreadState::kRunnable);
+  thread->runnable_since = now();
+  scheduler_->EnqueueTask(cpu, thread, EnqueueKind::kWakeup);
+  scheduler_->CheckPreemptWakeup(cpu, thread);
+  if (observer_ != nullptr) {
+    observer_->OnWake(now(), *thread, cpu);
+  }
+  if (cores_[cpu]->idle()) {
+    SetNeedResched(cpu);
+  }
+  return true;
+}
+
+void Machine::SetAffinity(SimThread* thread, const CpuMask& mask) {
+  assert(!mask.Empty());
+  thread->set_affinity(mask);
+  switch (thread->state()) {
+    case ThreadState::kRunnable: {
+      const CoreId cur = thread->cpu();
+      if (!mask.Test(cur)) {
+        scheduler_->DequeueTask(cur, thread);
+        const CoreId cpu = scheduler_->SelectTaskRq(thread, cur, EnqueueKind::kMigrate);
+        scheduler_->EnqueueTask(cpu, thread, EnqueueKind::kMigrate);
+        NoteMigration(thread, cur, cpu);
+      }
+      break;
+    }
+    case ThreadState::kRunning:
+      // ReschedCore migrates it after put_prev if the core is now disallowed.
+      SetNeedResched(thread->cpu());
+      break;
+    default:
+      break;  // blocked/created threads are placed at their next wake/start
+  }
+}
+
+void Machine::SetNice(SimThread* thread, Nice nice) {
+  assert(nice >= kNiceMin && nice <= kNiceMax);
+  if (thread->nice() == nice) {
+    return;
+  }
+  thread->set_nice(nice);
+  if (thread->state() == ThreadState::kDead || thread->state() == ThreadState::kCreated) {
+    return;
+  }
+  scheduler_->ReniceTask(thread);
+  if (thread->state() == ThreadState::kRunning || thread->state() == ThreadState::kRunnable) {
+    SetNeedResched(thread->cpu());
+  }
+}
+
+void Machine::SetNeedResched(CoreId core) {
+  Core* c = cores_[core].get();
+  if (c->resched_pending) {
+    return;
+  }
+  c->resched_pending = true;
+  engine_->At(now(), [this, core] { ReschedCore(core); });
+}
+
+void Machine::ChargeOverhead(CoreId core, SimDuration d, OverheadKind kind) {
+  if (d <= 0) {
+    return;
+  }
+  counters_.overhead_ns[static_cast<int>(kind)] += d;
+  Core* c = cores_[core].get();
+  c->sched_overhead_ns += d;
+  SimThread* cur = c->current();
+  if (cur != nullptr) {
+    cur->work_started += d;
+    if (c->completion_event.valid()) {
+      engine_->Cancel(c->completion_event);
+      c->completion_event =
+          engine_->At(cur->work_started + cur->remaining_work,
+                      [this, core, cur] { OnComputeDone(core, cur); });
+    }
+  }
+}
+
+void Machine::NoteMigration(SimThread* thread, CoreId from, CoreId to) {
+  if (from == to) {
+    return;
+  }
+  ++counters_.migrations;
+  ++thread->migrations;
+  thread->set_cpu(to);
+  if (observer_ != nullptr) {
+    observer_->OnMigrate(now(), *thread, from, to);
+  }
+  if (cores_[to]->idle()) {
+    SetNeedResched(to);
+  }
+}
+
+SimThread* Machine::FindThread(ThreadId id) const {
+  for (const auto& t : threads_) {
+    if (t->id() == id) {
+      return t.get();
+    }
+  }
+  return nullptr;
+}
+
+SimDuration Machine::TotalBusyTime() const {
+  SimDuration busy = 0;
+  const SimTime t = now();
+  for (const auto& core : cores_) {
+    SimDuration idle = core->idle_ns;
+    if (core->idle() && core->idle_since >= 0) {
+      idle += t - core->idle_since;
+    }
+    busy += t - idle;
+  }
+  return busy;
+}
+
+double Machine::OverheadFraction() const {
+  const SimDuration busy = TotalBusyTime();
+  if (busy <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counters_.total_overhead()) / static_cast<double>(busy);
+}
+
+double Machine::SchedulerWorkFraction() const {
+  const SimDuration busy = TotalBusyTime();
+  if (busy <= 0) {
+    return 0.0;
+  }
+  const SimDuration work =
+      counters_.total_overhead() -
+      counters_.overhead_ns[static_cast<int>(OverheadKind::kContextSwitch)];
+  return static_cast<double>(work) / static_cast<double>(busy);
+}
+
+// ---- internal dispatch machinery ----
+
+SimThread* Machine::StopCurrent(CoreId core) {
+  Core* c = cores_[core].get();
+  SimThread* t = c->current();
+  if (t == nullptr) {
+    return nullptr;
+  }
+  engine_->Cancel(c->completion_event);
+  const SimTime t_now = now();
+  t->total_runtime += t_now - t->last_dispatch;
+  const SimDuration useful = t_now - t->work_started;
+  if (useful > 0) {
+    t->remaining_work = std::max<SimDuration>(0, t->remaining_work - useful);
+  }
+  t->set_last_ran_cpu(core);
+  t->last_descheduled = t_now;
+  c->set_current(nullptr);
+  return t;
+}
+
+void Machine::ReschedCore(CoreId core) {
+  Core* c = cores_[core].get();
+  c->resched_pending = false;
+  SimThread* prev = StopCurrent(core);
+  if (prev != nullptr) {
+    prev->set_state(ThreadState::kRunnable);
+    prev->runnable_since = now();
+    ++prev->preemptions;
+    ++c->preemptions;
+    if (observer_ != nullptr) {
+      observer_->OnDeschedule(now(), core, *prev, 'P');
+    }
+    scheduler_->PutPrevTask(core, prev);
+    if (!prev->CanRunOn(core)) {
+      scheduler_->DequeueTask(core, prev);
+      const CoreId cpu = scheduler_->SelectTaskRq(prev, core, EnqueueKind::kMigrate);
+      scheduler_->EnqueueTask(cpu, prev, EnqueueKind::kMigrate);
+      NoteMigration(prev, core, cpu);
+    }
+  }
+
+  SimThread* next = scheduler_->PickNextTask(core);
+  if (next == nullptr) {
+    scheduler_->OnCoreIdle(core);
+    next = scheduler_->PickNextTask(core);
+  }
+  if (next == nullptr) {
+    if (c->idle_since < 0) {
+      c->idle_since = now();
+    }
+    return;
+  }
+  if (prev != nullptr && next != prev && prev->remaining_work > 0) {
+    // Involuntary preemption mid-computation: the preempted thread will have
+    // to refill its working set when it resumes.
+    prev->remaining_work += params_.preemption_cache_penalty;
+  }
+  Dispatch(core, next, /*switched=*/next != prev);
+}
+
+void Machine::Dispatch(CoreId core, SimThread* thread, bool switched) {
+  Core* c = cores_[core].get();
+  assert(c->current() == nullptr);
+  if (c->idle_since >= 0) {
+    const SimDuration idled = now() - c->idle_since;
+    c->idle_ns += idled;
+    c->avg_idle += (idled - c->avg_idle) / 8;  // kernel: update_avg()
+    c->idle_since = -1;
+  }
+  thread->set_state(ThreadState::kRunning);
+  thread->set_cpu(core);
+  thread->total_wait += now() - thread->runnable_since;
+  thread->last_dispatch = now();
+  ++thread->dispatches;
+  if (thread->first_dispatch < 0) {
+    thread->first_dispatch = now();
+  }
+  SimDuration cost = 0;
+  if (switched) {
+    cost = params_.context_switch_cost;
+    ++counters_.context_switches;
+    ++c->context_switches;
+    counters_.overhead_ns[static_cast<int>(OverheadKind::kContextSwitch)] += cost;
+    c->sched_overhead_ns += cost;
+  }
+  thread->work_started = now() + cost;
+  c->set_current(thread);
+  if (observer_ != nullptr) {
+    observer_->OnDispatch(now(), core, *thread);
+  }
+  if (thread->remaining_work > 0) {
+    c->completion_event = engine_->At(thread->work_started + thread->remaining_work,
+                                      [this, core, thread] { OnComputeDone(core, thread); });
+  } else {
+    RunBody(core, thread);
+  }
+}
+
+void Machine::OnComputeDone(CoreId core, SimThread* thread) {
+  Core* c = cores_[core].get();
+  assert(c->current() == thread);
+  c->completion_event.Reset();
+  thread->remaining_work = 0;
+  thread->work_started = now();
+  RunBody(core, thread);
+}
+
+void Machine::RunBody(CoreId core, SimThread* thread) {
+  Core* c = cores_[core].get();
+  ThreadContext ctx(this, thread);
+  // A body may perform many instantaneous operations (lock handoffs, pipe
+  // writes) before its next compute/block; cap the loop to catch bodies that
+  // never consume time.
+  for (int spins = 0; spins < 100000; ++spins) {
+    const Step step = thread->body()->OnRun(ctx);
+    switch (step.kind) {
+      case Step::Kind::kCompute: {
+        if (step.duration <= 0) {
+          continue;
+        }
+        thread->remaining_work = step.duration;
+        c->completion_event = engine_->At(thread->work_started + thread->remaining_work,
+                                          [this, core, thread] { OnComputeDone(core, thread); });
+        return;
+      }
+      case Step::Kind::kBlock:
+        BlockCurrent(core, thread);
+        return;
+      case Step::Kind::kYield: {
+        StopCurrent(core);
+        thread->set_state(ThreadState::kRunnable);
+        thread->runnable_since = now();
+        if (observer_ != nullptr) {
+          observer_->OnDeschedule(now(), core, *thread, 'Y');
+        }
+        scheduler_->YieldTask(core, thread);
+        SimThread* next = scheduler_->PickNextTask(core);
+        if (next == nullptr) {
+          scheduler_->OnCoreIdle(core);
+          next = scheduler_->PickNextTask(core);
+        }
+        if (next == nullptr) {
+          if (c->idle_since < 0) {
+            c->idle_since = now();
+          }
+          return;
+        }
+        Dispatch(core, next, /*switched=*/next != thread);
+        return;
+      }
+      case Step::Kind::kExit:
+        ExitCurrent(core, thread);
+        return;
+    }
+  }
+  assert(false && "thread body made 100000 instantaneous steps without consuming time");
+}
+
+void Machine::BlockCurrent(CoreId core, SimThread* thread) {
+  StopCurrent(core);
+  thread->set_state(ThreadState::kBlocked);
+  thread->block_start = now();
+  if (observer_ != nullptr) {
+    observer_->OnDeschedule(now(), core, *thread, 'B');
+  }
+  scheduler_->OnTaskBlock(core, thread, /*voluntary=*/true);
+
+  SimThread* next = scheduler_->PickNextTask(core);
+  if (next == nullptr) {
+    scheduler_->OnCoreIdle(core);
+    next = scheduler_->PickNextTask(core);
+  }
+  if (next == nullptr) {
+    Core* c = cores_[core].get();
+    if (c->idle_since < 0) {
+      c->idle_since = now();
+    }
+    return;
+  }
+  Dispatch(core, next, /*switched=*/true);
+}
+
+void Machine::ExitCurrent(CoreId core, SimThread* thread) {
+  StopCurrent(core);
+  thread->set_state(ThreadState::kDead);
+  thread->exit_time = now();
+  if (observer_ != nullptr) {
+    observer_->OnDeschedule(now(), core, *thread, 'X');
+  }
+  --alive_threads_;
+  ++counters_.exits;
+  scheduler_->TaskExit(thread);
+  if (on_thread_exit) {
+    on_thread_exit(thread);
+  }
+
+  SimThread* next = scheduler_->PickNextTask(core);
+  if (next == nullptr) {
+    scheduler_->OnCoreIdle(core);
+    next = scheduler_->PickNextTask(core);
+  }
+  if (next == nullptr) {
+    Core* c = cores_[core].get();
+    if (c->idle_since < 0) {
+      c->idle_since = now();
+    }
+    return;
+  }
+  Dispatch(core, next, /*switched=*/true);
+}
+
+void Machine::TickCore(CoreId core) {
+  Core* c = cores_[core].get();
+  scheduler_->TaskTick(core, c->current());
+  ArmTick(core);
+}
+
+void Machine::ArmTick(CoreId core) {
+  cores_[core]->tick_event =
+      engine_->After(scheduler_->TickPeriod(), [this, core] { TickCore(core); });
+}
+
+}  // namespace schedbattle

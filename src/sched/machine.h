@@ -1,0 +1,213 @@
+// Machine: the simulated multicore computer.
+//
+// The Machine owns the cores, the threads and the active scheduler, and
+// implements everything the kernel does *around* the scheduler: dispatching,
+// context switches, the periodic tick, thread fork/exit, voluntary blocking
+// and wakeups, and the charging of simulated scheduler overhead to cores.
+//
+// Exactly one scheduler is active per machine — the experiment harness builds
+// two identical machines (one with CFS, one with ULE) and runs the same
+// workload on both, which is the simulator analogue of the paper's
+// methodology (same kernel, swap the scheduler).
+#ifndef SRC_SCHED_MACHINE_H_
+#define SRC_SCHED_MACHINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sched/core.h"
+#include "src/sched/sched_class.h"
+#include "src/sched/thread.h"
+#include "src/sched/types.h"
+#include "src/sim/engine.h"
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+#include "src/topo/topology.h"
+
+namespace schedbattle {
+
+struct MachineParams {
+  // Cost of a context switch (charged to the incoming thread's core).
+  SimDuration context_switch_cost = Microseconds(3);
+  // Cache-refill cost a thread pays after being involuntarily preempted
+  // mid-computation (the paper's motivation for CFS's wakeup-preemption
+  // granularity: "frequent thread preemption ... may negatively impact
+  // caches"). Added to the preempted thread's remaining work.
+  SimDuration preemption_cache_penalty = Microseconds(8);
+  // Deterministic seed for everything random inside the machine (ULE's
+  // balancer period, workload RNG streams are split from this).
+  uint64_t seed = 42;
+};
+
+// Observer for scheduling events (tracing, visualization). All callbacks are
+// invoked synchronously at the simulated instant the event happens.
+class MachineObserver {
+ public:
+  virtual ~MachineObserver() = default;
+  virtual void OnDispatch(SimTime /*now*/, CoreId /*core*/, const SimThread& /*thread*/) {}
+  // reason: 'P' preempted, 'B' blocked, 'X' exited, 'Y' yielded.
+  virtual void OnDeschedule(SimTime /*now*/, CoreId /*core*/, const SimThread& /*thread*/,
+                            char /*reason*/) {}
+  virtual void OnWake(SimTime /*now*/, const SimThread& /*thread*/, CoreId /*target*/) {}
+  virtual void OnMigrate(SimTime /*now*/, const SimThread& /*thread*/, CoreId /*from*/,
+                         CoreId /*to*/) {}
+  virtual void OnFork(SimTime /*now*/, const SimThread& /*thread*/, CoreId /*target*/) {}
+};
+
+// Categories of simulated scheduler overhead, for the paper's Section 6.3
+// accounting ("13% of all CPU cycles spent on scanning cores").
+enum class OverheadKind {
+  kContextSwitch,
+  kPickCpuScan,
+  kLoadBalance,
+  kWakePlacement,
+};
+
+struct MachineCounters {
+  uint64_t context_switches = 0;
+  uint64_t wakeup_preemptions = 0;  // preemptions caused by a wakeup
+  uint64_t tick_preemptions = 0;    // timeslice-expiry preemptions
+  uint64_t migrations = 0;          // balancer-driven thread migrations
+  uint64_t wakeups = 0;
+  uint64_t forks = 0;
+  uint64_t exits = 0;
+  uint64_t pickcpu_scans = 0;       // cores examined by wake placement
+  uint64_t balance_invocations = 0;
+  SimDuration overhead_ns[4] = {0, 0, 0, 0};
+
+  SimDuration total_overhead() const {
+    return overhead_ns[0] + overhead_ns[1] + overhead_ns[2] + overhead_ns[3];
+  }
+};
+
+class Machine {
+ public:
+  Machine(SimEngine* engine, CpuTopology topology, std::unique_ptr<Scheduler> scheduler,
+          MachineParams params = {});
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  SimEngine& engine() { return *engine_; }
+  SimTime now() const { return engine_->now(); }
+  const CpuTopology& topology() const { return topology_; }
+  int num_cores() const { return topology_.num_cores(); }
+  Scheduler& scheduler() { return *scheduler_; }
+  const Scheduler& scheduler() const { return *scheduler_; }
+  const MachineParams& params() const { return params_; }
+  Rng& rng() { return rng_; }
+  MachineCounters& counters() { return counters_; }
+  const MachineCounters& counters() const { return counters_; }
+
+  Core& core(CoreId id) { return *cores_[id]; }
+  const Core& core(CoreId id) const { return *cores_[id]; }
+
+  // Starts per-core ticks and the scheduler's periodic machinery. Call once,
+  // before (or at) the first thread start.
+  void Boot();
+  bool booted() const { return booted_; }
+
+  // ---- thread lifecycle ----
+
+  // Creates a thread (state kCreated). The machine owns it for its lifetime.
+  SimThread* CreateThread(ThreadSpec spec);
+
+  // Starts a thread: runs the fork path (TaskNew, SelectTaskRq, EnqueueTask,
+  // preemption check). `parent` is the simulated forking thread or nullptr.
+  void StartThread(SimThread* thread, SimThread* parent);
+
+  // Convenience: CreateThread + StartThread.
+  SimThread* Spawn(ThreadSpec spec, SimThread* parent);
+
+  // Wakes a blocked thread. `waker_core` is the core performing the wakeup
+  // (kInvalidCore for timer wakeups, which use the thread's last core).
+  // Returns false (no-op) if the thread was not blocked.
+  bool Wake(SimThread* thread, CoreId waker_core);
+
+  // Changes a thread's affinity mask. If the thread is queued on a core it
+  // can no longer run on, it is moved immediately (sched_setaffinity).
+  void SetAffinity(SimThread* thread, const CpuMask& mask);
+
+  // Changes a thread's nice value (setpriority): the scheduler reweights it
+  // and a reschedule is requested where relevant.
+  void SetNice(SimThread* thread, Nice nice);
+
+  // ---- scheduler services ----
+
+  // Requests a reschedule of `core` at the current time (after the current
+  // event finishes). Idempotent.
+  void SetNeedResched(CoreId core);
+
+  // Charges `d` of simulated scheduler-work time to `core`: it is accounted
+  // as overhead and, if a thread is running there, steals that much CPU from
+  // it by pushing its completion later.
+  void ChargeOverhead(CoreId core, SimDuration d, OverheadKind kind);
+
+  // Accounting hook for balancers; updates thread->cpu and counters. The
+  // caller has already moved the thread between its own queue structures.
+  void NoteMigration(SimThread* thread, CoreId from, CoreId to);
+
+  // ---- queries ----
+  SimThread* CurrentOn(CoreId core) const { return cores_[core]->current(); }
+  const std::vector<std::unique_ptr<SimThread>>& threads() const { return threads_; }
+  SimThread* FindThread(ThreadId id) const;
+  int alive_threads() const { return alive_threads_; }
+
+  // Total busy (non-idle) CPU time accumulated across all cores.
+  SimDuration TotalBusyTime() const;
+
+  // Fraction of busy time spent in simulated scheduler work.
+  double OverheadFraction() const;
+
+  // Like OverheadFraction but excluding raw context-switch cost — the
+  // "time spent in the scheduler" figure the paper reports (Section 6.3).
+  double SchedulerWorkFraction() const;
+
+  // Hook invoked whenever any thread exits (used by App completion logic).
+  std::function<void(SimThread*)> on_thread_exit;
+
+  // Optional scheduling-event observer (tracing); not owned.
+  void set_observer(MachineObserver* observer) { observer_ = observer; }
+  MachineObserver* observer() const { return observer_; }
+
+ private:
+  // Reschedule core: deschedule current (if any), pick next, dispatch.
+  void ReschedCore(CoreId core);
+
+  // Stops accounting for the core's current thread without re-enqueueing it;
+  // returns the thread. Cancels its completion event and updates runtime.
+  SimThread* StopCurrent(CoreId core);
+
+  void Dispatch(CoreId core, SimThread* thread, bool switched);
+
+  // Runs the thread's body until it produces a non-instantaneous step.
+  void RunBody(CoreId core, SimThread* thread);
+
+  // A compute segment finished on `core`.
+  void OnComputeDone(CoreId core, SimThread* thread);
+
+  void BlockCurrent(CoreId core, SimThread* thread);
+  void ExitCurrent(CoreId core, SimThread* thread);
+
+  void TickCore(CoreId core);
+  void ArmTick(CoreId core);
+
+  SimEngine* engine_;
+  CpuTopology topology_;
+  std::unique_ptr<Scheduler> scheduler_;
+  MachineParams params_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  ThreadId next_thread_id_ = 1;
+  int alive_threads_ = 0;
+  MachineCounters counters_;
+  MachineObserver* observer_ = nullptr;
+  bool booted_ = false;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_SCHED_MACHINE_H_

@@ -1,0 +1,7 @@
+#include "src/sched/sched_class.h"
+
+namespace schedbattle {
+
+int Scheduler::InteractivityPenaltyOf(const SimThread* /*thread*/) const { return -1; }
+
+}  // namespace schedbattle

@@ -1,0 +1,128 @@
+// The scheduling-class API both schedulers implement.
+//
+// This interface mirrors Table 1 of the paper — the Linux scheduling-class
+// hooks and their FreeBSD equivalents — and is the simulator's analogue of
+// the authors' port surface:
+//
+//   Linux hook        FreeBSD equivalent            Here
+//   ----------------- ----------------------------- -------------------------
+//   enqueue_task      sched_add / sched_wakeup      EnqueueTask (EnqueueKind)
+//   dequeue_task      sched_rem                     DequeueTask
+//   yield_task        sched_relinquish              YieldTask
+//   pick_next_task    sched_choose                  PickNextTask
+//   put_prev_task     sched_switch                  PutPrevTask
+//   select_task_rq    sched_pickcpu                 SelectTaskRq
+//   task_tick         sched_clock                   TaskTick
+//   task_fork         sched_fork                    TaskNew
+//   task_dead         sched_exit                    TaskExit
+//   check_preempt     sched_shouldpreempt           CheckPreemptWakeup
+//
+// Convention (following the authors' port, Section 3): while a thread runs on
+// a core it is *not* present in the scheduler's queue structures —
+// PickNextTask removes it and PutPrevTask re-inserts it. This is how both
+// real schedulers manage their current thread internally
+// (set_next_entity/put_prev_entity in CFS, tdq removal in ULE).
+#ifndef SRC_SCHED_SCHED_CLASS_H_
+#define SRC_SCHED_SCHED_CLASS_H_
+
+#include <string_view>
+
+#include "src/sched/thread.h"
+#include "src/sched/types.h"
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+class Machine;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Binds the scheduler to a machine: allocate per-core runqueues, build
+  // domain/topology structures. Called once before any other hook.
+  virtual void Attach(Machine* machine) = 0;
+
+  // Installs periodic activity (load-balancer timers). Called after Attach,
+  // when the simulation is about to start.
+  virtual void Start() {}
+
+  // Declares a task-group hierarchy edge (cgroup nesting; paper Section 2.1:
+  // systemd nests per-user groups above per-application groups). Schedulers
+  // without group support ignore this (ULE: "considers each thread as an
+  // independent entity").
+  virtual void DeclareGroup(GroupId /*id*/, GroupId /*parent*/) {}
+
+  // Thread lifecycle. TaskNew initializes per-thread scheduler state;
+  // `parent` is the forking thread, or nullptr for threads launched from
+  // outside the simulation (the spec's parent hints apply then).
+  virtual void TaskNew(SimThread* thread, SimThread* parent) = 0;
+  virtual void TaskExit(SimThread* thread) = 0;
+
+  // Chooses the core for a newly created (kFork) or woken (kWakeup) thread.
+  // `origin` is the core the waker/forker is running on (or the thread's
+  // last core for external wakes). Must honour thread->affinity().
+  virtual CoreId SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind kind) = 0;
+
+  // Adds `thread` to core's runqueue. For kWakeup, thread->last_sleep_duration
+  // holds the length of the sleep that just ended.
+  virtual void EnqueueTask(CoreId core, SimThread* thread, EnqueueKind kind) = 0;
+
+  // Removes a queued (not running) thread from core's runqueue.
+  virtual void DequeueTask(CoreId core, SimThread* thread) = 0;
+
+  // Selects the next thread to run on `core`, removing it from the queue
+  // structures. Returns nullptr if nothing is runnable.
+  virtual SimThread* PickNextTask(CoreId core) = 0;
+
+  // The previously running thread stops running and returns to the runqueue
+  // (preemption, timeslice expiry). Updates its accounting and re-inserts it.
+  virtual void PutPrevTask(CoreId core, SimThread* thread) = 0;
+
+  // The running thread blocks voluntarily (sleep/lock/pipe); update its
+  // accounting. It is not re-inserted.
+  virtual void OnTaskBlock(CoreId core, SimThread* thread, bool voluntary) = 0;
+
+  // The running thread yields but stays runnable.
+  virtual void YieldTask(CoreId core, SimThread* thread) = 0;
+
+  // Periodic tick while `current` runs on `core` (current may be nullptr if
+  // the core is idle). May request preemption via Machine::SetNeedResched.
+  virtual void TaskTick(CoreId core, SimThread* current) = 0;
+
+  // The thread's nice value changed (sched_setnice). The scheduler must
+  // refresh its weight/priority and, if the thread is queued, reposition it.
+  virtual void ReniceTask(SimThread* thread) = 0;
+
+  // A thread was just enqueued on `core` after waking: decide whether it
+  // should preempt the core's current thread. CFS preempts on a large enough
+  // vruntime deficit; ULE has full preemption disabled and never does for
+  // timesharing threads.
+  virtual void CheckPreemptWakeup(CoreId core, SimThread* woken) = 0;
+
+  // `core` found nothing to run; the scheduler may steal work from other
+  // cores (ULE tdq_idled, CFS idle balance). After this returns, the machine
+  // retries PickNextTask once.
+  virtual void OnCoreIdle(CoreId core) = 0;
+
+  // Scheduler tick period (CFS: 1ms at HZ=1000; ULE: 1/127s stathz ticks).
+  virtual SimDuration TickPeriod() const = 0;
+
+  // ---- introspection for metrics / experiments ----
+
+  // The scheduler's own notion of a core's load (ULE: runnable thread count;
+  // CFS: runqueue load). Used by heatmap metrics.
+  virtual double LoadOf(CoreId core) const = 0;
+
+  // Number of runnable-or-running threads associated with the core.
+  virtual int RunnableCountOf(CoreId core) const = 0;
+
+  // ULE interactivity penalty of a thread (0..100), or -1 if not applicable.
+  virtual int InteractivityPenaltyOf(const SimThread* thread) const;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_SCHED_SCHED_CLASS_H_

@@ -1,0 +1,23 @@
+#include "src/sched/thread.h"
+
+namespace schedbattle {
+
+SimThread::SimThread(ThreadId id, ThreadSpec spec)
+    : id_(id),
+      name_(std::move(spec.name)),
+      nice_(spec.nice),
+      group_(spec.group),
+      affinity_(spec.affinity),
+      body_(std::move(spec.body)),
+      parent_runtime_hint_(spec.parent_runtime_hint),
+      parent_sleep_hint_(spec.parent_sleep_hint) {}
+
+SimDuration SimThread::RuntimeAt(SimTime now) const {
+  SimDuration total = total_runtime;
+  if (state_ == ThreadState::kRunning && now > last_dispatch) {
+    total += now - last_dispatch;
+  }
+  return total;
+}
+
+}  // namespace schedbattle

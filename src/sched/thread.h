@@ -1,0 +1,111 @@
+// SimThread: the simulated thread (FreeBSD's struct thread / Linux's
+// task_struct, reduced to what schedulers observe).
+#ifndef SRC_SCHED_THREAD_H_
+#define SRC_SCHED_THREAD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/sched/behavior.h"
+#include "src/sched/types.h"
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+// Per-scheduler thread state (CFS sched_entity, ULE td_sched). Allocated by
+// the active scheduler in TaskNew and owned by the thread.
+struct ThreadSchedData {
+  virtual ~ThreadSchedData() = default;
+};
+
+// Specification for creating a thread.
+struct ThreadSpec {
+  std::string name;
+  Nice nice = 0;
+  GroupId group = kRootGroup;
+  CpuMask affinity;  // empty means "all cores"
+  std::unique_ptr<ThreadBody> body;
+  // Synthetic parent history for threads without a simulated parent: how the
+  // launching process behaved. ULE uses this for fork inheritance (the
+  // paper's sysbench master inherits an interactive score from bash).
+  SimDuration parent_runtime_hint = 0;
+  SimDuration parent_sleep_hint = 0;
+};
+
+class SimThread {
+ public:
+  SimThread(ThreadId id, ThreadSpec spec);
+  SimThread(const SimThread&) = delete;
+  SimThread& operator=(const SimThread&) = delete;
+
+  ThreadId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Nice nice() const { return nice_; }
+  void set_nice(Nice n) { nice_ = n; }
+  GroupId group() const { return group_; }
+
+  ThreadState state() const { return state_; }
+  void set_state(ThreadState s) { state_ = s; }
+
+  CoreId cpu() const { return cpu_; }
+  void set_cpu(CoreId c) { cpu_ = c; }
+  // Core the thread last ran on (for cache-affinity heuristics).
+  CoreId last_ran_cpu() const { return last_ran_cpu_; }
+  void set_last_ran_cpu(CoreId c) { last_ran_cpu_ = c; }
+
+  const CpuMask& affinity() const { return affinity_; }
+  void set_affinity(const CpuMask& m) { affinity_ = m; }
+  bool CanRunOn(CoreId core) const { return affinity_.Test(core); }
+
+  ThreadBody* body() const { return body_.get(); }
+  ThreadSchedData* sched_data() const { return sched_data_.get(); }
+  void set_sched_data(std::unique_ptr<ThreadSchedData> d) { sched_data_ = std::move(d); }
+  template <typename T>
+  T& sched() const {
+    return *static_cast<T*>(sched_data_.get());
+  }
+
+  // ---- work-segment execution state (managed by Machine) ----
+  SimDuration remaining_work = 0;   // unfinished part of the current compute segment
+  SimTime last_dispatch = 0;        // when the thread last started running
+  SimTime work_started = 0;         // last_dispatch + switch/overhead charges
+  SimTime block_start = 0;          // when the thread last blocked
+  SimTime runnable_since = 0;       // when the thread last became runnable
+  SimDuration last_sleep_duration = 0;  // duration of the most recent voluntary sleep
+  SimTime last_descheduled = 0;         // when the thread last stopped running (cache hotness)
+
+  // ---- accounting ----
+  SimDuration total_runtime = 0;  // CPU time consumed so far (updated on deschedule)
+  SimDuration total_wait = 0;     // time spent runnable but not running
+  SimDuration total_sleep = 0;    // time spent blocked
+  uint64_t dispatches = 0;
+  SimTime first_dispatch = -1;    // first time the thread ran (-1 = never)
+  uint64_t preemptions = 0;       // times this thread was involuntarily descheduled
+  uint64_t migrations = 0;
+  SimTime exit_time = -1;
+
+  // Cumulative runtime as of `now`, including the in-progress run segment.
+  SimDuration RuntimeAt(SimTime now) const;
+
+  // Synthetic parent history hints (see ThreadSpec).
+  SimDuration parent_runtime_hint() const { return parent_runtime_hint_; }
+  SimDuration parent_sleep_hint() const { return parent_sleep_hint_; }
+
+ private:
+  ThreadId id_;
+  std::string name_;
+  Nice nice_;
+  GroupId group_;
+  ThreadState state_ = ThreadState::kCreated;
+  CoreId cpu_ = kInvalidCore;
+  CoreId last_ran_cpu_ = kInvalidCore;
+  CpuMask affinity_;
+  std::unique_ptr<ThreadBody> body_;
+  std::unique_ptr<ThreadSchedData> sched_data_;
+  SimDuration parent_runtime_hint_;
+  SimDuration parent_sleep_hint_;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_SCHED_THREAD_H_

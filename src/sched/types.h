@@ -1,0 +1,72 @@
+// Shared scheduler-framework types: ids, nice values, CPU masks, enqueue kinds.
+#ifndef SRC_SCHED_TYPES_H_
+#define SRC_SCHED_TYPES_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "src/topo/topology.h"
+
+namespace schedbattle {
+
+using ThreadId = int64_t;
+inline constexpr ThreadId kInvalidThread = -1;
+
+// UNIX nice value: -20 (highest priority) .. 19 (lowest priority).
+using Nice = int;
+inline constexpr Nice kNiceMin = -20;
+inline constexpr Nice kNiceMax = 19;
+
+// Task-group (cgroup) identifier. Group 0 is the root group. The experiment
+// harness assigns one group per application by default (autogroup semantics),
+// which is what makes CFS fair *between applications* as in the paper.
+using GroupId = int32_t;
+inline constexpr GroupId kRootGroup = 0;
+
+// CPU affinity mask; supports machines of up to 64 logical cores (the paper's
+// machines have 32 and 8).
+class CpuMask {
+ public:
+  constexpr CpuMask() : bits_(0) {}
+  explicit constexpr CpuMask(uint64_t bits) : bits_(bits) {}
+
+  static constexpr CpuMask AllOf(int num_cores) {
+    return CpuMask(num_cores >= 64 ? ~0ULL : ((1ULL << num_cores) - 1));
+  }
+  static constexpr CpuMask Single(CoreId core) { return CpuMask(1ULL << core); }
+
+  constexpr bool Test(CoreId core) const { return (bits_ >> core) & 1; }
+  void Set(CoreId core) { bits_ |= (1ULL << core); }
+  void Clear(CoreId core) { bits_ &= ~(1ULL << core); }
+  constexpr bool Empty() const { return bits_ == 0; }
+  constexpr int Count() const { return __builtin_popcountll(bits_); }
+  constexpr uint64_t bits() const { return bits_; }
+
+  constexpr bool operator==(const CpuMask& other) const = default;
+
+ private:
+  uint64_t bits_;
+};
+
+// Why a thread is being enqueued; mirrors the distinction the paper draws
+// between FreeBSD's sched_add (new threads) and sched_wakeup (woken threads),
+// which Linux folds into one enqueue_task with a flag.
+enum class EnqueueKind {
+  kFork,     // newly created thread
+  kWakeup,   // thread waking from voluntary sleep
+  kRequeue,  // preempted / timeslice expired / yield: put back runnable
+  kMigrate,  // moved between cores by a load balancer
+};
+
+// Thread lifecycle states.
+enum class ThreadState {
+  kCreated,   // allocated, not yet started
+  kRunnable,  // waiting in a runqueue
+  kRunning,   // currently on a core
+  kBlocked,   // voluntarily sleeping / waiting on a resource
+  kDead,      // exited
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_SCHED_TYPES_H_

@@ -1,0 +1,67 @@
+#include "src/sim/engine.h"
+
+#include <utility>
+
+namespace schedbattle {
+
+EventHandle SimEngine::At(SimTime when, EventCallback cb) {
+  if (when < now_) {
+    when = now_;
+  }
+  return queue_.Schedule(when, std::move(cb));
+}
+
+EventHandle SimEngine::After(SimDuration delay, EventCallback cb) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return queue_.Schedule(now_ + delay, std::move(cb));
+}
+
+uint64_t SimEngine::RunUntil(SimTime deadline) {
+  uint64_t executed = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.NextTime() > deadline) {
+      break;
+    }
+    SimTime when = 0;
+    EventCallback cb = queue_.PopNext(&when);
+    now_ = when;
+    cb();
+    ++executed;
+    ++events_executed_;
+  }
+  if (now_ < deadline && queue_.NextTime() > deadline) {
+    now_ = deadline;
+  }
+  return executed;
+}
+
+uint64_t SimEngine::RunToCompletion() {
+  uint64_t executed = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    SimTime when = 0;
+    EventCallback cb = queue_.PopNext(&when);
+    now_ = when;
+    cb();
+    ++executed;
+    ++events_executed_;
+  }
+  return executed;
+}
+
+bool SimEngine::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  SimTime when = 0;
+  EventCallback cb = queue_.PopNext(&when);
+  now_ = when;
+  cb();
+  ++events_executed_;
+  return true;
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,58 @@
+// SimEngine: the discrete-event simulation driver.
+//
+// Owns the virtual clock and the event queue, and advances time by executing
+// events in (time, insertion) order. All higher layers (Machine, workloads,
+// metrics samplers) schedule work through this engine; nothing in the
+// simulator ever consults real time.
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+class SimEngine {
+ public:
+  SimEngine() = default;
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  SimTime now() const { return now_; }
+  uint64_t events_executed() const { return events_executed_; }
+
+  // Schedules a callback at absolute time `when` (clamped to now()).
+  EventHandle At(SimTime when, EventCallback cb);
+
+  // Schedules a callback `delay` from now (delay clamped to >= 0).
+  EventHandle After(SimDuration delay, EventCallback cb);
+
+  bool Cancel(EventHandle& handle) { return queue_.Cancel(handle); }
+
+  // Runs events until the queue is empty or the next event is after
+  // `deadline`; the clock then rests at min(deadline, last event time...).
+  // Returns the number of events executed. On return now() == deadline if the
+  // run reached it, otherwise the time of the last executed event.
+  uint64_t RunUntil(SimTime deadline);
+
+  // Runs until the event queue drains completely.
+  uint64_t RunToCompletion();
+
+  // Executes a single event if one is pending; returns false if empty.
+  bool Step();
+
+  // Requests that RunUntil/RunToCompletion return after the current event.
+  void RequestStop() { stop_requested_ = true; }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+  uint64_t events_executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_SIM_ENGINE_H_

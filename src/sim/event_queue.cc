@@ -1,0 +1,62 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace schedbattle {
+
+EventHandle EventQueue::Schedule(SimTime when, EventCallback cb) {
+  auto node = std::make_shared<EventHandle::Node>();
+  heap_.push_back(Entry{when, next_seq_++, std::move(cb), node});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_count_;
+  return EventHandle(std::move(node));
+}
+
+bool EventQueue::Cancel(EventHandle& handle) {
+  if (!handle.node_ || handle.node_->cancelled) {
+    handle.Reset();
+    return false;
+  }
+  // If the node is only referenced by the handle, the event already fired
+  // (PopNext drops the queue's reference when delivering).
+  const bool pending = handle.node_.use_count() > 1;
+  if (pending) {
+    handle.node_->cancelled = true;
+    assert(live_count_ > 0);
+    --live_count_;
+  }
+  handle.Reset();
+  return pending;
+}
+
+void EventQueue::SkimCancelled() {
+  while (!heap_.empty() && heap_.front().node->cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  SkimCancelled();
+  return heap_.empty() ? kTimeNever : heap_.front().when;
+}
+
+EventCallback EventQueue::PopNext(SimTime* when) {
+  SkimCancelled();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  *when = entry.when;
+  assert(live_count_ > 0);
+  --live_count_;
+  return std::move(entry.cb);
+}
+
+void EventQueue::Clear() {
+  heap_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace schedbattle

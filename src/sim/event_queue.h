@@ -1,0 +1,96 @@
+// Cancellable discrete-event queue.
+//
+// The queue orders events by (time, sequence number): ties in simulated time
+// fire in insertion order, which makes every simulation fully deterministic.
+// Events can be cancelled in O(1) through the handle returned at scheduling
+// time; cancelled entries are lazily discarded when they reach the top of the
+// heap (the usual "tombstone" technique, which keeps Cancel cheap even with
+// hundreds of thousands of pending timers).
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+using EventCallback = std::function<void()>;
+
+// Opaque handle to a scheduled event. Default-constructed handles are null.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const { return node_ != nullptr; }
+
+  // Forgets the referenced event without cancelling it.
+  void Reset() { node_.reset(); }
+
+ private:
+  friend class EventQueue;
+  struct Node {
+    bool cancelled = false;
+  };
+  explicit EventHandle(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<Node> node_;
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `cb` to run at absolute time `when`. `when` must not be in the
+  // past relative to the last popped event.
+  EventHandle Schedule(SimTime when, EventCallback cb);
+
+  // Cancels a previously scheduled event. Safe to call with a null handle or
+  // after the event has fired (both are no-ops). Returns true if the event
+  // was pending and is now cancelled.
+  bool Cancel(EventHandle& handle);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  // Time of the earliest pending event, or kTimeNever if empty.
+  SimTime NextTime();
+
+  // Pops and returns the earliest pending event's callback, setting `when` to
+  // its scheduled time. Requires !empty().
+  EventCallback PopNext(SimTime* when);
+
+  // Drops all pending events.
+  void Clear();
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    EventCallback cb;
+    std::shared_ptr<EventHandle::Node> node;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Discards cancelled entries at the top of the heap.
+  void SkimCancelled();
+
+  std::vector<Entry> heap_;
+  uint64_t next_seq_ = 0;
+  size_t live_count_ = 0;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// The simulator never consults wall-clock entropy: every experiment takes an
+// explicit seed, and identical seeds reproduce identical traces. We use
+// xoshiro256** (public domain, Blackman & Vigna) seeded through splitmix64,
+// which is both fast and statistically strong enough for workload modelling.
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace schedbattle {
+
+// splitmix64 step; used for seeding and as a cheap hash.
+uint64_t SplitMix64(uint64_t& state);
+
+// xoshiro256** PRNG. Copyable; copies diverge independently.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform random 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Normally distributed (Box-Muller); mean/stddev in caller's units.
+  double NextGaussian(double mean, double stddev);
+
+  // Creates an independent child generator (for per-thread streams).
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_SIM_RNG_H_

@@ -1,0 +1,13 @@
+#include "src/sim/time.h"
+
+#include <cstdio>
+
+namespace schedbattle {
+
+std::string FormatTime(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(t));
+  return std::string(buf);
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,39 @@
+// Virtual time for the discrete-event simulator.
+//
+// All simulated time is expressed as int64_t nanoseconds since simulation
+// start. Helper constants/functions keep call sites readable without the
+// overhead (and template noise) of std::chrono in hot simulator paths.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace schedbattle {
+
+// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = int64_t;
+// A span of simulated time, in nanoseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+inline constexpr SimTime kTimeNever = INT64_MAX;
+
+constexpr SimDuration Nanoseconds(int64_t n) { return n; }
+constexpr SimDuration Microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Milliseconds(int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(int64_t n) { return n * kSecond; }
+constexpr SimDuration SecondsF(double s) { return static_cast<SimDuration>(s * kSecond); }
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+constexpr double ToMilliseconds(SimDuration d) { return static_cast<double>(d) / kMillisecond; }
+
+// Formats a time as seconds with millisecond precision, e.g. "12.345s".
+std::string FormatTime(SimTime t);
+
+}  // namespace schedbattle
+
+#endif  // SRC_SIM_TIME_H_

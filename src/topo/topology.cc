@@ -1,0 +1,115 @@
+#include "src/topo/topology.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace schedbattle {
+
+CpuTopology::CpuTopology(const TopologyConfig& config)
+    : config_(config), num_cores_(config.total_cores()) {
+  assert(num_cores_ > 0);
+  node_of_.resize(num_cores_);
+  llc_of_.resize(num_cores_);
+  smt_of_.resize(num_cores_);
+
+  const int cores_per_node = config.llcs_per_node * config.cores_per_llc * config.smt_per_core;
+  const int cores_per_llc_group = config.cores_per_llc * config.smt_per_core;
+  for (CoreId c = 0; c < num_cores_; ++c) {
+    node_of_[c] = c / cores_per_node;
+    llc_of_[c] = c / cores_per_llc_group;
+    smt_of_[c] = c / config.smt_per_core;
+  }
+
+  const int num_levels = static_cast<int>(TopoLevel::kMachine) + 1;
+  groups_.resize(num_levels);
+  group_index_.resize(num_levels);
+  for (int level = 0; level < num_levels; ++level) {
+    group_index_[level].resize(num_cores_);
+  }
+
+  auto build_level = [&](TopoLevel level, const std::vector<int>& group_of) {
+    const int li = static_cast<int>(level);
+    int max_group = 0;
+    for (CoreId c = 0; c < num_cores_; ++c) {
+      max_group = std::max(max_group, group_of[c]);
+    }
+    groups_[li].resize(max_group + 1);
+    for (CoreId c = 0; c < num_cores_; ++c) {
+      groups_[li][group_of[c]].push_back(c);
+      group_index_[li][c] = group_of[c];
+    }
+  };
+
+  std::vector<int> self(num_cores_);
+  std::vector<int> all(num_cores_, 0);
+  for (CoreId c = 0; c < num_cores_; ++c) {
+    self[c] = c;
+  }
+  build_level(TopoLevel::kCore, self);
+  build_level(TopoLevel::kSmt, smt_of_);
+  build_level(TopoLevel::kLlc, llc_of_);
+  build_level(TopoLevel::kNode, node_of_);
+  build_level(TopoLevel::kMachine, all);
+}
+
+CpuTopology CpuTopology::Opteron6172() {
+  TopologyConfig config;
+  config.numa_nodes = 4;
+  config.llcs_per_node = 1;
+  config.cores_per_llc = 8;
+  config.smt_per_core = 1;
+  return CpuTopology(config);
+}
+
+CpuTopology CpuTopology::I7_3770() {
+  TopologyConfig config;
+  config.numa_nodes = 1;
+  config.llcs_per_node = 1;
+  config.cores_per_llc = 4;
+  config.smt_per_core = 2;
+  return CpuTopology(config);
+}
+
+CpuTopology CpuTopology::Flat(int cores) {
+  TopologyConfig config;
+  config.numa_nodes = 1;
+  config.llcs_per_node = 1;
+  config.cores_per_llc = cores;
+  config.smt_per_core = 1;
+  return CpuTopology(config);
+}
+
+const std::vector<CoreId>& CpuTopology::GroupOf(CoreId core, TopoLevel level) const {
+  const int li = static_cast<int>(level);
+  return groups_[li][group_index_[li][core]];
+}
+
+const std::vector<std::vector<CoreId>>& CpuTopology::GroupsAt(TopoLevel level) const {
+  return groups_[static_cast<int>(level)];
+}
+
+TopoLevel CpuTopology::CommonLevel(CoreId a, CoreId b) const {
+  if (a == b) {
+    return TopoLevel::kCore;
+  }
+  if (smt_of_[a] == smt_of_[b]) {
+    return TopoLevel::kSmt;
+  }
+  if (llc_of_[a] == llc_of_[b]) {
+    return TopoLevel::kLlc;
+  }
+  if (node_of_[a] == node_of_[b]) {
+    return TopoLevel::kNode;
+  }
+  return TopoLevel::kMachine;
+}
+
+std::string CpuTopology::Describe() const {
+  std::ostringstream os;
+  os << num_cores_ << " cores: " << config_.numa_nodes << " NUMA node(s) x "
+     << config_.llcs_per_node << " LLC(s) x " << config_.cores_per_llc << " core(s) x "
+     << config_.smt_per_core << " SMT";
+  return os.str();
+}
+
+}  // namespace schedbattle

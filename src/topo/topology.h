@@ -1,0 +1,96 @@
+// Hardware topology model.
+//
+// Both schedulers under study consult the machine topology:
+//   - CFS builds a hierarchy of scheduling domains (SMT -> LLC -> NUMA) and
+//     balances more aggressively between "close" cores than "remote" ones.
+//   - ULE walks a cpu_topo-style tree in sched_pickcpu and in idle stealing,
+//     climbing from the most-affine group outwards.
+//
+// We model a machine as a three-level tree: NUMA nodes, LLC groups inside a
+// node, and SMT siblings inside an LLC group (SMT width 1 by default; the
+// paper's AMD Opteron 6172 has no SMT). The default configuration matches the
+// paper's evaluation machine: 32 cores in 4 NUMA nodes of 8 cores each, one
+// LLC per node.
+#ifndef SRC_TOPO_TOPOLOGY_H_
+#define SRC_TOPO_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace schedbattle {
+
+using CoreId = int32_t;
+inline constexpr CoreId kInvalidCore = -1;
+
+// Topology levels, innermost (most affine) first.
+enum class TopoLevel : int {
+  kCore = 0,  // the core itself
+  kSmt = 1,   // SMT siblings (same physical core)
+  kLlc = 2,   // cores sharing a last-level cache
+  kNode = 3,  // cores in the same NUMA node
+  kMachine = 4,
+};
+
+struct TopologyConfig {
+  int numa_nodes = 4;
+  int llcs_per_node = 1;
+  int cores_per_llc = 8;
+  int smt_per_core = 1;  // hardware threads per physical core
+
+  int total_cores() const { return numa_nodes * llcs_per_node * cores_per_llc * smt_per_core; }
+};
+
+class CpuTopology {
+ public:
+  explicit CpuTopology(const TopologyConfig& config);
+
+  // The paper's evaluation machine: AMD Opteron 6172, 32 cores, 4 NUMA nodes.
+  static CpuTopology Opteron6172();
+  // The paper's secondary machine: 8-core Intel i7-3770 desktop (4 cores x 2 SMT).
+  static CpuTopology I7_3770();
+  // A flat machine: n cores, one node, one LLC. Handy for unit tests.
+  static CpuTopology Flat(int cores);
+
+  int num_cores() const { return num_cores_; }
+  const TopologyConfig& config() const { return config_; }
+
+  int NodeOf(CoreId core) const { return node_of_[core]; }
+  int LlcOf(CoreId core) const { return llc_of_[core]; }
+  int SmtGroupOf(CoreId core) const { return smt_of_[core]; }
+
+  bool SameNode(CoreId a, CoreId b) const { return node_of_[a] == node_of_[b]; }
+  bool SharesLlc(CoreId a, CoreId b) const { return llc_of_[a] == llc_of_[b]; }
+  bool SmtSiblings(CoreId a, CoreId b) const { return smt_of_[a] == smt_of_[b]; }
+
+  // Cores in the group containing `core` at `level` (includes `core` itself).
+  const std::vector<CoreId>& GroupOf(CoreId core, TopoLevel level) const;
+
+  // All groups at a level (each group is a list of cores).
+  const std::vector<std::vector<CoreId>>& GroupsAt(TopoLevel level) const;
+
+  // The innermost level strictly above kCore at which `a` and `b` share a
+  // group (kSmt, kLlc, kNode or kMachine). a == b returns kCore.
+  TopoLevel CommonLevel(CoreId a, CoreId b) const;
+
+  // Number of cores sharing an LLC with `core` (including itself); CFS uses
+  // this as the fan-out factor in its wake_wide heuristic.
+  int LlcSize(CoreId core) const { return static_cast<int>(GroupOf(core, TopoLevel::kLlc).size()); }
+
+  std::string Describe() const;
+
+ private:
+  TopologyConfig config_;
+  int num_cores_;
+  std::vector<int> node_of_;
+  std::vector<int> llc_of_;
+  std::vector<int> smt_of_;
+  // groups_[level] = list of groups, each a sorted core list.
+  std::vector<std::vector<std::vector<CoreId>>> groups_;
+  // group_index_[level][core] = index of the core's group at that level.
+  std::vector<std::vector<int>> group_index_;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_TOPO_TOPOLOGY_H_

@@ -1,0 +1,67 @@
+#include "src/ule/interact.h"
+
+#include <algorithm>
+
+namespace schedbattle {
+
+int UleInteractScore(const UleInteract& hist) {
+  if (hist.runtime > hist.slptime) {
+    const SimDuration div = std::max<SimDuration>(1, hist.runtime / kInteractHalf);
+    return kInteractHalf +
+           (kInteractHalf - static_cast<int>(std::min<SimDuration>(hist.slptime / div,
+                                                                   kInteractHalf)));
+  }
+  if (hist.slptime > hist.runtime) {
+    const SimDuration div = std::max<SimDuration>(1, hist.slptime / kInteractHalf);
+    return static_cast<int>(std::min<SimDuration>(hist.runtime / div, kInteractHalf));
+  }
+  // Equal (and possibly zero) run and sleep time.
+  return hist.runtime != 0 ? kInteractHalf : 0;
+}
+
+void UleInteractUpdate(UleInteract* hist) {
+  const SimDuration sum = hist->runtime + hist->slptime;
+  if (sum < kSlpRunMax) {
+    return;
+  }
+  if (sum > kSlpRunMax * 2) {
+    // An unusual amount of history arrived at once (fork give-back or a very
+    // long sleep): clamp hard, preserving which side dominates.
+    if (hist->runtime > hist->slptime) {
+      hist->runtime = kSlpRunMax;
+      hist->slptime = 1;
+    } else {
+      hist->slptime = kSlpRunMax;
+      hist->runtime = 1;
+    }
+    return;
+  }
+  if (sum > (kSlpRunMax / 5) * 6) {
+    hist->runtime /= 2;
+    hist->slptime /= 2;
+    return;
+  }
+  hist->runtime = (hist->runtime / 5) * 4;
+  hist->slptime = (hist->slptime / 5) * 4;
+}
+
+void UleInteractFork(UleInteract* child) {
+  const SimDuration sum = child->runtime + child->slptime;
+  if (sum > kSlpRunFork) {
+    const SimDuration ratio = sum / kSlpRunFork;
+    if (ratio > 0) {
+      child->runtime /= ratio;
+      child->slptime /= ratio;
+    }
+  }
+}
+
+int UleScoreWithNice(const UleInteract& hist, Nice nice) {
+  return std::max(0, UleInteractScore(hist) + nice);
+}
+
+bool UleIsInteractive(const UleInteract& hist, Nice nice) {
+  return UleScoreWithNice(hist, nice) < kInteractThresh;
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,54 @@
+// ULE interactivity scoring (FreeBSD kern/sched_ule.c).
+//
+// Paper, Section 2.2: "ULE keeps track of the interactivity of a thread
+// using an interactivity penalty metric between 0 and 100 ... defined as a
+// function of the time r a thread has spent running and the time s a thread
+// has spent voluntarily sleeping." With m = 50:
+//
+//   penalty(r, s) = 50 * r / s          if s > r
+//   penalty(r, s) = 100 - 50 * s / r    otherwise
+//
+// (this is FreeBSD's sched_interact_score(); the paper's typeset formula is
+// a rendering of the same function). History is capped at ~5 seconds
+// (sched_interact_update). A thread is interactive when
+// penalty + niceness < 30 (sched_interact_thresh).
+#ifndef SRC_ULE_INTERACT_H_
+#define SRC_ULE_INTERACT_H_
+
+#include "src/sched/types.h"
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+inline constexpr int kInteractMax = 100;   // SCHED_INTERACT_MAX
+inline constexpr int kInteractHalf = 50;   // SCHED_INTERACT_HALF (the paper's m)
+inline constexpr int kInteractThresh = 30; // SCHED_INTERACT_THRESH
+
+// History caps (FreeBSD: SCHED_SLP_RUN_MAX = 5s, SCHED_SLP_RUN_FORK = 2.5s).
+inline constexpr SimDuration kSlpRunMax = Seconds(5);
+inline constexpr SimDuration kSlpRunFork = Seconds(5) / 2;
+
+struct UleInteract {
+  SimDuration runtime = 0;  // ts_runtime
+  SimDuration slptime = 0;  // ts_slptime
+};
+
+// The interactivity penalty in [0, 100] (sched_interact_score).
+int UleInteractScore(const UleInteract& hist);
+
+// Enforces the 5s history window (sched_interact_update).
+void UleInteractUpdate(UleInteract* hist);
+
+// Fork inheritance: the child has copied the parent's history; scale it down
+// to the fork cap (sched_interact_fork).
+void UleInteractFork(UleInteract* child);
+
+// Full score including niceness, clamped at >= 0.
+int UleScoreWithNice(const UleInteract& hist, Nice nice);
+
+// Is a thread with this history/nice classified interactive?
+bool UleIsInteractive(const UleInteract& hist, Nice nice);
+
+}  // namespace schedbattle
+
+#endif  // SRC_ULE_INTERACT_H_

@@ -1,0 +1,183 @@
+// ULE thread placement (FreeBSD: sched_pickcpu).
+//
+// Paper, Section 2.2: "If the thread is considered cache affine on the last
+// core it ran on, then it is placed on this core. Otherwise, ULE finds the
+// highest level in the topology that is considered affine, or the entire
+// machine if none is available. From there, ULE first tries to find a core
+// on which the minimum priority is higher than that of this thread. If that
+// fails, ULE tries again, but now on all cores of the machine. If this also
+// fails, ULE simply picks the core with the lowest number of running
+// threads." — and Section 6.3: "at worst, [it] may scan all cores three
+// times", the source of the 13%-of-cycles overhead on sysbench.
+#include <cassert>
+#include <limits>
+
+#include "src/ule/ule_sched.h"
+
+namespace schedbattle {
+
+bool UleScheduler::AffineAt(const SimThread* t, CoreId core, TopoLevel level) const {
+  const UleTaskData& data = UleOf(t);
+  const CoreId last = t->last_ran_cpu();
+  if (last == kInvalidCore) {
+    return false;
+  }
+  if (machine_->topology().CommonLevel(core, last) > level) {
+    return false;
+  }
+  // The window scales with the cache level: bigger caches stay warm longer.
+  const SimDuration window = (static_cast<int>(level) + 1) * tun_.affinity_window;
+  return machine_->now() - data.last_ran < window;
+}
+
+CoreId UleScheduler::LowestLoadWhereRunnable(const std::vector<CoreId>& cores,
+                                             const SimThread* t, int pri, int* scanned) const {
+  CoreId best = kInvalidCore;
+  int best_load = std::numeric_limits<int>::max();
+  for (CoreId c : cores) {
+    ++*scanned;
+    if (!t->CanRunOn(c)) {
+      continue;
+    }
+    const Tdq& tdq = tdqs_[c];
+    if (tdq.lowpri <= pri) {
+      continue;  // the thread would have to wait behind a better thread
+    }
+    if (tdq.load < best_load) {
+      best_load = tdq.load;
+      best = c;
+    }
+  }
+  return best;
+}
+
+CoreId UleScheduler::LowestLoad(const std::vector<CoreId>& cores, const SimThread* t,
+                                int* scanned) const {
+  CoreId best = kInvalidCore;
+  int best_load = std::numeric_limits<int>::max();
+  for (CoreId c : cores) {
+    ++*scanned;
+    if (!t->CanRunOn(c)) {
+      continue;
+    }
+    if (tdqs_[c].load < best_load) {
+      best_load = tdqs_[c].load;
+      best = c;
+    }
+  }
+  return best;
+}
+
+namespace {
+// Splits a scan count into local (same LLC as `home`) and remote reads.
+SimDuration ScanCost(const CpuTopology& topo, CoreId home, const std::vector<CoreId>& cores,
+                     SimDuration local_cost, SimDuration remote_cost) {
+  SimDuration cost = 0;
+  for (CoreId c : cores) {
+    cost += topo.SharesLlc(home, c) ? local_cost : remote_cost;
+  }
+  return cost;
+}
+}  // namespace
+
+CoreId UleScheduler::PickCpu(SimThread* t, CoreId origin) {
+  const CpuTopology& topo = machine_->topology();
+  const UleTaskData& data = UleOf(t);
+  const int pri = data.pri;
+  CoreId prev = t->last_ran_cpu() != kInvalidCore ? t->last_ran_cpu() : origin;
+  if (prev == kInvalidCore) {
+    prev = 0;
+  }
+
+  // Section 6.3 ablation: "we replaced the ULE wakeup function by a simple
+  // one that returns the CPU on which the thread was previously running".
+  if (tun_.pickcpu_return_prev) {
+    if (t->CanRunOn(prev)) {
+      return prev;
+    }
+    int scanned = 0;
+    const auto& all = topo.GroupOf(0, TopoLevel::kMachine);
+    const CoreId c = LowestLoad(all, t, &scanned);
+    assert(c != kInvalidCore);
+    return c;
+  }
+
+  int scanned = 0;
+  SimDuration cost = 0;
+  CoreId choice = kInvalidCore;
+
+  // 1. Cache-affine on the previous core and would run immediately there.
+  if (t->CanRunOn(prev) && AffineAt(t, prev, TopoLevel::kSmt) && tdqs_[prev].lowpri > pri) {
+    ++scanned;
+    cost += tun_.pickcpu_scan_cost_local;
+    choice = prev;
+  }
+
+  // 2. Search the highest affine topology group (or the whole machine) for a
+  // core where this thread would be the best priority, lowest load first.
+  if (choice == kInvalidCore) {
+    TopoLevel level = TopoLevel::kMachine;
+    for (TopoLevel l : {TopoLevel::kSmt, TopoLevel::kLlc}) {
+      if (AffineAt(t, prev, l)) {
+        level = l;
+        break;
+      }
+    }
+    const auto& group = topo.GroupOf(prev, level);
+    choice = LowestLoadWhereRunnable(group, t, pri, &scanned);
+    cost += ScanCost(topo, prev, group, tun_.pickcpu_scan_cost_local,
+                     tun_.pickcpu_scan_cost_remote);
+  }
+
+  // 3. Same search over all cores.
+  if (choice == kInvalidCore) {
+    const auto& all = topo.GroupOf(0, TopoLevel::kMachine);
+    choice = LowestLoadWhereRunnable(all, t, pri, &scanned);
+    cost +=
+        ScanCost(topo, prev, all, tun_.pickcpu_scan_cost_local, tun_.pickcpu_scan_cost_remote);
+  }
+
+  // 4. Fall back to the least loaded core.
+  if (choice == kInvalidCore) {
+    const auto& all = topo.GroupOf(0, TopoLevel::kMachine);
+    choice = LowestLoad(all, t, &scanned);
+    cost +=
+        ScanCost(topo, prev, all, tun_.pickcpu_scan_cost_local, tun_.pickcpu_scan_cost_remote);
+  }
+  assert(choice != kInvalidCore);
+
+  machine_->counters().pickcpu_scans += scanned;
+  const CoreId charge_to = origin != kInvalidCore ? origin : prev;
+  machine_->ChargeOverhead(charge_to, cost, OverheadKind::kPickCpuScan);
+  return choice;
+}
+
+CoreId UleScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind kind) {
+  if (thread->affinity().Count() == 1) {
+    for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+      if (thread->CanRunOn(c)) {
+        return c;
+      }
+    }
+  }
+  if (kind == EnqueueKind::kFork) {
+    // Paper, Section 6.2: "ULE always forks threads on the core with the
+    // lowest number of threads".
+    int scanned = 0;
+    const auto& all = machine_->topology().GroupOf(0, TopoLevel::kMachine);
+    const CoreId c = LowestLoad(all, thread, &scanned);
+    machine_->counters().pickcpu_scans += scanned;
+    if (origin != kInvalidCore) {
+      machine_->ChargeOverhead(origin,
+                               ScanCost(machine_->topology(), origin, all,
+                                        tun_.pickcpu_scan_cost_local,
+                                        tun_.pickcpu_scan_cost_remote),
+                               OverheadKind::kPickCpuScan);
+    }
+    assert(c != kInvalidCore);
+    return c;
+  }
+  return PickCpu(thread, origin);
+}
+
+}  // namespace schedbattle

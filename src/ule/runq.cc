@@ -1,0 +1,56 @@
+#include "src/ule/runq.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace schedbattle {
+
+void UleRunq::Add(SimThread* t, int idx, bool head) {
+  assert(idx >= 0 && idx < kRqNqs);
+  if (head) {
+    queues_[idx].push_front(t);
+  } else {
+    queues_[idx].push_back(t);
+  }
+  status_ |= (1ULL << idx);
+  ++size_;
+}
+
+void UleRunq::Remove(SimThread* t, int idx) {
+  assert(idx >= 0 && idx < kRqNqs);
+  auto& q = queues_[idx];
+  auto it = std::find(q.begin(), q.end(), t);
+  assert(it != q.end() && "thread not in the runq it claims");
+  q.erase(it);
+  if (q.empty()) {
+    status_ &= ~(1ULL << idx);
+  }
+  --size_;
+}
+
+SimThread* UleRunq::Choose() const {
+  if (status_ == 0) {
+    return nullptr;
+  }
+  const int q = __builtin_ctzll(status_);
+  return queues_[q].front();
+}
+
+SimThread* UleRunq::ChooseFrom(int start, int* idx) const {
+  if (status_ == 0) {
+    return nullptr;
+  }
+  // Rotate the bitmap so `start` becomes bit 0, then find the first set bit.
+  const uint64_t rotated =
+      start == 0 ? status_ : (status_ >> start) | (status_ << (kRqNqs - start));
+  const int off = __builtin_ctzll(rotated);
+  const int q = (start + off) % kRqNqs;
+  *idx = q;
+  return queues_[q].front();
+}
+
+int UleRunq::FirstSetIndex() const {
+  return status_ == 0 ? kRqNqs : __builtin_ctzll(status_);
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,70 @@
+// FreeBSD-style runq: 64 FIFO queues indexed by priority with a status
+// bitmap (kern/kern_switch.c's struct runq).
+//
+// Paper, Section 2.2: "Inside the interactive and batch runqueues, threads
+// are further sorted by priority. ... there is one FIFO per priority. To add
+// a thread to a runqueue, the scheduler inserts the thread at the end of the
+// FIFO indexed by the thread's priority. Picking a thread ... is simply done
+// by taking the first thread in the highest-priority non-empty FIFO."
+#ifndef SRC_ULE_RUNQ_H_
+#define SRC_ULE_RUNQ_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/sched/thread.h"
+
+namespace schedbattle {
+
+inline constexpr int kRqNqs = 64;  // RQ_NQS
+inline constexpr int kRqPpq = 4;   // RQ_PPQ: priorities per queue
+
+class UleRunq {
+ public:
+  UleRunq() = default;
+
+  bool empty() const { return status_ == 0; }
+  int size() const { return size_; }
+
+  // Adds to the FIFO at `idx` (tail unless head=true).
+  void Add(SimThread* t, int idx, bool head = false);
+
+  // Removes `t` from the FIFO at `idx` (it must be there).
+  void Remove(SimThread* t, int idx);
+
+  // First thread of the highest-priority (lowest index) non-empty FIFO;
+  // nullptr if empty. Does not remove.
+  SimThread* Choose() const;
+
+  // Circular variant for the timeshare calendar queue: first thread at or
+  // after `start` (wrapping); nullptr if empty. Sets *idx to its queue.
+  SimThread* ChooseFrom(int start, int* idx) const;
+
+  // First thread (in Choose() order) satisfying pred; for work stealing.
+  template <typename Pred>
+  SimThread* FindFirst(Pred pred) const {
+    uint64_t bits = status_;
+    while (bits != 0) {
+      const int q = __builtin_ctzll(bits);
+      for (SimThread* t : queues_[q]) {
+        if (pred(t)) {
+          return t;
+        }
+      }
+      bits &= bits - 1;
+    }
+    return nullptr;
+  }
+
+  // Lowest non-empty queue index, or kRqNqs if empty.
+  int FirstSetIndex() const;
+
+ private:
+  std::deque<SimThread*> queues_[kRqNqs];
+  uint64_t status_ = 0;
+  int size_ = 0;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_ULE_RUNQ_H_

@@ -1,0 +1,129 @@
+#include "src/ule/tdq.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace schedbattle {
+
+void UlePctcpuUpdate(UleTaskData* data, SimTime now, SimDuration run) {
+  // Sliding ~10s window over runtime (FreeBSD sched_pctcpu_update, with real
+  // durations instead of tick counts).
+  if (now - data->ltick >= kPctcpuWindow) {
+    data->window_run = 0;
+    data->ftick = now - kPctcpuWindow;
+  } else if (data->ltick > data->ftick && now - data->ftick >= kPctcpuWindow + kPctcpuWindow / 10) {
+    // Shrink the window proportionally so it keeps covering ~10s.
+    const SimDuration span = data->ltick - data->ftick;
+    const SimDuration keep = std::max<SimDuration>(data->ltick - (now - kPctcpuWindow), 0);
+    data->window_run = static_cast<SimDuration>(
+        static_cast<__int128>(data->window_run) * keep / span);
+    data->ftick = now - kPctcpuWindow;
+  }
+  data->window_run += run;
+  data->ltick = now;
+}
+
+int UlePriTicks(const UleTaskData& data) {
+  const SimDuration span = std::max<SimDuration>(data.ltick - data.ftick, 1);
+  const SimDuration run = std::min(data.window_run, span);
+  // Map %CPU within the window onto [0, kPriTicksRange).
+  int ticks = static_cast<int>(run * kPriTicksRange / span);
+  return std::clamp(ticks, 0, kPriTicksRange - 1);
+}
+
+int UleComputePriority(const UleTaskData& data, Nice nice, SimTime now) {
+  (void)now;
+  const int score = UleScoreWithNice(data.interact, nice);
+  if (score < kInteractThresh) {
+    // Linear interpolation of the score across the interactive range
+    // (paper: "priority of interactive threads is a linear interpolation of
+    // their score").
+    int pri = kPriMinInteract + (kPriInteractRange * score) / kInteractThresh;
+    return std::clamp(pri, kPriMinInteract, kPriMaxInteract);
+  }
+  // Batch: "the more a thread runs, the lower its priority. The niceness is
+  // added to get a linear effect on the priority."
+  int pri = kPriMinBatch + UlePriTicks(data) + nice + kPriNresv / 2;
+  return std::clamp(pri, kPriMinBatch, kPriMaxBatch);
+}
+
+void TdqRunqAdd(Tdq* tdq, SimThread* t, bool requeue_head) {
+  UleTaskData& data = UleOf(t);
+  assert(!data.queued);
+  const int pri = data.pri;
+  if (pri <= kPriMaxInteract) {
+    data.on_realtime_q = true;
+    // Real ULE maps 4 priorities per FIFO (RQ_PPQ); the resulting coarseness
+    // is what lets interactive threads of nearby scores round-robin instead
+    // of strictly starving each other.
+    data.rq_idx = (pri - kPriMinInteract) / kRqPpq;
+    tdq->realtime.Add(t, data.rq_idx, requeue_head);
+  } else {
+    data.on_realtime_q = false;
+    // Calendar insertion: offset by the batch priority so threads that ran
+    // more land further from the removal index (FreeBSD tdq_runq_add).
+    int idx = kRqNqs * (pri - kPriMinBatch) / kPriBatchRange;
+    idx = (idx + tdq->idx) % kRqNqs;
+    // Keep one slot of slack between idx and ridx while queues drain.
+    if (tdq->ridx != tdq->idx && idx == tdq->ridx) {
+      idx = (idx + kRqNqs - 1) % kRqNqs;
+    }
+    data.rq_idx = idx;
+    tdq->timeshare.Add(t, idx, requeue_head);
+  }
+  data.queued = true;
+  tdq->lowpri = std::min(tdq->lowpri, pri);
+}
+
+void TdqRunqRem(Tdq* tdq, SimThread* t) {
+  UleTaskData& data = UleOf(t);
+  assert(data.queued);
+  if (data.on_realtime_q) {
+    tdq->realtime.Remove(t, data.rq_idx);
+  } else {
+    // Removal drags the calendar's removal index to this thread's slot
+    // (FreeBSD tdq_runq_rem).
+    if (tdq->idx != tdq->ridx) {
+      tdq->ridx = data.rq_idx;
+    }
+    tdq->timeshare.Remove(t, data.rq_idx);
+  }
+  data.queued = false;
+  data.rq_idx = -1;
+}
+
+SimThread* TdqChoose(Tdq* tdq) {
+  // Interactive threads have absolute priority over batch threads; this is
+  // the source of the paper's starvation results (Section 5).
+  SimThread* t = tdq->realtime.Choose();
+  if (t != nullptr) {
+    return t;
+  }
+  int idx = 0;
+  t = tdq->timeshare.ChooseFrom(tdq->ridx, &idx);
+  return t;
+}
+
+void TdqCalendarTick(Tdq* tdq) {
+  if (tdq->idx == tdq->ridx) {
+    tdq->idx = (tdq->idx + 1) % kRqNqs;
+    int probe = 0;
+    if (tdq->timeshare.ChooseFrom(tdq->ridx, &probe) == nullptr || probe != tdq->ridx) {
+      tdq->ridx = tdq->idx;
+    }
+  }
+}
+
+void TdqUpdateLowpri(Tdq* tdq, int running_pri) {
+  int low = running_pri;
+  const int rt = tdq->realtime.FirstSetIndex();
+  if (rt < kRqNqs) {
+    low = std::min(low, kPriMinInteract + rt * kRqPpq);
+  }
+  if (!tdq->timeshare.empty()) {
+    low = std::min(low, kPriMinBatch);
+  }
+  tdq->lowpri = low;
+}
+
+}  // namespace schedbattle

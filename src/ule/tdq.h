@@ -1,0 +1,103 @@
+// ULE per-core state: the tdq (three runqueues) and per-thread td_sched data.
+//
+// Paper, Section 2.2: "ULE uses two runqueues to schedule threads: one
+// runqueue contains interactive threads, and the other contains batch
+// threads. A third runqueue called idle is used when a core is idle."
+// Priorities follow FreeBSD 11.1's timeshare layout.
+#ifndef SRC_ULE_TDQ_H_
+#define SRC_ULE_TDQ_H_
+
+#include "src/sched/thread.h"
+#include "src/sim/time.h"
+#include "src/ule/interact.h"
+#include "src/ule/runq.h"
+
+namespace schedbattle {
+
+// FreeBSD 11.1 priority ranges (kern/sched_ule.c, sys/priority.h).
+inline constexpr int kPriMinTimeshare = 120;
+inline constexpr int kPriMaxTimeshare = 223;
+// Interactive third of the timeshare range.
+inline constexpr int kPriInteractRange = (kPriMaxTimeshare - kPriMinTimeshare + 1) / 3;  // 34
+inline constexpr int kPriMinInteract = kPriMinTimeshare;                                 // 120
+inline constexpr int kPriMaxInteract = kPriMinTimeshare + kPriInteractRange - 1;         // 153
+inline constexpr int kPriMinBatch = kPriMaxInteract + 1;                                 // 154
+inline constexpr int kPriMaxBatch = kPriMaxTimeshare;                                    // 223
+inline constexpr int kPriBatchRange = kPriMaxBatch - kPriMinBatch + 1;                   // 70
+// Nice spans 40 priorities; the rest of the batch range encodes recent %CPU.
+inline constexpr int kPriNresv = 40;
+inline constexpr int kPriTicksRange = kPriBatchRange - kPriNresv;  // 30
+inline constexpr int kPriIdle = 255;
+
+// %CPU estimation window (FreeBSD: SCHED_TICK_SECS = 10).
+inline constexpr SimDuration kPctcpuWindow = Seconds(10);
+
+// Per-thread ULE state (FreeBSD's td_sched).
+struct UleTaskData : ThreadSchedData {
+  UleInteract interact;
+  int pri = kPriMinBatch;   // current ULE priority
+  int slice_remaining = 0;  // remaining timeslice, in stathz ticks
+  SimTime last_ran = -Seconds(1000);  // ts_rltick analogue, for cache affinity
+
+  // %CPU window (sched_pctcpu_update): runtime accumulated in [ftick, ltick].
+  SimTime ftick = 0;
+  SimTime ltick = 0;
+  SimDuration window_run = 0;
+
+  // Where the thread is queued (for O(1) removal).
+  bool queued = false;
+  bool on_realtime_q = false;  // else timeshare
+  int rq_idx = -1;
+  CoreId tdq_cpu = kInvalidCore;
+
+  SimThread* parent = nullptr;  // runtime is given back to the parent on exit
+};
+
+inline UleTaskData& UleOf(SimThread* t) { return t->sched<UleTaskData>(); }
+inline const UleTaskData& UleOf(const SimThread* t) {
+  return *static_cast<const UleTaskData*>(t->sched_data());
+}
+
+// Per-core queues (FreeBSD's struct tdq).
+struct Tdq {
+  UleRunq realtime;   // interactive threads
+  UleRunq timeshare;  // batch threads (calendar queue)
+
+  int load = 0;       // runnable thread count, including the running thread
+  int idx = 0;        // calendar insertion index
+  int ridx = 0;       // calendar removal index
+  int lowpri = kPriIdle;  // numerically lowest (best) priority present
+
+  int queued_count() const { return realtime.size() + timeshare.size(); }
+  // Threads available for stealing (everything queued; the running thread is
+  // not in the queues).
+  int transferable() const { return queued_count(); }
+};
+
+// Computes the ULE priority of a thread from its interactivity history,
+// niceness, and recent %CPU (FreeBSD: sched_priority()).
+int UleComputePriority(const UleTaskData& data, Nice nice, SimTime now);
+
+// Advances the %CPU window and optionally accrues `run` of runtime
+// (sched_pctcpu_update).
+void UlePctcpuUpdate(UleTaskData* data, SimTime now, SimDuration run);
+
+// Maps recent %CPU into [0, kPriTicksRange) (SCHED_PRI_TICKS).
+int UlePriTicks(const UleTaskData& data);
+
+// tdq queue maintenance (tdq_runq_add / tdq_runq_rem / tdq_choose).
+void TdqRunqAdd(Tdq* tdq, SimThread* t, bool requeue_head);
+void TdqRunqRem(Tdq* tdq, SimThread* t);
+SimThread* TdqChoose(Tdq* tdq);
+
+// Advances the timeshare calendar by one tick (the tdq_idx/tdq_ridx dance in
+// sched_clock, which keeps batch threads round-robining fairly).
+void TdqCalendarTick(Tdq* tdq);
+
+// Recomputes tdq->lowpri from the queues and the running thread's priority
+// (kPriIdle if the core is idle).
+void TdqUpdateLowpri(Tdq* tdq, int running_pri);
+
+}  // namespace schedbattle
+
+#endif  // SRC_ULE_TDQ_H_

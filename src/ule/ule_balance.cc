@@ -1,0 +1,129 @@
+// ULE load balancing (FreeBSD: sched_balance / tdq_idled).
+//
+// Paper, Section 2.2: "ULE also balances threads periodically, every
+// 500-1500ms (the duration of the period is chosen randomly). ... the
+// periodic load balancing is performed only by core 0. Core 0 simply tries
+// to even out the number of threads amongst the cores: a thread from the
+// most loaded core (the donor) is migrated to the less loaded core (the
+// receiver). A core can only be a donor or a receiver once, and the load
+// balancer iterates until no donor or receiver is found. ... ULE also
+// balances threads when the interactive and batch runqueues of a core are
+// empty. ULE tries to steal from the most loaded core with which the idle
+// core shares a cache [then climbs the topology]. ... the idle stealing
+// mechanism steals at most one thread."
+//
+// Note [1]: in stock FreeBSD 11 a bug prevented the periodic balancer from
+// ever re-arming; like the authors, we run with the fix applied
+// (tun_.balance_enabled, on by default).
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "src/ule/ule_sched.h"
+
+namespace schedbattle {
+
+void UleScheduler::ArmBalance() {
+  const SimDuration span = tun_.balance_max - tun_.balance_min;
+  const SimDuration delay =
+      tun_.balance_min + static_cast<SimDuration>(machine_->rng().NextBelow(
+                             static_cast<uint64_t>(std::max<SimDuration>(span, 1))));
+  balance_event_ = machine_->engine().After(delay, [this] { PeriodicBalance(); });
+}
+
+SimThread* UleScheduler::StealOne(CoreId src, CoreId dst) {
+  Tdq& tdq = tdqs_[src];
+  auto can_move = [&](SimThread* t) { return t->CanRunOn(dst); };
+  // runq_steal: realtime queue first, then the timeshare calendar.
+  SimThread* t = tdq.realtime.FindFirst(can_move);
+  if (t == nullptr) {
+    t = tdq.timeshare.FindFirst(can_move);
+  }
+  if (t == nullptr) {
+    return nullptr;
+  }
+  DequeueTask(src, t);
+  EnqueueTask(dst, t, EnqueueKind::kMigrate);
+  machine_->NoteMigration(t, src, dst);
+  return t;
+}
+
+void UleScheduler::PeriodicBalance() {
+  ++machine_->counters().balance_invocations;
+  const int n = machine_->num_cores();
+  machine_->ChargeOverhead(0, n * tun_.balance_cost_per_core, OverheadKind::kLoadBalance);
+
+  std::vector<bool> used(n, false);
+  while (true) {
+    CoreId donor = kInvalidCore;
+    CoreId receiver = kInvalidCore;
+    int max_load = -1;
+    int min_load = std::numeric_limits<int>::max();
+    for (CoreId c = 0; c < n; ++c) {
+      if (used[c]) {
+        continue;
+      }
+      const int load = tdqs_[c].load;
+      if (load > max_load) {
+        max_load = load;
+        donor = c;
+      }
+    }
+    for (CoreId c = 0; c < n; ++c) {
+      if (used[c] || c == donor) {
+        continue;
+      }
+      const int load = tdqs_[c].load;
+      if (load < min_load) {
+        min_load = load;
+        receiver = c;
+      }
+    }
+    if (donor == kInvalidCore || receiver == kInvalidCore) {
+      break;
+    }
+    // Moving one thread only helps if the gap is at least 2; the running
+    // thread cannot be migrated, so the donor needs something queued.
+    if (max_load - min_load < 2 || tdqs_[donor].transferable() == 0) {
+      break;
+    }
+    if (StealOne(donor, receiver) == nullptr) {
+      break;
+    }
+    used[donor] = true;
+    used[receiver] = true;
+  }
+  ArmBalance();
+}
+
+bool UleScheduler::TryIdleSteal(CoreId core) {
+  // tdq_idled: climb the topology; at each level steal one thread from the
+  // most loaded core with enough load.
+  const CpuTopology& topo = machine_->topology();
+  for (TopoLevel level : {TopoLevel::kSmt, TopoLevel::kLlc, TopoLevel::kNode,
+                          TopoLevel::kMachine}) {
+    const auto& group = topo.GroupOf(core, level);
+    if (group.size() <= 1) {
+      continue;
+    }
+    CoreId busiest = kInvalidCore;
+    int max_load = tun_.steal_thresh - 1;
+    for (CoreId c : group) {
+      if (c == core) {
+        continue;
+      }
+      if (tdqs_[c].load > max_load && tdqs_[c].transferable() > 0) {
+        max_load = tdqs_[c].load;
+        busiest = c;
+      }
+    }
+    machine_->ChargeOverhead(core, group.size() * tun_.balance_cost_per_core,
+                             OverheadKind::kLoadBalance);
+    if (busiest != kInvalidCore && StealOne(busiest, core) != nullptr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace schedbattle

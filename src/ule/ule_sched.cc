@@ -1,0 +1,210 @@
+#include "src/ule/ule_sched.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace schedbattle {
+
+UleScheduler::UleScheduler(UleTunables tunables) : tun_(tunables) {}
+UleScheduler::~UleScheduler() = default;
+
+void UleScheduler::Attach(Machine* machine) {
+  machine_ = machine;
+  tdqs_.resize(machine->num_cores());
+}
+
+void UleScheduler::Start() {
+  if (tun_.balance_enabled) {
+    ArmBalance();
+  }
+}
+
+void UleScheduler::TaskNew(SimThread* thread, SimThread* parent) {
+  auto data = std::make_unique<UleTaskData>();
+  // Fork inheritance (paper: "When a thread is created, it inherits the
+  // runtime and sleeptime (and thus the interactivity) of its parent").
+  if (parent != nullptr) {
+    data->interact = UleOf(parent).interact;
+    data->parent = parent;
+  } else {
+    data->interact.runtime = thread->parent_runtime_hint();
+    data->interact.slptime = thread->parent_sleep_hint();
+  }
+  UleInteractFork(&data->interact);
+  data->ftick = machine_->now();
+  data->ltick = machine_->now();
+  thread->set_sched_data(std::move(data));
+  RecomputePriority(thread);
+}
+
+void UleScheduler::ReniceTask(SimThread* thread) {
+  UleTaskData& data = UleOf(thread);
+  if (data.queued) {
+    // Reposition in the runqueues under the new priority (sched_nice).
+    Tdq& tdq = tdqs_[data.tdq_cpu];
+    TdqRunqRem(&tdq, thread);
+    RecomputePriority(thread);
+    TdqRunqAdd(&tdq, thread, /*requeue_head=*/false);
+    TdqUpdateLowpri(&tdq, RunningPriOf(data.tdq_cpu));
+  } else {
+    RecomputePriority(thread);
+  }
+}
+
+void UleScheduler::TaskExit(SimThread* thread) {
+  UleTaskData& data = UleOf(thread);
+  Tdq& tdq = tdqs_[thread->cpu()];
+  tdq.load -= 1;
+  assert(tdq.load >= 0);
+  TdqUpdateLowpri(&tdq, kPriIdle);  // the exiting thread was running
+  // "When a thread dies, its runtime in the last 5 seconds is returned to
+  // its parent. This penalizes parents that spawn batch children while being
+  // interactive."
+  if (data.parent != nullptr) {
+    UleTaskData& parent = UleOf(data.parent);
+    parent.interact.runtime += data.interact.runtime;
+    UleInteractUpdate(&parent.interact);
+    if (data.parent->state() != ThreadState::kDead) {
+      RecomputePriority(data.parent);
+    }
+  }
+}
+
+void UleScheduler::RecomputePriority(SimThread* t) {
+  UleTaskData& data = UleOf(t);
+  data.pri = UleComputePriority(data, t->nice(), machine_->now());
+}
+
+int UleScheduler::RunningPriOf(CoreId core) const {
+  SimThread* curr = machine_->CurrentOn(core);
+  return curr == nullptr ? kPriIdle : UleOf(curr).pri;
+}
+
+int UleScheduler::InteractivityPenaltyOf(const SimThread* thread) const {
+  return UleInteractScore(UleOf(thread).interact);
+}
+
+void UleScheduler::EnqueueTask(CoreId core, SimThread* thread, EnqueueKind kind) {
+  UleTaskData& data = UleOf(thread);
+  if (kind == EnqueueKind::kWakeup) {
+    // sched_wakeup: credit the voluntary sleep that just ended.
+    data.interact.slptime += thread->last_sleep_duration;
+    UleInteractUpdate(&data.interact);
+    UlePctcpuUpdate(&data, machine_->now(), 0);
+  }
+  RecomputePriority(thread);
+  if (data.slice_remaining <= 0) {
+    data.slice_remaining = std::max(1, tun_.slice_ticks / std::max(1, tdqs_[core].load + 1));
+  }
+  Tdq& tdq = tdqs_[core];
+  TdqRunqAdd(&tdq, thread, /*requeue_head=*/false);
+  tdq.load += 1;
+  data.tdq_cpu = core;
+}
+
+void UleScheduler::DequeueTask(CoreId core, SimThread* thread) {
+  Tdq& tdq = tdqs_[core];
+  TdqRunqRem(&tdq, thread);
+  tdq.load -= 1;
+  assert(tdq.load >= 0);
+  TdqUpdateLowpri(&tdq, RunningPriOf(core));
+}
+
+SimThread* UleScheduler::PickNextTask(CoreId core) {
+  Tdq& tdq = tdqs_[core];
+  SimThread* t = TdqChoose(&tdq);
+  if (t == nullptr) {
+    return nullptr;
+  }
+  TdqRunqRem(&tdq, t);
+  UleTaskData& data = UleOf(t);
+  if (data.slice_remaining <= 0) {
+    data.slice_remaining = std::max(1, tun_.slice_ticks / std::max(1, tdq.load));
+  }
+  data.last_ran = machine_->now();
+  TdqUpdateLowpri(&tdq, data.pri);
+  return t;
+}
+
+void UleScheduler::PutPrevTask(CoreId core, SimThread* thread) {
+  // Preempted or slice expired: back to the tail of its FIFO (sched_switch).
+  UleTaskData& data = UleOf(thread);
+  data.last_ran = machine_->now();
+  RecomputePriority(thread);
+  Tdq& tdq = tdqs_[core];
+  TdqRunqAdd(&tdq, thread, /*requeue_head=*/false);
+  // load unchanged: the thread was already counted while running.
+  TdqUpdateLowpri(&tdq, kPriIdle);
+  data.tdq_cpu = core;
+}
+
+void UleScheduler::OnTaskBlock(CoreId core, SimThread* thread, bool /*voluntary*/) {
+  UleTaskData& data = UleOf(thread);
+  data.last_ran = machine_->now();
+  Tdq& tdq = tdqs_[core];
+  tdq.load -= 1;
+  assert(tdq.load >= 0);
+  TdqUpdateLowpri(&tdq, kPriIdle);
+  (void)data;
+}
+
+void UleScheduler::YieldTask(CoreId core, SimThread* thread) {
+  // sched_relinquish: requeue at the tail with a fresh slice decision later.
+  UleOf(thread).slice_remaining = 0;
+  PutPrevTask(core, thread);
+}
+
+void UleScheduler::TaskTick(CoreId core, SimThread* current) {
+  Tdq& tdq = tdqs_[core];
+  TdqCalendarTick(&tdq);
+  if (current == nullptr) {
+    // The idle thread keeps polling tdq_idled (sched_idletd); a successful
+    // steal kicks the core through the enqueue path.
+    if (tun_.steal_enabled) {
+      TryIdleSteal(core);
+    }
+    return;
+  }
+  UleTaskData& data = UleOf(current);
+  // sched_clock: tick-granularity runtime accounting. A thread that always
+  // blocks between ticks accrues no runtime — this is why mostly-sleeping
+  // database threads stay maximally interactive under ULE.
+  data.interact.runtime += tun_.tick;
+  UleInteractUpdate(&data.interact);
+  UlePctcpuUpdate(&data, machine_->now(), tun_.tick);
+  RecomputePriority(current);
+  TdqUpdateLowpri(&tdq, data.pri);
+
+  if (--data.slice_remaining <= 0) {
+    // Slice end: force a reschedule; the thread goes to the back of its FIFO
+    // and the best queued thread (interactive first) runs.
+    if (tdq.queued_count() > 0) {
+      ++machine_->counters().tick_preemptions;
+      machine_->SetNeedResched(core);
+    } else {
+      data.slice_remaining = std::max(1, tun_.slice_ticks / std::max(1, tdq.load));
+    }
+  }
+}
+
+void UleScheduler::CheckPreemptWakeup(CoreId core, SimThread* woken) {
+  if (!tun_.wakeup_preemption) {
+    return;  // full preemption is disabled in ULE
+  }
+  SimThread* curr = machine_->CurrentOn(core);
+  if (curr == nullptr || curr == woken) {
+    return;
+  }
+  if (UleOf(woken).pri < UleOf(curr).pri) {
+    ++machine_->counters().wakeup_preemptions;
+    machine_->SetNeedResched(core);
+  }
+}
+
+void UleScheduler::OnCoreIdle(CoreId core) {
+  if (tun_.steal_enabled) {
+    TryIdleSteal(core);
+  }
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,123 @@
+// UleScheduler: the FreeBSD 11.1 ULE scheduler (paper Section 2.2), as
+// ported in the paper: the running thread is left conceptually "on" the core
+// rather than in the runqueue, and the load balancer never migrates a
+// running thread.
+//
+//  - Per-core scheduling: interactive vs batch classification by the
+//    interactivity penalty (< 30 interactive), interactive threads have
+//    absolute priority (and batch threads may starve unboundedly);
+//    timeslice = 10 stathz ticks (78ms) divided by the core's load, floor
+//    one tick; full preemption disabled.
+//  - Load: the runnable thread count, nothing else.
+//  - Load balancing: affinity-aware wake placement (sched_pickcpu) that may
+//    scan all cores up to three times; a periodic balancer run by core 0
+//    every 0.5-1.5s moving one thread per donor/receiver pair; idle cores
+//    steal at most one thread, climbing the topology.
+#ifndef SRC_ULE_ULE_SCHED_H_
+#define SRC_ULE_ULE_SCHED_H_
+
+#include <vector>
+
+#include "src/sched/machine.h"
+#include "src/sched/sched_class.h"
+#include "src/ule/tdq.h"
+
+namespace schedbattle {
+
+struct UleTunables {
+  // Timeslice in stathz ticks when a single thread runs (paper: 10 ticks =
+  // 78ms); divided by the core's load, floor 1 tick.
+  int slice_ticks = 10;
+  // The stathz tick (paper: 1/127th of a second).
+  SimDuration tick = kSecond / 127;
+
+  // Periodic balancer period bounds (paper: 500-1500ms, chosen randomly).
+  SimDuration balance_min = Milliseconds(500);
+  SimDuration balance_max = Milliseconds(1500);
+  bool balance_enabled = true;  // the FreeBSD bug [1] left this effectively off;
+                                // the paper (and we) run with the fix applied
+  bool steal_enabled = true;    // idle stealing (tdq_idled)
+  int steal_thresh = 2;         // minimum load to steal from
+
+  // Cache-affinity window per topology level (sched_affinity ticks); a
+  // thread is considered affine to a core at level L if it last ran there
+  // within (level+1) * this.
+  SimDuration affinity_window = Milliseconds(1);
+
+  // Full preemption is disabled in ULE (paper: "only kernel threads can
+  // preempt others"); the ablation_preemption bench enables it.
+  bool wakeup_preemption = false;
+
+  // Ablation from paper Section 6.3: replace sched_pickcpu by "return the
+  // CPU the thread previously ran on".
+  bool pickcpu_return_prev = false;
+
+  // Simulated cost per core examined by sched_pickcpu (the source of the
+  // paper's "13% of all CPU cycles spent on scanning cores" for sysbench).
+  SimDuration pickcpu_scan_cost_local = Nanoseconds(90);
+  SimDuration pickcpu_scan_cost_remote = Nanoseconds(850);
+  SimDuration balance_cost_per_core = Nanoseconds(150);
+};
+
+class UleScheduler : public Scheduler {
+ public:
+  explicit UleScheduler(UleTunables tunables = {});
+  ~UleScheduler() override;
+
+  std::string_view name() const override { return "ule"; }
+  void Attach(Machine* machine) override;
+  void Start() override;
+
+  void TaskNew(SimThread* thread, SimThread* parent) override;
+  void TaskExit(SimThread* thread) override;
+  void ReniceTask(SimThread* thread) override;
+  CoreId SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind kind) override;
+  void EnqueueTask(CoreId core, SimThread* thread, EnqueueKind kind) override;
+  void DequeueTask(CoreId core, SimThread* thread) override;
+  SimThread* PickNextTask(CoreId core) override;
+  void PutPrevTask(CoreId core, SimThread* thread) override;
+  void OnTaskBlock(CoreId core, SimThread* thread, bool voluntary) override;
+  void YieldTask(CoreId core, SimThread* thread) override;
+  void TaskTick(CoreId core, SimThread* current) override;
+  void CheckPreemptWakeup(CoreId core, SimThread* woken) override;
+  void OnCoreIdle(CoreId core) override;
+  SimDuration TickPeriod() const override { return tun_.tick; }
+
+  double LoadOf(CoreId core) const override { return tdqs_[core].load; }
+  int RunnableCountOf(CoreId core) const override { return tdqs_[core].load; }
+  int InteractivityPenaltyOf(const SimThread* thread) const override;
+
+  const UleTunables& tunables() const { return tun_; }
+  const Tdq& tdq(CoreId core) const { return tdqs_[core]; }
+
+ private:
+  // Refreshes a thread's ULE priority from its current history.
+  void RecomputePriority(SimThread* t);
+
+  int RunningPriOf(CoreId core) const;
+
+  // ---- pickcpu.cc ----
+  CoreId PickCpu(SimThread* t, CoreId origin);
+  bool AffineAt(const SimThread* t, CoreId core, TopoLevel level) const;
+  // Lowest-load allowed core in `cores` whose lowpri is worse (numerically
+  // higher) than `pri`; kInvalidCore if none. Adds to *scanned.
+  CoreId LowestLoadWhereRunnable(const std::vector<CoreId>& cores, const SimThread* t, int pri,
+                                 int* scanned) const;
+  CoreId LowestLoad(const std::vector<CoreId>& cores, const SimThread* t, int* scanned) const;
+
+  // ---- ule_balance.cc ----
+  void PeriodicBalance();
+  void ArmBalance();
+  // Moves one stealable thread from src to dst; returns it or nullptr.
+  SimThread* StealOne(CoreId src, CoreId dst);
+  bool TryIdleSteal(CoreId core);
+
+  Machine* machine_ = nullptr;
+  UleTunables tun_;
+  std::vector<Tdq> tdqs_;
+  EventHandle balance_event_;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_ULE_ULE_SCHED_H_

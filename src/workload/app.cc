@@ -1,0 +1,47 @@
+#include "src/workload/app.h"
+
+namespace schedbattle {
+
+double AppStats::OpsPerSecond(SimTime now) const {
+  const SimTime end = finished >= 0 ? finished : now;
+  if (started < 0 || end <= started || ops == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(ops) / ToSeconds(end - started);
+}
+
+SimThread* Application::SpawnThread(Machine& machine, ThreadSpec spec, SimThread* parent) {
+  spec.group = group_;
+  SimThread* t = machine.Spawn(std::move(spec), parent);
+  threads_.push_back(t);
+  ++live_threads_;
+  launched_ = true;
+  return t;
+}
+
+void Application::NoteThreadExited(SimThread* thread, SimTime now) {
+  (void)thread;
+  --live_threads_;
+  if (finished() && stats_.finished < 0) {
+    stats_.finished = now;
+  }
+}
+
+void ScriptedApp::Launch(Machine& machine) {
+  Rng rng(seed_);
+  for (const ThreadTemplate& tmpl : templates_) {
+    for (int i = 0; i < tmpl.count; ++i) {
+      ThreadSpec spec;
+      spec.name = name() + "/" + tmpl.name + "-" + std::to_string(i);
+      spec.nice = tmpl.nice;
+      spec.affinity = tmpl.affinity;
+      spec.body = MakeScriptBody(tmpl.script, rng.Split());
+      spec.parent_runtime_hint = tmpl.parent_runtime_hint;
+      spec.parent_sleep_hint = tmpl.parent_sleep_hint;
+      SpawnThread(machine, std::move(spec), /*parent=*/nullptr);
+    }
+  }
+  MarkLaunched();
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,120 @@
+// Application: a named group of threads with shared statistics.
+//
+// Each application gets its own GroupId; under CFS (with group scheduling
+// on, the default) this reproduces the systemd/autogroup setup of the
+// paper's testbed, where CFS is fair *between applications*.
+#ifndef SRC_WORKLOAD_APP_H_
+#define SRC_WORKLOAD_APP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/metrics/histogram.h"
+#include "src/sched/machine.h"
+#include "src/workload/script.h"
+
+namespace schedbattle {
+
+struct AppStats {
+  uint64_t ops = 0;                // completed operations (transactions/requests)
+  LatencyHistogram latency;        // per-operation latency
+  SimTime started = -1;
+  SimTime finished = -1;
+
+  void RecordOp(SimTime start, SimTime end) {
+    ++ops;
+    latency.Record(end - start);
+  }
+
+  // Operations per second over the app's lifetime (until `now` if running).
+  double OpsPerSecond(SimTime now) const;
+};
+
+class Application {
+ public:
+  explicit Application(std::string name) : name_(std::move(name)) {}
+  virtual ~Application() = default;
+
+  // Spawns the application's initial threads. `group()` is already assigned.
+  virtual void Launch(Machine& machine) = 0;
+
+  const std::string& name() const { return name_; }
+  GroupId group() const { return group_; }
+  void set_group(GroupId g) { group_ = g; }
+
+  AppStats& stats() { return stats_; }
+  const AppStats& stats() const { return stats_; }
+
+  int live_threads() const { return live_threads_; }
+  const std::vector<SimThread*>& threads() const { return threads_; }
+  bool launched() const { return launched_; }
+
+  // Complete when all threads exited; server-style apps override this (e.g.
+  // "the load injector exited", with worker threads parked forever).
+  virtual bool finished() const { return launched_ && live_threads_ == 0; }
+
+  // Background apps (system noise) run until the horizon and are ignored by
+  // Workload completion tracking.
+  bool is_background() const { return background_; }
+  void set_background(bool b) { background_ = b; }
+
+  // Creates and starts a thread belonging to this app (sets the group and
+  // registers it for completion tracking). Usable from Launch and from
+  // script hooks (for apps whose master forks workers dynamically).
+  SimThread* SpawnThread(Machine& machine, ThreadSpec spec, SimThread* parent);
+
+  // Called by the Workload exit router. Overrides must call the base.
+  virtual void NoteThreadExited(SimThread* thread, SimTime now);
+
+  // Keeps a shared resource (pipe, mutex, barrier...) alive for the app's
+  // lifetime. Scripts store raw pointers to sync objects; whoever creates
+  // them must anchor them here.
+  template <typename T>
+  T* KeepAlive(std::shared_ptr<T> resource) {
+    T* raw = resource.get();
+    resources_.push_back(std::move(resource));
+    return raw;
+  }
+
+ protected:
+  void MarkLaunched() { launched_ = true; }
+
+ private:
+  std::string name_;
+  GroupId group_ = kRootGroup;
+  AppStats stats_;
+  std::vector<SimThread*> threads_;
+  std::vector<std::shared_ptr<void>> resources_;
+  int live_threads_ = 0;
+  bool launched_ = false;
+  bool background_ = false;
+};
+
+// An application defined by a fixed set of (script, count) thread templates —
+// sufficient for most of the 37 models.
+class ScriptedApp : public Application {
+ public:
+  struct ThreadTemplate {
+    std::string name;
+    std::shared_ptr<const Script> script;
+    int count = 1;
+    Nice nice = 0;
+    CpuMask affinity;  // empty = all cores
+    SimDuration parent_runtime_hint = 0;
+    SimDuration parent_sleep_hint = Seconds(4);  // launched from an idle shell
+  };
+
+  ScriptedApp(std::string name, uint64_t seed) : Application(std::move(name)), seed_(seed) {}
+
+  void AddThreads(ThreadTemplate tmpl) { templates_.push_back(std::move(tmpl)); }
+  void Launch(Machine& machine) override;
+
+ private:
+  uint64_t seed_;
+  std::vector<ThreadTemplate> templates_;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_WORKLOAD_APP_H_

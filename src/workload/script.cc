@@ -1,0 +1,237 @@
+#include "src/workload/script.h"
+
+#include <cassert>
+
+namespace schedbattle {
+
+ScriptBuilder& ScriptBuilder::Compute(SimDuration d) {
+  instrs_.push_back({.op = ScriptInstr::Op::kCompute, .duration = d});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::ComputeFn(DurationFn fn) {
+  instrs_.push_back({.op = ScriptInstr::Op::kCompute, .duration_fn = std::move(fn)});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::Sleep(SimDuration d) {
+  instrs_.push_back({.op = ScriptInstr::Op::kSleep, .duration = d});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::SleepFn(DurationFn fn) {
+  instrs_.push_back({.op = ScriptInstr::Op::kSleep, .duration_fn = std::move(fn)});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::Lock(SimMutex* m) {
+  instrs_.push_back({.op = ScriptInstr::Op::kLock, .mutex = m});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::Unlock(SimMutex* m) {
+  instrs_.push_back({.op = ScriptInstr::Op::kUnlock, .mutex = m});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::SemWait(SimSemaphore* s) {
+  instrs_.push_back({.op = ScriptInstr::Op::kSemWait, .sem = s});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::SemPost(SimSemaphore* s) {
+  instrs_.push_back({.op = ScriptInstr::Op::kSemPost, .sem = s});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::Barrier(SimBarrier* b) {
+  instrs_.push_back({.op = ScriptInstr::Op::kBarrier, .barrier = b});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::SpinBarrier(SimSpinBarrier* b, SimDuration poll,
+                                          SimDuration spin_limit) {
+  instrs_.push_back({.op = ScriptInstr::Op::kSpinBarrier,
+                     .duration = poll,
+                     .spin_barrier = b,
+                     .limit = spin_limit});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::PipeRead(SimPipe* p) {
+  instrs_.push_back({.op = ScriptInstr::Op::kPipeRead, .pipe = p});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::PipeWrite(SimPipe* p, int messages) {
+  instrs_.push_back({.op = ScriptInstr::Op::kPipeWrite, .pipe = p, .count = messages});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::Call(HookFn fn) {
+  instrs_.push_back({.op = ScriptInstr::Op::kCall, .hook = std::move(fn)});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::Yield() {
+  instrs_.push_back({.op = ScriptInstr::Op::kYield});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::Loop(int count) {
+  loop_stack_.push_back(static_cast<int>(instrs_.size()));
+  instrs_.push_back({.op = ScriptInstr::Op::kLoopBegin, .count = count});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::LoopWhile(PredicateFn pred) {
+  loop_stack_.push_back(static_cast<int>(instrs_.size()));
+  instrs_.push_back({.op = ScriptInstr::Op::kLoopBegin, .count = -1, .predicate = std::move(pred)});
+  return *this;
+}
+ScriptBuilder& ScriptBuilder::EndLoop() {
+  assert(!loop_stack_.empty() && "EndLoop without Loop");
+  const int begin = loop_stack_.back();
+  loop_stack_.pop_back();
+  instrs_.push_back({.op = ScriptInstr::Op::kLoopEnd, .jump = begin});
+  instrs_[begin].jump = static_cast<int>(instrs_.size());
+  return *this;
+}
+
+std::shared_ptr<const Script> ScriptBuilder::Build() {
+  assert(loop_stack_.empty() && "unclosed Loop");
+  auto script = std::make_shared<Script>();
+  script->instrs = std::move(instrs_);
+  instrs_.clear();
+  return script;
+}
+
+ScriptBody::ScriptBody(std::shared_ptr<const Script> script, Rng rng)
+    : script_(std::move(script)),
+      rng_(rng),
+      loop_remaining_(script_->instrs.size(), 0),
+      spin_elapsed_(script_->instrs.size(), 0) {}
+
+Step ScriptBody::OnRun(ThreadContext& ctx) {
+  ScriptEnv env{ctx, rng_};
+  Machine& m = ctx.machine();
+  SimThread* self = &ctx.thread();
+  while (true) {
+    if (pc_ >= script_->instrs.size()) {
+      return Step::Exit();
+    }
+    const ScriptInstr& in = script_->instrs[pc_];
+    switch (in.op) {
+      case ScriptInstr::Op::kCompute: {
+        const SimDuration d = in.duration_fn ? in.duration_fn(env) : in.duration;
+        ++pc_;
+        if (d > 0) {
+          return Step::Compute(d);
+        }
+        break;
+      }
+      case ScriptInstr::Op::kSleep: {
+        if (resuming_sleep_) {
+          resuming_sleep_ = false;
+          ++pc_;
+          break;
+        }
+        const SimDuration d = in.duration_fn ? in.duration_fn(env) : in.duration;
+        if (d <= 0) {
+          ++pc_;
+          break;
+        }
+        resuming_sleep_ = true;
+        m.engine().After(d, [&m, self] { m.Wake(self, kInvalidCore); });
+        return Step::Block();
+      }
+      case ScriptInstr::Op::kLock:
+        if (!in.mutex->TryAcquire(m, self)) {
+          return Step::Block();
+        }
+        ++pc_;
+        break;
+      case ScriptInstr::Op::kUnlock:
+        in.mutex->Release(m, self);
+        ++pc_;
+        break;
+      case ScriptInstr::Op::kSemWait:
+        if (!in.sem->TryWait(m, self)) {
+          return Step::Block();
+        }
+        ++pc_;
+        break;
+      case ScriptInstr::Op::kSemPost:
+        in.sem->Post(m, self);
+        ++pc_;
+        break;
+      case ScriptInstr::Op::kBarrier:
+        if (!in.barrier->TryWait(m, self)) {
+          return Step::Block();
+        }
+        ++pc_;
+        break;
+      case ScriptInstr::Op::kSpinBarrier: {
+        SimDuration& spun = spin_elapsed_[pc_];
+        if (in.spin_barrier->Poll(m, self)) {
+          spun = 0;
+          ++pc_;
+          break;
+        }
+        if (spun < in.limit) {
+          spun += in.duration;
+          return Step::Compute(in.duration);  // busy-wait burst, then re-poll
+        }
+        spun = 0;
+        in.spin_barrier->SleepUntilRelease(self);
+        return Step::Block();
+      }
+      case ScriptInstr::Op::kPipeRead:
+        if (!in.pipe->TryRead(m, self)) {
+          return Step::Block();
+        }
+        ++pc_;
+        break;
+      case ScriptInstr::Op::kPipeWrite:
+        in.pipe->Write(m, self, in.count);
+        ++pc_;
+        break;
+      case ScriptInstr::Op::kCall:
+        in.hook(env);
+        ++pc_;
+        break;
+      case ScriptInstr::Op::kYield:
+        ++pc_;
+        return Step::Yield();
+      case ScriptInstr::Op::kLoopBegin: {
+        const int idx = static_cast<int>(pc_);
+        if (in.predicate) {
+          if (in.predicate(env)) {
+            ++pc_;
+          } else {
+            pc_ = static_cast<size_t>(in.jump);
+          }
+          break;
+        }
+        loop_remaining_[idx] = in.count;
+        if (in.count == 0) {
+          pc_ = static_cast<size_t>(in.jump);
+        } else {
+          ++pc_;
+        }
+        break;
+      }
+      case ScriptInstr::Op::kLoopEnd: {
+        const int begin = in.jump;
+        const ScriptInstr& b = script_->instrs[begin];
+        if (b.predicate) {
+          pc_ = static_cast<size_t>(begin);  // re-evaluate the predicate
+          break;
+        }
+        int& remaining = loop_remaining_[begin];
+        if (remaining > 0) {
+          --remaining;
+        }
+        if (b.count < 0 || remaining > 0) {
+          pc_ = static_cast<size_t>(begin) + 1;
+        } else {
+          ++pc_;
+        }
+        break;
+      }
+      case ScriptInstr::Op::kExit:
+        return Step::Exit();
+    }
+  }
+}
+
+std::unique_ptr<ThreadBody> MakeScriptBody(std::shared_ptr<const Script> script, Rng rng) {
+  return std::make_unique<ScriptBody>(std::move(script), rng);
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,129 @@
+// Script: a small instruction-list "VM" for expressing thread behaviours.
+//
+// Application models (src/apps) describe each thread as a sequential program
+// over compute bursts, sleeps, locks, pipes, barriers and hooks:
+//
+//   auto s = ScriptBuilder()
+//       .Loop(1000)
+//         .ComputeFn([](ScriptEnv& env) { return env.rng.NextExponential(...); })
+//         .Lock(&mu).Compute(Microseconds(50)).Unlock(&mu)
+//         .Sleep(Milliseconds(2))
+//         .Call([stats](ScriptEnv& env) { stats->RecordOp(env.ctx.now()); })
+//       .EndLoop()
+//       .Build();
+//
+// Blocking instructions follow the try/grant protocol of src/workload/sync.h:
+// a failed attempt blocks the thread without advancing the program counter,
+// and the retry after wakeup succeeds.
+#ifndef SRC_WORKLOAD_SCRIPT_H_
+#define SRC_WORKLOAD_SCRIPT_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sched/behavior.h"
+#include "src/sim/rng.h"
+#include "src/workload/sync.h"
+
+namespace schedbattle {
+
+struct ScriptEnv {
+  ThreadContext& ctx;
+  Rng& rng;
+};
+
+using DurationFn = std::function<SimDuration(ScriptEnv&)>;
+using HookFn = std::function<void(ScriptEnv&)>;
+using PredicateFn = std::function<bool(ScriptEnv&)>;
+
+struct ScriptInstr {
+  enum class Op {
+    kCompute,      // duration or duration_fn
+    kSleep,        // duration or duration_fn
+    kLock,         // mutex
+    kUnlock,       // mutex
+    kSemWait,      // semaphore
+    kSemPost,      // semaphore
+    kBarrier,      // barrier
+    kSpinBarrier,  // spin_barrier; duration = poll burst, limit = spin budget
+    kPipeRead,     // pipe
+    kPipeWrite,    // pipe (count = messages)
+    kCall,         // hook
+    kYield,        //
+    kLoopBegin,    // count (-1 = forever) or predicate; end = matching EndLoop
+    kLoopEnd,      // begin = matching LoopBegin
+    kExit,         //
+  };
+
+  Op op;
+  SimDuration duration = 0;
+  DurationFn duration_fn;
+  SimMutex* mutex = nullptr;
+  SimSemaphore* sem = nullptr;
+  SimBarrier* barrier = nullptr;
+  SimSpinBarrier* spin_barrier = nullptr;
+  SimPipe* pipe = nullptr;
+  SimDuration limit = 0;
+  int count = 1;
+  HookFn hook;
+  PredicateFn predicate;
+  int jump = -1;  // kLoopBegin: index past EndLoop; kLoopEnd: index of Begin
+};
+
+// An immutable program, shared between the threads that execute it.
+struct Script {
+  std::vector<ScriptInstr> instrs;
+};
+
+class ScriptBuilder {
+ public:
+  ScriptBuilder& Compute(SimDuration d);
+  ScriptBuilder& ComputeFn(DurationFn fn);
+  ScriptBuilder& Sleep(SimDuration d);
+  ScriptBuilder& SleepFn(DurationFn fn);
+  ScriptBuilder& Lock(SimMutex* m);
+  ScriptBuilder& Unlock(SimMutex* m);
+  ScriptBuilder& SemWait(SimSemaphore* s);
+  ScriptBuilder& SemPost(SimSemaphore* s);
+  ScriptBuilder& Barrier(SimBarrier* b);
+  // Spin-then-sleep barrier: poll in `poll` compute bursts for up to
+  // `spin_limit`, then sleep until release.
+  ScriptBuilder& SpinBarrier(SimSpinBarrier* b, SimDuration poll, SimDuration spin_limit);
+  ScriptBuilder& PipeRead(SimPipe* p);
+  ScriptBuilder& PipeWrite(SimPipe* p, int messages = 1);
+  ScriptBuilder& Call(HookFn fn);
+  ScriptBuilder& Yield();
+  ScriptBuilder& Loop(int count);  // -1 = forever
+  ScriptBuilder& LoopWhile(PredicateFn pred);
+  ScriptBuilder& EndLoop();
+  std::shared_ptr<const Script> Build();
+
+ private:
+  std::vector<ScriptInstr> instrs_;
+  std::vector<int> loop_stack_;
+};
+
+// The ThreadBody executing a Script. Each thread gets its own ScriptBody
+// (own program counter, loop counters and RNG stream).
+class ScriptBody : public ThreadBody {
+ public:
+  ScriptBody(std::shared_ptr<const Script> script, Rng rng);
+
+  Step OnRun(ThreadContext& ctx) override;
+
+ private:
+  std::shared_ptr<const Script> script_;
+  Rng rng_;
+  size_t pc_ = 0;
+  std::vector<int> loop_remaining_;
+  std::vector<SimDuration> spin_elapsed_;  // per spin-barrier instruction
+  bool resuming_sleep_ = false;  // sleep advanced pc before blocking
+};
+
+// Convenience: a ThreadSpec body running `script`.
+std::unique_ptr<ThreadBody> MakeScriptBody(std::shared_ptr<const Script> script, Rng rng);
+
+}  // namespace schedbattle
+
+#endif  // SRC_WORKLOAD_SCRIPT_H_

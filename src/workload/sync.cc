@@ -1,0 +1,142 @@
+#include "src/workload/sync.h"
+
+#include <cassert>
+
+namespace schedbattle {
+
+namespace {
+CoreId WakerCore(SimThread* waker) {
+  // Only a thread that is actually running can meaningfully be "the waker";
+  // timer-driven wakes pass kInvalidCore.
+  if (waker != nullptr && waker->state() == ThreadState::kRunning) {
+    return waker->cpu();
+  }
+  return kInvalidCore;
+}
+}  // namespace
+
+bool SimMutex::TryAcquire(Machine& m, SimThread* t) {
+  (void)m;
+  if (owner_ == kInvalidThread) {
+    owner_ = t->id();
+    return true;
+  }
+  if (owner_ == t->id()) {
+    return true;  // granted by a previous Release handoff
+  }
+  waiters_.push_back(t);
+  return false;
+}
+
+void SimMutex::Release(Machine& m, SimThread* t) {
+  assert(owner_ == t->id() && "releasing a mutex not held");
+  if (waiters_.empty()) {
+    owner_ = kInvalidThread;
+    return;
+  }
+  SimThread* next = waiters_.front();
+  waiters_.pop_front();
+  owner_ = next->id();
+  m.Wake(next, WakerCore(t));
+}
+
+bool SimSemaphore::TryWait(Machine& m, SimThread* t) {
+  (void)m;
+  if (granted_.erase(t->id()) > 0) {
+    return true;
+  }
+  if (count_ > 0) {
+    --count_;
+    return true;
+  }
+  waiters_.push_back(t);
+  return false;
+}
+
+void SimSemaphore::Post(Machine& m, SimThread* waker) {
+  if (waiters_.empty()) {
+    ++count_;
+    return;
+  }
+  SimThread* next = waiters_.front();
+  waiters_.pop_front();
+  granted_.insert(next->id());
+  m.Wake(next, WakerCore(waker));
+}
+
+bool SimBarrier::TryWait(Machine& m, SimThread* t) {
+  if (granted_.erase(t->id()) > 0) {
+    return true;
+  }
+  ++arrived_;
+  if (arrived_ == parties_) {
+    // Last arriver: open the barrier and wake everyone.
+    arrived_ = 0;
+    for (SimThread* w : waiters_) {
+      granted_.insert(w->id());
+    }
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (SimThread* w : waiters) {
+      m.Wake(w, WakerCore(t));
+    }
+    return true;
+  }
+  waiters_.push_back(t);
+  return false;
+}
+
+bool SimSpinBarrier::Poll(Machine& m, SimThread* t) {
+  auto it = arrival_gen_.find(t->id());
+  if (it != arrival_gen_.end()) {
+    if (generation_ > it->second) {
+      arrival_gen_.erase(it);  // released while spinning (or after waking)
+      return true;
+    }
+    return false;
+  }
+  // New arrival for the current generation.
+  ++arrived_;
+  if (arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    auto sleepers = std::move(sleepers_);
+    sleepers_.clear();
+    for (SimThread* s : sleepers) {
+      m.Wake(s, WakerCore(t));
+    }
+    return true;  // the last arriver passes immediately
+  }
+  arrival_gen_[t->id()] = generation_;
+  return false;
+}
+
+void SimSpinBarrier::SleepUntilRelease(SimThread* t) { sleepers_.push_back(t); }
+
+bool SimPipe::TryRead(Machine& m, SimThread* t) {
+  (void)m;
+  if (granted_.erase(t->id()) > 0) {
+    return true;
+  }
+  if (available_ > 0) {
+    --available_;
+    return true;
+  }
+  readers_.push_back(t);
+  return false;
+}
+
+void SimPipe::Write(Machine& m, SimThread* writer, int messages) {
+  for (int i = 0; i < messages; ++i) {
+    if (readers_.empty()) {
+      ++available_;
+      continue;
+    }
+    SimThread* next = readers_.front();
+    readers_.pop_front();
+    granted_.insert(next->id());
+    m.Wake(next, WakerCore(writer));
+  }
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,124 @@
+// Simulated blocking synchronization primitives.
+//
+// All primitives follow a try/grant protocol that matches the ThreadBody
+// contract: an acquire attempt either succeeds immediately or enqueues the
+// thread and returns false — the body then returns Step::Block(). When the
+// resource becomes available, the primitive records a grant for the chosen
+// waiter and wakes it through Machine::Wake; the re-run attempt consumes the
+// grant and succeeds. Waking goes through the scheduler's full wake path
+// (SelectTaskRq, enqueue, preemption check), so lock handoffs and pipe
+// writes exercise exactly the scheduler behaviours the paper studies.
+#ifndef SRC_WORKLOAD_SYNC_H_
+#define SRC_WORKLOAD_SYNC_H_
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/sched/machine.h"
+#include "src/sched/thread.h"
+
+namespace schedbattle {
+
+// A blocking mutex with FIFO handoff (ownership passes directly to the first
+// waiter on release, like a kernel sleep lock).
+class SimMutex {
+ public:
+  // True if acquired (or already held by `t`). False: `t` was enqueued and
+  // must block.
+  bool TryAcquire(Machine& m, SimThread* t);
+  void Release(Machine& m, SimThread* t);
+
+  bool held() const { return owner_ != kInvalidThread; }
+  ThreadId owner() const { return owner_; }
+  size_t waiters() const { return waiters_.size(); }
+
+ private:
+  ThreadId owner_ = kInvalidThread;
+  std::deque<SimThread*> waiters_;
+};
+
+// Counting semaphore.
+class SimSemaphore {
+ public:
+  explicit SimSemaphore(int initial = 0) : count_(initial) {}
+
+  // True if a unit was consumed; false: enqueued, must block.
+  bool TryWait(Machine& m, SimThread* t);
+  void Post(Machine& m, SimThread* waker);
+
+  int count() const { return count_; }
+  size_t waiters() const { return waiters_.size(); }
+
+ private:
+  int count_;
+  std::deque<SimThread*> waiters_;
+  std::unordered_set<ThreadId> granted_;
+};
+
+// A cyclic barrier over `parties` threads. The last arriver wakes everyone
+// (the all-at-once wake pattern of pthread_barrier / OpenMP).
+class SimBarrier {
+ public:
+  explicit SimBarrier(int parties) : parties_(parties) {}
+
+  // True if the barrier opened for `t` (last arriver, or re-run after the
+  // barrier opened); false: must block.
+  bool TryWait(Machine& m, SimThread* t);
+
+  int arrived() const { return arrived_; }
+
+ private:
+  int parties_;
+  int arrived_ = 0;
+  std::deque<SimThread*> waiters_;
+  std::unordered_set<ThreadId> granted_;
+};
+
+// A spin-then-sleep barrier (OpenMP-style, the paper's NAS "spin-barrier ...
+// for 100ms and then sleeps"). Arrivers poll in short compute bursts; a
+// thread that exhausts its spin budget blocks and is woken by the last
+// arriver. Threads that pass the barrier while spinning never enter the
+// scheduler at all — the behaviour behind the paper's MG result.
+class SimSpinBarrier {
+ public:
+  explicit SimSpinBarrier(int parties) : parties_(parties) {}
+
+  // Registers arrival (first call per generation) or polls. Returns true
+  // when the barrier has opened for this thread's arrival generation.
+  bool Poll(Machine& m, SimThread* t);
+
+  // The thread gives up spinning; it will be woken at release.
+  void SleepUntilRelease(SimThread* t);
+
+  uint64_t generation() const { return generation_; }
+
+ private:
+  int parties_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+  std::deque<SimThread*> sleepers_;
+  std::unordered_map<ThreadId, uint64_t> arrival_gen_;
+};
+
+// A byte/message-counting pipe with blocking readers (unbounded capacity,
+// like a socket buffer large enough for the workload). Each Write wakes one
+// reader; used by hackbench and the apache model.
+class SimPipe {
+ public:
+  // True if one message was consumed; false: enqueued as reader, must block.
+  bool TryRead(Machine& m, SimThread* t);
+  void Write(Machine& m, SimThread* writer, int messages = 1);
+
+  int available() const { return available_; }
+  size_t readers_waiting() const { return readers_.size(); }
+
+ private:
+  int available_ = 0;
+  std::deque<SimThread*> readers_;
+  std::unordered_set<ThreadId> granted_;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_WORKLOAD_SYNC_H_

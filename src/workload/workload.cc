@@ -1,0 +1,74 @@
+#include "src/workload/workload.h"
+
+#include <cassert>
+
+namespace schedbattle {
+
+Workload::Workload(Machine* machine) : machine_(machine) {
+  machine_->on_thread_exit = [this](SimThread* t) {
+    auto it = app_by_group_.find(t->group());
+    if (it == app_by_group_.end()) {
+      return;
+    }
+    it->second->NoteThreadExited(t, machine_->now());
+    if (AllFinished()) {
+      machine_->engine().RequestStop();
+    }
+  };
+}
+
+Application* Workload::Add(std::unique_ptr<Application> app, SimTime start_at,
+                           GroupId parent_group) {
+  app->set_group(next_group_++);
+  if (parent_group != kRootGroup) {
+    machine_->scheduler().DeclareGroup(app->group(), parent_group);
+  }
+  app_by_group_[app->group()] = app.get();
+  apps_.push_back(std::move(app));
+  start_times_.push_back(start_at);
+  return apps_.back().get();
+}
+
+GroupId Workload::MakeUserGroup() { return next_group_++; }
+
+bool Workload::AllFinished() const {
+  bool any_foreground = false;
+  for (const auto& app : apps_) {
+    if (app->is_background()) {
+      continue;
+    }
+    any_foreground = true;
+    if (!app->finished()) {
+      return false;
+    }
+  }
+  return any_foreground;
+}
+
+SimTime Workload::Run(SimTime horizon) {
+  if (!machine_->booted()) {
+    machine_->Boot();
+  }
+  for (size_t i = 0; i < apps_.size(); ++i) {
+    Application* app = apps_[i].get();
+    machine_->engine().At(start_times_[i], [this, app] {
+      app->stats().started = machine_->now();
+      app->Launch(*machine_);
+    });
+  }
+  machine_->engine().RunUntil(horizon);
+  SimTime last = 0;
+  for (const auto& app : apps_) {
+    if (app->is_background()) {
+      continue;
+    }
+    if (app->stats().finished >= 0) {
+      last = std::max(last, app->stats().finished);
+    } else {
+      last = horizon;
+    }
+  }
+  return last;
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,46 @@
+// Workload: a set of applications with start times, run on one machine.
+#ifndef SRC_WORKLOAD_WORKLOAD_H_
+#define SRC_WORKLOAD_WORKLOAD_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/workload/app.h"
+
+namespace schedbattle {
+
+class Workload {
+ public:
+  explicit Workload(Machine* machine);
+
+  // Adds an application starting at `start_at` (simulated time). Returns a
+  // borrowed pointer (the workload owns the app). `parent_group` nests the
+  // app's cgroup under a user group from MakeUserGroup (paper Section 2.1:
+  // fairness between users, then between a user's applications).
+  Application* Add(std::unique_ptr<Application> app, SimTime start_at = 0,
+                   GroupId parent_group = kRootGroup);
+
+  // Allocates a user-level cgroup; pass it as Add()'s parent_group.
+  GroupId MakeUserGroup();
+
+  // Boots the machine (if needed), schedules launches, and runs until all
+  // apps finish or `horizon` elapses. Returns the finish time of the last
+  // app, or `horizon` if some never finished.
+  SimTime Run(SimTime horizon);
+
+  bool AllFinished() const;
+  const std::vector<std::unique_ptr<Application>>& apps() const { return apps_; }
+  Application* app(size_t i) const { return apps_[i].get(); }
+
+ private:
+  Machine* machine_;
+  std::vector<std::unique_ptr<Application>> apps_;
+  std::vector<SimTime> start_times_;
+  std::map<GroupId, Application*> app_by_group_;
+  GroupId next_group_ = 1;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_WORKLOAD_WORKLOAD_H_

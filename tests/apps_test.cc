@@ -1,0 +1,167 @@
+// Application-model smoke tests: every registry entry must launch, run to
+// completion under both schedulers at a tiny scale, and produce a sensible
+// metric. Plus structural checks for the specific models.
+#include <gtest/gtest.h>
+
+#include "src/apps/apache.h"
+#include "src/apps/fibo.h"
+#include "src/apps/hackbench.h"
+#include "src/apps/phoronix.h"
+#include "src/apps/registry.h"
+#include "src/apps/sysbench.h"
+#include "src/core/runner.h"
+
+namespace schedbattle {
+namespace {
+
+TEST(RegistryTest, SuiteHasTheFigureApps) {
+  const auto& suite = BenchmarkSuite();
+  EXPECT_GE(suite.size(), 40u);
+  for (const char* name : {"build-apache", "c-ray", "scimark2-(2)", "apache", "MG", "sysbench",
+                           "rocksdb", "ferret", "x264"}) {
+    EXPECT_NE(FindApp(name), nullptr) << name;
+  }
+  EXPECT_EQ(FindApp("not-an-app"), nullptr);
+}
+
+struct SmokeParam {
+  std::string app;
+  std::string sched;
+};
+
+class AppSmokeTest : public ::testing::TestWithParam<SmokeParam> {};
+
+TEST_P(AppSmokeTest, RunsToCompletionOnFourCores) {
+  const SmokeParam& p = GetParam();
+  const AppEntry* entry = FindApp(p.app);
+  ASSERT_NE(entry, nullptr);
+  ExperimentConfig cfg;
+  cfg.sched = p.sched == "cfs" ? SchedKind::kCfs : SchedKind::kUle;
+  cfg.topology = CpuTopology::Flat(4).config();
+  cfg.horizon = Seconds(400);
+  ExperimentRun run(cfg);
+  Application* app = run.Add(entry->make(4, /*seed=*/42, /*scale=*/0.02), 0);
+  const SimTime finish = run.Run();
+  EXPECT_TRUE(app->finished()) << p.app << " did not finish";
+  EXPECT_LT(finish, cfg.horizon) << p.app << " hit the horizon";
+  EXPECT_GT(run.MetricFor(*app, entry->metric), 0.0) << p.app;
+}
+
+std::vector<SmokeParam> AllSmokeParams() {
+  std::vector<SmokeParam> params;
+  for (const AppEntry& e : BenchmarkSuite()) {
+    params.push_back({e.name, "cfs"});
+    params.push_back({e.name, "ule"});
+  }
+  return params;
+}
+
+std::string SmokeName(const ::testing::TestParamInfo<SmokeParam>& info) {
+  std::string s = info.param.app + "_" + info.param.sched;
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AppSmokeTest, ::testing::ValuesIn(AllSmokeParams()), SmokeName);
+
+TEST(AppModelTest, FiboNeverSleeps) {
+  ExperimentConfig cfg = ExperimentConfig::SingleCore(SchedKind::kCfs, 1);
+  ExperimentRun run(cfg);
+  FiboParams p;
+  p.total_work = Milliseconds(500);
+  Application* fibo = run.Add(MakeFibo(p), 0);
+  run.Run();
+  ASSERT_EQ(fibo->threads().size(), 1u);
+  EXPECT_EQ(fibo->threads().front()->total_sleep, 0);
+  EXPECT_NEAR(ToSeconds(fibo->threads().front()->total_runtime), 0.5, 0.01);
+}
+
+TEST(AppModelTest, SysbenchSpawnsMasterAndWorkers) {
+  ExperimentConfig cfg = ExperimentConfig::SingleCore(SchedKind::kUle, 1);
+  ExperimentRun run(cfg);
+  SysbenchParams p;
+  p.workers = 16;
+  p.total_transactions = 500;
+  Application* sys = run.Add(MakeSysbench(p), 0);
+  run.Run();
+  EXPECT_EQ(sys->threads().size(), 17u);  // master + 16 workers
+  EXPECT_EQ(sys->stats().ops, 500u);
+  EXPECT_GT(sys->stats().latency.count(), 0u);
+}
+
+TEST(AppModelTest, SysbenchWorkersAreSleepHeavy) {
+  ExperimentConfig cfg = ExperimentConfig::SingleCore(SchedKind::kUle, 1);
+  ExperimentRun run(cfg);
+  SysbenchParams p;
+  p.workers = 8;
+  p.total_transactions = 2000;
+  Application* sys = run.Add(MakeSysbench(p), 0);
+  run.Run();
+  for (SimThread* t : sys->threads()) {
+    if (t->name().find("worker") != std::string::npos && t->total_runtime > Milliseconds(50)) {
+      EXPECT_GT(t->total_sleep, t->total_runtime)
+          << t->name() << " must sleep more than it runs (interactive under ULE)";
+    }
+  }
+}
+
+TEST(AppModelTest, ApacheFinishesWhenAbExits) {
+  ExperimentConfig cfg = ExperimentConfig::SingleCore(SchedKind::kCfs, 1);
+  ExperimentRun run(cfg);
+  ApacheParams p;
+  p.total_requests = 2000;
+  p.httpd_threads = 10;
+  p.window = 20;
+  Application* apache = run.Add(MakeApache(p), 0);
+  const SimTime finish = run.Run();
+  EXPECT_TRUE(apache->finished());
+  EXPECT_LT(finish, cfg.horizon);
+  EXPECT_EQ(apache->stats().ops, 2000u);
+  // httpd workers are parked, not dead.
+  int alive = 0;
+  for (SimThread* t : apache->threads()) {
+    if (t->state() == ThreadState::kBlocked) {
+      ++alive;
+    }
+  }
+  EXPECT_EQ(alive, 10);
+}
+
+TEST(AppModelTest, HackbenchDeliversAllMessages) {
+  ExperimentConfig cfg;
+  cfg.sched = SchedKind::kUle;
+  cfg.topology = CpuTopology::Flat(4).config();
+  ExperimentRun run(cfg);
+  HackbenchParams p;
+  p.groups = 2;
+  p.fan = 4;
+  p.messages = 5;
+  Application* hb = run.Add(MakeHackbench(p), 0);
+  const SimTime finish = run.Run();
+  EXPECT_TRUE(hb->finished());
+  EXPECT_LT(finish, cfg.horizon);
+  EXPECT_EQ(hb->threads().size(), 2u * (4 + 4));
+}
+
+TEST(AppModelTest, CrayCascadeStartsAllThreads) {
+  ExperimentConfig cfg;
+  cfg.sched = SchedKind::kCfs;
+  cfg.topology = CpuTopology::Flat(4).config();
+  ExperimentRun run(cfg);
+  CrayParams p;
+  p.threads = 16;
+  p.work_per_thread = Milliseconds(20);
+  Application* cray = run.Add(MakeCray(p), 0);
+  run.Run();
+  EXPECT_TRUE(cray->finished());
+  for (SimThread* t : cray->threads()) {
+    EXPECT_GE(t->first_dispatch, 0) << t->name() << " never ran";
+  }
+}
+
+}  // namespace
+}  // namespace schedbattle

@@ -1,0 +1,352 @@
+// CFS unit tests: weights, PELT, vruntime mechanics, slices, placement,
+// group fairness and the preemption rules.
+#include <gtest/gtest.h>
+
+#include "src/cfs/cfs_rq.h"
+#include "src/cfs/cfs_sched.h"
+#include "src/cfs/group.h"
+#include "src/cfs/pelt.h"
+#include "src/cfs/timeline.h"
+#include "src/cfs/weights.h"
+#include "src/workload/script.h"
+#include "src/workload/workload.h"
+
+namespace schedbattle {
+namespace {
+
+TEST(WeightsTest, KernelTableAnchors) {
+  EXPECT_EQ(CfsWeightOf(0), 1024u);
+  EXPECT_EQ(CfsWeightOf(-20), 88761u);
+  EXPECT_EQ(CfsWeightOf(19), 15u);
+  EXPECT_EQ(CfsWeightOf(5), 335u);
+}
+
+TEST(WeightsTest, EachNiceStepIsRoughly25Percent) {
+  for (Nice n = kNiceMin; n < kNiceMax; ++n) {
+    const double ratio =
+        static_cast<double>(CfsWeightOf(n)) / static_cast<double>(CfsWeightOf(n + 1));
+    EXPECT_GT(ratio, 1.18) << "nice " << n;
+    EXPECT_LT(ratio, 1.32) << "nice " << n;
+  }
+}
+
+TEST(WeightsTest, CalcDeltaFair) {
+  // Nice-0: vruntime advances at wall speed.
+  EXPECT_EQ(CalcDeltaFair(Milliseconds(10), kNice0Load), static_cast<uint64_t>(Milliseconds(10)));
+  // Heavier weight: slower vruntime.
+  EXPECT_LT(CalcDeltaFair(Milliseconds(10), CfsWeightOf(-5)),
+            static_cast<uint64_t>(Milliseconds(10)));
+  // Lighter weight: faster vruntime.
+  EXPECT_GT(CalcDeltaFair(Milliseconds(10), CfsWeightOf(5)),
+            static_cast<uint64_t>(Milliseconds(10)));
+}
+
+TEST(PeltTest, DecayHalvesEvery32Periods) {
+  EXPECT_EQ(PeltDecayLoad(1024, 0), 1024u);
+  EXPECT_EQ(PeltDecayLoad(1024, 32), 511u);  // fixed-point floor
+  EXPECT_EQ(PeltDecayLoad(1024, 64), 255u);
+  EXPECT_EQ(PeltDecayLoad(1024, 63 * 32 + 1), 0u);
+}
+
+TEST(PeltTest, AlwaysRunningConvergesToWeight) {
+  PeltAvg avg;
+  SimTime now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now += Milliseconds(1);
+    avg.Update(now, 1024, true, true);
+  }
+  EXPECT_GT(avg.load_avg, 980u);
+  EXPECT_LE(avg.load_avg, 1024u);
+  EXPECT_GT(avg.util_avg, 980u);
+}
+
+TEST(PeltTest, BlockedLoadDecaysToZero) {
+  PeltAvg avg;
+  SimTime now = 0;
+  for (int i = 0; i < 1000; ++i) {
+    now += Milliseconds(1);
+    avg.Update(now, 1024, true, true);
+  }
+  const uint64_t peak = avg.load_avg;
+  now += Seconds(2);
+  avg.Decay(now);
+  EXPECT_LT(avg.load_avg, peak / 16);
+}
+
+TEST(PeltTest, HalfDutyGivesRoughlyHalfLoad) {
+  PeltAvg avg;
+  SimTime now = 0;
+  for (int i = 0; i < 4000; ++i) {
+    now += Milliseconds(1);
+    const bool on = (i / 8) % 2 == 0;  // 8ms on, 8ms off
+    avg.Update(now, 1024, on, on);
+  }
+  EXPECT_GT(avg.load_avg, 350u);
+  EXPECT_LT(avg.load_avg, 700u);
+}
+
+// ---- cfs_rq entity mechanics ----
+
+class CfsRqTest : public ::testing::Test {
+ protected:
+  SchedEntity* MakeTask(uint64_t weight = kNice0Load) {
+    auto se = std::make_unique<SchedEntity>();
+    se->weight = weight;
+    se->seq = next_seq_++;
+    se->thread = reinterpret_cast<SimThread*>(0x1);  // marks it a task
+    entities_.push_back(std::move(se));
+    return entities_.back().get();
+  }
+
+  CfsTunables tun_;
+  CfsRq rq_;
+  std::vector<std::unique_ptr<SchedEntity>> entities_;
+  uint64_t next_seq_ = 1;
+};
+
+TEST_F(CfsRqTest, SchedPeriodMatchesPaper) {
+  EXPECT_EQ(CfsSchedPeriod(tun_, 1), Milliseconds(48));
+  EXPECT_EQ(CfsSchedPeriod(tun_, 8), Milliseconds(48));
+  EXPECT_EQ(CfsSchedPeriod(tun_, 9), 9 * Milliseconds(6));
+  EXPECT_EQ(CfsSchedPeriod(tun_, 20), 20 * Milliseconds(6));
+}
+
+TEST_F(CfsRqTest, EnqueueDequeueAccounting) {
+  SchedEntity* a = MakeTask();
+  SchedEntity* b = MakeTask();
+  CfsEnqueueEntity(tun_, &rq_, a, false, 0);
+  CfsEnqueueEntity(tun_, &rq_, b, false, 0);
+  EXPECT_EQ(rq_.nr_running, 2);
+  EXPECT_EQ(rq_.load_weight, 2 * kNice0Load);
+  CfsDequeueEntity(tun_, &rq_, a, true, false, 0);
+  EXPECT_EQ(rq_.nr_running, 1);
+  EXPECT_EQ(rq_.load_weight, kNice0Load);
+}
+
+TEST_F(CfsRqTest, PickLowestVruntime) {
+  SchedEntity* a = MakeTask();
+  SchedEntity* b = MakeTask();
+  a->vruntime = Milliseconds(10);
+  b->vruntime = Milliseconds(5);
+  CfsEnqueueEntity(tun_, &rq_, a, false, 0);
+  CfsEnqueueEntity(tun_, &rq_, b, false, 0);
+  EXPECT_EQ(TimelineFirst(&rq_), b);
+}
+
+TEST_F(CfsRqTest, UpdateCurrAdvancesVruntimeByWeight) {
+  SchedEntity* heavy = MakeTask(CfsWeightOf(-5));
+  SchedEntity* light = MakeTask(CfsWeightOf(5));
+  CfsEnqueueEntity(tun_, &rq_, heavy, false, 0);
+  CfsEnqueueEntity(tun_, &rq_, light, false, 0);
+  CfsSetNextEntity(&rq_, heavy, 0);
+  CfsUpdateCurr(&rq_, Milliseconds(10));
+  const int64_t heavy_v = heavy->vruntime;
+  CfsPutPrevEntity(&rq_, heavy, Milliseconds(10));
+  CfsSetNextEntity(&rq_, light, Milliseconds(10));
+  light->exec_start = Milliseconds(10);
+  CfsUpdateCurr(&rq_, Milliseconds(20));
+  EXPECT_LT(heavy_v, light->vruntime) << "light thread's vruntime must advance faster";
+}
+
+TEST_F(CfsRqTest, MinVruntimeIsMonotonic) {
+  SchedEntity* a = MakeTask();
+  CfsEnqueueEntity(tun_, &rq_, a, false, 0);
+  CfsSetNextEntity(&rq_, a, 0);
+  CfsUpdateCurr(&rq_, Milliseconds(50));
+  const int64_t v1 = rq_.min_vruntime;
+  EXPECT_GT(v1, 0);
+  CfsUpdateCurr(&rq_, Milliseconds(60));
+  EXPECT_GE(rq_.min_vruntime, v1);
+}
+
+TEST_F(CfsRqTest, SleeperPlacementGetsBoundedCredit) {
+  SchedEntity* runner = MakeTask();
+  CfsEnqueueEntity(tun_, &rq_, runner, false, 0);
+  CfsSetNextEntity(&rq_, runner, 0);
+  CfsUpdateCurr(&rq_, Seconds(2));  // min_vruntime is now ~2s
+
+  SchedEntity* sleeper = MakeTask();
+  sleeper->vruntime = 0;  // slept for ages
+  CfsPlaceEntity(tun_, &rq_, sleeper, /*initial=*/false);
+  // Credit capped at latency/2: placed just below min_vruntime, not at 0.
+  EXPECT_GE(sleeper->vruntime, rq_.min_vruntime - tun_.sched_latency / 2);
+  EXPECT_LT(sleeper->vruntime, rq_.min_vruntime);
+}
+
+TEST_F(CfsRqTest, NewTaskStartsWithDebit) {
+  SchedEntity* runner = MakeTask();
+  CfsEnqueueEntity(tun_, &rq_, runner, false, 0);
+  SchedEntity* fresh = MakeTask();
+  fresh->vruntime = rq_.min_vruntime;
+  CfsPlaceEntity(tun_, &rq_, fresh, /*initial=*/true);
+  EXPECT_GT(fresh->vruntime, rq_.min_vruntime);
+}
+
+TEST_F(CfsRqTest, TickPreemptionAfterSlice) {
+  SchedEntity* a = MakeTask();
+  SchedEntity* b = MakeTask();
+  CfsEnqueueEntity(tun_, &rq_, a, false, 0);
+  CfsEnqueueEntity(tun_, &rq_, b, false, 0);
+  CfsSetNextEntity(&rq_, a, 0);
+  // Two equal threads: slice = 24ms. At 10ms no preemption, at 30ms yes.
+  EXPECT_FALSE(CfsCheckPreemptTick(tun_, &rq_, Milliseconds(10)));
+  EXPECT_TRUE(CfsCheckPreemptTick(tun_, &rq_, Milliseconds(30)));
+}
+
+TEST_F(CfsRqTest, WakeupPreemptionNeedsGranularity) {
+  SchedEntity* curr = MakeTask();
+  SchedEntity* woken = MakeTask();
+  curr->vruntime = Milliseconds(10);
+  woken->vruntime = Milliseconds(10) - Microseconds(500);  // only 0.5ms behind
+  EXPECT_FALSE(CfsWakeupPreemptEntity(tun_, curr, woken));
+  woken->vruntime = Milliseconds(10) - Milliseconds(2);  // 2ms behind: preempt
+  EXPECT_TRUE(CfsWakeupPreemptEntity(tun_, curr, woken));
+}
+
+TEST(GroupTest, GroupWeightSplitsByLocalLoad) {
+  auto root = MakeTaskGroup(kRootGroup, 4, nullptr, kNice0Load);
+  auto tg = MakeTaskGroup(1, 4, root.get(), kNice0Load);
+  // Simulate load on two cpus: 3 tasks on cpu0, 1 on cpu1.
+  tg->rqs[0]->load_weight = 3 * kNice0Load;
+  tg->rqs[1]->load_weight = 1 * kNice0Load;
+  tg->load_sum = 4 * kNice0Load;
+  EXPECT_EQ(CalcGroupWeight(tg.get(), 0), kNice0Load * 3 / 4);
+  EXPECT_EQ(CalcGroupWeight(tg.get(), 1), kNice0Load / 4);
+  EXPECT_EQ(CalcGroupWeight(tg.get(), 2), 2u);  // clamped minimum
+}
+
+// ---- behavioural fairness tests through the full machine ----
+
+TEST(CfsBehaviorTest, NicenessSkewsCpuShares) {
+  SimEngine engine;
+  CfsTunables tun;
+  tun.group_scheduling = false;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<CfsScheduler>(tun));
+  machine.Boot();
+  auto script = ScriptBuilder().Compute(Seconds(30)).Build();
+  ThreadSpec fast;
+  fast.name = "fast";
+  fast.nice = -5;
+  fast.body = MakeScriptBody(script, Rng(1));
+  ThreadSpec slow;
+  slow.name = "slow";
+  slow.nice = 5;
+  slow.body = MakeScriptBody(script, Rng(2));
+  SimThread* tf = machine.Spawn(std::move(fast), nullptr);
+  SimThread* ts = machine.Spawn(std::move(slow), nullptr);
+  engine.RunUntil(Seconds(10));
+  const double rf = ToSeconds(tf->RuntimeAt(engine.now()));
+  const double rs = ToSeconds(ts->RuntimeAt(engine.now()));
+  // weight(-5)/weight(5) = 3121/335 ~ 9.3.
+  EXPECT_GT(rf / rs, 5.0);
+  EXPECT_LT(rf / rs, 14.0);
+}
+
+TEST(CfsBehaviorTest, GroupFairnessBetweenUnevenApps) {
+  // One single-threaded app vs one 10-threaded app: with autogrouping each
+  // application gets ~half the core (the paper's Figure 1a situation).
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<CfsScheduler>());
+  Workload workload(&machine);
+
+  auto solo = std::make_unique<ScriptedApp>("solo", 1);
+  ScriptedApp::ThreadTemplate t1;
+  t1.name = "t";
+  t1.script = ScriptBuilder().Compute(Seconds(30)).Build();
+  solo->AddThreads(std::move(t1));
+  Application* solo_app = workload.Add(std::move(solo));
+
+  auto crowd = std::make_unique<ScriptedApp>("crowd", 2);
+  ScriptedApp::ThreadTemplate t10;
+  t10.name = "t";
+  t10.count = 10;
+  t10.script = ScriptBuilder().Compute(Seconds(30)).Build();
+  crowd->AddThreads(std::move(t10));
+  Application* crowd_app = workload.Add(std::move(crowd));
+
+  workload.Run(Seconds(10));
+  SimDuration solo_rt = solo_app->threads().front()->RuntimeAt(engine.now());
+  SimDuration crowd_rt = 0;
+  for (SimThread* t : crowd_app->threads()) {
+    crowd_rt += t->RuntimeAt(engine.now());
+  }
+  EXPECT_NEAR(ToSeconds(solo_rt), 5.0, 0.8);
+  EXPECT_NEAR(ToSeconds(crowd_rt), 5.0, 0.8);
+}
+
+TEST(CfsBehaviorTest, WakeupPreemptionCountsPreemptions) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<CfsScheduler>());
+  machine.Boot();
+  // A hog and a frequent sleeper: every wake of the sleeper should preempt.
+  ThreadSpec hog;
+  hog.name = "hog";
+  hog.body = MakeScriptBody(ScriptBuilder().Compute(Seconds(5)).Build(), Rng(1));
+  machine.Spawn(std::move(hog), nullptr);
+  ThreadSpec sleeper;
+  sleeper.name = "sleeper";
+  sleeper.body = MakeScriptBody(ScriptBuilder()
+                                    .Loop(100)
+                                    .Sleep(Milliseconds(20))
+                                    .Compute(Milliseconds(1))
+                                    .EndLoop()
+                                    .Build(),
+                                Rng(2));
+  machine.Spawn(std::move(sleeper), nullptr);
+  engine.RunUntil(Seconds(4));
+  EXPECT_GT(machine.counters().wakeup_preemptions, 50u);
+}
+
+TEST(CfsBehaviorTest, LoadBalanceSpreadsPinnedBurst) {
+  // 16 threads start pinned to core 0 of a 4-core flat machine, then are
+  // unpinned; CFS should spread them within a few balance intervals.
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(4), std::make_unique<CfsScheduler>());
+  machine.Boot();
+  std::vector<SimThread*> threads;
+  for (int i = 0; i < 16; ++i) {
+    ThreadSpec spec;
+    spec.name = "pin" + std::to_string(i);
+    spec.affinity = CpuMask::Single(0);
+    spec.body = MakeScriptBody(ScriptBuilder().Compute(Seconds(30)).Build(), Rng(i + 1));
+    threads.push_back(machine.Spawn(std::move(spec), nullptr));
+  }
+  engine.At(Seconds(1), [&] {
+    for (SimThread* t : threads) {
+      machine.SetAffinity(t, CpuMask::AllOf(4));
+    }
+  });
+  engine.RunUntil(Seconds(3));
+  int counts[4] = {0, 0, 0, 0};
+  for (SimThread* t : threads) {
+    ASSERT_NE(t->cpu(), kInvalidCore);
+    counts[t->cpu()]++;
+  }
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_GE(counts[c], 2) << "core " << c << " should have received work";
+    EXPECT_LE(counts[c], 6);
+  }
+}
+
+TEST(CfsBehaviorTest, RespectsAffinityInBalancing) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2), std::make_unique<CfsScheduler>());
+  machine.Boot();
+  // 4 threads pinned to core 1; core 0 idle but forbidden.
+  std::vector<SimThread*> threads;
+  for (int i = 0; i < 4; ++i) {
+    ThreadSpec spec;
+    spec.name = "pin";
+    spec.affinity = CpuMask::Single(1);
+    spec.body = MakeScriptBody(ScriptBuilder().Compute(Seconds(2)).Build(), Rng(i + 1));
+    threads.push_back(machine.Spawn(std::move(spec), nullptr));
+  }
+  engine.RunUntil(Seconds(1));
+  for (SimThread* t : threads) {
+    EXPECT_EQ(t->cpu(), 1);
+    EXPECT_EQ(t->migrations, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace schedbattle

@@ -1,0 +1,182 @@
+// Property-based invariant tests: randomized workloads swept over seeds and
+// schedulers (TEST_P), checking conservation laws the simulator must uphold
+// regardless of scheduling decisions.
+#include <gtest/gtest.h>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/ule/ule_sched.h"
+#include "src/workload/script.h"
+#include "src/workload/workload.h"
+
+namespace schedbattle {
+namespace {
+
+struct PropParam {
+  std::string sched;
+  uint64_t seed;
+  int cores;
+};
+
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
+  if (name == "cfs") {
+    return std::make_unique<CfsScheduler>();
+  }
+  return std::make_unique<UleScheduler>();
+}
+
+class InvariantTest : public ::testing::TestWithParam<PropParam> {};
+
+// Builds a randomized mixed workload: hogs, sleepers, lock users, pipe pairs.
+void BuildRandomWorkload(Machine& machine, Application* app, uint64_t seed) {
+  Rng rng(seed);
+  const int hogs = 2 + static_cast<int>(rng.NextBelow(4));
+  const int sleepers = 2 + static_cast<int>(rng.NextBelow(6));
+  const int lockers = 2 + static_cast<int>(rng.NextBelow(4));
+  for (int i = 0; i < hogs; ++i) {
+    ThreadSpec spec;
+    spec.name = "hog" + std::to_string(i);
+    spec.body = MakeScriptBody(
+        ScriptBuilder().Compute(Milliseconds(100 + rng.NextBelow(400))).Build(), rng.Split());
+    app->SpawnThread(machine, std::move(spec), nullptr);
+  }
+  for (int i = 0; i < sleepers; ++i) {
+    ThreadSpec spec;
+    spec.name = "sleeper" + std::to_string(i);
+    spec.body = MakeScriptBody(ScriptBuilder()
+                                   .Loop(20 + static_cast<int>(rng.NextBelow(30)))
+                                   .ComputeFn([](ScriptEnv& env) {
+                                     return Microseconds(100 + env.rng.NextBelow(2000));
+                                   })
+                                   .SleepFn([](ScriptEnv& env) {
+                                     return Microseconds(500 + env.rng.NextBelow(5000));
+                                   })
+                                   .EndLoop()
+                                   .Build(),
+                               rng.Split());
+    app->SpawnThread(machine, std::move(spec), nullptr);
+  }
+  auto mu = std::make_shared<SimMutex>();
+  app->KeepAlive(mu);
+  for (int i = 0; i < lockers; ++i) {
+    ThreadSpec spec;
+    spec.name = "locker" + std::to_string(i);
+    spec.body = MakeScriptBody(ScriptBuilder()
+                                   .Loop(30)
+                                   .Lock(mu.get())
+                                   .Compute(Microseconds(200))
+                                   .Unlock(mu.get())
+                                   .ComputeFn([](ScriptEnv& env) {
+                                     return Microseconds(50 + env.rng.NextBelow(500));
+                                   })
+                                   .EndLoop()
+                                   .Build(),
+                               rng.Split());
+    app->SpawnThread(machine, std::move(spec), nullptr);
+  }
+}
+
+TEST_P(InvariantTest, ConservationLaws) {
+  const PropParam& p = GetParam();
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(p.cores), MakeScheduler(p.sched),
+                  MachineParams{.seed = p.seed});
+  Workload workload(&machine);
+  auto owner = std::make_unique<ScriptedApp>("mix", p.seed);
+  Application* app = workload.Add(std::move(owner));
+  machine.Boot();
+  BuildRandomWorkload(machine, app, p.seed);
+  const SimTime horizon = Seconds(30);
+  workload.Run(horizon);
+  const SimTime end = engine.now();
+
+  // 1. All threads completed (no deadlock, no lost wakeups).
+  EXPECT_EQ(machine.alive_threads(), 0);
+  EXPECT_EQ(machine.counters().forks, machine.counters().exits);
+
+  // 2. Total CPU time handed out never exceeds cores * wall time.
+  SimDuration total_runtime = 0;
+  for (const auto& t : machine.threads()) {
+    total_runtime += t->total_runtime;
+  }
+  EXPECT_LE(total_runtime, static_cast<SimDuration>(p.cores) * end);
+
+  // 3. Per-thread accounting: runtime + wait + sleep fits inside its
+  // lifetime (from first dispatchable moment to exit).
+  for (const auto& t : machine.threads()) {
+    EXPECT_LE(t->total_runtime + t->total_wait + t->total_sleep, t->exit_time + Milliseconds(1))
+        << t->name();
+    EXPECT_GE(t->total_runtime, 0) << t->name();
+    EXPECT_GE(t->total_wait, 0) << t->name();
+  }
+
+  // 4. Busy accounting matches: machine busy time >= sum of runtimes (busy
+  // includes scheduler overhead charged to cores).
+  EXPECT_GE(machine.TotalBusyTime() + Milliseconds(1), total_runtime);
+
+  // 5. Overhead fraction is sane.
+  EXPECT_GE(machine.OverheadFraction(), 0.0);
+  EXPECT_LT(machine.OverheadFraction(), 0.25);
+}
+
+TEST_P(InvariantTest, DeterministicReplay) {
+  const PropParam& p = GetParam();
+  auto run_once = [&]() {
+    SimEngine engine;
+    Machine machine(&engine, CpuTopology::Flat(p.cores), MakeScheduler(p.sched),
+                    MachineParams{.seed = p.seed});
+    Workload workload(&machine);
+    auto owner = std::make_unique<ScriptedApp>("mix", p.seed);
+    Application* app = workload.Add(std::move(owner));
+    machine.Boot();
+    BuildRandomWorkload(machine, app, p.seed);
+    workload.Run(Seconds(30));
+    // Fingerprint: exact end time, context switches, migrations and the sum
+    // of all runtimes.
+    SimDuration total = 0;
+    for (const auto& t : machine.threads()) {
+      total += t->total_runtime;
+    }
+    return std::make_tuple(engine.now(), machine.counters().context_switches,
+                           machine.counters().migrations, total);
+  };
+  EXPECT_EQ(run_once(), run_once()) << "identical seeds must replay identically";
+}
+
+TEST_P(InvariantTest, WorkConservation) {
+  // With more always-runnable hogs than cores, no core may idle until the
+  // hogs start exiting: total runtime == cores * elapsed (within tick slop).
+  const PropParam& p = GetParam();
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(p.cores), MakeScheduler(p.sched),
+                  MachineParams{.seed = p.seed});
+  machine.Boot();
+  std::vector<SimThread*> threads;
+  for (int i = 0; i < p.cores * 2; ++i) {
+    ThreadSpec spec;
+    spec.name = "hog";
+    spec.body = MakeScriptBody(ScriptBuilder().Compute(Seconds(10)).Build(), Rng(p.seed + i));
+    threads.push_back(machine.Spawn(std::move(spec), nullptr));
+  }
+  engine.RunUntil(Seconds(5));
+  SimDuration total = 0;
+  for (SimThread* t : threads) {
+    total += t->RuntimeAt(engine.now());
+  }
+  const double utilization =
+      static_cast<double>(total) / (static_cast<double>(p.cores) * ToSeconds(5) * kSecond);
+  EXPECT_GT(utilization, 0.98) << "work-conserving scheduler must not idle cores";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InvariantTest,
+    ::testing::Values(PropParam{"cfs", 1, 1}, PropParam{"cfs", 2, 2}, PropParam{"cfs", 3, 4},
+                      PropParam{"cfs", 4, 8}, PropParam{"ule", 1, 1}, PropParam{"ule", 2, 2},
+                      PropParam{"ule", 3, 4}, PropParam{"ule", 4, 8}, PropParam{"cfs", 99, 3},
+                      PropParam{"ule", 99, 3}),
+    [](const auto& info) {
+      return info.param.sched + "_seed" + std::to_string(info.param.seed) + "_c" +
+             std::to_string(info.param.cores);
+    });
+
+}  // namespace
+}  // namespace schedbattle

@@ -1,0 +1,196 @@
+// Machine edge cases: affinity churn, overhead charging, idle accounting,
+// timing precision, re-entrancy of wakes, kicking idle cores.
+#include <gtest/gtest.h>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/ule/ule_sched.h"
+#include "src/workload/script.h"
+#include "src/workload/sync.h"
+
+namespace schedbattle {
+namespace {
+
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
+  if (name == "cfs") {
+    return std::make_unique<CfsScheduler>();
+  }
+  return std::make_unique<UleScheduler>();
+}
+
+class MachineEdgeTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void Build(int cores, MachineParams params = {}) {
+    machine_ = std::make_unique<Machine>(&engine_, CpuTopology::Flat(cores),
+                                         MakeScheduler(GetParam()), params);
+    machine_->Boot();
+  }
+  SimEngine engine_;
+  std::unique_ptr<Machine> machine_;
+};
+
+TEST_P(MachineEdgeTest, ComputeTimingIsExact) {
+  MachineParams params;
+  params.context_switch_cost = 0;  // isolate pure compute timing
+  Build(1, params);
+  ThreadSpec spec;
+  spec.name = "t";
+  spec.body = MakeScriptBody(ScriptBuilder().Compute(Milliseconds(123)).Build(), Rng(1));
+  SimThread* t = machine_->Spawn(std::move(spec), nullptr);
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(t->exit_time, Milliseconds(123));
+  EXPECT_EQ(t->total_runtime, Milliseconds(123));
+}
+
+TEST_P(MachineEdgeTest, ContextSwitchCostIsCharged) {
+  MachineParams params;
+  params.context_switch_cost = Microseconds(10);
+  Build(1, params);
+  auto script = ScriptBuilder().Compute(Milliseconds(100)).Build();
+  ThreadSpec a, b;
+  a.name = "a";
+  a.body = MakeScriptBody(script, Rng(1));
+  b.name = "b";
+  b.body = MakeScriptBody(script, Rng(2));
+  machine_->Spawn(std::move(a), nullptr);
+  machine_->Spawn(std::move(b), nullptr);
+  engine_.RunUntil(Seconds(2));
+  // Total wall time exceeds the pure work by the switch costs.
+  EXPECT_GT(machine_->counters().context_switches, 2u);
+  EXPECT_GT(machine_->counters().overhead_ns[0], 0);
+  EXPECT_GE(engine_.now(), Milliseconds(200));
+}
+
+TEST_P(MachineEdgeTest, AffinityMoveWhileRunnable) {
+  Build(2);
+  // Two hogs pinned to core 0; the queued one gets re-pinned to core 1 and
+  // must move there.
+  ThreadSpec a;
+  a.name = "runner";
+  a.affinity = CpuMask::Single(0);
+  a.body = MakeScriptBody(ScriptBuilder().Compute(Seconds(2)).Build(), Rng(1));
+  machine_->Spawn(std::move(a), nullptr);
+  ThreadSpec b;
+  b.name = "queued";
+  b.affinity = CpuMask::Single(0);
+  b.body = MakeScriptBody(ScriptBuilder().Compute(Seconds(2)).Build(), Rng(2));
+  SimThread* tb = machine_->Spawn(std::move(b), nullptr);
+  engine_.After(Milliseconds(1), [&] { machine_->SetAffinity(tb, CpuMask::Single(1)); });
+  engine_.RunUntil(Milliseconds(100));
+  EXPECT_EQ(tb->cpu(), 1);
+  EXPECT_EQ(tb->state(), ThreadState::kRunning);
+}
+
+TEST_P(MachineEdgeTest, AffinityMoveWhileRunning) {
+  Build(2);
+  ThreadSpec a;
+  a.name = "runner";
+  a.affinity = CpuMask::Single(0);
+  a.body = MakeScriptBody(ScriptBuilder().Compute(Seconds(2)).Build(), Rng(1));
+  SimThread* ta = machine_->Spawn(std::move(a), nullptr);
+  engine_.After(Milliseconds(5), [&] { machine_->SetAffinity(ta, CpuMask::Single(1)); });
+  engine_.RunUntil(Milliseconds(100));
+  EXPECT_EQ(ta->cpu(), 1);
+  EXPECT_EQ(ta->state(), ThreadState::kRunning);
+  EXPECT_GE(ta->migrations, 1u);
+}
+
+TEST_P(MachineEdgeTest, AffinityMoveWhileBlocked) {
+  Build(2);
+  ThreadSpec a;
+  a.name = "sleeper";
+  a.affinity = CpuMask::Single(0);
+  a.body = MakeScriptBody(
+      ScriptBuilder().Sleep(Milliseconds(50)).Compute(Milliseconds(10)).Build(), Rng(1));
+  SimThread* ta = machine_->Spawn(std::move(a), nullptr);
+  engine_.After(Milliseconds(10), [&] { machine_->SetAffinity(ta, CpuMask::Single(1)); });
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(ta->state(), ThreadState::kDead);
+  EXPECT_EQ(ta->last_ran_cpu(), 1) << "wake placement must honour the new mask";
+}
+
+TEST_P(MachineEdgeTest, WakeOnNonBlockedThreadIsNoop) {
+  Build(1);
+  ThreadSpec spec;
+  spec.name = "t";
+  spec.body = MakeScriptBody(ScriptBuilder().Compute(Milliseconds(10)).Build(), Rng(1));
+  SimThread* t = machine_->Spawn(std::move(spec), nullptr);
+  engine_.RunUntil(Milliseconds(1));
+  EXPECT_EQ(t->state(), ThreadState::kRunning);
+  EXPECT_FALSE(machine_->Wake(t, kInvalidCore));
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+  EXPECT_FALSE(machine_->Wake(t, kInvalidCore));
+}
+
+TEST_P(MachineEdgeTest, IdleAccountingSumsCorrectly) {
+  Build(2);
+  ThreadSpec spec;
+  spec.name = "t";
+  spec.affinity = CpuMask::Single(0);
+  spec.body = MakeScriptBody(ScriptBuilder().Compute(Milliseconds(100)).Build(), Rng(1));
+  machine_->Spawn(std::move(spec), nullptr);
+  engine_.RunUntil(Milliseconds(200));
+  // Core 1 idled the whole time, core 0 idled ~100ms.
+  const double busy = ToSeconds(machine_->TotalBusyTime());
+  EXPECT_NEAR(busy, 0.1, 0.005);
+}
+
+TEST_P(MachineEdgeTest, ChargeOverheadDelaysRunningThread) {
+  MachineParams params;
+  params.context_switch_cost = 0;
+  Build(1, params);
+  ThreadSpec spec;
+  spec.name = "t";
+  spec.body = MakeScriptBody(ScriptBuilder().Compute(Milliseconds(10)).Build(), Rng(1));
+  SimThread* t = machine_->Spawn(std::move(spec), nullptr);
+  engine_.After(Milliseconds(2),
+                [&] { machine_->ChargeOverhead(0, Milliseconds(3), OverheadKind::kLoadBalance); });
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(t->exit_time, Milliseconds(13)) << "overhead must steal CPU from the running thread";
+}
+
+TEST_P(MachineEdgeTest, ZeroLengthComputeAndSleepAreInstant) {
+  Build(1);
+  auto count = std::make_shared<int>(0);
+  ThreadSpec spec;
+  spec.name = "t";
+  spec.body = MakeScriptBody(ScriptBuilder()
+                                 .Compute(0)
+                                 .Sleep(0)
+                                 .Call([count](ScriptEnv&) { ++*count; })
+                                 .Compute(Milliseconds(1))
+                                 .Build(),
+                             Rng(1));
+  SimThread* t = machine_->Spawn(std::move(spec), nullptr);
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(*count, 1);
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+}
+
+TEST_P(MachineEdgeTest, ManyThreadsOnOneCoreAllFinish) {
+  Build(1);
+  std::vector<SimThread*> threads;
+  for (int i = 0; i < 100; ++i) {
+    ThreadSpec spec;
+    spec.name = "t" + std::to_string(i);
+    spec.body = MakeScriptBody(ScriptBuilder()
+                                   .Loop(5)
+                                   .Compute(Milliseconds(1))
+                                   .Sleep(Milliseconds(1))
+                                   .EndLoop()
+                                   .Build(),
+                               Rng(i + 1));
+    threads.push_back(machine_->Spawn(std::move(spec), nullptr));
+  }
+  engine_.RunUntil(Seconds(30));
+  for (SimThread* t : threads) {
+    EXPECT_EQ(t->state(), ThreadState::kDead) << t->name();
+    EXPECT_NEAR(ToSeconds(t->total_runtime), 0.005, 0.001) << t->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, MachineEdgeTest, ::testing::Values("cfs", "ule"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace schedbattle

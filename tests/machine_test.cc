@@ -1,0 +1,265 @@
+// Machine + scheduler integration smoke tests, parameterized over both
+// schedulers: the same workload must complete correctly under CFS and ULE.
+#include "src/sched/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/ule/ule_sched.h"
+#include "src/workload/script.h"
+#include "src/workload/workload.h"
+
+namespace schedbattle {
+namespace {
+
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
+  if (name == "cfs") {
+    return std::make_unique<CfsScheduler>();
+  }
+  return std::make_unique<UleScheduler>();
+}
+
+class MachineTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void Build(int cores) {
+    machine_ = std::make_unique<Machine>(&engine_, CpuTopology::Flat(cores),
+                                         MakeScheduler(GetParam()));
+  }
+  SimEngine engine_;
+  std::unique_ptr<Machine> machine_;
+};
+
+TEST_P(MachineTest, SingleComputeThreadRunsToCompletion) {
+  Build(1);
+  machine_->Boot();
+  ThreadSpec spec;
+  spec.name = "worker";
+  spec.body = MakeScriptBody(ScriptBuilder().Compute(Milliseconds(100)).Build(), Rng(1));
+  SimThread* t = machine_->Spawn(std::move(spec), nullptr);
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+  EXPECT_GE(t->total_runtime, Milliseconds(100));
+  EXPECT_LT(t->total_runtime, Milliseconds(105));
+  EXPECT_GE(t->exit_time, Milliseconds(100));
+}
+
+TEST_P(MachineTest, TwoThreadsShareOneCoreFairly) {
+  Build(1);
+  machine_->Boot();
+  auto script = ScriptBuilder().Compute(Seconds(5)).Build();
+  ThreadSpec a;
+  a.name = "a";
+  a.body = MakeScriptBody(script, Rng(1));
+  ThreadSpec b;
+  b.name = "b";
+  b.body = MakeScriptBody(script, Rng(2));
+  SimThread* ta = machine_->Spawn(std::move(a), nullptr);
+  SimThread* tb = machine_->Spawn(std::move(b), nullptr);
+  engine_.RunUntil(Seconds(6));
+  // Both CPU hogs: each should have received roughly half the core.
+  const double ra = ToSeconds(ta->RuntimeAt(engine_.now()));
+  const double rb = ToSeconds(tb->RuntimeAt(engine_.now()));
+  EXPECT_NEAR(ra, 3.0, 0.35);
+  EXPECT_NEAR(rb, 3.0, 0.35);
+  EXPECT_NEAR(ra + rb, 6.0, 0.1);  // the core never idles
+}
+
+TEST_P(MachineTest, SleepWakesAtTheRightTime) {
+  Build(1);
+  machine_->Boot();
+  ThreadSpec spec;
+  spec.name = "sleeper";
+  spec.body = MakeScriptBody(ScriptBuilder()
+                                 .Compute(Milliseconds(10))
+                                 .Sleep(Milliseconds(50))
+                                 .Compute(Milliseconds(10))
+                                 .Build(),
+                             Rng(1));
+  SimThread* t = machine_->Spawn(std::move(spec), nullptr);
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+  EXPECT_GE(t->exit_time, Milliseconds(70));
+  EXPECT_GE(t->total_sleep, Milliseconds(50));
+  EXPECT_NEAR(ToSeconds(t->total_runtime), 0.020, 0.001);
+}
+
+TEST_P(MachineTest, ThreadsSpreadAcrossCores) {
+  Build(4);
+  machine_->Boot();
+  auto script = ScriptBuilder().Compute(Seconds(1)).Build();
+  std::vector<SimThread*> threads;
+  for (int i = 0; i < 4; ++i) {
+    ThreadSpec spec;
+    spec.name = "hog" + std::to_string(i);
+    spec.body = MakeScriptBody(script, Rng(i));
+    threads.push_back(machine_->Spawn(std::move(spec), nullptr));
+  }
+  engine_.RunUntil(Seconds(2));
+  for (SimThread* t : threads) {
+    EXPECT_EQ(t->state(), ThreadState::kDead);
+    // With 4 cores and 4 hogs each should finish in ~1s of wall time.
+    EXPECT_LT(t->exit_time, Milliseconds(1200)) << t->name();
+  }
+}
+
+TEST_P(MachineTest, MutexProvidesExclusionAndHandoff) {
+  Build(2);
+  machine_->Boot();
+  auto mu = std::make_shared<SimMutex>();
+  auto in_critical = std::make_shared<int>(0);
+  auto max_in_critical = std::make_shared<int>(0);
+  auto script = ScriptBuilder()
+                    .Loop(50)
+                    .Lock(mu.get())
+                    .Call([in_critical, max_in_critical](ScriptEnv&) {
+                      *max_in_critical = std::max(*max_in_critical, ++*in_critical);
+                    })
+                    .Compute(Microseconds(100))
+                    .Call([in_critical](ScriptEnv&) { --*in_critical; })
+                    .Unlock(mu.get())
+                    .Compute(Microseconds(50))
+                    .EndLoop()
+                    .Build();
+  for (int i = 0; i < 4; ++i) {
+    ThreadSpec spec;
+    spec.name = "locker" + std::to_string(i);
+    spec.body = MakeScriptBody(script, Rng(i));
+    machine_->Spawn(std::move(spec), nullptr);
+  }
+  engine_.RunUntil(Seconds(5));
+  EXPECT_EQ(machine_->alive_threads(), 0);
+  EXPECT_EQ(*max_in_critical, 1) << "mutual exclusion violated";
+}
+
+TEST_P(MachineTest, BarrierReleasesAllParties) {
+  Build(2);
+  machine_->Boot();
+  auto bar = std::make_shared<SimBarrier>(3);
+  auto passed = std::make_shared<int>(0);
+  auto script = ScriptBuilder()
+                    .Compute(Milliseconds(1))
+                    .Barrier(bar.get())
+                    .Call([passed](ScriptEnv&) { ++*passed; })
+                    .Build();
+  for (int i = 0; i < 3; ++i) {
+    ThreadSpec spec;
+    spec.name = "b" + std::to_string(i);
+    spec.body = MakeScriptBody(script, Rng(i));
+    machine_->Spawn(std::move(spec), nullptr);
+  }
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(*passed, 3);
+  EXPECT_EQ(machine_->alive_threads(), 0);
+}
+
+TEST_P(MachineTest, PipeTransfersMessages) {
+  Build(2);
+  machine_->Boot();
+  auto pipe = std::make_shared<SimPipe>();
+  auto received = std::make_shared<int>(0);
+  auto writer = ScriptBuilder()
+                    .Loop(20)
+                    .Compute(Microseconds(100))
+                    .PipeWrite(pipe.get())
+                    .EndLoop()
+                    .Build();
+  auto reader = ScriptBuilder()
+                    .Loop(20)
+                    .PipeRead(pipe.get())
+                    .Call([received](ScriptEnv&) { ++*received; })
+                    .Compute(Microseconds(10))
+                    .EndLoop()
+                    .Build();
+  ThreadSpec w;
+  w.name = "writer";
+  w.body = MakeScriptBody(writer, Rng(1));
+  ThreadSpec r;
+  r.name = "reader";
+  r.body = MakeScriptBody(reader, Rng(2));
+  machine_->Spawn(std::move(w), nullptr);
+  machine_->Spawn(std::move(r), nullptr);
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(*received, 20);
+  EXPECT_EQ(machine_->alive_threads(), 0);
+}
+
+TEST_P(MachineTest, PinnedThreadStaysOnItsCore) {
+  Build(4);
+  machine_->Boot();
+  ThreadSpec spec;
+  spec.name = "pinned";
+  spec.affinity = CpuMask::Single(2);
+  spec.body = MakeScriptBody(ScriptBuilder()
+                                 .Loop(10)
+                                 .Compute(Milliseconds(5))
+                                 .Sleep(Milliseconds(1))
+                                 .EndLoop()
+                                 .Build(),
+                             Rng(1));
+  SimThread* t = machine_->Spawn(std::move(spec), nullptr);
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+  EXPECT_EQ(t->last_ran_cpu(), 2);
+  EXPECT_EQ(t->migrations, 0u);
+}
+
+TEST_P(MachineTest, DeterministicAcrossRuns) {
+  auto run_once = [&]() -> SimDuration {
+    SimEngine engine;
+    Machine machine(&engine, CpuTopology::Flat(2), MakeScheduler(GetParam()));
+    machine.Boot();
+    auto script = ScriptBuilder()
+                      .Loop(100)
+                      .ComputeFn([](ScriptEnv& env) {
+                        return static_cast<SimDuration>(env.rng.NextExponential(50000.0));
+                      })
+                      .SleepFn([](ScriptEnv& env) {
+                        return static_cast<SimDuration>(env.rng.NextExponential(20000.0));
+                      })
+                      .EndLoop()
+                      .Build();
+    SimThread* last = nullptr;
+    for (int i = 0; i < 5; ++i) {
+      ThreadSpec spec;
+      spec.name = "t" + std::to_string(i);
+      spec.body = MakeScriptBody(script, Rng(i * 7 + 1));
+      last = machine.Spawn(std::move(spec), nullptr);
+    }
+    engine.RunUntil(Seconds(10));
+    return last->exit_time;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_P(MachineTest, CountersAreConsistent) {
+  Build(2);
+  machine_->Boot();
+  auto script = ScriptBuilder()
+                    .Loop(10)
+                    .Compute(Milliseconds(2))
+                    .Sleep(Milliseconds(1))
+                    .EndLoop()
+                    .Build();
+  for (int i = 0; i < 3; ++i) {
+    ThreadSpec spec;
+    spec.name = "w" + std::to_string(i);
+    spec.body = MakeScriptBody(script, Rng(i + 1));
+    machine_->Spawn(std::move(spec), nullptr);
+  }
+  engine_.RunUntil(Seconds(2));
+  const MachineCounters& c = machine_->counters();
+  EXPECT_EQ(c.forks, 3u);
+  EXPECT_EQ(c.exits, 3u);
+  EXPECT_EQ(c.wakeups, 30u);  // 10 sleeps per thread
+  EXPECT_GT(c.context_switches, 0u);
+  EXPECT_GE(machine_->OverheadFraction(), 0.0);
+  EXPECT_LT(machine_->OverheadFraction(), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, MachineTest, ::testing::Values("cfs", "ule"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace schedbattle

@@ -1,0 +1,164 @@
+// Metrics tests: histogram percentiles, time series, heatmap balance
+// detection, CSV output, counter formatting.
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/metrics/counters.h"
+#include "src/metrics/csv.h"
+#include "src/metrics/heatmap.h"
+#include "src/metrics/histogram.h"
+#include "src/metrics/timeseries.h"
+#include "src/workload/script.h"
+
+namespace schedbattle {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, ExactStatistics) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(Milliseconds(i));
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), static_cast<double>(Milliseconds(1) + Milliseconds(100)) / 2);
+  EXPECT_EQ(h.min(), Milliseconds(1));
+  EXPECT_EQ(h.max(), Milliseconds(100));
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), static_cast<double>(Milliseconds(50)),
+              static_cast<double>(Milliseconds(2)));
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99)), static_cast<double>(Milliseconds(99)),
+              static_cast<double>(Milliseconds(2)));
+  EXPECT_EQ(h.Percentile(0), Milliseconds(1));
+  EXPECT_EQ(h.Percentile(100), Milliseconds(100));
+}
+
+TEST(HistogramTest, InterleavedRecordAndQuery) {
+  LatencyHistogram h;
+  h.Record(10);
+  EXPECT_EQ(h.Percentile(50), 10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.Percentile(50), 20);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(TimeSeriesTest, ValueAtStepHold) {
+  TimeSeries s("x");
+  s.Push(Seconds(1), 10);
+  s.Push(Seconds(3), 30);
+  EXPECT_EQ(s.ValueAt(Milliseconds(500)), 0.0);
+  EXPECT_EQ(s.ValueAt(Seconds(1)), 10.0);
+  EXPECT_EQ(s.ValueAt(Seconds(2)), 10.0);
+  EXPECT_EQ(s.ValueAt(Seconds(5)), 30.0);
+}
+
+TEST(TimeSeriesTest, PeriodicSamplerFiresAtPeriod) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<CfsScheduler>());
+  machine.Boot();
+  ThreadSpec spec;
+  spec.name = "t";
+  spec.body = MakeScriptBody(ScriptBuilder().Compute(Seconds(2)).Build(), Rng(1));
+  machine.Spawn(std::move(spec), nullptr);
+  std::vector<SimTime> fired;
+  PeriodicSampler sampler(&machine, Milliseconds(100), [&](SimTime t) { fired.push_back(t); });
+  engine.RunUntil(Seconds(1));
+  sampler.Stop();
+  ASSERT_GE(fired.size(), 9u);
+  EXPECT_EQ(fired[0], Milliseconds(100));
+  EXPECT_EQ(fired[1], Milliseconds(200));
+  const size_t n = fired.size();
+  engine.RunUntil(Seconds(2));
+  EXPECT_EQ(fired.size(), n) << "stopped sampler must not fire";
+}
+
+TEST(CsvTest, SeriesMergedOnUnionOfTimes) {
+  TimeSeries a("a"), b("b");
+  a.Push(Seconds(1), 1);
+  a.Push(Seconds(2), 2);
+  b.Push(Seconds(2), 20);
+  const std::string csv = SeriesToCsv({&a, &b});
+  EXPECT_NE(csv.find("time_s,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("1,1,0"), std::string::npos);
+  EXPECT_NE(csv.find("2,2,20"), std::string::npos);
+}
+
+TEST(HeatmapTest, TracksRunnableCounts) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2), std::make_unique<CfsScheduler>());
+  machine.Boot();
+  for (int i = 0; i < 4; ++i) {
+    ThreadSpec spec;
+    spec.name = "t";
+    spec.affinity = CpuMask::Single(i % 2);
+    spec.body = MakeScriptBody(ScriptBuilder().Compute(Seconds(2)).Build(), Rng(i + 1));
+    machine.Spawn(std::move(spec), nullptr);
+  }
+  CoreLoadHeatmap heatmap(&machine, Milliseconds(100));
+  engine.RunUntil(Seconds(1));
+  heatmap.Stop();
+  ASSERT_GT(heatmap.num_samples(), 5);
+  const auto counts = heatmap.CountsAt(Milliseconds(500));
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_GE(heatmap.TimeToBalance(0), 0) << "2/2 is balanced";
+  EXPECT_FALSE(heatmap.RenderAscii().empty());
+  EXPECT_NE(heatmap.ToCsv().find("core0,core1"), std::string::npos);
+}
+
+TEST(HeatmapTest, TimeToBalanceDetectsImbalance) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2), std::make_unique<CfsScheduler>());
+  machine.Boot();
+  // Both threads pinned to core 0: never balanced at tolerance 1.
+  for (int i = 0; i < 3; ++i) {
+    ThreadSpec spec;
+    spec.name = "t";
+    spec.affinity = CpuMask::Single(0);
+    spec.body = MakeScriptBody(ScriptBuilder().Compute(Seconds(2)).Build(), Rng(i + 1));
+    machine.Spawn(std::move(spec), nullptr);
+  }
+  CoreLoadHeatmap heatmap(&machine, Milliseconds(100));
+  engine.RunUntil(Seconds(1));
+  heatmap.Stop();
+  EXPECT_EQ(heatmap.TimeToBalance(1), -1);
+}
+
+TEST(CountersTest, FormatMentionsAllSections) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<CfsScheduler>());
+  machine.Boot();
+  ThreadSpec spec;
+  spec.name = "t";
+  spec.body = MakeScriptBody(
+      ScriptBuilder().Loop(5).Compute(Milliseconds(1)).Sleep(Milliseconds(1)).EndLoop().Build(),
+      Rng(1));
+  machine.Spawn(std::move(spec), nullptr);
+  engine.RunUntil(Seconds(1));
+  const std::string s = FormatCounters(machine);
+  for (const char* key : {"context switches", "wakeups", "migrations", "sched overhead"}) {
+    EXPECT_NE(s.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(CsvTest, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/schedbattle_csv_test.csv";
+  ASSERT_TRUE(WriteFile(path, "a,b\n1,2\n"));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+}
+
+}  // namespace
+}  // namespace schedbattle

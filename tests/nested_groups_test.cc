@@ -1,0 +1,105 @@
+// Nested cgroup fairness (paper Section 2.1: "systemd automatically
+// configures cgroups to ensure fairness between different users, and then
+// fairness between the applications of a given user").
+#include <gtest/gtest.h>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/ule/ule_sched.h"
+#include "src/workload/workload.h"
+
+namespace schedbattle {
+namespace {
+
+std::unique_ptr<ScriptedApp> HogApp(const std::string& name, int threads, uint64_t seed) {
+  auto app = std::make_unique<ScriptedApp>(name, seed);
+  ScriptedApp::ThreadTemplate tmpl;
+  tmpl.name = "hog";
+  tmpl.count = threads;
+  tmpl.script = ScriptBuilder().Compute(Seconds(60)).Build();
+  app->AddThreads(std::move(tmpl));
+  return app;
+}
+
+SimDuration AppRuntime(const Application* app, SimTime now) {
+  SimDuration total = 0;
+  for (SimThread* t : app->threads()) {
+    total += t->RuntimeAt(now);
+  }
+  return total;
+}
+
+TEST(NestedGroupsTest, FairBetweenUsersThenBetweenApps) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<CfsScheduler>());
+  Workload workload(&machine);
+
+  // User A: one single-threaded app. User B: two apps (1 and 8 threads).
+  const GroupId user_a = workload.MakeUserGroup();
+  const GroupId user_b = workload.MakeUserGroup();
+  Application* a1 = workload.Add(HogApp("a1", 1, 1), 0, user_a);
+  Application* b1 = workload.Add(HogApp("b1", 1, 2), 0, user_b);
+  Application* b2 = workload.Add(HogApp("b2", 8, 3), 0, user_b);
+
+  workload.Run(Seconds(10));
+  const SimTime now = engine.now();
+  const double ra1 = ToSeconds(AppRuntime(a1, now));
+  const double rb1 = ToSeconds(AppRuntime(b1, now));
+  const double rb2 = ToSeconds(AppRuntime(b2, now));
+
+  // User level: A gets ~5s, B gets ~5s despite having 9 threads.
+  EXPECT_NEAR(ra1, 5.0, 0.7);
+  EXPECT_NEAR(rb1 + rb2, 5.0, 0.7);
+  // App level inside B: b1 and b2 split B's half evenly.
+  EXPECT_NEAR(rb1, 2.5, 0.6);
+  EXPECT_NEAR(rb2, 2.5, 0.6);
+}
+
+TEST(NestedGroupsTest, FlatGroupsGivePerAppShares) {
+  // Without user nesting, the same three apps share 1/3 each.
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<CfsScheduler>());
+  Workload workload(&machine);
+  Application* a1 = workload.Add(HogApp("a1", 1, 1), 0);
+  Application* b1 = workload.Add(HogApp("b1", 1, 2), 0);
+  Application* b2 = workload.Add(HogApp("b2", 8, 3), 0);
+  workload.Run(Seconds(9));
+  const SimTime now = engine.now();
+  EXPECT_NEAR(ToSeconds(AppRuntime(a1, now)), 3.0, 0.5);
+  EXPECT_NEAR(ToSeconds(AppRuntime(b1, now)), 3.0, 0.5);
+  EXPECT_NEAR(ToSeconds(AppRuntime(b2, now)), 3.0, 0.5);
+}
+
+TEST(NestedGroupsTest, UleIgnoresGroupsEntirely) {
+  // ULE "considers each thread as an independent entity": with 1 + 1 + 8
+  // equal hogs, shares are per-thread (1/10 each), nesting or not.
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<UleScheduler>());
+  Workload workload(&machine);
+  const GroupId user_a = workload.MakeUserGroup();
+  Application* a1 = workload.Add(HogApp("a1", 1, 1), 0, user_a);
+  Application* b2 = workload.Add(HogApp("b2", 8, 3), 0);
+  workload.Run(Seconds(9));
+  const SimTime now = engine.now();
+  EXPECT_NEAR(ToSeconds(AppRuntime(a1, now)), 1.0, 0.4);
+  EXPECT_NEAR(ToSeconds(AppRuntime(b2, now)), 8.0, 0.6);
+}
+
+TEST(NestedGroupsTest, DeepNestingThreeLevels) {
+  // users -> projects -> apps: three levels of hierarchy under the root.
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<CfsScheduler>());
+  Workload workload(&machine);
+  const GroupId user = workload.MakeUserGroup();
+  const GroupId project = workload.MakeUserGroup();
+  machine.scheduler().DeclareGroup(project, user);
+  Application* deep = workload.Add(HogApp("deep", 4, 1), 0, project);
+  Application* shallow = workload.Add(HogApp("shallow", 1, 2), 0);
+  workload.Run(Seconds(8));
+  const SimTime now = engine.now();
+  // Top level: user-vs-shallow 50/50 regardless of depth below.
+  EXPECT_NEAR(ToSeconds(AppRuntime(deep, now)), 4.0, 0.6);
+  EXPECT_NEAR(ToSeconds(AppRuntime(shallow, now)), 4.0, 0.6);
+}
+
+}  // namespace
+}  // namespace schedbattle

@@ -1,0 +1,193 @@
+// Wake/fork placement policy tests for both schedulers, on topologies where
+// the choices are observable.
+#include <gtest/gtest.h>
+#include <set>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/ule/ule_sched.h"
+#include "src/workload/script.h"
+
+namespace schedbattle {
+namespace {
+
+ThreadSpec Hog(const std::string& name, SimDuration work, int seed) {
+  ThreadSpec spec;
+  spec.name = name;
+  spec.body = MakeScriptBody(ScriptBuilder().Compute(work).Build(), Rng(seed));
+  return spec;
+}
+
+TEST(UlePlacementTest, ForkGoesToLowestLoadCore) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(4), std::make_unique<UleScheduler>());
+  machine.Boot();
+  // Fill cores 0..2 with hogs (placement is sequential), then check thread 4
+  // lands on the empty core 3.
+  for (int i = 0; i < 3; ++i) {
+    machine.Spawn(Hog("h" + std::to_string(i), Seconds(5), i + 1), nullptr);
+  }
+  engine.RunUntil(Milliseconds(10));
+  SimThread* t = machine.Spawn(Hog("probe", Seconds(5), 99), nullptr);
+  engine.RunUntil(Milliseconds(20));
+  EXPECT_EQ(t->cpu(), 3);
+}
+
+TEST(UlePlacementTest, WakePrefersCacheAffineCore) {
+  SimEngine engine;
+  UleTunables tun;
+  tun.affinity_window = Milliseconds(10);
+  Machine machine(&engine, CpuTopology::Opteron6172(), std::make_unique<UleScheduler>(tun));
+  machine.Boot();
+  // A thread that runs briefly, sleeps briefly (within the affinity window),
+  // and runs again must come back to the same core.
+  ThreadSpec spec;
+  spec.name = "napper";
+  spec.body = MakeScriptBody(ScriptBuilder()
+                                 .Loop(20)
+                                 .Compute(Milliseconds(2))
+                                 .Sleep(Milliseconds(3))
+                                 .EndLoop()
+                                 .Build(),
+                             Rng(1));
+  SimThread* t = machine.Spawn(std::move(spec), nullptr);
+  engine.RunUntil(Seconds(1));
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+  EXPECT_EQ(t->migrations, 0u) << "short sleeps stay cache-affine";
+}
+
+TEST(UlePlacementTest, PickcpuAvoidsBusyCoresWhenIdleExists) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2), std::make_unique<UleScheduler>());
+  machine.Boot();
+  machine.Spawn(Hog("hog", Seconds(5), 1), nullptr);  // occupies a core
+  engine.RunUntil(Milliseconds(100));
+  // A long-sleeping thread wakes (not affine): must land on the idle core.
+  ThreadSpec spec;
+  spec.name = "sleeper";
+  spec.body = MakeScriptBody(
+      ScriptBuilder().Sleep(Milliseconds(500)).Compute(Milliseconds(5)).Build(), Rng(2));
+  SimThread* t = machine.Spawn(std::move(spec), nullptr);
+  engine.RunUntil(Seconds(1));
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+  // It computed for 5ms with an idle core available: it must not have waited
+  // behind the hog.
+  EXPECT_LT(t->total_wait, Milliseconds(2)) << "woken thread must pick the idle core";
+}
+
+TEST(UlePlacementTest, ReturnPrevAblationSkipsScanning) {
+  SimEngine engine;
+  UleTunables tun;
+  tun.pickcpu_return_prev = true;
+  Machine machine(&engine, CpuTopology::Opteron6172(), std::make_unique<UleScheduler>(tun));
+  machine.Boot();
+  ThreadSpec spec;
+  spec.name = "sleeper";
+  spec.body = MakeScriptBody(ScriptBuilder()
+                                 .Loop(50)
+                                 .Compute(Microseconds(500))
+                                 .Sleep(Milliseconds(5))
+                                 .EndLoop()
+                                 .Build(),
+                             Rng(1));
+  SimThread* t = machine.Spawn(std::move(spec), nullptr);
+  engine.RunUntil(Seconds(2));
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+  // Wakes keep returning the previous CPU: no migrations, minimal scanning.
+  EXPECT_EQ(t->migrations, 0u);
+  EXPECT_LT(machine.counters().pickcpu_scans, 100u);
+}
+
+TEST(CfsPlacementTest, ForksSpreadAcrossIdleCores) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Opteron6172(), std::make_unique<CfsScheduler>());
+  machine.Boot();
+  std::vector<SimThread*> threads;
+  for (int i = 0; i < 32; ++i) {
+    threads.push_back(machine.Spawn(Hog("h" + std::to_string(i), Seconds(2), i + 1), nullptr));
+  }
+  engine.RunUntil(Milliseconds(200));
+  std::vector<int> per_core(32, 0);
+  for (SimThread* t : threads) {
+    ASSERT_NE(t->cpu(), kInvalidCore);
+    per_core[t->cpu()]++;
+  }
+  int doubled = 0;
+  for (int c : per_core) {
+    if (c > 1) {
+      ++doubled;
+    }
+  }
+  EXPECT_LE(doubled, 2) << "fork placement should spread 32 hogs over 32 cores";
+}
+
+TEST(CfsPlacementTest, ShortSleepWakesStayInLlc) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Opteron6172(), std::make_unique<CfsScheduler>());
+  machine.Boot();
+  ThreadSpec spec;
+  spec.name = "napper";
+  spec.body = MakeScriptBody(ScriptBuilder()
+                                 .Loop(50)
+                                 .Compute(Milliseconds(1))
+                                 .Sleep(Milliseconds(2))
+                                 .EndLoop()
+                                 .Build(),
+                             Rng(1));
+  SimThread* t = machine.Spawn(std::move(spec), nullptr);
+  const CpuTopology& topo = machine.topology();
+  engine.RunUntil(Milliseconds(50));
+  const int home_llc = topo.LlcOf(t->cpu() != kInvalidCore ? t->cpu() : t->last_ran_cpu());
+  engine.RunUntil(Seconds(1));
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+  EXPECT_EQ(topo.LlcOf(t->last_ran_cpu()), home_llc)
+      << "wake placement is LLC-restricted for 1-1 patterns";
+}
+
+TEST(CfsPlacementTest, OneToManyWakerSpreadsConsumers) {
+  // A producer waking 16 distinct consumers repeatedly: wake_wide must kick
+  // in and the consumers must not pile into the producer's LLC.
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Opteron6172(), std::make_unique<CfsScheduler>());
+  machine.Boot();
+  auto sems = std::make_shared<std::vector<std::unique_ptr<SimSemaphore>>>();
+  for (int i = 0; i < 16; ++i) {
+    sems->push_back(std::make_unique<SimSemaphore>(0));
+  }
+  std::vector<SimThread*> consumers;
+  for (int i = 0; i < 16; ++i) {
+    ThreadSpec spec;
+    spec.name = "consumer" + std::to_string(i);
+    ScriptBuilder b;
+    b.Loop(30);
+    b.SemWait((*sems)[i].get());
+    b.Compute(Milliseconds(2));
+    b.EndLoop();
+    b.Call([sems](ScriptEnv&) {});
+    spec.body = MakeScriptBody(b.Build(), Rng(i + 1));
+    consumers.push_back(machine.Spawn(std::move(spec), nullptr));
+  }
+  ThreadSpec prod;
+  prod.name = "producer";
+  ScriptBuilder pb;
+  pb.Loop(30);
+  for (int i = 0; i < 16; ++i) {
+    pb.Compute(Microseconds(50));
+    pb.SemPost((*sems)[i].get());
+  }
+  pb.Sleep(Milliseconds(4));
+  pb.EndLoop();
+  pb.Call([sems](ScriptEnv&) {});
+  prod.body = MakeScriptBody(pb.Build(), Rng(77));
+  machine.Spawn(std::move(prod), nullptr);
+  engine.RunUntil(Seconds(5));
+
+  // Count distinct LLCs the consumers last ran on: spread => more than one.
+  std::set<int> llcs;
+  for (SimThread* t : consumers) {
+    llcs.insert(machine.topology().LlcOf(t->last_ran_cpu()));
+  }
+  EXPECT_GE(llcs.size(), 2u) << "1-to-many consumers must spread beyond one LLC";
+}
+
+}  // namespace
+}  // namespace schedbattle

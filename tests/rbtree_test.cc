@@ -1,0 +1,178 @@
+// Red-black tree unit and property tests: invariants checked against a
+// std::multiset reference model under random insert/erase sequences.
+#include "src/cfs/rbtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace schedbattle {
+namespace {
+
+struct Item {
+  int64_t key = 0;
+  uint64_t seq = 0;
+  RbNode node;
+};
+
+bool ItemLess(const RbNode* a, const RbNode* b) {
+  const Item* ia = static_cast<const Item*>(a->owner);
+  const Item* ib = static_cast<const Item*>(b->owner);
+  if (ia->key != ib->key) {
+    return ia->key < ib->key;
+  }
+  return ia->seq < ib->seq;
+}
+
+void Insert(RbTree& tree, Item& item) {
+  item.node.owner = &item;
+  tree.Insert(&item.node);
+}
+
+Item* FirstItem(const RbTree& tree) {
+  RbNode* n = tree.First();
+  return n == nullptr ? nullptr : static_cast<Item*>(n->owner);
+}
+
+TEST(RbTreeTest, EmptyTree) {
+  RbTree tree(ItemLess);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.First(), nullptr);
+  EXPECT_EQ(tree.Last(), nullptr);
+  EXPECT_GE(tree.CheckInvariants(), 0);
+}
+
+TEST(RbTreeTest, SingleInsertErase) {
+  RbTree tree(ItemLess);
+  Item a{42, 1};
+  Insert(tree, a);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(FirstItem(tree), &a);
+  EXPECT_TRUE(tree.Contains(&a.node));
+  EXPECT_GE(tree.CheckInvariants(), 0);
+  tree.Erase(&a.node);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_FALSE(tree.Contains(&a.node));
+}
+
+TEST(RbTreeTest, OrderedIterationAscendingInsert) {
+  RbTree tree(ItemLess);
+  std::vector<Item> items(100);
+  for (int i = 0; i < 100; ++i) {
+    items[i].key = i;
+    items[i].seq = static_cast<uint64_t>(i);
+    Insert(tree, items[i]);
+    EXPECT_GE(tree.CheckInvariants(), 0) << "after insert " << i;
+  }
+  EXPECT_EQ(FirstItem(tree)->key, 0);
+  int count = 0;
+  int64_t prev = -1;
+  for (RbNode* n = tree.First(); n != nullptr; n = tree.Next(n)) {
+    const Item* it = static_cast<Item*>(n->owner);
+    EXPECT_GT(it->key, prev);
+    prev = it->key;
+    ++count;
+  }
+  EXPECT_EQ(count, 100);
+}
+
+TEST(RbTreeTest, DescendingInsertKeepsLeftmost) {
+  RbTree tree(ItemLess);
+  std::vector<Item> items(64);
+  for (int i = 0; i < 64; ++i) {
+    items[i].key = 63 - i;
+    items[i].seq = static_cast<uint64_t>(i);
+    Insert(tree, items[i]);
+    EXPECT_EQ(FirstItem(tree)->key, items[i].key);
+  }
+  EXPECT_GE(tree.CheckInvariants(), 0);
+}
+
+TEST(RbTreeTest, DuplicateKeysOrderedBySeq) {
+  RbTree tree(ItemLess);
+  std::vector<Item> items(10);
+  for (int i = 0; i < 10; ++i) {
+    items[i].key = 7;
+    items[i].seq = static_cast<uint64_t>(i);
+    Insert(tree, items[i]);
+  }
+  uint64_t expect = 0;
+  for (RbNode* n = tree.First(); n != nullptr; n = tree.Next(n)) {
+    EXPECT_EQ(static_cast<Item*>(n->owner)->seq, expect++);
+  }
+  EXPECT_GE(tree.CheckInvariants(), 0);
+}
+
+TEST(RbTreeTest, EraseLeftmostAdvances) {
+  RbTree tree(ItemLess);
+  std::vector<Item> items(20);
+  for (int i = 0; i < 20; ++i) {
+    items[i].key = i;
+    Insert(tree, items[i]);
+  }
+  for (int i = 0; i < 20; ++i) {
+    Item* first = FirstItem(tree);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->key, i);
+    tree.Erase(&first->node);
+    EXPECT_GE(tree.CheckInvariants(), 0) << "after erase " << i;
+  }
+  EXPECT_TRUE(tree.empty());
+}
+
+// Property test: random operations mirrored against std::multiset.
+class RbTreeRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RbTreeRandomTest, MatchesReferenceModel) {
+  RbTree tree(ItemLess);
+  Rng rng(GetParam());
+  std::vector<std::unique_ptr<Item>> pool;
+  std::vector<Item*> in_tree;
+  std::multiset<int64_t> model;
+  uint64_t seq = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const bool insert = in_tree.empty() || rng.NextBool(0.55);
+    if (insert) {
+      auto item = std::make_unique<Item>();
+      item->key = static_cast<int64_t>(rng.NextBelow(200));
+      item->seq = seq++;
+      Insert(tree, *item);
+      model.insert(item->key);
+      in_tree.push_back(item.get());
+      pool.push_back(std::move(item));
+    } else {
+      const size_t idx = rng.NextBelow(in_tree.size());
+      Item* victim = in_tree[idx];
+      tree.Erase(&victim->node);
+      model.erase(model.find(victim->key));
+      in_tree[idx] = in_tree.back();
+      in_tree.pop_back();
+    }
+    ASSERT_EQ(tree.size(), model.size());
+    if (step % 64 == 0) {
+      ASSERT_GE(tree.CheckInvariants(), 0) << "invariant broken at step " << step;
+      if (!model.empty()) {
+        ASSERT_EQ(FirstItem(tree)->key, *model.begin());
+      }
+    }
+  }
+  // Final full in-order comparison.
+  std::vector<int64_t> keys;
+  for (RbNode* n = tree.First(); n != nullptr; n = tree.Next(n)) {
+    keys.push_back(static_cast<Item*>(n->owner)->key);
+  }
+  std::vector<int64_t> expect(model.begin(), model.end());
+  ASSERT_EQ(keys, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbTreeRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace schedbattle

@@ -1,0 +1,111 @@
+// Dynamic renice (Machine::SetNice) tests for both schedulers.
+#include <gtest/gtest.h>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/ule/interact.h"
+#include "src/ule/tdq.h"
+#include "src/ule/ule_sched.h"
+#include "src/workload/script.h"
+
+namespace schedbattle {
+namespace {
+
+TEST(ReniceTest, CfsSharesFollowNiceChange) {
+  SimEngine engine;
+  CfsTunables tun;
+  tun.group_scheduling = false;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<CfsScheduler>(tun));
+  machine.Boot();
+  auto script = ScriptBuilder().Compute(Seconds(60)).Build();
+  ThreadSpec a, b;
+  a.name = "a";
+  a.body = MakeScriptBody(script, Rng(1));
+  b.name = "b";
+  b.body = MakeScriptBody(script, Rng(2));
+  SimThread* ta = machine.Spawn(std::move(a), nullptr);
+  SimThread* tb = machine.Spawn(std::move(b), nullptr);
+
+  engine.RunUntil(Seconds(5));
+  const double ra1 = ToSeconds(ta->RuntimeAt(engine.now()));
+  EXPECT_NEAR(ra1, 2.5, 0.3) << "equal nice: equal shares";
+
+  machine.SetNice(tb, 10);  // b becomes much lighter
+  engine.RunUntil(Seconds(15));
+  // Over the 10s window, a (nice 0, weight 1024) vs b (nice 10, weight 110):
+  // a should get ~90%.
+  const double da = ToSeconds(ta->RuntimeAt(engine.now())) - ra1;
+  EXPECT_GT(da, 8.0);
+  EXPECT_LT(da, 9.7);
+}
+
+TEST(ReniceTest, UleNicenessReclassifiesThread) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<UleScheduler>());
+  machine.Boot();
+  // A moderately sleepy thread: score ~20, interactive at nice 0.
+  ThreadSpec spec;
+  spec.name = "t";
+  spec.parent_runtime_hint = Milliseconds(400);
+  spec.parent_sleep_hint = Milliseconds(1000);
+  spec.body = MakeScriptBody(ScriptBuilder()
+                                 .Loop(-1)
+                                 .Compute(Milliseconds(2))
+                                 .Sleep(Milliseconds(5))
+                                 .EndLoop()
+                                 .Build(),
+                             Rng(1));
+  SimThread* t = machine.Spawn(std::move(spec), nullptr);
+  engine.RunUntil(Seconds(2));
+  const UleTaskData& data = UleOf(t);
+  const int score = UleInteractScore(data.interact);
+  ASSERT_LT(score, kInteractThresh);
+  ASSERT_LE(data.pri, kPriMaxInteract) << "interactive at nice 0";
+
+  machine.SetNice(t, 15);  // push the score past the threshold
+  engine.RunUntil(Seconds(2) + Milliseconds(200));
+  EXPECT_GE(UleOf(t).pri, kPriMinBatch) << "niceness reclassifies to batch";
+
+  machine.SetNice(t, -10);
+  engine.RunUntil(Seconds(3));
+  EXPECT_LE(UleOf(t).pri, kPriMaxInteract) << "negative nice restores interactive";
+}
+
+TEST(ReniceTest, ReniceQueuedThreadRepositionsIt) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<UleScheduler>());
+  machine.Boot();
+  auto script = ScriptBuilder().Compute(Seconds(30)).Build();
+  std::vector<SimThread*> hogs;
+  for (int i = 0; i < 3; ++i) {
+    ThreadSpec spec;
+    spec.name = "h" + std::to_string(i);
+    spec.body = MakeScriptBody(script, Rng(i + 1));
+    hogs.push_back(machine.Spawn(std::move(spec), nullptr));
+  }
+  engine.RunUntil(Seconds(3));
+  // Renice a (likely queued) hog; nothing should crash and its priority must
+  // reflect the new niceness immediately.
+  machine.SetNice(hogs[2], 19);
+  engine.RunUntil(Seconds(3) + Milliseconds(100));
+  EXPECT_GE(UleOf(hogs[2]).pri, kPriMinBatch);
+  engine.RunUntil(Seconds(6));
+  // With nice 19 it keeps running (no starvation among batch), just slower
+  // priority positioning; sanity: all still alive and progressing.
+  EXPECT_GT(hogs[2]->RuntimeAt(engine.now()), Seconds(1));
+}
+
+TEST(ReniceTest, NoopWhenNiceUnchanged) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<CfsScheduler>());
+  machine.Boot();
+  ThreadSpec spec;
+  spec.name = "t";
+  spec.body = MakeScriptBody(ScriptBuilder().Compute(Milliseconds(10)).Build(), Rng(1));
+  SimThread* t = machine.Spawn(std::move(spec), nullptr);
+  machine.SetNice(t, 0);  // same value: no-op
+  engine.RunUntil(Seconds(1));
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+}
+
+}  // namespace
+}  // namespace schedbattle

@@ -1,0 +1,124 @@
+// Integration tests: scaled-down versions of the paper's experiments, run
+// through the same scenario code the bench binaries use. These protect the
+// headline results against regressions.
+#include "src/core/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/report.h"
+#include "src/ule/interact.h"
+
+namespace schedbattle {
+namespace {
+
+TEST(ScenarioTest, Table2UleStarvesFibo) {
+  FiboSysbenchResult cfs = RunFiboSysbench(SchedKind::kCfs, 42, /*scale=*/0.15);
+  FiboSysbenchResult ule = RunFiboSysbench(SchedKind::kUle, 42, /*scale=*/0.15);
+  // ULE: sysbench roughly doubles its throughput by starving fibo.
+  EXPECT_GT(ule.sysbench_tps, 1.4 * cfs.sysbench_tps);
+  // Both complete fibo's full work eventually.
+  EXPECT_NEAR(ToSeconds(cfs.fibo_runtime), 24.0, 1.0);
+  EXPECT_NEAR(ToSeconds(ule.fibo_runtime), 24.0, 1.0);
+  // ULE latency far lower.
+  EXPECT_LT(ule.sysbench_avg_latency, cfs.sysbench_avg_latency);
+}
+
+TEST(ScenarioTest, Fig1FiboProgressRates) {
+  FiboSysbenchResult cfs = RunFiboSysbench(SchedKind::kCfs, 42, 0.15);
+  FiboSysbenchResult ule = RunFiboSysbench(SchedKind::kUle, 42, 0.15);
+  auto rate = [](const FiboSysbenchResult& r, double t1, double t2) {
+    return (r.fibo_runtime_series.ValueAt(SecondsF(t2)) -
+            r.fibo_runtime_series.ValueAt(SecondsF(t1))) /
+           (t2 - t1);
+  };
+  const double window_end = ToSeconds(ule.sysbench_finish) * 0.9;
+  EXPECT_NEAR(rate(cfs, 10, window_end), 0.5, 0.15) << "CFS: fibo gets ~half the core";
+  EXPECT_LT(rate(ule, 10, window_end), 0.05) << "ULE: fibo starves";
+}
+
+TEST(ScenarioTest, Fig2PenaltiesSeparate) {
+  FiboSysbenchResult ule = RunFiboSysbench(SchedKind::kUle, 42, 0.15);
+  const double mid = 7.0 + (ToSeconds(ule.sysbench_finish) - 7.0) / 2;
+  EXPECT_GT(ule.fibo_penalty_series.ValueAt(SecondsF(mid)), 2 * kInteractThresh);
+  EXPECT_LT(ule.sysbench_penalty_series.ValueAt(SecondsF(mid)), kInteractThresh);
+}
+
+TEST(ScenarioTest, Fig3TwoBandsOfWorkers) {
+  SysbenchThreadsResult r = RunSysbenchThreads(SchedKind::kUle, 42, 0.15);
+  EXPECT_GE(r.interactive_count, 40);
+  EXPECT_GE(r.background_count, 20);
+  EXPECT_GE(r.starved_count, 15);
+  ASSERT_FALSE(r.interactive_penalty.points().empty());
+  ASSERT_FALSE(r.background_penalty.points().empty());
+  EXPECT_LT(r.interactive_penalty.points().back().value, kInteractThresh);
+  EXPECT_GT(r.background_penalty.points().back().value, kInteractThresh);
+}
+
+TEST(ScenarioTest, Fig3CfsRunsEveryoneFairly) {
+  SysbenchThreadsResult r = RunSysbenchThreads(SchedKind::kCfs, 42, 0.15);
+  // Under CFS nobody starves: the "background" (near-zero runtime) band is
+  // (almost) empty.
+  EXPECT_LE(r.starved_count, 2);
+}
+
+TEST(ScenarioTest, Fig6UleSlowCfsFastImperfect) {
+  LoadBalanceResult ule = RunLoadBalance512(SchedKind::kUle, 42, Seconds(60), 1);
+  // Right after the unpin, core 0 keeps ~481 (31 idle steals of one each).
+  const auto after = ule.heatmap->CountsAt(ule.unpin_time + Milliseconds(400));
+  ASSERT_FALSE(after.empty());
+  EXPECT_GT(after[0], 450);
+  EXPECT_LT(ule.balanced_time, 0) << "ULE cannot balance 512 threads in 45s";
+
+  LoadBalanceResult cfs = RunLoadBalance512(SchedKind::kCfs, 42, Seconds(60), 1);
+  const auto cfs_after = cfs.heatmap->CountsAt(cfs.unpin_time + Milliseconds(400));
+  int mx = 0;
+  for (int v : cfs_after) {
+    mx = std::max(mx, v);
+  }
+  EXPECT_LT(mx, 200) << "CFS moves hundreds of threads within 0.4s";
+  EXPECT_LT(cfs.balanced_time, 0) << "but never to a perfect balance";
+  EXPECT_GE(cfs.final_max - cfs.final_min, 2);
+}
+
+TEST(ScenarioTest, Fig7CrayStartsSlowerOnUle) {
+  CrayResult ule = RunCrayPlacement(SchedKind::kUle, 42, /*scale=*/0.5);
+  CrayResult cfs = RunCrayPlacement(SchedKind::kCfs, 42, /*scale=*/0.5);
+  EXPECT_GT(ToSeconds(ule.all_runnable_time), 1.7 * ToSeconds(cfs.all_runnable_time));
+  const double finish_ratio = ToSeconds(ule.finish_time) / ToSeconds(cfs.finish_time);
+  EXPECT_GT(finish_ratio, 0.8);
+  EXPECT_LT(finish_ratio, 1.25);
+}
+
+TEST(ScenarioTest, SuiteRowBasics) {
+  const SuiteRow row = RunSuiteApp("gzip", /*cores=*/1, 42, /*scale=*/0.05);
+  EXPECT_GT(row.cfs_metric, 0.0);
+  EXPECT_GT(row.ule_metric, 0.0);
+  EXPECT_NEAR(row.diff_pct, 0.0, 5.0) << "single-threaded compute: schedulers equivalent";
+}
+
+TEST(ScenarioTest, ApacheSingleCoreUleAdvantage) {
+  const SuiteRow row = RunSuiteApp("apache", /*cores=*/1, 42, /*scale=*/0.1);
+  EXPECT_GT(row.diff_pct, 15.0) << "apache runs much faster on ULE (no ab preemption)";
+  EXPECT_GT(row.cfs_wakeup_preemptions, 100 * (row.ule_wakeup_preemptions + 1));
+}
+
+TEST(ScenarioTest, ScimarkGcVariantUleDisadvantage) {
+  const SuiteRow row = RunSuiteApp("scimark2-(2)", /*cores=*/1, 42, /*scale=*/1.0);
+  EXPECT_LT(row.diff_pct, -15.0) << "the GC-heavy scimark is much slower on ULE";
+}
+
+TEST(ReportTest, TextTableRendersAligned) {
+  TextTable t({"a", "bee"});
+  t.AddRow({"xxxx", "1"});
+  t.AddRow({"y"});
+  const std::string s = t.Render();
+  EXPECT_NE(s.find("a     bee"), std::string::npos);
+  EXPECT_NE(s.find("xxxx  1"), std::string::npos);
+  EXPECT_EQ(TextTable::Pct(12.345), "+12.3%");
+  EXPECT_EQ(TextTable::Pct(-3.2), "-3.2%");
+  EXPECT_EQ(TextTable::Num(1.25, 2), "1.25");
+  EXPECT_FALSE(BannerLine("title").empty());
+}
+
+}  // namespace
+}  // namespace schedbattle

@@ -1,0 +1,168 @@
+// Script VM tests: loops, nesting, dynamic durations, hooks, yields.
+#include "src/workload/script.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/workload/workload.h"
+
+namespace schedbattle {
+namespace {
+
+class ScriptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = std::make_unique<Machine>(&engine_, CpuTopology::Flat(1),
+                                         std::make_unique<CfsScheduler>());
+    machine_->Boot();
+  }
+  SimThread* Run(std::shared_ptr<const Script> script, SimTime until = Seconds(10)) {
+    ThreadSpec spec;
+    spec.name = "t";
+    spec.body = MakeScriptBody(std::move(script), Rng(1));
+    SimThread* t = machine_->Spawn(std::move(spec), nullptr);
+    engine_.RunUntil(until);
+    return t;
+  }
+  SimEngine engine_;
+  std::unique_ptr<Machine> machine_;
+};
+
+TEST_F(ScriptTest, EmptyScriptExitsImmediately) {
+  SimThread* t = Run(ScriptBuilder().Build());
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+  EXPECT_EQ(t->total_runtime, 0);
+}
+
+TEST_F(ScriptTest, FixedLoopRunsExactCount) {
+  auto count = std::make_shared<int>(0);
+  SimThread* t = Run(ScriptBuilder()
+                         .Loop(7)
+                         .Compute(Milliseconds(1))
+                         .Call([count](ScriptEnv&) { ++*count; })
+                         .EndLoop()
+                         .Build());
+  EXPECT_EQ(*count, 7);
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+  EXPECT_NEAR(ToSeconds(t->total_runtime), 0.007, 0.001);
+}
+
+TEST_F(ScriptTest, ZeroCountLoopSkipsBody) {
+  auto count = std::make_shared<int>(0);
+  Run(ScriptBuilder()
+          .Loop(0)
+          .Call([count](ScriptEnv&) { ++*count; })
+          .Compute(Milliseconds(1))
+          .EndLoop()
+          .Compute(Milliseconds(1))
+          .Build());
+  EXPECT_EQ(*count, 0);
+}
+
+TEST_F(ScriptTest, NestedLoops) {
+  auto count = std::make_shared<int>(0);
+  Run(ScriptBuilder()
+          .Loop(3)
+          .Loop(4)
+          .Compute(Microseconds(100))
+          .Call([count](ScriptEnv&) { ++*count; })
+          .EndLoop()
+          .EndLoop()
+          .Build());
+  EXPECT_EQ(*count, 12);
+}
+
+TEST_F(ScriptTest, NestedLoopReentersInnerCount) {
+  // The inner loop count must reset on each outer iteration.
+  auto inner_counts = std::make_shared<std::vector<int>>();
+  auto current = std::make_shared<int>(0);
+  Run(ScriptBuilder()
+          .Loop(3)
+          .Call([current](ScriptEnv&) { *current = 0; })
+          .Loop(2)
+          .Compute(Microseconds(50))
+          .Call([current](ScriptEnv&) { ++*current; })
+          .EndLoop()
+          .Call([inner_counts, current](ScriptEnv&) { inner_counts->push_back(*current); })
+          .EndLoop()
+          .Build());
+  EXPECT_EQ(*inner_counts, (std::vector<int>{2, 2, 2}));
+}
+
+TEST_F(ScriptTest, LoopWhilePredicate) {
+  auto remaining = std::make_shared<int>(5);
+  SimThread* t = Run(ScriptBuilder()
+                         .LoopWhile([remaining](ScriptEnv&) { return *remaining > 0; })
+                         .Compute(Milliseconds(1))
+                         .Call([remaining](ScriptEnv&) { --*remaining; })
+                         .EndLoop()
+                         .Build());
+  EXPECT_EQ(*remaining, 0);
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+}
+
+TEST_F(ScriptTest, DynamicDurationsUsePerThreadRng) {
+  auto total = std::make_shared<SimDuration>(0);
+  SimThread* t = Run(ScriptBuilder()
+                         .Loop(100)
+                         .ComputeFn([total](ScriptEnv& env) {
+                           const SimDuration d =
+                               static_cast<SimDuration>(env.rng.NextExponential(1.0e5));
+                           *total += d;
+                           return d;
+                         })
+                         .EndLoop()
+                         .Build());
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+  // Runtime equals the sum of the drawn durations.
+  EXPECT_NEAR(static_cast<double>(t->total_runtime), static_cast<double>(*total),
+              static_cast<double>(Microseconds(10)));
+}
+
+TEST_F(ScriptTest, SleepAdvancesWallClockNotRuntime) {
+  SimThread* t = Run(ScriptBuilder().Sleep(Milliseconds(100)).Compute(Milliseconds(5)).Build());
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+  EXPECT_GE(t->exit_time, Milliseconds(105));
+  EXPECT_LT(t->total_runtime, Milliseconds(7));
+  EXPECT_GE(t->total_sleep, Milliseconds(100));
+}
+
+TEST_F(ScriptTest, YieldKeepsThreadRunnable) {
+  auto count = std::make_shared<int>(0);
+  SimThread* t = Run(ScriptBuilder()
+                         .Loop(5)
+                         .Compute(Milliseconds(1))
+                         .Call([count](ScriptEnv&) { ++*count; })
+                         .Yield()
+                         .EndLoop()
+                         .Build());
+  EXPECT_EQ(*count, 5);
+  EXPECT_EQ(t->state(), ThreadState::kDead);
+}
+
+TEST_F(ScriptTest, InfiniteLoopRunsUntilHorizon) {
+  SimThread* t = Run(ScriptBuilder().Loop(-1).Compute(Milliseconds(1)).EndLoop().Build(),
+                     /*until=*/Seconds(2));
+  EXPECT_EQ(t->state(), ThreadState::kRunning);
+  EXPECT_NEAR(ToSeconds(t->RuntimeAt(engine_.now())), 2.0, 0.05);
+}
+
+TEST_F(ScriptTest, SharedScriptIndependentBodies) {
+  // Two threads share one Script but must have independent loop state.
+  auto script = ScriptBuilder().Loop(50).Compute(Milliseconds(1)).EndLoop().Build();
+  ThreadSpec a, b;
+  a.name = "a";
+  a.body = MakeScriptBody(script, Rng(1));
+  b.name = "b";
+  b.body = MakeScriptBody(script, Rng(2));
+  SimThread* ta = machine_->Spawn(std::move(a), nullptr);
+  SimThread* tb = machine_->Spawn(std::move(b), nullptr);
+  engine_.RunUntil(Seconds(10));
+  EXPECT_EQ(ta->state(), ThreadState::kDead);
+  EXPECT_EQ(tb->state(), ThreadState::kDead);
+  EXPECT_NEAR(ToSeconds(ta->total_runtime), 0.05, 0.002);
+  EXPECT_NEAR(ToSeconds(tb->total_runtime), 0.05, 0.002);
+}
+
+}  // namespace
+}  // namespace schedbattle

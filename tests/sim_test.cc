@@ -1,0 +1,150 @@
+// Engine, event queue and RNG tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace schedbattle {
+namespace {
+
+TEST(EventQueueTest, OrdersByTimeThenInsertion) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(10, [&] { order.push_back(2); });
+  q.Schedule(5, [&] { order.push_back(1); });
+  q.Schedule(10, [&] { order.push_back(3); });  // same time: insertion order
+  SimTime t = 0;
+  while (!q.empty()) {
+    q.PopNext(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(t, 10);
+}
+
+TEST(EventQueueTest, CancelPreventsDelivery) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle h = q.Schedule(5, [&] { ++fired; });
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.Cancel(h));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.NextTime(), kTimeNever);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop) {
+  EventQueue q;
+  EventHandle h = q.Schedule(5, [] {});
+  SimTime t = 0;
+  q.PopNext(&t)();
+  EXPECT_FALSE(q.Cancel(h));
+}
+
+TEST(EventQueueTest, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(1, [&] { order.push_back(1); });
+  EventHandle h = q.Schedule(2, [&] { order.push_back(2); });
+  q.Schedule(3, [&] { order.push_back(3); });
+  q.Cancel(h);
+  SimTime t = 0;
+  while (!q.empty()) {
+    q.PopNext(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(SimEngineTest, RunUntilAdvancesClock) {
+  SimEngine e;
+  int fired = 0;
+  e.After(Milliseconds(5), [&] { ++fired; });
+  e.After(Milliseconds(15), [&] { ++fired; });
+  e.RunUntil(Milliseconds(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), Milliseconds(10));
+  e.RunUntil(Milliseconds(20));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimEngineTest, EventsCanScheduleEvents) {
+  SimEngine e;
+  std::vector<SimTime> times;
+  e.After(1, [&] {
+    times.push_back(e.now());
+    e.After(1, [&] { times.push_back(e.now()); });
+  });
+  e.RunToCompletion();
+  EXPECT_EQ(times, (std::vector<SimTime>{1, 2}));
+}
+
+TEST(SimEngineTest, RequestStopHaltsRun) {
+  SimEngine e;
+  int fired = 0;
+  e.After(1, [&] {
+    ++fired;
+    e.RequestStop();
+  });
+  e.After(2, [&] { ++fired; });
+  e.RunUntil(Milliseconds(1));
+  EXPECT_EQ(fired, 1);
+  e.RunUntil(Milliseconds(1));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    const int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng(99);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(10.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(RngTest, SplitStreamsDiffer) {
+  Rng a(1);
+  Rng b = a.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(Milliseconds(1), 1000 * Microseconds(1));
+  EXPECT_EQ(Seconds(1), 1000 * Milliseconds(1));
+  EXPECT_DOUBLE_EQ(ToSeconds(Milliseconds(1500)), 1.5);
+  EXPECT_EQ(SecondsF(0.5), Milliseconds(500));
+  EXPECT_EQ(FormatTime(Milliseconds(1234)), "1.234s");
+}
+
+}  // namespace
+}  // namespace schedbattle

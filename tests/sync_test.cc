@@ -1,0 +1,201 @@
+// Synchronization primitive tests, exercised through the full machine under
+// both schedulers (the try/grant protocol only makes sense with real
+// block/wake flows).
+#include <gtest/gtest.h>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/ule/ule_sched.h"
+#include "src/workload/script.h"
+#include "src/workload/sync.h"
+#include "src/workload/workload.h"
+
+namespace schedbattle {
+namespace {
+
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
+  if (name == "cfs") {
+    return std::make_unique<CfsScheduler>();
+  }
+  return std::make_unique<UleScheduler>();
+}
+
+class SyncTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void Build(int cores) {
+    machine_ = std::make_unique<Machine>(&engine_, CpuTopology::Flat(cores),
+                                         MakeScheduler(GetParam()));
+    machine_->Boot();
+  }
+  SimThread* SpawnScript(std::shared_ptr<const Script> script, int seed,
+                         const std::string& name = "t") {
+    ThreadSpec spec;
+    spec.name = name;
+    spec.body = MakeScriptBody(std::move(script), Rng(seed));
+    return machine_->Spawn(std::move(spec), nullptr);
+  }
+  SimEngine engine_;
+  std::unique_ptr<Machine> machine_;
+};
+
+TEST_P(SyncTest, MutexFifoHandoff) {
+  Build(1);
+  auto mu = std::make_shared<SimMutex>();
+  auto order = std::make_shared<std::vector<int>>();
+  // Three threads contend; arrivals are strictly staggered by sleeps (sleep
+  // ordering is scheduler-independent), and the holder sleeps inside the
+  // critical section so the others queue up in arrival order.
+  for (int i = 0; i < 3; ++i) {
+    auto script = ScriptBuilder()
+                      .Sleep(Milliseconds(1 + 2 * i))  // stagger arrivals
+                      .Lock(mu.get())
+                      .Call([order, i](ScriptEnv&) { order->push_back(i); })
+                      .Sleep(Milliseconds(5))
+                      .Unlock(mu.get())
+                      .Build();
+    SpawnScript(script, i, "locker" + std::to_string(i));
+  }
+  engine_.RunUntil(Seconds(1));
+  ASSERT_EQ(order->size(), 3u);
+  EXPECT_EQ(*order, (std::vector<int>{0, 1, 2})) << "FIFO handoff order";
+}
+
+TEST_P(SyncTest, SemaphoreCountsPermits) {
+  Build(2);
+  auto sem = std::make_shared<SimSemaphore>(2);
+  auto in_section = std::make_shared<int>(0);
+  auto max_in = std::make_shared<int>(0);
+  for (int i = 0; i < 6; ++i) {
+    auto script = ScriptBuilder()
+                      .SemWait(sem.get())
+                      .Call([in_section, max_in](ScriptEnv&) {
+                        *max_in = std::max(*max_in, ++*in_section);
+                      })
+                      .Sleep(Milliseconds(2))
+                      .Call([in_section](ScriptEnv&) { --*in_section; })
+                      .SemPost(sem.get())
+                      .Build();
+    SpawnScript(script, i);
+  }
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(machine_->alive_threads(), 0);
+  EXPECT_EQ(*max_in, 2) << "at most two permits in flight";
+}
+
+TEST_P(SyncTest, SemaphorePostBeforeWaitDoesNotBlock) {
+  Build(1);
+  auto sem = std::make_shared<SimSemaphore>(0);
+  auto poster = ScriptBuilder().SemPost(sem.get()).Build();
+  auto waiter = ScriptBuilder().Compute(Milliseconds(5)).SemWait(sem.get()).Build();
+  SpawnScript(poster, 1, "poster");
+  SimThread* w = SpawnScript(waiter, 2, "waiter");
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(w->state(), ThreadState::kDead);
+}
+
+TEST_P(SyncTest, CyclicBarrierMultipleGenerations) {
+  Build(2);
+  auto bar = std::make_shared<SimBarrier>(2);
+  auto rounds = std::make_shared<std::vector<int>>(2, 0);
+  for (int i = 0; i < 2; ++i) {
+    auto script = ScriptBuilder()
+                      .Loop(5)
+                      .ComputeFn([i](ScriptEnv& env) {
+                        return Microseconds(100 + env.rng.NextBelow(200) + i * 37);
+                      })
+                      .Barrier(bar.get())
+                      .Call([rounds, i](ScriptEnv&) { (*rounds)[i]++; })
+                      .EndLoop()
+                      .Build();
+    SpawnScript(script, i);
+  }
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ((*rounds)[0], 5);
+  EXPECT_EQ((*rounds)[1], 5);
+  EXPECT_EQ(machine_->alive_threads(), 0);
+}
+
+TEST_P(SyncTest, SpinBarrierFastPathNeverSleeps) {
+  Build(2);
+  auto bar = std::make_shared<SimSpinBarrier>(2);
+  std::vector<SimThread*> threads;
+  for (int i = 0; i < 2; ++i) {
+    auto script = ScriptBuilder()
+                      .Loop(10)
+                      .Compute(Milliseconds(2))
+                      .SpinBarrier(bar.get(), Microseconds(100), Milliseconds(50))
+                      .EndLoop()
+                      .Build();
+    threads.push_back(SpawnScript(script, i));
+  }
+  engine_.RunUntil(Seconds(1));
+  for (SimThread* t : threads) {
+    EXPECT_EQ(t->state(), ThreadState::kDead);
+    // Arrival spread ~0, spin budget 50ms: nobody should ever have slept.
+    EXPECT_EQ(t->total_sleep, 0) << t->name();
+  }
+}
+
+TEST_P(SyncTest, SpinBarrierSleepsWhenDelayExceedsBudget) {
+  Build(2);
+  auto bar = std::make_shared<SimSpinBarrier>(2);
+  auto fast = ScriptBuilder()
+                  .Compute(Milliseconds(1))
+                  .SpinBarrier(bar.get(), Microseconds(100), Milliseconds(2))
+                  .Build();
+  auto slow = ScriptBuilder()
+                  .Compute(Milliseconds(30))
+                  .SpinBarrier(bar.get(), Microseconds(100), Milliseconds(2))
+                  .Build();
+  SimThread* tf = SpawnScript(fast, 1, "fast");
+  SimThread* ts = SpawnScript(slow, 2, "slow");
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(tf->state(), ThreadState::kDead);
+  EXPECT_EQ(ts->state(), ThreadState::kDead);
+  EXPECT_GT(tf->total_sleep, Milliseconds(20)) << "fast arriver must sleep out the wait";
+  EXPECT_EQ(ts->total_sleep, 0);
+}
+
+TEST_P(SyncTest, PipeBuffersWhenNoReaderWaits) {
+  Build(1);
+  auto pipe = std::make_shared<SimPipe>();
+  auto writer = ScriptBuilder().PipeWrite(pipe.get(), 5).Build();
+  SpawnScript(writer, 1, "writer");
+  engine_.RunUntil(Milliseconds(100));
+  EXPECT_EQ(pipe->available(), 5);
+  auto reader = ScriptBuilder().Loop(5).PipeRead(pipe.get()).EndLoop().Build();
+  SimThread* r = SpawnScript(reader, 2, "reader");
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(r->state(), ThreadState::kDead);
+  EXPECT_EQ(pipe->available(), 0);
+}
+
+TEST_P(SyncTest, CascadingSemaphoreChain) {
+  Build(2);
+  const int n = 8;
+  auto sems = std::make_shared<std::vector<std::unique_ptr<SimSemaphore>>>();
+  for (int i = 0; i < n; ++i) {
+    sems->push_back(std::make_unique<SimSemaphore>(i == 0 ? 1 : 0));
+  }
+  auto finish_order = std::make_shared<std::vector<int>>();
+  for (int i = 0; i < n; ++i) {
+    ScriptBuilder b;
+    b.SemWait((*sems)[i].get());
+    if (i + 1 < n) {
+      b.SemPost((*sems)[i + 1].get());
+    }
+    b.Call([finish_order, i](ScriptEnv&) { finish_order->push_back(i); });
+    auto script = b.Call([sems](ScriptEnv&) {}).Build();
+    SpawnScript(script, i, "chain" + std::to_string(i));
+  }
+  engine_.RunUntil(Seconds(1));
+  ASSERT_EQ(finish_order->size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ((*finish_order)[i], i) << "cascade wakes threads in order";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, SyncTest, ::testing::Values("cfs", "ule"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace schedbattle

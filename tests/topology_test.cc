@@ -1,0 +1,101 @@
+#include "src/topo/topology.h"
+
+#include "src/sched/types.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace schedbattle {
+namespace {
+
+TEST(TopologyTest, Opteron6172Shape) {
+  CpuTopology topo = CpuTopology::Opteron6172();
+  EXPECT_EQ(topo.num_cores(), 32);
+  EXPECT_EQ(topo.GroupsAt(TopoLevel::kNode).size(), 4u);
+  EXPECT_EQ(topo.GroupsAt(TopoLevel::kLlc).size(), 4u);
+  EXPECT_EQ(topo.GroupsAt(TopoLevel::kMachine).size(), 1u);
+  EXPECT_EQ(topo.GroupOf(0, TopoLevel::kNode).size(), 8u);
+  EXPECT_EQ(topo.LlcSize(0), 8);
+}
+
+TEST(TopologyTest, I7Shape) {
+  CpuTopology topo = CpuTopology::I7_3770();
+  EXPECT_EQ(topo.num_cores(), 8);
+  EXPECT_EQ(topo.GroupsAt(TopoLevel::kSmt).size(), 4u);
+  EXPECT_TRUE(topo.SmtSiblings(0, 1));
+  EXPECT_FALSE(topo.SmtSiblings(1, 2));
+  EXPECT_TRUE(topo.SharesLlc(0, 7));
+}
+
+TEST(TopologyTest, NodeAndLlcMembership) {
+  CpuTopology topo = CpuTopology::Opteron6172();
+  EXPECT_EQ(topo.NodeOf(0), 0);
+  EXPECT_EQ(topo.NodeOf(7), 0);
+  EXPECT_EQ(topo.NodeOf(8), 1);
+  EXPECT_EQ(topo.NodeOf(31), 3);
+  EXPECT_TRUE(topo.SameNode(0, 7));
+  EXPECT_FALSE(topo.SameNode(7, 8));
+  EXPECT_TRUE(topo.SharesLlc(8, 15));
+  EXPECT_FALSE(topo.SharesLlc(15, 16));
+}
+
+TEST(TopologyTest, CommonLevel) {
+  CpuTopology topo = CpuTopology::Opteron6172();
+  EXPECT_EQ(topo.CommonLevel(3, 3), TopoLevel::kCore);
+  EXPECT_EQ(topo.CommonLevel(0, 1), TopoLevel::kLlc);  // no SMT on this machine
+  EXPECT_EQ(topo.CommonLevel(0, 31), TopoLevel::kMachine);
+
+  CpuTopology smt = CpuTopology::I7_3770();
+  EXPECT_EQ(smt.CommonLevel(0, 1), TopoLevel::kSmt);
+  EXPECT_EQ(smt.CommonLevel(0, 2), TopoLevel::kLlc);
+}
+
+TEST(TopologyTest, GroupsPartitionTheMachine) {
+  CpuTopology topo = CpuTopology::Opteron6172();
+  for (TopoLevel level : {TopoLevel::kSmt, TopoLevel::kLlc, TopoLevel::kNode}) {
+    int total = 0;
+    for (const auto& group : topo.GroupsAt(level)) {
+      total += static_cast<int>(group.size());
+    }
+    EXPECT_EQ(total, topo.num_cores()) << "level " << static_cast<int>(level);
+  }
+}
+
+TEST(TopologyTest, GroupOfContainsSelf) {
+  CpuTopology topo = CpuTopology::Opteron6172();
+  for (CoreId c = 0; c < topo.num_cores(); ++c) {
+    for (TopoLevel level :
+         {TopoLevel::kCore, TopoLevel::kSmt, TopoLevel::kLlc, TopoLevel::kNode,
+          TopoLevel::kMachine}) {
+      const auto& group = topo.GroupOf(c, level);
+      EXPECT_NE(std::find(group.begin(), group.end(), c), group.end());
+    }
+  }
+}
+
+TEST(TopologyTest, FlatMachine) {
+  CpuTopology topo = CpuTopology::Flat(6);
+  EXPECT_EQ(topo.num_cores(), 6);
+  EXPECT_EQ(topo.GroupsAt(TopoLevel::kNode).size(), 1u);
+  EXPECT_TRUE(topo.SharesLlc(0, 5));
+  EXPECT_FALSE(topo.Describe().empty());
+}
+
+TEST(CpuMaskTest, Basics) {
+  CpuMask m = CpuMask::AllOf(8);
+  EXPECT_EQ(m.Count(), 8);
+  EXPECT_TRUE(m.Test(7));
+  EXPECT_FALSE(m.Test(8));
+  m.Clear(3);
+  EXPECT_FALSE(m.Test(3));
+  EXPECT_EQ(m.Count(), 7);
+  m.Set(3);
+  EXPECT_EQ(m, CpuMask::AllOf(8));
+  EXPECT_EQ(CpuMask::Single(5).Count(), 1);
+  EXPECT_TRUE(CpuMask().Empty());
+  EXPECT_EQ(CpuMask::AllOf(64).Count(), 64);
+}
+
+}  // namespace
+}  // namespace schedbattle

@@ -1,0 +1,154 @@
+// SchedTrace / MachineObserver tests.
+#include "src/metrics/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/workload/script.h"
+
+namespace schedbattle {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = std::make_unique<Machine>(&engine_, CpuTopology::Flat(2),
+                                         std::make_unique<CfsScheduler>());
+    machine_->Boot();
+  }
+  SimEngine engine_;
+  std::unique_ptr<Machine> machine_;
+};
+
+TEST_F(TraceTest, RecordsLifecycleEvents) {
+  SchedTrace trace(machine_.get());
+  ThreadSpec spec;
+  spec.name = "worker";
+  spec.body = MakeScriptBody(ScriptBuilder()
+                                 .Compute(Milliseconds(5))
+                                 .Sleep(Milliseconds(2))
+                                 .Compute(Milliseconds(1))
+                                 .Build(),
+                             Rng(1));
+  machine_->Spawn(std::move(spec), nullptr);
+  engine_.RunUntil(Seconds(1));
+
+  const auto events = trace.Events();
+  int forks = 0, dispatches = 0, blocks = 0, wakes = 0, exits = 0;
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kFork:
+        ++forks;
+        break;
+      case TraceEvent::Kind::kDispatch:
+        ++dispatches;
+        break;
+      case TraceEvent::Kind::kWake:
+        ++wakes;
+        break;
+      case TraceEvent::Kind::kDeschedule:
+        if (e.reason == 'B') {
+          ++blocks;
+        }
+        if (e.reason == 'X') {
+          ++exits;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(forks, 1);
+  EXPECT_GE(dispatches, 2);  // before and after the sleep
+  EXPECT_EQ(blocks, 1);
+  EXPECT_EQ(wakes, 1);
+  EXPECT_EQ(exits, 1);
+  // Chronological order.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].t, events[i - 1].t);
+  }
+}
+
+TEST_F(TraceTest, DispatchDescheduleAlternatePerCore) {
+  SchedTrace trace(machine_.get());
+  for (int i = 0; i < 3; ++i) {
+    ThreadSpec spec;
+    spec.name = "t" + std::to_string(i);
+    spec.affinity = CpuMask::Single(0);
+    spec.body = MakeScriptBody(ScriptBuilder().Compute(Milliseconds(50)).Build(), Rng(i + 1));
+    machine_->Spawn(std::move(spec), nullptr);
+  }
+  engine_.RunUntil(Seconds(1));
+  // On core 0 the dispatch/deschedule events must strictly alternate.
+  bool open = false;
+  ThreadId running = kInvalidThread;
+  for (const TraceEvent& e : trace.Events()) {
+    if (e.core != 0) {
+      continue;
+    }
+    if (e.kind == TraceEvent::Kind::kDispatch) {
+      EXPECT_FALSE(open) << "dispatch while another thread is on-core";
+      open = true;
+      running = e.thread;
+    } else if (e.kind == TraceEvent::Kind::kDeschedule) {
+      EXPECT_TRUE(open);
+      EXPECT_EQ(e.thread, running);
+      open = false;
+    }
+  }
+}
+
+TEST_F(TraceTest, RingBufferDropsOldest) {
+  SchedTrace trace(machine_.get(), /*capacity=*/64);
+  ThreadSpec spec;
+  spec.name = "churn";
+  spec.body = MakeScriptBody(ScriptBuilder()
+                                 .Loop(200)
+                                 .Compute(Microseconds(100))
+                                 .Sleep(Microseconds(100))
+                                 .EndLoop()
+                                 .Build(),
+                             Rng(1));
+  machine_->Spawn(std::move(spec), nullptr);
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(trace.size(), 64u);
+  EXPECT_GT(trace.dropped(), 100u);
+  const auto events = trace.Events();
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].t, events[i - 1].t) << "ring buffer must unwrap chronologically";
+  }
+}
+
+TEST_F(TraceTest, TextAndJsonOutputs) {
+  SchedTrace trace(machine_.get());
+  ThreadSpec spec;
+  spec.name = "hello";
+  spec.body = MakeScriptBody(ScriptBuilder().Compute(Milliseconds(1)).Build(), Rng(1));
+  machine_->Spawn(std::move(spec), nullptr);
+  engine_.RunUntil(Seconds(1));
+  const std::string text = trace.ToText();
+  EXPECT_NE(text.find("DISPATCH"), std::string::npos);
+  EXPECT_NE(text.find("hello"), std::string::npos);
+  const std::string json = trace.ToChromeJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("hello"), std::string::npos);
+}
+
+TEST_F(TraceTest, DetachStopsRecording) {
+  SchedTrace trace(machine_.get());
+  ThreadSpec spec;
+  spec.name = "t";
+  spec.body = MakeScriptBody(ScriptBuilder().Compute(Milliseconds(5)).Build(), Rng(1));
+  machine_->Spawn(std::move(spec), nullptr);
+  engine_.RunUntil(Milliseconds(1));
+  trace.Detach();
+  const size_t n = trace.size();
+  engine_.RunUntil(Seconds(1));
+  EXPECT_EQ(trace.size(), n);
+  EXPECT_EQ(machine_->observer(), nullptr);
+}
+
+}  // namespace
+}  // namespace schedbattle

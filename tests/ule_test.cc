@@ -1,0 +1,422 @@
+// ULE unit tests: interactivity scoring, history decay, priorities, the
+// bitmap runqueue and calendar queue, plus behavioural starvation tests
+// through the full machine.
+#include <gtest/gtest.h>
+
+#include "src/ule/interact.h"
+#include "src/ule/runq.h"
+#include "src/ule/tdq.h"
+#include "src/ule/ule_sched.h"
+#include "src/workload/script.h"
+#include "src/workload/workload.h"
+
+namespace schedbattle {
+namespace {
+
+// ---- interactivity scoring (paper Section 2.2 formula) ----
+
+TEST(InteractTest, PureSleeperScoresZero) {
+  UleInteract h{.runtime = 0, .slptime = Seconds(4)};
+  EXPECT_EQ(UleInteractScore(h), 0);
+}
+
+TEST(InteractTest, PureRunnerScoresNearMax) {
+  UleInteract h{.runtime = Seconds(4), .slptime = 0};
+  EXPECT_GE(UleInteractScore(h), 99);
+  EXPECT_LE(UleInteractScore(h), kInteractMax);
+}
+
+TEST(InteractTest, EqualRunAndSleepScoresHalf) {
+  UleInteract h{.runtime = Seconds(1), .slptime = Seconds(1)};
+  EXPECT_EQ(UleInteractScore(h), kInteractHalf);
+}
+
+TEST(InteractTest, FreshThreadScoresZero) {
+  UleInteract h;
+  EXPECT_EQ(UleInteractScore(h), 0);
+}
+
+TEST(InteractTest, FormulaMatchesPaper) {
+  // s > r: penalty = m * r / s.
+  UleInteract sleepy{.runtime = Seconds(1), .slptime = Seconds(4)};
+  EXPECT_EQ(UleInteractScore(sleepy), 50 * 1 / 4);
+  // r > s: penalty = 100 - m * s / r.
+  UleInteract runny{.runtime = Seconds(4), .slptime = Seconds(1)};
+  EXPECT_EQ(UleInteractScore(runny), 100 - 50 * 1 / 4);
+}
+
+TEST(InteractTest, ScoreIsMonotoneInRuntime) {
+  int prev = -1;
+  for (int r = 0; r <= 40; ++r) {
+    UleInteract h{.runtime = Milliseconds(r * 100), .slptime = Seconds(2)};
+    const int score = UleInteractScore(h);
+    EXPECT_GE(score, prev) << "runtime " << r;
+    prev = score;
+  }
+}
+
+TEST(InteractTest, UpdateCapsHistoryAtWindow) {
+  UleInteract h{.runtime = Seconds(4), .slptime = Seconds(3)};
+  const int score_before = UleInteractScore(h);
+  UleInteractUpdate(&h);
+  EXPECT_LE(h.runtime + h.slptime, kSlpRunMax + kSecond);
+  // Decay approximately preserves the ratio (and hence the score).
+  EXPECT_NEAR(UleInteractScore(h), score_before, 4);
+}
+
+TEST(InteractTest, UpdateClampsExtremeHistory) {
+  UleInteract h{.runtime = Seconds(30), .slptime = Seconds(1)};
+  UleInteractUpdate(&h);
+  EXPECT_EQ(h.runtime, kSlpRunMax);
+  EXPECT_EQ(h.slptime, 1);
+  UleInteract h2{.runtime = Seconds(1), .slptime = Seconds(30)};
+  UleInteractUpdate(&h2);
+  EXPECT_EQ(h2.slptime, kSlpRunMax);
+  EXPECT_EQ(h2.runtime, 1);
+}
+
+TEST(InteractTest, ForkScalesDownToForkCap) {
+  UleInteract child{.runtime = Seconds(4), .slptime = Seconds(4)};
+  UleInteractFork(&child);
+  EXPECT_LE(child.runtime + child.slptime, kSlpRunFork + kSecond);
+  // Ratio (score) preserved.
+  EXPECT_EQ(UleInteractScore(child), kInteractHalf);
+}
+
+TEST(InteractTest, NicenessShiftsClassification) {
+  UleInteract h{.runtime = Seconds(1), .slptime = Seconds(2)};  // score 25
+  EXPECT_TRUE(UleIsInteractive(h, 0));
+  EXPECT_FALSE(UleIsInteractive(h, 10));  // 25 + 10 = 35 >= 30
+  EXPECT_TRUE(UleIsInteractive(h, -20));
+}
+
+// ---- runq ----
+
+TEST(UleRunqTest, ChoosesHighestPriorityFifo) {
+  UleRunq q;
+  ThreadSpec s1, s2, s3;
+  s1.body = MakeScriptBody(ScriptBuilder().Compute(1).Build(), Rng(1));
+  s2.body = MakeScriptBody(ScriptBuilder().Compute(1).Build(), Rng(2));
+  s3.body = MakeScriptBody(ScriptBuilder().Compute(1).Build(), Rng(3));
+  SimThread a(1, std::move(s1)), b(2, std::move(s2)), c(3, std::move(s3));
+  q.Add(&a, 10);
+  q.Add(&b, 5);
+  q.Add(&c, 5);
+  EXPECT_EQ(q.Choose(), &b) << "lowest index wins; FIFO within the index";
+  q.Remove(&b, 5);
+  EXPECT_EQ(q.Choose(), &c);
+  q.Remove(&c, 5);
+  EXPECT_EQ(q.Choose(), &a);
+  q.Remove(&a, 10);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(UleRunqTest, ChooseFromWrapsCircularly) {
+  UleRunq q;
+  ThreadSpec s1, s2;
+  s1.body = MakeScriptBody(ScriptBuilder().Compute(1).Build(), Rng(1));
+  s2.body = MakeScriptBody(ScriptBuilder().Compute(1).Build(), Rng(2));
+  SimThread a(1, std::move(s1)), b(2, std::move(s2));
+  q.Add(&a, 3);
+  q.Add(&b, 60);
+  int idx = -1;
+  EXPECT_EQ(q.ChooseFrom(50, &idx), &b);  // 60 is the first set >= 50
+  EXPECT_EQ(idx, 60);
+  EXPECT_EQ(q.ChooseFrom(61, &idx), &a);  // wraps to 3
+  EXPECT_EQ(idx, 3);
+  EXPECT_EQ(q.ChooseFrom(0, &idx), &a);
+}
+
+TEST(UleRunqTest, FirstSetIndex) {
+  UleRunq q;
+  EXPECT_EQ(q.FirstSetIndex(), kRqNqs);
+  ThreadSpec s1;
+  s1.body = MakeScriptBody(ScriptBuilder().Compute(1).Build(), Rng(1));
+  SimThread a(1, std::move(s1));
+  q.Add(&a, 17);
+  EXPECT_EQ(q.FirstSetIndex(), 17);
+}
+
+// ---- priority computation ----
+
+TEST(UlePriorityTest, InteractiveRangeIsLinearInScore) {
+  UleTaskData data;
+  data.interact = {.runtime = 0, .slptime = Seconds(4)};  // score 0
+  EXPECT_EQ(UleComputePriority(data, 0, 0), kPriMinInteract);
+  data.interact = {.runtime = Milliseconds(1450), .slptime = Milliseconds(2500)};  // ~score 29
+  const int pri = UleComputePriority(data, 0, 0);
+  EXPECT_GT(pri, kPriMinInteract + kPriInteractRange / 2);
+  EXPECT_LE(pri, kPriMaxInteract);
+}
+
+TEST(UlePriorityTest, BatchPriorityReflectsRecentCpu) {
+  UleTaskData hot;
+  hot.interact = {.runtime = Seconds(4), .slptime = Milliseconds(1)};  // batch
+  hot.ftick = 0;
+  hot.ltick = Seconds(10);
+  hot.window_run = Seconds(10);  // 100% cpu
+  UleTaskData cold = hot;
+  cold.window_run = Milliseconds(100);  // ~1% cpu
+  const int hot_pri = UleComputePriority(hot, 0, Seconds(10));
+  const int cold_pri = UleComputePriority(cold, 0, Seconds(10));
+  EXPECT_GT(hot_pri, cold_pri) << "more %CPU => numerically worse priority";
+  EXPECT_GE(cold_pri, kPriMinBatch);
+  EXPECT_LE(hot_pri, kPriMaxBatch);
+}
+
+TEST(UlePriorityTest, NicenessShiftsBatchPriority) {
+  UleTaskData d;
+  d.interact = {.runtime = Seconds(4), .slptime = Milliseconds(1)};
+  d.ftick = 0;
+  d.ltick = Seconds(10);
+  d.window_run = Seconds(5);
+  const int base = UleComputePriority(d, 0, Seconds(10));
+  EXPECT_EQ(UleComputePriority(d, 5, Seconds(10)), base + 5);
+  EXPECT_EQ(UleComputePriority(d, -5, Seconds(10)), base - 5);
+}
+
+// ---- tdq ----
+
+TEST(TdqTest, InteractiveBeatsBatchAlways) {
+  Tdq tdq;
+  ThreadSpec s1, s2;
+  s1.body = MakeScriptBody(ScriptBuilder().Compute(1).Build(), Rng(1));
+  s2.body = MakeScriptBody(ScriptBuilder().Compute(1).Build(), Rng(2));
+  SimThread inter(1, std::move(s1)), batch(2, std::move(s2));
+  auto di = std::make_unique<UleTaskData>();
+  di->pri = kPriMaxInteract;  // worst interactive
+  inter.set_sched_data(std::move(di));
+  auto db = std::make_unique<UleTaskData>();
+  db->pri = kPriMinBatch;  // best batch
+  batch.set_sched_data(std::move(db));
+  TdqRunqAdd(&tdq, &batch, false);
+  TdqRunqAdd(&tdq, &inter, false);
+  EXPECT_EQ(TdqChoose(&tdq), &inter)
+      << "interactive threads have absolute priority over batch threads";
+}
+
+TEST(TdqTest, CalendarSpreadsBatchByPriority) {
+  Tdq tdq;
+  ThreadSpec s1, s2;
+  s1.body = MakeScriptBody(ScriptBuilder().Compute(1).Build(), Rng(1));
+  s2.body = MakeScriptBody(ScriptBuilder().Compute(1).Build(), Rng(2));
+  SimThread good(1, std::move(s1)), bad(2, std::move(s2));
+  auto dg = std::make_unique<UleTaskData>();
+  dg->pri = kPriMinBatch;
+  good.set_sched_data(std::move(dg));
+  auto db = std::make_unique<UleTaskData>();
+  db->pri = kPriMaxBatch;
+  bad.set_sched_data(std::move(db));
+  TdqRunqAdd(&tdq, &bad, false);
+  TdqRunqAdd(&tdq, &good, false);
+  // Different calendar slots; the low-runtime thread is nearer the head.
+  EXPECT_NE(UleOf(&good).rq_idx, UleOf(&bad).rq_idx);
+  EXPECT_EQ(TdqChoose(&tdq), &good);
+}
+
+TEST(TdqTest, LowpriTracksBest) {
+  Tdq tdq;
+  EXPECT_EQ(tdq.lowpri, kPriIdle);
+  ThreadSpec s1;
+  s1.body = MakeScriptBody(ScriptBuilder().Compute(1).Build(), Rng(1));
+  SimThread t(1, std::move(s1));
+  auto d = std::make_unique<UleTaskData>();
+  d->pri = kPriMinInteract + 8;
+  t.set_sched_data(std::move(d));
+  TdqRunqAdd(&tdq, &t, false);
+  EXPECT_LE(tdq.lowpri, kPriMinInteract + 8);
+  TdqRunqRem(&tdq, &t);
+  TdqUpdateLowpri(&tdq, kPriIdle);
+  EXPECT_EQ(tdq.lowpri, kPriIdle);
+}
+
+// ---- behavioural tests through the machine ----
+
+TEST(UleBehaviorTest, InteractiveThreadsStarveBatch) {
+  // One spinner + enough interactive handlers to saturate the core: the
+  // spinner must make (almost) no progress while they run (paper 5.1).
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<UleScheduler>());
+  machine.Boot();
+  ThreadSpec spin;
+  spin.name = "spin";
+  spin.body = MakeScriptBody(ScriptBuilder().Compute(Seconds(30)).Build(), Rng(1));
+  SimThread* spinner = machine.Spawn(std::move(spin), nullptr);
+  engine.RunUntil(Seconds(8));  // spinner accrues penalty, becomes batch
+  const SimDuration before = spinner->RuntimeAt(engine.now());
+  auto handler_script = ScriptBuilder()
+                            .Loop(-1)
+                            .SleepFn([](ScriptEnv& env) {
+                              return static_cast<SimDuration>(env.rng.NextExponential(2.0e6));
+                            })
+                            .ComputeFn([](ScriptEnv& env) {
+                              return static_cast<SimDuration>(env.rng.NextExponential(1.2e6));
+                            })
+                            .EndLoop()
+                            .Build();
+  for (int i = 0; i < 10; ++i) {
+    ThreadSpec h;
+    h.name = "h" + std::to_string(i);
+    h.parent_sleep_hint = Seconds(4);
+    h.body = MakeScriptBody(handler_script, Rng(100 + i));
+    machine.Spawn(std::move(h), nullptr);
+  }
+  engine.RunUntil(Seconds(18));
+  const SimDuration after = spinner->RuntimeAt(engine.now());
+  EXPECT_LT(ToSeconds(after - before), 0.5)
+      << "batch spinner should be starved by interactive handlers";
+}
+
+TEST(UleBehaviorTest, BatchThreadsShareFairly) {
+  // Two spinners: the batch calendar must round-robin them ~50/50.
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<UleScheduler>());
+  machine.Boot();
+  auto script = ScriptBuilder().Compute(Seconds(20)).Build();
+  ThreadSpec a, b;
+  a.name = "a";
+  a.body = MakeScriptBody(script, Rng(1));
+  b.name = "b";
+  b.body = MakeScriptBody(script, Rng(2));
+  SimThread* ta = machine.Spawn(std::move(a), nullptr);
+  SimThread* tb = machine.Spawn(std::move(b), nullptr);
+  engine.RunUntil(Seconds(10));
+  EXPECT_NEAR(ToSeconds(ta->RuntimeAt(engine.now())), 5.0, 0.6);
+  EXPECT_NEAR(ToSeconds(tb->RuntimeAt(engine.now())), 5.0, 0.6);
+}
+
+TEST(UleBehaviorTest, NoWakeupPreemption) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<UleScheduler>());
+  machine.Boot();
+  ThreadSpec hog;
+  hog.name = "hog";
+  hog.body = MakeScriptBody(ScriptBuilder().Compute(Seconds(5)).Build(), Rng(1));
+  machine.Spawn(std::move(hog), nullptr);
+  ThreadSpec sleeper;
+  sleeper.name = "sleeper";
+  sleeper.body = MakeScriptBody(
+      ScriptBuilder().Loop(50).Sleep(Milliseconds(20)).Compute(Milliseconds(1)).EndLoop().Build(),
+      Rng(2));
+  machine.Spawn(std::move(sleeper), nullptr);
+  engine.RunUntil(Seconds(4));
+  EXPECT_EQ(machine.counters().wakeup_preemptions, 0u)
+      << "full preemption is disabled in ULE";
+}
+
+TEST(UleBehaviorTest, AblationEnablesWakeupPreemption) {
+  SimEngine engine;
+  UleTunables tun;
+  tun.wakeup_preemption = true;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<UleScheduler>(tun));
+  machine.Boot();
+  ThreadSpec hog;
+  hog.name = "hog";
+  hog.body = MakeScriptBody(ScriptBuilder().Compute(Seconds(5)).Build(), Rng(1));
+  machine.Spawn(std::move(hog), nullptr);
+  ThreadSpec sleeper;
+  sleeper.name = "sleeper";
+  sleeper.parent_sleep_hint = Seconds(4);
+  sleeper.body = MakeScriptBody(
+      ScriptBuilder().Loop(50).Sleep(Milliseconds(20)).Compute(Milliseconds(1)).EndLoop().Build(),
+      Rng(2));
+  machine.Spawn(std::move(sleeper), nullptr);
+  engine.RunUntil(Seconds(4));
+  EXPECT_GT(machine.counters().wakeup_preemptions, 20u);
+}
+
+TEST(UleBehaviorTest, ForkInheritanceMakesChildrenOfHogsBatch) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<UleScheduler>());
+  machine.Boot();
+  // Parent computes 4s then forks a child; the child inherits a batch score.
+  SimThread* child = nullptr;
+  auto parent_script =
+      ScriptBuilder()
+          .Compute(Seconds(4))
+          .Call([&machine, &child](ScriptEnv& env) {
+            ThreadSpec spec;
+            spec.name = "child";
+            spec.body = MakeScriptBody(ScriptBuilder().Compute(Seconds(1)).Build(), Rng(9));
+            child = machine.Spawn(std::move(spec), &env.ctx.thread());
+          })
+          .Build();
+  ThreadSpec parent;
+  parent.name = "parent";
+  parent.parent_runtime_hint = Milliseconds(50);
+  parent.parent_sleep_hint = Milliseconds(200);
+  parent.body = MakeScriptBody(parent_script, Rng(1));
+  machine.Spawn(std::move(parent), nullptr);
+  engine.RunUntil(Seconds(4) + Milliseconds(200));
+  ASSERT_NE(child, nullptr);
+  EXPECT_GE(machine.scheduler().InteractivityPenaltyOf(child), kInteractThresh)
+      << "child of a CPU hog inherits a batch-level penalty";
+}
+
+TEST(UleBehaviorTest, ExitReturnsRuntimeToParent) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2), std::make_unique<UleScheduler>());
+  machine.Boot();
+  // An interactive parent forks a hog child; when the child exits, its
+  // runtime lands back on the parent, penalizing it (paper 2.2).
+  SimThread* parent_thread = nullptr;
+  auto parent_script =
+      ScriptBuilder()
+          .Call([&machine, &parent_thread](ScriptEnv& env) {
+            parent_thread = &env.ctx.thread();
+            ThreadSpec spec;
+            spec.name = "hog-child";
+            spec.body = MakeScriptBody(ScriptBuilder().Compute(Seconds(3)).Build(), Rng(5));
+            machine.Spawn(std::move(spec), &env.ctx.thread());
+          })
+          .Loop(200)
+          .Sleep(Milliseconds(40))
+          .Compute(Microseconds(200))
+          .EndLoop()
+          .Build();
+  ThreadSpec parent;
+  parent.name = "parent";
+  parent.parent_sleep_hint = Seconds(4);
+  parent.body = MakeScriptBody(parent_script, Rng(1));
+  machine.Spawn(std::move(parent), nullptr);
+  engine.RunUntil(Seconds(2));
+  ASSERT_NE(parent_thread, nullptr);
+  const int penalty_before = machine.scheduler().InteractivityPenaltyOf(parent_thread);
+  EXPECT_LT(penalty_before, kInteractThresh);
+  engine.RunUntil(Seconds(4));  // child exits around t=3
+  const int penalty_after = machine.scheduler().InteractivityPenaltyOf(parent_thread);
+  EXPECT_GT(penalty_after, penalty_before + 10)
+      << "the child's runtime must be charged back to the parent";
+}
+
+TEST(UleBehaviorTest, IdleStealTakesExactlyOneThread) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2), std::make_unique<UleScheduler>());
+  machine.Boot();
+  // 4 spinners pinned to core 0, then unpinned: core 1 steals exactly one.
+  std::vector<SimThread*> threads;
+  for (int i = 0; i < 4; ++i) {
+    ThreadSpec spec;
+    spec.name = "s" + std::to_string(i);
+    spec.affinity = CpuMask::Single(0);
+    spec.body = MakeScriptBody(ScriptBuilder().Loop(-1).Compute(Milliseconds(5)).EndLoop().Build(),
+                               Rng(i + 1));
+    threads.push_back(machine.Spawn(std::move(spec), nullptr));
+  }
+  engine.At(Milliseconds(100), [&] {
+    for (SimThread* t : threads) {
+      machine.SetAffinity(t, CpuMask::AllOf(2));
+    }
+  });
+  engine.RunUntil(Milliseconds(100) + Milliseconds(50));
+  int on_core1 = 0;
+  for (SimThread* t : threads) {
+    if (t->cpu() == 1) {
+      ++on_core1;
+    }
+  }
+  EXPECT_EQ(on_core1, 1) << "tdq_idled steals at most one thread";
+}
+
+}  // namespace
+}  // namespace schedbattle

@@ -1,0 +1,152 @@
+// Application/Workload layer tests: lifecycle, completion tracking, group
+// assignment, background apps, stats.
+#include "src/workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/ule/ule_sched.h"
+
+namespace schedbattle {
+namespace {
+
+std::unique_ptr<ScriptedApp> MakeSimpleApp(const std::string& name, int threads,
+                                           SimDuration work, uint64_t seed) {
+  auto app = std::make_unique<ScriptedApp>(name, seed);
+  ScriptedApp::ThreadTemplate tmpl;
+  tmpl.name = "w";
+  tmpl.count = threads;
+  tmpl.script = ScriptBuilder().Compute(work).Build();
+  app->AddThreads(std::move(tmpl));
+  return app;
+}
+
+TEST(WorkloadTest, RunsToCompletionAndStopsEarly) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2), std::make_unique<CfsScheduler>());
+  Workload workload(&machine);
+  Application* app = workload.Add(MakeSimpleApp("a", 4, Milliseconds(50), 1));
+  const SimTime finish = workload.Run(Seconds(100));
+  EXPECT_TRUE(workload.AllFinished());
+  EXPECT_LT(finish, Seconds(1)) << "must stop at completion, not the horizon";
+  EXPECT_EQ(app->stats().finished, finish);
+  EXPECT_EQ(app->live_threads(), 0);
+}
+
+TEST(WorkloadTest, AppsGetDistinctGroups) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<CfsScheduler>());
+  Workload workload(&machine);
+  Application* a = workload.Add(MakeSimpleApp("a", 1, Milliseconds(1), 1));
+  Application* b = workload.Add(MakeSimpleApp("b", 1, Milliseconds(1), 2));
+  EXPECT_NE(a->group(), b->group());
+  EXPECT_NE(a->group(), kRootGroup);
+  workload.Run(Seconds(1));
+  for (SimThread* t : a->threads()) {
+    EXPECT_EQ(t->group(), a->group());
+  }
+}
+
+TEST(WorkloadTest, StaggeredStartTimes) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<CfsScheduler>());
+  Workload workload(&machine);
+  Application* early = workload.Add(MakeSimpleApp("early", 1, Milliseconds(10), 1), 0);
+  Application* late = workload.Add(MakeSimpleApp("late", 1, Milliseconds(10), 2), Seconds(2));
+  workload.Run(Seconds(10));
+  EXPECT_LT(early->stats().started, Seconds(1));
+  EXPECT_GE(late->stats().started, Seconds(2));
+  EXPECT_GE(late->stats().finished, Seconds(2));
+}
+
+TEST(WorkloadTest, BackgroundAppsDoNotBlockCompletion) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2), std::make_unique<CfsScheduler>());
+  Workload workload(&machine);
+  auto noise = std::make_unique<ScriptedApp>("noise", 3);
+  ScriptedApp::ThreadTemplate tmpl;
+  tmpl.name = "n";
+  tmpl.script = ScriptBuilder()
+                    .Loop(-1)
+                    .Sleep(Milliseconds(10))
+                    .Compute(Microseconds(100))
+                    .EndLoop()
+                    .Build();
+  noise->AddThreads(std::move(tmpl));
+  noise->set_background(true);
+  workload.Add(std::move(noise));
+  workload.Add(MakeSimpleApp("fg", 1, Milliseconds(50), 1));
+  const SimTime finish = workload.Run(Seconds(60));
+  EXPECT_LT(finish, Seconds(1)) << "background app must not hold the run open";
+}
+
+TEST(WorkloadTest, OpsPerSecond) {
+  AppStats stats;
+  stats.started = Seconds(1);
+  stats.RecordOp(Seconds(1), Seconds(1) + Milliseconds(10));
+  stats.RecordOp(Seconds(2), Seconds(2) + Milliseconds(20));
+  stats.finished = Seconds(3);
+  EXPECT_DOUBLE_EQ(stats.OpsPerSecond(Seconds(99)), 1.0);  // 2 ops over 2s
+  EXPECT_EQ(stats.latency.count(), 2u);
+  EXPECT_EQ(stats.latency.max(), Milliseconds(20));
+}
+
+TEST(WorkloadTest, DynamicSpawnTrackedForCompletion) {
+  // An app whose master forks workers mid-run: completion requires all of
+  // them to exit.
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2), std::make_unique<UleScheduler>());
+  Workload workload(&machine);
+
+  class ForkingApp : public Application {
+   public:
+    ForkingApp() : Application("forker") {}
+    void Launch(Machine& machine) override {
+      Application* self = this;
+      auto master = ScriptBuilder()
+                        .Compute(Milliseconds(5))
+                        .Call([self](ScriptEnv& env) {
+                          for (int i = 0; i < 3; ++i) {
+                            ThreadSpec spec;
+                            spec.name = "child" + std::to_string(i);
+                            spec.body = MakeScriptBody(
+                                ScriptBuilder().Compute(Milliseconds(20)).Build(), Rng(i + 10));
+                            self->SpawnThread(env.ctx.machine(), std::move(spec),
+                                              &env.ctx.thread());
+                          }
+                        })
+                        .Build();
+      ThreadSpec spec;
+      spec.name = "master";
+      spec.body = MakeScriptBody(master, Rng(1));
+      SpawnThread(machine, std::move(spec), nullptr);
+      MarkLaunched();
+    }
+  };
+  Application* app = workload.Add(std::make_unique<ForkingApp>());
+  workload.Run(Seconds(10));
+  EXPECT_TRUE(app->finished());
+  EXPECT_EQ(app->threads().size(), 4u);
+  EXPECT_GT(machine.counters().forks, 3u);
+}
+
+TEST(WorkloadTest, DeadlockedAppHitsHorizon) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<CfsScheduler>());
+  Workload workload(&machine);
+  auto app = std::make_unique<ScriptedApp>("stuck", 1);
+  auto sem = std::make_shared<SimSemaphore>(0);  // never posted
+  app->KeepAlive(sem);
+  ScriptedApp::ThreadTemplate tmpl;
+  tmpl.name = "w";
+  tmpl.script = ScriptBuilder().SemWait(sem.get()).Build();
+  app->AddThreads(std::move(tmpl));
+  Application* stuck = workload.Add(std::move(app));
+  const SimTime finish = workload.Run(Seconds(3));
+  EXPECT_FALSE(stuck->finished());
+  EXPECT_EQ(finish, Seconds(3));
+  EXPECT_EQ(stuck->threads().front()->state(), ThreadState::kBlocked);
+}
+
+}  // namespace
+}  // namespace schedbattle

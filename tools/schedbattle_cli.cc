@@ -1,0 +1,179 @@
+// schedbattle CLI: run any benchmark-suite application (or several) under
+// either scheduler on a configurable machine, and inspect the result —
+// counters, per-app stats, a per-core heatmap, and optionally a Chrome
+// trace of every scheduling event.
+//
+//   schedbattle_cli --sched=ule --app=sysbench --cores=32 --scale=0.2
+//   schedbattle_cli --sched=cfs --app=MG --app=EP --noise --heatmap
+//   schedbattle_cli --sched=ule --app=apache --cores=1 --trace=/tmp/t.json
+//   schedbattle_cli --list
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/apps/registry.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
+#include "src/metrics/counters.h"
+#include "src/metrics/csv.h"
+#include "src/metrics/heatmap.h"
+#include "src/metrics/trace.h"
+
+using namespace schedbattle;
+
+namespace {
+
+void Usage() {
+  std::printf(
+      "usage: schedbattle_cli [options]\n"
+      "  --list                 list available applications and exit\n"
+      "  --sched=cfs|ule        scheduler (default cfs)\n"
+      "  --app=<name>           application to run (repeatable)\n"
+      "  --cores=<n>            core count; 32 uses the paper's NUMA topology\n"
+      "                         (default 32)\n"
+      "  --scale=<f>            workload scale factor (default 0.2)\n"
+      "  --seed=<n>             RNG seed (default 42)\n"
+      "  --horizon=<seconds>    simulation horizon (default 600)\n"
+      "  --noise                add the background kernel-thread app\n"
+      "  --heatmap              print the threads-per-core heatmap\n"
+      "  --trace=<file.json>    write a Chrome trace (chrome://tracing)\n"
+      "  --trace-text=<file>    write a plain-text event log\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sched = "cfs";
+  std::vector<std::string> apps;
+  int cores = 32;
+  double scale = 0.2;
+  uint64_t seed = 42;
+  double horizon_s = 600;
+  bool noise = false;
+  bool heatmap = false;
+  std::string trace_path;
+  std::string trace_text_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto arg = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return std::strncmp(a, prefix, n) == 0 ? a + n : nullptr;
+    };
+    if (std::strcmp(a, "--list") == 0) {
+      for (const AppEntry& e : BenchmarkSuite()) {
+        std::printf("%s\n", e.name.c_str());
+      }
+      return 0;
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      Usage();
+      return 0;
+    } else if (const char* v = arg("--sched=")) {
+      sched = v;
+    } else if (const char* v = arg("--app=")) {
+      apps.push_back(v);
+    } else if (const char* v = arg("--cores=")) {
+      cores = std::atoi(v);
+    } else if (const char* v = arg("--scale=")) {
+      scale = std::atof(v);
+    } else if (const char* v = arg("--seed=")) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = arg("--horizon=")) {
+      horizon_s = std::atof(v);
+    } else if (std::strcmp(a, "--noise") == 0) {
+      noise = true;
+    } else if (std::strcmp(a, "--heatmap") == 0) {
+      heatmap = true;
+    } else if (const char* v = arg("--trace=")) {
+      trace_path = v;
+    } else if (const char* v = arg("--trace-text=")) {
+      trace_text_path = v;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a);
+      Usage();
+      return 2;
+    }
+  }
+  if (apps.empty()) {
+    std::fprintf(stderr, "no --app given\n");
+    Usage();
+    return 2;
+  }
+  if (sched != "cfs" && sched != "ule") {
+    std::fprintf(stderr, "--sched must be cfs or ule\n");
+    return 2;
+  }
+
+  ExperimentConfig cfg;
+  cfg.sched = sched == "cfs" ? SchedKind::kCfs : SchedKind::kUle;
+  cfg.topology =
+      cores == 32 ? CpuTopology::Opteron6172().config() : CpuTopology::Flat(cores).config();
+  cfg.machine.seed = seed;
+  cfg.horizon = SecondsF(horizon_s);
+  cfg.system_noise = noise;
+  ExperimentRun run(cfg);
+
+  std::vector<std::pair<Application*, MetricKind>> launched;
+  for (const std::string& name : apps) {
+    const AppEntry* entry = FindApp(name);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "unknown app '%s' (use --list)\n", name.c_str());
+      return 2;
+    }
+    launched.push_back({run.Add(entry->make(cores, seed, scale), 0), entry->metric});
+  }
+
+  std::unique_ptr<SchedTrace> trace;
+  if (!trace_path.empty() || !trace_text_path.empty()) {
+    trace = std::make_unique<SchedTrace>(&run.machine());
+  }
+  std::unique_ptr<CoreLoadHeatmap> hm;
+  if (heatmap) {
+    hm = std::make_unique<CoreLoadHeatmap>(&run.machine(), Milliseconds(100));
+  }
+
+  const SimTime finish = run.Run();
+
+  std::printf("%s", BannerLine("schedbattle: " + sched + " on " +
+                               run.machine().topology().Describe())
+                        .c_str());
+  TextTable table({"application", "finished", "ops", "ops/s", "mean latency", "p99"});
+  for (const auto& [app, metric] : launched) {
+    const AppStats& s = app->stats();
+    table.AddRow({app->name(),
+                  s.finished >= 0 ? FormatTime(s.finished) : "(horizon)",
+                  std::to_string(s.ops),
+                  TextTable::Num(s.OpsPerSecond(run.engine().now()), 1),
+                  s.latency.count() > 0
+                      ? TextTable::Num(ToMilliseconds(static_cast<SimDuration>(s.latency.Mean())),
+                                       2) + "ms"
+                      : "-",
+                  s.latency.count() > 0
+                      ? TextTable::Num(ToMilliseconds(s.latency.Percentile(99)), 2) + "ms"
+                      : "-"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("workload finished at %s (horizon %s)\n", FormatTime(finish).c_str(),
+              FormatTime(cfg.horizon).c_str());
+  std::printf("%s", FormatCounters(run.machine()).c_str());
+
+  if (hm != nullptr) {
+    hm->Stop();
+    std::printf("\n%s", hm->RenderAscii(100).c_str());
+  }
+  if (trace != nullptr) {
+    trace->Detach();
+    if (!trace_path.empty()) {
+      if (WriteFile(trace_path, trace->ToChromeJson())) {
+        std::printf("\nwrote Chrome trace (%zu events%s) to %s\n", trace->size(),
+                    trace->dropped() > 0 ? ", oldest dropped" : "", trace_path.c_str());
+      }
+    }
+    if (!trace_text_path.empty()) {
+      WriteFile(trace_text_path, trace->ToText());
+      std::printf("wrote event log to %s\n", trace_text_path.c_str());
+    }
+  }
+  return 0;
+}
