@@ -105,36 +105,80 @@ void BM_UleInteractScore(benchmark::State& state) {
 }
 BENCHMARK(BM_UleInteractScore);
 
+// Counts every observer callback, decision probes included — the cheapest
+// possible observer, isolating the bus fan-out + probe assembly cost.
+struct CountingObserver final : MachineObserver {
+  uint64_t events = 0;
+  void OnDispatch(SimTime, CoreId, const SimThread&) override { ++events; }
+  void OnDeschedule(SimTime, CoreId, const SimThread&, char) override { ++events; }
+  void OnWake(SimTime, const SimThread&, CoreId) override { ++events; }
+  void OnMigrate(SimTime, const SimThread&, CoreId, CoreId) override { ++events; }
+  void OnFork(SimTime, const SimThread&, CoreId) override { ++events; }
+  void OnPickCpu(SimTime, const PickCpuDecision&) override { ++events; }
+  void OnBalancePass(SimTime, const BalancePassRecord&) override { ++events; }
+  void OnPreempt(SimTime, const PreemptDecision&) override { ++events; }
+};
+
+// Shared simulation body for the throughput benchmarks: 64 mixed
+// sleep/compute threads on 8 cores for 5 simulated seconds.
+template <typename SchedulerT>
+void RunThroughputSim(benchmark::State& state, bool observe) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(8), std::make_unique<SchedulerT>());
+  machine.Boot();
+  CountingObserver observer;
+  if (observe) {
+    machine.AddObserver(&observer);
+  }
+  auto script = ScriptBuilder()
+                    .Loop(50)
+                    .ComputeFn([](ScriptEnv& env) {
+                      return static_cast<SimDuration>(env.rng.NextExponential(200000.0));
+                    })
+                    .SleepFn([](ScriptEnv& env) {
+                      return static_cast<SimDuration>(env.rng.NextExponential(300000.0));
+                    })
+                    .EndLoop()
+                    .Build();
+  for (int i = 0; i < 64; ++i) {
+    ThreadSpec spec;
+    spec.name = "w";
+    spec.body = MakeScriptBody(script, Rng(i + 1));
+    machine.Spawn(std::move(spec), nullptr);
+  }
+  engine.RunUntil(Seconds(5));
+  state.counters["sim_events"] = static_cast<double>(engine.events_executed());
+  if (observe) {
+    state.counters["observed"] = static_cast<double>(observer.events);
+  }
+}
+
 // End-to-end simulation throughput: events per second processed by the full
 // machine with the given scheduler and a mixed sleep/compute workload.
 template <typename SchedulerT>
 void BM_SimulationThroughput(benchmark::State& state) {
   for (auto _ : state) {
-    SimEngine engine;
-    Machine machine(&engine, CpuTopology::Flat(8), std::make_unique<SchedulerT>());
-    machine.Boot();
-    auto script = ScriptBuilder()
-                      .Loop(50)
-                      .ComputeFn([](ScriptEnv& env) {
-                        return static_cast<SimDuration>(env.rng.NextExponential(200000.0));
-                      })
-                      .SleepFn([](ScriptEnv& env) {
-                        return static_cast<SimDuration>(env.rng.NextExponential(300000.0));
-                      })
-                      .EndLoop()
-                      .Build();
-    for (int i = 0; i < 64; ++i) {
-      ThreadSpec spec;
-      spec.name = "w";
-      spec.body = MakeScriptBody(script, Rng(i + 1));
-      machine.Spawn(std::move(spec), nullptr);
-    }
-    engine.RunUntil(Seconds(5));
-    state.counters["sim_events"] = static_cast<double>(engine.events_executed());
+    RunThroughputSim<SchedulerT>(state, /*observe=*/false);
   }
 }
 BENCHMARK_TEMPLATE(BM_SimulationThroughput, CfsScheduler)->Unit(benchmark::kMillisecond);
 BENCHMARK_TEMPLATE(BM_SimulationThroughput, UleScheduler)->Unit(benchmark::kMillisecond);
+
+// The same simulation with an observer attached to the bus: the delta vs
+// BM_SimulationThroughput is the full observability overhead (bus dispatch,
+// probe struct assembly, balance-load snapshots). Kept as a separate
+// benchmark so `--benchmark_filter=SimulationThroughput` prints both rows
+// side by side for comparison; the target is <5% slowdown.
+template <typename SchedulerT>
+void BM_SimulationThroughputObserved(benchmark::State& state) {
+  for (auto _ : state) {
+    RunThroughputSim<SchedulerT>(state, /*observe=*/true);
+  }
+}
+BENCHMARK_TEMPLATE(BM_SimulationThroughputObserved, CfsScheduler)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_SimulationThroughputObserved, UleScheduler)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace schedbattle

@@ -180,15 +180,26 @@ bool CfsCheckPreemptTick(const CfsTunables& tun, CfsRq* rq, SimTime now) {
   return curr->vruntime - left->vruntime > ideal;
 }
 
+int64_t CfsWakeupPreemptMargin(const CfsTunables& tun, const SchedEntity* curr,
+                               const SchedEntity* se) {
+  const int64_t vdiff = curr->vruntime - se->vruntime;
+  const int64_t gran =
+      static_cast<int64_t>(CalcDeltaFair(tun.wakeup_granularity, se->weight));
+  if (vdiff <= 0) {
+    // No lead at all: report the (non-positive) shortfall against the
+    // granularity so the margin stays monotone in vdiff.
+    return vdiff - gran < 0 ? vdiff - gran : -1;
+  }
+  return vdiff - gran;
+}
+
 bool CfsWakeupPreemptEntity(const CfsTunables& tun, const SchedEntity* curr,
                             const SchedEntity* se) {
   const int64_t vdiff = curr->vruntime - se->vruntime;
   if (vdiff <= 0) {
     return false;
   }
-  const int64_t gran =
-      static_cast<int64_t>(CalcDeltaFair(tun.wakeup_granularity, se->weight));
-  return vdiff > gran;
+  return CfsWakeupPreemptMargin(tun, curr, se) > 0;
 }
 
 }  // namespace schedbattle

@@ -98,6 +98,12 @@ bool CfsCheckPreemptTick(const CfsTunables& tun, CfsRq* rq, SimTime now);
 bool CfsWakeupPreemptEntity(const CfsTunables& tun, const SchedEntity* curr,
                             const SchedEntity* se);
 
+// Decision margin of the wakeup-preemption test: `curr`'s vruntime lead over
+// `se` minus the weighted wakeup granularity. Positive iff the check fires
+// (CfsWakeupPreemptEntity == true); exported as OnPreempt provenance.
+int64_t CfsWakeupPreemptMargin(const CfsTunables& tun, const SchedEntity* curr,
+                               const SchedEntity* se);
+
 }  // namespace schedbattle
 
 #endif  // SRC_CFS_CFS_RQ_H_

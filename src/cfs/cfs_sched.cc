@@ -312,7 +312,17 @@ void CfsScheduler::CheckPreemptWakeup(CoreId core, SimThread* woken) {
       return;
     }
   }
-  if (CfsWakeupPreemptEntity(tun_, se_curr, se_woken)) {
+  const bool fired = CfsWakeupPreemptEntity(tun_, se_curr, se_woken);
+  if (machine_->has_observers()) {
+    PreemptDecision d;
+    d.preemptor = woken->id();
+    d.victim = curr->id();
+    d.core = core;
+    d.fired = fired;
+    d.margin = CfsWakeupPreemptMargin(tun_, se_curr, se_woken);
+    machine_->EmitPreempt(d);
+  }
+  if (fired) {
     ++machine_->counters().wakeup_preemptions;
     machine_->SetNeedResched(core);
   }

@@ -93,8 +93,12 @@ class CfsScheduler : public Scheduler {
   // ---- wake placement (wake_placement.cc) ----
   void RecordWakee(SimThread* waker, SimThread* wakee);
   bool WakeWide(SimThread* waker, SimThread* wakee, CoreId cpu) const;
-  CoreId SelectIdleSibling(SimThread* t, CoreId target);
+  // `reason` carries the caller's rationale for `target` in and the final
+  // placement rationale out (OnPickCpu provenance).
+  CoreId SelectIdleSibling(SimThread* t, CoreId target, PickReason* reason);
   CoreId FindIdlestCore(SimThread* t, CoreId origin);
+  CoreId SelectTaskRqImpl(SimThread* thread, CoreId origin, EnqueueKind kind,
+                          PickReason* reason);
 
   // ---- load balancing (load_balance.cc) ----
   void PeriodicBalance(CoreId core);

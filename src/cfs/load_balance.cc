@@ -166,7 +166,24 @@ int CfsScheduler::BalanceAtLevel(CoreId dst, TopoLevel level, bool idle_pull) {
     return 0;
   }
   bool all_hot = false;
+  const bool probe = machine_->has_observers();
+  const double src_load_before = probe ? CoreLoad(src) : 0.0;
+  const double dst_load_before = probe ? CoreLoad(dst) : 0.0;
   const int moved = PullTasks(src, dst, imbalance, tun_.max_migrate, &all_hot);
+  if (probe) {
+    BalancePassRecord rec;
+    rec.kind =
+        idle_pull ? BalancePassRecord::Kind::kIdlePull : BalancePassRecord::Kind::kPeriodic;
+    rec.level = static_cast<int>(level);
+    rec.src = src;
+    rec.dst = dst;
+    rec.src_load = src_load_before;
+    rec.dst_load = dst_load_before;
+    rec.imbalance_pct =
+        busiest_avg > 1e-9 ? 100.0 * (busiest_avg - local_avg) / busiest_avg : 0.0;
+    rec.threads_moved = moved;
+    machine_->EmitBalancePass(rec);
+  }
   if (moved == 0) {
     // Only a pull blocked purely by cache hotness counts as a failure
     // (repeated failures eventually override hotness); an empty source is
@@ -178,7 +195,6 @@ int CfsScheduler::BalanceAtLevel(CoreId dst, TopoLevel level, bool idle_pull) {
   } else {
     cores_[dst].nr_balance_failed = 0;
   }
-  (void)idle_pull;
   return moved;
 }
 

@@ -43,7 +43,9 @@ bool CfsScheduler::WakeWide(SimThread* waker, SimThread* wakee, CoreId cpu) cons
   return true;
 }
 
-CoreId CfsScheduler::SelectIdleSibling(SimThread* t, CoreId target) {
+CoreId CfsScheduler::SelectIdleSibling(SimThread* t, CoreId target, PickReason* reason) {
+  // `*reason` arrives as the caller's rationale for `target` and is only
+  // overwritten when the search settles somewhere else.
   const CpuTopology& topo = machine_->topology();
   if (t->CanRunOn(target) && machine_->core(target).idle()) {
     return target;
@@ -64,6 +66,7 @@ CoreId CfsScheduler::SelectIdleSibling(SimThread* t, CoreId target) {
   machine_->ChargeOverhead(target, scanned * tun_.wake_scan_cost_per_core,
                            OverheadKind::kWakePlacement);
   if (found != kInvalidCore) {
+    *reason = PickReason::kIdleSibling;
     return found;
   }
   if (t->CanRunOn(target)) {
@@ -71,6 +74,7 @@ CoreId CfsScheduler::SelectIdleSibling(SimThread* t, CoreId target) {
   }
   // Affinity excludes the whole neighbourhood; fall back to the least loaded
   // allowed core.
+  *reason = PickReason::kIdlest;
   return FindIdlestCore(t, target);
 }
 
@@ -153,10 +157,12 @@ CoreId CfsScheduler::FindIdlestCore(SimThread* t, CoreId origin) {
   return best;
 }
 
-CoreId CfsScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind kind) {
+CoreId CfsScheduler::SelectTaskRqImpl(SimThread* thread, CoreId origin, EnqueueKind kind,
+                                      PickReason* reason) {
   if (thread->affinity().Count() == 1) {
     for (CoreId c = 0; c < machine_->num_cores(); ++c) {
       if (thread->CanRunOn(c)) {
+        *reason = PickReason::kPinned;
         return c;
       }
     }
@@ -164,9 +170,15 @@ CoreId CfsScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind 
   switch (kind) {
     case EnqueueKind::kFork:
     case EnqueueKind::kMigrate:
+      *reason = PickReason::kIdlest;
       return FindIdlestCore(thread, origin);
     case EnqueueKind::kRequeue:
-      return thread->CanRunOn(origin) ? origin : FindIdlestCore(thread, origin);
+      if (thread->CanRunOn(origin)) {
+        *reason = PickReason::kPrevAffine;
+        return origin;
+      }
+      *reason = PickReason::kIdlest;
+      return FindIdlestCore(thread, origin);
     case EnqueueKind::kWakeup:
       break;
   }
@@ -183,6 +195,7 @@ CoreId CfsScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind 
     want_affine = !WakeWide(waker, thread, origin);
   }
   if (!want_affine) {
+    *reason = PickReason::kWakeWideSpread;
     return FindIdlestCore(thread, origin);
   }
 
@@ -190,13 +203,41 @@ CoreId CfsScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind 
   // load, then look for an idle sibling in that core's LLC.
   CoreId target;
   if (prev == kInvalidCore) {
-    target = thread->CanRunOn(origin) ? origin : FindIdlestCore(thread, origin);
+    if (thread->CanRunOn(origin)) {
+      target = origin;
+      *reason = PickReason::kWakerPull;
+    } else {
+      *reason = PickReason::kIdlest;
+      return FindIdlestCore(thread, origin);
+    }
   } else if (waker != nullptr && origin != prev && thread->CanRunOn(origin)) {
-    target = CoreLoad(origin) < CoreLoad(prev) ? origin : prev;
+    if (CoreLoad(origin) < CoreLoad(prev)) {
+      target = origin;
+      *reason = PickReason::kWakerPull;
+    } else {
+      target = prev;
+      *reason = PickReason::kPrevAffine;
+    }
   } else {
     target = prev;
+    *reason = PickReason::kPrevAffine;
   }
-  return SelectIdleSibling(thread, target);
+  return SelectIdleSibling(thread, target, reason);
+}
+
+CoreId CfsScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind kind) {
+  PickCpuDecision d;
+  d.thread = thread->id();
+  d.origin = origin;
+  d.prev = thread->last_ran_cpu();
+  d.kind = kind;
+  const uint64_t scans_before = machine_->counters().pickcpu_scans;
+  const CoreId chosen = SelectTaskRqImpl(thread, origin, kind, &d.reason);
+  d.chosen = chosen;
+  d.cores_scanned = static_cast<int>(machine_->counters().pickcpu_scans - scans_before);
+  d.affine_hit = d.prev != kInvalidCore && chosen == d.prev;
+  machine_->EmitPickCpu(d);
+  return chosen;
 }
 
 }  // namespace schedbattle

@@ -1,0 +1,270 @@
+#include "src/metrics/schedstats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+
+namespace schedbattle {
+
+namespace {
+
+// Escapes a string for embedding in a JSON string literal. Thread names are
+// plain ASCII in practice, but the exporter should never emit invalid JSON.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendHistogramJson(std::ostringstream& os, const LatencyHistogram& h) {
+  os << "{\"count\":" << h.count();
+  if (h.count() > 0) {
+    os << ",\"min_ns\":" << h.min() << ",\"max_ns\":" << h.max()
+       << ",\"mean_ns\":" << h.Mean() << ",\"p50_ns\":" << h.Percentile(50)
+       << ",\"p90_ns\":" << h.Percentile(90) << ",\"p99_ns\":" << h.Percentile(99);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+SchedStats::SchedStats(Machine* machine, Options options)
+    : machine_(machine), options_(options) {
+  rq_depth_.reserve(machine_->num_cores());
+  for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+    rq_depth_.emplace_back("rq_depth_core" + std::to_string(c));
+  }
+  recent_balance_.reserve(options_.recent_balance_cap);
+  recent_moves_.reserve(options_.recent_balance_cap);
+  machine_->AddObserver(this);
+  attached_ = true;
+  sampler_ = std::make_unique<PeriodicSampler>(
+      machine_, options_.rq_sample_period, [this](SimTime now) { SampleRunqueues(now); });
+}
+
+SchedStats::~SchedStats() { Detach(); }
+
+void SchedStats::Detach() {
+  if (attached_) {
+    machine_->RemoveObserver(this);
+    attached_ = false;
+  }
+  if (sampler_ != nullptr) {
+    sampler_->Stop();
+  }
+}
+
+void SchedStats::SampleRunqueues(SimTime now) {
+  const Scheduler& sched = machine_->scheduler();
+  for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+    rq_depth_[c].Push(now, sched.RunnableCountOf(c));
+  }
+}
+
+void SchedStats::OnWake(SimTime now, const SimThread& thread, CoreId /*target*/) {
+  pending_wake_[thread.id()] = now;
+}
+
+void SchedStats::OnFork(SimTime now, const SimThread& thread, CoreId /*target*/) {
+  pending_fork_[thread.id()] = now;
+}
+
+void SchedStats::OnDispatch(SimTime now, CoreId /*core*/, const SimThread& thread) {
+  if (auto it = pending_wake_.find(thread.id()); it != pending_wake_.end()) {
+    const SimDuration latency = now - it->second;
+    wakeup_latency_.Record(latency);
+    per_thread_wakeup_[thread.id()].Record(latency);
+    pending_wake_.erase(it);
+  }
+  if (auto it = pending_fork_.find(thread.id()); it != pending_fork_.end()) {
+    fork_latency_.Record(now - it->second);
+    pending_fork_.erase(it);
+  }
+}
+
+void SchedStats::OnPickCpu(SimTime /*now*/, const PickCpuDecision& decision) {
+  ++decisions_.pickcpu_total;
+  ++decisions_.pickcpu_by_reason[static_cast<int>(decision.reason)];
+  if (decision.affine_hit) {
+    ++decisions_.pickcpu_affine_hits;
+  }
+  decisions_.pickcpu_cores_scanned += static_cast<uint64_t>(decision.cores_scanned);
+}
+
+void SchedStats::OnBalancePass(SimTime now, const BalancePassRecord& pass) {
+  ++decisions_.balance_passes;
+  decisions_.balance_moved += static_cast<uint64_t>(pass.threads_moved);
+  if (pass.threads_moved > 0) {
+    ++decisions_.balance_success;
+  } else {
+    ++decisions_.balance_failed;
+  }
+  if (pass.kind == BalancePassRecord::Kind::kIdleSteal) {
+    ++decisions_.steal_attempts;
+    if (pass.threads_moved > 0) {
+      ++decisions_.steal_success;
+    }
+  }
+  PushRecent(&recent_balance_, now, pass);
+  if (pass.threads_moved > 0) {
+    PushRecent(&recent_moves_, now, pass);
+  }
+}
+
+void SchedStats::OnPreempt(SimTime /*now*/, const PreemptDecision& decision) {
+  ++decisions_.preempt_checks;
+  if (decision.fired) {
+    ++decisions_.preempt_fired;
+  }
+}
+
+void SchedStats::PushRecent(std::vector<TimedBalanceRecord>* ring, SimTime now,
+                            const BalancePassRecord& rec) {
+  size_t& head = ring == &recent_balance_ ? recent_balance_head_ : recent_moves_head_;
+  if (ring->size() < options_.recent_balance_cap) {
+    ring->push_back({now, rec});
+    return;
+  }
+  (*ring)[head] = {now, rec};
+  head = (head + 1) % options_.recent_balance_cap;
+}
+
+const LatencyHistogram* SchedStats::wakeup_latency_of(ThreadId id) const {
+  auto it = per_thread_wakeup_.find(id);
+  return it != per_thread_wakeup_.end() ? &it->second : nullptr;
+}
+
+std::string SchedStats::ToJson() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  os << "{\n";
+  os << "\"scheduler\":\"" << JsonEscape(machine_->scheduler().name()) << "\",\n";
+  os << "\"num_cores\":" << machine_->num_cores() << ",\n";
+  os << "\"sim_time_ns\":" << machine_->now() << ",\n";
+
+  const MachineCounters& mc = machine_->counters();
+  os << "\"machine_counters\":{"
+     << "\"context_switches\":" << mc.context_switches
+     << ",\"wakeup_preemptions\":" << mc.wakeup_preemptions
+     << ",\"tick_preemptions\":" << mc.tick_preemptions
+     << ",\"migrations\":" << mc.migrations << ",\"wakeups\":" << mc.wakeups
+     << ",\"forks\":" << mc.forks << ",\"exits\":" << mc.exits
+     << ",\"pickcpu_scans\":" << mc.pickcpu_scans
+     << ",\"balance_invocations\":" << mc.balance_invocations << "},\n";
+
+  os << "\"wakeup_latency\":";
+  AppendHistogramJson(os, wakeup_latency_);
+  os << ",\n\"fork_latency\":";
+  AppendHistogramJson(os, fork_latency_);
+  os << ",\n";
+
+  // Per-thread latency summaries, sorted by thread id for diffability.
+  std::vector<ThreadId> tids;
+  tids.reserve(per_thread_wakeup_.size());
+  for (const auto& [tid, hist] : per_thread_wakeup_) {
+    tids.push_back(tid);
+  }
+  std::sort(tids.begin(), tids.end());
+  os << "\"per_thread_wakeup_latency\":{";
+  for (size_t i = 0; i < tids.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << "\n\"" << tids[i] << "\":";
+    AppendHistogramJson(os, per_thread_wakeup_.at(tids[i]));
+  }
+  os << "\n},\n";
+
+  os << "\"decisions\":{"
+     << "\"pickcpu_total\":" << decisions_.pickcpu_total << ",\"pickcpu_by_reason\":{";
+  for (int r = 0; r < kNumPickReasons; ++r) {
+    if (r > 0) {
+      os << ",";
+    }
+    os << "\"" << PickReasonName(static_cast<PickReason>(r))
+       << "\":" << decisions_.pickcpu_by_reason[r];
+  }
+  os << "},\"pickcpu_affine_hits\":" << decisions_.pickcpu_affine_hits
+     << ",\"pickcpu_cores_scanned\":" << decisions_.pickcpu_cores_scanned
+     << ",\"balance_passes\":" << decisions_.balance_passes
+     << ",\"balance_moved\":" << decisions_.balance_moved
+     << ",\"balance_success\":" << decisions_.balance_success
+     << ",\"balance_failed\":" << decisions_.balance_failed
+     << ",\"steal_attempts\":" << decisions_.steal_attempts
+     << ",\"steal_success\":" << decisions_.steal_success
+     << ",\"preempt_checks\":" << decisions_.preempt_checks
+     << ",\"preempt_fired\":" << decisions_.preempt_fired << "},\n";
+
+  // Recent balance records: successful moves first (they are the interesting
+  // ones and survive long quiet tails), then all recent attempts.
+  auto append_records = [&os](const std::vector<TimedBalanceRecord>& ring, size_t head,
+                              size_t cap) {
+    os << "[";
+    const size_t n = ring.size();
+    for (size_t i = 0; i < n; ++i) {
+      const TimedBalanceRecord& r =
+          n < cap ? ring[i] : ring[(head + i) % n];  // chronological order
+      if (i > 0) {
+        os << ",";
+      }
+      os << "\n{\"t_ns\":" << r.t << ",\"kind\":\"" << BalanceKindName(r.rec.kind)
+         << "\",\"level\":" << r.rec.level << ",\"src\":" << r.rec.src
+         << ",\"dst\":" << r.rec.dst << ",\"src_load\":" << r.rec.src_load
+         << ",\"dst_load\":" << r.rec.dst_load
+         << ",\"imbalance_pct\":" << r.rec.imbalance_pct
+         << ",\"threads_moved\":" << r.rec.threads_moved << "}";
+    }
+    os << "\n]";
+  };
+  os << "\"recent_balance_moves\":";
+  append_records(recent_moves_, recent_moves_head_, options_.recent_balance_cap);
+  os << ",\n\"recent_balance_passes\":";
+  append_records(recent_balance_, recent_balance_head_, options_.recent_balance_cap);
+  os << ",\n";
+
+  os << "\"runqueue_depth\":{";
+  for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+    if (c > 0) {
+      os << ",";
+    }
+    os << "\n\"core" << c << "\":[";
+    const auto& pts = rq_depth_[c].points();
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (i > 0) {
+        os << ",";
+      }
+      os << "[" << pts[i].t << "," << static_cast<int64_t>(pts[i].value) << "]";
+    }
+    os << "]";
+  }
+  os << "\n}\n}\n";
+  return os.str();
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,121 @@
+// SchedStats: the scheduler-decision statistics registry (the simulator's
+// answer to Linux's /proc/schedstat + tracepoints).
+//
+// Attaches to a Machine through the observer bus and aggregates, per run:
+//   - wakeup-to-dispatch latency histograms (global and per thread) and a
+//     fork-to-first-dispatch histogram,
+//   - a per-core runqueue-depth timeseries (periodically sampled),
+//   - decision counters fed by the provenance probes: placement decisions by
+//     reason, balance passes/moves/steal successes, preemption checks fired,
+//   - bounded rings of recent balance-pass records (all attempts, and
+//     successful moves separately so they survive long quiet tails).
+//
+// The whole registry exports as one deterministic JSON snapshot (ToJson)
+// that is diffable across runs and consumable by bench/* and external tools.
+#ifndef SRC_METRICS_SCHEDSTATS_H_
+#define SRC_METRICS_SCHEDSTATS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/metrics/histogram.h"
+#include "src/metrics/timeseries.h"
+#include "src/sched/machine.h"
+
+namespace schedbattle {
+
+// Aggregate counts of the decision probes.
+struct DecisionCounters {
+  uint64_t pickcpu_total = 0;
+  uint64_t pickcpu_by_reason[kNumPickReasons] = {};
+  uint64_t pickcpu_affine_hits = 0;
+  uint64_t pickcpu_cores_scanned = 0;
+  uint64_t balance_passes = 0;   // pull/steal attempts (a source was chosen)
+  uint64_t balance_moved = 0;    // threads moved in total
+  uint64_t balance_success = 0;  // passes that moved >= 1 thread
+  uint64_t balance_failed = 0;   // passes that moved nothing
+  uint64_t steal_attempts = 0;   // idle-steal subset of the above
+  uint64_t steal_success = 0;
+  uint64_t preempt_checks = 0;
+  uint64_t preempt_fired = 0;
+};
+
+class SchedStats : public MachineObserver {
+ public:
+  struct Options {
+    // Sampling period of the per-core runqueue-depth timeseries.
+    SimDuration rq_sample_period = Milliseconds(10);
+    // Capacity of each recent-balance-record ring.
+    size_t recent_balance_cap = 128;
+  };
+
+  // Attaches to the machine's observer bus and starts the periodic
+  // runqueue-depth sampler.
+  explicit SchedStats(Machine* machine) : SchedStats(machine, Options()) {}
+  SchedStats(Machine* machine, Options options);
+  ~SchedStats() override;
+  SchedStats(const SchedStats&) = delete;
+  SchedStats& operator=(const SchedStats&) = delete;
+
+  // Stops recording: detaches from the bus and stops the sampler.
+  void Detach();
+
+  // ---- MachineObserver ----
+  void OnDispatch(SimTime now, CoreId core, const SimThread& thread) override;
+  void OnWake(SimTime now, const SimThread& thread, CoreId target) override;
+  void OnFork(SimTime now, const SimThread& thread, CoreId target) override;
+  void OnPickCpu(SimTime now, const PickCpuDecision& decision) override;
+  void OnBalancePass(SimTime now, const BalancePassRecord& pass) override;
+  void OnPreempt(SimTime now, const PreemptDecision& decision) override;
+
+  // ---- accessors (for tests and benches) ----
+  const LatencyHistogram& wakeup_latency() const { return wakeup_latency_; }
+  const LatencyHistogram& fork_latency() const { return fork_latency_; }
+  // Per-thread wakeup latency; nullptr if the thread never completed a
+  // wake->dispatch pair.
+  const LatencyHistogram* wakeup_latency_of(ThreadId id) const;
+  const TimeSeries& runqueue_depth(CoreId core) const { return rq_depth_[core]; }
+  const DecisionCounters& decisions() const { return decisions_; }
+  struct TimedBalanceRecord {
+    SimTime t;
+    BalancePassRecord rec;
+  };
+  const std::vector<TimedBalanceRecord>& recent_balance() const { return recent_balance_; }
+  const std::vector<TimedBalanceRecord>& recent_moves() const { return recent_moves_; }
+
+  // One JSON snapshot of everything above. Deterministic key order; all
+  // durations in nanoseconds.
+  std::string ToJson() const;
+
+ private:
+  void SampleRunqueues(SimTime now);
+  void PushRecent(std::vector<TimedBalanceRecord>* ring, SimTime now,
+                  const BalancePassRecord& rec);
+
+  Machine* machine_;
+  Options options_;
+  bool attached_ = false;
+  std::unique_ptr<PeriodicSampler> sampler_;
+
+  LatencyHistogram wakeup_latency_;
+  LatencyHistogram fork_latency_;
+  std::unordered_map<ThreadId, LatencyHistogram> per_thread_wakeup_;
+  // Threads with a wake (or fork) not yet followed by a dispatch.
+  std::unordered_map<ThreadId, SimTime> pending_wake_;
+  std::unordered_map<ThreadId, SimTime> pending_fork_;
+
+  std::vector<TimeSeries> rq_depth_;  // one per core
+
+  DecisionCounters decisions_;
+  std::vector<TimedBalanceRecord> recent_balance_;  // ring, oldest dropped
+  std::vector<TimedBalanceRecord> recent_moves_;    // ring of moved>0 records
+  size_t recent_balance_head_ = 0;
+  size_t recent_moves_head_ = 0;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_METRICS_SCHEDSTATS_H_

@@ -9,20 +9,34 @@ namespace schedbattle {
 
 SchedTrace::SchedTrace(Machine* machine, size_t capacity)
     : machine_(machine), capacity_(std::max<size_t>(capacity, 16)) {
-  machine_->set_observer(this);
+  machine_->AddObserver(this);
   attached_ = true;
 }
 
 SchedTrace::~SchedTrace() { Detach(); }
 
 void SchedTrace::Detach() {
-  if (attached_ && machine_->observer() == this) {
-    machine_->set_observer(nullptr);
+  if (attached_) {
+    machine_->RemoveObserver(this);
   }
   attached_ = false;
 }
 
-void SchedTrace::Push(const TraceEvent& e) {
+void SchedTrace::Push(TraceEvent e) {
+  // Sample the counter tracks at event granularity: runnable count on the
+  // event's core and its NUMA node. RunnableCountOf is O(1)-ish for both
+  // schedulers, so this stays cheap even for dense traces.
+  if (e.core != kInvalidCore) {
+    const Scheduler& sched = machine_->scheduler();
+    e.rq_depth = sched.RunnableCountOf(e.core);
+    const CpuTopology& topo = machine_->topology();
+    e.node = topo.NodeOf(e.core);
+    int node_runnable = 0;
+    for (CoreId c : topo.GroupOf(e.core, TopoLevel::kNode)) {
+      node_runnable += sched.RunnableCountOf(c);
+    }
+    e.node_runnable = node_runnable;
+  }
   if (events_.size() < capacity_) {
     events_.push_back(e);
     return;
@@ -93,8 +107,10 @@ std::string SchedTrace::ToText(size_t max_events) const {
 }
 
 std::string SchedTrace::ToChromeJson() const {
-  // trace_event format: pid = 0, tid = core id; "X" complete events for run
-  // intervals, "i" instants for wakes/migrations/forks.
+  // trace_event format: pid 0 carries one lane per core ("X" complete events
+  // for run intervals, "i" instants for wakes/migrations/forks, "s"/"f" flow
+  // arrows from each wake to the dispatch that serviced it); pid 1 carries
+  // the "C" counter tracks (per-core runqueue depth, per-node runnable).
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
@@ -105,7 +121,11 @@ std::string SchedTrace::ToChromeJson() const {
     first = false;
     os << json;
   };
-  // Name the per-core tracks.
+  // Name the per-core tracks and the counter process.
+  emit("{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"cores\"}}");
+  emit("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"counters\"}}");
   for (CoreId c = 0; c < machine_->num_cores(); ++c) {
     char buf[128];
     std::snprintf(buf, sizeof(buf),
@@ -114,14 +134,42 @@ std::string SchedTrace::ToChromeJson() const {
                   c, c);
     emit(buf);
   }
-  // Pair dispatch/deschedule per core into slices.
+  // Pair dispatch/deschedule per core into slices; link wake->dispatch per
+  // thread into flow arrows.
   std::map<CoreId, TraceEvent> open;
+  std::map<ThreadId, uint64_t> pending_flow;
+  uint64_t next_flow_id = 1;
   for (const TraceEvent& e : Events()) {
     char buf[256];
+    const double us = static_cast<double>(e.t) / 1000.0;
+    // Counter samples ride on every event that has them.
+    if (e.rq_depth >= 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":%.3f,"
+                    "\"name\":\"runqueue core %d\",\"args\":{\"runnable\":%d}}",
+                    us, e.core, e.rq_depth);
+      emit(buf);
+    }
+    if (e.node >= 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":%.3f,"
+                    "\"name\":\"node %d runnable\",\"args\":{\"runnable\":%d}}",
+                    us, e.node, e.node_runnable);
+      emit(buf);
+    }
     switch (e.kind) {
-      case TraceEvent::Kind::kDispatch:
+      case TraceEvent::Kind::kDispatch: {
         open[e.core] = e;
+        if (auto it = pending_flow.find(e.thread); it != pending_flow.end()) {
+          std::snprintf(buf, sizeof(buf),
+                        "{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"wakeup\",\"id\":%llu,"
+                        "\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"name\":\"wake-to-dispatch\"}",
+                        static_cast<unsigned long long>(it->second), e.core, us);
+          emit(buf);
+          pending_flow.erase(it);
+        }
         break;
+      }
       case TraceEvent::Kind::kDeschedule: {
         auto it = open.find(e.core);
         if (it != open.end() && it->second.thread == e.thread) {
@@ -145,9 +193,17 @@ std::string SchedTrace::ToChromeJson() const {
         std::snprintf(buf, sizeof(buf),
                       "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s %s\","
                       "\"s\":\"t\"}",
-                      e.core, static_cast<double>(e.t) / 1000.0, name,
-                      NameOf(e.thread).c_str());
+                      e.core, us, name, NameOf(e.thread).c_str());
         emit(buf);
+        if (e.kind == TraceEvent::Kind::kWake) {
+          const uint64_t id = next_flow_id++;
+          pending_flow[e.thread] = id;
+          std::snprintf(buf, sizeof(buf),
+                        "{\"ph\":\"s\",\"cat\":\"wakeup\",\"id\":%llu,\"pid\":0,"
+                        "\"tid\":%d,\"ts\":%.3f,\"name\":\"wake-to-dispatch\"}",
+                        static_cast<unsigned long long>(id), e.core, us);
+          emit(buf);
+        }
         break;
       }
     }

@@ -2,7 +2,9 @@
 // migrate, fork) through the MachineObserver interface and exports them as
 //   - a human-readable text log, and
 //   - Chrome trace_event JSON (open in chrome://tracing or Perfetto), with
-//     one lane per core showing which thread ran when.
+//     one lane per core showing which thread ran when, counter tracks for
+//     per-core runqueue depth and per-NUMA-node runnable count, and flow
+//     arrows linking each wakeup to the dispatch that serviced it.
 #ifndef SRC_METRICS_TRACE_H_
 #define SRC_METRICS_TRACE_H_
 
@@ -21,11 +23,15 @@ struct TraceEvent {
   CoreId core;       // dispatch/deschedule/wake/fork: the core; migrate: destination
   CoreId from_core;  // migrate only
   char reason;       // deschedule only: P/B/X/Y
+  // Counter samples taken when the event was recorded (Perfetto "C" tracks).
+  int rq_depth = -1;       // runnable count of `core`
+  int node = -1;           // NUMA node of `core`
+  int node_runnable = -1;  // summed runnable count of that node's cores
 };
 
 class SchedTrace : public MachineObserver {
  public:
-  // Attaches to the machine as its observer. `capacity` bounds memory: when
+  // Attaches to the machine's observer bus. `capacity` bounds memory: when
   // full, the oldest events are dropped (ring buffer).
   explicit SchedTrace(Machine* machine, size_t capacity = 1 << 20);
   ~SchedTrace() override;
@@ -36,7 +42,7 @@ class SchedTrace : public MachineObserver {
   void OnMigrate(SimTime now, const SimThread& thread, CoreId from, CoreId to) override;
   void OnFork(SimTime now, const SimThread& thread, CoreId target) override;
 
-  // Stops recording (the machine's observer slot is released).
+  // Stops recording (detaches from the machine's observer bus).
   void Detach();
 
   size_t size() const { return events_.size(); }
@@ -48,11 +54,13 @@ class SchedTrace : public MachineObserver {
   std::string ToText(size_t max_events = 10000) const;
 
   // Chrome trace_event JSON: complete ("X") slices per dispatch interval on
-  // per-core tracks, plus instant events for wakes/migrations.
+  // per-core tracks, instant events for wakes/migrations, "C" counter tracks
+  // (per-core runqueue depth, per-node runnable count) and "s"/"f" flow
+  // events linking each wake to the dispatch that serviced it.
   std::string ToChromeJson() const;
 
  private:
-  void Push(const TraceEvent& e);
+  void Push(TraceEvent e);
   std::string NameOf(ThreadId id) const;
 
   Machine* machine_;

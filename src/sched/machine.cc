@@ -63,8 +63,8 @@ void Machine::StartThread(SimThread* thread, SimThread* parent) {
   thread->runnable_since = now();
   scheduler_->EnqueueTask(cpu, thread, EnqueueKind::kFork);
   scheduler_->CheckPreemptWakeup(cpu, thread);
-  if (observer_ != nullptr) {
-    observer_->OnFork(now(), *thread, cpu);
+  if (!observers_.empty()) {
+    observers_.OnFork(now(), *thread, cpu);
   }
   if (cores_[cpu]->idle()) {
     SetNeedResched(cpu);
@@ -95,8 +95,8 @@ bool Machine::Wake(SimThread* thread, CoreId waker_core) {
   thread->runnable_since = now();
   scheduler_->EnqueueTask(cpu, thread, EnqueueKind::kWakeup);
   scheduler_->CheckPreemptWakeup(cpu, thread);
-  if (observer_ != nullptr) {
-    observer_->OnWake(now(), *thread, cpu);
+  if (!observers_.empty()) {
+    observers_.OnWake(now(), *thread, cpu);
   }
   if (cores_[cpu]->idle()) {
     SetNeedResched(cpu);
@@ -177,8 +177,8 @@ void Machine::NoteMigration(SimThread* thread, CoreId from, CoreId to) {
   ++counters_.migrations;
   ++thread->migrations;
   thread->set_cpu(to);
-  if (observer_ != nullptr) {
-    observer_->OnMigrate(now(), *thread, from, to);
+  if (!observers_.empty()) {
+    observers_.OnMigrate(now(), *thread, from, to);
   }
   if (cores_[to]->idle()) {
     SetNeedResched(to);
@@ -256,8 +256,8 @@ void Machine::ReschedCore(CoreId core) {
     prev->runnable_since = now();
     ++prev->preemptions;
     ++c->preemptions;
-    if (observer_ != nullptr) {
-      observer_->OnDeschedule(now(), core, *prev, 'P');
+    if (!observers_.empty()) {
+      observers_.OnDeschedule(now(), core, *prev, 'P');
     }
     scheduler_->PutPrevTask(core, prev);
     if (!prev->CanRunOn(core)) {
@@ -314,8 +314,8 @@ void Machine::Dispatch(CoreId core, SimThread* thread, bool switched) {
   }
   thread->work_started = now() + cost;
   c->set_current(thread);
-  if (observer_ != nullptr) {
-    observer_->OnDispatch(now(), core, *thread);
+  if (!observers_.empty()) {
+    observers_.OnDispatch(now(), core, *thread);
   }
   if (thread->remaining_work > 0) {
     c->completion_event = engine_->At(thread->work_started + thread->remaining_work,
@@ -359,8 +359,8 @@ void Machine::RunBody(CoreId core, SimThread* thread) {
         StopCurrent(core);
         thread->set_state(ThreadState::kRunnable);
         thread->runnable_since = now();
-        if (observer_ != nullptr) {
-          observer_->OnDeschedule(now(), core, *thread, 'Y');
+        if (!observers_.empty()) {
+          observers_.OnDeschedule(now(), core, *thread, 'Y');
         }
         scheduler_->YieldTask(core, thread);
         SimThread* next = scheduler_->PickNextTask(core);
@@ -389,8 +389,8 @@ void Machine::BlockCurrent(CoreId core, SimThread* thread) {
   StopCurrent(core);
   thread->set_state(ThreadState::kBlocked);
   thread->block_start = now();
-  if (observer_ != nullptr) {
-    observer_->OnDeschedule(now(), core, *thread, 'B');
+  if (!observers_.empty()) {
+    observers_.OnDeschedule(now(), core, *thread, 'B');
   }
   scheduler_->OnTaskBlock(core, thread, /*voluntary=*/true);
 
@@ -413,8 +413,8 @@ void Machine::ExitCurrent(CoreId core, SimThread* thread) {
   StopCurrent(core);
   thread->set_state(ThreadState::kDead);
   thread->exit_time = now();
-  if (observer_ != nullptr) {
-    observer_->OnDeschedule(now(), core, *thread, 'X');
+  if (!observers_.empty()) {
+    observers_.OnDeschedule(now(), core, *thread, 'X');
   }
   --alive_threads_;
   ++counters_.exits;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/sched/core.h"
+#include "src/sched/observer.h"
 #include "src/sched/sched_class.h"
 #include "src/sched/thread.h"
 #include "src/sched/types.h"
@@ -39,21 +40,6 @@ struct MachineParams {
   // Deterministic seed for everything random inside the machine (ULE's
   // balancer period, workload RNG streams are split from this).
   uint64_t seed = 42;
-};
-
-// Observer for scheduling events (tracing, visualization). All callbacks are
-// invoked synchronously at the simulated instant the event happens.
-class MachineObserver {
- public:
-  virtual ~MachineObserver() = default;
-  virtual void OnDispatch(SimTime /*now*/, CoreId /*core*/, const SimThread& /*thread*/) {}
-  // reason: 'P' preempted, 'B' blocked, 'X' exited, 'Y' yielded.
-  virtual void OnDeschedule(SimTime /*now*/, CoreId /*core*/, const SimThread& /*thread*/,
-                            char /*reason*/) {}
-  virtual void OnWake(SimTime /*now*/, const SimThread& /*thread*/, CoreId /*target*/) {}
-  virtual void OnMigrate(SimTime /*now*/, const SimThread& /*thread*/, CoreId /*from*/,
-                         CoreId /*to*/) {}
-  virtual void OnFork(SimTime /*now*/, const SimThread& /*thread*/, CoreId /*target*/) {}
 };
 
 // Categories of simulated scheduler overhead, for the paper's Section 6.3
@@ -168,9 +154,30 @@ class Machine {
   // Hook invoked whenever any thread exits (used by App completion logic).
   std::function<void(SimThread*)> on_thread_exit;
 
-  // Optional scheduling-event observer (tracing); not owned.
-  void set_observer(MachineObserver* observer) { observer_ = observer; }
-  MachineObserver* observer() const { return observer_; }
+  // Scheduling-event observers (tracing, stats, viz); not owned. Attaching
+  // is additive — any number of observers receive every event. Attaching the
+  // same observer twice is idempotent (see ObserverBus).
+  void AddObserver(MachineObserver* observer) { observers_.Add(observer); }
+  void RemoveObserver(MachineObserver* observer) { observers_.Remove(observer); }
+  const ObserverBus& observers() const { return observers_; }
+  bool has_observers() const { return !observers_.empty(); }
+
+  // ---- decision probes (called by schedulers; no-ops with no observers) ----
+  void EmitPickCpu(const PickCpuDecision& d) {
+    if (!observers_.empty()) {
+      observers_.OnPickCpu(now(), d);
+    }
+  }
+  void EmitBalancePass(const BalancePassRecord& r) {
+    if (!observers_.empty()) {
+      observers_.OnBalancePass(now(), r);
+    }
+  }
+  void EmitPreempt(const PreemptDecision& d) {
+    if (!observers_.empty()) {
+      observers_.OnPreempt(now(), d);
+    }
+  }
 
  private:
   // Reschedule core: deschedule current (if any), pick next, dispatch.
@@ -204,7 +211,7 @@ class Machine {
   ThreadId next_thread_id_ = 1;
   int alive_threads_ = 0;
   MachineCounters counters_;
-  MachineObserver* observer_ = nullptr;
+  ObserverBus observers_;
   bool booted_ = false;
 };
 

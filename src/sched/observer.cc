@@ -1,0 +1,57 @@
+#include "src/sched/observer.h"
+
+#include <algorithm>
+
+namespace schedbattle {
+
+const char* PickReasonName(PickReason reason) {
+  switch (reason) {
+    case PickReason::kPinned:
+      return "pinned";
+    case PickReason::kPrevAffine:
+      return "prev_affine";
+    case PickReason::kWakerPull:
+      return "waker_pull";
+    case PickReason::kIdleSibling:
+      return "idle_sibling";
+    case PickReason::kWakeWideSpread:
+      return "wake_wide_spread";
+    case PickReason::kIdlest:
+      return "idlest";
+    case PickReason::kPriorityFit:
+      return "priority_fit";
+    case PickReason::kLowestLoad:
+      return "lowest_load";
+  }
+  return "unknown";
+}
+
+const char* BalanceKindName(BalancePassRecord::Kind kind) {
+  switch (kind) {
+    case BalancePassRecord::Kind::kPeriodic:
+      return "periodic";
+    case BalancePassRecord::Kind::kIdlePull:
+      return "idle_pull";
+    case BalancePassRecord::Kind::kIdleSteal:
+      return "idle_steal";
+  }
+  return "unknown";
+}
+
+void ObserverBus::Add(MachineObserver* observer) {
+  if (observer == nullptr || Contains(observer)) {
+    return;
+  }
+  observers_.push_back(observer);
+}
+
+void ObserverBus::Remove(MachineObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+bool ObserverBus::Contains(const MachineObserver* observer) const {
+  return std::find(observers_.begin(), observers_.end(), observer) != observers_.end();
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,166 @@
+// Scheduling-event observer interface and the observer bus.
+//
+// The simulator's observability layer: a Machine broadcasts every scheduling
+// event — lifecycle events (dispatch, deschedule, wake, migrate, fork) and
+// *decision probes* that carry the provenance of a scheduling decision (why
+// a core was picked, what a balance pass saw and moved, whether a wakeup
+// preemption check fired). Multiple observers (trace, stats registry,
+// visualization) attach simultaneously through the ObserverBus.
+//
+// All callbacks are invoked synchronously at the simulated instant the event
+// happens; observers must not mutate machine state from a callback.
+#ifndef SRC_SCHED_OBSERVER_H_
+#define SRC_SCHED_OBSERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sched/types.h"
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+class SimThread;
+
+// Why a placement decision (SelectTaskRq) chose the core it chose.
+enum class PickReason : uint8_t {
+  kPinned,          // affinity mask names a single core
+  kPrevAffine,      // cache-affine: kept on the previous core
+  kWakerPull,       // placed on (or chosen relative to) the waker's core
+  kIdleSibling,     // idle core found in the target's LLC
+  kWakeWideSpread,  // CFS wake_wide detected 1-to-N; spread to idlest
+  kIdlest,          // slow path: idlest-group descent over the hierarchy
+  kPriorityFit,     // ULE: lowest-load core where the thread runs immediately
+  kLowestLoad,      // fallback: least-loaded allowed core
+};
+inline constexpr int kNumPickReasons = 8;
+const char* PickReasonName(PickReason reason);
+
+// Provenance of one SelectTaskRq decision.
+struct PickCpuDecision {
+  ThreadId thread = kInvalidThread;
+  CoreId origin = kInvalidCore;  // waker/forker core (or last core)
+  CoreId prev = kInvalidCore;    // thread's last_ran_cpu at decision time
+  CoreId chosen = kInvalidCore;
+  EnqueueKind kind = EnqueueKind::kWakeup;
+  PickReason reason = PickReason::kLowestLoad;
+  int cores_scanned = 0;  // cores examined while deciding
+  bool affine_hit = false;  // chosen == prev (cache-warm placement)
+};
+
+// One load-balancing pass: a periodic rebalance, a newidle pull, or an idle
+// steal. Emitted per pull attempt (a selected source core), including
+// attempts that moved nothing (steal failure provenance).
+struct BalancePassRecord {
+  enum class Kind : uint8_t { kPeriodic, kIdlePull, kIdleSteal };
+  Kind kind = Kind::kPeriodic;
+  // TopoLevel index of the balanced domain (CFS); -1 for ULE's flat global
+  // periodic balance.
+  int level = -1;
+  CoreId src = kInvalidCore;  // busiest / donor core
+  CoreId dst = kInvalidCore;  // pulling / receiver core
+  double src_load = 0.0;      // scheduler's load metric at attempt time
+  double dst_load = 0.0;
+  // Gap between the compared loads as a percentage of the busier side.
+  double imbalance_pct = 0.0;
+  int threads_moved = 0;
+};
+const char* BalanceKindName(BalancePassRecord::Kind kind);
+
+// One wakeup-preemption check (granularity / priority test) on a busy core.
+struct PreemptDecision {
+  ThreadId preemptor = kInvalidThread;  // the woken thread
+  ThreadId victim = kInvalidThread;     // the core's current thread
+  CoreId core = kInvalidCore;
+  bool fired = false;  // the check requested a reschedule
+  // Decision margin, positive when the check fires: for CFS the woken
+  // entity's vruntime lead minus the weighted wakeup granularity (ns-scale
+  // vruntime units); for ULE the priority delta curr - woken.
+  int64_t margin = 0;
+};
+
+// Observer for scheduling events (tracing, stats, visualization).
+class MachineObserver {
+ public:
+  virtual ~MachineObserver() = default;
+
+  // ---- lifecycle events ----
+  virtual void OnDispatch(SimTime /*now*/, CoreId /*core*/, const SimThread& /*thread*/) {}
+  // reason: 'P' preempted, 'B' blocked, 'X' exited, 'Y' yielded.
+  virtual void OnDeschedule(SimTime /*now*/, CoreId /*core*/, const SimThread& /*thread*/,
+                            char /*reason*/) {}
+  virtual void OnWake(SimTime /*now*/, const SimThread& /*thread*/, CoreId /*target*/) {}
+  virtual void OnMigrate(SimTime /*now*/, const SimThread& /*thread*/, CoreId /*from*/,
+                         CoreId /*to*/) {}
+  virtual void OnFork(SimTime /*now*/, const SimThread& /*thread*/, CoreId /*target*/) {}
+
+  // ---- decision probes ----
+  virtual void OnPickCpu(SimTime /*now*/, const PickCpuDecision& /*decision*/) {}
+  virtual void OnBalancePass(SimTime /*now*/, const BalancePassRecord& /*pass*/) {}
+  virtual void OnPreempt(SimTime /*now*/, const PreemptDecision& /*decision*/) {}
+};
+
+// Fan-out multiplexer: forwards every event to all attached observers, in
+// attach order. Replaces the Machine's former single-observer slot — a
+// second attach is additive, not a silent overwrite. Attaching the same
+// observer twice is idempotent (events are never delivered twice).
+class ObserverBus final : public MachineObserver {
+ public:
+  void Add(MachineObserver* observer);
+  // No-op if the observer is not attached.
+  void Remove(MachineObserver* observer);
+  bool Contains(const MachineObserver* observer) const;
+  bool empty() const { return observers_.empty(); }
+  int size() const { return static_cast<int>(observers_.size()); }
+
+  // The fan-out loops live in the header so a Machine's emission sites
+  // compile down to the bare per-observer indirect calls (the bus sits on
+  // every scheduling event's hot path).
+  void OnDispatch(SimTime now, CoreId core, const SimThread& thread) override {
+    for (MachineObserver* o : observers_) {
+      o->OnDispatch(now, core, thread);
+    }
+  }
+  void OnDeschedule(SimTime now, CoreId core, const SimThread& thread, char reason) override {
+    for (MachineObserver* o : observers_) {
+      o->OnDeschedule(now, core, thread, reason);
+    }
+  }
+  void OnWake(SimTime now, const SimThread& thread, CoreId target) override {
+    for (MachineObserver* o : observers_) {
+      o->OnWake(now, thread, target);
+    }
+  }
+  void OnMigrate(SimTime now, const SimThread& thread, CoreId from, CoreId to) override {
+    for (MachineObserver* o : observers_) {
+      o->OnMigrate(now, thread, from, to);
+    }
+  }
+  void OnFork(SimTime now, const SimThread& thread, CoreId target) override {
+    for (MachineObserver* o : observers_) {
+      o->OnFork(now, thread, target);
+    }
+  }
+  void OnPickCpu(SimTime now, const PickCpuDecision& decision) override {
+    for (MachineObserver* o : observers_) {
+      o->OnPickCpu(now, decision);
+    }
+  }
+  void OnBalancePass(SimTime now, const BalancePassRecord& pass) override {
+    for (MachineObserver* o : observers_) {
+      o->OnBalancePass(now, pass);
+    }
+  }
+  void OnPreempt(SimTime now, const PreemptDecision& decision) override {
+    for (MachineObserver* o : observers_) {
+      o->OnPreempt(now, decision);
+    }
+  }
+
+ private:
+  std::vector<MachineObserver*> observers_;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_SCHED_OBSERVER_H_

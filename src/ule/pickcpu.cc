@@ -80,7 +80,7 @@ SimDuration ScanCost(const CpuTopology& topo, CoreId home, const std::vector<Cor
 }
 }  // namespace
 
-CoreId UleScheduler::PickCpu(SimThread* t, CoreId origin) {
+CoreId UleScheduler::PickCpu(SimThread* t, CoreId origin, PickReason* reason) {
   const CpuTopology& topo = machine_->topology();
   const UleTaskData& data = UleOf(t);
   const int pri = data.pri;
@@ -93,12 +93,15 @@ CoreId UleScheduler::PickCpu(SimThread* t, CoreId origin) {
   // one that returns the CPU on which the thread was previously running".
   if (tun_.pickcpu_return_prev) {
     if (t->CanRunOn(prev)) {
+      *reason = PickReason::kPrevAffine;
       return prev;
     }
     int scanned = 0;
     const auto& all = topo.GroupOf(0, TopoLevel::kMachine);
     const CoreId c = LowestLoad(all, t, &scanned);
+    machine_->counters().pickcpu_scans += scanned;
     assert(c != kInvalidCore);
+    *reason = PickReason::kLowestLoad;
     return c;
   }
 
@@ -111,6 +114,7 @@ CoreId UleScheduler::PickCpu(SimThread* t, CoreId origin) {
     ++scanned;
     cost += tun_.pickcpu_scan_cost_local;
     choice = prev;
+    *reason = PickReason::kPrevAffine;
   }
 
   // 2. Search the highest affine topology group (or the whole machine) for a
@@ -127,6 +131,9 @@ CoreId UleScheduler::PickCpu(SimThread* t, CoreId origin) {
     choice = LowestLoadWhereRunnable(group, t, pri, &scanned);
     cost += ScanCost(topo, prev, group, tun_.pickcpu_scan_cost_local,
                      tun_.pickcpu_scan_cost_remote);
+    if (choice != kInvalidCore) {
+      *reason = PickReason::kPriorityFit;
+    }
   }
 
   // 3. Same search over all cores.
@@ -135,6 +142,9 @@ CoreId UleScheduler::PickCpu(SimThread* t, CoreId origin) {
     choice = LowestLoadWhereRunnable(all, t, pri, &scanned);
     cost +=
         ScanCost(topo, prev, all, tun_.pickcpu_scan_cost_local, tun_.pickcpu_scan_cost_remote);
+    if (choice != kInvalidCore) {
+      *reason = PickReason::kPriorityFit;
+    }
   }
 
   // 4. Fall back to the least loaded core.
@@ -143,6 +153,7 @@ CoreId UleScheduler::PickCpu(SimThread* t, CoreId origin) {
     choice = LowestLoad(all, t, &scanned);
     cost +=
         ScanCost(topo, prev, all, tun_.pickcpu_scan_cost_local, tun_.pickcpu_scan_cost_remote);
+    *reason = PickReason::kLowestLoad;
   }
   assert(choice != kInvalidCore);
 
@@ -152,10 +163,12 @@ CoreId UleScheduler::PickCpu(SimThread* t, CoreId origin) {
   return choice;
 }
 
-CoreId UleScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind kind) {
+CoreId UleScheduler::SelectTaskRqImpl(SimThread* thread, CoreId origin, EnqueueKind kind,
+                                      PickReason* reason) {
   if (thread->affinity().Count() == 1) {
     for (CoreId c = 0; c < machine_->num_cores(); ++c) {
       if (thread->CanRunOn(c)) {
+        *reason = PickReason::kPinned;
         return c;
       }
     }
@@ -175,9 +188,25 @@ CoreId UleScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind 
                                OverheadKind::kPickCpuScan);
     }
     assert(c != kInvalidCore);
+    *reason = PickReason::kLowestLoad;
     return c;
   }
-  return PickCpu(thread, origin);
+  return PickCpu(thread, origin, reason);
+}
+
+CoreId UleScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind kind) {
+  PickCpuDecision d;
+  d.thread = thread->id();
+  d.origin = origin;
+  d.prev = thread->last_ran_cpu();
+  d.kind = kind;
+  const uint64_t scans_before = machine_->counters().pickcpu_scans;
+  const CoreId chosen = SelectTaskRqImpl(thread, origin, kind, &d.reason);
+  d.chosen = chosen;
+  d.cores_scanned = static_cast<int>(machine_->counters().pickcpu_scans - scans_before);
+  d.affine_hit = d.prev != kInvalidCore && chosen == d.prev;
+  machine_->EmitPickCpu(d);
+  return chosen;
 }
 
 }  // namespace schedbattle

@@ -87,7 +87,20 @@ void UleScheduler::PeriodicBalance() {
     if (max_load - min_load < 2 || tdqs_[donor].transferable() == 0) {
       break;
     }
-    if (StealOne(donor, receiver) == nullptr) {
+    const bool moved = StealOne(donor, receiver) != nullptr;
+    if (machine_->has_observers()) {
+      BalancePassRecord rec;
+      rec.kind = BalancePassRecord::Kind::kPeriodic;
+      rec.level = -1;  // ULE's periodic balancer is flat/global
+      rec.src = donor;
+      rec.dst = receiver;
+      rec.src_load = max_load;
+      rec.dst_load = min_load;
+      rec.imbalance_pct = max_load > 0 ? 100.0 * (max_load - min_load) / max_load : 0.0;
+      rec.threads_moved = moved ? 1 : 0;
+      machine_->EmitBalancePass(rec);
+    }
+    if (!moved) {
       break;
     }
     used[donor] = true;
@@ -119,8 +132,25 @@ bool UleScheduler::TryIdleSteal(CoreId core) {
     }
     machine_->ChargeOverhead(core, group.size() * tun_.balance_cost_per_core,
                              OverheadKind::kLoadBalance);
-    if (busiest != kInvalidCore && StealOne(busiest, core) != nullptr) {
-      return true;
+    if (busiest != kInvalidCore) {
+      const int src_load = tdqs_[busiest].load;
+      const int dst_load = tdqs_[core].load;
+      const bool moved = StealOne(busiest, core) != nullptr;
+      if (machine_->has_observers()) {
+        BalancePassRecord rec;
+        rec.kind = BalancePassRecord::Kind::kIdleSteal;
+        rec.level = static_cast<int>(level);
+        rec.src = busiest;
+        rec.dst = core;
+        rec.src_load = src_load;
+        rec.dst_load = dst_load;
+        rec.imbalance_pct = src_load > 0 ? 100.0 * (src_load - dst_load) / src_load : 0.0;
+        rec.threads_moved = moved ? 1 : 0;
+        machine_->EmitBalancePass(rec);
+      }
+      if (moved) {
+        return true;
+      }
     }
   }
   return false;

@@ -188,14 +188,25 @@ void UleScheduler::TaskTick(CoreId core, SimThread* current) {
 }
 
 void UleScheduler::CheckPreemptWakeup(CoreId core, SimThread* woken) {
-  if (!tun_.wakeup_preemption) {
-    return;  // full preemption is disabled in ULE
-  }
   SimThread* curr = machine_->CurrentOn(core);
   if (curr == nullptr || curr == woken) {
     return;
   }
-  if (UleOf(woken).pri < UleOf(curr).pri) {
+  // Margin: how much better (numerically lower) the woken thread's priority
+  // is than the running one's. Positive passes the check — but full
+  // preemption is disabled in stock ULE, so `fired` also needs the tunable.
+  const int64_t margin = UleOf(curr).pri - UleOf(woken).pri;
+  const bool fired = tun_.wakeup_preemption && margin > 0;
+  if (machine_->has_observers()) {
+    PreemptDecision d;
+    d.preemptor = woken->id();
+    d.victim = curr->id();
+    d.core = core;
+    d.fired = fired;
+    d.margin = margin;
+    machine_->EmitPreempt(d);
+  }
+  if (fired) {
     ++machine_->counters().wakeup_preemptions;
     machine_->SetNeedResched(core);
   }

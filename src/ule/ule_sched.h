@@ -97,7 +97,10 @@ class UleScheduler : public Scheduler {
   int RunningPriOf(CoreId core) const;
 
   // ---- pickcpu.cc ----
-  CoreId PickCpu(SimThread* t, CoreId origin);
+  // `reason` receives the placement rationale (OnPickCpu provenance).
+  CoreId PickCpu(SimThread* t, CoreId origin, PickReason* reason);
+  CoreId SelectTaskRqImpl(SimThread* thread, CoreId origin, EnqueueKind kind,
+                          PickReason* reason);
   bool AffineAt(const SimThread* t, CoreId core, TopoLevel level) const;
   // Lowest-load allowed core in `cores` whose lowpri is worse (numerically
   // higher) than `pri`; kInvalidCore if none. Adds to *scanned.

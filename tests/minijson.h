@@ -1,0 +1,303 @@
+// Minimal recursive-descent JSON parser for validating exporter output in
+// tests (schedstats ToJson, SchedTrace ToChromeJson). Parses the full JSON
+// grammar into a small variant tree; throws std::runtime_error with a byte
+// offset on malformed input. Not a production parser — no streaming, no
+// \uXXXX decoding beyond pass-through — just enough to prove the exporters
+// emit well-formed JSON and to query values in assertions.
+#ifndef TESTS_MINIJSON_H_
+#define TESTS_MINIJSON_H_
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minijson {
+
+class Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  explicit Value(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Value(double d) : type_(Type::kNumber), num_(d) {}
+  explicit Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  explicit Value(Array a) : type_(Type::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : type_(Type::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  bool as_bool() const {
+    Expect(Type::kBool);
+    return bool_;
+  }
+  double as_number() const {
+    Expect(Type::kNumber);
+    return num_;
+  }
+  const std::string& as_string() const {
+    Expect(Type::kString);
+    return str_;
+  }
+  const Array& as_array() const {
+    Expect(Type::kArray);
+    return *arr_;
+  }
+  const Object& as_object() const {
+    Expect(Type::kObject);
+    return *obj_;
+  }
+
+  // Object member access; throws if absent or not an object.
+  const Value& at(const std::string& key) const {
+    const Object& o = as_object();
+    auto it = o.find(key);
+    if (it == o.end()) {
+      throw std::runtime_error("minijson: missing key '" + key + "'");
+    }
+    return it->second;
+  }
+  bool contains(const std::string& key) const {
+    return is_object() && obj_->count(key) > 0;
+  }
+
+ private:
+  void Expect(Type t) const {
+    if (type_ != t) {
+      throw std::runtime_error("minijson: wrong type access");
+    }
+  }
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value Parse() {
+    Value v = ParseValue();
+    SkipWs();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw std::runtime_error("minijson: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  char Next() {
+    const char c = Peek();
+    ++pos_;
+    return c;
+  }
+
+  void Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      Fail("bad literal");
+    }
+    pos_ += word.size();
+  }
+
+  Value ParseValue() {
+    SkipWs();
+    switch (Peek()) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return Value(ParseString());
+      case 't':
+        Literal("true");
+        return Value(true);
+      case 'f':
+        Literal("false");
+        return Value(false);
+      case 'n':
+        Literal("null");
+        return Value();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::string ParseString() {
+    if (Next() != '"') {
+      Fail("expected '\"'");
+    }
+    std::string out;
+    while (true) {
+      const char c = Next();
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        const char esc = Next();
+        switch (esc) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            // Keep \uXXXX escapes verbatim; tests never need them decoded.
+            out += "\\u";
+            for (int i = 0; i < 4; ++i) {
+              const char h = Next();
+              if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                Fail("bad \\u escape");
+              }
+              out += h;
+            }
+            break;
+          }
+          default:
+            Fail("bad escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Value ParseNumber() {
+    const size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    auto digits = [&] {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        Fail("expected digit");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      digits();
+    }
+    return Value(std::stod(std::string(text_.substr(start, pos_ - start))));
+  }
+
+  Value ParseArray() {
+    Next();  // '['
+    Array arr;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(ParseValue());
+      SkipWs();
+      const char c = Next();
+      if (c == ']') {
+        return Value(std::move(arr));
+      }
+      if (c != ',') {
+        Fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  Value ParseObject() {
+    Next();  // '{'
+    Object obj;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      SkipWs();
+      std::string key = ParseString();
+      SkipWs();
+      if (Next() != ':') {
+        Fail("expected ':'");
+      }
+      obj[std::move(key)] = ParseValue();
+      SkipWs();
+      const char c = Next();
+      if (c == '}') {
+        return Value(std::move(obj));
+      }
+      if (c != ',') {
+        Fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+inline Value Parse(std::string_view text) { return Parser(text).Parse(); }
+
+}  // namespace minijson
+
+#endif  // TESTS_MINIJSON_H_

@@ -1,0 +1,233 @@
+// SchedStats registry tests: wakeup-to-dispatch latency on hand-computed
+// scripts, runqueue-depth timeseries on a known scenario, decision counters,
+// and the JSON snapshot round-tripping through a real parser.
+#include "src/metrics/schedstats.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/ule/ule_sched.h"
+#include "src/workload/script.h"
+#include "tests/minijson.h"
+
+namespace schedbattle {
+namespace {
+
+std::unique_ptr<Scheduler> MakeSched(const std::string& kind) {
+  if (kind == "cfs") {
+    return std::make_unique<CfsScheduler>();
+  }
+  return std::make_unique<UleScheduler>();
+}
+
+TEST(SchedStatsTest, ZeroWakeupLatencyOnIdleCore) {
+  // A thread pinned to an otherwise-idle core is dispatched at the simulated
+  // instant of every wakeup: all latencies are exactly zero.
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2), std::make_unique<CfsScheduler>());
+  machine.Boot();
+  SchedStats stats(&machine);
+
+  constexpr int kSleeps = 20;
+  ThreadSpec spec;
+  spec.name = "lonely";
+  spec.affinity = CpuMask::Single(1);
+  spec.body = MakeScriptBody(ScriptBuilder()
+                                 .Loop(kSleeps)
+                                 .Compute(Microseconds(200))
+                                 .Sleep(Milliseconds(1))
+                                 .EndLoop()
+                                 .Build(),
+                             Rng(1));
+  SimThread* t = machine.Spawn(std::move(spec), nullptr);
+  engine.RunUntil(Seconds(1));
+
+  const LatencyHistogram& h = stats.wakeup_latency();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kSleeps));
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.Percentile(99), 0);
+  const LatencyHistogram* per_thread = stats.wakeup_latency_of(t->id());
+  ASSERT_NE(per_thread, nullptr);
+  EXPECT_EQ(per_thread->count(), h.count());
+  // Fork-to-first-dispatch is also instantaneous on an idle core.
+  EXPECT_EQ(stats.fork_latency().count(), 1u);
+  EXPECT_EQ(stats.fork_latency().max(), 0);
+}
+
+TEST(SchedStatsTest, ConvoyWakeupLatencyMatchesHandComputed) {
+  // Single core under ULE (no wakeup preemption): a sleeper wakes at t=5ms
+  // behind a 10ms compute that started at t=1ms, so it waits until the
+  // computer exits at ~11ms — a wakeup latency of ~6ms (plus the context
+  // switch and fork-path overheads, well under 100us).
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(1), std::make_unique<UleScheduler>());
+  machine.Boot();
+  SchedStats stats(&machine);
+
+  ThreadSpec sleeper;
+  sleeper.name = "sleeper";
+  sleeper.body = MakeScriptBody(
+      ScriptBuilder().Sleep(Milliseconds(5)).Compute(Milliseconds(1)).Build(), Rng(1));
+  SimThread* s = machine.Spawn(std::move(sleeper), nullptr);
+
+  engine.At(Milliseconds(1), [&machine] {
+    ThreadSpec computer;
+    computer.name = "computer";
+    computer.body =
+        MakeScriptBody(ScriptBuilder().Compute(Milliseconds(10)).Build(), Rng(2));
+    machine.Spawn(std::move(computer), nullptr);
+  });
+  engine.RunUntil(Seconds(1));
+
+  const LatencyHistogram* h = stats.wakeup_latency_of(s->id());
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->count(), 1u);
+  EXPECT_GE(h->max(), Milliseconds(6));
+  EXPECT_LE(h->max(), Milliseconds(6) + Microseconds(100));
+}
+
+class SchedStatsParamTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchedStatsParamTest, RunqueueDepthSeriesTracksPinnedSpinners) {
+  // Three infinite spinners pinned to core 0: once started, core 0's
+  // runnable count is exactly 3 at every sample and core 1's is 0.
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2), MakeSched(GetParam()));
+  machine.Boot();
+  SchedStats::Options opts;
+  opts.rq_sample_period = Milliseconds(10);
+  SchedStats stats(&machine, opts);
+
+  for (int i = 0; i < 3; ++i) {
+    ThreadSpec spec;
+    spec.name = "spin" + std::to_string(i);
+    spec.affinity = CpuMask::Single(0);
+    spec.body =
+        MakeScriptBody(ScriptBuilder().Loop(-1).Compute(Milliseconds(5)).EndLoop().Build(),
+                       Rng(i + 1));
+    machine.Spawn(std::move(spec), nullptr);
+  }
+  engine.RunUntil(Seconds(1));
+
+  const TimeSeries& core0 = stats.runqueue_depth(0);
+  const TimeSeries& core1 = stats.runqueue_depth(1);
+  ASSERT_GE(core0.points().size(), 90u);  // ~100 samples in 1s
+  EXPECT_EQ(core0.points().size(), core1.points().size());
+  for (const TimePoint& p : core0.points()) {
+    EXPECT_EQ(p.value, 3.0) << "at t=" << p.t;
+  }
+  for (const TimePoint& p : core1.points()) {
+    EXPECT_EQ(p.value, 0.0) << "at t=" << p.t;
+  }
+  // Samples are strictly ordered and evenly spaced.
+  for (size_t i = 1; i < core0.points().size(); ++i) {
+    EXPECT_EQ(core0.points()[i].t - core0.points()[i - 1].t, Milliseconds(10));
+  }
+}
+
+TEST_P(SchedStatsParamTest, JsonSnapshotRoundTrips) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(4), MakeSched(GetParam()));
+  machine.Boot();
+  SchedStats stats(&machine);
+
+  for (int i = 0; i < 6; ++i) {
+    ThreadSpec spec;
+    spec.name = "w" + std::to_string(i);
+    spec.body = MakeScriptBody(ScriptBuilder()
+                                   .Loop(20)
+                                   .Compute(Microseconds(300))
+                                   .Sleep(Microseconds(700))
+                                   .EndLoop()
+                                   .Build(),
+                               Rng(i + 1));
+    machine.Spawn(std::move(spec), nullptr);
+  }
+  engine.RunUntil(Seconds(2));
+
+  const std::string json = stats.ToJson();
+  const minijson::Value root = minijson::Parse(json);  // throws if malformed
+
+  EXPECT_EQ(root.at("scheduler").as_string(), GetParam());
+  EXPECT_EQ(root.at("num_cores").as_number(), 4.0);
+
+  // Latency histograms survive the round trip numerically.
+  const LatencyHistogram& h = stats.wakeup_latency();
+  const minijson::Value& wl = root.at("wakeup_latency");
+  EXPECT_EQ(wl.at("count").as_number(), static_cast<double>(h.count()));
+  ASSERT_GT(h.count(), 0u);
+  EXPECT_EQ(wl.at("p50_ns").as_number(), static_cast<double>(h.Percentile(50)));
+  EXPECT_EQ(wl.at("p99_ns").as_number(), static_cast<double>(h.Percentile(99)));
+  EXPECT_EQ(wl.at("max_ns").as_number(), static_cast<double>(h.max()));
+
+  // Decision counters match the in-memory registry.
+  const DecisionCounters& d = stats.decisions();
+  const minijson::Value& dec = root.at("decisions");
+  EXPECT_EQ(dec.at("pickcpu_total").as_number(), static_cast<double>(d.pickcpu_total));
+  EXPECT_EQ(dec.at("balance_passes").as_number(), static_cast<double>(d.balance_passes));
+  EXPECT_EQ(dec.at("preempt_checks").as_number(), static_cast<double>(d.preempt_checks));
+  uint64_t by_reason_sum = 0;
+  for (const auto& [name, count] : dec.at("pickcpu_by_reason").as_object()) {
+    by_reason_sum += static_cast<uint64_t>(count.as_number());
+  }
+  EXPECT_EQ(by_reason_sum, d.pickcpu_total);
+
+  // One runqueue-depth series per core, entries are [t, depth] pairs.
+  const auto& rq = root.at("runqueue_depth").as_object();
+  EXPECT_EQ(rq.size(), 4u);
+  const auto& core0 = root.at("runqueue_depth").at("core0").as_array();
+  ASSERT_FALSE(core0.empty());
+  EXPECT_EQ(core0.size(), stats.runqueue_depth(0).points().size());
+  for (const minijson::Value& p : core0) {
+    ASSERT_EQ(p.as_array().size(), 2u);
+    EXPECT_GE(p.as_array()[1].as_number(), 0.0);
+  }
+
+  // Per-thread histogram map keyed by thread id.
+  const auto& per_thread = root.at("per_thread_wakeup_latency").as_object();
+  EXPECT_FALSE(per_thread.empty());
+
+  // Balance rings parse and respect the bound.
+  EXPECT_LE(root.at("recent_balance_passes").as_array().size(), 128u);
+  EXPECT_LE(root.at("recent_balance_moves").as_array().size(), 128u);
+}
+
+TEST_P(SchedStatsParamTest, DetachFreezesCountersAndSeries) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2), MakeSched(GetParam()));
+  machine.Boot();
+  SchedStats stats(&machine);
+
+  ThreadSpec spec;
+  spec.name = "churn";
+  spec.body = MakeScriptBody(ScriptBuilder()
+                                 .Loop(-1)
+                                 .Compute(Microseconds(500))
+                                 .Sleep(Microseconds(500))
+                                 .EndLoop()
+                                 .Build(),
+                             Rng(1));
+  machine.Spawn(std::move(spec), nullptr);
+  engine.RunUntil(Milliseconds(100));
+  stats.Detach();
+  EXPECT_FALSE(machine.has_observers());
+
+  const uint64_t picks = stats.decisions().pickcpu_total;
+  const uint64_t wakes = stats.wakeup_latency().count();
+  const size_t samples = stats.runqueue_depth(0).points().size();
+  ASSERT_GT(picks, 0u);
+  engine.RunUntil(Seconds(1));
+  EXPECT_EQ(stats.decisions().pickcpu_total, picks);
+  EXPECT_EQ(stats.wakeup_latency().count(), wakes);
+  EXPECT_EQ(stats.runqueue_depth(0).points().size(), samples);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, SchedStatsParamTest, ::testing::Values("cfs", "ule"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace schedbattle

@@ -5,6 +5,7 @@
 
 #include "src/cfs/cfs_sched.h"
 #include "src/workload/script.h"
+#include "tests/minijson.h"
 
 namespace schedbattle {
 namespace {
@@ -147,7 +148,91 @@ TEST_F(TraceTest, DetachStopsRecording) {
   const size_t n = trace.size();
   engine_.RunUntil(Seconds(1));
   EXPECT_EQ(trace.size(), n);
-  EXPECT_EQ(machine_->observer(), nullptr);
+  EXPECT_FALSE(machine_->observers().Contains(&trace));
+  EXPECT_FALSE(machine_->has_observers());
+}
+
+TEST_F(TraceTest, RingBufferWraparoundMatchesUnboundedSuffix) {
+  // A bounded and an unbounded trace attached simultaneously (through the
+  // observer bus) must agree: the bounded trace holds exactly the last
+  // `capacity` events of the unbounded one, and dropped() accounts for the
+  // rest. This pins down both the wraparound ordering and the bus fan-out.
+  constexpr size_t kCap = 16;
+  SchedTrace bounded(machine_.get(), kCap);
+  SchedTrace unbounded(machine_.get());
+  ThreadSpec spec;
+  spec.name = "churn";
+  spec.body = MakeScriptBody(ScriptBuilder()
+                                 .Loop(50)
+                                 .Compute(Microseconds(100))
+                                 .Sleep(Microseconds(100))
+                                 .EndLoop()
+                                 .Build(),
+                             Rng(1));
+  machine_->Spawn(std::move(spec), nullptr);
+  engine_.RunUntil(Seconds(1));
+
+  const auto all = unbounded.Events();
+  const auto tail = bounded.Events();
+  ASSERT_GT(all.size(), kCap);
+  ASSERT_EQ(tail.size(), kCap);
+  EXPECT_EQ(bounded.dropped(), all.size() - kCap);
+  const size_t offset = all.size() - kCap;
+  for (size_t i = 0; i < kCap; ++i) {
+    EXPECT_EQ(tail[i].t, all[offset + i].t) << "index " << i;
+    EXPECT_EQ(tail[i].kind, all[offset + i].kind) << "index " << i;
+    EXPECT_EQ(tail[i].thread, all[offset + i].thread) << "index " << i;
+    EXPECT_EQ(tail[i].core, all[offset + i].core) << "index " << i;
+  }
+}
+
+TEST_F(TraceTest, ChromeJsonParsesWithCountersAndFlows) {
+  SchedTrace trace(machine_.get());
+  ThreadSpec spec;
+  spec.name = "worker";
+  spec.body = MakeScriptBody(ScriptBuilder()
+                                 .Loop(5)
+                                 .Compute(Milliseconds(1))
+                                 .Sleep(Milliseconds(1))
+                                 .EndLoop()
+                                 .Build(),
+                             Rng(1));
+  machine_->Spawn(std::move(spec), nullptr);
+  engine_.RunUntil(Seconds(1));
+
+  const std::string json = trace.ToChromeJson();
+  const minijson::Value root = minijson::Parse(json);
+  const auto& events = root.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+
+  int counters = 0, flow_starts = 0, flow_ends = 0, slices = 0;
+  bool saw_rq_counter = false;
+  for (const minijson::Value& e : events) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "C") {
+      ++counters;
+      const std::string& name = e.at("name").as_string();
+      if (name.rfind("runqueue core", 0) == 0) {
+        saw_rq_counter = true;
+        EXPECT_GE(e.at("args").at("runnable").as_number(), 0.0);
+      }
+    } else if (ph == "s") {
+      ++flow_starts;
+      EXPECT_EQ(e.at("cat").as_string(), "wakeup");
+    } else if (ph == "f") {
+      ++flow_ends;
+      EXPECT_EQ(e.at("bp").as_string(), "e");
+    } else if (ph == "X") {
+      ++slices;
+      EXPECT_GE(e.at("dur").as_number(), 0.0);
+    }
+  }
+  EXPECT_GT(counters, 0);
+  EXPECT_TRUE(saw_rq_counter);
+  EXPECT_GT(slices, 0);
+  // 5 sleeps -> 5 wakes, each linked to the dispatch that serviced it.
+  EXPECT_GE(flow_starts, 5);
+  EXPECT_EQ(flow_starts, flow_ends);
 }
 
 }  // namespace

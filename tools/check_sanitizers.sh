@@ -1,0 +1,25 @@
+#!/bin/sh
+# Builds the full tree with AddressSanitizer + UndefinedBehaviorSanitizer in
+# a separate build directory and runs the whole test suite under it.
+#
+#   tools/check_sanitizers.sh [build-dir]   (default: build-asan)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-asan"}
+
+san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="$san_flags" \
+  -DCMAKE_EXE_LINKER_FLAGS="$san_flags"
+cmake --build "$build_dir" -j "$(nproc)"
+
+# abort_on_error makes ASan failures fail the ctest run loudly; UBSan halts
+# on the first report thanks to -fno-sanitize-recover.
+ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+echo "sanitizer check: PASSED"

@@ -1,11 +1,14 @@
 // schedbattle CLI: run any benchmark-suite application (or several) under
 // either scheduler on a configurable machine, and inspect the result —
-// counters, per-app stats, a per-core heatmap, and optionally a Chrome
-// trace of every scheduling event.
+// counters, per-app stats, a per-core heatmap, a schedstats JSON snapshot
+// (latency histograms, runqueue-depth series, decision provenance), and
+// optionally a Chrome/Perfetto trace of every scheduling event.
 //
 //   schedbattle_cli --sched=ule --app=sysbench --cores=32 --scale=0.2
 //   schedbattle_cli --sched=cfs --app=MG --app=EP --noise --heatmap
-//   schedbattle_cli --sched=ule --app=apache --cores=1 --trace=/tmp/t.json
+//   schedbattle_cli --sched=ule --app=apache --cores=1 --trace-json=/tmp/t.json
+//   schedbattle_cli --sched=cfs --scenario=fig6 --stats-json=/tmp/stats.json
+//   schedbattle_cli stats --sched=ule --app=sysbench       # JSON to stdout
 //   schedbattle_cli --list
 #include <cstdio>
 #include <cstring>
@@ -18,7 +21,9 @@
 #include "src/metrics/counters.h"
 #include "src/metrics/csv.h"
 #include "src/metrics/heatmap.h"
+#include "src/metrics/schedstats.h"
 #include "src/metrics/trace.h"
+#include "src/workload/script.h"
 
 using namespace schedbattle;
 
@@ -26,10 +31,17 @@ namespace {
 
 void Usage() {
   std::printf(
-      "usage: schedbattle_cli [options]\n"
+      "usage: schedbattle_cli [stats] [options]\n"
+      "subcommands:\n"
+      "  stats                  run and print the schedstats JSON snapshot to\n"
+      "                         stdout (suppresses the human-readable report)\n"
+      "options:\n"
       "  --list                 list available applications and exit\n"
       "  --sched=cfs|ule        scheduler (default cfs)\n"
       "  --app=<name>           application to run (repeatable)\n"
+      "  --scenario=fig6        run the paper's Figure 6 load-balancing\n"
+      "                         scenario (512 spinners pinned to core 0,\n"
+      "                         unpinned at t=14.5s; default horizon 30s)\n"
       "  --cores=<n>            core count; 32 uses the paper's NUMA topology\n"
       "                         (default 32)\n"
       "  --scale=<f>            workload scale factor (default 0.2)\n"
@@ -37,8 +49,50 @@ void Usage() {
       "  --horizon=<seconds>    simulation horizon (default 600)\n"
       "  --noise                add the background kernel-thread app\n"
       "  --heatmap              print the threads-per-core heatmap\n"
-      "  --trace=<file.json>    write a Chrome trace (chrome://tracing)\n"
+      "  --stats-json=<file>    write the schedstats JSON snapshot ('-' for\n"
+      "                         stdout): wakeup latency histograms, per-core\n"
+      "                         runqueue-depth series, decision counters\n"
+      "  --trace-json=<file>    write a Chrome/Perfetto trace (counter tracks\n"
+      "                         and wake->dispatch flow arrows included)\n"
+      "  --trace=<file.json>    alias for --trace-json\n"
       "  --trace-text=<file>    write a plain-text event log\n");
+}
+
+// The paper's Figure 6 workload: 512 infinite spinners pinned to core 0,
+// unpinned at t=14.5s — the canonical stress test for each scheduler's load
+// balancer (and for the OnBalancePass provenance probes).
+Application* AddFig6Scenario(ExperimentRun& run, uint64_t seed) {
+  auto spinners = std::make_unique<ScriptedApp>("spinners", seed);
+  ScriptedApp::ThreadTemplate tmpl;
+  tmpl.name = "spin";
+  tmpl.count = 512;
+  tmpl.affinity = CpuMask::Single(0);
+  tmpl.script = ScriptBuilder().Loop(-1).Compute(Milliseconds(5)).EndLoop().Build();
+  spinners->AddThreads(std::move(tmpl));
+  // One periodically-waking monitor thread (~1% of one core) rides along so
+  // the wakeup-to-dispatch latency pipeline has events to measure; its load
+  // is negligible against 512 spinners.
+  ScriptedApp::ThreadTemplate monitor;
+  monitor.name = "monitor";
+  monitor.count = 1;
+  monitor.script = ScriptBuilder()
+                       .Loop(-1)
+                       .Compute(Microseconds(100))
+                       .Sleep(Milliseconds(10))
+                       .EndLoop()
+                       .Build();
+  spinners->AddThreads(std::move(monitor));
+  spinners->set_background(true);
+  Application* app = run.Add(std::move(spinners), 0);
+
+  Machine& m = run.machine();
+  run.engine().At(SecondsF(14.5), [&m, app] {
+    const CpuMask all = CpuMask::AllOf(m.num_cores());
+    for (SimThread* t : app->threads()) {
+      m.SetAffinity(t, all);
+    }
+  });
+  return app;
 }
 
 }  // namespace
@@ -46,16 +100,24 @@ void Usage() {
 int main(int argc, char** argv) {
   std::string sched = "cfs";
   std::vector<std::string> apps;
+  std::string scenario;
   int cores = 32;
   double scale = 0.2;
   uint64_t seed = 42;
-  double horizon_s = 600;
+  double horizon_s = -1;  // default depends on the workload
   bool noise = false;
   bool heatmap = false;
+  bool stats_mode = false;  // `stats` subcommand: JSON to stdout, no report
+  std::string stats_json_path;
   std::string trace_path;
   std::string trace_text_path;
 
-  for (int i = 1; i < argc; ++i) {
+  int first_flag = 1;
+  if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
+    stats_mode = true;
+    first_flag = 2;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     const char* a = argv[i];
     auto arg = [&](const char* prefix) -> const char* {
       const size_t n = std::strlen(prefix);
@@ -73,6 +135,8 @@ int main(int argc, char** argv) {
       sched = v;
     } else if (const char* v = arg("--app=")) {
       apps.push_back(v);
+    } else if (const char* v = arg("--scenario=")) {
+      scenario = v;
     } else if (const char* v = arg("--cores=")) {
       cores = std::atoi(v);
     } else if (const char* v = arg("--scale=")) {
@@ -85,6 +149,10 @@ int main(int argc, char** argv) {
       noise = true;
     } else if (std::strcmp(a, "--heatmap") == 0) {
       heatmap = true;
+    } else if (const char* v = arg("--stats-json=")) {
+      stats_json_path = v;
+    } else if (const char* v = arg("--trace-json=")) {
+      trace_path = v;
     } else if (const char* v = arg("--trace=")) {
       trace_path = v;
     } else if (const char* v = arg("--trace-text=")) {
@@ -95,14 +163,22 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (apps.empty()) {
-    std::fprintf(stderr, "no --app given\n");
+  if (!scenario.empty() && scenario != "fig6") {
+    std::fprintf(stderr, "unknown scenario '%s' (only fig6 is available)\n", scenario.c_str());
+    return 2;
+  }
+  if (apps.empty() && scenario.empty()) {
+    std::fprintf(stderr, "no --app or --scenario given\n");
     Usage();
     return 2;
   }
   if (sched != "cfs" && sched != "ule") {
     std::fprintf(stderr, "--sched must be cfs or ule\n");
     return 2;
+  }
+  if (horizon_s < 0) {
+    // fig6's spinners run forever; the scenario is over well before 30s.
+    horizon_s = scenario == "fig6" ? 30 : 600;
   }
 
   ExperimentConfig cfg;
@@ -123,7 +199,15 @@ int main(int argc, char** argv) {
     }
     launched.push_back({run.Add(entry->make(cores, seed, scale), 0), entry->metric});
   }
+  if (scenario == "fig6") {
+    AddFig6Scenario(run, seed);
+  }
 
+  // Observers attach through the bus, so any combination works together.
+  std::unique_ptr<SchedStats> stats;
+  if (stats_mode || !stats_json_path.empty()) {
+    stats = std::make_unique<SchedStats>(&run.machine());
+  }
   std::unique_ptr<SchedTrace> trace;
   if (!trace_path.empty() || !trace_text_path.empty()) {
     trace = std::make_unique<SchedTrace>(&run.machine());
@@ -134,6 +218,28 @@ int main(int argc, char** argv) {
   }
 
   const SimTime finish = run.Run();
+
+  if (stats != nullptr) {
+    stats->Detach();
+    const std::string json = stats->ToJson();
+    if (!stats_json_path.empty() && stats_json_path != "-") {
+      if (WriteFile(stats_json_path, json)) {
+        if (!stats_mode) {
+          std::printf("wrote schedstats JSON to %s\n", stats_json_path.c_str());
+        }
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", stats_json_path.c_str());
+        return 1;
+      }
+    }
+    if (stats_mode && (stats_json_path.empty() || stats_json_path == "-")) {
+      std::fputs(json.c_str(), stdout);
+    }
+  }
+  if (stats_mode) {
+    // The subcommand prints machine-readable output only.
+    return 0;
+  }
 
   std::printf("%s", BannerLine("schedbattle: " + sched + " on " +
                                run.machine().topology().Describe())
