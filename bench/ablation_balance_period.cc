@@ -6,48 +6,16 @@
 // Sweeping the period shows convergence time scaling with it, bounded below
 // by the one-thread-at-a-time rule.
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/core/campaign.h"
 #include "src/core/report.h"
 #include "src/core/scenarios.h"
 
 using namespace schedbattle;
-
-namespace {
-
-SimTime RunWithPeriod(SimDuration min_period, SimDuration max_period, uint64_t seed) {
-  ExperimentConfig cfg = ExperimentConfig::Multicore(SchedKind::kUle, seed);
-  cfg.system_noise = false;
-  cfg.ule.balance_min = min_period;
-  cfg.ule.balance_max = max_period;
-  // Reuse the canned scenario machinery by inlining a reduced variant: 512
-  // spinners pinned to core 0, unpinned at 14.5s.
-  cfg.horizon = Seconds(700);
-  ExperimentRun run(cfg);
-  auto spinners = std::make_unique<ScriptedApp>("spinners", seed);
-  ScriptedApp::ThreadTemplate tmpl;
-  tmpl.name = "spin";
-  tmpl.count = 512;
-  tmpl.affinity = CpuMask::Single(0);
-  tmpl.script = ScriptBuilder().Loop(-1).Compute(Milliseconds(5)).EndLoop().Build();
-  spinners->AddThreads(std::move(tmpl));
-  spinners->set_background(true);
-  Application* app = run.Add(std::move(spinners), 0);
-  CoreLoadHeatmap heatmap(&run.machine(), Milliseconds(100));
-  Machine& m = run.machine();
-  run.engine().At(SecondsF(14.5), [&m, app] {
-    const CpuMask all = CpuMask::AllOf(m.num_cores());
-    for (SimThread* t : app->threads()) {
-      m.SetAffinity(t, all);
-    }
-  });
-  run.Run();
-  heatmap.Stop();
-  const SimTime balanced = heatmap.TimeToBalance(1);
-  return balanced < 0 ? -1 : balanced - SecondsF(14.5);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
@@ -66,12 +34,28 @@ int main(int argc, char** argv) {
       {"0.5-1.5s (stock)", Milliseconds(500), Milliseconds(1500)},
       {"2-4s", Seconds(2), Seconds(4)},
   };
+
+  // One Figure 6 spec per period; all legs run as one campaign.
+  std::vector<ExperimentSpec> specs;
+  std::vector<std::shared_ptr<LoadBalanceResult>> outs;
+  for (const Sweep& s : sweeps) {
+    auto out = std::make_shared<LoadBalanceResult>();
+    ExperimentSpec spec = LoadBalanceSpec(SchedKind::kUle, args.seed, Seconds(700), 1, out);
+    spec.ule.balance_min = s.min;
+    spec.ule.balance_max = s.max;
+    spec.label += std::string("/") + s.label;
+    specs.push_back(std::move(spec));
+    outs.push_back(std::move(out));
+  }
+  CampaignRunner(args.jobs).Run(specs);
+
   TextTable table({"balancer period", "time to balance (s)"});
   std::vector<double> times;
-  for (const Sweep& s : sweeps) {
-    const SimTime t = RunWithPeriod(s.min, s.max, args.seed);
+  for (size_t i = 0; i < outs.size(); ++i) {
+    const LoadBalanceResult& r = *outs[i];
+    const SimTime t = r.balanced_time < 0 ? -1 : r.balanced_time - r.unpin_time;
     times.push_back(t < 0 ? -1 : ToSeconds(t));
-    table.AddRow({s.label, t < 0 ? "never (within 700s)" : TextTable::Num(ToSeconds(t))});
+    table.AddRow({sweeps[i].label, t < 0 ? "never (within 700s)" : TextTable::Num(ToSeconds(t))});
   }
   std::printf("%s\n", table.Render().c_str());
 

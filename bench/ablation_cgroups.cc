@@ -6,38 +6,75 @@
 // (systemd/autogroup cgroups, Section 2.1). With groups disabled, per-thread
 // fairness gives fibo ~1/81 of the core.
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/apps/fibo.h"
 #include "src/apps/sysbench.h"
+#include "src/core/campaign.h"
 #include "src/core/report.h"
-#include "src/core/runner.h"
+#include "src/core/scenarios.h"
 
 using namespace schedbattle;
 
 namespace {
 
-double FiboShare(bool group_scheduling, uint64_t seed, double scale) {
-  ExperimentConfig cfg = ExperimentConfig::SingleCore(SchedKind::kCfs, seed);
-  cfg.cfs.group_scheduling = group_scheduling;
-  ExperimentRun run(cfg);
-  FiboParams fp;
-  fp.total_work = SecondsF(160.0 * scale);
-  fp.seed = seed;
-  Application* fibo = run.Add(MakeFibo(fp), 0);
-  SysbenchParams sp = SysbenchTable2();
-  sp.seed = seed + 1;
-  sp.total_transactions = static_cast<int64_t>(sp.total_transactions * scale);
-  Application* sys = run.Add(MakeSysbench(sp), Seconds(7));
-  // Measure fibo's CPU share over a window where sysbench is saturating.
-  const SimTime t1 = SecondsF(7.0 + 160.0 * scale * 0.1);
-  const SimTime t2 = SecondsF(7.0 + 160.0 * scale * 0.5);
-  SimDuration r1 = 0, r2 = 0;
-  run.engine().At(t1, [&] { r1 = fibo->threads().front()->RuntimeAt(t1); });
-  run.engine().At(t2, [&] { r2 = fibo->threads().front()->RuntimeAt(t2); });
-  run.Run();
-  (void)sys;
-  return static_cast<double>(r2 - r1) / static_cast<double>(t2 - t1);
+// Spec for the Table 2 workload that measures fibo's CPU share over a window
+// where sysbench is saturating, via mid-run probe events.
+ExperimentSpec FiboShareSpec(bool group_scheduling, uint64_t seed, double scale,
+                             std::shared_ptr<double> share_out) {
+  ExperimentSpec spec = ExperimentSpec::SingleCore(SchedKind::kCfs, seed);
+  spec.scale = scale;
+  spec.Named(group_scheduling ? "cgroups-on" : "cgroups-off");
+  spec.cfs.group_scheduling = group_scheduling;
+
+  AppSpec fibo;
+  fibo.name = "fibo";
+  fibo.has_metric = true;
+  fibo.metric = MetricKind::kInvTime;
+  fibo.make = [](int, uint64_t s, double sc) {
+    FiboParams fp;
+    fp.total_work = SecondsF(160.0 * sc);
+    fp.seed = s;
+    return MakeFibo(fp);
+  };
+  spec.Add(fibo);
+
+  AppSpec sys;
+  sys.name = "sysbench";
+  sys.start_at = Seconds(7);
+  sys.has_metric = true;
+  sys.metric = MetricKind::kOpsPerSec;
+  sys.make = [](int, uint64_t s, double sc) {
+    SysbenchParams sp = SysbenchTable2();
+    sp.seed = s + 1;
+    sp.total_transactions = static_cast<int64_t>(sp.total_transactions * sc);
+    return MakeSysbench(sp);
+  };
+  spec.Add(sys);
+
+  struct Probe {
+    SimTime t1 = 0, t2 = 0;
+    SimDuration r1 = 0, r2 = 0;
+  };
+  auto probe = std::make_shared<Probe>();
+  spec.hooks.on_start = [probe, scale](SpecRunContext& ctx) {
+    Application* fibo_app = ctx.apps[0];
+    probe->t1 = SecondsF(7.0 + 160.0 * scale * 0.1);
+    probe->t2 = SecondsF(7.0 + 160.0 * scale * 0.5);
+    ctx.run.engine().PostAt(probe->t1, [probe, fibo_app] {
+      probe->r1 = fibo_app->threads().front()->RuntimeAt(probe->t1);
+    });
+    ctx.run.engine().PostAt(probe->t2, [probe, fibo_app] {
+      probe->r2 = fibo_app->threads().front()->RuntimeAt(probe->t2);
+    });
+  };
+  spec.hooks.on_finish = [probe, share_out](SpecRunContext&, RunResult&) {
+    *share_out = static_cast<double>(probe->r2 - probe->r1) /
+                 static_cast<double>(probe->t2 - probe->t1);
+  };
+  return spec;
 }
 
 }  // namespace
@@ -48,8 +85,14 @@ int main(int argc, char** argv) {
               BannerLine("Ablation: CFS group scheduling on/off (fibo + sysbench-80, one core)")
                   .c_str());
 
-  const double with_groups = FiboShare(true, args.seed, args.scale);
-  const double without_groups = FiboShare(false, args.seed, args.scale);
+  auto with_out = std::make_shared<double>(0.0);
+  auto without_out = std::make_shared<double>(0.0);
+  CampaignRunner(args.jobs).Run({
+      FiboShareSpec(true, args.seed, args.scale, with_out),
+      FiboShareSpec(false, args.seed, args.scale, without_out),
+  });
+  const double with_groups = *with_out;
+  const double without_groups = *without_out;
 
   TextTable table({"configuration", "fibo CPU share while sysbench runs"});
   table.AddRow({"group scheduling (autogroup, stock)", TextTable::Num(100 * with_groups) + "%"});

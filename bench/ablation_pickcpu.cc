@@ -5,37 +5,16 @@
 // simple one that returns the CPU on which the thread was previously
 // running, and then observed no difference between ULE and CFS."
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/apps/sysbench.h"
+#include "src/core/campaign.h"
 #include "src/core/report.h"
-#include "src/core/runner.h"
+#include "src/core/scenarios.h"
 
 using namespace schedbattle;
-
-namespace {
-
-struct Result {
-  double tps;
-  double sched_pct;
-  uint64_t scans;
-};
-
-Result RunOne(SchedKind kind, bool return_prev, uint64_t seed, double scale) {
-  ExperimentConfig cfg = ExperimentConfig::Multicore(kind, seed);
-  cfg.ule.pickcpu_return_prev = return_prev;
-  ExperimentRun run(cfg);
-  SysbenchParams p = SysbenchMulticore();
-  p.seed = seed;
-  p.total_transactions = static_cast<int64_t>(p.total_transactions * scale);
-  Application* app = run.Add(MakeSysbench(p), 0);
-  run.Run();
-  return {app->stats().OpsPerSecond(run.engine().now()),
-          100.0 * run.machine().SchedulerWorkFraction(),
-          run.machine().counters().pickcpu_scans};
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv, /*default_scale=*/0.3);
@@ -44,21 +23,65 @@ int main(int argc, char** argv) {
                          "cores)")
                   .c_str());
 
-  const Result cfs = RunOne(SchedKind::kCfs, false, args.seed, args.scale);
-  const Result ule = RunOne(SchedKind::kUle, false, args.seed, args.scale);
-  const Result ule_prev = RunOne(SchedKind::kUle, true, args.seed, args.scale);
+  ExperimentSpec base = ExperimentSpec::Multicore(SchedKind::kCfs, args.seed);
+  base.scale = args.scale;
+  base.Named("pickcpu");
+  AppSpec sys;
+  sys.name = "sysbench";
+  sys.has_metric = true;
+  sys.metric = MetricKind::kOpsPerSec;
+  sys.make = [](int, uint64_t seed, double scale) {
+    SysbenchParams p = SysbenchMulticore();
+    p.seed = seed;
+    p.total_transactions = static_cast<int64_t>(p.total_transactions * scale);
+    return MakeSysbench(p);
+  };
+  base.Add(sys);
+
+  const std::vector<SpecVariant> variants = {
+      {"cfs", [](ExperimentSpec& s) { s.sched = SchedKind::kCfs; }},
+      {"ule", [](ExperimentSpec& s) { s.sched = SchedKind::kUle; }},
+      {"ule-return-prev",
+       [](ExperimentSpec& s) {
+         s.sched = SchedKind::kUle;
+         s.ule.pickcpu_return_prev = true;
+       }},
+  };
+  const std::vector<RunResult> results =
+      CampaignRunner(args.jobs).Run(SeedSweep(WithVariants(base, variants), args.runs));
+  const std::vector<ResultGroup> groups = GroupResults(results);
+
+  struct Row {
+    const char* label;
+    AggregateStat tps;
+    double sched_pct;
+    uint64_t scans;
+  };
+  std::vector<Row> rows;
+  const char* labels[] = {"CFS", "ULE (sched_pickcpu)", "ULE (return prev cpu)"};
+  for (size_t i = 0; i < groups.size(); ++i) {
+    Row row;
+    row.label = labels[i];
+    row.tps = groups[i].Aggregate([](const RunResult& r) { return r.apps[0].ops_per_sec; });
+    row.sched_pct =
+        groups[i].Aggregate([](const RunResult& r) { return 100.0 * r.sched_work_fraction; })
+            .mean;
+    row.scans = groups[i].runs.front()->counters.pickcpu_scans;
+    rows.push_back(row);
+  }
 
   TextTable table({"configuration", "transactions/s", "sched time %", "cores scanned"});
-  table.AddRow({"CFS", TextTable::Num(cfs.tps, 0), TextTable::Num(cfs.sched_pct, 2),
-                std::to_string(cfs.scans)});
-  table.AddRow({"ULE (sched_pickcpu)", TextTable::Num(ule.tps, 0),
-                TextTable::Num(ule.sched_pct, 2), std::to_string(ule.scans)});
-  table.AddRow({"ULE (return prev cpu)", TextTable::Num(ule_prev.tps, 0),
-                TextTable::Num(ule_prev.sched_pct, 2), std::to_string(ule_prev.scans)});
+  for (const Row& row : rows) {
+    table.AddRow({row.label, row.tps.Format(0), TextTable::Num(row.sched_pct, 2),
+                  std::to_string(row.scans)});
+  }
   std::printf("%s\n", table.Render().c_str());
 
-  const double gap_full = 100.0 * (ule.tps - cfs.tps) / cfs.tps;
-  const double gap_prev = 100.0 * (ule_prev.tps - cfs.tps) / cfs.tps;
+  const Row& cfs = rows[0];
+  const Row& ule = rows[1];
+  const Row& ule_prev = rows[2];
+  const double gap_full = 100.0 * (ule.tps.mean - cfs.tps.mean) / cfs.tps.mean;
+  const double gap_prev = 100.0 * (ule_prev.tps.mean - cfs.tps.mean) / cfs.tps.mean;
   std::printf("ULE vs CFS: %+.1f%% with sched_pickcpu, %+.1f%% with return-prev\n", gap_full,
               gap_prev);
   const bool overhead_gone = ule_prev.sched_pct < 0.3 * ule.sched_pct;

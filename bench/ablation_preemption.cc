@@ -5,35 +5,16 @@
 // added latency when co-run with fibo. This ablation flips the design knob
 // and shows the apache advantage collapsing toward CFS behaviour.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/apps/apache.h"
+#include "src/core/campaign.h"
 #include "src/core/report.h"
-#include "src/core/runner.h"
+#include "src/core/scenarios.h"
 
 using namespace schedbattle;
-
-namespace {
-
-struct Result {
-  double rps;
-  uint64_t wakeup_preemptions;
-};
-
-Result RunOne(SchedKind kind, bool ule_preempt, uint64_t seed, double scale) {
-  ExperimentConfig cfg = ExperimentConfig::SingleCore(kind, seed);
-  cfg.ule.wakeup_preemption = ule_preempt;
-  ExperimentRun run(cfg);
-  ApacheParams p;
-  p.seed = seed;
-  p.total_requests = static_cast<int64_t>(500000 * scale);
-  Application* app = run.Add(MakeApache(p), 0);
-  run.Run();
-  return {app->stats().OpsPerSecond(run.engine().now()),
-          run.machine().counters().wakeup_preemptions};
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv, /*default_scale=*/0.3);
@@ -41,20 +22,57 @@ int main(int argc, char** argv) {
               BannerLine("Ablation: ULE with wakeup preemption enabled (apache, one core)")
                   .c_str());
 
-  const Result cfs = RunOne(SchedKind::kCfs, false, args.seed, args.scale);
-  const Result ule = RunOne(SchedKind::kUle, false, args.seed, args.scale);
-  const Result ule_preempt = RunOne(SchedKind::kUle, true, args.seed, args.scale);
+  ExperimentSpec base = ExperimentSpec::SingleCore(SchedKind::kCfs, args.seed);
+  base.scale = args.scale;
+  base.Named("preemption");
+  AppSpec apache;
+  apache.name = "apache";
+  apache.has_metric = true;
+  apache.metric = MetricKind::kOpsPerSec;
+  apache.make = [](int, uint64_t seed, double scale) {
+    ApacheParams p;
+    p.seed = seed;
+    p.total_requests = static_cast<int64_t>(500000 * scale);
+    return MakeApache(p);
+  };
+  base.Add(apache);
+
+  const std::vector<SpecVariant> variants = {
+      {"cfs", [](ExperimentSpec& s) { s.sched = SchedKind::kCfs; }},
+      {"ule-stock", [](ExperimentSpec& s) { s.sched = SchedKind::kUle; }},
+      {"ule-preempt",
+       [](ExperimentSpec& s) {
+         s.sched = SchedKind::kUle;
+         s.ule.wakeup_preemption = true;
+       }},
+  };
+  const std::vector<RunResult> results =
+      CampaignRunner(args.jobs).Run(SeedSweep(WithVariants(base, variants), args.runs));
+  const std::vector<ResultGroup> groups = GroupResults(results);
+
+  struct Row {
+    AggregateStat rps;
+    uint64_t wakeup_preemptions;
+  };
+  std::vector<Row> rows;
+  for (const ResultGroup& g : groups) {
+    rows.push_back({g.Aggregate([](const RunResult& r) { return r.apps[0].ops_per_sec; }),
+                    g.runs.front()->counters.wakeup_preemptions});
+  }
+  const Row& cfs = rows[0];
+  const Row& ule = rows[1];
+  const Row& ule_preempt = rows[2];
 
   TextTable table({"configuration", "requests/s", "wakeup preemptions"});
-  table.AddRow({"CFS", TextTable::Num(cfs.rps, 0), std::to_string(cfs.wakeup_preemptions)});
-  table.AddRow({"ULE (no preemption, stock)", TextTable::Num(ule.rps, 0),
+  table.AddRow({"CFS", cfs.rps.Format(0), std::to_string(cfs.wakeup_preemptions)});
+  table.AddRow({"ULE (no preemption, stock)", ule.rps.Format(0),
                 std::to_string(ule.wakeup_preemptions)});
-  table.AddRow({"ULE (wakeup preemption on)", TextTable::Num(ule_preempt.rps, 0),
+  table.AddRow({"ULE (wakeup preemption on)", ule_preempt.rps.Format(0),
                 std::to_string(ule_preempt.wakeup_preemptions)});
   std::printf("%s\n", table.Render().c_str());
 
-  const double stock_gain = 100.0 * (ule.rps - cfs.rps) / cfs.rps;
-  const double preempt_gain = 100.0 * (ule_preempt.rps - cfs.rps) / cfs.rps;
+  const double stock_gain = 100.0 * (ule.rps.mean - cfs.rps.mean) / cfs.rps.mean;
+  const double preempt_gain = 100.0 * (ule_preempt.rps.mean - cfs.rps.mean) / cfs.rps.mean;
   std::printf("ULE vs CFS: %+.1f%% stock, %+.1f%% with preemption enabled\n", stock_gain,
               preempt_gain);
   const bool advantage_from_no_preemption =

@@ -8,63 +8,67 @@
 // makes CFS behave like ULE on this workload (few preemptions, high
 // throughput), a tiny one makes it worse.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/apps/apache.h"
+#include "src/core/campaign.h"
 #include "src/core/report.h"
-#include "src/core/runner.h"
+#include "src/core/scenarios.h"
 
 using namespace schedbattle;
-
-namespace {
-
-struct Result {
-  double rps;
-  uint64_t preemptions;
-};
-
-Result RunOne(SimDuration gran, uint64_t seed, double scale) {
-  ExperimentConfig cfg = ExperimentConfig::SingleCore(SchedKind::kCfs, seed);
-  cfg.cfs.wakeup_granularity = gran;
-  ExperimentRun run(cfg);
-  ApacheParams p;
-  p.seed = seed;
-  p.total_requests = static_cast<int64_t>(500000 * scale);
-  Application* app = run.Add(MakeApache(p), 0);
-  run.Run();
-  return {app->stats().OpsPerSecond(run.engine().now()),
-          run.machine().counters().wakeup_preemptions};
-}
-
-double RunUle(uint64_t seed, double scale) {
-  ExperimentConfig cfg = ExperimentConfig::SingleCore(SchedKind::kUle, seed);
-  ExperimentRun run(cfg);
-  ApacheParams p;
-  p.seed = seed;
-  p.total_requests = static_cast<int64_t>(500000 * scale);
-  Application* app = run.Add(MakeApache(p), 0);
-  run.Run();
-  return app->stats().OpsPerSecond(run.engine().now());
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv, /*default_scale=*/0.3);
   std::printf("%s",
               BannerLine("Ablation: CFS wakeup granularity on apache (one core)").c_str());
 
+  ExperimentSpec base = ExperimentSpec::SingleCore(SchedKind::kCfs, args.seed);
+  base.scale = args.scale;
+  base.Named("wakeup-granularity");
+  AppSpec apache;
+  apache.name = "apache";
+  apache.has_metric = true;
+  apache.metric = MetricKind::kOpsPerSec;
+  apache.make = [](int, uint64_t seed, double scale) {
+    ApacheParams p;
+    p.seed = seed;
+    p.total_requests = static_cast<int64_t>(500000 * scale);
+    return MakeApache(p);
+  };
+  base.Add(apache);
+
   const SimDuration grans[] = {Microseconds(100), Milliseconds(1), Milliseconds(4),
                                Milliseconds(20), Milliseconds(100)};
-  TextTable table({"wakeup granularity", "requests/s", "wakeup preemptions"});
-  std::vector<Result> results;
+  std::vector<SpecVariant> variants;
   for (SimDuration g : grans) {
-    const Result r = RunOne(g, args.seed, args.scale);
+    variants.push_back({"gran-" + std::to_string(static_cast<long long>(ToMilliseconds(g) * 1000)) + "us",
+                        [g](ExperimentSpec& s) { s.cfs.wakeup_granularity = g; }});
+  }
+  variants.push_back({"ule", [](ExperimentSpec& s) { s.sched = SchedKind::kUle; }});
+
+  const std::vector<RunResult> all =
+      CampaignRunner(args.jobs).Run(SeedSweep(WithVariants(base, variants), args.runs));
+  const std::vector<ResultGroup> groups = GroupResults(all);
+
+  struct Result {
+    double rps;
+    uint64_t preemptions;
+  };
+  std::vector<Result> results;
+  TextTable table({"wakeup granularity", "requests/s", "wakeup preemptions"});
+  for (size_t i = 0; i < std::size(grans); ++i) {
+    const Result r = {
+        groups[i].Aggregate([](const RunResult& rr) { return rr.apps[0].ops_per_sec; }).mean,
+        groups[i].runs.front()->counters.wakeup_preemptions};
     results.push_back(r);
-    table.AddRow({TextTable::Num(ToMilliseconds(g), 1) + "ms" + (g == Milliseconds(1) ? " (stock)" : ""),
+    table.AddRow({TextTable::Num(ToMilliseconds(grans[i]), 1) + "ms" +
+                      (grans[i] == Milliseconds(1) ? " (stock)" : ""),
                   TextTable::Num(r.rps, 0), std::to_string(r.preemptions)});
   }
-  const double ule_rps = RunUle(args.seed, args.scale);
+  const double ule_rps =
+      groups.back().Aggregate([](const RunResult& rr) { return rr.apps[0].ops_per_sec; }).mean;
   table.AddRow({"(ULE, no preemption)", TextTable::Num(ule_rps, 0), "0"});
   std::printf("%s\n", table.Render().c_str());
 

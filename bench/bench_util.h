@@ -2,39 +2,55 @@
 //
 // Every binary accepts:
 //   --scale=<f>   shrink workload sizes (default 1.0; CI smoke runs use less)
-//   --seed=<n>    RNG seed (default 42)
+//   --seed=<n>    base RNG seed (default 42)
+//   --runs=<n>    seeds per configuration; results report mean ± stddev
+//   --jobs=<n>    campaign worker threads (0 = hardware concurrency)
 //   --csv=<path>  also write machine-readable series/rows to a CSV file
+//
+// Parsing is strict (src/core/flags.h): "--scale=abc" is an error, not 0.0.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
+
+#include "src/core/flags.h"
 
 namespace schedbattle {
 
 struct BenchArgs {
   double scale = 1.0;
   uint64_t seed = 42;
+  int runs = 1;
+  int jobs = 0;  // 0 = hardware concurrency
   std::string csv_path;
 };
+
+// Flag table shared with schedbattle_cli's experiment subcommands; extra
+// binary-specific flags can be registered on top before parsing.
+inline FlagSet BenchFlagSet(BenchArgs* args) {
+  FlagSet flags;
+  flags.Double("scale", &args->scale, "workload scale factor")
+      .Uint64("seed", &args->seed, "base RNG seed")
+      .Int("runs", &args->runs, "seeds per configuration (mean ± stddev)")
+      .Int("jobs", &args->jobs, "worker threads (0 = hardware concurrency)")
+      .String("csv", &args->csv_path, "also write results to this CSV file");
+  return flags;
+}
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv, double default_scale = 1.0) {
   BenchArgs args;
   args.scale = default_scale;
-  for (int i = 1; i < argc; ++i) {
-    const char* a = argv[i];
-    if (std::strncmp(a, "--scale=", 8) == 0) {
-      args.scale = std::atof(a + 8);
-    } else if (std::strncmp(a, "--seed=", 7) == 0) {
-      args.seed = std::strtoull(a + 7, nullptr, 10);
-    } else if (std::strncmp(a, "--csv=", 6) == 0) {
-      args.csv_path = a + 6;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s (known: --scale= --seed= --csv=)\n", a);
-      std::exit(2);
-    }
+  const FlagSet flags = BenchFlagSet(&args);
+  std::string error;
+  if (!flags.Parse(argc, argv, 1, &error)) {
+    std::fprintf(stderr, "%s\n%s", error.c_str(), flags.Help().c_str());
+    std::exit(2);
+  }
+  if (args.runs < 1) {
+    std::fprintf(stderr, "--runs must be >= 1\n");
+    std::exit(2);
   }
   return args;
 }

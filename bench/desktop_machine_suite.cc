@@ -7,30 +7,15 @@
 // conclusions carry over: small average difference, the barrier-coupled
 // kernel still favours ULE, apache still favours ULE on one core.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/apps/registry.h"
 #include "src/core/report.h"
-#include "src/core/runner.h"
+#include "src/core/scenarios.h"
 
 using namespace schedbattle;
-
-namespace {
-
-double RunOne(const std::string& name, SchedKind kind, uint64_t seed, double scale) {
-  const AppEntry* entry = FindApp(name);
-  ExperimentConfig cfg;
-  cfg.sched = kind;
-  cfg.topology = CpuTopology::I7_3770().config();
-  cfg.machine.seed = seed;
-  cfg.system_noise = true;
-  ExperimentRun run(cfg);
-  Application* app = run.Add(entry->make(8, seed, scale), 0);
-  run.Run();
-  return run.MetricFor(*app, entry->metric);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv, /*default_scale=*/0.15);
@@ -38,21 +23,32 @@ int main(int argc, char** argv) {
               BannerLine("Desktop machine (i7-3770, 4c/8t): representative suite slice")
                   .c_str());
 
-  const char* apps[] = {"gzip", "7zip",   "c-ray",   "MG",      "EP",
-                        "FT",   "apache", "sysbench", "rocksdb", "streamcluster"};
+  const char* names[] = {"gzip", "7zip",   "c-ray",    "MG",      "EP",
+                         "FT",   "apache", "sysbench", "rocksdb", "streamcluster"};
+  std::vector<AppSpec> apps;
+  for (const char* name : names) {
+    apps.push_back(RegistryApp(name));
+  }
+  SuiteOptions options;
+  options.topology = CpuTopology::I7_3770().config();
+  options.system_noise = true;
+  options.seed = args.seed;
+  options.scale = args.scale;
+  options.runs = args.runs;
+  options.jobs = args.jobs;
+  const std::vector<SuiteRow> rows = RunSuite(apps, options);
+
   TextTable table({"application", "CFS metric", "ULE metric", "ULE vs CFS"});
   double sum = 0;
   int n = 0;
   double mg_diff = 0;
-  for (const char* name : apps) {
-    const double cfs = RunOne(name, SchedKind::kCfs, args.seed, args.scale);
-    const double ule = RunOne(name, SchedKind::kUle, args.seed, args.scale);
-    const double diff = cfs > 0 ? 100.0 * (ule - cfs) / cfs : 0;
-    table.AddRow({name, TextTable::Num(cfs, 4), TextTable::Num(ule, 4), TextTable::Pct(diff)});
-    sum += diff;
+  for (const SuiteRow& row : rows) {
+    table.AddRow({row.name, TextTable::Num(row.cfs_metric, 4),
+                  TextTable::Num(row.ule_metric, 4), TextTable::Pct(row.diff_pct)});
+    sum += row.diff_pct;
     ++n;
-    if (std::string(name) == "MG") {
-      mg_diff = diff;
+    if (row.name == "MG") {
+      mg_diff = row.diff_pct;
     }
   }
   std::printf("%s\n", table.Render().c_str());

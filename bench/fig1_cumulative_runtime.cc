@@ -39,10 +39,15 @@ int main(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("%s", BannerLine("Figure 1: cumulative runtime of fibo and sysbench").c_str());
 
-  FiboSysbenchResult cfs = RunFiboSysbench(SchedKind::kCfs, args.seed, args.scale);
-  FiboSysbenchResult ule = RunFiboSysbench(SchedKind::kUle, args.seed, args.scale);
+  const FiboSysbenchCampaign c = RunFiboSysbenchBoth(args.seed, args.scale, args.runs, args.jobs);
+  const FiboSysbenchResult& cfs = c.cfs.first;
+  const FiboSysbenchResult& ule = c.ule.first;
   PrintSeries(cfs);
   PrintSeries(ule);
+  if (args.runs > 1) {
+    std::printf("across %d seeds: sysbench tps CFS %s, ULE %s\n\n", args.runs,
+                c.cfs.tps.Format(0).c_str(), c.ule.tps.Format(0).c_str());
+  }
 
   // Shape checks over a window where sysbench is active on both schedulers:
   // from shortly after the sysbench launch to ULE's sysbench finish.

@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("%s", BannerLine("Figure 2: interactivity penalty over time (ULE)").c_str());
 
-  FiboSysbenchResult ule = RunFiboSysbench(SchedKind::kUle, args.seed, args.scale);
+  const FiboSysbenchAggregate agg =
+      RunFiboSysbenchCampaign(SchedKind::kUle, args.seed, args.scale, args.runs, args.jobs);
+  const FiboSysbenchResult& ule = agg.first;
 
   std::printf("%10s  %14s  %18s\n", "time(s)", "fibo-penalty", "sysbench-penalty");
   const auto& fp = ule.fibo_penalty_series.points();
@@ -28,6 +30,10 @@ int main(int argc, char** argv) {
                 ule.sysbench_penalty_series.ValueAt(t));
   }
   std::printf("\n");
+  if (args.runs > 1) {
+    std::printf("across %d seeds: sysbench finish %s s\n", args.runs,
+                agg.sysbench_finish_s.Format(1).c_str());
+  }
 
   // Evaluate over the window where sysbench runs.
   const double t_probe = 7.0 + (ToSeconds(ule.sysbench_finish) - 7.0) / 2;

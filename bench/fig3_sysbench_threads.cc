@@ -7,6 +7,8 @@
 // late-forked workers inherit batch scores and starve — near-zero cumulative
 // runtime and a persistently high penalty band.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/report.h"
@@ -21,7 +23,20 @@ int main(int argc, char** argv) {
               BannerLine("Figures 3+4: sysbench threads under ULE (128 threads, one core)")
                   .c_str());
 
-  SysbenchThreadsResult r = RunSysbenchThreads(SchedKind::kUle, args.seed, args.scale);
+  // One spec per seed, executed as a campaign; the figure's series come from
+  // the base seed, the class counts are averaged across seeds.
+  std::vector<ExperimentSpec> specs;
+  std::vector<std::shared_ptr<SysbenchThreadsResult>> outs;
+  for (int k = 0; k < args.runs; ++k) {
+    auto out = std::make_shared<SysbenchThreadsResult>();
+    ExperimentSpec s =
+        SysbenchThreadsSpec(SchedKind::kUle, args.seed + static_cast<uint64_t>(k), args.scale, out);
+    s.label += "/s" + std::to_string(k);
+    specs.push_back(std::move(s));
+    outs.push_back(std::move(out));
+  }
+  CampaignRunner(args.jobs).Run(specs);
+  const SysbenchThreadsResult& r = *outs.front();
 
   std::printf("%8s  %10s  %12s  %10s  %12s  %10s\n", "time(s)", "master(s)", "interact(s)",
               "backgr(s)", "interact-pen", "backgr-pen");
@@ -36,6 +51,16 @@ int main(int argc, char** argv) {
   std::printf("worker classes: %d interactive (ran), %d background, of which %d starved\n",
               r.interactive_count, r.background_count, r.starved_count);
   std::printf("(paper: 80 interactive, 48 background/starving)\n");
+  if (args.runs > 1) {
+    std::vector<double> interactive, background;
+    for (const auto& o : outs) {
+      interactive.push_back(o->interactive_count);
+      background.push_back(o->background_count);
+    }
+    std::printf("across %d seeds: interactive %s, background %s\n", args.runs,
+                AggregateStat::Of(interactive).Format(1).c_str(),
+                AggregateStat::Of(background).Format(1).c_str());
+  }
 
   const bool two_bands = r.interactive_count >= 40 && r.background_count >= 20;
   // The paper's claim (Figure 4): the running band stays below the

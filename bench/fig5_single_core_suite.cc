@@ -7,6 +7,8 @@
 // is never wakeup-preempted (the paper counts ~2M preemptions of ab under
 // CFS and none under ULE).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/apps/registry.h"
@@ -19,8 +21,31 @@ int main(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv, /*default_scale=*/0.3);
   std::printf("%s", BannerLine("Figure 5: ULE vs CFS, single core (positive = ULE faster)")
                         .c_str());
-  std::printf("(scale=%.2f seed=%llu)\n\n", args.scale,
-              static_cast<unsigned long long>(args.seed));
+  std::printf("(scale=%.2f seed=%llu runs=%d jobs=%d)\n\n", args.scale,
+              static_cast<unsigned long long>(args.seed), args.runs, args.jobs);
+
+  std::vector<AppSpec> apps;
+  for (const AppEntry& e : BenchmarkSuite()) {
+    apps.push_back(RegistryApp(e.name));
+  }
+  SuiteOptions options;
+  options.topology = CpuTopology::Flat(1).config();
+  options.system_noise = false;
+  options.seed = args.seed;
+  options.scale = args.scale;
+  options.runs = args.runs;
+  options.jobs = args.jobs;
+  const std::vector<SuiteRow> rows = RunSuite(apps, options);
+
+  const auto cell = [&](double mean, double sd, int digits) {
+    char buf[64];
+    if (args.runs > 1) {
+      std::snprintf(buf, sizeof(buf), "%.*f ±%.*f", digits, mean, digits, sd);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.*f", digits, mean);
+    }
+    return std::string(buf);
+  };
 
   TextTable table({"application", "CFS metric", "ULE metric", "ULE vs CFS",
                    "CFS wakeup-preempt", "ULE wakeup-preempt"});
@@ -28,17 +53,17 @@ int main(int argc, char** argv) {
   int n = 0;
   double scimark_heavy = 0, apache_diff = 0;
   uint64_t apache_cfs_preempt = 0, apache_ule_preempt = 0;
-  for (const AppEntry& e : BenchmarkSuite()) {
-    const SuiteRow row = RunSuiteApp(e.name, /*cores=*/1, args.seed, args.scale);
-    table.AddRow({row.name, TextTable::Num(row.cfs_metric, 4), TextTable::Num(row.ule_metric, 4),
-                  TextTable::Pct(row.diff_pct), std::to_string(row.cfs_wakeup_preemptions),
+  for (const SuiteRow& row : rows) {
+    table.AddRow({row.name, cell(row.cfs_metric, row.cfs_stddev, 4),
+                  cell(row.ule_metric, row.ule_stddev, 4), TextTable::Pct(row.diff_pct),
+                  std::to_string(row.cfs_wakeup_preemptions),
                   std::to_string(row.ule_wakeup_preemptions)});
     sum_diff += row.diff_pct;
     ++n;
-    if (e.name == "scimark2-(2)") {
+    if (row.name == "scimark2-(2)") {
       scimark_heavy = row.diff_pct;
     }
-    if (e.name == "apache") {
+    if (row.name == "apache") {
       apache_diff = row.diff_pct;
       apache_cfs_preempt = row.cfs_wakeup_preemptions;
       apache_ule_preempt = row.ule_wakeup_preemptions;

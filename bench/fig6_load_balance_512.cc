@@ -22,11 +22,17 @@ int main(int argc, char** argv) {
   std::printf("%s",
               BannerLine("Figure 6: threads per core over time (512 spinners unpinned)").c_str());
 
+  // Both legs as one campaign, run concurrently with --jobs>=2.
   // ULE needs minutes of simulated time to converge; tolerance 1 thread.
-  LoadBalanceResult ule = RunLoadBalance512(SchedKind::kUle, args.seed, Seconds(700), 1);
-  // CFS converges fast but imperfectly; measure with the same tolerance and
-  // also a loose one.
-  LoadBalanceResult cfs = RunLoadBalance512(SchedKind::kCfs, args.seed, Seconds(60), 1);
+  // CFS converges fast but imperfectly, so its leg is much shorter.
+  auto ule_out = std::make_shared<LoadBalanceResult>();
+  auto cfs_out = std::make_shared<LoadBalanceResult>();
+  CampaignRunner(args.jobs).Run({
+      LoadBalanceSpec(SchedKind::kUle, args.seed, Seconds(700), 1, ule_out),
+      LoadBalanceSpec(SchedKind::kCfs, args.seed, Seconds(60), 1, cfs_out),
+  });
+  LoadBalanceResult& ule = *ule_out;
+  LoadBalanceResult& cfs = *cfs_out;
 
   for (const LoadBalanceResult* r : {&ule, &cfs}) {
     std::printf("--- %s ---\n", SchedName(r->sched).data());

@@ -20,8 +20,15 @@ int main(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("%s", BannerLine("Figure 7: c-ray thread placement (512 threads)").c_str());
 
-  CrayResult ule = RunCrayPlacement(SchedKind::kUle, args.seed, args.scale);
-  CrayResult cfs = RunCrayPlacement(SchedKind::kCfs, args.seed, args.scale);
+  // Both legs as one campaign, run concurrently with --jobs>=2.
+  auto ule_out = std::make_shared<CrayResult>();
+  auto cfs_out = std::make_shared<CrayResult>();
+  CampaignRunner(args.jobs).Run({
+      CraySpec(SchedKind::kUle, args.seed, args.scale, ule_out),
+      CraySpec(SchedKind::kCfs, args.seed, args.scale, cfs_out),
+  });
+  CrayResult& ule = *ule_out;
+  CrayResult& cfs = *cfs_out;
 
   for (const CrayResult* r : {&ule, &cfs}) {
     std::printf("--- %s ---\n", SchedName(r->sched).data());

@@ -8,7 +8,10 @@
 // threads on one core; sysbench slower on ULE because sched_pickcpu scans
 // cores on most wakeups (paper: 13% of all cycles, the highest scheduler
 // time observed; CFS's highest is 2.6%).
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/apps/hackbench.h"
@@ -20,34 +23,23 @@ using namespace schedbattle;
 
 namespace {
 
-// Runs the two hackbench configurations (the paper's Hackb-800 with 32,000
-// threads is scaled to groups*40 threads here; the structure is identical).
-SuiteRow RunHackbench(const std::string& label, int groups, uint64_t seed, double scale) {
-  SuiteRow row;
-  row.name = label;
-  for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
-    ExperimentRun run(ExperimentConfig::Multicore(kind, seed));
+// The two hackbench configurations as suite entries (the paper's Hackb-800
+// with 32,000 threads is scaled to groups*40 threads here; the structure is
+// identical).
+AppSpec HackbenchApp(const std::string& label, int groups) {
+  AppSpec app;
+  app.name = label;
+  app.has_metric = true;
+  app.metric = MetricKind::kInvTime;
+  app.make = [label, groups](int, uint64_t seed, double scale) {
     HackbenchParams p;
     p.name = label;
     p.groups = groups;
     p.messages = std::max(1, static_cast<int>(20 * scale));
     p.seed = seed;
-    Application* app = run.Add(MakeHackbench(p), 0);
-    run.Run();
-    const double metric = run.MetricFor(*app, MetricKind::kInvTime);
-    const double overhead = 100.0 * run.machine().SchedulerWorkFraction();
-    if (kind == SchedKind::kCfs) {
-      row.cfs_metric = metric;
-      row.cfs_overhead_pct = overhead;
-    } else {
-      row.ule_metric = metric;
-      row.ule_overhead_pct = overhead;
-    }
-  }
-  if (row.cfs_metric > 0) {
-    row.diff_pct = 100.0 * (row.ule_metric - row.cfs_metric) / row.cfs_metric;
-  }
-  return row;
+    return MakeHackbench(p);
+  };
+  return app;
 }
 
 }  // namespace
@@ -56,8 +48,33 @@ int main(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv, /*default_scale=*/0.2);
   std::printf("%s",
               BannerLine("Figure 8: ULE vs CFS, 32 cores (positive = ULE faster)").c_str());
-  std::printf("(scale=%.2f seed=%llu)\n\n", args.scale,
-              static_cast<unsigned long long>(args.seed));
+  std::printf("(scale=%.2f seed=%llu runs=%d jobs=%d)\n\n", args.scale,
+              static_cast<unsigned long long>(args.seed), args.runs, args.jobs);
+
+  std::vector<AppSpec> apps;
+  for (const AppEntry& e : BenchmarkSuite()) {
+    apps.push_back(RegistryApp(e.name));
+  }
+  const size_t suite_count = apps.size();
+  apps.push_back(HackbenchApp("Hackb-800", 40));
+  apps.push_back(HackbenchApp("Hackb-10", 10));
+
+  SuiteOptions options;
+  options.seed = args.seed;
+  options.scale = args.scale;
+  options.runs = args.runs;
+  options.jobs = args.jobs;
+  const std::vector<SuiteRow> rows = RunSuite(apps, options);
+
+  const auto cell = [&](double mean, double sd, int digits) {
+    char buf[64];
+    if (args.runs > 1) {
+      std::snprintf(buf, sizeof(buf), "%.*f ±%.*f", digits, mean, digits, sd);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.*f", digits, mean);
+    }
+    return std::string(buf);
+  };
 
   TextTable table({"application", "CFS metric", "ULE metric", "ULE vs CFS", "CFS sched%",
                    "ULE sched%"});
@@ -65,29 +82,26 @@ int main(int argc, char** argv) {
   int n = 0;
   double mg_diff = 0, sysbench_diff = 0, sysbench_ule_overhead = 0;
   double max_cfs_overhead = 0, max_ule_overhead = 0;
-  for (const AppEntry& e : BenchmarkSuite()) {
-    const SuiteRow row = RunSuiteApp(e.name, /*cores=*/32, args.seed, args.scale);
-    table.AddRow({row.name, TextTable::Num(row.cfs_metric, 4), TextTable::Num(row.ule_metric, 4),
-                  TextTable::Pct(row.diff_pct), TextTable::Num(row.cfs_overhead_pct, 2),
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SuiteRow& row = rows[i];
+    table.AddRow({row.name, cell(row.cfs_metric, row.cfs_stddev, 4),
+                  cell(row.ule_metric, row.ule_stddev, 4), TextTable::Pct(row.diff_pct),
+                  TextTable::Num(row.cfs_overhead_pct, 2),
                   TextTable::Num(row.ule_overhead_pct, 2)});
+    if (i >= suite_count) {
+      continue;  // hackbench rows are extra, not part of the suite average
+    }
     sum_diff += row.diff_pct;
     ++n;
     max_cfs_overhead = std::max(max_cfs_overhead, row.cfs_overhead_pct);
     max_ule_overhead = std::max(max_ule_overhead, row.ule_overhead_pct);
-    if (e.name == "MG") {
+    if (row.name == "MG") {
       mg_diff = row.diff_pct;
     }
-    if (e.name == "sysbench") {
+    if (row.name == "sysbench") {
       sysbench_diff = row.diff_pct;
       sysbench_ule_overhead = row.ule_overhead_pct;
     }
-  }
-  for (const auto& [label, groups] : {std::pair<const char*, int>{"Hackb-800", 40},
-                                      std::pair<const char*, int>{"Hackb-10", 10}}) {
-    const SuiteRow row = RunHackbench(label, groups, args.seed, args.scale);
-    table.AddRow({row.name, TextTable::Num(row.cfs_metric, 4), TextTable::Num(row.ule_metric, 4),
-                  TextTable::Pct(row.diff_pct), TextTable::Num(row.cfs_overhead_pct, 2),
-                  TextTable::Num(row.ule_overhead_pct, 2)});
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf("average difference (suite): %+.1f%% (paper: +2.75%% in favour of ULE)\n",

@@ -8,7 +8,6 @@
 //    preempted-for under ULE, so MySQL lock handoffs stall behind fibo.
 //  - blackscholes + ferret (batch + interactive): ULE protects ferret
 //    completely and starves blackscholes (>80% loss); CFS splits the pain.
-//  - apache + sysbench (interactive + interactive): similar on both.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -20,10 +19,11 @@ using namespace schedbattle;
 int main(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv, /*default_scale=*/0.35);
   std::printf("%s", BannerLine("Figure 9: multi-application workloads (32 cores)").c_str());
-  std::printf("(scale=%.2f seed=%llu; bars are %% vs running alone on CFS)\n\n", args.scale,
-              static_cast<unsigned long long>(args.seed));
+  std::printf("(scale=%.2f seed=%llu runs=%d jobs=%d; bars are %% vs running alone on CFS)\n\n",
+              args.scale, static_cast<unsigned long long>(args.seed), args.runs, args.jobs);
 
-  const std::vector<MultiAppRow> rows = RunMultiAppPairs(args.seed, args.scale);
+  const std::vector<MultiAppRow> rows =
+      RunMultiAppPairs(args.seed, args.scale, args.runs, args.jobs);
 
   TextTable table({"pair", "application", "CFS multiapp", "ULE alone", "ULE multiapp"});
   auto rel = [](double v, double base) {
@@ -35,6 +35,10 @@ int main(int argc, char** argv) {
                   TextTable::Pct(rel(r.multi_ule, r.alone_cfs))});
   }
   std::printf("%s\n", table.Render().c_str());
+  if (args.runs > 1) {
+    std::printf("(cells are means over %d seeds; e.g. %s multiapp-ULE stddev %.4f)\n\n",
+                args.runs, rows.front().app_name.c_str(), rows.front().multi_ule_sd);
+  }
 
   // Locate the rows we assert on.
   auto find = [&rows](const std::string& pair, const std::string& app) -> const MultiAppRow* {

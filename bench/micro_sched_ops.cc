@@ -56,6 +56,48 @@ void BM_RbTreeInsertEraseFirst(benchmark::State& state) {
 }
 BENCHMARK(BM_RbTreeInsertEraseFirst)->Arg(16)->Arg(128)->Arg(1024);
 
+// EventQueue scheduling cost with the cancellable-handle path: every event
+// allocates a shared_ptr control block even if the caller discards it.
+void BM_EventQueueScheduleHandle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  int sink = 0;
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.Schedule(i, [&sink] { ++sink; });
+    }
+    SimTime when = 0;
+    while (!q.empty()) {
+      q.PopNext(&when)();
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleHandle)->Arg(1024)->Arg(16384);
+
+// The no-handle Post path: same ordering semantics, no control block. The
+// delta against BM_EventQueueScheduleHandle is the per-event allocation cost
+// saved on the fire-and-forget majority (resched requests, sleep wakeups,
+// periodic ticks).
+void BM_EventQueuePostNoHandle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  int sink = 0;
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.Post(i, [&sink] { ++sink; });
+    }
+    SimTime when = 0;
+    while (!q.empty()) {
+      q.PopNext(&when)();
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePostNoHandle)->Arg(1024)->Arg(16384);
+
 void BM_PeltUpdate(benchmark::State& state) {
   PeltAvg avg;
   SimTime now = 0;

@@ -9,6 +9,9 @@
 // ~50% through application-level fairness), under ULE sysbench's interactive
 // threads starve fibo completely until sysbench finishes — roughly doubling
 // sysbench's throughput and slashing its latency.
+//
+// With --runs=N every cell reports mean ± stddev across N seeds, matching the
+// paper's 10-run averaging.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -20,28 +23,25 @@ using namespace schedbattle;
 int main(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("%s", BannerLine("Table 2: fibo + sysbench on a single core").c_str());
-  std::printf("(scale=%.2f seed=%llu; paper values: fibo 160/158s, tps 290/532, "
+  std::printf("(scale=%.2f seed=%llu runs=%d; paper values: fibo 160/158s, tps 290/532, "
               "latency 441/125ms)\n\n",
-              args.scale, static_cast<unsigned long long>(args.seed));
+              args.scale, static_cast<unsigned long long>(args.seed), args.runs);
 
-  FiboSysbenchResult cfs = RunFiboSysbench(SchedKind::kCfs, args.seed, args.scale);
-  FiboSysbenchResult ule = RunFiboSysbench(SchedKind::kUle, args.seed, args.scale);
+  const FiboSysbenchCampaign c = RunFiboSysbenchBoth(args.seed, args.scale, args.runs, args.jobs);
 
   TextTable table({"metric", "paper CFS", "CFS", "paper ULE", "ULE"});
-  table.AddRow({"fibo runtime (s)", "160", TextTable::Num(ToSeconds(cfs.fibo_runtime)), "158",
-                TextTable::Num(ToSeconds(ule.fibo_runtime))});
-  table.AddRow({"sysbench transactions/s", "290", TextTable::Num(cfs.sysbench_tps, 0), "532",
-                TextTable::Num(ule.sysbench_tps, 0)});
-  table.AddRow({"sysbench avg latency (ms)", "441",
-                TextTable::Num(ToMilliseconds(cfs.sysbench_avg_latency), 0), "125",
-                TextTable::Num(ToMilliseconds(ule.sysbench_avg_latency), 0)});
-  table.AddRow({"sysbench finish (s)", "~242", TextTable::Num(ToSeconds(cfs.sysbench_finish)),
-                "~150", TextTable::Num(ToSeconds(ule.sysbench_finish))});
+  table.AddRow({"fibo runtime (s)", "160", c.cfs.fibo_runtime_s.Format(1), "158",
+                c.ule.fibo_runtime_s.Format(1)});
+  table.AddRow({"sysbench transactions/s", "290", c.cfs.tps.Format(0), "532",
+                c.ule.tps.Format(0)});
+  table.AddRow({"sysbench avg latency (ms)", "441", c.cfs.latency_ms.Format(0), "125",
+                c.ule.latency_ms.Format(0)});
+  table.AddRow({"sysbench finish (s)", "~242", c.cfs.sysbench_finish_s.Format(1), "~150",
+                c.ule.sysbench_finish_s.Format(1)});
   std::printf("%s\n", table.Render().c_str());
 
-  const bool ule_starves_fibo =
-      ule.sysbench_tps > 1.6 * cfs.sysbench_tps &&
-      ToMilliseconds(ule.sysbench_avg_latency) < 0.6 * ToMilliseconds(cfs.sysbench_avg_latency);
+  const bool ule_starves_fibo = c.ule.tps.mean > 1.6 * c.cfs.tps.mean &&
+                                c.ule.latency_ms.mean < 0.6 * c.cfs.latency_ms.mean;
   std::printf("shape check: ULE starves fibo while sysbench runs, roughly doubling "
               "sysbench throughput: %s\n",
               ule_starves_fibo ? "REPRODUCED" : "NOT reproduced");

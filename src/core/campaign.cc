@@ -1,0 +1,207 @@
+#include "src/core/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+namespace schedbattle {
+
+namespace {
+
+void AppendTag(ExperimentSpec& spec, const std::string& tag, bool to_group) {
+  spec.label += (spec.label.empty() ? "" : "/") + tag;
+  if (to_group) {
+    spec.group += (spec.group.empty() ? "" : "/") + tag;
+  }
+}
+
+}  // namespace
+
+std::vector<ExperimentSpec> BothSchedulers(const ExperimentSpec& spec) {
+  std::vector<ExperimentSpec> out;
+  for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
+    ExperimentSpec s = spec;
+    s.sched = kind;
+    AppendTag(s, kind == SchedKind::kCfs ? "cfs" : "ule", /*to_group=*/true);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<ExperimentSpec> BothSchedulers(const std::vector<ExperimentSpec>& specs) {
+  std::vector<ExperimentSpec> out;
+  out.reserve(specs.size() * 2);
+  for (const ExperimentSpec& spec : specs) {
+    for (ExperimentSpec& s : BothSchedulers(spec)) {
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::vector<ExperimentSpec> SeedSweep(const ExperimentSpec& spec, int runs) {
+  std::vector<ExperimentSpec> out;
+  out.reserve(runs > 0 ? runs : 0);
+  for (int k = 0; k < runs; ++k) {
+    ExperimentSpec s = spec;
+    s.machine.seed = spec.machine.seed + static_cast<uint64_t>(k);
+    AppendTag(s, "s" + std::to_string(k), /*to_group=*/false);
+    // Replicas aggregate under the pre-sweep identity.
+    if (s.group.empty()) {
+      s.group = spec.label;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<ExperimentSpec> SeedSweep(const std::vector<ExperimentSpec>& specs, int runs) {
+  std::vector<ExperimentSpec> out;
+  out.reserve(specs.size() * (runs > 0 ? runs : 0));
+  for (const ExperimentSpec& spec : specs) {
+    for (ExperimentSpec& s : SeedSweep(spec, runs)) {
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::vector<ExperimentSpec> WithVariants(const ExperimentSpec& spec,
+                                         const std::vector<SpecVariant>& variants) {
+  std::vector<ExperimentSpec> out;
+  out.reserve(variants.size());
+  for (const SpecVariant& v : variants) {
+    ExperimentSpec s = spec;
+    if (v.apply) {
+      v.apply(s);
+    }
+    AppendTag(s, v.name, /*to_group=*/true);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<ExperimentSpec> WithVariants(const std::vector<ExperimentSpec>& specs,
+                                         const std::vector<SpecVariant>& variants) {
+  std::vector<ExperimentSpec> out;
+  out.reserve(specs.size() * variants.size());
+  for (const ExperimentSpec& spec : specs) {
+    for (ExperimentSpec& s : WithVariants(spec, variants)) {
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+CampaignRunner::CampaignRunner(int jobs) {
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) {
+      jobs = 1;
+    }
+  }
+  jobs_ = jobs;
+}
+
+std::vector<RunResult> CampaignRunner::Run(const std::vector<ExperimentSpec>& specs) const {
+  std::vector<RunResult> results(specs.size());
+  const int workers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(jobs_), specs.size()));
+  if (workers <= 1) {
+    for (size_t i = 0; i < specs.size(); ++i) {
+      results[i] = ExecuteSpec(specs[i]);
+    }
+    return results;
+  }
+  // Each ExperimentRun is self-contained (own engine/machine/workload, no
+  // globals), so workers only share the claim index and disjoint result
+  // slots.
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&specs, &results, &next] {
+      for (size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) < specs.size();) {
+        results[i] = ExecuteSpec(specs[i]);
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return results;
+}
+
+AggregateStat AggregateStat::Of(const std::vector<double>& values) {
+  AggregateStat s;
+  s.n = static_cast<int>(values.size());
+  if (s.n == 0) {
+    return s;
+  }
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / s.n;
+  if (s.n > 1) {
+    double sq = 0;
+    for (double v : values) {
+      sq += (v - s.mean) * (v - s.mean);
+    }
+    s.stddev = std::sqrt(sq / (s.n - 1));
+  }
+  return s;
+}
+
+std::string AggregateStat::Format(int decimals) const {
+  char buf[64];
+  if (n <= 1) {
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, mean);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f ±%.*f", decimals, mean, decimals, stddev);
+  }
+  return buf;
+}
+
+AggregateStat ResultGroup::Aggregate(
+    const std::function<double(const RunResult&)>& extract) const {
+  std::vector<double> values;
+  values.reserve(runs.size());
+  for (const RunResult* r : runs) {
+    values.push_back(extract(*r));
+  }
+  return AggregateStat::Of(values);
+}
+
+AggregateStat ResultGroup::AggregateAppMetric(size_t app_index) const {
+  return Aggregate([app_index](const RunResult& r) {
+    return app_index < r.apps.size() ? r.apps[app_index].metric : 0.0;
+  });
+}
+
+std::vector<ResultGroup> GroupResults(const std::vector<RunResult>& results) {
+  std::vector<ResultGroup> groups;
+  for (const RunResult& r : results) {
+    ResultGroup* g = nullptr;
+    for (ResultGroup& existing : groups) {
+      if (existing.group == r.group) {
+        g = &existing;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      groups.push_back({r.group, {}});
+      g = &groups.back();
+    }
+    g->runs.push_back(&r);
+  }
+  return groups;
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,103 @@
+// Campaigns: lists of ExperimentSpecs built by combinators and executed on
+// a worker-thread pool.
+//
+// The paper's methodology is replication at scale — every figure averages 10
+// runs of the same workload under both schedulers. A Campaign makes that
+// first-class: start from one spec, apply combinators
+// (BothSchedulers x SeedSweep x WithVariants), hand the resulting list to a
+// CampaignRunner, and aggregate per-group statistics from the results.
+//
+// Each ExperimentRun owns its engine, machine and workload and shares no
+// mutable state with any other run, so specs execute on independent threads
+// with bit-identical results to a serial execution (see determinism_test).
+#ifndef SRC_CORE_CAMPAIGN_H_
+#define SRC_CORE_CAMPAIGN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/spec.h"
+
+namespace schedbattle {
+
+// ---- combinators ----
+// All combinators preserve input order and produce deterministic labels:
+// differentiating combinators (scheduler, variants) extend both label and
+// group; replicating combinators (seed sweep) extend only the label, so
+// results aggregate by group.
+
+// One spec -> {CFS, ULE} pair with "/cfs" and "/ule" suffixes.
+std::vector<ExperimentSpec> BothSchedulers(const ExperimentSpec& spec);
+std::vector<ExperimentSpec> BothSchedulers(const std::vector<ExperimentSpec>& specs);
+
+// One spec -> `runs` replicas seeded seed, seed+1, ..., labelled "/s0"...
+// The group is left untouched: replicas aggregate together.
+std::vector<ExperimentSpec> SeedSweep(const ExperimentSpec& spec, int runs);
+std::vector<ExperimentSpec> SeedSweep(const std::vector<ExperimentSpec>& specs, int runs);
+
+// Named spec mutations, for ablations ("preempt-on", "period-2s", ...).
+struct SpecVariant {
+  std::string name;
+  std::function<void(ExperimentSpec&)> apply;
+};
+std::vector<ExperimentSpec> WithVariants(const ExperimentSpec& spec,
+                                         const std::vector<SpecVariant>& variants);
+std::vector<ExperimentSpec> WithVariants(const std::vector<ExperimentSpec>& specs,
+                                         const std::vector<SpecVariant>& variants);
+
+struct Campaign {
+  std::string name;
+  std::vector<ExperimentSpec> specs;
+};
+
+// ---- execution ----
+
+class CampaignRunner {
+ public:
+  // jobs <= 0 selects std::thread::hardware_concurrency().
+  explicit CampaignRunner(int jobs = 0);
+
+  int jobs() const { return jobs_; }
+
+  // Executes every spec and returns results in spec order. jobs=1 runs
+  // inline on the calling thread; jobs>1 uses a pool of worker threads that
+  // pull specs from a shared index. Results are identical either way.
+  std::vector<RunResult> Run(const std::vector<ExperimentSpec>& specs) const;
+  std::vector<RunResult> Run(const Campaign& campaign) const { return Run(campaign.specs); }
+
+ private:
+  int jobs_;
+};
+
+// ---- aggregation ----
+
+// Paper-style replication statistics (sample stddev, n-1 denominator).
+struct AggregateStat {
+  int n = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+
+  static AggregateStat Of(const std::vector<double>& values);
+  // "mean ± stddev" with the given precision.
+  std::string Format(int decimals = 2) const;
+};
+
+// Results sharing a group, in first-appearance order.
+struct ResultGroup {
+  std::string group;
+  std::vector<const RunResult*> runs;
+
+  // Aggregates `extract(run)` across the group's runs.
+  AggregateStat Aggregate(const std::function<double(const RunResult&)>& extract) const;
+  // Shorthand: metric of the app at `app_index` in each run.
+  AggregateStat AggregateAppMetric(size_t app_index = 0) const;
+};
+
+std::vector<ResultGroup> GroupResults(const std::vector<RunResult>& results);
+
+}  // namespace schedbattle
+
+#endif  // SRC_CORE_CAMPAIGN_H_

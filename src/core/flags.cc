@@ -1,0 +1,187 @@
+#include "src/core/flags.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace schedbattle {
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || errno == ERANGE || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseInt(const std::string& s, int* out) {
+  if (s.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE ||
+      v < std::numeric_limits<int>::min() || v > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseUint64(const std::string& s, uint64_t* out) {
+  if (s.empty() || s[0] == '-' || s[0] == '+' || std::isspace(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+FlagSet& FlagSet::Double(std::string name, double* target, std::string help) {
+  flags_.push_back({Kind::kDouble, std::move(name), target, std::move(help)});
+  return *this;
+}
+FlagSet& FlagSet::Int(std::string name, int* target, std::string help) {
+  flags_.push_back({Kind::kInt, std::move(name), target, std::move(help)});
+  return *this;
+}
+FlagSet& FlagSet::Uint64(std::string name, uint64_t* target, std::string help) {
+  flags_.push_back({Kind::kUint64, std::move(name), target, std::move(help)});
+  return *this;
+}
+FlagSet& FlagSet::String(std::string name, std::string* target, std::string help) {
+  flags_.push_back({Kind::kString, std::move(name), target, std::move(help)});
+  return *this;
+}
+FlagSet& FlagSet::StringList(std::string name, std::vector<std::string>* target,
+                             std::string help) {
+  flags_.push_back({Kind::kStringList, std::move(name), target, std::move(help)});
+  return *this;
+}
+FlagSet& FlagSet::Bool(std::string name, bool* target, std::string help) {
+  flags_.push_back({Kind::kBool, std::move(name), target, std::move(help)});
+  return *this;
+}
+
+std::string FlagSet::KnownFlags() const {
+  std::string s;
+  for (const Flag& f : flags_) {
+    if (!s.empty()) {
+      s += " ";
+    }
+    s += "--" + f.name;
+  }
+  return s;
+}
+
+bool FlagSet::Parse(int argc, char** argv, int first, std::string* error) const {
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.size() < 3 || arg[0] != '-' || arg[1] != '-') {
+      *error = "unexpected argument '" + arg + "' (known flags: " + KnownFlags() + ")";
+      return false;
+    }
+    const size_t eq = arg.find('=');
+    const std::string name = arg.substr(2, eq == std::string::npos ? arg.npos : eq - 2);
+    const Flag* flag = nullptr;
+    for (const Flag& f : flags_) {
+      if (f.name == name) {
+        flag = &f;
+        break;
+      }
+    }
+    if (flag == nullptr) {
+      *error = "unknown flag --" + name + " (known flags: " + KnownFlags() + ")";
+      return false;
+    }
+    if (flag->kind == Kind::kBool) {
+      if (eq != std::string::npos) {
+        *error = "--" + name + " takes no value";
+        return false;
+      }
+      *static_cast<bool*>(flag->target) = true;
+      continue;
+    }
+    if (eq == std::string::npos) {
+      *error = "--" + name + " requires a value (--" + name + "=...)";
+      return false;
+    }
+    const std::string value = arg.substr(eq + 1);
+    bool ok = true;
+    switch (flag->kind) {
+      case Kind::kDouble:
+        ok = ParseDouble(value, static_cast<double*>(flag->target));
+        break;
+      case Kind::kInt:
+        ok = ParseInt(value, static_cast<int*>(flag->target));
+        break;
+      case Kind::kUint64:
+        ok = ParseUint64(value, static_cast<uint64_t*>(flag->target));
+        break;
+      case Kind::kString:
+        *static_cast<std::string*>(flag->target) = value;
+        break;
+      case Kind::kStringList:
+        static_cast<std::vector<std::string>*>(flag->target)->push_back(value);
+        break;
+      case Kind::kBool:
+        break;  // handled above
+    }
+    if (!ok) {
+      *error = "--" + name + ": '" + value + "' is not a valid " +
+               (flag->kind == Kind::kDouble ? "number" : "integer");
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FlagSet::Help() const {
+  std::string s;
+  size_t width = 0;
+  std::vector<std::string> lhs;
+  for (const Flag& f : flags_) {
+    std::string l = "  --" + f.name;
+    switch (f.kind) {
+      case Kind::kDouble:
+        l += "=<float>";
+        break;
+      case Kind::kInt:
+        l += "=<int>";
+        break;
+      case Kind::kUint64:
+        l += "=<uint>";
+        break;
+      case Kind::kString:
+      case Kind::kStringList:
+        l += "=<str>";
+        break;
+      case Kind::kBool:
+        break;
+    }
+    width = std::max(width, l.size());
+    lhs.push_back(std::move(l));
+  }
+  for (size_t i = 0; i < flags_.size(); ++i) {
+    s += lhs[i] + std::string(width - lhs[i].size() + 2, ' ') + flags_[i].help + "\n";
+  }
+  return s;
+}
+
+}  // namespace schedbattle

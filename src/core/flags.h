@@ -1,0 +1,61 @@
+// Checked command-line parsing shared by the bench binaries and the CLI.
+//
+// Every experiment entry point used to hand-roll atof/strtoull loops that
+// silently accepted garbage ("--scale=abc" -> 0.0). This module provides
+// strict parsers (the whole token must be a valid, finite number) and a
+// small declarative flag table so the bench binaries and schedbattle_cli
+// share one implementation and one error style.
+#ifndef SRC_CORE_FLAGS_H_
+#define SRC_CORE_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace schedbattle {
+
+// Strict numeric parsing: the entire string must be a valid finite number in
+// range; returns false on empty input, garbage, trailing junk or overflow.
+bool ParseDouble(const std::string& s, double* out);
+bool ParseInt(const std::string& s, int* out);
+bool ParseUint64(const std::string& s, uint64_t* out);
+
+// A declarative table of "--name=value" flags (booleans take no value). Bind
+// each flag to a typed target, then Parse() an argv range; values are only
+// written through on successful parsing, and errors name the offending flag.
+class FlagSet {
+ public:
+  FlagSet& Double(std::string name, double* target, std::string help);
+  FlagSet& Int(std::string name, int* target, std::string help);
+  FlagSet& Uint64(std::string name, uint64_t* target, std::string help);
+  FlagSet& String(std::string name, std::string* target, std::string help);
+  // Repeatable: every occurrence appends.
+  FlagSet& StringList(std::string name, std::vector<std::string>* target, std::string help);
+  // "--name" with no value; sets the target to true.
+  FlagSet& Bool(std::string name, bool* target, std::string help);
+
+  // Parses argv[first..argc). On failure fills *error with a one-line
+  // message (unknown flag, missing value, or what failed to parse) and
+  // returns false; targets already parsed keep their new values.
+  bool Parse(int argc, char** argv, int first, std::string* error) const;
+
+  // "  --name=<num>   help" lines, in registration order.
+  std::string Help() const;
+
+ private:
+  enum class Kind { kDouble, kInt, kUint64, kString, kStringList, kBool };
+  struct Flag {
+    Kind kind;
+    std::string name;  // without the leading "--"
+    void* target;
+    std::string help;
+  };
+
+  std::string KnownFlags() const;
+
+  std::vector<Flag> flags_;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_CORE_FLAGS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <numeric>
+#include <utility>
 
 #include "src/apps/apache.h"
 #include "src/apps/fibo.h"
@@ -11,6 +12,8 @@
 #include "src/apps/phoronix.h"
 #include "src/apps/registry.h"
 #include "src/apps/sysbench.h"
+#include "src/workload/app.h"
+#include "src/workload/script.h"
 
 namespace schedbattle {
 
@@ -32,249 +35,477 @@ bool IsWorker(const SimThread* t) { return t->name().find("/worker-") != std::st
 
 }  // namespace
 
-FiboSysbenchResult RunFiboSysbench(SchedKind kind, uint64_t seed, double scale) {
-  ExperimentRun run(ExperimentConfig::SingleCore(kind, seed));
-  FiboParams fp;
-  fp.total_work = SecondsF(160.0 * scale);
-  fp.seed = seed;
-  Application* fibo = run.Add(MakeFibo(fp), /*start_at=*/0);
-  SysbenchParams sp = SysbenchTable2();
-  sp.seed = seed + 1;
-  sp.total_transactions = static_cast<int64_t>(sp.total_transactions * scale);
-  Application* sys = run.Add(MakeSysbench(sp), /*start_at=*/Seconds(7));
+// ---- Table 2 / Figures 1 and 2 ----
 
-  FiboSysbenchResult result;
-  result.sched = kind;
-  result.fibo_runtime_series = TimeSeries("fibo_runtime_s");
-  result.sysbench_runtime_series = TimeSeries("sysbench_runtime_s");
-  result.fibo_penalty_series = TimeSeries("fibo_penalty");
-  result.sysbench_penalty_series = TimeSeries("sysbench_penalty");
+ExperimentSpec FiboSysbenchSpec(SchedKind kind, uint64_t seed, double scale,
+                                std::shared_ptr<FiboSysbenchResult> out) {
+  ExperimentSpec spec = ExperimentSpec::SingleCore(kind, seed);
+  spec.scale = scale;
+  spec.Named("fibo+sysbench/" + std::string(SchedName(kind)));
 
-  Machine& m = run.machine();
-  PeriodicSampler sampler(&m, Milliseconds(500), [&](SimTime t) {
-    if (!fibo->threads().empty()) {
-      SimThread* ft = fibo->threads().front();
-      result.fibo_runtime_series.Push(t, ToSeconds(ft->RuntimeAt(t)));
-      result.fibo_penalty_series.Push(t, m.scheduler().InteractivityPenaltyOf(ft));
+  AppSpec fibo;
+  fibo.name = "fibo";
+  fibo.has_metric = true;
+  fibo.metric = MetricKind::kInvTime;
+  fibo.make = [](int, uint64_t s, double sc) {
+    FiboParams fp;
+    fp.total_work = SecondsF(160.0 * sc);
+    fp.seed = s;
+    return MakeFibo(fp);
+  };
+  spec.Add(fibo);
+
+  AppSpec sys;
+  sys.name = "sysbench";
+  sys.start_at = Seconds(7);
+  sys.has_metric = true;
+  sys.metric = MetricKind::kOpsPerSec;
+  sys.make = [](int, uint64_t s, double sc) {
+    SysbenchParams sp = SysbenchTable2();
+    sp.seed = s + 1;
+    sp.total_transactions = static_cast<int64_t>(sp.total_transactions * sc);
+    return MakeSysbench(sp);
+  };
+  spec.Add(sys);
+
+  // The sampler lives across Run(); hooks share it through the spec copy.
+  auto sampler = std::make_shared<std::unique_ptr<PeriodicSampler>>();
+  spec.hooks.on_start = [out, sampler, kind](SpecRunContext& ctx) {
+    out->sched = kind;
+    out->fibo_runtime_series = TimeSeries("fibo_runtime_s");
+    out->sysbench_runtime_series = TimeSeries("sysbench_runtime_s");
+    out->fibo_penalty_series = TimeSeries("fibo_penalty");
+    out->sysbench_penalty_series = TimeSeries("sysbench_penalty");
+    Application* fibo_app = ctx.apps[0];
+    Application* sys_app = ctx.apps[1];
+    Machine* m = &ctx.run.machine();
+    *sampler = std::make_unique<PeriodicSampler>(
+        m, Milliseconds(500), [out, fibo_app, sys_app, m](SimTime t) {
+          if (!fibo_app->threads().empty()) {
+            SimThread* ft = fibo_app->threads().front();
+            out->fibo_runtime_series.Push(t, ToSeconds(ft->RuntimeAt(t)));
+            out->fibo_penalty_series.Push(t, m->scheduler().InteractivityPenaltyOf(ft));
+          }
+          SimDuration sys_runtime = 0;
+          std::vector<SimThread*> workers;
+          for (SimThread* st : sys_app->threads()) {
+            sys_runtime += st->RuntimeAt(t);
+            if (IsWorker(st)) {
+              workers.push_back(st);
+            }
+          }
+          out->sysbench_runtime_series.Push(t, ToSeconds(sys_runtime));
+          out->sysbench_penalty_series.Push(t, AvgPenalty(*m, workers));
+        });
+  };
+  spec.hooks.on_finish = [out, sampler](SpecRunContext& ctx, RunResult&) {
+    if (*sampler) {
+      (*sampler)->Stop();
+      sampler->reset();
     }
-    SimDuration sys_runtime = 0;
-    std::vector<SimThread*> workers;
-    for (SimThread* st : sys->threads()) {
-      sys_runtime += st->RuntimeAt(t);
-      if (IsWorker(st)) {
-        workers.push_back(st);
-      }
+    Application* fibo_app = ctx.apps[0];
+    Application* sys_app = ctx.apps[1];
+    if (!fibo_app->threads().empty()) {
+      out->fibo_runtime = fibo_app->threads().front()->total_runtime;
     }
-    result.sysbench_runtime_series.Push(t, ToSeconds(sys_runtime));
-    result.sysbench_penalty_series.Push(t, AvgPenalty(m, workers));
-  });
-
-  run.Run();
-  sampler.Stop();
-
-  if (!fibo->threads().empty()) {
-    result.fibo_runtime = fibo->threads().front()->total_runtime;
-  }
-  result.fibo_finish = fibo->stats().finished;
-  result.sysbench_tps = sys->stats().OpsPerSecond(run.engine().now());
-  result.sysbench_avg_latency = static_cast<SimDuration>(sys->stats().latency.Mean());
-  result.sysbench_finish = sys->stats().finished;
-  return result;
+    out->fibo_finish = fibo_app->stats().finished;
+    out->sysbench_tps = sys_app->stats().OpsPerSecond(ctx.run.engine().now());
+    out->sysbench_avg_latency = static_cast<SimDuration>(sys_app->stats().latency.Mean());
+    out->sysbench_finish = sys_app->stats().finished;
+  };
+  return spec;
 }
 
-SysbenchThreadsResult RunSysbenchThreads(SchedKind kind, uint64_t seed, double scale) {
-  ExperimentRun run(ExperimentConfig::SingleCore(kind, seed));
-  SysbenchParams sp = SysbenchFig3();
-  sp.seed = seed;
-  sp.total_transactions = static_cast<int64_t>(sp.total_transactions * scale);
-  Application* sys = run.Add(MakeSysbench(sp), 0);
+FiboSysbenchResult RunFiboSysbench(SchedKind kind, uint64_t seed, double scale) {
+  auto out = std::make_shared<FiboSysbenchResult>();
+  ExecuteSpec(FiboSysbenchSpec(kind, seed, scale, out));
+  return std::move(*out);
+}
 
+namespace {
+
+FiboSysbenchAggregate AggregateFiboRuns(std::vector<std::shared_ptr<FiboSysbenchResult>> outs) {
+  FiboSysbenchAggregate agg;
+  std::vector<double> tps, lat, frt, sfin;
+  for (const auto& o : outs) {
+    tps.push_back(o->sysbench_tps);
+    lat.push_back(ToSeconds(o->sysbench_avg_latency) * 1e3);
+    frt.push_back(ToSeconds(o->fibo_runtime));
+    sfin.push_back(ToSeconds(o->sysbench_finish));
+  }
+  agg.tps = AggregateStat::Of(tps);
+  agg.latency_ms = AggregateStat::Of(lat);
+  agg.fibo_runtime_s = AggregateStat::Of(frt);
+  agg.sysbench_finish_s = AggregateStat::Of(sfin);
+  agg.first = std::move(*outs.front());
+  return agg;
+}
+
+void AppendFiboSweep(SchedKind kind, uint64_t seed, double scale, int runs,
+                     std::vector<ExperimentSpec>* specs,
+                     std::vector<std::shared_ptr<FiboSysbenchResult>>* outs) {
+  for (int k = 0; k < runs; ++k) {
+    auto out = std::make_shared<FiboSysbenchResult>();
+    ExperimentSpec s = FiboSysbenchSpec(kind, seed + static_cast<uint64_t>(k), scale, out);
+    s.label += "/s" + std::to_string(k);
+    specs->push_back(std::move(s));
+    outs->push_back(std::move(out));
+  }
+}
+
+}  // namespace
+
+FiboSysbenchAggregate RunFiboSysbenchCampaign(SchedKind kind, uint64_t seed, double scale,
+                                              int runs, int jobs) {
+  runs = std::max(1, runs);
+  std::vector<ExperimentSpec> specs;
+  std::vector<std::shared_ptr<FiboSysbenchResult>> outs;
+  AppendFiboSweep(kind, seed, scale, runs, &specs, &outs);
+  CampaignRunner(jobs).Run(specs);
+  return AggregateFiboRuns(std::move(outs));
+}
+
+FiboSysbenchCampaign RunFiboSysbenchBoth(uint64_t seed, double scale, int runs, int jobs) {
+  runs = std::max(1, runs);
+  std::vector<ExperimentSpec> specs;
+  std::vector<std::shared_ptr<FiboSysbenchResult>> outs;
+  AppendFiboSweep(SchedKind::kCfs, seed, scale, runs, &specs, &outs);
+  AppendFiboSweep(SchedKind::kUle, seed, scale, runs, &specs, &outs);
+  CampaignRunner(jobs).Run(specs);
+  FiboSysbenchCampaign c;
+  c.cfs = AggregateFiboRuns({outs.begin(), outs.begin() + runs});
+  c.ule = AggregateFiboRuns({outs.begin() + runs, outs.end()});
+  return c;
+}
+
+// ---- Figures 3 and 4 ----
+
+namespace {
+
+struct SysbenchThreadsState {
   // Per-thread sample log; classified into the figure's bands afterwards.
   struct Sample {
     SimTime t;
     std::vector<std::pair<const SimThread*, std::pair<double, int>>> threads;  // (runtime_s, penalty)
   };
   std::vector<Sample> samples;
-  Machine& m = run.machine();
-  PeriodicSampler sampler(&m, Milliseconds(500), [&](SimTime t) {
-    Sample s;
-    s.t = t;
-    for (SimThread* st : sys->threads()) {
-      s.threads.push_back(
-          {st, {ToSeconds(st->RuntimeAt(t)), m.scheduler().InteractivityPenaltyOf(st)}});
-    }
-    samples.push_back(std::move(s));
-  });
-  run.Run();
-  sampler.Stop();
+  std::unique_ptr<PeriodicSampler> sampler;
+};
 
-  SysbenchThreadsResult result;
-  result.master_runtime = TimeSeries("master_runtime_s");
-  result.interactive_runtime = TimeSeries("interactive_avg_runtime_s");
-  result.background_runtime = TimeSeries("background_avg_runtime_s");
-  result.interactive_penalty = TimeSeries("interactive_avg_penalty");
-  result.background_penalty = TimeSeries("background_avg_penalty");
+}  // namespace
 
-  // Classify workers by final runtime: the paper's "background" band is the
-  // starved set (near-zero runtime).
-  const SimTime end = run.engine().now();
-  std::vector<const SimThread*> interactive;
-  std::vector<const SimThread*> background;
-  double max_runtime = 0;
-  for (SimThread* st : sys->threads()) {
-    if (IsWorker(st)) {
-      max_runtime = std::max(max_runtime, ToSeconds(st->RuntimeAt(end)));
-    }
-  }
-  for (SimThread* st : sys->threads()) {
-    if (!IsWorker(st)) {
-      continue;
-    }
-    if (ToSeconds(st->RuntimeAt(end)) < 0.05 * max_runtime) {
-      background.push_back(st);
-    } else {
-      interactive.push_back(st);
-    }
-  }
-  result.interactive_count = static_cast<int>(interactive.size());
-  result.background_count = static_cast<int>(background.size());
-  for (const SimThread* st : background) {
-    if (ToSeconds(st->RuntimeAt(end)) < 0.01 * max_runtime) {
-      ++result.starved_count;
-    }
-  }
+ExperimentSpec SysbenchThreadsSpec(SchedKind kind, uint64_t seed, double scale,
+                                   std::shared_ptr<SysbenchThreadsResult> out) {
+  ExperimentSpec spec = ExperimentSpec::SingleCore(kind, seed);
+  spec.scale = scale;
+  spec.Named("sysbench-threads/" + std::string(SchedName(kind)));
 
-  auto in_set = [](const std::vector<const SimThread*>& set, const SimThread* t) {
-    return std::find(set.begin(), set.end(), t) != set.end();
+  AppSpec sys;
+  sys.name = "sysbench";
+  sys.has_metric = true;
+  sys.metric = MetricKind::kOpsPerSec;
+  sys.make = [](int, uint64_t s, double sc) {
+    SysbenchParams sp = SysbenchFig3();
+    sp.seed = s;
+    sp.total_transactions = static_cast<int64_t>(sp.total_transactions * sc);
+    return MakeSysbench(sp);
   };
-  for (const Sample& s : samples) {
-    double master_rt = 0;
-    double int_rt = 0, bg_rt = 0, int_pen = 0, bg_pen = 0;
-    int int_n = 0, bg_n = 0;
-    for (const auto& [t, vals] : s.threads) {
-      if (!IsWorker(t)) {
-        master_rt = vals.first;
-      } else if (in_set(interactive, t)) {
-        int_rt += vals.first;
-        int_pen += vals.second;
-        ++int_n;
-      } else if (in_set(background, t)) {
-        bg_rt += vals.first;
-        bg_pen += vals.second;
-        ++bg_n;
+  spec.Add(sys);
+
+  auto state = std::make_shared<SysbenchThreadsState>();
+  spec.hooks.on_start = [state](SpecRunContext& ctx) {
+    state->samples.clear();
+    Application* sys_app = ctx.apps[0];
+    Machine* m = &ctx.run.machine();
+    state->sampler = std::make_unique<PeriodicSampler>(
+        m, Milliseconds(500), [state, sys_app, m](SimTime t) {
+          SysbenchThreadsState::Sample s;
+          s.t = t;
+          for (SimThread* st : sys_app->threads()) {
+            s.threads.push_back(
+                {st, {ToSeconds(st->RuntimeAt(t)),
+                      static_cast<int>(m->scheduler().InteractivityPenaltyOf(st))}});
+          }
+          state->samples.push_back(std::move(s));
+        });
+  };
+  spec.hooks.on_finish = [out, state](SpecRunContext& ctx, RunResult&) {
+    if (state->sampler) {
+      state->sampler->Stop();
+      state->sampler.reset();
+    }
+    Application* sys_app = ctx.apps[0];
+    out->master_runtime = TimeSeries("master_runtime_s");
+    out->interactive_runtime = TimeSeries("interactive_avg_runtime_s");
+    out->background_runtime = TimeSeries("background_avg_runtime_s");
+    out->interactive_penalty = TimeSeries("interactive_avg_penalty");
+    out->background_penalty = TimeSeries("background_avg_penalty");
+
+    // Classify workers by final runtime: the paper's "background" band is the
+    // starved set (near-zero runtime).
+    const SimTime end = ctx.run.engine().now();
+    std::vector<const SimThread*> interactive;
+    std::vector<const SimThread*> background;
+    double max_runtime = 0;
+    for (SimThread* st : sys_app->threads()) {
+      if (IsWorker(st)) {
+        max_runtime = std::max(max_runtime, ToSeconds(st->RuntimeAt(end)));
       }
     }
-    result.master_runtime.Push(s.t, master_rt);
-    if (int_n > 0) {
-      result.interactive_runtime.Push(s.t, int_rt / int_n);
-      result.interactive_penalty.Push(s.t, int_pen / int_n);
+    for (SimThread* st : sys_app->threads()) {
+      if (!IsWorker(st)) {
+        continue;
+      }
+      if (ToSeconds(st->RuntimeAt(end)) < 0.05 * max_runtime) {
+        background.push_back(st);
+      } else {
+        interactive.push_back(st);
+      }
     }
-    if (bg_n > 0) {
-      result.background_runtime.Push(s.t, bg_rt / bg_n);
-      result.background_penalty.Push(s.t, bg_pen / bg_n);
+    out->interactive_count = static_cast<int>(interactive.size());
+    out->background_count = static_cast<int>(background.size());
+    out->starved_count = 0;
+    for (const SimThread* st : background) {
+      if (ToSeconds(st->RuntimeAt(end)) < 0.01 * max_runtime) {
+        ++out->starved_count;
+      }
     }
+
+    auto in_set = [](const std::vector<const SimThread*>& set, const SimThread* t) {
+      return std::find(set.begin(), set.end(), t) != set.end();
+    };
+    for (const SysbenchThreadsState::Sample& s : state->samples) {
+      double master_rt = 0;
+      double int_rt = 0, bg_rt = 0, int_pen = 0, bg_pen = 0;
+      int int_n = 0, bg_n = 0;
+      for (const auto& [t, vals] : s.threads) {
+        if (!IsWorker(t)) {
+          master_rt = vals.first;
+        } else if (in_set(interactive, t)) {
+          int_rt += vals.first;
+          int_pen += vals.second;
+          ++int_n;
+        } else if (in_set(background, t)) {
+          bg_rt += vals.first;
+          bg_pen += vals.second;
+          ++bg_n;
+        }
+      }
+      out->master_runtime.Push(s.t, master_rt);
+      if (int_n > 0) {
+        out->interactive_runtime.Push(s.t, int_rt / int_n);
+        out->interactive_penalty.Push(s.t, int_pen / int_n);
+      }
+      if (bg_n > 0) {
+        out->background_runtime.Push(s.t, bg_rt / bg_n);
+        out->background_penalty.Push(s.t, bg_pen / bg_n);
+      }
+    }
+    state->samples.clear();
+  };
+  return spec;
+}
+
+SysbenchThreadsResult RunSysbenchThreads(SchedKind kind, uint64_t seed, double scale) {
+  auto out = std::make_shared<SysbenchThreadsResult>();
+  ExecuteSpec(SysbenchThreadsSpec(kind, seed, scale, out));
+  return std::move(*out);
+}
+
+// ---- Figures 5 and 8 ----
+
+std::vector<SuiteRow> RunSuite(const std::vector<AppSpec>& apps, const SuiteOptions& options) {
+  const int runs = std::max(1, options.runs);
+  std::vector<ExperimentSpec> bases;
+  bases.reserve(apps.size());
+  for (const AppSpec& app : apps) {
+    ExperimentSpec spec;
+    spec.topology = options.topology;
+    spec.system_noise = options.system_noise;
+    spec.machine.seed = options.seed;
+    spec.scale = options.scale;
+    spec.Named(app.name);
+    spec.Add(app);
+    bases.push_back(std::move(spec));
   }
-  return result;
+  const std::vector<ExperimentSpec> specs = SeedSweep(BothSchedulers(bases), runs);
+  const std::vector<RunResult> results = CampaignRunner(options.jobs).Run(specs);
+  const std::vector<ResultGroup> groups = GroupResults(results);
+
+  // Groups appear in spec order: app0/cfs, app0/ule, app1/cfs, ...
+  std::vector<SuiteRow> rows;
+  rows.reserve(apps.size());
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const ResultGroup& gc = groups[2 * i];
+    const ResultGroup& gu = groups[2 * i + 1];
+    SuiteRow row;
+    row.name = apps[i].name;
+    row.runs = runs;
+    const AggregateStat mc = gc.AggregateAppMetric(0);
+    const AggregateStat mu = gu.AggregateAppMetric(0);
+    row.cfs_metric = mc.mean;
+    row.cfs_stddev = mc.stddev;
+    row.ule_metric = mu.mean;
+    row.ule_stddev = mu.stddev;
+    const auto overhead = [](const RunResult& r) { return 100.0 * r.sched_work_fraction; };
+    row.cfs_overhead_pct = gc.Aggregate(overhead).mean;
+    row.ule_overhead_pct = gu.Aggregate(overhead).mean;
+    row.cfs_wakeup_preemptions = gc.runs.front()->counters.wakeup_preemptions;
+    row.ule_wakeup_preemptions = gu.runs.front()->counters.wakeup_preemptions;
+    if (row.cfs_metric > 0) {
+      row.diff_pct = 100.0 * (row.ule_metric - row.cfs_metric) / row.cfs_metric;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 SuiteRow RunSuiteApp(const std::string& name, int cores, uint64_t seed, double scale) {
-  const AppEntry* entry = FindApp(name);
-  SuiteRow row;
-  row.name = name;
-  if (entry == nullptr) {
+  if (FindApp(name) == nullptr) {
+    SuiteRow row;
+    row.name = name;
     return row;
   }
-  for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
-    ExperimentConfig cfg = cores == 1 ? ExperimentConfig::SingleCore(kind, seed)
-                                      : ExperimentConfig::Multicore(kind, seed);
-    ExperimentRun run(cfg);
-    Application* app = run.Add(entry->make(cores, seed, scale), 0);
-    run.Run();
-    const double metric = run.MetricFor(*app, entry->metric);
-    const double overhead = 100.0 * run.machine().SchedulerWorkFraction();
-    if (kind == SchedKind::kCfs) {
-      row.cfs_metric = metric;
-      row.cfs_overhead_pct = overhead;
-      row.cfs_wakeup_preemptions = run.machine().counters().wakeup_preemptions;
-    } else {
-      row.ule_metric = metric;
-      row.ule_overhead_pct = overhead;
-      row.ule_wakeup_preemptions = run.machine().counters().wakeup_preemptions;
+  SuiteOptions options;
+  if (cores == 1) {
+    options.topology = CpuTopology::Flat(1).config();
+    options.system_noise = false;
+  }
+  options.seed = seed;
+  options.scale = scale;
+  return RunSuite({RegistryApp(name)}, options)[0];
+}
+
+// ---- Figure 6 ----
+
+ExperimentSpec LoadBalanceSpec(SchedKind kind, uint64_t seed, SimTime run_for, int tolerance,
+                               std::shared_ptr<LoadBalanceResult> out) {
+  ExperimentSpec spec = ExperimentSpec::Multicore(kind, seed);
+  spec.system_noise = false;  // the paper's experiment uses only the spinners
+  spec.horizon = run_for;
+  spec.Named("loadbalance-512/" + std::string(SchedName(kind)));
+
+  AppSpec spinners;
+  spinners.name = "spinners";
+  spinners.has_metric = true;  // metric unused; avoids a registry lookup
+  spinners.make = [](int, uint64_t s, double) -> std::unique_ptr<Application> {
+    auto app = std::make_unique<ScriptedApp>("spinners", s);
+    ScriptedApp::ThreadTemplate tmpl;
+    tmpl.name = "spin";
+    tmpl.count = 512;
+    tmpl.affinity = CpuMask::Single(0);
+    tmpl.script = ScriptBuilder().Loop(-1).Compute(Milliseconds(5)).EndLoop().Build();
+    app->AddThreads(std::move(tmpl));
+    app->set_background(true);
+    return app;
+  };
+  spec.Add(spinners);
+
+  spec.hooks.on_start = [out, kind](SpecRunContext& ctx) {
+    out->sched = kind;
+    out->unpin_time = SecondsF(14.5);
+    Machine* m = &ctx.run.machine();
+    out->heatmap = std::make_unique<CoreLoadHeatmap>(m, Milliseconds(100));
+    Application* app = ctx.apps[0];
+    ctx.run.engine().PostAt(out->unpin_time, [m, app] {
+      const CpuMask all = CpuMask::AllOf(m->num_cores());
+      for (SimThread* t : app->threads()) {
+        m->SetAffinity(t, all);
+      }
+    });
+  };
+  spec.hooks.on_finish = [out, tolerance](SpecRunContext& ctx, RunResult&) {
+    out->heatmap->Stop();
+    out->balanced_time = out->heatmap->TimeToBalance(tolerance);
+    const auto final_counts = out->heatmap->CountsAt(ctx.run.engine().now());
+    if (!final_counts.empty()) {
+      out->final_max = *std::max_element(final_counts.begin(), final_counts.end());
+      out->final_min = *std::min_element(final_counts.begin(), final_counts.end());
     }
-  }
-  if (row.cfs_metric > 0) {
-    row.diff_pct = 100.0 * (row.ule_metric - row.cfs_metric) / row.cfs_metric;
-  }
-  return row;
+    out->migrations = ctx.run.machine().counters().migrations;
+    out->balance_invocations = ctx.run.machine().counters().balance_invocations;
+  };
+  return spec;
 }
 
 LoadBalanceResult RunLoadBalance512(SchedKind kind, uint64_t seed, SimTime run_for,
                                     int tolerance) {
-  ExperimentConfig cfg = ExperimentConfig::Multicore(kind, seed);
-  cfg.system_noise = false;  // the paper's experiment uses only the spinners
-  cfg.horizon = run_for;
-  ExperimentRun run(cfg);
+  auto out = std::make_shared<LoadBalanceResult>();
+  ExecuteSpec(LoadBalanceSpec(kind, seed, run_for, tolerance, out));
+  return std::move(*out);
+}
 
-  auto spinners = std::make_unique<ScriptedApp>("spinners", seed);
-  ScriptedApp::ThreadTemplate tmpl;
-  tmpl.name = "spin";
-  tmpl.count = 512;
-  tmpl.affinity = CpuMask::Single(0);
-  tmpl.script = ScriptBuilder().Loop(-1).Compute(Milliseconds(5)).EndLoop().Build();
-  spinners->AddThreads(std::move(tmpl));
-  spinners->set_background(true);
-  Application* app = run.Add(std::move(spinners), 0);
+// ---- Figure 7 ----
 
-  LoadBalanceResult result;
-  result.sched = kind;
-  result.unpin_time = SecondsF(14.5);
-  result.heatmap = std::make_unique<CoreLoadHeatmap>(&run.machine(), Milliseconds(100));
+ExperimentSpec CraySpec(SchedKind kind, uint64_t seed, double scale,
+                        std::shared_ptr<CrayResult> out) {
+  ExperimentSpec spec = ExperimentSpec::Multicore(kind, seed);
+  spec.system_noise = false;
+  spec.scale = scale;
+  spec.Named("c-ray-placement/" + std::string(SchedName(kind)));
 
-  Machine& m = run.machine();
-  run.engine().At(result.unpin_time, [&m, app] {
-    const CpuMask all = CpuMask::AllOf(m.num_cores());
+  AppSpec cray;
+  cray.name = "c-ray";
+  cray.has_metric = true;
+  cray.metric = MetricKind::kInvTime;
+  cray.make = [](int, uint64_t s, double sc) {
+    CrayParams cp;
+    cp.seed = s;
+    cp.work_per_thread = static_cast<SimDuration>(cp.work_per_thread * sc);
+    return MakeCray(cp);
+  };
+  spec.Add(cray);
+
+  spec.hooks.on_start = [out, kind](SpecRunContext& ctx) {
+    out->sched = kind;
+    out->heatmap = std::make_unique<CoreLoadHeatmap>(&ctx.run.machine(), Milliseconds(100));
+  };
+  spec.hooks.on_finish = [out](SpecRunContext& ctx, RunResult&) {
+    out->heatmap->Stop();
+    Application* app = ctx.apps[0];
+    out->finish_time = app->stats().finished;
+    SimTime all_runnable = 0;
     for (SimThread* t : app->threads()) {
-      m.SetAffinity(t, all);
+      all_runnable = std::max(all_runnable, t->first_dispatch);
     }
-  });
-
-  run.Run();
-  result.heatmap->Stop();
-  result.balanced_time = result.heatmap->TimeToBalance(tolerance);
-  const auto final_counts = result.heatmap->CountsAt(run.engine().now());
-  if (!final_counts.empty()) {
-    result.final_max = *std::max_element(final_counts.begin(), final_counts.end());
-    result.final_min = *std::min_element(final_counts.begin(), final_counts.end());
-  }
-  result.migrations = m.counters().migrations;
-  result.balance_invocations = m.counters().balance_invocations;
-  return result;
+    out->all_runnable_time = all_runnable;
+  };
+  return spec;
 }
 
 CrayResult RunCrayPlacement(SchedKind kind, uint64_t seed, double scale) {
-  ExperimentConfig cfg = ExperimentConfig::Multicore(kind, seed);
-  cfg.system_noise = false;
-  ExperimentRun run(cfg);
-  CrayParams cp;
-  cp.seed = seed;
-  cp.work_per_thread = static_cast<SimDuration>(cp.work_per_thread * scale);
-  Application* app = run.Add(MakeCray(cp), 0);
-
-  CrayResult result;
-  result.sched = kind;
-  result.heatmap = std::make_unique<CoreLoadHeatmap>(&run.machine(), Milliseconds(100));
-  run.Run();
-  result.heatmap->Stop();
-  result.finish_time = app->stats().finished;
-  SimTime all_runnable = 0;
-  for (SimThread* t : app->threads()) {
-    all_runnable = std::max(all_runnable, t->first_dispatch);
-  }
-  result.all_runnable_time = all_runnable;
-  return result;
+  auto out = std::make_shared<CrayResult>();
+  ExecuteSpec(CraySpec(kind, seed, scale, out));
+  return std::move(*out);
 }
 
-std::vector<MultiAppRow> RunMultiAppPairs(uint64_t seed, double scale) {
+// ---- Figure 9 ----
+
+namespace {
+
+AppSpec MultiAppSpecFor(const std::string& name) {
+  if (name == "fibo") {
+    AppSpec a;
+    a.name = "fibo";
+    a.has_metric = true;
+    a.metric = MetricKind::kInvTime;
+    a.make = [](int, uint64_t s, double sc) {
+      FiboParams p;
+      p.total_work = SecondsF(60.0 * sc);
+      p.seed = s;
+      return MakeFibo(p);
+    };
+    return a;
+  }
+  // The server-style apps are open-ended in the paper's pairs; run them long
+  // enough to overlap their partner for most of the measurement.
+  const bool open_ended = name == "sysbench" || name == "ferret" || name == "apache";
+  return RegistryApp(name, open_ended ? 3.0 : 1.0);
+}
+
+}  // namespace
+
+std::vector<MultiAppRow> RunMultiAppPairs(uint64_t seed, double scale, int runs, int jobs) {
   struct PairDef {
     std::string pair;
     std::string a;
@@ -286,56 +517,74 @@ std::vector<MultiAppRow> RunMultiAppPairs(uint64_t seed, double scale) {
       {"blackscholes + ferret", "blackscholes", "ferret"},
       {"apache + sysbench", "apache", "sysbench"},
   };
-  const int cores = 32;
+  runs = std::max(1, runs);
 
-  auto make_app = [&](const std::string& name) -> std::unique_ptr<Application> {
-    if (name == "fibo") {
-      FiboParams p;
-      p.total_work = SecondsF(60.0 * scale);
-      p.seed = seed;
-      return MakeFibo(p);
-    }
-    const AppEntry* e = FindApp(name);
-    // The server-style apps are open-ended in the paper's pairs; run them
-    // long enough to overlap their partner for most of the measurement.
-    const bool open_ended = name == "sysbench" || name == "ferret" || name == "apache";
-    return e->make(cores, seed, open_ended ? 3.0 * scale : scale);
-  };
-  auto metric_kind = [&](const std::string& name) {
-    if (name == "fibo") {
-      return MetricKind::kInvTime;
-    }
-    return FindApp(name)->metric;
-  };
-
-  std::vector<MultiAppRow> rows;
+  std::vector<ExperimentSpec> bases;
+  bases.reserve(pairs.size() * 3);
   for (const PairDef& pd : pairs) {
+    ExperimentSpec alone_a = ExperimentSpec::Multicore(SchedKind::kCfs, seed);
+    alone_a.scale = scale;
+    alone_a.Named(pd.pair + "/" + pd.a + "-alone");
+    alone_a.Add(MultiAppSpecFor(pd.a));
+    bases.push_back(std::move(alone_a));
+
+    ExperimentSpec alone_b = ExperimentSpec::Multicore(SchedKind::kCfs, seed);
+    alone_b.scale = scale;
+    alone_b.Named(pd.pair + "/" + pd.b + "-alone");
+    alone_b.Add(MultiAppSpecFor(pd.b));
+    bases.push_back(std::move(alone_b));
+
+    ExperimentSpec together = ExperimentSpec::Multicore(SchedKind::kCfs, seed);
+    together.scale = scale;
+    together.Named(pd.pair + "/together");
+    together.Add(MultiAppSpecFor(pd.a));
+    together.Add(MultiAppSpecFor(pd.b));
+    bases.push_back(std::move(together));
+  }
+
+  const std::vector<ExperimentSpec> specs = SeedSweep(BothSchedulers(bases), runs);
+  const std::vector<RunResult> results = CampaignRunner(jobs).Run(specs);
+  const std::vector<ResultGroup> groups = GroupResults(results);
+
+  // Six groups per pair, in spec order:
+  // a-alone/{cfs,ule}, b-alone/{cfs,ule}, together/{cfs,ule}.
+  std::vector<MultiAppRow> rows;
+  rows.reserve(pairs.size() * 2);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const size_t g = 6 * p;
     MultiAppRow ra, rb;
-    ra.pair_name = rb.pair_name = pd.pair;
-    ra.app_name = pd.a;
-    rb.app_name = pd.b;
-    for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
-      // Alone runs.
-      for (const std::string* name : {&pd.a, &pd.b}) {
-        ExperimentRun run(ExperimentConfig::Multicore(kind, seed));
-        Application* app = run.Add(make_app(*name), 0);
-        run.Run();
-        const double v = run.MetricFor(*app, metric_kind(*name));
-        MultiAppRow& r = (name == &pd.a) ? ra : rb;
-        (kind == SchedKind::kCfs ? r.alone_cfs : r.alone_ule) = v;
-      }
-      // Co-scheduled run.
-      ExperimentRun run(ExperimentConfig::Multicore(kind, seed));
-      Application* a = run.Add(make_app(pd.a), 0);
-      Application* b = run.Add(make_app(pd.b), 0);
-      run.Run();
-      (kind == SchedKind::kCfs ? ra.multi_cfs : ra.multi_ule) =
-          run.MetricFor(*a, metric_kind(pd.a));
-      (kind == SchedKind::kCfs ? rb.multi_cfs : rb.multi_ule) =
-          run.MetricFor(*b, metric_kind(pd.b));
-    }
-    rows.push_back(ra);
-    rows.push_back(rb);
+    ra.pair_name = rb.pair_name = pairs[p].pair;
+    ra.app_name = pairs[p].a;
+    rb.app_name = pairs[p].b;
+    ra.runs = rb.runs = runs;
+
+    AggregateStat s = groups[g].AggregateAppMetric(0);
+    ra.alone_cfs = s.mean;
+    ra.alone_cfs_sd = s.stddev;
+    s = groups[g + 1].AggregateAppMetric(0);
+    ra.alone_ule = s.mean;
+    ra.alone_ule_sd = s.stddev;
+    s = groups[g + 2].AggregateAppMetric(0);
+    rb.alone_cfs = s.mean;
+    rb.alone_cfs_sd = s.stddev;
+    s = groups[g + 3].AggregateAppMetric(0);
+    rb.alone_ule = s.mean;
+    rb.alone_ule_sd = s.stddev;
+    s = groups[g + 4].AggregateAppMetric(0);
+    ra.multi_cfs = s.mean;
+    ra.multi_cfs_sd = s.stddev;
+    s = groups[g + 4].AggregateAppMetric(1);
+    rb.multi_cfs = s.mean;
+    rb.multi_cfs_sd = s.stddev;
+    s = groups[g + 5].AggregateAppMetric(0);
+    ra.multi_ule = s.mean;
+    ra.multi_ule_sd = s.stddev;
+    s = groups[g + 5].AggregateAppMetric(1);
+    rb.multi_ule = s.mean;
+    rb.multi_ule_sd = s.stddev;
+
+    rows.push_back(std::move(ra));
+    rows.push_back(std::move(rb));
   }
   return rows;
 }

@@ -1,12 +1,23 @@
-// Canned scenarios for every table and figure in the paper's evaluation.
-// The bench binaries are thin wrappers over these functions.
+// Canned scenarios for every table and figure in the paper's evaluation,
+// expressed as ExperimentSpecs so the bench binaries can replicate them
+// across seeds and execute them in parallel through a CampaignRunner.
+//
+// Two API layers:
+//   - *Spec() builders return a self-contained ExperimentSpec whose hooks
+//     write the scenario's rich result (time series, heatmaps) into the
+//     caller-provided shared_ptr. Each spec needs its own output object; do
+//     not replicate these specs with SeedSweep — build one per seed.
+//   - Run*() functions execute the corresponding campaign (serially for the
+//     single-run back-compat wrappers) and aggregate across seeds.
 #ifndef SRC_CORE_SCENARIOS_H_
 #define SRC_CORE_SCENARIOS_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "src/core/runner.h"
+#include "src/core/campaign.h"
+#include "src/core/spec.h"
 #include "src/metrics/heatmap.h"
 #include "src/metrics/timeseries.h"
 
@@ -25,7 +36,26 @@ struct FiboSysbenchResult {
   TimeSeries fibo_penalty_series;       // Figure 2: interactivity penalty (ULE)
   TimeSeries sysbench_penalty_series;   //
 };
+ExperimentSpec FiboSysbenchSpec(SchedKind kind, uint64_t seed, double scale,
+                                std::shared_ptr<FiboSysbenchResult> out);
 FiboSysbenchResult RunFiboSysbench(SchedKind kind, uint64_t seed, double scale = 1.0);
+
+// Multi-seed replication of the scenario (the paper averages 10 runs).
+struct FiboSysbenchAggregate {
+  FiboSysbenchResult first;  // base-seed run; source of the figures' series
+  AggregateStat tps;
+  AggregateStat latency_ms;
+  AggregateStat fibo_runtime_s;
+  AggregateStat sysbench_finish_s;
+};
+FiboSysbenchAggregate RunFiboSysbenchCampaign(SchedKind kind, uint64_t seed, double scale,
+                                              int runs, int jobs);
+// Both schedulers' sweeps executed as one campaign (2 x runs specs).
+struct FiboSysbenchCampaign {
+  FiboSysbenchAggregate cfs;
+  FiboSysbenchAggregate ule;
+};
+FiboSysbenchCampaign RunFiboSysbenchBoth(uint64_t seed, double scale, int runs, int jobs);
 
 // ---- Figures 3 and 4: sysbench's own threads under ULE ----
 struct SysbenchThreadsResult {
@@ -39,22 +69,42 @@ struct SysbenchThreadsResult {
   int background_count = 0;
   int starved_count = 0;  // workers with (almost) zero runtime at the end
 };
+ExperimentSpec SysbenchThreadsSpec(SchedKind kind, uint64_t seed, double scale,
+                                   std::shared_ptr<SysbenchThreadsResult> out);
 SysbenchThreadsResult RunSysbenchThreads(SchedKind kind, uint64_t seed, double scale = 1.0);
 
 // ---- Figures 5 and 8: the application suite ----
 struct SuiteRow {
   std::string name;
-  double cfs_metric = 0;
+  int runs = 1;
+  double cfs_metric = 0;  // mean across seeds
   double ule_metric = 0;
-  // Percentage difference of ULE vs CFS ("higher = ULE faster").
+  double cfs_stddev = 0;
+  double ule_stddev = 0;
+  // Percentage difference of ULE vs CFS means ("higher = ULE faster").
   double diff_pct = 0;
-  double cfs_overhead_pct = 0;  // scheduler cycles / busy cycles
+  double cfs_overhead_pct = 0;  // scheduler cycles / busy cycles (mean)
   double ule_overhead_pct = 0;
-  uint64_t cfs_wakeup_preemptions = 0;
+  uint64_t cfs_wakeup_preemptions = 0;  // base-seed run
   uint64_t ule_wakeup_preemptions = 0;
 };
-// Runs one app under both schedulers. cores==1 reproduces Figure 5 rows,
-// cores==32 Figure 8 rows.
+
+struct SuiteOptions {
+  TopologyConfig topology = CpuTopology::Opteron6172().config();
+  bool system_noise = true;
+  uint64_t seed = 42;
+  double scale = 1.0;
+  int runs = 1;  // seeds per (app, scheduler) cell
+  int jobs = 1;  // campaign worker threads (0 = hardware concurrency)
+};
+
+// Runs every app under both schedulers for `runs` seeds as ONE campaign
+// (apps x {CFS, ULE} x seeds specs, executed on `jobs` workers); returns one
+// aggregated row per app, in input order.
+std::vector<SuiteRow> RunSuite(const std::vector<AppSpec>& apps, const SuiteOptions& options);
+
+// Single-run convenience used by tests: one app under both schedulers.
+// cores==1 reproduces Figure 5 rows, cores!=1 Figure 8 rows.
 SuiteRow RunSuiteApp(const std::string& name, int cores, uint64_t seed, double scale);
 
 // ---- Figure 6: 512 pinned spinners unpinned at t=14.5s ----
@@ -68,6 +118,8 @@ struct LoadBalanceResult {
   uint64_t migrations = 0;
   uint64_t balance_invocations = 0;
 };
+ExperimentSpec LoadBalanceSpec(SchedKind kind, uint64_t seed, SimTime run_for, int tolerance,
+                               std::shared_ptr<LoadBalanceResult> out);
 LoadBalanceResult RunLoadBalance512(SchedKind kind, uint64_t seed, SimTime run_for,
                                     int tolerance);
 
@@ -78,18 +130,28 @@ struct CrayResult {
   SimTime all_runnable_time;  // when all render threads have started running
   SimTime finish_time;
 };
+ExperimentSpec CraySpec(SchedKind kind, uint64_t seed, double scale,
+                        std::shared_ptr<CrayResult> out);
 CrayResult RunCrayPlacement(SchedKind kind, uint64_t seed, double scale = 1.0);
 
 // ---- Figure 9: multi-application workloads ----
 struct MultiAppRow {
   std::string pair_name;
   std::string app_name;
+  int runs = 1;
   double alone_cfs = 0;   // metric running alone on CFS (the figure's baseline)
   double multi_cfs = 0;   // co-scheduled on CFS
   double alone_ule = 0;
   double multi_ule = 0;
+  double alone_cfs_sd = 0;
+  double multi_cfs_sd = 0;
+  double alone_ule_sd = 0;
+  double multi_ule_sd = 0;
 };
-std::vector<MultiAppRow> RunMultiAppPairs(uint64_t seed, double scale = 1.0);
+// Runs all pairs (alone + co-scheduled, both schedulers, `runs` seeds) as
+// one campaign on `jobs` workers.
+std::vector<MultiAppRow> RunMultiAppPairs(uint64_t seed, double scale = 1.0, int runs = 1,
+                                          int jobs = 1);
 
 }  // namespace schedbattle
 

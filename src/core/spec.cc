@@ -1,0 +1,158 @@
+#include "src/core/spec.h"
+
+#include <utility>
+
+#include "src/apps/registry.h"
+#include "src/metrics/schedstats.h"
+
+namespace schedbattle {
+
+AppSpec RegistryApp(std::string name, double scale_mult, SimTime start_at) {
+  AppSpec app;
+  app.name = std::move(name);
+  app.scale_mult = scale_mult;
+  app.start_at = start_at;
+  return app;
+}
+
+ExperimentSpec& ExperimentSpec::Named(std::string name) {
+  label = name;
+  group = std::move(name);
+  return *this;
+}
+ExperimentSpec& ExperimentSpec::WithSeed(uint64_t s) {
+  machine.seed = s;
+  return *this;
+}
+ExperimentSpec& ExperimentSpec::WithSched(SchedKind kind) {
+  sched = kind;
+  return *this;
+}
+ExperimentSpec& ExperimentSpec::WithScale(double s) {
+  scale = s;
+  return *this;
+}
+ExperimentSpec& ExperimentSpec::WithHorizon(SimTime h) {
+  horizon = h;
+  return *this;
+}
+ExperimentSpec& ExperimentSpec::Add(AppSpec app) {
+  apps.push_back(std::move(app));
+  return *this;
+}
+
+ExperimentConfig ExperimentSpec::ToConfig() const {
+  ExperimentConfig cfg;
+  cfg.sched = sched;
+  cfg.topology = topology;
+  cfg.machine = machine;
+  cfg.cfs = cfs;
+  cfg.ule = ule;
+  cfg.horizon = horizon;
+  cfg.system_noise = system_noise;
+  return cfg;
+}
+
+ExperimentSpec ExperimentSpec::SingleCore(SchedKind kind, uint64_t seed) {
+  ExperimentSpec spec;
+  spec.sched = kind;
+  spec.topology = CpuTopology::Flat(1).config();
+  spec.machine.seed = seed;
+  spec.system_noise = false;
+  return spec;
+}
+
+ExperimentSpec ExperimentSpec::Multicore(SchedKind kind, uint64_t seed) {
+  ExperimentSpec spec;
+  spec.sched = kind;
+  spec.topology = CpuTopology::Opteron6172().config();
+  spec.machine.seed = seed;
+  spec.system_noise = true;
+  return spec;
+}
+
+const AppResult* RunResult::App(const std::string& name) const {
+  for (const AppResult& a : apps) {
+    if (a.name == name) {
+      return &a;
+    }
+  }
+  return nullptr;
+}
+
+RunResult ExecuteSpec(const ExperimentSpec& spec) {
+  ExperimentRun run(spec.ToConfig());
+  const int cores = run.machine().num_cores();
+
+  std::vector<Application*> apps;
+  std::vector<MetricKind> metrics;
+  apps.reserve(spec.apps.size());
+  for (const AppSpec& as : spec.apps) {
+    const double eff_scale = spec.scale * as.scale_mult;
+    std::unique_ptr<Application> app;
+    MetricKind metric = as.metric;
+    if (as.make) {
+      app = as.make(cores, spec.seed(), eff_scale);
+    } else {
+      const AppEntry* entry = FindApp(as.name);
+      if (entry == nullptr) {
+        // Unknown registry name: record an empty result slot so callers see
+        // spec.apps-parallel output instead of silently shifted indexes.
+        apps.push_back(nullptr);
+        metrics.push_back(metric);
+        continue;
+      }
+      app = entry->make(cores, spec.seed(), eff_scale);
+      if (!as.has_metric) {
+        metric = entry->metric;
+      }
+    }
+    apps.push_back(run.Add(std::move(app), as.start_at));
+    metrics.push_back(metric);
+  }
+
+  std::unique_ptr<SchedStats> stats;
+  if (spec.collect_schedstats) {
+    stats = std::make_unique<SchedStats>(&run.machine());
+  }
+
+  RunResult result;
+  result.label = spec.label;
+  result.group = spec.group.empty() ? spec.label : spec.group;
+  result.sched = spec.sched;
+  result.seed = spec.seed();
+
+  SpecRunContext ctx{run, spec, apps};
+  if (spec.hooks.on_start) {
+    spec.hooks.on_start(ctx);
+  }
+
+  result.finish_time = run.Run();
+
+  if (spec.hooks.on_finish) {
+    spec.hooks.on_finish(ctx, result);
+  }
+  if (stats != nullptr) {
+    stats->Detach();
+    result.schedstats_json = stats->ToJson();
+  }
+
+  for (size_t i = 0; i < apps.size(); ++i) {
+    AppResult ar;
+    ar.name = spec.apps[i].name;
+    if (apps[i] != nullptr) {
+      const AppStats& s = apps[i]->stats();
+      ar.metric = run.MetricFor(*apps[i], metrics[i]);
+      ar.ops_per_sec = s.OpsPerSecond(run.engine().now());
+      ar.ops = s.ops;
+      ar.finished = s.finished >= 0;
+      ar.finish_time = s.finished;
+    }
+    result.apps.push_back(std::move(ar));
+  }
+  result.sched_work_fraction = run.machine().SchedulerWorkFraction();
+  result.counters = run.machine().counters();
+  return result;
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,138 @@
+// Declarative experiment specifications.
+//
+// An ExperimentSpec captures everything one simulator run needs *as data*:
+// scheduler, topology, tunables, applications, seed, scale and horizon —
+// the paper's "same machine, same workload, swap the scheduler" methodology
+// expressed as a value that can be copied, labelled, swept over seeds and
+// executed on a worker thread. ExecuteSpec() turns one spec into one
+// ExperimentRun and returns a RunResult (per-app metrics, machine counters,
+// optionally a schedstats JSON snapshot).
+//
+// Campaign combinators (src/core/campaign.h) build lists of specs; the
+// CampaignRunner executes them in parallel. Scenario-specific
+// instrumentation (periodic samplers, mid-run affinity flips, heatmaps)
+// attaches through the spec's hooks, which run on the executing thread with
+// full access to the live ExperimentRun.
+#ifndef SRC_CORE_SPEC_H_
+#define SRC_CORE_SPEC_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/runner.h"
+
+namespace schedbattle {
+
+struct RunResult;
+class ExperimentRun;
+
+// One application inside a spec. Apps resolve against the benchmark-suite
+// registry by name; `make` overrides the registry for custom workloads
+// (scripted spinners, parameterized fibo/hackbench, ...).
+struct AppSpec {
+  std::string name;      // registry name, or a label for custom factories
+  SimTime start_at = 0;  // simulated launch time
+  double scale_mult = 1.0;  // multiplied with the spec-wide scale
+
+  // Metric used for AppResult::metric. When `has_metric` is false it is
+  // resolved from the registry entry (kInvTime for custom factories).
+  MetricKind metric = MetricKind::kInvTime;
+  bool has_metric = false;
+
+  // Optional custom factory: (cores, seed, effective_scale) -> app. When
+  // unset, the registry entry named `name` is used.
+  std::function<std::unique_ptr<Application>(int, uint64_t, double)> make;
+};
+
+// Registry-backed app spec ("gzip", "MG", "sysbench", ...).
+AppSpec RegistryApp(std::string name, double scale_mult = 1.0, SimTime start_at = 0);
+
+// Scenario instrumentation run on the executing thread. `apps` is parallel
+// to spec.apps (background system noise is not included).
+struct SpecRunContext {
+  ExperimentRun& run;
+  const struct ExperimentSpec& spec;
+  const std::vector<Application*>& apps;
+};
+
+struct RunHooks {
+  // After apps are added and stats collection attached, before Run().
+  std::function<void(SpecRunContext&)> on_start;
+  // After Run(), before counters are harvested into the RunResult.
+  std::function<void(SpecRunContext&, RunResult&)> on_finish;
+};
+
+struct ExperimentSpec {
+  // `label` identifies one run; `group` is the aggregation key shared by all
+  // seeds of the same configuration (SeedSweep varies label, not group).
+  std::string label;
+  std::string group;
+
+  SchedKind sched = SchedKind::kCfs;
+  TopologyConfig topology = CpuTopology::Opteron6172().config();
+  MachineParams machine;
+  CfsTunables cfs;
+  UleTunables ule;
+  SimTime horizon = Seconds(600);
+  bool system_noise = false;
+  double scale = 1.0;
+  // Attach a SchedStats observer and store its JSON snapshot in the result.
+  bool collect_schedstats = false;
+
+  std::vector<AppSpec> apps;
+  RunHooks hooks;
+
+  uint64_t seed() const { return machine.seed; }
+
+  // Builder-style helpers (all return *this for chaining).
+  ExperimentSpec& Named(std::string name);
+  ExperimentSpec& WithSeed(uint64_t seed);
+  ExperimentSpec& WithSched(SchedKind kind);
+  ExperimentSpec& WithScale(double s);
+  ExperimentSpec& WithHorizon(SimTime h);
+  ExperimentSpec& Add(AppSpec app);
+
+  // The machine configuration part, for ExperimentRun.
+  ExperimentConfig ToConfig() const;
+
+  // Single flat core (the paper's Figures 1-5 setup).
+  static ExperimentSpec SingleCore(SchedKind kind, uint64_t seed = 42);
+  // The paper's 32-core NUMA machine, with background system noise.
+  static ExperimentSpec Multicore(SchedKind kind, uint64_t seed = 42);
+};
+
+// Per-app outcome of one run, in spec.apps order.
+struct AppResult {
+  std::string name;
+  double metric = 0;      // the paper's metric (ops/s or 1/time)
+  double ops_per_sec = 0;
+  uint64_t ops = 0;
+  bool finished = false;
+  SimTime finish_time = -1;
+};
+
+struct RunResult {
+  std::string label;
+  std::string group;
+  SchedKind sched = SchedKind::kCfs;
+  uint64_t seed = 0;
+  SimTime finish_time = 0;  // workload finish (or horizon)
+  double sched_work_fraction = 0;
+  MachineCounters counters;
+  std::vector<AppResult> apps;
+  std::string schedstats_json;  // only when spec.collect_schedstats
+
+  // First app result with the given name; nullptr if absent.
+  const AppResult* App(const std::string& name) const;
+};
+
+// Executes one spec to completion on the calling thread. Fully
+// deterministic: identical specs produce identical results (and identical
+// schedstats snapshots) regardless of what other specs run concurrently.
+RunResult ExecuteSpec(const ExperimentSpec& spec);
+
+}  // namespace schedbattle
+
+#endif  // SRC_CORE_SPEC_H_

@@ -26,7 +26,6 @@ class Core {
   // ---- state managed by Machine ----
   bool resched_pending = false;       // a reschedule event is queued
   EventHandle completion_event;       // pending compute-segment completion
-  EventHandle tick_event;
   SimTime idle_since = 0;
   SimDuration idle_ns = 0;            // cumulative idle time
   // Exponential average of recent idle-period lengths (kernel: rq->avg_idle;

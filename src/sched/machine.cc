@@ -34,7 +34,7 @@ void Machine::Boot() {
     // artificial global tick synchrony real hardware does not have.
     const SimDuration offset = (period * c) / num_cores();
     Core* core = cores_[c].get();
-    core->tick_event = engine_->After(offset + period, [this, c] { TickCore(c); });
+    engine_->PostAfter(offset + period, [this, c] { TickCore(c); });
   }
   scheduler_->Start();
 }
@@ -148,7 +148,7 @@ void Machine::SetNeedResched(CoreId core) {
     return;
   }
   c->resched_pending = true;
-  engine_->At(now(), [this, core] { ReschedCore(core); });
+  engine_->PostAt(now(), [this, core] { ReschedCore(core); });
 }
 
 void Machine::ChargeOverhead(CoreId core, SimDuration d, OverheadKind kind) {
@@ -445,8 +445,7 @@ void Machine::TickCore(CoreId core) {
 }
 
 void Machine::ArmTick(CoreId core) {
-  cores_[core]->tick_event =
-      engine_->After(scheduler_->TickPeriod(), [this, core] { TickCore(core); });
+  engine_->PostAfter(scheduler_->TickPeriod(), [this, core] { TickCore(core); });
 }
 
 }  // namespace schedbattle

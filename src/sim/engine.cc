@@ -18,6 +18,20 @@ EventHandle SimEngine::After(SimDuration delay, EventCallback cb) {
   return queue_.Schedule(now_ + delay, std::move(cb));
 }
 
+void SimEngine::PostAt(SimTime when, EventCallback cb) {
+  if (when < now_) {
+    when = now_;
+  }
+  queue_.Post(when, std::move(cb));
+}
+
+void SimEngine::PostAfter(SimDuration delay, EventCallback cb) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  queue_.Post(now_ + delay, std::move(cb));
+}
+
 uint64_t SimEngine::RunUntil(SimTime deadline) {
   uint64_t executed = 0;
   stop_requested_ = false;

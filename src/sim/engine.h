@@ -29,6 +29,12 @@ class SimEngine {
   // Schedules a callback `delay` from now (delay clamped to >= 0).
   EventHandle After(SimDuration delay, EventCallback cb);
 
+  // Fire-and-forget variants: no cancellation handle, no control-block
+  // allocation (see EventQueue::Post). Prefer these when the handle would be
+  // discarded — they are on the simulator's hottest path.
+  void PostAt(SimTime when, EventCallback cb);
+  void PostAfter(SimDuration delay, EventCallback cb);
+
   bool Cancel(EventHandle& handle) { return queue_.Cancel(handle); }
 
   // Runs events until the queue is empty or the next event is after

@@ -13,6 +13,12 @@ EventHandle EventQueue::Schedule(SimTime when, EventCallback cb) {
   return EventHandle(std::move(node));
 }
 
+void EventQueue::Post(SimTime when, EventCallback cb) {
+  heap_.push_back(Entry{when, next_seq_++, std::move(cb), nullptr});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_count_;
+}
+
 bool EventQueue::Cancel(EventHandle& handle) {
   if (!handle.node_ || handle.node_->cancelled) {
     handle.Reset();
@@ -31,7 +37,7 @@ bool EventQueue::Cancel(EventHandle& handle) {
 }
 
 void EventQueue::SkimCancelled() {
-  while (!heap_.empty() && heap_.front().node->cancelled) {
+  while (!heap_.empty() && heap_.front().node != nullptr && heap_.front().node->cancelled) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }

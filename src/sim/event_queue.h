@@ -49,6 +49,12 @@ class EventQueue {
   // past relative to the last popped event.
   EventHandle Schedule(SimTime when, EventCallback cb);
 
+  // Like Schedule, but returns no handle and allocates no cancellation
+  // control block — the fast path for fire-and-forget events (reschedule
+  // requests, sleep wakeups, one-shot experiment triggers), which dominate
+  // the event stream. Posted events cannot be cancelled.
+  void Post(SimTime when, EventCallback cb);
+
   // Cancels a previously scheduled event. Safe to call with a null handle or
   // after the event has fired (both are no-ops). Returns true if the event
   // was pending and is now cancelled.
@@ -72,7 +78,7 @@ class EventQueue {
     SimTime when;
     uint64_t seq;
     EventCallback cb;
-    std::shared_ptr<EventHandle::Node> node;
+    std::shared_ptr<EventHandle::Node> node;  // null for Post()ed events
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {

@@ -127,7 +127,7 @@ Step ScriptBody::OnRun(ThreadContext& ctx) {
           break;
         }
         resuming_sleep_ = true;
-        m.engine().After(d, [&m, self] { m.Wake(self, kInvalidCore); });
+        m.engine().PostAfter(d, [&m, self] { m.Wake(self, kInvalidCore); });
         return Step::Block();
       }
       case ScriptInstr::Op::kLock:

@@ -51,7 +51,7 @@ SimTime Workload::Run(SimTime horizon) {
   }
   for (size_t i = 0; i < apps_.size(); ++i) {
     Application* app = apps_[i].get();
-    machine_->engine().At(start_times_[i], [this, app] {
+    machine_->engine().PostAt(start_times_[i], [this, app] {
       app->stats().started = machine_->now();
       app->Launch(*machine_);
     });

@@ -1,0 +1,119 @@
+// Checked flag parsing: garbage must be rejected with a useful error, never
+// silently coerced to 0 (the old atof behaviour).
+#include "src/core/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace schedbattle {
+namespace {
+
+TEST(ParseTest, DoubleAcceptsValidRejectsGarbage) {
+  double d = -1;
+  EXPECT_TRUE(ParseDouble("0.25", &d));
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  EXPECT_TRUE(ParseDouble("-3e2", &d));
+  EXPECT_DOUBLE_EQ(d, -300.0);
+  EXPECT_FALSE(ParseDouble("abc", &d));
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_FALSE(ParseDouble("1.5x", &d));
+  EXPECT_FALSE(ParseDouble("nan", &d));
+  EXPECT_FALSE(ParseDouble("inf", &d));
+}
+
+TEST(ParseTest, IntRejectsTrailingJunkAndOverflow) {
+  int i = -1;
+  EXPECT_TRUE(ParseInt("42", &i));
+  EXPECT_EQ(i, 42);
+  EXPECT_TRUE(ParseInt("-7", &i));
+  EXPECT_EQ(i, -7);
+  EXPECT_FALSE(ParseInt("42abc", &i));
+  EXPECT_FALSE(ParseInt("4.5", &i));
+  EXPECT_FALSE(ParseInt("99999999999999999999", &i));
+}
+
+TEST(ParseTest, Uint64RejectsNegatives) {
+  uint64_t u = 1;
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &u));
+  EXPECT_EQ(u, 18446744073709551615ull);
+  EXPECT_FALSE(ParseUint64("-1", &u));
+  EXPECT_FALSE(ParseUint64("abc", &u));
+}
+
+TEST(FlagSetTest, ParsesTypedFlagsAndBooleans) {
+  double scale = 1.0;
+  int jobs = 0;
+  uint64_t seed = 0;
+  std::string out;
+  std::vector<std::string> apps;
+  bool noise = false;
+  FlagSet flags;
+  flags.Double("scale", &scale, "")
+      .Int("jobs", &jobs, "")
+      .Uint64("seed", &seed, "")
+      .String("out", &out, "")
+      .StringList("app", &apps, "")
+      .Bool("noise", &noise, "");
+  const char* argv[] = {"prog",        "--scale=0.5", "--jobs=8",  "--seed=99",
+                        "--out=x.csv", "--app=gzip",  "--app=MG",  "--noise"};
+  std::string error;
+  ASSERT_TRUE(flags.Parse(8, const_cast<char**>(argv), 1, &error)) << error;
+  EXPECT_DOUBLE_EQ(scale, 0.5);
+  EXPECT_EQ(jobs, 8);
+  EXPECT_EQ(seed, 99u);
+  EXPECT_EQ(out, "x.csv");
+  ASSERT_EQ(apps.size(), 2u);
+  EXPECT_EQ(apps[0], "gzip");
+  EXPECT_EQ(apps[1], "MG");
+  EXPECT_TRUE(noise);
+}
+
+TEST(FlagSetTest, RejectsGarbageValueWithFlagNameInError) {
+  double scale = 1.0;
+  FlagSet flags;
+  flags.Double("scale", &scale, "");
+  const char* argv[] = {"prog", "--scale=abc"};
+  std::string error;
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv), 1, &error));
+  EXPECT_NE(error.find("--scale"), std::string::npos) << error;
+  EXPECT_DOUBLE_EQ(scale, 1.0) << "failed parse must not write through";
+}
+
+TEST(FlagSetTest, RejectsUnknownFlag) {
+  double scale = 1.0;
+  FlagSet flags;
+  flags.Double("scale", &scale, "");
+  const char* argv[] = {"prog", "--bogus=1"};
+  std::string error;
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv), 1, &error));
+  EXPECT_NE(error.find("--bogus"), std::string::npos) << error;
+}
+
+TEST(FlagSetTest, RejectsMissingValueForTypedFlag) {
+  int jobs = 0;
+  FlagSet flags;
+  flags.Int("jobs", &jobs, "");
+  const char* argv[] = {"prog", "--jobs"};
+  std::string error;
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv), 1, &error));
+  EXPECT_NE(error.find("--jobs"), std::string::npos) << error;
+}
+
+TEST(FlagSetTest, HelpListsFlagsInRegistrationOrder) {
+  double scale = 1.0;
+  bool noise = false;
+  FlagSet flags;
+  flags.Double("scale", &scale, "workload scale").Bool("noise", &noise, "background noise");
+  const std::string help = flags.Help();
+  const size_t scale_pos = help.find("--scale");
+  const size_t noise_pos = help.find("--noise");
+  ASSERT_NE(scale_pos, std::string::npos);
+  ASSERT_NE(noise_pos, std::string::npos);
+  EXPECT_LT(scale_pos, noise_pos);
+  EXPECT_NE(help.find("workload scale"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace schedbattle

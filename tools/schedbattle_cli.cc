@@ -9,15 +9,21 @@
 //   schedbattle_cli --sched=ule --app=apache --cores=1 --trace-json=/tmp/t.json
 //   schedbattle_cli --sched=cfs --scenario=fig6 --stats-json=/tmp/stats.json
 //   schedbattle_cli stats --sched=ule --app=sysbench       # JSON to stdout
+//   schedbattle_cli campaign --suite=fig8 --runs=10 --jobs=8   # aggregated JSON
 //   schedbattle_cli --list
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "src/apps/registry.h"
+#include "src/core/campaign.h"
+#include "src/core/flags.h"
 #include "src/core/report.h"
 #include "src/core/runner.h"
+#include "src/core/scenarios.h"
+#include "src/core/spec.h"
 #include "src/metrics/counters.h"
 #include "src/metrics/csv.h"
 #include "src/metrics/heatmap.h"
@@ -31,10 +37,14 @@ namespace {
 
 void Usage() {
   std::printf(
-      "usage: schedbattle_cli [stats] [options]\n"
+      "usage: schedbattle_cli [stats|campaign] [options]\n"
       "subcommands:\n"
       "  stats                  run and print the schedstats JSON snapshot to\n"
       "                         stdout (suppresses the human-readable report)\n"
+      "  campaign               run every suite app under both schedulers for\n"
+      "                         --runs seeds on --jobs worker threads and emit\n"
+      "                         aggregated JSON (mean/stddev/min/max per app\n"
+      "                         and scheduler)\n"
       "options:\n"
       "  --list                 list available applications and exit\n"
       "  --sched=cfs|ule        scheduler (default cfs)\n"
@@ -55,7 +65,13 @@ void Usage() {
       "  --trace-json=<file>    write a Chrome/Perfetto trace (counter tracks\n"
       "                         and wake->dispatch flow arrows included)\n"
       "  --trace=<file.json>    alias for --trace-json\n"
-      "  --trace-text=<file>    write a plain-text event log\n");
+      "  --trace-text=<file>    write a plain-text event log\n"
+      "campaign options:\n"
+      "  --suite=fig5|fig8|desktop  machine/topology preset (default fig8)\n"
+      "  --app=<name>           restrict to these suite apps (repeatable)\n"
+      "  --runs=<n>             seeds per (app, scheduler) cell (default 3)\n"
+      "  --jobs=<n>             worker threads (default 0 = hardware concurrency)\n"
+      "  --json=<file>          output path, '-' for stdout (default '-')\n");
 }
 
 // The paper's Figure 6 workload: 512 infinite spinners pinned to core 0,
@@ -86,7 +102,7 @@ Application* AddFig6Scenario(ExperimentRun& run, uint64_t seed) {
   Application* app = run.Add(std::move(spinners), 0);
 
   Machine& m = run.machine();
-  run.engine().At(SecondsF(14.5), [&m, app] {
+  m.engine().PostAt(SecondsF(14.5), [&m, app] {
     const CpuMask all = CpuMask::AllOf(m.num_cores());
     for (SimThread* t : app->threads()) {
       m.SetAffinity(t, all);
@@ -95,9 +111,141 @@ Application* AddFig6Scenario(ExperimentRun& run, uint64_t seed) {
   return app;
 }
 
+std::string JsonStat(const AggregateStat& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "{\"n\": %d, \"mean\": %.6g, \"stddev\": %.6g}", s.n, s.mean,
+                s.stddev);
+  return buf;
+}
+
+// `campaign` subcommand: the Figure 5/8/desktop suite as one parallel
+// campaign, emitting aggregated JSON.
+int RunCampaignCommand(int argc, char** argv) {
+  std::string suite = "fig8";
+  std::vector<std::string> only;
+  int runs = 3;
+  int jobs = 0;
+  double scale = 0.2;
+  uint64_t seed = 42;
+  std::string json_path = "-";
+
+  FlagSet flags;
+  flags.String("suite", &suite, "fig5|fig8|desktop machine preset")
+      .StringList("app", &only, "restrict to these suite apps (repeatable)")
+      .Int("runs", &runs, "seeds per (app, scheduler) cell")
+      .Int("jobs", &jobs, "worker threads (0 = hardware concurrency)")
+      .Double("scale", &scale, "workload scale factor")
+      .Uint64("seed", &seed, "base RNG seed")
+      .String("json", &json_path, "output path, '-' for stdout");
+  std::string error;
+  if (!flags.Parse(argc, argv, 2, &error)) {
+    std::fprintf(stderr, "%s\n%s", error.c_str(), flags.Help().c_str());
+    return 2;
+  }
+  if (runs < 1) {
+    std::fprintf(stderr, "--runs must be >= 1\n");
+    return 2;
+  }
+
+  SuiteOptions options;
+  if (suite == "fig5") {
+    options.topology = CpuTopology::Flat(1).config();
+    options.system_noise = false;
+  } else if (suite == "desktop") {
+    options.topology = CpuTopology::I7_3770().config();
+  } else if (suite != "fig8") {
+    std::fprintf(stderr, "--suite must be fig5, fig8 or desktop\n");
+    return 2;
+  }
+  options.seed = seed;
+  options.scale = scale;
+  options.runs = runs;
+  options.jobs = jobs;
+
+  std::vector<AppSpec> apps;
+  for (const AppEntry& e : BenchmarkSuite()) {
+    if (only.empty()) {
+      apps.push_back(RegistryApp(e.name));
+      continue;
+    }
+    for (const std::string& name : only) {
+      if (e.name == name) {
+        apps.push_back(RegistryApp(e.name));
+        break;
+      }
+    }
+  }
+  if (apps.empty()) {
+    std::fprintf(stderr, "no matching apps (use --list)\n");
+    return 2;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<SuiteRow> rows = RunSuite(apps, options);
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+  std::string json = "{\n";
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "  \"suite\": \"%s\",\n  \"seed\": %llu,\n  \"scale\": %.6g,\n"
+                "  \"runs\": %d,\n  \"jobs\": %d,\n  \"wall_clock_ms\": %lld,\n",
+                suite.c_str(), static_cast<unsigned long long>(seed), scale, runs,
+                CampaignRunner(jobs).jobs(), static_cast<long long>(wall_ms));
+  json += head;
+  json += "  \"apps\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SuiteRow& row = rows[i];
+    AggregateStat cfs;
+    cfs.n = row.runs;
+    cfs.mean = row.cfs_metric;
+    cfs.stddev = row.cfs_stddev;
+    AggregateStat ule;
+    ule.n = row.runs;
+    ule.mean = row.ule_metric;
+    ule.stddev = row.ule_stddev;
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "    {\"name\": \"%s\", \"cfs\": %s, \"ule\": %s, \"diff_pct\": %.4g}%s\n",
+                  row.name.c_str(), JsonStat(cfs).c_str(), JsonStat(ule).c_str(), row.diff_pct,
+                  i + 1 < rows.size() ? "," : "");
+    json += line;
+  }
+  json += "  ]\n}\n";
+
+  if (json_path.empty() || json_path == "-") {
+    std::fputs(json.c_str(), stdout);
+  } else if (WriteFile(json_path, json)) {
+    std::printf("wrote campaign JSON (%zu apps, %d runs, %lld ms) to %s\n", rows.size(), runs,
+                static_cast<long long>(wall_ms), json_path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Pre-scan for flags that exit immediately.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      Usage();
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--list") == 0) {
+      for (const AppEntry& e : BenchmarkSuite()) {
+        std::printf("%s\n", e.name.c_str());
+      }
+      return 0;
+    }
+  }
+  if (argc > 1 && std::strcmp(argv[1], "campaign") == 0) {
+    return RunCampaignCommand(argc, argv);
+  }
+
   std::string sched = "cfs";
   std::vector<std::string> apps;
   std::string scenario;
@@ -117,51 +265,25 @@ int main(int argc, char** argv) {
     stats_mode = true;
     first_flag = 2;
   }
-  for (int i = first_flag; i < argc; ++i) {
-    const char* a = argv[i];
-    auto arg = [&](const char* prefix) -> const char* {
-      const size_t n = std::strlen(prefix);
-      return std::strncmp(a, prefix, n) == 0 ? a + n : nullptr;
-    };
-    if (std::strcmp(a, "--list") == 0) {
-      for (const AppEntry& e : BenchmarkSuite()) {
-        std::printf("%s\n", e.name.c_str());
-      }
-      return 0;
-    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
-      Usage();
-      return 0;
-    } else if (const char* v = arg("--sched=")) {
-      sched = v;
-    } else if (const char* v = arg("--app=")) {
-      apps.push_back(v);
-    } else if (const char* v = arg("--scenario=")) {
-      scenario = v;
-    } else if (const char* v = arg("--cores=")) {
-      cores = std::atoi(v);
-    } else if (const char* v = arg("--scale=")) {
-      scale = std::atof(v);
-    } else if (const char* v = arg("--seed=")) {
-      seed = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = arg("--horizon=")) {
-      horizon_s = std::atof(v);
-    } else if (std::strcmp(a, "--noise") == 0) {
-      noise = true;
-    } else if (std::strcmp(a, "--heatmap") == 0) {
-      heatmap = true;
-    } else if (const char* v = arg("--stats-json=")) {
-      stats_json_path = v;
-    } else if (const char* v = arg("--trace-json=")) {
-      trace_path = v;
-    } else if (const char* v = arg("--trace=")) {
-      trace_path = v;
-    } else if (const char* v = arg("--trace-text=")) {
-      trace_text_path = v;
-    } else {
-      std::fprintf(stderr, "unknown option: %s\n", a);
-      Usage();
-      return 2;
-    }
+  FlagSet flags;
+  flags.String("sched", &sched, "scheduler: cfs or ule")
+      .StringList("app", &apps, "application to run (repeatable)")
+      .String("scenario", &scenario, "canned scenario (fig6)")
+      .Int("cores", &cores, "core count (32 = the paper's NUMA machine)")
+      .Double("scale", &scale, "workload scale factor")
+      .Uint64("seed", &seed, "RNG seed")
+      .Double("horizon", &horizon_s, "simulation horizon in seconds")
+      .Bool("noise", &noise, "add the background kernel-thread app")
+      .Bool("heatmap", &heatmap, "print the threads-per-core heatmap")
+      .String("stats-json", &stats_json_path, "write schedstats JSON ('-' for stdout)")
+      .String("trace-json", &trace_path, "write a Chrome/Perfetto trace")
+      .String("trace", &trace_path, "alias for --trace-json")
+      .String("trace-text", &trace_text_path, "write a plain-text event log");
+  std::string error;
+  if (!flags.Parse(argc, argv, first_flag, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    Usage();
+    return 2;
   }
   if (!scenario.empty() && scenario != "fig6") {
     std::fprintf(stderr, "unknown scenario '%s' (only fig6 is available)\n", scenario.c_str());
