@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "src/core/flags.h"
@@ -43,6 +44,12 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv, double default_scale = 1.
   BenchArgs args;
   args.scale = default_scale;
   const FlagSet flags = BenchFlagSet(&args);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: %s [options]\n%s", argv[0], flags.Help().c_str());
+      std::exit(0);
+    }
+  }
   std::string error;
   if (!flags.Parse(argc, argv, 1, &error)) {
     std::fprintf(stderr, "%s\n%s", error.c_str(), flags.Help().c_str());

@@ -52,6 +52,7 @@ class CfsScheduler : public Scheduler {
 
   double LoadOf(CoreId core) const override;
   int RunnableCountOf(CoreId core) const override;
+  int64_t MinVruntimeOf(CoreId core) const override { return root_->rqs[core]->min_vruntime; }
 
   const CfsTunables& tunables() const { return tun_; }
   CfsRq* RootRq(CoreId core) { return root_->rqs[core].get(); }

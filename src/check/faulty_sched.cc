@@ -1,0 +1,145 @@
+#include "src/check/faulty_sched.h"
+
+#include <utility>
+
+namespace schedbattle {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kDropWakeup:
+      return "drop_wakeup";
+    case FaultKind::kNoBalance:
+      return "no_balance";
+    case FaultKind::kCorruptVruntime:
+      return "corrupt_vruntime";
+    case FaultKind::kCorruptScore:
+      return "corrupt_score";
+    case FaultKind::kMiscountLoad:
+      return "miscount_load";
+  }
+  return "none";
+}
+
+bool ParseFaultKind(std::string_view name, FaultKind* out) {
+  for (FaultKind kind : {FaultKind::kNone, FaultKind::kDropWakeup, FaultKind::kNoBalance,
+                         FaultKind::kCorruptVruntime, FaultKind::kCorruptScore,
+                         FaultKind::kMiscountLoad}) {
+    if (name == FaultKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultySched::FaultySched(std::unique_ptr<Scheduler> inner, FaultConfig fault)
+    : inner_(std::move(inner)), fault_(fault) {}
+
+FaultySched::~FaultySched() = default;
+
+void FaultySched::Attach(Machine* machine) { inner_->Attach(machine); }
+
+void FaultySched::Start() {
+  if (fault_.kind == FaultKind::kNoBalance) {
+    return;  // never arm the periodic balancer
+  }
+  inner_->Start();
+}
+
+void FaultySched::DeclareGroup(GroupId id, GroupId parent) { inner_->DeclareGroup(id, parent); }
+
+void FaultySched::TaskNew(SimThread* thread, SimThread* parent) {
+  inner_->TaskNew(thread, parent);
+}
+
+void FaultySched::TaskExit(SimThread* thread) { inner_->TaskExit(thread); }
+
+CoreId FaultySched::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind kind) {
+  return inner_->SelectTaskRq(thread, origin, kind);
+}
+
+void FaultySched::EnqueueTask(CoreId core, SimThread* thread, EnqueueKind kind) {
+  if (fault_.kind == FaultKind::kDropWakeup && kind == EnqueueKind::kWakeup &&
+      dropped_ == nullptr && ++wakeups_seen_ == fault_.arg) {
+    dropped_ = thread;  // the wakeup vanishes between pickcpu and the runqueue
+    return;
+  }
+  inner_->EnqueueTask(core, thread, kind);
+}
+
+void FaultySched::DequeueTask(CoreId core, SimThread* thread) {
+  if (thread == dropped_) {
+    return;  // never made it into a queue
+  }
+  inner_->DequeueTask(core, thread);
+}
+
+SimThread* FaultySched::PickNextTask(CoreId core) { return inner_->PickNextTask(core); }
+
+void FaultySched::PutPrevTask(CoreId core, SimThread* thread) {
+  inner_->PutPrevTask(core, thread);
+}
+
+void FaultySched::OnTaskBlock(CoreId core, SimThread* thread, bool voluntary) {
+  inner_->OnTaskBlock(core, thread, voluntary);
+}
+
+void FaultySched::YieldTask(CoreId core, SimThread* thread) { inner_->YieldTask(core, thread); }
+
+void FaultySched::TaskTick(CoreId core, SimThread* current) {
+  if (fault_.kind == FaultKind::kNoBalance && current == nullptr) {
+    return;  // suppress the idle tick's steal polling (ULE sched_idletd)
+  }
+  inner_->TaskTick(core, current);
+}
+
+void FaultySched::ReniceTask(SimThread* thread) { inner_->ReniceTask(thread); }
+
+void FaultySched::CheckPreemptWakeup(CoreId core, SimThread* woken) {
+  if (woken == dropped_) {
+    return;  // the inner scheduler never saw this wakeup
+  }
+  inner_->CheckPreemptWakeup(core, woken);
+}
+
+void FaultySched::OnCoreIdle(CoreId core) {
+  if (fault_.kind == FaultKind::kNoBalance) {
+    return;  // no newidle pull / idle steal
+  }
+  inner_->OnCoreIdle(core);
+}
+
+SimDuration FaultySched::TickPeriod() const { return inner_->TickPeriod(); }
+
+double FaultySched::LoadOf(CoreId core) const { return inner_->LoadOf(core); }
+
+int FaultySched::RunnableCountOf(CoreId core) const {
+  int count = inner_->RunnableCountOf(core);
+  if (fault_.kind == FaultKind::kMiscountLoad && core == 0) {
+    count += fault_.arg;
+  }
+  return count;
+}
+
+int FaultySched::InteractivityPenaltyOf(const SimThread* thread) const {
+  const int penalty = inner_->InteractivityPenaltyOf(thread);
+  if (fault_.kind == FaultKind::kCorruptScore && penalty >= 0) {
+    return penalty + fault_.arg;
+  }
+  return penalty;
+}
+
+int64_t FaultySched::MinVruntimeOf(CoreId core) const {
+  if (fault_.kind == FaultKind::kCorruptVruntime) {
+    const int64_t inner = inner_->MinVruntimeOf(core);
+    if (inner == kNoMinVruntime) {
+      return inner;
+    }
+    return -(++vruntime_calls_) * 1000;  // strictly decreasing: never legal
+  }
+  return inner_->MinVruntimeOf(core);
+}
+
+}  // namespace schedbattle

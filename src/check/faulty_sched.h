@@ -1,0 +1,94 @@
+// FaultySched: a deliberately-broken scheduler for validating the monitors.
+//
+// Wraps a real scheduler (CFS or ULE) and forwards every hook, except for
+// one injected fault chosen by FaultConfig. Each fault breaks exactly one
+// scheduling law, so check_monitors_test can prove that every
+// InvariantMonitor actually fires — a monitor that never fires is
+// indistinguishable from a monitor that checks nothing.
+//
+// The decorator masquerades as the inner scheduler (name() forwards), so
+// monitors that specialize on the scheduler kind (vruntime, NUMA) see the
+// machine exactly as they would in a real run.
+#ifndef SRC_CHECK_FAULTY_SCHED_H_
+#define SRC_CHECK_FAULTY_SCHED_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/sched/sched_class.h"
+
+namespace schedbattle {
+
+enum class FaultKind {
+  kNone,
+  // Silently drop the arg-th wakeup enqueue (1-based). The woken thread
+  // stays kRunnable but is in no runqueue: lost_wakeup and
+  // work_conservation fire, and (under ULE) the load accounting desyncs.
+  kDropWakeup,
+  // Suppress all balancing: no periodic balancer, no newidle pull, no idle
+  // steal. Placement skew then persists: numa_imbalance (CFS) and
+  // work_conservation fire.
+  kNoBalance,
+  // MinVruntimeOf returns a strictly decreasing counter: vruntime_monotonic
+  // fires on its second observation.
+  kCorruptVruntime,
+  // InteractivityPenaltyOf returns the real penalty plus `arg`:
+  // ule_score_range fires (use arg > 100 - max legal score).
+  kCorruptScore,
+  // RunnableCountOf over-reports core 0 by `arg`: runqueue_accounting fires
+  // at the next dispatch.
+  kMiscountLoad,
+};
+
+const char* FaultKindName(FaultKind kind);
+// Parses the FaultKindName spelling; returns false on unknown names.
+bool ParseFaultKind(std::string_view name, FaultKind* out);
+
+struct FaultConfig {
+  FaultKind kind = FaultKind::kNone;
+  int arg = 1;  // fault-specific parameter, see FaultKind
+};
+
+class FaultySched : public Scheduler {
+ public:
+  FaultySched(std::unique_ptr<Scheduler> inner, FaultConfig fault);
+  ~FaultySched() override;
+
+  std::string_view name() const override { return inner_->name(); }
+  const FaultConfig& fault() const { return fault_; }
+  // True once the configured one-shot fault (kDropWakeup) has triggered.
+  bool fault_triggered() const { return dropped_ != nullptr; }
+
+  void Attach(Machine* machine) override;
+  void Start() override;
+  void DeclareGroup(GroupId id, GroupId parent) override;
+  void TaskNew(SimThread* thread, SimThread* parent) override;
+  void TaskExit(SimThread* thread) override;
+  CoreId SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind kind) override;
+  void EnqueueTask(CoreId core, SimThread* thread, EnqueueKind kind) override;
+  void DequeueTask(CoreId core, SimThread* thread) override;
+  SimThread* PickNextTask(CoreId core) override;
+  void PutPrevTask(CoreId core, SimThread* thread) override;
+  void OnTaskBlock(CoreId core, SimThread* thread, bool voluntary) override;
+  void YieldTask(CoreId core, SimThread* thread) override;
+  void TaskTick(CoreId core, SimThread* current) override;
+  void ReniceTask(SimThread* thread) override;
+  void CheckPreemptWakeup(CoreId core, SimThread* woken) override;
+  void OnCoreIdle(CoreId core) override;
+  SimDuration TickPeriod() const override;
+  double LoadOf(CoreId core) const override;
+  int RunnableCountOf(CoreId core) const override;
+  int InteractivityPenaltyOf(const SimThread* thread) const override;
+  int64_t MinVruntimeOf(CoreId core) const override;
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  FaultConfig fault_;
+  int wakeups_seen_ = 0;
+  SimThread* dropped_ = nullptr;        // the thread whose wakeup was dropped
+  mutable int64_t vruntime_calls_ = 0;  // kCorruptVruntime counter
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_CHECK_FAULTY_SCHED_H_

@@ -1,0 +1,620 @@
+#include "src/check/fuzz.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "src/workload/app.h"
+#include "src/workload/script.h"
+#include "src/workload/sync.h"
+
+namespace schedbattle {
+
+namespace {
+
+// Bounded per-iteration jitter: [d/2, 3d/2), drawn from the thread's own RNG
+// stream so every replay of the spec sees identical durations.
+DurationFn Jitter(SimDuration d) {
+  const SimDuration base = std::max<SimDuration>(d, 2);
+  return [base](ScriptEnv& env) {
+    return base / 2 + static_cast<SimDuration>(env.rng.NextBelow(static_cast<uint64_t>(base)));
+  };
+}
+
+std::unique_ptr<Application> BuildFuzzApp(const FuzzSpec& spec, uint64_t seed) {
+  auto app = std::make_unique<ScriptedApp>("fuzzmix", seed);
+  int index = 0;
+  for (const FuzzThreadGroup& g : spec.groups) {
+    const std::string gname = std::string(FuzzGroupKindName(g.kind)) + std::to_string(index++);
+    ScriptedApp::ThreadTemplate tmpl;
+    tmpl.name = gname;
+    tmpl.count = g.count;
+    switch (g.kind) {
+      case FuzzThreadGroup::Kind::kHog:
+        tmpl.script =
+            ScriptBuilder().Loop(g.loops).ComputeFn(Jitter(g.work)).EndLoop().Build();
+        break;
+      case FuzzThreadGroup::Kind::kSleeper:
+        tmpl.script = ScriptBuilder()
+                          .Loop(g.loops)
+                          .ComputeFn(Jitter(g.work))
+                          .SleepFn(Jitter(g.sleep))
+                          .EndLoop()
+                          .Build();
+        break;
+      case FuzzThreadGroup::Kind::kLocker: {
+        SimMutex* mu = app->KeepAlive(std::make_shared<SimMutex>());
+        tmpl.script = ScriptBuilder()
+                          .Loop(g.loops)
+                          .Lock(mu)
+                          .Compute(g.work)
+                          .Unlock(mu)
+                          .ComputeFn(Jitter(g.work))
+                          .EndLoop()
+                          .Build();
+        break;
+      }
+      case FuzzThreadGroup::Kind::kPiper: {
+        // One writer streams to count-1 blocking readers. Message-balanced:
+        // loops * (count-1) written == (count-1) * loops read, so every
+        // reader terminates.
+        SimPipe* pipe = app->KeepAlive(std::make_shared<SimPipe>());
+        const int readers = g.count - 1;
+        ScriptedApp::ThreadTemplate writer;
+        writer.name = gname + "-w";
+        writer.count = 1;
+        writer.script = ScriptBuilder()
+                            .Loop(g.loops)
+                            .ComputeFn(Jitter(g.work))
+                            .PipeWrite(pipe, readers)
+                            .EndLoop()
+                            .Build();
+        app->AddThreads(std::move(writer));
+        tmpl.name = gname + "-r";
+        tmpl.count = readers;
+        tmpl.script = ScriptBuilder()
+                          .Loop(g.loops)
+                          .PipeRead(pipe)
+                          .ComputeFn(Jitter(g.work))
+                          .EndLoop()
+                          .Build();
+        break;
+      }
+      case FuzzThreadGroup::Kind::kBarrierer: {
+        // All parties run the same loop count, so every round completes.
+        SimBarrier* bar = app->KeepAlive(std::make_shared<SimBarrier>(g.count));
+        tmpl.script = ScriptBuilder()
+                          .Loop(g.loops)
+                          .ComputeFn(Jitter(g.work))
+                          .Barrier(bar)
+                          .EndLoop()
+                          .Build();
+        break;
+      }
+    }
+    app->AddThreads(std::move(tmpl));
+  }
+  return app;
+}
+
+// ------------------------------- minimal JSON reader for the reproducer format
+
+// A strict cursor over the FuzzSpec reproducer JSON. Not a general JSON
+// parser: objects/arrays/strings/integers only, which is the whole format.
+class JsonCursor {
+ public:
+  JsonCursor(const std::string& text, std::string* error)
+      : p_(text.data()), end_(text.data() + text.size()), error_(error) {}
+
+  bool Fail(const std::string& what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = what;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return p_ < end_ && *p_ == c;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return p_ == end_;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return false;
+    }
+    out->clear();
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        return Fail("escapes not supported in reproducer strings");
+      }
+      out->push_back(*p_++);
+    }
+    if (p_ == end_) {
+      return Fail("unterminated string");
+    }
+    ++p_;
+    return true;
+  }
+
+  bool ParseInt(int64_t* out) {
+    SkipWs();
+    const char* start = p_;
+    if (p_ < end_ && *p_ == '-') {
+      ++p_;
+    }
+    while (p_ < end_ && *p_ >= '0' && *p_ <= '9') {
+      ++p_;
+    }
+    if (p_ == start || (*start == '-' && p_ == start + 1)) {
+      return Fail("expected integer");
+    }
+    *out = std::strtoll(std::string(start, p_).c_str(), nullptr, 10);
+    return true;
+  }
+
+  // uint64 values (seeds) are serialized as strings so they survive any
+  // double-precision JSON tooling unharmed.
+  bool ParseU64String(uint64_t* out) {
+    std::string s;
+    if (!ParseString(&s) || s.empty()) {
+      return false;
+    }
+    char* endp = nullptr;
+    *out = std::strtoull(s.c_str(), &endp, 10);
+    if (endp == nullptr || *endp != '\0') {
+      return Fail("malformed uint64 string: " + s);
+    }
+    return true;
+  }
+
+  // Iterates "key": <value> pairs of an object, calling `field(key)` to
+  // parse each value in place.
+  bool ParseObject(const std::function<bool(const std::string&)>& field) {
+    if (!Consume('{')) {
+      return false;
+    }
+    if (Peek('}')) {
+      return Consume('}');
+    }
+    while (true) {
+      std::string key;
+      if (!ParseString(&key) || !Consume(':') || !field(key)) {
+        return false;
+      }
+      if (Peek(',')) {
+        Consume(',');
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(const std::function<bool()>& element) {
+    if (!Consume('[')) {
+      return false;
+    }
+    if (Peek(']')) {
+      return Consume(']');
+    }
+    while (true) {
+      if (!element()) {
+        return false;
+      }
+      if (Peek(',')) {
+        Consume(',');
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+  std::string* error_;
+};
+
+}  // namespace
+
+const char* FuzzGroupKindName(FuzzThreadGroup::Kind kind) {
+  switch (kind) {
+    case FuzzThreadGroup::Kind::kHog:
+      return "hog";
+    case FuzzThreadGroup::Kind::kSleeper:
+      return "sleeper";
+    case FuzzThreadGroup::Kind::kLocker:
+      return "locker";
+    case FuzzThreadGroup::Kind::kPiper:
+      return "piper";
+    case FuzzThreadGroup::Kind::kBarrierer:
+      return "barrierer";
+  }
+  return "hog";
+}
+
+bool ParseFuzzGroupKind(std::string_view name, FuzzThreadGroup::Kind* out) {
+  for (FuzzThreadGroup::Kind kind :
+       {FuzzThreadGroup::Kind::kHog, FuzzThreadGroup::Kind::kSleeper,
+        FuzzThreadGroup::Kind::kLocker, FuzzThreadGroup::Kind::kPiper,
+        FuzzThreadGroup::Kind::kBarrierer}) {
+    if (name == FuzzGroupKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+int FuzzSpec::TotalThreads() const {
+  int total = 0;
+  for (const FuzzThreadGroup& g : groups) {
+    total += g.count;
+  }
+  return total;
+}
+
+std::string FuzzSpec::Label() const {
+  std::ostringstream os;
+  os << "fuzz-" << SchedName(sched) << "-seed" << seed;
+  std::string label = os.str();
+  for (char& c : label) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return label;
+}
+
+std::string FuzzSpec::ToJson() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "\"fuzz_spec\":1,\n";
+  os << "\"sched\":\"" << (sched == SchedKind::kCfs ? "cfs" : "ule") << "\",\n";
+  os << "\"seed\":\"" << seed << "\",\n";
+  os << "\"cores\":" << cores << ",\n";
+  os << "\"numa_nodes\":" << numa_nodes << ",\n";
+  os << "\"horizon_ns\":" << horizon << ",\n";
+  os << "\"fault\":\"" << FaultKindName(fault.kind) << "\",\n";
+  os << "\"fault_arg\":" << fault.arg << ",\n";
+  os << "\"groups\":[";
+  for (size_t i = 0; i < groups.size(); ++i) {
+    const FuzzThreadGroup& g = groups[i];
+    os << (i > 0 ? "," : "") << "\n{\"kind\":\"" << FuzzGroupKindName(g.kind)
+       << "\",\"count\":" << g.count << ",\"work_ns\":" << g.work << ",\"sleep_ns\":" << g.sleep
+       << ",\"loops\":" << g.loops << "}";
+  }
+  os << "\n]\n}\n";
+  return os.str();
+}
+
+bool FuzzSpec::Parse(const std::string& json, FuzzSpec* out, std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  *out = FuzzSpec();
+  out->groups.clear();
+  JsonCursor cur(json, error);
+  bool saw_version = false;
+  const bool ok = cur.ParseObject([&](const std::string& key) {
+    int64_t n = 0;
+    std::string s;
+    if (key == "fuzz_spec") {
+      saw_version = true;
+      return cur.ParseInt(&n) && (n == 1 || cur.Fail("unsupported fuzz_spec version"));
+    }
+    if (key == "sched") {
+      if (!cur.ParseString(&s)) {
+        return false;
+      }
+      if (s == "cfs") {
+        out->sched = SchedKind::kCfs;
+      } else if (s == "ule") {
+        out->sched = SchedKind::kUle;
+      } else {
+        return cur.Fail("unknown sched: " + s);
+      }
+      return true;
+    }
+    if (key == "seed") {
+      return cur.ParseU64String(&out->seed);
+    }
+    if (key == "cores") {
+      if (!cur.ParseInt(&n) || n < 1 || n > 64) {
+        return cur.Fail("cores out of range");
+      }
+      out->cores = static_cast<int>(n);
+      return true;
+    }
+    if (key == "numa_nodes") {
+      if (!cur.ParseInt(&n) || n < 1) {
+        return cur.Fail("numa_nodes out of range");
+      }
+      out->numa_nodes = static_cast<int>(n);
+      return true;
+    }
+    if (key == "horizon_ns") {
+      if (!cur.ParseInt(&n) || n <= 0) {
+        return cur.Fail("horizon_ns out of range");
+      }
+      out->horizon = n;
+      return true;
+    }
+    if (key == "fault") {
+      if (!cur.ParseString(&s)) {
+        return false;
+      }
+      return ParseFaultKind(s, &out->fault.kind) || cur.Fail("unknown fault: " + s);
+    }
+    if (key == "fault_arg") {
+      if (!cur.ParseInt(&n)) {
+        return false;
+      }
+      out->fault.arg = static_cast<int>(n);
+      return true;
+    }
+    if (key == "groups") {
+      return cur.ParseArray([&]() {
+        FuzzThreadGroup g;
+        const bool gok = cur.ParseObject([&](const std::string& gkey) {
+          int64_t gn = 0;
+          std::string gs;
+          if (gkey == "kind") {
+            return cur.ParseString(&gs) &&
+                   (ParseFuzzGroupKind(gs, &g.kind) || cur.Fail("unknown group kind: " + gs));
+          }
+          if (gkey == "count") {
+            if (!cur.ParseInt(&gn) || gn < 1 || gn > 1024) {
+              return cur.Fail("group count out of range");
+            }
+            g.count = static_cast<int>(gn);
+            return true;
+          }
+          if (gkey == "work_ns") {
+            if (!cur.ParseInt(&gn) || gn < 0) {
+              return cur.Fail("work_ns out of range");
+            }
+            g.work = gn;
+            return true;
+          }
+          if (gkey == "sleep_ns") {
+            if (!cur.ParseInt(&gn) || gn < 0) {
+              return cur.Fail("sleep_ns out of range");
+            }
+            g.sleep = gn;
+            return true;
+          }
+          if (gkey == "loops") {
+            if (!cur.ParseInt(&gn) || gn < 1) {
+              return cur.Fail("loops out of range");
+            }
+            g.loops = static_cast<int>(gn);
+            return true;
+          }
+          return cur.Fail("unknown group key: " + gkey);
+        });
+        if (!gok) {
+          return false;
+        }
+        if (g.kind == FuzzThreadGroup::Kind::kPiper && g.count < 2) {
+          return cur.Fail("piper groups need count >= 2");
+        }
+        out->groups.push_back(g);
+        return true;
+      });
+    }
+    return cur.Fail("unknown key: " + key);
+  });
+  if (!ok) {
+    return false;
+  }
+  if (!cur.AtEnd()) {
+    return cur.Fail("trailing content after spec");
+  }
+  if (!saw_version) {
+    return cur.Fail("missing fuzz_spec version");
+  }
+  if (out->numa_nodes > 1 && out->cores % out->numa_nodes != 0) {
+    return cur.Fail("numa_nodes must divide cores");
+  }
+  return true;
+}
+
+ExperimentSpec FuzzSpec::ToExperimentSpec() const {
+  ExperimentSpec es;
+  es.Named(Label());
+  es.sched = sched;
+  if (numa_nodes > 1) {
+    TopologyConfig topo;
+    topo.numa_nodes = numa_nodes;
+    topo.llcs_per_node = 1;
+    topo.cores_per_llc = cores / numa_nodes;
+    topo.smt_per_core = 1;
+    es.topology = topo;
+  } else {
+    es.topology = CpuTopology::Flat(cores).config();
+  }
+  es.machine.seed = seed;
+  es.horizon = horizon;
+  es.system_noise = false;  // keep fork counts structural for the oracle
+  es.check_invariants = true;
+  if (fault.kind != FaultKind::kNone) {
+    const FaultConfig f = fault;
+    es.scheduler_factory = [f](const ExperimentConfig& cfg) -> std::unique_ptr<Scheduler> {
+      ExperimentConfig inner = cfg;
+      inner.scheduler_factory = nullptr;
+      return std::make_unique<FaultySched>(MakeSchedulerFor(inner), f);
+    };
+  }
+  AppSpec app;
+  app.name = "fuzzmix";
+  const FuzzSpec self = *this;
+  app.make = [self](int /*cores*/, uint64_t seed, double /*scale*/) {
+    return BuildFuzzApp(self, seed);
+  };
+  es.apps.push_back(std::move(app));
+  return es;
+}
+
+FuzzSpec GenerateFuzzSpec(Rng* rng, SchedKind sched, double scale) {
+  FuzzSpec spec;
+  spec.seed = rng->Next();
+  spec.sched = sched;
+  static constexpr int kCoreChoices[] = {1, 2, 4, 8};
+  spec.cores = kCoreChoices[rng->NextBelow(4)];
+  spec.numa_nodes = (spec.cores >= 4 && rng->NextBelow(2) == 0) ? 2 : 1;
+  spec.horizon = Seconds(60);
+  const int ngroups = 1 + static_cast<int>(rng->NextBelow(4));
+  for (int i = 0; i < ngroups; ++i) {
+    FuzzThreadGroup g;
+    g.kind = static_cast<FuzzThreadGroup::Kind>(rng->NextBelow(5));
+    g.count = 1 + static_cast<int>(rng->NextBelow(6));
+    if (g.kind == FuzzThreadGroup::Kind::kPiper) {
+      g.count = std::max(g.count, 2);
+    }
+    g.work = Microseconds(100 + static_cast<int64_t>(rng->NextBelow(4900)));
+    g.sleep = Microseconds(200 + static_cast<int64_t>(rng->NextBelow(9800)));
+    g.loops = std::max(1, static_cast<int>(static_cast<double>(5 + rng->NextBelow(25)) * scale));
+    spec.groups.push_back(g);
+  }
+  return spec;
+}
+
+FuzzOutcome OutcomeFromResult(const RunResult& r) {
+  FuzzOutcome out;
+  out.violations = r.violations;
+  out.monitor = r.first_violation_monitor;
+  out.report = r.violation_report;
+  out.all_finished = !r.apps.empty();
+  for (const AppResult& a : r.apps) {
+    out.all_finished = out.all_finished && a.finished;
+  }
+  out.forks = r.counters.forks;
+  out.exits = r.counters.exits;
+  return out;
+}
+
+FuzzOutcome RunFuzzSpec(const FuzzSpec& spec) {
+  return OutcomeFromResult(ExecuteSpec(spec.ToExperimentSpec()));
+}
+
+FuzzOracle MonitorFiresOracle(std::string monitor) {
+  return [monitor = std::move(monitor)](const FuzzSpec& spec) {
+    return RunFuzzSpec(spec).monitor == monitor;
+  };
+}
+
+ShrinkResult ShrinkFuzzSpec(const FuzzSpec& failing, const FuzzOracle& oracle,
+                            int max_attempts) {
+  ShrinkResult result;
+  result.minimal = failing;
+  FuzzSpec& cur = result.minimal;
+
+  auto try_candidate = [&](const FuzzSpec& candidate) {
+    if (result.attempts >= max_attempts) {
+      return false;
+    }
+    ++result.attempts;
+    if (!oracle(candidate)) {
+      return false;
+    }
+    cur = candidate;
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && result.attempts < max_attempts) {
+    progress = false;
+
+    // 1. Drop whole groups (largest first: removing more threads per oracle
+    // call converges faster).
+    for (size_t i = 0; i < cur.groups.size() && cur.groups.size() > 1;) {
+      FuzzSpec candidate = cur;
+      candidate.groups.erase(candidate.groups.begin() + static_cast<long>(i));
+      if (try_candidate(candidate)) {
+        progress = true;  // same index now names the next group
+      } else {
+        ++i;
+      }
+    }
+
+    // 2. Shrink group counts: halve, then decrement.
+    for (size_t i = 0; i < cur.groups.size(); ++i) {
+      const int floor = cur.groups[i].kind == FuzzThreadGroup::Kind::kPiper ? 2 : 1;
+      while (cur.groups[i].count > floor) {
+        FuzzSpec candidate = cur;
+        const int half = std::max(floor, candidate.groups[i].count / 2);
+        candidate.groups[i].count =
+            half < candidate.groups[i].count ? half : candidate.groups[i].count - 1;
+        if (!try_candidate(candidate)) {
+          break;
+        }
+        progress = true;
+      }
+    }
+
+    // 3. Shrink loop counts and durations.
+    for (size_t i = 0; i < cur.groups.size(); ++i) {
+      while (cur.groups[i].loops > 1) {
+        FuzzSpec candidate = cur;
+        candidate.groups[i].loops = std::max(1, candidate.groups[i].loops / 2);
+        if (!try_candidate(candidate)) {
+          break;
+        }
+        progress = true;
+      }
+      FuzzSpec candidate = cur;
+      candidate.groups[i].work = std::max<SimDuration>(Microseconds(10), cur.groups[i].work / 2);
+      candidate.groups[i].sleep =
+          std::max<SimDuration>(Microseconds(10), cur.groups[i].sleep / 2);
+      if ((candidate.groups[i].work != cur.groups[i].work ||
+           candidate.groups[i].sleep != cur.groups[i].sleep) &&
+          try_candidate(candidate)) {
+        progress = true;
+      }
+    }
+
+    // 4. Shrink the machine.
+    while (cur.cores > 1) {
+      FuzzSpec candidate = cur;
+      candidate.cores /= 2;
+      if (candidate.numa_nodes > 1 &&
+          (candidate.cores % candidate.numa_nodes != 0 ||
+           candidate.cores == candidate.numa_nodes)) {
+        candidate.numa_nodes = 1;
+      }
+      if (!try_candidate(candidate)) {
+        break;
+      }
+      progress = true;
+    }
+    if (cur.numa_nodes > 1) {
+      FuzzSpec candidate = cur;
+      candidate.numa_nodes = 1;
+      if (try_candidate(candidate)) {
+        progress = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,113 @@
+// Schedule fuzzing: randomized workload specs, a serializable reproducer
+// format, and delta-debugging shrinking.
+//
+// A FuzzSpec is a compact, fully-serializable description of one randomized
+// workload (thread groups of hogs / sleepers / lockers / pipers /
+// barrierers) plus the machine it runs on and an optional injected fault.
+// Every FuzzSpec is structurally terminating — pipes are message-balanced,
+// barriers have all parties looping equally — so a thread that never exits
+// is always a scheduler bug, never a workload artifact.
+//
+// RunFuzzSpec executes one spec with the full MonitorSuite armed;
+// ShrinkFuzzSpec greedily delta-debugs a violating spec (drop groups, halve
+// counts/loops/durations, shrink the machine) while an oracle confirms the
+// same monitor still fires. tools/schedfuzz.cc drives campaigns of these
+// across both schedulers and emits minimal reproducers as JSON that
+// `schedbattle_cli replay` re-executes byte-identically.
+#ifndef SRC_CHECK_FUZZ_H_
+#define SRC_CHECK_FUZZ_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/check/faulty_sched.h"
+#include "src/core/spec.h"
+#include "src/sim/rng.h"
+
+namespace schedbattle {
+
+// One homogeneous group of threads in a fuzzed workload.
+struct FuzzThreadGroup {
+  enum class Kind {
+    kHog,       // loops of pure compute
+    kSleeper,   // compute / sleep cycles (interactive under ULE)
+    kLocker,    // contend on one shared mutex
+    kPiper,     // 1 writer streaming to count-1 blocking readers
+    kBarrierer  // lock-step barrier rounds
+  };
+  Kind kind = Kind::kHog;
+  int count = 1;                        // threads in the group (pipers: >= 2)
+  SimDuration work = Milliseconds(1);   // compute burst per loop iteration
+  SimDuration sleep = Milliseconds(1);  // sleep per iteration (sleepers only)
+  int loops = 10;
+};
+
+const char* FuzzGroupKindName(FuzzThreadGroup::Kind kind);
+bool ParseFuzzGroupKind(std::string_view name, FuzzThreadGroup::Kind* out);
+
+struct FuzzSpec {
+  uint64_t seed = 1;
+  SchedKind sched = SchedKind::kCfs;
+  int cores = 4;
+  int numa_nodes = 1;  // must divide cores when > 1
+  SimTime horizon = Seconds(60);
+  std::vector<FuzzThreadGroup> groups;
+  // kNone for real fuzzing; set by the monitor tests and the shrinker tests.
+  FaultConfig fault;
+
+  int TotalThreads() const;
+
+  // Label like "fuzz-cfs-seed42". Deterministic for a given spec.
+  std::string Label() const;
+
+  // The replayable reproducer format. Round-trips exactly: Parse(ToJson()).
+  std::string ToJson() const;
+  static bool Parse(const std::string& json, FuzzSpec* out, std::string* error);
+
+  // Full ExperimentSpec: machine + apps + armed MonitorSuite (+ FaultySched
+  // wrapping when fault.kind != kNone).
+  ExperimentSpec ToExperimentSpec() const;
+};
+
+// Draws a random terminating workload spec. `scale` multiplies loop counts
+// (CI smoke runs use 0.1); the machine shape and group mix come from `rng`.
+FuzzSpec GenerateFuzzSpec(Rng* rng, SchedKind sched, double scale);
+
+// Outcome of one monitored run.
+struct FuzzOutcome {
+  uint64_t violations = 0;
+  std::string monitor;  // first violating monitor; empty when clean
+  std::string report;   // MonitorSuite::Report()
+  bool all_finished = false;  // every app completed before the horizon
+  uint64_t forks = 0;
+  uint64_t exits = 0;
+};
+
+FuzzOutcome RunFuzzSpec(const FuzzSpec& spec);
+
+// Harvests a FuzzOutcome from a RunResult produced by executing
+// FuzzSpec::ToExperimentSpec() (e.g. through a CampaignRunner).
+FuzzOutcome OutcomeFromResult(const RunResult& result);
+
+// Returns true when `spec` still exhibits the failure being minimized.
+using FuzzOracle = std::function<bool(const FuzzSpec&)>;
+
+// Oracle for "monitor `name` fires on this spec".
+FuzzOracle MonitorFiresOracle(std::string monitor);
+
+struct ShrinkResult {
+  FuzzSpec minimal;
+  int attempts = 0;  // oracle invocations spent
+};
+
+// Greedy delta-debugging: repeatedly tries to drop whole groups, halve
+// counts / loops / durations and shrink the machine, keeping each change
+// only if the oracle still returns true. Runs to a fixpoint or until
+// `max_attempts` oracle calls. `failing` must satisfy the oracle.
+ShrinkResult ShrinkFuzzSpec(const FuzzSpec& failing, const FuzzOracle& oracle,
+                            int max_attempts = 400);
+
+}  // namespace schedbattle
+
+#endif  // SRC_CHECK_FUZZ_H_

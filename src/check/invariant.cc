@@ -1,0 +1,180 @@
+#include "src/check/invariant.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/check/monitors.h"
+#include "src/metrics/timeseries.h"
+#include "src/sched/machine.h"
+
+namespace schedbattle {
+
+InvariantMonitor::InvariantMonitor(std::string name, MonitorOptions options)
+    : name_(std::move(name)), options_(options) {
+  pick_ring_.reserve(options_.provenance_depth);
+  balance_ring_.reserve(options_.provenance_depth);
+}
+
+InvariantMonitor::~InvariantMonitor() { Detach(); }
+
+void InvariantMonitor::Attach(Machine* machine) {
+  machine_ = machine;
+  machine_->AddObserver(this);
+  attached_ = true;
+}
+
+void InvariantMonitor::Detach() {
+  if (attached_) {
+    machine_->RemoveObserver(this);
+    attached_ = false;
+  }
+}
+
+void InvariantMonitor::OnPickCpu(SimTime /*now*/, const PickCpuDecision& decision) {
+  if (options_.provenance_depth == 0) {
+    return;
+  }
+  if (pick_ring_.size() < options_.provenance_depth) {
+    pick_ring_.push_back(decision);
+    return;
+  }
+  pick_ring_[pick_head_] = decision;
+  pick_head_ = (pick_head_ + 1) % options_.provenance_depth;
+}
+
+void InvariantMonitor::OnBalancePass(SimTime /*now*/, const BalancePassRecord& pass) {
+  if (options_.provenance_depth == 0) {
+    return;
+  }
+  if (balance_ring_.size() < options_.provenance_depth) {
+    balance_ring_.push_back(pass);
+    return;
+  }
+  balance_ring_[balance_head_] = pass;
+  balance_head_ = (balance_head_ + 1) % options_.provenance_depth;
+}
+
+void InvariantMonitor::Record(SimTime now, std::string message, CoreId core, ThreadId thread) {
+  ++violation_count_;
+  if (violations_.size() >= options_.max_recorded) {
+    return;
+  }
+  Violation v;
+  v.time = now;
+  v.monitor = name_;
+  v.message = std::move(message);
+  v.core = core;
+  v.thread = thread;
+  // Unroll the rings oldest-first so the provenance reads chronologically.
+  for (size_t i = 0; i < pick_ring_.size(); ++i) {
+    v.recent_picks.push_back(pick_ring_[(pick_head_ + i) % pick_ring_.size()]);
+  }
+  for (size_t i = 0; i < balance_ring_.size(); ++i) {
+    v.recent_balance.push_back(balance_ring_[(balance_head_ + i) % balance_ring_.size()]);
+  }
+  violations_.push_back(std::move(v));
+}
+
+MonitorSuite::MonitorSuite(Machine* machine, MonitorOptions options)
+    : machine_(machine), options_(options) {
+  monitors_.push_back(std::make_unique<WorkConservationMonitor>(options_));
+  monitors_.push_back(std::make_unique<LostWakeupMonitor>(options_));
+  monitors_.push_back(std::make_unique<VruntimeMonotonicMonitor>(options_));
+  monitors_.push_back(std::make_unique<UleScoreMonitor>(options_));
+  monitors_.push_back(std::make_unique<RunqueueAccountingMonitor>(options_));
+  monitors_.push_back(std::make_unique<NumaImbalanceMonitor>(options_));
+  for (auto& m : monitors_) {
+    m->Attach(machine_);
+  }
+  sampler_ = std::make_unique<PeriodicSampler>(machine_, options_.poll_period,
+                                               [this](SimTime now) {
+                                                 for (auto& m : monitors_) {
+                                                   m->Poll(now);
+                                                 }
+                                               });
+}
+
+MonitorSuite::~MonitorSuite() { Detach(); }
+
+void MonitorSuite::FinishChecks() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  for (auto& m : monitors_) {
+    m->Finish(machine_->now());
+  }
+}
+
+void MonitorSuite::Detach() {
+  if (detached_) {
+    return;
+  }
+  detached_ = true;
+  FinishChecks();
+  for (auto& m : monitors_) {
+    m->Detach();
+  }
+  sampler_->Stop();
+}
+
+uint64_t MonitorSuite::total_violations() const {
+  uint64_t total = 0;
+  for (const auto& m : monitors_) {
+    total += m->violation_count();
+  }
+  return total;
+}
+
+const InvariantMonitor* MonitorSuite::first_violating() const {
+  for (const auto& m : monitors_) {
+    if (m->violation_count() > 0) {
+      return m.get();
+    }
+  }
+  return nullptr;
+}
+
+std::string FormatViolation(const Violation& v) {
+  std::ostringstream os;
+  os << "[" << FormatTime(v.time) << "] " << v.monitor << ": " << v.message;
+  if (v.core != kInvalidCore) {
+    os << " (core " << v.core << ")";
+  }
+  if (v.thread != kInvalidThread) {
+    os << " (thread " << v.thread << ")";
+  }
+  for (const PickCpuDecision& p : v.recent_picks) {
+    os << "\n    pick: thread " << p.thread << " origin " << p.origin << " prev " << p.prev
+       << " -> core " << p.chosen << " [" << PickReasonName(p.reason) << ", scanned "
+       << p.cores_scanned << "]";
+  }
+  for (const BalancePassRecord& b : v.recent_balance) {
+    os << "\n    balance: " << BalanceKindName(b.kind) << " level " << b.level << " core "
+       << b.src << " -> " << b.dst << " moved " << b.threads_moved;
+  }
+  return os.str();
+}
+
+std::string MonitorSuite::Report() const {
+  if (total_violations() == 0) {
+    return "";
+  }
+  std::ostringstream os;
+  for (const auto& m : monitors_) {
+    if (m->violation_count() == 0) {
+      continue;
+    }
+    os << m->name() << ": " << m->violation_count() << " violation(s)";
+    if (m->violation_count() > m->violations().size()) {
+      os << " (first " << m->violations().size() << " recorded)";
+    }
+    os << "\n";
+    for (const Violation& v : m->violations()) {
+      os << "  " << FormatViolation(v) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,165 @@
+// Online invariant monitoring: always-on correctness checks for the
+// scheduling laws both ULE and CFS must uphold.
+//
+// An InvariantMonitor is a MachineObserver that watches one scheduling law
+// (work conservation, no lost wakeups, vruntime monotonicity, ...) while a
+// simulation runs, and records a Violation — with the decision provenance
+// that led up to it — the moment the law is broken. Monitors attach through
+// the ObserverBus like any other observer, so they compose with SchedStats
+// and SchedTrace and cost nothing when not attached.
+//
+// The MonitorSuite bundles every monitor applicable to a machine, drives the
+// periodically-polled ones from a single sampler, and renders one
+// deterministic violation report. ExperimentSpec::check_invariants arms a
+// suite inside ExecuteSpec, which is how the schedule fuzzer
+// (tools/schedfuzz.cc) checks whole campaigns.
+#ifndef SRC_CHECK_INVARIANT_H_
+#define SRC_CHECK_INVARIANT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sched/observer.h"
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+class Machine;
+class PeriodicSampler;
+
+// One recorded invariant violation. `recent_picks`/`recent_balance` carry
+// the last few placement and balance decisions the monitor observed before
+// the violation — the provenance trail for diagnosing *why* the scheduler
+// ended up in the illegal state.
+struct Violation {
+  SimTime time = 0;
+  std::string monitor;
+  std::string message;
+  CoreId core = kInvalidCore;
+  ThreadId thread = kInvalidThread;
+  std::vector<PickCpuDecision> recent_picks;
+  std::vector<BalancePassRecord> recent_balance;
+};
+
+// Tunables shared by the monitors. Defaults are conservative enough that a
+// correct CFS or ULE never trips them (see check_monitors_test's clean-run
+// cases and the schedfuzz CI smoke job).
+struct MonitorOptions {
+  // Period of the shared poll driving the sampled monitors.
+  SimDuration poll_period = Milliseconds(25);
+  // Work conservation: a core idling this long while a compatible thread
+  // waits runnable is a violation. Must exceed the slowest balancing
+  // machinery of either scheduler (ULE's periodic balancer: <= 1.5s).
+  SimDuration conservation_grace = Seconds(2);
+  // Lost wakeup: a woken thread still undispatched after this long while its
+  // assigned core sits idle was dropped by the scheduler.
+  SimDuration wakeup_stall_bound = Milliseconds(100);
+  // NUMA compliance: tolerated per-core load ratio between the busiest and
+  // the least-loaded node is threshold * slack (slack absorbs the legitimate
+  // just-under-the-threshold steady states, e.g. the paper's 9-vs-7 case).
+  double numa_imbalance_threshold = 1.25;
+  double numa_imbalance_slack = 1.3;
+  // ... and the excess ratio must persist this long before it counts.
+  SimDuration numa_grace = Seconds(2);
+  // Per-monitor cap on stored Violation records (counts keep incrementing).
+  size_t max_recorded = 32;
+  // How many recent decisions each violation carries as provenance.
+  size_t provenance_depth = 4;
+};
+
+// Base class: violation recording plus a provenance ring of recent
+// decisions. Subclasses overriding OnPickCpu/OnBalancePass must call the
+// base implementation to keep the provenance trail intact.
+class InvariantMonitor : public MachineObserver {
+ public:
+  InvariantMonitor(std::string name, MonitorOptions options);
+  ~InvariantMonitor() override;
+  InvariantMonitor(const InvariantMonitor&) = delete;
+  InvariantMonitor& operator=(const InvariantMonitor&) = delete;
+
+  const std::string& name() const { return name_; }
+  const MonitorOptions& options() const { return options_; }
+
+  // Attaches to the machine's observer bus. Detach is idempotent and safe
+  // after the machine outlived its engine events.
+  virtual void Attach(Machine* machine);
+  virtual void Detach();
+
+  // Called by the suite's shared sampler; default no-op.
+  virtual void Poll(SimTime /*now*/) {}
+  // End-of-run quiescence checks; default no-op.
+  virtual void Finish(SimTime /*now*/) {}
+
+  // Total violations seen (keeps counting past the storage cap).
+  uint64_t violation_count() const { return violation_count_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  // ---- MachineObserver (provenance recording) ----
+  void OnPickCpu(SimTime now, const PickCpuDecision& decision) override;
+  void OnBalancePass(SimTime now, const BalancePassRecord& pass) override;
+
+ protected:
+  Machine* machine() const { return machine_; }
+
+  // Records one violation (stamped with provenance).
+  void Record(SimTime now, std::string message, CoreId core = kInvalidCore,
+              ThreadId thread = kInvalidThread);
+
+ private:
+  std::string name_;
+  MonitorOptions options_;
+  Machine* machine_ = nullptr;
+  bool attached_ = false;
+  uint64_t violation_count_ = 0;
+  std::vector<Violation> violations_;
+  // Provenance rings, oldest overwritten.
+  std::vector<PickCpuDecision> pick_ring_;
+  std::vector<BalancePassRecord> balance_ring_;
+  size_t pick_head_ = 0;
+  size_t balance_head_ = 0;
+};
+
+// Owns one of every monitor applicable to the machine's scheduler, drives
+// Poll() from a single periodic sampler, and aggregates the results.
+class MonitorSuite {
+ public:
+  explicit MonitorSuite(Machine* machine) : MonitorSuite(machine, MonitorOptions()) {}
+  MonitorSuite(Machine* machine, MonitorOptions options);
+  ~MonitorSuite();
+  MonitorSuite(const MonitorSuite&) = delete;
+  MonitorSuite& operator=(const MonitorSuite&) = delete;
+
+  // Runs every monitor's end-of-run Finish() check (once; idempotent).
+  // Separate from Detach so a SchedStats snapshot taken while the monitors
+  // are still on the bus can include the final counts.
+  void FinishChecks();
+
+  // FinishChecks + detach every monitor from the bus. Idempotent; called by
+  // the destructor if not called explicitly.
+  void Detach();
+
+  uint64_t total_violations() const;
+  const std::vector<std::unique_ptr<InvariantMonitor>>& monitors() const { return monitors_; }
+  // First monitor with violations, or nullptr if the run was clean.
+  const InvariantMonitor* first_violating() const;
+
+  // Deterministic human-readable report: one line per monitor with counts,
+  // then each stored violation with its provenance. Empty string when clean.
+  std::string Report() const;
+
+ private:
+  Machine* machine_;
+  MonitorOptions options_;
+  bool finished_ = false;
+  bool detached_ = false;
+  std::vector<std::unique_ptr<InvariantMonitor>> monitors_;
+  std::unique_ptr<PeriodicSampler> sampler_;
+};
+
+// Formats one violation (used by MonitorSuite::Report and tests).
+std::string FormatViolation(const Violation& v);
+
+}  // namespace schedbattle
+
+#endif  // SRC_CHECK_INVARIANT_H_

@@ -1,0 +1,278 @@
+#include "src/check/monitors.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/sched/machine.h"
+
+namespace schedbattle {
+
+namespace {
+
+// Stable key for one (core, thread) pair.
+uint64_t PairKey(CoreId core, ThreadId thread) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(core)) << 32) |
+         static_cast<uint32_t>(thread);
+}
+
+bool RunnableOrRunning(ThreadState s) {
+  return s == ThreadState::kRunnable || s == ThreadState::kRunning;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- work conservation
+
+WorkConservationMonitor::WorkConservationMonitor(MonitorOptions options)
+    : InvariantMonitor("work_conservation", options) {}
+
+void WorkConservationMonitor::Poll(SimTime now) {
+  const SimDuration grace = options().conservation_grace;
+  for (CoreId c = 0; c < machine()->num_cores(); ++c) {
+    const Core& core = machine()->core(c);
+    if (!core.idle() || core.idle_since < 0 || now - core.idle_since <= grace) {
+      continue;
+    }
+    for (const auto& t : machine()->threads()) {
+      if (t->state() != ThreadState::kRunnable || !t->CanRunOn(c) ||
+          now - t->runnable_since <= grace) {
+        continue;
+      }
+      // One report per starvation episode, not one per poll.
+      const uint64_t key = PairKey(c, t->id());
+      auto [it, inserted] = reported_.try_emplace(key, t->runnable_since);
+      if (!inserted && it->second == t->runnable_since) {
+        continue;
+      }
+      it->second = t->runnable_since;
+      std::ostringstream msg;
+      msg << "core " << c << " idle for " << FormatTime(now - core.idle_since)
+          << " while thread " << t->id() << " (" << t->name() << ") has waited runnable for "
+          << FormatTime(now - t->runnable_since);
+      Record(now, msg.str(), c, t->id());
+    }
+  }
+}
+
+// -------------------------------------------------------------------- lost wakeups
+
+LostWakeupMonitor::LostWakeupMonitor(MonitorOptions options)
+    : InvariantMonitor("lost_wakeup", options) {}
+
+void LostWakeupMonitor::OnWake(SimTime now, const SimThread& thread, CoreId /*target*/) {
+  pending_[thread.id()] = PendingWake{now, false};
+}
+
+void LostWakeupMonitor::OnFork(SimTime now, const SimThread& thread, CoreId /*target*/) {
+  pending_[thread.id()] = PendingWake{now, false};
+}
+
+void LostWakeupMonitor::OnDispatch(SimTime /*now*/, CoreId /*core*/, const SimThread& thread) {
+  pending_.erase(thread.id());
+}
+
+void LostWakeupMonitor::OnDeschedule(SimTime /*now*/, CoreId /*core*/, const SimThread& thread,
+                                     char /*reason*/) {
+  // A thread cannot be descheduled without having been dispatched, but be
+  // defensive against wake-erase orderings around exit.
+  pending_.erase(thread.id());
+}
+
+void LostWakeupMonitor::Poll(SimTime now) { CheckPending(now, /*finishing=*/false); }
+
+void LostWakeupMonitor::Finish(SimTime now) { CheckPending(now, /*finishing=*/true); }
+
+void LostWakeupMonitor::CheckPending(SimTime now, bool finishing) {
+  const SimDuration bound = options().wakeup_stall_bound;
+  for (const auto& t : machine()->threads()) {
+    auto it = pending_.find(t->id());
+    if (it == pending_.end() || it->second.reported) {
+      continue;
+    }
+    if (t->state() != ThreadState::kRunnable || now - it->second.woken_at <= bound) {
+      continue;
+    }
+    // A long-waiting runnable thread is legal while its core is busy (ULE
+    // batch threads can starve unboundedly). An *idle* assigned core means
+    // the wakeup never reached a runqueue any pick could see.
+    const CoreId cpu = t->cpu();
+    if (cpu == kInvalidCore || !machine()->core(cpu).idle()) {
+      continue;
+    }
+    it->second.reported = true;
+    std::ostringstream msg;
+    msg << "thread " << t->id() << " (" << t->name() << ") woken at "
+        << FormatTime(it->second.woken_at) << " still undispatched after "
+        << FormatTime(now - it->second.woken_at) << " with its core " << cpu << " idle";
+    if (finishing) {
+      msg << " at end of run";
+    }
+    Record(now, msg.str(), cpu, t->id());
+  }
+}
+
+// ---------------------------------------------------------- vruntime monotonicity
+
+VruntimeMonotonicMonitor::VruntimeMonotonicMonitor(MonitorOptions options)
+    : InvariantMonitor("vruntime_monotonic", options) {}
+
+void VruntimeMonotonicMonitor::Attach(Machine* machine) {
+  InvariantMonitor::Attach(machine);
+  last_seen_.assign(machine->num_cores(), kNoMinVruntime);
+}
+
+void VruntimeMonotonicMonitor::OnDispatch(SimTime now, CoreId core, const SimThread& /*thread*/) {
+  CheckCore(now, core);
+}
+
+void VruntimeMonotonicMonitor::Poll(SimTime now) {
+  for (CoreId c = 0; c < machine()->num_cores(); ++c) {
+    CheckCore(now, c);
+  }
+}
+
+void VruntimeMonotonicMonitor::CheckCore(SimTime now, CoreId core) {
+  const int64_t v = machine()->scheduler().MinVruntimeOf(core);
+  if (v == kNoMinVruntime) {
+    return;  // not a vruntime scheduler
+  }
+  if (last_seen_[core] != kNoMinVruntime && v < last_seen_[core]) {
+    std::ostringstream msg;
+    msg << "core " << core << " min_vruntime moved backwards: " << last_seen_[core] << " -> "
+        << v;
+    Record(now, msg.str(), core);
+  }
+  last_seen_[core] = v;
+}
+
+// -------------------------------------------------------------- interactivity score
+
+UleScoreMonitor::UleScoreMonitor(MonitorOptions options)
+    : InvariantMonitor("ule_score_range", options) {}
+
+void UleScoreMonitor::OnDispatch(SimTime now, CoreId core, const SimThread& thread) {
+  CheckThread(now, thread, core);
+}
+
+void UleScoreMonitor::OnWake(SimTime now, const SimThread& thread, CoreId target) {
+  CheckThread(now, thread, target);
+}
+
+void UleScoreMonitor::CheckThread(SimTime now, const SimThread& thread, CoreId core) {
+  const int penalty = machine()->scheduler().InteractivityPenaltyOf(&thread);
+  if (penalty == -1) {
+    return;  // not applicable (CFS)
+  }
+  if (penalty < 0 || penalty > 100) {
+    std::ostringstream msg;
+    msg << "thread " << thread.id() << " (" << thread.name() << ") interactivity penalty "
+        << penalty << " outside [0, 100]";
+    Record(now, msg.str(), core, thread.id());
+  }
+}
+
+// -------------------------------------------------------------- runqueue accounting
+
+RunqueueAccountingMonitor::RunqueueAccountingMonitor(MonitorOptions options)
+    : InvariantMonitor("runqueue_accounting", options) {}
+
+void RunqueueAccountingMonitor::OnDispatch(SimTime now, CoreId core, const SimThread& /*thread*/) {
+  const Scheduler& sched = machine()->scheduler();
+  int scheduler_count = 0;
+  for (CoreId c = 0; c < machine()->num_cores(); ++c) {
+    const int count = sched.RunnableCountOf(c);
+    const double load = sched.LoadOf(c);
+    if (count < 0 || load < 0.0) {
+      std::ostringstream msg;
+      msg << "core " << c << " has negative accounting: runnable " << count << ", load " << load;
+      Record(now, msg.str(), c);
+    }
+    scheduler_count += count;
+  }
+  int machine_count = 0;
+  for (const auto& t : machine()->threads()) {
+    if (RunnableOrRunning(t->state())) {
+      ++machine_count;
+    }
+  }
+  if (scheduler_count != machine_count) {
+    std::ostringstream msg;
+    msg << "scheduler accounts for " << scheduler_count
+        << " runnable-or-running threads but the machine has " << machine_count;
+    Record(now, msg.str(), core);
+  }
+}
+
+// ------------------------------------------------------------------ NUMA imbalance
+
+NumaImbalanceMonitor::NumaImbalanceMonitor(MonitorOptions options)
+    : InvariantMonitor("numa_imbalance", options) {}
+
+void NumaImbalanceMonitor::Attach(Machine* machine) {
+  InvariantMonitor::Attach(machine);
+  // The 25% tolerance is CFS's NUMA-level balancing rule; ULE's balancer
+  // makes no such promise, and a single node has nothing to balance across.
+  active_ = machine->topology().GroupsAt(TopoLevel::kNode).size() > 1 &&
+            machine->scheduler().name() == "cfs";
+  excess_since_ = -1;
+  reported_episode_ = false;
+}
+
+void NumaImbalanceMonitor::Poll(SimTime now) {
+  if (!active_) {
+    return;
+  }
+  const CpuTopology& topo = machine()->topology();
+  const auto& nodes = topo.GroupsAt(TopoLevel::kNode);
+  // Per-node counts of fully-migratable threads. Pinned threads are the
+  // workload's choice, not the balancer's, so they do not enter the ratio.
+  std::vector<int> total(nodes.size(), 0);    // runnable + running
+  std::vector<int> waiting(nodes.size(), 0);  // runnable, not running
+  const CpuMask all = CpuMask::AllOf(machine()->num_cores());
+  for (const auto& t : machine()->threads()) {
+    if (!RunnableOrRunning(t->state()) || t->affinity().Count() != all.Count() ||
+        t->cpu() == kInvalidCore) {
+      continue;
+    }
+    const int node = topo.NodeOf(t->cpu());
+    ++total[node];
+    if (t->state() == ThreadState::kRunnable) {
+      ++waiting[node];
+    }
+  }
+  int max_node = 0;
+  double max_avg = -1.0, min_avg = 1e30;
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    const double avg = static_cast<double>(total[n]) / static_cast<double>(nodes[n].size());
+    if (avg > max_avg) {
+      max_avg = avg;
+      max_node = static_cast<int>(n);
+    }
+    min_avg = std::min(min_avg, avg);
+  }
+  // The violation needs three things at once: the busiest node has threads
+  // *waiting* (something a balancer could move), the least-loaded node is
+  // genuinely busy (idle-core cases belong to the work-conservation
+  // monitor), and the per-core ratio exceeds threshold * slack.
+  const double limit = options().numa_imbalance_threshold * options().numa_imbalance_slack;
+  const bool bad = waiting[max_node] >= 2 && min_avg > 0.5 && max_avg > limit * min_avg;
+  if (!bad) {
+    excess_since_ = -1;
+    reported_episode_ = false;
+    return;
+  }
+  if (excess_since_ < 0) {
+    excess_since_ = now;
+  }
+  if (reported_episode_ || now - excess_since_ <= options().numa_grace) {
+    return;
+  }
+  reported_episode_ = true;
+  std::ostringstream msg;
+  msg << "node " << max_node << " per-core load " << max_avg << " exceeds " << limit
+      << "x the least-loaded node (" << min_avg << ") with " << waiting[max_node]
+      << " waiting threads, persisting " << FormatTime(now - excess_since_);
+  Record(now, msg.str());
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,126 @@
+// The invariant-monitor family: one class per scheduling law.
+//
+// Each monitor checks a property the paper's results implicitly rely on:
+//
+//   WorkConservationMonitor   no core idles beyond a balance period while a
+//                             compatible thread waits runnable (paper Fig. 6:
+//                             both balancers exist to prevent exactly this)
+//   LostWakeupMonitor         every wakeup leads to a dispatch; a woken
+//                             thread whose assigned core sits idle was
+//                             dropped between SelectTaskRq and the runqueue
+//   VruntimeMonotonicMonitor  CFS per-runqueue min_vruntime never moves
+//                             backwards (the fairness clock only advances)
+//   UleScoreMonitor           ULE interactivity penalty stays in [0, 100]
+//   RunqueueAccountingMonitor scheduler load/runnable accounting matches the
+//                             machine's thread states at every dispatch
+//   NumaImbalanceMonitor      CFS's 25% NUMA imbalance tolerance is not
+//                             exceeded persistently (paper Section 2.1)
+//
+// Every monitor is proven live by check_monitors_test: a FaultySched fault
+// makes each one fire, and clean CFS/ULE runs keep all of them silent.
+#ifndef SRC_CHECK_MONITORS_H_
+#define SRC_CHECK_MONITORS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/check/invariant.h"
+
+namespace schedbattle {
+
+// No core may idle for more than `conservation_grace` while a thread that
+// could run on it has been waiting runnable at least as long.
+class WorkConservationMonitor : public InvariantMonitor {
+ public:
+  explicit WorkConservationMonitor(MonitorOptions options);
+  void Poll(SimTime now) override;
+
+ private:
+  // One report per (core, thread) starvation episode, not one per poll.
+  std::unordered_map<uint64_t, SimTime> reported_;
+};
+
+// Wake-to-dispatch pipeline: a thread that was woken (or forked) must reach
+// a core. If it is still waiting after `wakeup_stall_bound` while the core
+// the scheduler assigned it to sits idle, the wakeup was lost.
+class LostWakeupMonitor : public InvariantMonitor {
+ public:
+  explicit LostWakeupMonitor(MonitorOptions options);
+  void OnWake(SimTime now, const SimThread& thread, CoreId target) override;
+  void OnFork(SimTime now, const SimThread& thread, CoreId target) override;
+  void OnDispatch(SimTime now, CoreId core, const SimThread& thread) override;
+  void OnDeschedule(SimTime now, CoreId core, const SimThread& thread, char reason) override;
+  void Poll(SimTime now) override;
+  void Finish(SimTime now) override;
+
+ private:
+  void CheckPending(SimTime now, bool finishing);
+
+  struct PendingWake {
+    SimTime woken_at = 0;
+    bool reported = false;
+  };
+  std::unordered_map<ThreadId, PendingWake> pending_;
+};
+
+// CFS's fairness clock: each runqueue's min_vruntime is a ratchet. Reads the
+// scheduler through Scheduler::MinVruntimeOf, so it also sees through
+// decorators (FaultySched); inactive for schedulers that return the
+// kNoMinVruntime sentinel (ULE).
+class VruntimeMonotonicMonitor : public InvariantMonitor {
+ public:
+  explicit VruntimeMonotonicMonitor(MonitorOptions options);
+  void Attach(Machine* machine) override;
+  void OnDispatch(SimTime now, CoreId core, const SimThread& thread) override;
+  void Poll(SimTime now) override;
+
+ private:
+  void CheckCore(SimTime now, CoreId core);
+
+  std::vector<int64_t> last_seen_;  // per core; kNoMinVruntime = not yet seen
+};
+
+// ULE's interactivity penalty is defined on [0, 100]; anything outside the
+// range breaks the interactive classification (paper Section 2.2). Inactive
+// for schedulers whose InteractivityPenaltyOf returns -1 (CFS).
+class UleScoreMonitor : public InvariantMonitor {
+ public:
+  explicit UleScoreMonitor(MonitorOptions options);
+  void OnDispatch(SimTime now, CoreId core, const SimThread& thread) override;
+  void OnWake(SimTime now, const SimThread& thread, CoreId target) override;
+
+ private:
+  void CheckThread(SimTime now, const SimThread& thread, CoreId core);
+};
+
+// The scheduler's own accounting must agree with the machine: summed over
+// all cores, RunnableCountOf() equals the number of runnable-or-running
+// threads, and per-core loads are never negative. Checked at every dispatch
+// (the instant the issue text names: all transitions are settled there).
+class RunqueueAccountingMonitor : public InvariantMonitor {
+ public:
+  explicit RunqueueAccountingMonitor(MonitorOptions options);
+  void OnDispatch(SimTime now, CoreId core, const SimThread& thread) override;
+};
+
+// CFS tolerates up to `numa_imbalance_threshold` (25%) per-core load
+// imbalance between NUMA nodes but must correct anything persistently
+// beyond it. Counts only fully-migratable (unpinned) runnable threads and
+// requires the excess to persist for `numa_grace` before reporting.
+// Inactive on single-node machines and non-CFS schedulers.
+class NumaImbalanceMonitor : public InvariantMonitor {
+ public:
+  explicit NumaImbalanceMonitor(MonitorOptions options);
+  void Attach(Machine* machine) override;
+  void Poll(SimTime now) override;
+
+ private:
+  bool active_ = false;
+  SimTime excess_since_ = -1;  // start of the current over-threshold episode
+  bool reported_episode_ = false;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_CHECK_MONITORS_H_

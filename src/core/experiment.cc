@@ -22,6 +22,9 @@ ExperimentConfig ExperimentConfig::Multicore(SchedKind kind, uint64_t seed) {
 }
 
 std::unique_ptr<Scheduler> MakeSchedulerFor(const ExperimentConfig& config) {
+  if (config.scheduler_factory) {
+    return config.scheduler_factory(config);
+  }
   if (config.sched == SchedKind::kCfs) {
     return std::make_unique<CfsScheduler>(config.cfs);
   }

@@ -6,6 +6,7 @@
 #ifndef SRC_CORE_EXPERIMENT_H_
 #define SRC_CORE_EXPERIMENT_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -30,6 +31,11 @@ struct ExperimentConfig {
   // Per-core background kernel threads, as on the paper's real testbed; on
   // by default for multicore runs (scenarios set it).
   bool system_noise = false;
+
+  // Optional scheduler-construction override. When set, it replaces the
+  // default CFS/ULE construction — used by the checking subsystem to wrap
+  // the real scheduler in a fault-injecting decorator (FaultySched).
+  std::function<std::unique_ptr<Scheduler>(const ExperimentConfig&)> scheduler_factory;
 
   static ExperimentConfig SingleCore(SchedKind kind, uint64_t seed = 42);
   static ExperimentConfig Multicore(SchedKind kind, uint64_t seed = 42);

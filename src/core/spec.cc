@@ -50,6 +50,7 @@ ExperimentConfig ExperimentSpec::ToConfig() const {
   cfg.ule = ule;
   cfg.horizon = horizon;
   cfg.system_noise = system_noise;
+  cfg.scheduler_factory = scheduler_factory;
   return cfg;
 }
 
@@ -111,6 +112,10 @@ RunResult ExecuteSpec(const ExperimentSpec& spec) {
     metrics.push_back(metric);
   }
 
+  std::unique_ptr<MonitorSuite> monitors;
+  if (spec.check_invariants) {
+    monitors = std::make_unique<MonitorSuite>(&run.machine(), spec.monitor_options);
+  }
   std::unique_ptr<SchedStats> stats;
   if (spec.collect_schedstats) {
     stats = std::make_unique<SchedStats>(&run.machine());
@@ -132,9 +137,23 @@ RunResult ExecuteSpec(const ExperimentSpec& spec) {
   if (spec.hooks.on_finish) {
     spec.hooks.on_finish(ctx, result);
   }
+  if (monitors != nullptr) {
+    // Finish-checks run before the stats snapshot (and before the monitors
+    // leave the bus) so the per-monitor counts in the schedstats JSON
+    // include end-of-run violations.
+    monitors->FinishChecks();
+  }
   if (stats != nullptr) {
     stats->Detach();
     result.schedstats_json = stats->ToJson();
+  }
+  if (monitors != nullptr) {
+    monitors->Detach();
+    result.violations = monitors->total_violations();
+    if (const InvariantMonitor* m = monitors->first_violating()) {
+      result.first_violation_monitor = m->name();
+    }
+    result.violation_report = monitors->Report();
   }
 
   for (size_t i = 0; i < apps.size(); ++i) {

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/invariant.h"
 #include "src/core/runner.h"
 
 namespace schedbattle {
@@ -80,6 +81,14 @@ struct ExperimentSpec {
   double scale = 1.0;
   // Attach a SchedStats observer and store its JSON snapshot in the result.
   bool collect_schedstats = false;
+  // Arm the full invariant MonitorSuite (src/check) for the run; violation
+  // counts and the report land in the RunResult. The suite attaches before
+  // SchedStats so stats snapshots can include per-monitor counts.
+  bool check_invariants = false;
+  MonitorOptions monitor_options;
+  // Optional scheduler-construction override (fault injection); forwarded
+  // into ExperimentConfig::scheduler_factory.
+  std::function<std::unique_ptr<Scheduler>(const ExperimentConfig&)> scheduler_factory;
 
   std::vector<AppSpec> apps;
   RunHooks hooks;
@@ -123,6 +132,11 @@ struct RunResult {
   MachineCounters counters;
   std::vector<AppResult> apps;
   std::string schedstats_json;  // only when spec.collect_schedstats
+
+  // Invariant-monitoring outcome (only when spec.check_invariants).
+  uint64_t violations = 0;
+  std::string first_violation_monitor;  // empty when the run was clean
+  std::string violation_report;         // MonitorSuite::Report()
 
   // First app result with the given name; nullptr if absent.
   const AppResult* App(const std::string& name) const;

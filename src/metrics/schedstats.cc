@@ -5,6 +5,8 @@
 #include <sstream>
 #include <string_view>
 
+#include "src/check/invariant.h"
+
 namespace schedbattle {
 
 namespace {
@@ -247,6 +249,21 @@ std::string SchedStats::ToJson() const {
   os << ",\n\"recent_balance_passes\":";
   append_records(recent_balance_, recent_balance_head_, options_.recent_balance_cap);
   os << ",\n";
+
+  // Per-monitor violation counts, present only when invariant monitors are
+  // on the bus (src/check). Attach order is deterministic (MonitorSuite
+  // constructs the monitors in a fixed order), so the JSON stays diffable.
+  bool any_monitor = false;
+  for (MachineObserver* o : machine_->observers().items()) {
+    if (const auto* m = dynamic_cast<const InvariantMonitor*>(o)) {
+      os << (any_monitor ? "," : "\"invariant_violations\":{") << "\n\"" << m->name()
+         << "\":" << m->violation_count();
+      any_monitor = true;
+    }
+  }
+  if (any_monitor) {
+    os << "\n},\n";
+  }
 
   os << "\"runqueue_depth\":{";
   for (CoreId c = 0; c < machine_->num_cores(); ++c) {

@@ -112,6 +112,9 @@ class ObserverBus final : public MachineObserver {
   bool Contains(const MachineObserver* observer) const;
   bool empty() const { return observers_.empty(); }
   int size() const { return static_cast<int>(observers_.size()); }
+  // Attached observers in attach order (metrics iterate these to find
+  // sibling observers, e.g. SchedStats pulling invariant-monitor counts).
+  const std::vector<MachineObserver*>& items() const { return observers_; }
 
   // The fan-out loops live in the header so a Machine's emission sites
   // compile down to the bare per-observer indirect calls (the bus sits on

@@ -4,4 +4,6 @@ namespace schedbattle {
 
 int Scheduler::InteractivityPenaltyOf(const SimThread* /*thread*/) const { return -1; }
 
+int64_t Scheduler::MinVruntimeOf(CoreId /*core*/) const { return kNoMinVruntime; }
+
 }  // namespace schedbattle

@@ -25,6 +25,7 @@
 #ifndef SRC_SCHED_SCHED_CLASS_H_
 #define SRC_SCHED_SCHED_CLASS_H_
 
+#include <cstdint>
 #include <string_view>
 
 #include "src/sched/thread.h"
@@ -121,7 +122,15 @@ class Scheduler {
 
   // ULE interactivity penalty of a thread (0..100), or -1 if not applicable.
   virtual int InteractivityPenaltyOf(const SimThread* thread) const;
+
+  // CFS min_vruntime of the core's root runqueue, or kNoMinVruntime if the
+  // scheduler has no such clock (ULE). Virtual (rather than a dynamic_cast in
+  // the caller) so decorators like FaultySched can forward — or corrupt — it.
+  virtual int64_t MinVruntimeOf(CoreId core) const;
 };
+
+// Sentinel for MinVruntimeOf: "this scheduler has no fairness clock".
+inline constexpr int64_t kNoMinVruntime = INT64_MIN;
 
 }  // namespace schedbattle
 

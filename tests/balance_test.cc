@@ -3,34 +3,10 @@
 // idle stealing through the topology.
 #include <gtest/gtest.h>
 
-#include "src/cfs/cfs_sched.h"
-#include "src/ule/ule_sched.h"
-#include "src/workload/script.h"
+#include "tests/test_util.h"
 
 namespace schedbattle {
 namespace {
-
-ThreadSpec Spinner(const std::string& name, int seed, CoreId pin = kInvalidCore) {
-  ThreadSpec spec;
-  spec.name = name;
-  if (pin != kInvalidCore) {
-    spec.affinity = CpuMask::Single(pin);
-  }
-  spec.body =
-      MakeScriptBody(ScriptBuilder().Loop(-1).Compute(Milliseconds(5)).EndLoop().Build(),
-                     Rng(seed));
-  return spec;
-}
-
-std::vector<int> CountsPerCore(const Machine& machine, const std::vector<SimThread*>& threads) {
-  std::vector<int> counts(machine.num_cores(), 0);
-  for (SimThread* t : threads) {
-    if (t->cpu() != kInvalidCore) {
-      counts[t->cpu()]++;
-    }
-  }
-  return counts;
-}
 
 TEST(CfsBalanceTest, PullsAtMost32PerPass) {
   SimEngine engine;

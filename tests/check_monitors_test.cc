@@ -1,0 +1,221 @@
+// Invariant-monitor validation: every monitor must stay silent on a correct
+// scheduler and fire under the matching FaultySched fault. A monitor that
+// never fires is indistinguishable from a monitor that checks nothing, so
+// each fault scenario here is the existence proof for one monitor.
+#include <gtest/gtest.h>
+
+#include "src/check/faulty_sched.h"
+#include "src/check/invariant.h"
+#include "src/check/monitors.h"
+#include "tests/minijson.h"
+#include "tests/test_util.h"
+
+namespace schedbattle {
+namespace {
+
+const InvariantMonitor* Find(const MonitorSuite& suite, const std::string& name) {
+  for (const auto& m : suite.monitors()) {
+    if (m->name() == name) {
+      return m.get();
+    }
+  }
+  return nullptr;
+}
+
+uint64_t Count(const MonitorSuite& suite, const std::string& name) {
+  const InvariantMonitor* m = Find(suite, name);
+  return m == nullptr ? 0 : m->violation_count();
+}
+
+std::unique_ptr<Scheduler> Faulty(const std::string& sched, FaultKind kind, int arg = 1) {
+  return std::make_unique<FaultySched>(MakeScheduler(sched), FaultConfig{kind, arg});
+}
+
+ThreadSpec PeriodicSleeper(const std::string& name, int seed, CoreId pin) {
+  ThreadSpec spec;
+  spec.name = name;
+  spec.affinity = CpuMask::Single(pin);
+  spec.body = MakeScriptBody(ScriptBuilder()
+                                 .Loop(-1)
+                                 .Compute(Milliseconds(1))
+                                 .Sleep(Milliseconds(50))
+                                 .EndLoop()
+                                 .Build(),
+                             Rng(seed));
+  return spec;
+}
+
+class MonitorTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MonitorTest, CleanRandomWorkloadKeepsEveryMonitorSilent) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(4), MakeScheduler(GetParam()),
+                  MachineParams{.seed = 7});
+  MonitorSuite suite(&machine);
+  Workload workload(&machine);
+  Application* app = workload.Add(std::make_unique<ScriptedApp>("mix", 7));
+  machine.Boot();
+  BuildRandomWorkload(machine, app, 7);
+  workload.Run(Seconds(30));
+  suite.FinishChecks();
+  for (const auto& m : suite.monitors()) {
+    EXPECT_EQ(m->violation_count(), 0u) << m->name() << " fired on a correct scheduler";
+  }
+  EXPECT_EQ(suite.total_violations(), 0u);
+  EXPECT_EQ(suite.first_violating(), nullptr);
+  EXPECT_TRUE(suite.Report().empty());
+}
+
+TEST_P(MonitorTest, DroppedWakeupFiresLostWakeupConservationAndAccounting) {
+  // Two hogs keep core 0 busy (and dispatching); the sleeper is pinned to
+  // core 1, so after its wakeup is dropped, core 1 idles forever while a
+  // compatible runnable thread exists: lost_wakeup and work_conservation
+  // both fire, and the machine/scheduler runnable counts disagree.
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2),
+                  Faulty(GetParam(), FaultKind::kDropWakeup), MachineParams{.seed = 3});
+  auto* faulty = static_cast<FaultySched*>(&machine.scheduler());
+  MonitorSuite suite(&machine);
+  machine.Boot();
+  machine.Spawn(Spinner("hog0", 1, 0), nullptr);
+  machine.Spawn(Spinner("hog1", 2, 0), nullptr);
+  machine.Spawn(PeriodicSleeper("sleeper", 3, 1), nullptr);
+  engine.RunUntil(Seconds(6));
+  suite.FinishChecks();
+
+  EXPECT_TRUE(faulty->fault_triggered());
+  EXPECT_GE(Count(suite, "lost_wakeup"), 1u);
+  EXPECT_GE(Count(suite, "work_conservation"), 1u);
+  EXPECT_GE(Count(suite, "runqueue_accounting"), 1u);
+  ASSERT_NE(suite.first_violating(), nullptr);
+  EXPECT_FALSE(suite.Report().empty());
+}
+
+TEST(MonitorFaultTest, NoBalanceFiresNumaImbalanceUnderCfs) {
+  // 2 NUMA nodes x 4 cores. Node 0 carries two migratable spinners per core,
+  // node 1 one per core. With every balancing path suppressed the 2:1
+  // per-core ratio (> 1.25 * 1.3) persists past the grace period with
+  // threads waiting on node 0 — exactly what CFS's NUMA rule forbids.
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology(TopologyConfig{2, 1, 4, 1}),
+                  Faulty("cfs", FaultKind::kNoBalance), MachineParams{.seed = 5});
+  MonitorSuite suite(&machine);
+  machine.Boot();
+  std::vector<SimThread*> threads;
+  for (int c = 0; c < 4; ++c) {
+    threads.push_back(machine.Spawn(Spinner("a" + std::to_string(c), 10 + c, c), nullptr));
+    threads.push_back(machine.Spawn(Spinner("b" + std::to_string(c), 20 + c, c), nullptr));
+  }
+  for (int c = 4; c < 8; ++c) {
+    threads.push_back(machine.Spawn(Spinner("c" + std::to_string(c), 30 + c, c), nullptr));
+  }
+  engine.At(Milliseconds(50), [&] {
+    for (SimThread* t : threads) {
+      machine.SetAffinity(t, CpuMask::AllOf(8));
+    }
+  });
+  engine.RunUntil(Seconds(5));
+  suite.FinishChecks();
+
+  EXPECT_GE(Count(suite, "numa_imbalance"), 1u);
+  // Every core stays busy: the idle-core monitors must not fire.
+  EXPECT_EQ(Count(suite, "work_conservation"), 0u);
+  EXPECT_EQ(Count(suite, "lost_wakeup"), 0u);
+}
+
+TEST(MonitorFaultTest, CorruptVruntimeFiresMonotonicityUnderCfs) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2),
+                  Faulty("cfs", FaultKind::kCorruptVruntime), MachineParams{.seed = 5});
+  MonitorSuite suite(&machine);
+  machine.Boot();
+  machine.Spawn(Spinner("hog0", 1), nullptr);
+  machine.Spawn(Spinner("hog1", 2), nullptr);
+  engine.RunUntil(Milliseconds(500));
+  suite.FinishChecks();
+  EXPECT_GE(Count(suite, "vruntime_monotonic"), 1u);
+}
+
+TEST(MonitorFaultTest, CorruptScoreFiresUleRange) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2),
+                  Faulty("ule", FaultKind::kCorruptScore, 200), MachineParams{.seed = 5});
+  MonitorSuite suite(&machine);
+  machine.Boot();
+  machine.Spawn(Spinner("hog", 1, 0), nullptr);
+  machine.Spawn(PeriodicSleeper("sleeper", 2, 1), nullptr);
+  engine.RunUntil(Milliseconds(500));
+  suite.FinishChecks();
+  EXPECT_GE(Count(suite, "ule_score_range"), 1u);
+}
+
+class MiscountTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MiscountTest, MiscountedLoadFiresAccounting) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2),
+                  Faulty(GetParam(), FaultKind::kMiscountLoad, 3), MachineParams{.seed = 5});
+  MonitorSuite suite(&machine);
+  machine.Boot();
+  machine.Spawn(Spinner("hog0", 1), nullptr);
+  machine.Spawn(Spinner("hog1", 2), nullptr);
+  engine.RunUntil(Milliseconds(200));
+  suite.FinishChecks();
+  EXPECT_GE(Count(suite, "runqueue_accounting"), 1u);
+}
+
+TEST(MonitorReportTest, ViolationsCarryProvenanceAndFormat) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(2),
+                  Faulty("cfs", FaultKind::kCorruptVruntime), MachineParams{.seed = 5});
+  MonitorSuite suite(&machine);
+  machine.Boot();
+  machine.Spawn(Spinner("hog0", 1), nullptr);
+  machine.Spawn(Spinner("hog1", 2), nullptr);
+  engine.RunUntil(Milliseconds(500));
+  suite.FinishChecks();
+
+  const InvariantMonitor* m = Find(suite, "vruntime_monotonic");
+  ASSERT_NE(m, nullptr);
+  ASSERT_GE(m->violations().size(), 1u);
+  const Violation& v = m->violations().front();
+  EXPECT_EQ(v.monitor, "vruntime_monotonic");
+  EXPECT_FALSE(v.message.empty());
+  // Hogs fork and wake on a live CFS machine, so picks were observed before
+  // the first poll-driven violation.
+  EXPECT_FALSE(v.recent_picks.empty());
+  const std::string line = FormatViolation(v);
+  EXPECT_NE(line.find("vruntime_monotonic"), std::string::npos);
+  const std::string report = suite.Report();
+  EXPECT_NE(report.find("vruntime_monotonic"), std::string::npos);
+}
+
+TEST(MonitorStatsTest, SchedstatsJsonCarriesPerMonitorCounts) {
+  ExperimentSpec spec = StatsSpec(SchedKind::kCfs, 42);
+  spec.check_invariants = true;
+  const RunResult result = ExecuteSpec(spec);
+  ASSERT_FALSE(result.schedstats_json.empty());
+  const minijson::Value root = minijson::Parse(result.schedstats_json);
+  ASSERT_TRUE(root.contains("invariant_violations"));
+  const minijson::Value& iv = root.at("invariant_violations");
+  for (const char* name : {"work_conservation", "lost_wakeup", "vruntime_monotonic",
+                           "ule_score_range", "runqueue_accounting", "numa_imbalance"}) {
+    ASSERT_TRUE(iv.contains(name)) << name;
+    EXPECT_EQ(iv.at(name).as_number(), 0.0) << name;
+  }
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_TRUE(result.first_violation_monitor.empty());
+}
+
+TEST(MonitorStatsTest, StatsJsonOmitsMonitorBlockWhenUnarmed) {
+  const RunResult result = ExecuteSpec(StatsSpec(SchedKind::kCfs, 42));
+  ASSERT_FALSE(result.schedstats_json.empty());
+  const minijson::Value root = minijson::Parse(result.schedstats_json);
+  EXPECT_FALSE(root.contains("invariant_violations"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scheds, MonitorTest, ::testing::Values("cfs", "ule"));
+INSTANTIATE_TEST_SUITE_P(Scheds, MiscountTest, ::testing::Values("cfs", "ule"));
+
+}  // namespace
+}  // namespace schedbattle

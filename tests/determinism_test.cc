@@ -7,21 +7,11 @@
 #include <string>
 #include <vector>
 
-#include "src/apps/registry.h"
 #include "src/core/campaign.h"
-#include "src/core/spec.h"
+#include "tests/test_util.h"
 
 namespace schedbattle {
 namespace {
-
-ExperimentSpec StatsSpec(SchedKind kind, uint64_t seed) {
-  ExperimentSpec spec = ExperimentSpec::SingleCore(kind, seed);
-  spec.scale = 0.02;
-  spec.Named("determinism");
-  spec.collect_schedstats = true;
-  spec.Add(RegistryApp("apache"));
-  return spec;
-}
 
 TEST(DeterminismTest, SameSpecTwiceIsByteIdentical) {
   for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {

@@ -3,10 +3,7 @@
 // regardless of scheduling decisions.
 #include <gtest/gtest.h>
 
-#include "src/cfs/cfs_sched.h"
-#include "src/ule/ule_sched.h"
-#include "src/workload/script.h"
-#include "src/workload/workload.h"
+#include "tests/test_util.h"
 
 namespace schedbattle {
 namespace {
@@ -17,63 +14,7 @@ struct PropParam {
   int cores;
 };
 
-std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
-  if (name == "cfs") {
-    return std::make_unique<CfsScheduler>();
-  }
-  return std::make_unique<UleScheduler>();
-}
-
 class InvariantTest : public ::testing::TestWithParam<PropParam> {};
-
-// Builds a randomized mixed workload: hogs, sleepers, lock users, pipe pairs.
-void BuildRandomWorkload(Machine& machine, Application* app, uint64_t seed) {
-  Rng rng(seed);
-  const int hogs = 2 + static_cast<int>(rng.NextBelow(4));
-  const int sleepers = 2 + static_cast<int>(rng.NextBelow(6));
-  const int lockers = 2 + static_cast<int>(rng.NextBelow(4));
-  for (int i = 0; i < hogs; ++i) {
-    ThreadSpec spec;
-    spec.name = "hog" + std::to_string(i);
-    spec.body = MakeScriptBody(
-        ScriptBuilder().Compute(Milliseconds(100 + rng.NextBelow(400))).Build(), rng.Split());
-    app->SpawnThread(machine, std::move(spec), nullptr);
-  }
-  for (int i = 0; i < sleepers; ++i) {
-    ThreadSpec spec;
-    spec.name = "sleeper" + std::to_string(i);
-    spec.body = MakeScriptBody(ScriptBuilder()
-                                   .Loop(20 + static_cast<int>(rng.NextBelow(30)))
-                                   .ComputeFn([](ScriptEnv& env) {
-                                     return Microseconds(100 + env.rng.NextBelow(2000));
-                                   })
-                                   .SleepFn([](ScriptEnv& env) {
-                                     return Microseconds(500 + env.rng.NextBelow(5000));
-                                   })
-                                   .EndLoop()
-                                   .Build(),
-                               rng.Split());
-    app->SpawnThread(machine, std::move(spec), nullptr);
-  }
-  auto mu = std::make_shared<SimMutex>();
-  app->KeepAlive(mu);
-  for (int i = 0; i < lockers; ++i) {
-    ThreadSpec spec;
-    spec.name = "locker" + std::to_string(i);
-    spec.body = MakeScriptBody(ScriptBuilder()
-                                   .Loop(30)
-                                   .Lock(mu.get())
-                                   .Compute(Microseconds(200))
-                                   .Unlock(mu.get())
-                                   .ComputeFn([](ScriptEnv& env) {
-                                     return Microseconds(50 + env.rng.NextBelow(500));
-                                   })
-                                   .EndLoop()
-                                   .Build(),
-                               rng.Split());
-    app->SpawnThread(machine, std::move(spec), nullptr);
-  }
-}
 
 TEST_P(InvariantTest, ConservationLaws) {
   const PropParam& p = GetParam();

@@ -6,20 +6,10 @@
 
 #include <memory>
 
-#include "src/cfs/cfs_sched.h"
-#include "src/ule/ule_sched.h"
-#include "src/workload/script.h"
-#include "src/workload/workload.h"
+#include "tests/test_util.h"
 
 namespace schedbattle {
 namespace {
-
-std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
-  if (name == "cfs") {
-    return std::make_unique<CfsScheduler>();
-  }
-  return std::make_unique<UleScheduler>();
-}
 
 class MachineTest : public ::testing::TestWithParam<std::string> {
  protected:

@@ -1,0 +1,165 @@
+// Fuzzing infrastructure tests: FuzzSpec JSON round-trips byte-exactly,
+// generated specs are valid and terminating, a seeded FaultySched violation
+// shrinks to a tiny reproducer, and the reproducer re-triggers the same
+// violation deterministically.
+#include <gtest/gtest.h>
+
+#include "src/check/fuzz.h"
+#include "src/core/campaign.h"
+
+namespace schedbattle {
+namespace {
+
+bool SameSpec(const FuzzSpec& a, const FuzzSpec& b) {
+  if (a.seed != b.seed || a.sched != b.sched || a.cores != b.cores ||
+      a.numa_nodes != b.numa_nodes || a.horizon != b.horizon ||
+      a.fault.kind != b.fault.kind || a.fault.arg != b.fault.arg ||
+      a.groups.size() != b.groups.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.groups.size(); ++i) {
+    const FuzzThreadGroup& ga = a.groups[i];
+    const FuzzThreadGroup& gb = b.groups[i];
+    if (ga.kind != gb.kind || ga.count != gb.count || ga.work != gb.work ||
+        ga.sleep != gb.sleep || ga.loops != gb.loops) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// A small workload that reliably trips the monitors under kDropWakeup: the
+// first sleeper wakeup is silently dropped, freezing that thread runnable
+// forever while the machine drains — work_conservation fires by poll.
+FuzzSpec DropWakeupSpec() {
+  FuzzSpec spec;
+  spec.seed = 11;
+  spec.sched = SchedKind::kUle;
+  spec.cores = 2;
+  spec.horizon = Seconds(20);
+  spec.fault = FaultConfig{FaultKind::kDropWakeup, 1};
+  spec.groups.push_back(
+      {FuzzThreadGroup::Kind::kSleeper, 3, Microseconds(500), Milliseconds(5), 10});
+  spec.groups.push_back({FuzzThreadGroup::Kind::kHog, 4, Milliseconds(2), Milliseconds(1), 5});
+  return spec;
+}
+
+TEST(FuzzSpecTest, JsonRoundTripsExactly) {
+  Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    Rng stream = rng.Split();
+    const FuzzSpec spec =
+        GenerateFuzzSpec(&stream, i % 2 == 0 ? SchedKind::kCfs : SchedKind::kUle, 1.0);
+    const std::string json = spec.ToJson();
+    FuzzSpec parsed;
+    std::string error;
+    ASSERT_TRUE(FuzzSpec::Parse(json, &parsed, &error)) << error << "\n" << json;
+    EXPECT_TRUE(SameSpec(spec, parsed)) << json;
+    EXPECT_EQ(parsed.ToJson(), json) << "re-serialization must be byte-identical";
+  }
+}
+
+TEST(FuzzSpecTest, LargeSeedsSurviveSerialization) {
+  FuzzSpec spec = DropWakeupSpec();
+  spec.seed = 0xFFFFFFFFFFFFFFFEull;  // would lose precision as a JSON double
+  FuzzSpec parsed;
+  std::string error;
+  ASSERT_TRUE(FuzzSpec::Parse(spec.ToJson(), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.seed, spec.seed);
+}
+
+TEST(FuzzSpecTest, ParseRejectsMalformedInput) {
+  FuzzSpec out;
+  std::string error;
+  EXPECT_FALSE(FuzzSpec::Parse("", &out, &error));
+  EXPECT_FALSE(FuzzSpec::Parse("{}", &out, &error));
+  EXPECT_FALSE(FuzzSpec::Parse("{\"fuzz_spec\":2}", &out, &error));
+  EXPECT_FALSE(FuzzSpec::Parse(DropWakeupSpec().ToJson() + "x", &out, &error));
+}
+
+TEST(FuzzSpecTest, GeneratedSpecsAreValidAndLabeled) {
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    Rng stream = rng.Split();
+    const FuzzSpec spec = GenerateFuzzSpec(&stream, SchedKind::kCfs, 0.5);
+    EXPECT_GE(spec.TotalThreads(), 1);
+    EXPECT_GE(spec.cores, 1);
+    if (spec.numa_nodes > 1) {
+      EXPECT_EQ(spec.cores % spec.numa_nodes, 0);
+    }
+    EXPECT_EQ(spec.Label().find("fuzz-cfs-seed"), 0u);
+    EXPECT_EQ(spec.fault.kind, FaultKind::kNone);
+  }
+}
+
+TEST(FuzzRunTest, CleanCampaignAcrossBothSchedulers) {
+  Rng rng(5);
+  std::vector<FuzzSpec> fuzz;
+  std::vector<ExperimentSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    Rng stream = rng.Split();
+    FuzzSpec base = GenerateFuzzSpec(&stream, SchedKind::kCfs, 0.1);
+    for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
+      FuzzSpec s = base;
+      s.sched = kind;
+      fuzz.push_back(s);
+      specs.push_back(s.ToExperimentSpec());
+    }
+  }
+  const std::vector<RunResult> results = CampaignRunner(2).Run(specs);
+  ASSERT_EQ(results.size(), fuzz.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const FuzzOutcome out = OutcomeFromResult(results[i]);
+    EXPECT_EQ(out.violations, 0u) << fuzz[i].Label() << "\n" << out.report;
+    EXPECT_TRUE(out.all_finished) << fuzz[i].Label();
+    EXPECT_EQ(out.forks, out.exits) << fuzz[i].Label();
+  }
+  // Differential: the same spec forks the same thread count on both
+  // schedulers (workload structure is seed-determined).
+  for (size_t i = 0; i < results.size(); i += 2) {
+    EXPECT_EQ(OutcomeFromResult(results[i]).forks, OutcomeFromResult(results[i + 1]).forks);
+  }
+}
+
+TEST(FuzzShrinkTest, SeededViolationShrinksToTinyReproducer) {
+  const FuzzSpec failing = DropWakeupSpec();
+  const FuzzOutcome original = RunFuzzSpec(failing);
+  ASSERT_GT(original.violations, 0u);
+  ASSERT_FALSE(original.monitor.empty());
+
+  const ShrinkResult shrunk =
+      ShrinkFuzzSpec(failing, MonitorFiresOracle(original.monitor));
+  EXPECT_LE(shrunk.minimal.TotalThreads(), 3) << shrunk.minimal.ToJson();
+  EXPECT_LT(shrunk.minimal.TotalThreads(), failing.TotalThreads());
+  EXPECT_GT(shrunk.attempts, 0);
+
+  // The minimal reproducer still fires the same monitor.
+  const FuzzOutcome replay = RunFuzzSpec(shrunk.minimal);
+  EXPECT_GT(replay.violations, 0u);
+  EXPECT_EQ(replay.monitor, original.monitor);
+}
+
+TEST(FuzzShrinkTest, ReproducerReplaysDeterministically) {
+  const FuzzSpec failing = DropWakeupSpec();
+  const FuzzOutcome base = RunFuzzSpec(failing);
+  ASSERT_GT(base.violations, 0u);
+
+  // Round-trip through the reproducer JSON, then replay twice: identical
+  // violation counts, monitor, and full report every time.
+  FuzzSpec parsed;
+  std::string error;
+  ASSERT_TRUE(FuzzSpec::Parse(failing.ToJson(), &parsed, &error)) << error;
+  const FuzzOutcome a = RunFuzzSpec(parsed);
+  const FuzzOutcome b = RunFuzzSpec(parsed);
+  EXPECT_EQ(a.violations, base.violations);
+  EXPECT_EQ(a.monitor, base.monitor);
+  EXPECT_EQ(a.report, base.report);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.monitor, b.monitor);
+  EXPECT_EQ(a.report, b.report);
+  EXPECT_EQ(a.forks, b.forks);
+  EXPECT_EQ(a.exits, b.exits);
+}
+
+}  // namespace
+}  // namespace schedbattle

@@ -3,21 +3,10 @@
 // block/wake flows).
 #include <gtest/gtest.h>
 
-#include "src/cfs/cfs_sched.h"
-#include "src/ule/ule_sched.h"
-#include "src/workload/script.h"
-#include "src/workload/sync.h"
-#include "src/workload/workload.h"
+#include "tests/test_util.h"
 
 namespace schedbattle {
 namespace {
-
-std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
-  if (name == "cfs") {
-    return std::make_unique<CfsScheduler>();
-  }
-  return std::make_unique<UleScheduler>();
-}
 
 class SyncTest : public ::testing::TestWithParam<std::string> {
  protected:

@@ -1,0 +1,118 @@
+// Shared test helpers: scheduler construction by name, the randomized mixed
+// workload used by the property tests, and small workload/spec builders that
+// several suites previously duplicated.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/registry.h"
+#include "src/cfs/cfs_sched.h"
+#include "src/core/spec.h"
+#include "src/ule/ule_sched.h"
+#include "src/workload/script.h"
+#include "src/workload/sync.h"
+#include "src/workload/workload.h"
+
+namespace schedbattle {
+
+// "cfs" -> CfsScheduler, anything else -> UleScheduler. Test suites
+// parameterize on the string so failures name the scheduler.
+inline std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
+  if (name == "cfs") {
+    return std::make_unique<CfsScheduler>();
+  }
+  return std::make_unique<UleScheduler>();
+}
+
+// An infinite (or pinned) CPU hog for balance/placement tests.
+inline ThreadSpec Spinner(const std::string& name, int seed, CoreId pin = kInvalidCore) {
+  ThreadSpec spec;
+  spec.name = name;
+  if (pin != kInvalidCore) {
+    spec.affinity = CpuMask::Single(pin);
+  }
+  spec.body =
+      MakeScriptBody(ScriptBuilder().Loop(-1).Compute(Milliseconds(5)).EndLoop().Build(),
+                     Rng(seed));
+  return spec;
+}
+
+// How many of `threads` currently sit on each core.
+inline std::vector<int> CountsPerCore(const Machine& machine,
+                                      const std::vector<SimThread*>& threads) {
+  std::vector<int> counts(machine.num_cores(), 0);
+  for (SimThread* t : threads) {
+    if (t->cpu() != kInvalidCore) {
+      counts[t->cpu()]++;
+    }
+  }
+  return counts;
+}
+
+// Builds a randomized mixed workload: hogs, sleepers and lock users drawn
+// from `seed`. Used by the invariant property tests.
+inline void BuildRandomWorkload(Machine& machine, Application* app, uint64_t seed) {
+  Rng rng(seed);
+  const int hogs = 2 + static_cast<int>(rng.NextBelow(4));
+  const int sleepers = 2 + static_cast<int>(rng.NextBelow(6));
+  const int lockers = 2 + static_cast<int>(rng.NextBelow(4));
+  for (int i = 0; i < hogs; ++i) {
+    ThreadSpec spec;
+    spec.name = "hog" + std::to_string(i);
+    spec.body = MakeScriptBody(
+        ScriptBuilder().Compute(Milliseconds(100 + rng.NextBelow(400))).Build(), rng.Split());
+    app->SpawnThread(machine, std::move(spec), nullptr);
+  }
+  for (int i = 0; i < sleepers; ++i) {
+    ThreadSpec spec;
+    spec.name = "sleeper" + std::to_string(i);
+    spec.body = MakeScriptBody(ScriptBuilder()
+                                   .Loop(20 + static_cast<int>(rng.NextBelow(30)))
+                                   .ComputeFn([](ScriptEnv& env) {
+                                     return Microseconds(100 + env.rng.NextBelow(2000));
+                                   })
+                                   .SleepFn([](ScriptEnv& env) {
+                                     return Microseconds(500 + env.rng.NextBelow(5000));
+                                   })
+                                   .EndLoop()
+                                   .Build(),
+                               rng.Split());
+    app->SpawnThread(machine, std::move(spec), nullptr);
+  }
+  auto mu = std::make_shared<SimMutex>();
+  app->KeepAlive(mu);
+  for (int i = 0; i < lockers; ++i) {
+    ThreadSpec spec;
+    spec.name = "locker" + std::to_string(i);
+    spec.body = MakeScriptBody(ScriptBuilder()
+                                   .Loop(30)
+                                   .Lock(mu.get())
+                                   .Compute(Microseconds(200))
+                                   .Unlock(mu.get())
+                                   .ComputeFn([](ScriptEnv& env) {
+                                     return Microseconds(50 + env.rng.NextBelow(500));
+                                   })
+                                   .EndLoop()
+                                   .Build(),
+                               rng.Split());
+    app->SpawnThread(machine, std::move(spec), nullptr);
+  }
+}
+
+// A small single-core apache run with schedstats collection, for
+// determinism-style byte-identity checks.
+inline ExperimentSpec StatsSpec(SchedKind kind, uint64_t seed) {
+  ExperimentSpec spec = ExperimentSpec::SingleCore(kind, seed);
+  spec.scale = 0.02;
+  spec.Named("determinism");
+  spec.collect_schedstats = true;
+  spec.Add(RegistryApp("apache"));
+  return spec;
+}
+
+}  // namespace schedbattle
+
+#endif  // TESTS_TEST_UTIL_H_

@@ -17,7 +17,10 @@
 #include <string>
 #include <vector>
 
+#include <sstream>
+
 #include "src/apps/registry.h"
+#include "src/check/fuzz.h"
 #include "src/core/campaign.h"
 #include "src/core/flags.h"
 #include "src/core/report.h"
@@ -37,7 +40,7 @@ namespace {
 
 void Usage() {
   std::printf(
-      "usage: schedbattle_cli [stats|campaign] [options]\n"
+      "usage: schedbattle_cli [stats|campaign|replay] [options]\n"
       "subcommands:\n"
       "  stats                  run and print the schedstats JSON snapshot to\n"
       "                         stdout (suppresses the human-readable report)\n"
@@ -45,6 +48,10 @@ void Usage() {
       "                         --runs seeds on --jobs worker threads and emit\n"
       "                         aggregated JSON (mean/stddev/min/max per app\n"
       "                         and scheduler)\n"
+      "  replay                 re-execute a schedfuzz reproducer spec\n"
+      "                         (--spec=<file.json>) with all invariant\n"
+      "                         monitors armed; deterministic output\n"
+      "  (any subcommand accepts --help for its own flag listing)\n"
       "options:\n"
       "  --list                 list available applications and exit\n"
       "  --sched=cfs|ule        scheduler (default cfs)\n"
@@ -111,6 +118,17 @@ Application* AddFig6Scenario(ExperimentRun& run, uint64_t seed) {
   return app;
 }
 
+// True if argv contains --help/-h (after the subcommand); subcommands print
+// their own FlagSet::Help() and exit 0 instead of the unknown-flag error.
+bool WantsHelp(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string JsonStat(const AggregateStat& s) {
   char buf[160];
   std::snprintf(buf, sizeof(buf), "{\"n\": %d, \"mean\": %.6g, \"stddev\": %.6g}", s.n, s.mean,
@@ -137,6 +155,10 @@ int RunCampaignCommand(int argc, char** argv) {
       .Double("scale", &scale, "workload scale factor")
       .Uint64("seed", &seed, "base RNG seed")
       .String("json", &json_path, "output path, '-' for stdout");
+  if (WantsHelp(argc, argv)) {
+    std::printf("usage: schedbattle_cli campaign [options]\n%s", flags.Help().c_str());
+    return 0;
+  }
   std::string error;
   if (!flags.Parse(argc, argv, 2, &error)) {
     std::fprintf(stderr, "%s\n%s", error.c_str(), flags.Help().c_str());
@@ -226,12 +248,84 @@ int RunCampaignCommand(int argc, char** argv) {
   return 0;
 }
 
+// `replay` subcommand: re-execute a schedfuzz reproducer spec with all
+// invariant monitors armed. Output is fully deterministic — replaying the
+// same spec twice produces byte-identical bytes (the determinism_test and
+// the shrinker's acceptance check rely on this).
+int RunReplayCommand(int argc, char** argv) {
+  std::string spec_path;
+  std::string json_path = "-";
+  FlagSet flags;
+  flags.String("spec", &spec_path, "schedfuzz reproducer JSON to replay (required)")
+      .String("json", &json_path, "outcome output path, '-' for stdout");
+  if (WantsHelp(argc, argv)) {
+    std::printf("usage: schedbattle_cli replay --spec=<file.json> [options]\n%s",
+                flags.Help().c_str());
+    return 0;
+  }
+  std::string error;
+  if (!flags.Parse(argc, argv, 2, &error)) {
+    std::fprintf(stderr, "%s\n%s", error.c_str(), flags.Help().c_str());
+    return 2;
+  }
+  if (spec_path.empty()) {
+    std::fprintf(stderr, "replay needs --spec=<file.json>\n%s", flags.Help().c_str());
+    return 2;
+  }
+  std::FILE* f = std::fopen(spec_path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read %s\n", spec_path.c_str());
+    return 2;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  FuzzSpec spec;
+  if (!FuzzSpec::Parse(text, &spec, &error)) {
+    std::fprintf(stderr, "bad reproducer spec %s: %s\n", spec_path.c_str(), error.c_str());
+    return 2;
+  }
+  const FuzzOutcome outcome = RunFuzzSpec(spec);
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "\"label\":\"" << spec.Label() << "\",\n";
+  os << "\"threads\":" << spec.TotalThreads() << ",\n";
+  os << "\"fault\":\"" << FaultKindName(spec.fault.kind) << "\",\n";
+  os << "\"violations\":" << outcome.violations << ",\n";
+  os << "\"monitor\":\"" << outcome.monitor << "\",\n";
+  os << "\"all_finished\":" << (outcome.all_finished ? "true" : "false") << ",\n";
+  os << "\"forks\":" << outcome.forks << ",\n";
+  os << "\"exits\":" << outcome.exits << "\n";
+  os << "}\n";
+  const std::string json = os.str();
+  if (json_path.empty() || json_path == "-") {
+    std::fputs(json.c_str(), stdout);
+  } else if (!WriteFile(json_path, json)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  if (!outcome.report.empty()) {
+    std::fprintf(stderr, "%s", outcome.report.c_str());
+  }
+  return outcome.violations > 0 ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Pre-scan for flags that exit immediately.
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  // Pre-scan for flags that exit immediately. Subcommands handle --help
+  // themselves (each prints its own FlagSet::Help()).
+  const bool has_subcommand = cmd == "stats" || cmd == "campaign" || cmd == "replay";
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+    if (!has_subcommand &&
+        (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0)) {
       Usage();
       return 0;
     }
@@ -242,8 +336,11 @@ int main(int argc, char** argv) {
       return 0;
     }
   }
-  if (argc > 1 && std::strcmp(argv[1], "campaign") == 0) {
+  if (cmd == "campaign") {
     return RunCampaignCommand(argc, argv);
+  }
+  if (cmd == "replay") {
+    return RunReplayCommand(argc, argv);
   }
 
   std::string sched = "cfs";
@@ -279,6 +376,10 @@ int main(int argc, char** argv) {
       .String("trace-json", &trace_path, "write a Chrome/Perfetto trace")
       .String("trace", &trace_path, "alias for --trace-json")
       .String("trace-text", &trace_text_path, "write a plain-text event log");
+  if (stats_mode && WantsHelp(argc, argv)) {
+    std::printf("usage: schedbattle_cli stats [options]\n%s", flags.Help().c_str());
+    return 0;
+  }
   std::string error;
   if (!flags.Parse(argc, argv, first_flag, &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());

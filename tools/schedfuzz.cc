@@ -1,0 +1,196 @@
+// schedfuzz: randomized differential fuzzing of CFS and ULE under the
+// online invariant monitors (src/check).
+//
+// Generates --runs random terminating workload specs (GenerateFuzzSpec) and
+// executes every spec under the selected scheduler(s) with the full
+// MonitorSuite armed, in parallel through a CampaignRunner. Three oracles
+// judge each spec:
+//
+//   1. invariants:   no monitor records a violation,
+//   2. liveness:     every app finishes before the horizon and the machine
+//                    reaps every thread it forked (forks == exits) — fuzz
+//                    workloads are structurally terminating, so a stuck
+//                    thread implicates the scheduler,
+//   3. differential: with --sched=both, CFS and ULE must fork the same
+//                    number of threads for the same spec (workload structure
+//                    is seed-determined, never schedule-determined).
+//
+// Every failure is delta-debugged (ShrinkFuzzSpec) to a minimal reproducer
+// and written to --out as JSON that `schedbattle_cli replay --spec=<file>`
+// re-executes deterministically. Exit status: 0 clean, 1 failures found,
+// 2 usage error.
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/check/fuzz.h"
+#include "src/core/campaign.h"
+#include "src/core/flags.h"
+
+namespace schedbattle {
+namespace {
+
+struct Failure {
+  FuzzSpec spec;
+  std::string kind;    // "violation", "liveness", "differential"
+  std::string detail;  // monitor name / outcome summary
+};
+
+// Writes `spec` as a replayable reproducer; returns the path (empty on I/O
+// failure, which is reported but not fatal — the summary still lists it).
+std::string WriteReproducer(const std::string& dir, const FuzzSpec& spec) {
+  const std::string path = dir + "/" + spec.Label() + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "schedfuzz: cannot write %s\n", path.c_str());
+    return "";
+  }
+  const std::string json = spec.ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return path;
+}
+
+int FuzzMain(int argc, char** argv) {
+  std::string sched = "both";
+  int runs = 200;
+  int jobs = 0;
+  double scale = 1.0;
+  uint64_t seed = 1;
+  std::string out_dir = "fuzz-out";
+  int max_shrink = 400;
+  bool no_shrink = false;
+
+  FlagSet flags;
+  flags.String("sched", &sched, "scheduler under test: cfs, ule or both")
+      .Int("runs", &runs, "number of random specs to generate")
+      .Int("jobs", &jobs, "campaign worker threads (0 = hardware concurrency)")
+      .Double("scale", &scale, "loop-count scale factor (CI smoke uses 0.1)")
+      .Uint64("seed", &seed, "root RNG seed for spec generation")
+      .String("out", &out_dir, "directory for reproducer JSON files")
+      .Int("max-shrink", &max_shrink, "oracle budget per shrink")
+      .Bool("no-shrink", &no_shrink, "emit failing specs unshrunk");
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [options]\n%s", argv[0], flags.Help().c_str());
+      return 0;
+    }
+  }
+  std::string error;
+  if (!flags.Parse(argc, argv, 1, &error)) {
+    std::fprintf(stderr, "%s\n%s", error.c_str(), flags.Help().c_str());
+    return 2;
+  }
+  std::vector<SchedKind> kinds;
+  if (sched == "cfs") {
+    kinds = {SchedKind::kCfs};
+  } else if (sched == "ule") {
+    kinds = {SchedKind::kUle};
+  } else if (sched == "both") {
+    kinds = {SchedKind::kCfs, SchedKind::kUle};
+  } else {
+    std::fprintf(stderr, "--sched must be cfs, ule or both (got '%s')\n", sched.c_str());
+    return 2;
+  }
+  if (runs < 1 || scale <= 0.0 || max_shrink < 1) {
+    std::fprintf(stderr, "--runs, --scale and --max-shrink must be positive\n");
+    return 2;
+  }
+
+  // One base spec per run; every scheduler under test gets its own copy so
+  // the differential oracle compares identical workloads.
+  Rng root(seed);
+  std::vector<FuzzSpec> base;
+  base.reserve(static_cast<size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    Rng stream = root.Split();
+    base.push_back(GenerateFuzzSpec(&stream, kinds.front(), scale));
+  }
+  std::vector<FuzzSpec> fuzz_specs;
+  std::vector<ExperimentSpec> exp_specs;
+  for (const FuzzSpec& b : base) {
+    for (SchedKind kind : kinds) {
+      FuzzSpec s = b;
+      s.sched = kind;
+      fuzz_specs.push_back(s);
+      exp_specs.push_back(s.ToExperimentSpec());
+    }
+  }
+
+  std::printf("schedfuzz: %d specs x %zu scheduler(s), scale %.2f, seed %" PRIu64 "\n",
+              runs, kinds.size(), scale, seed);
+  const CampaignRunner runner(jobs);
+  const std::vector<RunResult> results = runner.Run(exp_specs);
+
+  std::vector<Failure> failures;
+  const size_t per_spec = kinds.size();
+  for (int i = 0; i < runs; ++i) {
+    std::vector<FuzzOutcome> outcomes;
+    for (size_t k = 0; k < per_spec; ++k) {
+      const size_t idx = static_cast<size_t>(i) * per_spec + k;
+      const FuzzOutcome out = OutcomeFromResult(results[idx]);
+      const FuzzSpec& s = fuzz_specs[idx];
+      if (out.violations > 0) {
+        std::fprintf(stderr, "FAIL %s: %" PRIu64 " violation(s), first monitor %s\n%s",
+                     s.Label().c_str(), out.violations, out.monitor.c_str(),
+                     out.report.c_str());
+        failures.push_back({s, "violation", out.monitor});
+      } else if (!out.all_finished || out.forks != out.exits) {
+        std::fprintf(stderr,
+                     "FAIL %s: liveness (all_finished=%d forks=%" PRIu64 " exits=%" PRIu64 ")\n",
+                     s.Label().c_str(), out.all_finished ? 1 : 0, out.forks, out.exits);
+        failures.push_back({s, "liveness", "stuck thread or unfinished app"});
+      }
+      outcomes.push_back(out);
+    }
+    if (per_spec == 2 && outcomes[0].forks != outcomes[1].forks) {
+      const size_t idx = static_cast<size_t>(i) * per_spec;
+      std::fprintf(stderr, "FAIL %s: differential forks cfs=%" PRIu64 " ule=%" PRIu64 "\n",
+                   fuzz_specs[idx].Label().c_str(), outcomes[0].forks, outcomes[1].forks);
+      failures.push_back({fuzz_specs[idx], "differential", "fork count diverged"});
+    }
+  }
+
+  if (failures.empty()) {
+    std::printf("schedfuzz: all %zu runs clean\n", results.size());
+    return 0;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  for (const Failure& f : failures) {
+    FuzzSpec minimal = f.spec;
+    if (!no_shrink && f.kind == "violation") {
+      const ShrinkResult shrunk = ShrinkFuzzSpec(f.spec, MonitorFiresOracle(f.detail), max_shrink);
+      minimal = shrunk.minimal;
+      std::fprintf(stderr, "shrunk %s: %d -> %d threads (%d oracle calls)\n",
+                   f.spec.Label().c_str(), f.spec.TotalThreads(), minimal.TotalThreads(),
+                   shrunk.attempts);
+    } else if (!no_shrink && f.kind == "liveness") {
+      const ShrinkResult shrunk = ShrinkFuzzSpec(
+          f.spec,
+          [](const FuzzSpec& s) {
+            const FuzzOutcome out = RunFuzzSpec(s);
+            return !out.all_finished || out.forks != out.exits;
+          },
+          max_shrink);
+      minimal = shrunk.minimal;
+    }
+    const std::string path = WriteReproducer(out_dir, minimal);
+    std::fprintf(stderr, "reproducer (%s, %s): %s\n", f.kind.c_str(), f.detail.c_str(),
+                 path.empty() ? "<unwritable>" : path.c_str());
+  }
+  std::printf("schedfuzz: %zu failure(s) across %zu runs; reproducers in %s\n", failures.size(),
+              results.size(), out_dir.c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace schedbattle
+
+int main(int argc, char** argv) { return schedbattle::FuzzMain(argc, argv); }
