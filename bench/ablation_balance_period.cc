@@ -63,5 +63,10 @@ int main(int argc, char** argv) {
                         (times[3] < 0 || times[2] < times[3]);
   std::printf("shape check: convergence time scales with the balancing period: %s\n",
               monotone ? "REPRODUCED" : "NOT reproduced");
+  BenchJson json("ablation_balance_period", args);
+  for (size_t i = 0; i < times.size(); ++i) {
+    json.Metric(std::string("balance_secs_") + sweeps[i].label, times[i]);
+  }
+  json.Check("monotone", monotone).MaybeWrite();
   return monotone ? 0 : 1;
 }

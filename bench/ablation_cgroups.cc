@@ -107,5 +107,11 @@ int main(int argc, char** argv) {
               groups_give_half ? "REPRODUCED" : "NOT reproduced");
   std::printf("shape check: per-thread fairness gives fibo ~1/81: %s\n",
               threads_give_sliver ? "REPRODUCED" : "NOT reproduced");
+  BenchJson("ablation_cgroups", args)
+      .Metric("fibo_share_with_groups", with_groups)
+      .Metric("fibo_share_without_groups", without_groups)
+      .Check("groups_give_half", groups_give_half)
+      .Check("threads_give_sliver", threads_give_sliver)
+      .MaybeWrite();
   return (groups_give_half && threads_give_sliver) ? 0 : 1;
 }

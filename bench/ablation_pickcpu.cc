@@ -90,5 +90,13 @@ int main(int argc, char** argv) {
               overhead_gone ? "REPRODUCED" : "NOT reproduced");
   std::printf("shape check: the ULE-vs-CFS gap closes (paper: 'no difference'): %s\n",
               gap_closes ? "REPRODUCED" : "NOT reproduced");
+  BenchJson("ablation_pickcpu", args)
+      .Metric("gap_full_pct", gap_full)
+      .Metric("gap_prev_pct", gap_prev)
+      .Metric("ule_sched_pct", ule.sched_pct)
+      .Metric("ule_prev_sched_pct", ule_prev.sched_pct)
+      .Check("overhead_gone", overhead_gone)
+      .Check("gap_closes", gap_closes)
+      .MaybeWrite();
   return (overhead_gone && gap_closes) ? 0 : 1;
 }

@@ -80,5 +80,13 @@ int main(int argc, char** argv) {
       ule_preempt.wakeup_preemptions > 100 * (ule.wakeup_preemptions + 1);
   std::printf("shape check: apache's ULE advantage comes from the lack of preemption: %s\n",
               advantage_from_no_preemption ? "REPRODUCED" : "NOT reproduced");
+  BenchJson("ablation_preemption", args)
+      .Metric("stock_gain_pct", stock_gain)
+      .Metric("preempt_gain_pct", preempt_gain)
+      .Metric("ule_wakeup_preemptions", static_cast<double>(ule.wakeup_preemptions))
+      .Metric("ule_preempt_wakeup_preemptions",
+              static_cast<double>(ule_preempt.wakeup_preemptions))
+      .Check("advantage_from_no_preemption", advantage_from_no_preemption)
+      .MaybeWrite();
   return advantage_from_no_preemption ? 0 : 1;
 }

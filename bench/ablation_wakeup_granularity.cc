@@ -81,5 +81,13 @@ int main(int argc, char** argv) {
               throughput_rises ? "REPRODUCED" : "NOT reproduced");
   std::printf("shape check: at large granularity CFS approaches ULE on this workload: %s\n",
               converges_to_ule ? "REPRODUCED" : "NOT reproduced");
+  BenchJson("ablation_wakeup_granularity", args)
+      .Metric("cfs_min_granularity_rps", results.front().rps)
+      .Metric("cfs_max_granularity_rps", results.back().rps)
+      .Metric("ule_rps", ule_rps)
+      .Check("monotone_preempt", monotone_preempt)
+      .Check("throughput_rises", throughput_rises)
+      .Check("converges_to_ule", converges_to_ule)
+      .MaybeWrite();
   return (monotone_preempt && throughput_rises && converges_to_ule) ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 //   --runs=<n>    seeds per configuration; results report mean ± stddev
 //   --jobs=<n>    campaign worker threads (0 = hardware concurrency)
 //   --csv=<path>  also write machine-readable series/rows to a CSV file
+//   --json=<path> also write headline metrics + shape checks as JSON
+//                 ("-" = stdout); what tools/bench_baseline and CI consume
 //
 // Parsing is strict (src/core/flags.h): "--scale=abc" is an error, not 0.0.
 #ifndef BENCH_BENCH_UTIL_H_
@@ -15,6 +17,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/core/flags.h"
 
@@ -26,6 +30,7 @@ struct BenchArgs {
   int runs = 1;
   int jobs = 0;  // 0 = hardware concurrency
   std::string csv_path;
+  std::string json_path;  // "-" = stdout
 };
 
 // Flag table shared with schedbattle_cli's experiment subcommands; extra
@@ -36,9 +41,85 @@ inline FlagSet BenchFlagSet(BenchArgs* args) {
       .Uint64("seed", &args->seed, "base RNG seed")
       .Int("runs", &args->runs, "seeds per configuration (mean ± stddev)")
       .Int("jobs", &args->jobs, "worker threads (0 = hardware concurrency)")
-      .String("csv", &args->csv_path, "also write results to this CSV file");
+      .String("csv", &args->csv_path, "also write results to this CSV file")
+      .String("json", &args->json_path, "also write metrics as JSON ('-' = stdout)");
   return flags;
 }
+
+// Collects a bench binary's headline numbers and pass/fail shape checks into
+// a flat JSON document:
+//   {"bench": "...", "scale": ..., "seed": ..., "runs": ...,
+//    "metrics": {...}, "checks": {...}}
+// Values are doubles; checks are booleans. Insertion order is preserved, so
+// documents diff cleanly between runs.
+class BenchJson {
+ public:
+  BenchJson(std::string name, const BenchArgs& args) : name_(std::move(name)), args_(args) {}
+
+  BenchJson& Metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+    return *this;
+  }
+
+  BenchJson& Check(const std::string& key, bool ok) {
+    checks_.emplace_back(key, ok);
+    return *this;
+  }
+
+  std::string Render() const {
+    std::string out = "{\n";
+    out += "  \"bench\": \"" + name_ + "\",\n";
+    out += "  \"scale\": " + Num(args_.scale) + ",\n";
+    out += "  \"seed\": " + std::to_string(args_.seed) + ",\n";
+    out += "  \"runs\": " + std::to_string(args_.runs) + ",\n";
+    out += "  \"metrics\": {";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "    \"" + metrics_[i].first + "\": " + Num(metrics_[i].second);
+    }
+    out += metrics_.empty() ? "},\n" : "\n  },\n";
+    out += "  \"checks\": {";
+    for (size_t i = 0; i < checks_.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "    \"" + checks_[i].first + "\": " + (checks_[i].second ? "true" : "false");
+    }
+    out += checks_.empty() ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+  }
+
+  // Writes to --json if given. Returns false (with a message) on I/O failure.
+  bool MaybeWrite() const {
+    if (args_.json_path.empty()) {
+      return true;
+    }
+    const std::string doc = Render();
+    if (args_.json_path == "-") {
+      std::fwrite(doc.data(), 1, doc.size(), stdout);
+      return true;
+    }
+    std::FILE* f = std::fopen(args_.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args_.json_path.c_str());
+      return false;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string Num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+
+  std::string name_;
+  BenchArgs args_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, bool>> checks_;
+};
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv, double default_scale = 1.0) {
   BenchArgs args;

@@ -58,5 +58,10 @@ int main(int argc, char** argv) {
   const bool similar = sum / n > -8 && sum / n < 12 && mg_diff > -5;
   std::printf("shape check: conclusions carry over to the desktop machine: %s\n",
               similar ? "REPRODUCED" : "NOT reproduced");
+  BenchJson("desktop_machine_suite", args)
+      .Metric("avg_diff_pct", sum / n)
+      .Metric("mg_diff_pct", mg_diff)
+      .Check("similar", similar)
+      .MaybeWrite();
   return similar ? 0 : 1;
 }

@@ -69,5 +69,13 @@ int main(int argc, char** argv) {
               SeriesToCsv({&cfs.fibo_runtime_series, &cfs.sysbench_runtime_series,
                            &ule.fibo_runtime_series, &ule.sysbench_runtime_series}));
   }
+  BenchJson("fig1_cumulative_runtime", args)
+      .Metric("cfs_fibo_rate", cfs_rate)
+      .Metric("ule_fibo_rate", ule_rate)
+      .Metric("cfs_sysbench_finish_s", ToSeconds(cfs.sysbench_finish))
+      .Metric("ule_sysbench_finish_s", ToSeconds(ule.sysbench_finish))
+      .Check("cfs_shares_core", cfs_shares)
+      .Check("ule_starves_fibo", ule_starves)
+      .MaybeWrite();
   return cfs_shares && ule_starves ? 0 : 1;
 }

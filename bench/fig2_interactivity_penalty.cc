@@ -55,5 +55,11 @@ int main(int argc, char** argv) {
     WriteFile(args.csv_path,
               SeriesToCsv({&ule.fibo_penalty_series, &ule.sysbench_penalty_series}));
   }
+  BenchJson("fig2_interactivity_penalty", args)
+      .Metric("fibo_penalty_mid", fibo_pen)
+      .Metric("sysbench_penalty_mid", sys_pen)
+      .Metric("fibo_penalty_final", fibo_final)
+      .Check("penalty_shape", ok)
+      .MaybeWrite();
   return ok ? 0 : 1;
 }

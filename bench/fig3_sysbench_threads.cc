@@ -79,5 +79,12 @@ int main(int argc, char** argv) {
               SeriesToCsv({&r.master_runtime, &r.interactive_runtime, &r.background_runtime,
                            &r.interactive_penalty, &r.background_penalty}));
   }
+  BenchJson("fig3_sysbench_threads", args)
+      .Metric("interactive_count", r.interactive_count)
+      .Metric("background_count", r.background_count)
+      .Metric("starved_count", r.starved_count)
+      .Check("two_bands", two_bands)
+      .Check("penalties_split", penalties_split)
+      .MaybeWrite();
   return two_bands && penalties_split ? 0 : 1;
 }

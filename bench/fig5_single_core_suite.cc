@@ -89,5 +89,16 @@ int main(int argc, char** argv) {
               apache_wins ? "REPRODUCED" : "NOT reproduced");
   std::printf("shape check: ab preempted under CFS, never under ULE: %s\n",
               preempt_gap ? "REPRODUCED" : "NOT reproduced");
+  BenchJson("fig5_single_core_suite", args)
+      .Metric("avg_diff_pct", sum_diff / n)
+      .Metric("scimark_heavy_diff_pct", scimark_heavy)
+      .Metric("apache_diff_pct", apache_diff)
+      .Metric("apache_cfs_preemptions", static_cast<double>(apache_cfs_preempt))
+      .Metric("apache_ule_preemptions", static_cast<double>(apache_ule_preempt))
+      .Check("avg_small", avg_small)
+      .Check("scimark_loses", scimark_loses)
+      .Check("apache_wins", apache_wins)
+      .Check("preempt_gap", preempt_gap)
+      .MaybeWrite();
   return (avg_small && scimark_loses && apache_wins && preempt_gap) ? 0 : 1;
 }

@@ -84,5 +84,15 @@ int main(int argc, char** argv) {
     WriteFile(args.csv_path, "## ULE\n" + ule.heatmap->ToCsv() + "## CFS\n" +
                                  cfs.heatmap->ToCsv());
   }
+  BenchJson("fig6_load_balance_512", args)
+      .Metric("ule_balance_secs", ule_balance_secs)
+      .Metric("cfs_max_per_core_after_0.4s", cfs_max_after)
+      .Metric("ule_migrations", static_cast<double>(ule.migrations))
+      .Metric("cfs_migrations", static_cast<double>(cfs.migrations))
+      .Check("ule_steal_one", ule_steal_one)
+      .Check("ule_slow", ule_slow)
+      .Check("cfs_fast", cfs_fast)
+      .Check("cfs_imperfect", cfs_imperfect)
+      .MaybeWrite();
   return (ule_steal_one && ule_slow && cfs_fast && cfs_imperfect) ? 0 : 1;
 }

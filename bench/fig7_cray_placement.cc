@@ -54,5 +54,12 @@ int main(int argc, char** argv) {
     WriteFile(args.csv_path,
               "## ULE\n" + ule.heatmap->ToCsv() + "## CFS\n" + cfs.heatmap->ToCsv());
   }
+  BenchJson("fig7_cray_placement", args)
+      .Metric("ule_all_runnable_s", ule_wake)
+      .Metric("cfs_all_runnable_s", cfs_wake)
+      .Metric("finish_ratio_ule_over_cfs", finish_ratio)
+      .Check("ule_slow_start", ule_slow_start)
+      .Check("similar_finish", similar_finish)
+      .MaybeWrite();
   return (ule_slow_start && similar_finish) ? 0 : 1;
 }

@@ -124,5 +124,16 @@ int main(int argc, char** argv) {
               sysbench_loses ? "REPRODUCED" : "NOT reproduced");
   std::printf("shape check: ULE's scheduler time highest on sysbench, far above CFS's: %s\n",
               ule_overhead_high ? "REPRODUCED" : "NOT reproduced");
+  BenchJson("fig8_multicore_suite", args)
+      .Metric("avg_diff_pct", sum_diff / n)
+      .Metric("mg_diff_pct", mg_diff)
+      .Metric("sysbench_diff_pct", sysbench_diff)
+      .Metric("sysbench_ule_sched_pct", sysbench_ule_overhead)
+      .Metric("max_cfs_sched_pct", max_cfs_overhead)
+      .Check("avg_small", avg_small)
+      .Check("mg_wins", mg_wins)
+      .Check("sysbench_loses", sysbench_loses)
+      .Check("ule_overhead_high", ule_overhead_high)
+      .MaybeWrite();
   return (avg_small && mg_wins && sysbench_loses && ule_overhead_high) ? 0 : 1;
 }

@@ -98,5 +98,17 @@ int main(int argc, char** argv) {
   std::printf("shape check: batch+batch pair behaves alike on both: %s\n",
               batch_similar ? "REPRODUCED" : "NOT reproduced");
   // The sysbench direction is documented as a known gap and does not gate.
+  BenchJson("fig9_multi_app", args)
+      .Metric("ferret_cfs_impact_pct", ferret_cfs_impact)
+      .Metric("ferret_ule_impact_pct", ferret_ule_impact)
+      .Metric("blackscholes_cfs_impact_pct", black_cfs_impact)
+      .Metric("blackscholes_ule_impact_pct", black_ule_impact)
+      .Metric("sysbench_cfs_pct", sysb_cfs)
+      .Metric("sysbench_ule_pct", sysb_ule)
+      .Check("ule_shields", ule_shields)
+      .Check("black_starves", black_starves)
+      .Check("sysb_worse_on_ule", sysb_worse_on_ule)
+      .Check("batch_similar", batch_similar)
+      .MaybeWrite();
   return (ule_shields && black_starves && batch_similar) ? 0 : 1;
 }

@@ -1,6 +1,11 @@
 // Micro-benchmarks (google-benchmark) for the scheduler substrates: the CFS
 // red-black timeline, PELT updates, ULE's bitmap runqueue and interactivity
 // scoring, and full enqueue/pick/put cycles through both schedulers.
+//
+// Structured output: google-benchmark's own --benchmark_format=json (or
+// --benchmark_out=<path> --benchmark_out_format=json) is this binary's
+// machine-readable path; the persisted simulator-wide baseline lives in
+// BENCH_schedsim.json, maintained by tools/bench_baseline.
 #include <benchmark/benchmark.h>
 
 #include <memory>

@@ -6,13 +6,15 @@
 // apples-to-apples.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/cfs/cfs_sched.h"
 #include "src/core/report.h"
 #include "src/ule/ule_sched.h"
 
 using namespace schedbattle;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("%s", BannerLine("Table 1: Linux scheduler API and FreeBSD equivalents").c_str());
   TextTable table({"Linux", "FreeBSD equivalent", "schedbattle hook", "Usage"});
   table.AddRow({"enqueue_task", "sched_add / sched_wakeup", "Scheduler::EnqueueTask",
@@ -47,5 +49,10 @@ int main() {
   }
   std::printf("\nshape check: both schedulers implement the full Table 1 surface: "
               "REPRODUCED (compile-time)\n");
+  BenchJson("table1_api_mapping", args)
+      .Metric("cfs_tick_ms", ToMilliseconds(scheds[0]->TickPeriod()))
+      .Metric("ule_tick_ms", ToMilliseconds(scheds[1]->TickPeriod()))
+      .Check("api_surface_complete", true)
+      .MaybeWrite();
   return 0;
 }

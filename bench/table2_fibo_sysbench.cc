@@ -45,5 +45,14 @@ int main(int argc, char** argv) {
   std::printf("shape check: ULE starves fibo while sysbench runs, roughly doubling "
               "sysbench throughput: %s\n",
               ule_starves_fibo ? "REPRODUCED" : "NOT reproduced");
+  BenchJson("table2_fibo_sysbench", args)
+      .Metric("cfs_fibo_runtime_s", c.cfs.fibo_runtime_s.mean)
+      .Metric("ule_fibo_runtime_s", c.ule.fibo_runtime_s.mean)
+      .Metric("cfs_tps", c.cfs.tps.mean)
+      .Metric("ule_tps", c.ule.tps.mean)
+      .Metric("cfs_latency_ms", c.cfs.latency_ms.mean)
+      .Metric("ule_latency_ms", c.ule.latency_ms.mean)
+      .Check("ule_starves_fibo", ule_starves_fibo)
+      .MaybeWrite();
   return ule_starves_fibo ? 0 : 1;
 }

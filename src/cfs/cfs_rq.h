@@ -49,6 +49,12 @@ struct CfsTunables {
   SimDuration wake_scan_cost_per_core = Nanoseconds(80);
   SimDuration balance_cost_per_core = Nanoseconds(150);
 
+  // Use the machine's idle-core bitmask for wake placement instead of
+  // per-core scans. Pure implementation accelerator: decisions and modeled
+  // scan costs are identical either way (the determinism tests assert it);
+  // off switches back to the literal scan loops for differential checking.
+  bool placement_fast_path = true;
+
   SimDuration tick = Milliseconds(1);  // HZ=1000
 };
 

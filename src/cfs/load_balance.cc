@@ -6,6 +6,7 @@
 // also immediately call the periodic load balancer when they become idle.
 // On large NUMA machines, CFS ... balances the load in a hierarchical way."
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "src/cfs/cfs_sched.h"
@@ -65,13 +66,17 @@ void CfsScheduler::PeriodicBalance(CoreId core) {
     // Overloaded with idle cores elsewhere: kick the first idle core; it
     // runs an idle-balance pass on its own domains.
     if (RunnableCountOf(core) > 1) {
-      for (CoreId c = 0; c < machine_->num_cores(); ++c) {
-        if (machine_->core(c).idle()) {
-          OnCoreIdle(c);
-          if (!machine_->core(c).idle()) {
-            break;  // the pull dispatched work there
+      if (tun_.placement_fast_path) {
+        const uint64_t idle = machine_->idle_mask();
+        if (idle != 0) {
+          OnCoreIdle(static_cast<CoreId>(std::countr_zero(idle)));
+        }
+      } else {
+        for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+          if (machine_->core(c).idle()) {
+            OnCoreIdle(c);
+            break;
           }
-          break;
         }
       }
     }

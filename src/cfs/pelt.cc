@@ -47,14 +47,17 @@ bool PeltAvg::Update(SimTime now, uint64_t weight, bool runnable, bool running) 
     return false;
   }
   uint64_t delta = static_cast<uint64_t>(now - last_update_time);
-  last_update_time = now;
 
-  // Work in microseconds, as the kernel does (1 PELT unit = 1us).
+  // Work in microseconds, as the kernel does (1 PELT unit = 1us). Advance
+  // last_update_time only by the whole microseconds consumed, so the sub-us
+  // remainder (delta & 1023 ns) carries over to the next update instead of
+  // being dropped — under frequent small updates the truncated slivers would
+  // otherwise add up to a permanently understated load/util signal.
   delta >>= 10;
   if (delta == 0) {
-    last_update_time = now - (static_cast<SimDuration>(delta) << 10);
     return false;
   }
+  last_update_time += static_cast<SimDuration>(delta) << 10;
 
   uint64_t periods = (delta + period_contrib) / 1024;
   const uint32_t d3 = static_cast<uint32_t>((delta + period_contrib) % 1024);

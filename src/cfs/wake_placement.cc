@@ -8,6 +8,7 @@
 // the wakeup. Then, among all suitable cores, CFS chooses the core with the
 // lowest load."
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 
@@ -55,11 +56,28 @@ CoreId CfsScheduler::SelectIdleSibling(SimThread* t, CoreId target, PickReason* 
   const auto& llc = topo.GroupOf(target, TopoLevel::kLlc);
   int scanned = 0;
   CoreId found = kInvalidCore;
-  for (CoreId c : llc) {
-    ++scanned;
-    if (c != target && t->CanRunOn(c) && machine_->core(c).idle()) {
-      found = c;
-      break;
+  if (tun_.placement_fast_path) {
+    // O(1) equivalent of the scan below: the first set bit of
+    // idle & in-LLC & allowed & not-target is exactly the core the ascending
+    // scan would stop at. `scanned` still counts every LLC core the scan
+    // would have visited (all cores up to and including `found`, or the
+    // whole LLC on a miss) so the modeled overhead charge is unchanged.
+    const uint64_t cand = machine_->idle_mask() & topo.GroupMask(target, TopoLevel::kLlc) &
+                          t->affinity().bits() & ~(uint64_t{1} << target);
+    if (cand != 0) {
+      found = static_cast<CoreId>(std::countr_zero(cand));
+      scanned = std::popcount(topo.GroupMask(target, TopoLevel::kLlc) &
+                              ((uint64_t{2} << found) - 1));
+    } else {
+      scanned = static_cast<int>(llc.size());
+    }
+  } else {
+    for (CoreId c : llc) {
+      ++scanned;
+      if (c != target && t->CanRunOn(c) && machine_->core(c).idle()) {
+        found = c;
+        break;
+      }
     }
   }
   machine_->counters().pickcpu_scans += scanned;
@@ -87,12 +105,27 @@ CoreId CfsScheduler::FindIdlestCore(SimThread* t, CoreId origin) {
   // elsewhere — one source of the paper's CFS placement mistakes.
   const CpuTopology& topo = machine_->topology();
   int scanned = 0;
+  // Per-call memo: the descent below reads some cores' loads up to three
+  // times (two hierarchy levels plus the final cohort), and CoreLoad is
+  // idempotent within one call — the first read refreshes every attached
+  // thread's PELT average to `now`, so a repeat read returns the same value.
+  // `scanned` still counts each examination for the modeled cost.
+  double load_memo[64];
+  uint64_t load_memo_valid = 0;
+  auto core_load = [&](CoreId c) {
+    const uint64_t bit = uint64_t{1} << c;
+    if ((load_memo_valid & bit) == 0) {
+      load_memo[c] = CoreLoad(c);
+      load_memo_valid |= bit;
+    }
+    return load_memo[c];
+  };
   auto group_avg = [&](const std::vector<CoreId>& cores) {
     double sum = 0;
     int allowed = 0;
     for (CoreId c : cores) {
       ++scanned;
-      sum += CoreLoad(c);
+      sum += core_load(c);
       if (t->CanRunOn(c)) {
         ++allowed;
       }
@@ -131,7 +164,7 @@ CoreId CfsScheduler::FindIdlestCore(SimThread* t, CoreId origin) {
     if (!t->CanRunOn(c)) {
       continue;
     }
-    const double load = CoreLoad(c);
+    const double load = core_load(c);
     const int nr = RunnableCountOf(c);
     if (load < best_load - 1e-9 || (std::abs(load - best_load) <= 1e-9 && nr < best_nr)) {
       best = c;
@@ -141,10 +174,20 @@ CoreId CfsScheduler::FindIdlestCore(SimThread* t, CoreId origin) {
   }
   if (best == kInvalidCore) {
     // Affinity excludes the chosen cohort entirely: fall back to any allowed.
-    for (CoreId c = 0; c < machine_->num_cores(); ++c) {
-      if (t->CanRunOn(c) && (best == kInvalidCore || CoreLoad(c) < best_load)) {
-        best = c;
-        best_load = CoreLoad(c);
+    if (tun_.placement_fast_path) {
+      for (uint64_t m = t->affinity().bits(); m != 0; m &= m - 1) {
+        const CoreId c = static_cast<CoreId>(std::countr_zero(m));
+        if (best == kInvalidCore || core_load(c) < best_load) {
+          best = c;
+          best_load = core_load(c);
+        }
+      }
+    } else {
+      for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+        if (t->CanRunOn(c) && (best == kInvalidCore || core_load(c) < best_load)) {
+          best = c;
+          best_load = core_load(c);
+        }
       }
     }
   }
@@ -160,6 +203,10 @@ CoreId CfsScheduler::FindIdlestCore(SimThread* t, CoreId origin) {
 CoreId CfsScheduler::SelectTaskRqImpl(SimThread* thread, CoreId origin, EnqueueKind kind,
                                       PickReason* reason) {
   if (thread->affinity().Count() == 1) {
+    if (tun_.placement_fast_path) {
+      *reason = PickReason::kPinned;
+      return static_cast<CoreId>(std::countr_zero(thread->affinity().bits()));
+    }
     for (CoreId c = 0; c < machine_->num_cores(); ++c) {
       if (thread->CanRunOn(c)) {
         *reason = PickReason::kPinned;

@@ -19,6 +19,7 @@ Machine::Machine(SimEngine* engine, CpuTopology topology, std::unique_ptr<Schedu
   for (CoreId c = 0; c < topology_.num_cores(); ++c) {
     cores_.push_back(std::make_unique<Core>(c));
     cores_.back()->idle_since = 0;
+    idle_mask_ |= uint64_t{1} << c;
   }
   scheduler_->Attach(this);
 }
@@ -244,6 +245,7 @@ SimThread* Machine::StopCurrent(CoreId core) {
   t->set_last_ran_cpu(core);
   t->last_descheduled = t_now;
   c->set_current(nullptr);
+  idle_mask_ |= uint64_t{1} << core;
   return t;
 }
 
@@ -314,6 +316,7 @@ void Machine::Dispatch(CoreId core, SimThread* thread, bool switched) {
   }
   thread->work_started = now() + cost;
   c->set_current(thread);
+  idle_mask_ &= ~(uint64_t{1} << core);
   if (!observers_.empty()) {
     observers_.OnDispatch(now(), core, *thread);
   }

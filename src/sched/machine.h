@@ -90,6 +90,14 @@ class Machine {
   Core& core(CoreId id) { return *cores_[id]; }
   const Core& core(CoreId id) const { return *cores_[id]; }
 
+  // Bitmask of idle cores (bit c set iff core c runs no thread), maintained
+  // incrementally on every dispatch/deschedule transition. Schedulers AND
+  // this with topology group masks and affinity masks so wake placement and
+  // steal-candidate selection are popcount/ctz instead of per-core scans.
+  // Purely an implementation accelerator: the *modeled* scan costs charged to
+  // cores are computed as if the scan had happened.
+  uint64_t idle_mask() const { return idle_mask_; }
+
   // Starts per-core ticks and the scheduler's periodic machinery. Call once,
   // before (or at) the first thread start.
   void Boot();
@@ -212,6 +220,7 @@ class Machine {
   int alive_threads_ = 0;
   MachineCounters counters_;
   ObserverBus observers_;
+  uint64_t idle_mask_ = 0;
   bool booted_ = false;
 };
 

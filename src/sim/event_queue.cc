@@ -1,45 +1,143 @@
 #include "src/sim/event_queue.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace schedbattle {
 
+// Pooled event node: owns the callback from scheduling until the event fires
+// (or is cancelled), plus the cancellation state. Lives in pool chunks owned
+// by the queue; `gen` is bumped every time the node is handed out for a new
+// event, so handles from an earlier life of the node fail the generation
+// check.
+struct EventHandle::Node {
+  enum State : uint8_t { kPending, kFired, kCancelled };
+  SmallFn cb;
+  uint64_t gen = 0;
+  Node* next_free = nullptr;
+  uint8_t state = kFired;
+};
+
+namespace {
+constexpr size_t kNodesPerChunk = 256;
+constexpr size_t kHeapArity = 4;
+}  // namespace
+
+EventQueue::EventQueue() = default;
+
+EventQueue::~EventQueue() = default;
+
+EventQueue::Node* EventQueue::AllocNode(EventCallback cb) {
+  if (free_nodes_ == nullptr) {
+    node_chunks_.push_back(std::make_unique<Node[]>(kNodesPerChunk));
+    Node* chunk = node_chunks_.back().get();
+    for (size_t i = 0; i < kNodesPerChunk; ++i) {
+      chunk[i].next_free = free_nodes_;
+      free_nodes_ = &chunk[i];
+    }
+  }
+  Node* node = free_nodes_;
+  free_nodes_ = node->next_free;
+  ++node->gen;
+  node->state = Node::kPending;
+  node->cb = std::move(cb);
+  return node;
+}
+
+void EventQueue::Recycle(Node* node, uint8_t state) {
+  node->state = state;
+  node->next_free = free_nodes_;
+  free_nodes_ = node;
+}
+
+bool EventQueue::Stale(const Entry& e) const {
+  return e.node->gen != e.node_gen || e.node->state != Node::kPending;
+}
+
+void EventQueue::Push(Entry entry) {
+  heap_.push_back(entry);
+  size_t i = heap_.size() - 1;
+  while (i > 0) {
+    size_t parent = (i - 1) / kHeapArity;
+    if (!Before(entry, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+EventQueue::Entry EventQueue::PopRoot() {
+  assert(!heap_.empty());
+  const Entry out = heap_.front();
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift the hole at the root down, then drop `last` into it.
+    size_t i = 0;
+    const size_t n = heap_.size();
+    for (;;) {
+      size_t first_child = i * kHeapArity + 1;
+      if (first_child >= n) {
+        break;
+      }
+      size_t best = first_child;
+      size_t end = first_child + kHeapArity < n ? first_child + kHeapArity : n;
+      for (size_t c = first_child + 1; c < end; ++c) {
+        if (Before(heap_[c], heap_[best])) {
+          best = c;
+        }
+      }
+      if (!Before(heap_[best], last)) {
+        break;
+      }
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return out;
+}
+
 EventHandle EventQueue::Schedule(SimTime when, EventCallback cb) {
-  auto node = std::make_shared<EventHandle::Node>();
-  heap_.push_back(Entry{when, next_seq_++, std::move(cb), node});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  Node* node = AllocNode(std::move(cb));
+  Push(Entry{when, next_seq_++, node, node->gen});
   ++live_count_;
-  return EventHandle(std::move(node));
+  return EventHandle(node, node->gen);
 }
 
 void EventQueue::Post(SimTime when, EventCallback cb) {
-  heap_.push_back(Entry{when, next_seq_++, std::move(cb), nullptr});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  // Same path as Schedule minus the handle: a posted event's node simply has
+  // no handle referencing it, so it can never be cancelled.
+  Node* node = AllocNode(std::move(cb));
+  Push(Entry{when, next_seq_++, node, node->gen});
   ++live_count_;
 }
 
 bool EventQueue::Cancel(EventHandle& handle) {
-  if (!handle.node_ || handle.node_->cancelled) {
-    handle.Reset();
+  Node* node = handle.node_;
+  if (node == nullptr) {
     return false;
   }
-  // If the node is only referenced by the handle, the event already fired
-  // (PopNext drops the queue's reference when delivering).
-  const bool pending = handle.node_.use_count() > 1;
-  if (pending) {
-    handle.node_->cancelled = true;
-    assert(live_count_ > 0);
-    --live_count_;
-  }
+  const bool pending =
+      node->gen == handle.gen_ && node->state == Node::kPending;
   handle.Reset();
-  return pending;
+  if (!pending) {
+    return false;
+  }
+  assert(live_count_ > 0);
+  --live_count_;
+  // Destroy the callback eagerly (it may own resources) and recycle. The
+  // heap entry stays behind as a tombstone; that is safe because Stale()
+  // then sees kCancelled (or a newer generation after reuse).
+  node->cb = SmallFn();
+  Recycle(node, Node::kCancelled);
+  return true;
 }
 
 void EventQueue::SkimCancelled() {
-  while (!heap_.empty() && heap_.front().node != nullptr && heap_.front().node->cancelled) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+  while (!heap_.empty() && Stale(heap_.front())) {
+    PopRoot();
   }
 }
 
@@ -51,16 +149,22 @@ SimTime EventQueue::NextTime() {
 EventCallback EventQueue::PopNext(SimTime* when) {
   SkimCancelled();
   assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry entry = std::move(heap_.back());
-  heap_.pop_back();
-  *when = entry.when;
+  const Entry entry = PopRoot();
+  EventCallback cb = std::move(entry.node->cb);
+  Recycle(entry.node, Node::kFired);
   assert(live_count_ > 0);
   --live_count_;
-  return std::move(entry.cb);
+  *when = entry.when;
+  return cb;
 }
 
 void EventQueue::Clear() {
+  for (const Entry& e : heap_) {
+    if (!Stale(e)) {
+      e.node->cb = SmallFn();
+      Recycle(e.node, Node::kCancelled);
+    }
+  }
   heap_.clear();
   live_count_ = 0;
 }

@@ -6,21 +6,126 @@
 // time; cancelled entries are lazily discarded when they reach the top of the
 // heap (the usual "tombstone" technique, which keeps Cancel cheap even with
 // hundreds of thousands of pending timers).
+//
+// Hot-path design (this queue is the simulator's innermost loop):
+//   - Callbacks are stored in a move-only small-buffer type (SmallFn) with 48
+//     bytes of inline storage, so the machine's dispatch/tick/completion
+//     lambdas never touch the heap (std::function spills anything over 16
+//     bytes).
+//   - Every event's callback + cancellation state lives in a pooled node
+//     recycled through a freelist; handles carry a generation number instead
+//     of a shared_ptr, so handles are trivially copyable, scheduling
+//     allocates nothing in steady state, and a copied handle can never
+//     misreport a fired event as pending.
+//   - The heap holds only 32-byte POD keys {when, seq, node, gen}; sift
+//     moves never touch the callback buffers, which stay put in their nodes
+//     until popped.
+//   - The heap is 4-ary: ~half the depth of a binary heap, and the four
+//     children share a cache line worth of (when, seq) keys.
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/sim/time.h"
 
 namespace schedbattle {
 
-using EventCallback = std::function<void()>;
+// Move-only void() callable with inline storage for captures up to
+// kInlineSize bytes; larger callables fall back to one heap allocation.
+class SmallFn {
+ public:
+  static constexpr size_t kInlineSize = 48;
+
+  SmallFn() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    if constexpr (sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { MoveFrom(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { Destroy(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs *dst from *src and destroys *src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+      [](void* dst, void* src) {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**reinterpret_cast<D**>(p))(); },
+      [](void* dst, void* src) { *reinterpret_cast<D**>(dst) = *reinterpret_cast<D**>(src); },
+      [](void* p) { delete *reinterpret_cast<D**>(p); },
+  };
+
+  void MoveFrom(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+  void Destroy() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+};
+
+using EventCallback = SmallFn;
 
 // Opaque handle to a scheduled event. Default-constructed handles are null.
+// Trivially copyable: the (node, generation) pair identifies one scheduling,
+// so copies all agree on whether the event is still pending — the queue
+// tracks fired/cancelled state explicitly instead of inferring it from
+// reference counts.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -28,20 +133,20 @@ class EventHandle {
   bool valid() const { return node_ != nullptr; }
 
   // Forgets the referenced event without cancelling it.
-  void Reset() { node_.reset(); }
+  void Reset() { node_ = nullptr; }
 
  private:
   friend class EventQueue;
-  struct Node {
-    bool cancelled = false;
-  };
-  explicit EventHandle(std::shared_ptr<Node> node) : node_(std::move(node)) {}
-  std::shared_ptr<Node> node_;
+  struct Node;
+  EventHandle(Node* node, uint64_t gen) : node_(node), gen_(gen) {}
+  Node* node_ = nullptr;
+  uint64_t gen_ = 0;
 };
 
 class EventQueue {
  public:
-  EventQueue() = default;
+  EventQueue();
+  ~EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
@@ -49,15 +154,15 @@ class EventQueue {
   // past relative to the last popped event.
   EventHandle Schedule(SimTime when, EventCallback cb);
 
-  // Like Schedule, but returns no handle and allocates no cancellation
-  // control block — the fast path for fire-and-forget events (reschedule
-  // requests, sleep wakeups, one-shot experiment triggers), which dominate
-  // the event stream. Posted events cannot be cancelled.
+  // Like Schedule, but returns no handle and takes no cancellation node —
+  // the fast path for fire-and-forget events (reschedule requests, sleep
+  // wakeups, one-shot experiment triggers), which dominate the event stream.
+  // Posted events cannot be cancelled.
   void Post(SimTime when, EventCallback cb);
 
   // Cancels a previously scheduled event. Safe to call with a null handle or
-  // after the event has fired (both are no-ops). Returns true if the event
-  // was pending and is now cancelled.
+  // after the event has fired (both are no-ops, including through handle
+  // copies). Returns true if the event was pending and is now cancelled.
   bool Cancel(EventHandle& handle);
 
   bool empty() const { return live_count_ == 0; }
@@ -74,27 +179,44 @@ class EventQueue {
   void Clear();
 
  private:
+  using Node = EventHandle::Node;
+
+  // Heap key. Trivially copyable and 32 bytes, so sift moves are cheap; the
+  // callback lives in *node and is only touched once, when the event pops.
   struct Entry {
     SimTime when;
     uint64_t seq;
-    EventCallback cb;
-    std::shared_ptr<EventHandle::Node> node;  // null for Post()ed events
+    Node* node;
+    uint64_t node_gen;  // generation the node had when this entry was made
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
+
+  static bool Before(const Entry& a, const Entry& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
     }
-  };
+    return a.seq < b.seq;
+  }
+
+  // A tombstone: its node was cancelled (or already recycled for a newer
+  // event, which implies this scheduling is long finished).
+  bool Stale(const Entry& e) const;
+
+  Node* AllocNode(EventCallback cb);
+  void Recycle(Node* node, uint8_t state);
+
+  void Push(Entry entry);
+  Entry PopRoot();
 
   // Discards cancelled entries at the top of the heap.
   void SkimCancelled();
 
-  std::vector<Entry> heap_;
+  std::vector<Entry> heap_;  // 4-ary min-heap on (when, seq)
   uint64_t next_seq_ = 0;
   size_t live_count_ = 0;
+
+  // Event-node pool: chunk-allocated, recycled through a freelist.
+  std::vector<std::unique_ptr<Node[]>> node_chunks_;
+  Node* free_nodes_ = nullptr;
 };
 
 }  // namespace schedbattle

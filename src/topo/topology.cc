@@ -50,6 +50,23 @@ CpuTopology::CpuTopology(const TopologyConfig& config)
   build_level(TopoLevel::kLlc, llc_of_);
   build_level(TopoLevel::kNode, node_of_);
   build_level(TopoLevel::kMachine, all);
+
+  group_mask_.resize(num_levels);
+  for (int level = 0; level < num_levels; ++level) {
+    group_mask_[level].assign(num_cores_, 0);
+    if (num_cores_ > 64) {
+      continue;  // masks unavailable; placement falls back to scans
+    }
+    for (const auto& group : groups_[level]) {
+      uint64_t mask = 0;
+      for (CoreId c : group) {
+        mask |= uint64_t{1} << c;
+      }
+      for (CoreId c : group) {
+        group_mask_[level][c] = mask;
+      }
+    }
+  }
 }
 
 CpuTopology CpuTopology::Opteron6172() {

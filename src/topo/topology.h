@@ -69,6 +69,14 @@ class CpuTopology {
   // All groups at a level (each group is a list of cores).
   const std::vector<std::vector<CoreId>>& GroupsAt(TopoLevel level) const;
 
+  // Bitmask of GroupOf(core, level) — bit c set iff core c is in the group.
+  // Precomputed; only available on machines with <= 64 cores (everything the
+  // paper models). Fast-path placement code combines these with the machine's
+  // idle/load masks so "first idle core in my LLC" is a ctz, not a scan.
+  uint64_t GroupMask(CoreId core, TopoLevel level) const {
+    return group_mask_[static_cast<int>(level)][core];
+  }
+
   // The innermost level strictly above kCore at which `a` and `b` share a
   // group (kSmt, kLlc, kNode or kMachine). a == b returns kCore.
   TopoLevel CommonLevel(CoreId a, CoreId b) const;
@@ -89,6 +97,9 @@ class CpuTopology {
   std::vector<std::vector<std::vector<CoreId>>> groups_;
   // group_index_[level][core] = index of the core's group at that level.
   std::vector<std::vector<int>> group_index_;
+  // group_mask_[level][core] = bitmask of the core's group (machines <= 64
+  // cores; zero otherwise).
+  std::vector<std::vector<uint64_t>> group_mask_;
 };
 
 }  // namespace schedbattle

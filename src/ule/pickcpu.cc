@@ -9,6 +9,7 @@
 // fails, ULE simply picks the core with the lowest number of running
 // threads." — and Section 6.3: "at worst, [it] may scan all cores three
 // times", the source of the 13%-of-cycles overhead on sysbench.
+#include <bit>
 #include <cassert>
 #include <limits>
 
@@ -31,7 +32,21 @@ bool UleScheduler::AffineAt(const SimThread* t, CoreId core, TopoLevel level) co
 }
 
 CoreId UleScheduler::LowestLoadWhereRunnable(const std::vector<CoreId>& cores,
-                                             const SimThread* t, int pri, int* scanned) const {
+                                             uint64_t group_mask, const SimThread* t, int pri,
+                                             int* scanned) const {
+  // O(1) shortcut: a zero-load allowed core always wins the scan below — its
+  // load is the global minimum, the first such core beats every earlier
+  // (load >= 1) core on the strict-< tie-break, and zero load implies
+  // lowpri == kPriIdle, which passes the priority filter for any thread.
+  // `*scanned` is still advanced by the full group so the modeled scan cost
+  // the caller charges is unchanged (the loop never breaks early).
+  if (tun_.placement_fast_path) {
+    const uint64_t zero = zero_load_mask_ & group_mask & t->affinity().bits();
+    if (zero != 0) {
+      *scanned += static_cast<int>(cores.size());
+      return static_cast<CoreId>(std::countr_zero(zero));
+    }
+  }
   CoreId best = kInvalidCore;
   int best_load = std::numeric_limits<int>::max();
   for (CoreId c : cores) {
@@ -51,8 +66,17 @@ CoreId UleScheduler::LowestLoadWhereRunnable(const std::vector<CoreId>& cores,
   return best;
 }
 
-CoreId UleScheduler::LowestLoad(const std::vector<CoreId>& cores, const SimThread* t,
-                                int* scanned) const {
+CoreId UleScheduler::LowestLoad(const std::vector<CoreId>& cores, uint64_t group_mask,
+                                const SimThread* t, int* scanned) const {
+  // Same zero-load shortcut as LowestLoadWhereRunnable, minus the priority
+  // filter (which a zero-load core passes anyway).
+  if (tun_.placement_fast_path) {
+    const uint64_t zero = zero_load_mask_ & group_mask & t->affinity().bits();
+    if (zero != 0) {
+      *scanned += static_cast<int>(cores.size());
+      return static_cast<CoreId>(std::countr_zero(zero));
+    }
+  }
   CoreId best = kInvalidCore;
   int best_load = std::numeric_limits<int>::max();
   for (CoreId c : cores) {
@@ -98,7 +122,7 @@ CoreId UleScheduler::PickCpu(SimThread* t, CoreId origin, PickReason* reason) {
     }
     int scanned = 0;
     const auto& all = topo.GroupOf(0, TopoLevel::kMachine);
-    const CoreId c = LowestLoad(all, t, &scanned);
+    const CoreId c = LowestLoad(all, topo.GroupMask(0, TopoLevel::kMachine), t, &scanned);
     machine_->counters().pickcpu_scans += scanned;
     assert(c != kInvalidCore);
     *reason = PickReason::kLowestLoad;
@@ -128,7 +152,7 @@ CoreId UleScheduler::PickCpu(SimThread* t, CoreId origin, PickReason* reason) {
       }
     }
     const auto& group = topo.GroupOf(prev, level);
-    choice = LowestLoadWhereRunnable(group, t, pri, &scanned);
+    choice = LowestLoadWhereRunnable(group, topo.GroupMask(prev, level), t, pri, &scanned);
     cost += ScanCost(topo, prev, group, tun_.pickcpu_scan_cost_local,
                      tun_.pickcpu_scan_cost_remote);
     if (choice != kInvalidCore) {
@@ -139,7 +163,8 @@ CoreId UleScheduler::PickCpu(SimThread* t, CoreId origin, PickReason* reason) {
   // 3. Same search over all cores.
   if (choice == kInvalidCore) {
     const auto& all = topo.GroupOf(0, TopoLevel::kMachine);
-    choice = LowestLoadWhereRunnable(all, t, pri, &scanned);
+    choice = LowestLoadWhereRunnable(all, topo.GroupMask(0, TopoLevel::kMachine), t, pri,
+                                     &scanned);
     cost +=
         ScanCost(topo, prev, all, tun_.pickcpu_scan_cost_local, tun_.pickcpu_scan_cost_remote);
     if (choice != kInvalidCore) {
@@ -150,7 +175,7 @@ CoreId UleScheduler::PickCpu(SimThread* t, CoreId origin, PickReason* reason) {
   // 4. Fall back to the least loaded core.
   if (choice == kInvalidCore) {
     const auto& all = topo.GroupOf(0, TopoLevel::kMachine);
-    choice = LowestLoad(all, t, &scanned);
+    choice = LowestLoad(all, topo.GroupMask(0, TopoLevel::kMachine), t, &scanned);
     cost +=
         ScanCost(topo, prev, all, tun_.pickcpu_scan_cost_local, tun_.pickcpu_scan_cost_remote);
     *reason = PickReason::kLowestLoad;
@@ -166,6 +191,10 @@ CoreId UleScheduler::PickCpu(SimThread* t, CoreId origin, PickReason* reason) {
 CoreId UleScheduler::SelectTaskRqImpl(SimThread* thread, CoreId origin, EnqueueKind kind,
                                       PickReason* reason) {
   if (thread->affinity().Count() == 1) {
+    if (tun_.placement_fast_path) {
+      *reason = PickReason::kPinned;
+      return static_cast<CoreId>(std::countr_zero(thread->affinity().bits()));
+    }
     for (CoreId c = 0; c < machine_->num_cores(); ++c) {
       if (thread->CanRunOn(c)) {
         *reason = PickReason::kPinned;
@@ -177,8 +206,9 @@ CoreId UleScheduler::SelectTaskRqImpl(SimThread* thread, CoreId origin, EnqueueK
     // Paper, Section 6.2: "ULE always forks threads on the core with the
     // lowest number of threads".
     int scanned = 0;
-    const auto& all = machine_->topology().GroupOf(0, TopoLevel::kMachine);
-    const CoreId c = LowestLoad(all, thread, &scanned);
+    const CpuTopology& topo = machine_->topology();
+    const auto& all = topo.GroupOf(0, TopoLevel::kMachine);
+    const CoreId c = LowestLoad(all, topo.GroupMask(0, TopoLevel::kMachine), thread, &scanned);
     machine_->counters().pickcpu_scans += scanned;
     if (origin != kInvalidCore) {
       machine_->ChargeOverhead(origin,

@@ -82,10 +82,17 @@ void UleScheduler::PeriodicBalance() {
     if (donor == kInvalidCore || receiver == kInvalidCore) {
       break;
     }
-    // Moving one thread only helps if the gap is at least 2; the running
-    // thread cannot be migrated, so the donor needs something queued.
-    if (max_load - min_load < 2 || tdqs_[donor].transferable() == 0) {
+    // Moving one thread only helps if the gap is at least 2.
+    if (max_load - min_load < 2) {
       break;
+    }
+    // The running thread cannot be migrated, so the donor needs something
+    // queued. If it has nothing transferable, retire just this donor and keep
+    // iterating — the paper's balancer runs "until no donor or receiver is
+    // found", so a pinned/running-only hot core must not end the whole pass.
+    if (tdqs_[donor].transferable() == 0) {
+      used[donor] = true;
+      continue;
     }
     const bool moved = StealOne(donor, receiver) != nullptr;
     if (machine_->has_observers()) {
@@ -101,7 +108,10 @@ void UleScheduler::PeriodicBalance() {
       machine_->EmitBalancePass(rec);
     }
     if (!moved) {
-      break;
+      // Everything queued on this donor is pinned away from the receiver.
+      // Retire the donor only; the receiver may still accept from another.
+      used[donor] = true;
+      continue;
     }
     used[donor] = true;
     used[receiver] = true;
@@ -117,6 +127,17 @@ bool UleScheduler::TryIdleSteal(CoreId core) {
                           TopoLevel::kMachine}) {
     const auto& group = topo.GroupOf(core, level);
     if (group.size() <= 1) {
+      continue;
+    }
+    if (tun_.placement_fast_path &&
+        (queued_mask_ & topo.GroupMask(core, level) & ~(uint64_t{1} << core)) == 0) {
+      // No core in this group has anything stealable (transferable() == 0
+      // everywhere), so the scan below cannot find a candidate. Skip it but
+      // charge the modeled cost of the scan ULE would have performed — idle
+      // cores poll this path every stathz tick, making it the hottest
+      // balancing query in the simulator.
+      machine_->ChargeOverhead(core, group.size() * tun_.balance_cost_per_core,
+                               OverheadKind::kLoadBalance);
       continue;
     }
     CoreId busiest = kInvalidCore;

@@ -11,6 +11,9 @@ UleScheduler::~UleScheduler() = default;
 void UleScheduler::Attach(Machine* machine) {
   machine_ = machine;
   tdqs_.resize(machine->num_cores());
+  for (CoreId c = 0; c < machine->num_cores(); ++c) {
+    SyncLoadMask(c);  // all cores start with load 0, nothing queued
+  }
 }
 
 void UleScheduler::Start() {
@@ -46,6 +49,7 @@ void UleScheduler::ReniceTask(SimThread* thread) {
     RecomputePriority(thread);
     TdqRunqAdd(&tdq, thread, /*requeue_head=*/false);
     TdqUpdateLowpri(&tdq, RunningPriOf(data.tdq_cpu));
+    SyncLoadMask(data.tdq_cpu);
   } else {
     RecomputePriority(thread);
   }
@@ -57,6 +61,7 @@ void UleScheduler::TaskExit(SimThread* thread) {
   tdq.load -= 1;
   assert(tdq.load >= 0);
   TdqUpdateLowpri(&tdq, kPriIdle);  // the exiting thread was running
+  SyncLoadMask(thread->cpu());
   // "When a thread dies, its runtime in the last 5 seconds is returned to
   // its parent. This penalizes parents that spawn batch children while being
   // interactive."
@@ -100,6 +105,7 @@ void UleScheduler::EnqueueTask(CoreId core, SimThread* thread, EnqueueKind kind)
   TdqRunqAdd(&tdq, thread, /*requeue_head=*/false);
   tdq.load += 1;
   data.tdq_cpu = core;
+  SyncLoadMask(core);
 }
 
 void UleScheduler::DequeueTask(CoreId core, SimThread* thread) {
@@ -108,6 +114,7 @@ void UleScheduler::DequeueTask(CoreId core, SimThread* thread) {
   tdq.load -= 1;
   assert(tdq.load >= 0);
   TdqUpdateLowpri(&tdq, RunningPriOf(core));
+  SyncLoadMask(core);
 }
 
 SimThread* UleScheduler::PickNextTask(CoreId core) {
@@ -123,6 +130,7 @@ SimThread* UleScheduler::PickNextTask(CoreId core) {
   }
   data.last_ran = machine_->now();
   TdqUpdateLowpri(&tdq, data.pri);
+  SyncLoadMask(core);
   return t;
 }
 
@@ -136,6 +144,7 @@ void UleScheduler::PutPrevTask(CoreId core, SimThread* thread) {
   // load unchanged: the thread was already counted while running.
   TdqUpdateLowpri(&tdq, kPriIdle);
   data.tdq_cpu = core;
+  SyncLoadMask(core);
 }
 
 void UleScheduler::OnTaskBlock(CoreId core, SimThread* thread, bool /*voluntary*/) {
@@ -145,6 +154,7 @@ void UleScheduler::OnTaskBlock(CoreId core, SimThread* thread, bool /*voluntary*
   tdq.load -= 1;
   assert(tdq.load >= 0);
   TdqUpdateLowpri(&tdq, kPriIdle);
+  SyncLoadMask(core);
   (void)data;
 }
 

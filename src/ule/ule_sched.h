@@ -57,6 +57,13 @@ struct UleTunables {
   SimDuration pickcpu_scan_cost_local = Nanoseconds(90);
   SimDuration pickcpu_scan_cost_remote = Nanoseconds(850);
   SimDuration balance_cost_per_core = Nanoseconds(150);
+
+  // Use incrementally maintained zero-load/queued bitmasks to answer
+  // sched_pickcpu and idle-steal candidate queries in O(1) where possible.
+  // Pure implementation accelerator: decisions and modeled scan costs are
+  // identical either way (the determinism tests assert it); off switches
+  // back to the literal scan loops for differential checking.
+  bool placement_fast_path = true;
 };
 
 class UleScheduler : public Scheduler {
@@ -103,10 +110,13 @@ class UleScheduler : public Scheduler {
                           PickReason* reason);
   bool AffineAt(const SimThread* t, CoreId core, TopoLevel level) const;
   // Lowest-load allowed core in `cores` whose lowpri is worse (numerically
-  // higher) than `pri`; kInvalidCore if none. Adds to *scanned.
-  CoreId LowestLoadWhereRunnable(const std::vector<CoreId>& cores, const SimThread* t, int pri,
-                                 int* scanned) const;
-  CoreId LowestLoad(const std::vector<CoreId>& cores, const SimThread* t, int* scanned) const;
+  // higher) than `pri`; kInvalidCore if none. Adds to *scanned. `group_mask`
+  // is the bitmask of `cores` (CpuTopology::GroupMask), used by the O(1)
+  // zero-load shortcut: an idle-load core is always the scan's answer.
+  CoreId LowestLoadWhereRunnable(const std::vector<CoreId>& cores, uint64_t group_mask,
+                                 const SimThread* t, int pri, int* scanned) const;
+  CoreId LowestLoad(const std::vector<CoreId>& cores, uint64_t group_mask, const SimThread* t,
+                    int* scanned) const;
 
   // ---- ule_balance.cc ----
   void PeriodicBalance();
@@ -115,9 +125,22 @@ class UleScheduler : public Scheduler {
   SimThread* StealOne(CoreId src, CoreId dst);
   bool TryIdleSteal(CoreId core);
 
+  // Re-derives core's bits in the zero-load/queued masks after any tdq load
+  // or runqueue mutation.
+  void SyncLoadMask(CoreId core) {
+    const uint64_t bit = uint64_t{1} << core;
+    const Tdq& tdq = tdqs_[core];
+    zero_load_mask_ = tdq.load == 0 ? (zero_load_mask_ | bit) : (zero_load_mask_ & ~bit);
+    queued_mask_ = tdq.queued_count() > 0 ? (queued_mask_ | bit) : (queued_mask_ & ~bit);
+  }
+
   Machine* machine_ = nullptr;
   UleTunables tun_;
   std::vector<Tdq> tdqs_;
+  // Incremental aggregates over tdqs_: bit c set iff tdqs_[c].load == 0 /
+  // tdqs_[c] has queued (stealable) threads. See UleTunables::placement_fast_path.
+  uint64_t zero_load_mask_ = 0;
+  uint64_t queued_mask_ = 0;
   EventHandle balance_event_;
 };
 

@@ -1,0 +1,190 @@
+// Regression tests for the hot-path accounting fixes:
+//   - PELT must not drop sub-microsecond remainders under frequent updates.
+//   - A copied EventHandle cancelled after the event fired must be a no-op
+//     (the old shared-state design corrupted the queue's live count).
+//   - ULE's periodic balancer must skip a donor whose queued threads are all
+//     pinned away, not abort the whole pass.
+//   - The O(1) placement fast paths must be observationally identical to the
+//     scans they replace (same decisions, same modeled costs).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/cfs/pelt.h"
+#include "src/cfs/weights.h"
+#include "src/core/spec.h"
+#include "src/sim/event_queue.h"
+#include "tests/test_util.h"
+
+namespace schedbattle {
+namespace {
+
+TEST(PeltRemainderTest, SubMicrosecondUpdatesCarryOver) {
+  // 4000 updates of 256ns each cover 1,024,000ns — less than one PELT period,
+  // so no decay is involved and the stepwise walk must accrue exactly the
+  // same sums as a single bulk update over the same interval. The old code
+  // advanced last_update_time to `now` even when the delta truncated to zero
+  // microseconds, so this workload accrued no load at all.
+  PeltAvg stepwise;
+  PeltAvg bulk;
+  const SimDuration step = 256;
+  const int n = 4000;
+  for (int i = 1; i <= n; ++i) {
+    stepwise.Update(i * step, kNice0Load, /*runnable=*/true, /*running=*/true);
+  }
+  bulk.Update(n * step, kNice0Load, /*runnable=*/true, /*running=*/true);
+  EXPECT_GT(bulk.load_sum, 0u);
+  EXPECT_EQ(stepwise.load_sum, bulk.load_sum);
+  EXPECT_EQ(stepwise.util_sum, bulk.util_sum);
+  EXPECT_EQ(stepwise.period_contrib, bulk.period_contrib);
+  EXPECT_EQ(stepwise.last_update_time, bulk.last_update_time);
+}
+
+TEST(PeltRemainderTest, RemainderSurvivesZeroDeltaUpdate) {
+  // An update too small to consume a whole microsecond must leave
+  // last_update_time untouched so the sliver is counted next time.
+  PeltAvg a;
+  a.Update(500, kNice0Load, true, true);  // 500ns: nothing consumed
+  EXPECT_EQ(a.last_update_time, 0);
+  a.Update(2048, kNice0Load, true, true);  // 2048ns: 2us consumed exactly
+  EXPECT_EQ(a.last_update_time, 2048);
+  EXPECT_EQ(a.load_sum, 2u);
+}
+
+TEST(EventQueueRegressionTest, CancelOfCopiedHandleAfterFireIsNoop) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle h = q.Schedule(5, [&] { ++fired; });
+  EventHandle copy = h;
+  SimTime t = 0;
+  q.PopNext(&t)();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+  // The old design kept per-handle cancellation state, so cancelling through
+  // a copy after the fire "succeeded" and pushed live_count_ below zero.
+  EXPECT_FALSE(q.Cancel(copy));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  // The count must still be coherent: one new event means size() == 1.
+  q.Schedule(10, [&] { ++fired; });
+  EXPECT_EQ(q.size(), 1u);
+  q.PopNext(&t)();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueRegressionTest, CancelOfCopiedHandleAfterCancelIsNoop) {
+  EventQueue q;
+  EventHandle h = q.Schedule(5, [] {});
+  EventHandle copy = h;
+  EXPECT_TRUE(q.Cancel(h));
+  EXPECT_FALSE(q.Cancel(copy));  // double-count would underflow size()
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueRegressionTest, StaleHandleCannotCancelRecycledNode) {
+  // After an event fires its pool node is recycled for the next scheduling;
+  // a leftover handle to the old life must not cancel the new event.
+  EventQueue q;
+  SimTime t = 0;
+  EventHandle old = q.Schedule(1, [] {});
+  q.PopNext(&t)();
+  int fired = 0;
+  q.Schedule(2, [&] { ++fired; });  // LIFO freelist: reuses the node
+  EXPECT_FALSE(q.Cancel(old));
+  EXPECT_EQ(q.size(), 1u);
+  q.PopNext(&t)();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueRegressionTest, LargeCallableSurvivesHeapFallback) {
+  // Captures over SmallFn's inline buffer take the heap path; make sure it
+  // round-trips through schedule/pop intact.
+  EventQueue q;
+  std::vector<int> payload(64, 7);
+  int sum = 0;
+  q.Schedule(1, [payload, big = payload, &sum] {
+    for (int v : payload) {
+      sum += v;
+    }
+    for (int v : big) {
+      sum += v;
+    }
+  });
+  SimTime t = 0;
+  q.PopNext(&t)();
+  EXPECT_EQ(sum, 2 * 64 * 7);
+}
+
+TEST(UleBalanceRegressionTest, PinnedDonorDoesNotAbortBalancePass) {
+  // Core 0 carries the highest load but everything queued there is pinned to
+  // core 0, so StealOne(0, ...) always fails. The old balancer `break`ed out
+  // of the whole pass at that point and never relieved core 1, whose surplus
+  // threads are free to move. The fixed balancer retires core 0 as a donor
+  // and keeps going.
+  SimEngine engine;
+  UleTunables tun;
+  tun.balance_min = Milliseconds(100);
+  tun.balance_max = Milliseconds(100);  // deterministic period
+  tun.steal_enabled = false;            // isolate the periodic balancer
+  Machine machine(&engine, CpuTopology::Flat(4), std::make_unique<UleScheduler>(tun));
+  machine.Boot();
+  for (int i = 0; i < 3; ++i) {
+    machine.Spawn(Spinner("pinned" + std::to_string(i), i + 1, 0), nullptr);
+  }
+  std::vector<SimThread*> movable;
+  machine.Spawn(Spinner("anchor", 10, 1), nullptr);
+  for (int i = 0; i < 2; ++i) {
+    movable.push_back(machine.Spawn(Spinner("free" + std::to_string(i), 20 + i, 1), nullptr));
+  }
+  engine.At(Milliseconds(10), [&] {
+    CpuMask mask;
+    for (CoreId c = 1; c < 4; ++c) {
+      mask.Set(c);
+    }
+    for (SimThread* t : movable) {
+      machine.SetAffinity(t, mask);
+    }
+  });
+  // Loads at the first balance window: core0=3 (all pinned), core1=3 (two
+  // movable), cores 2-3 idle. Run past a couple of windows.
+  engine.RunUntil(Milliseconds(350));
+  EXPECT_GE(machine.counters().migrations, 1u)
+      << "balancer gave up at the pinned donor instead of skipping it";
+  const auto counts = CountsPerCore(machine, movable);
+  EXPECT_GE(counts[2] + counts[3], 1) << "core 1's surplus never moved";
+}
+
+// The fast placement paths (idle-core masks, zero-load masks, pinned-thread
+// popcount) are pure strength reductions: every decision, every scanned-core
+// count and every modeled overhead charge must match the replaced scans
+// exactly. Schedstats snapshots capture all of it, so byte-identity across
+// the toggle is the whole proof.
+TEST(FastPathEquivalenceTest, FastAndScanPathsAreByteIdentical) {
+  for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
+    ExperimentSpec fast = ExperimentSpec::Multicore(kind, 42);
+    fast.scale = 0.02;
+    fast.horizon = Seconds(30);
+    fast.collect_schedstats = true;
+    fast.Named("fastpath");
+    fast.Add(RegistryApp("apache"));
+    ExperimentSpec scan = fast;
+    scan.cfs.placement_fast_path = false;
+    scan.ule.placement_fast_path = false;
+
+    const RunResult a = ExecuteSpec(fast);
+    const RunResult b = ExecuteSpec(scan);
+    ASSERT_FALSE(a.schedstats_json.empty());
+    EXPECT_EQ(a.schedstats_json, b.schedstats_json)
+        << "fast path diverged from scan path for " << SchedName(kind);
+    EXPECT_EQ(a.finish_time, b.finish_time);
+    EXPECT_EQ(a.counters.context_switches, b.counters.context_switches);
+    EXPECT_EQ(a.counters.pickcpu_scans, b.counters.pickcpu_scans);
+    EXPECT_EQ(a.counters.migrations, b.counters.migrations);
+  }
+}
+
+}  // namespace
+}  // namespace schedbattle

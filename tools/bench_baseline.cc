@@ -1,0 +1,424 @@
+// bench_baseline: the machine-readable performance baseline for the
+// simulator's hot paths.
+//
+// Measures, for both schedulers:
+//   - events_per_sec  : simulated events per wall-second on the standard
+//                       micro_sched_ops throughput workload (64 mixed
+//                       sleep/compute threads on 8 flat cores)
+//   - allocs_per_event: heap allocations per simulated event, counted by the
+//                       interposing operator-new counter in this binary
+//   - ns_per_pick     : wall ns per SelectTaskRq placement decision on a
+//                       half-loaded 32-core Opteron (the paper's machine)
+//   - ns_per_balance  : wall ns per idle balance pass (OnCoreIdle) on a
+//                       fully loaded Opteron with nothing stealable
+// plus a scheduler-independent calibration rate (a fixed integer spin loop)
+// so results can be compared across machines as `events_per_calib`.
+//
+// Usage:
+//   bench_baseline --out=BENCH_schedsim.json            measure, write JSON
+//   bench_baseline --check --baseline=BENCH_schedsim.json
+//       re-measure and fail (exit 1) when the normalized events/sec of
+//       either scheduler regressed more than --tolerance (default 0.15)
+//       against the committed file, or allocs/event grew.
+//
+// The committed BENCH_schedsim.json keeps two sections: "before" (the scan-
+// based, allocating implementation this tool was first run against) and
+// "current" (refreshed whenever a perf PR lands). CI runs --check at smoke
+// scale; docs/PERFORMANCE.md describes how to refresh the file.
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/core/flags.h"
+#include "src/sched/machine.h"
+#include "src/sim/engine.h"
+#include "src/topo/topology.h"
+#include "src/ule/ule_sched.h"
+#include "src/workload/script.h"
+#include "tests/minijson.h"
+
+// ---- interposing allocation counter ----------------------------------------
+// Counts every operator-new in the process. Only deltas taken around the
+// measured region are reported, so setup allocations do not pollute the
+// number.
+
+static std::atomic<uint64_t> g_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace schedbattle {
+namespace {
+
+uint64_t AllocCount() { return g_allocs.load(std::memory_order_relaxed); }
+
+double WallSeconds(std::chrono::steady_clock::time_point a,
+                   std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::unique_ptr<Scheduler> MakeSched(const std::string& name) {
+  if (name == "cfs") {
+    return std::make_unique<CfsScheduler>();
+  }
+  return std::make_unique<UleScheduler>();
+}
+
+// Fixed integer spin loop; its rate captures the host machine's single-core
+// speed so events/sec can be normalized into a machine-portable ratio.
+double CalibrationRate() {
+  const uint64_t kIters = 50'000'000;
+  uint64_t x = 88172645463325252ULL;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < kIters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  volatile uint64_t sink = x;
+  (void)sink;
+  return static_cast<double>(kIters) / WallSeconds(t0, t1);
+}
+
+struct ThroughputResult {
+  double events_per_sec = 0;
+  double allocs_per_event = 0;
+};
+
+// The micro_sched_ops workload: 64 mixed sleep/compute threads on 8 flat
+// cores. Loops are effectively unbounded so the machine stays loaded for the
+// whole measured window.
+ThroughputResult MeasureThroughput(const std::string& sched, double scale) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(8), MakeSched(sched));
+  machine.Boot();
+  auto script = ScriptBuilder()
+                    .Loop(1'000'000)
+                    .ComputeFn([](ScriptEnv& env) {
+                      return static_cast<SimDuration>(env.rng.NextExponential(200000.0));
+                    })
+                    .SleepFn([](ScriptEnv& env) {
+                      return static_cast<SimDuration>(env.rng.NextExponential(300000.0));
+                    })
+                    .EndLoop()
+                    .Build();
+  for (int i = 0; i < 64; ++i) {
+    ThreadSpec spec;
+    spec.name = "w";
+    spec.body = MakeScriptBody(script, Rng(i + 1));
+    machine.Spawn(std::move(spec), nullptr);
+  }
+  // Warm up allocator pools and caches before the measured window.
+  engine.RunUntil(Milliseconds(200));
+  const uint64_t events_before = engine.events_executed();
+  const uint64_t allocs_before = AllocCount();
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.RunUntil(Milliseconds(200) + static_cast<SimDuration>(Seconds(5) * scale));
+  const auto t1 = std::chrono::steady_clock::now();
+  ThroughputResult r;
+  const double events = static_cast<double>(engine.events_executed() - events_before);
+  r.events_per_sec = events / WallSeconds(t0, t1);
+  r.allocs_per_event = static_cast<double>(AllocCount() - allocs_before) / events;
+  return r;
+}
+
+// Spawns a thread that computes for `work` and then blocks forever.
+SimThread* SpawnHog(Machine* machine, const CpuMask& affinity, SimDuration work) {
+  ThreadSpec spec;
+  spec.name = "hog";
+  spec.affinity = affinity;
+  spec.body = MakeScriptBody(ScriptBuilder().Compute(work).Sleep(Seconds(3600)).Build(), Rng(7));
+  return machine->Spawn(std::move(spec), nullptr);
+}
+
+// Wall ns per wakeup placement decision on a half-loaded Opteron: cores 0-7
+// (one full LLC) run pinned hogs, the rest of the machine is idle, and the
+// probe thread's previous core is busy, so every pick walks the placement
+// path (idle-sibling search under CFS, the affine-group scan under ULE).
+double MeasurePickNs(const std::string& sched, double scale) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Opteron6172(), MakeSched(sched));
+  machine.Boot();
+  for (CoreId c = 0; c < 8; ++c) {
+    SpawnHog(&machine, CpuMask::Single(c), Seconds(3600));
+  }
+  // The probe: runs briefly on core 0's LLC, then blocks. Restricting its
+  // initial affinity pins the placement; the wide mask afterwards restores
+  // the full search space for the measured picks.
+  ThreadSpec spec;
+  spec.name = "probe";
+  spec.affinity = CpuMask::Single(1);
+  spec.body = MakeScriptBody(ScriptBuilder().Compute(Microseconds(50)).Sleep(Seconds(3600)).Build(),
+                             Rng(9));
+  SimThread* probe = machine.Spawn(std::move(spec), nullptr);
+  engine.RunUntil(Milliseconds(20));  // probe has blocked; affinity window expired
+  machine.SetAffinity(probe, CpuMask::AllOf(machine.num_cores()));
+
+  const int iters = static_cast<int>(200'000 * scale) + 10'000;
+  // Origin core 9 is idle, so there is no waker and the pick is a pure
+  // placement query: state is only mutated through the modeled scan cost.
+  CoreId sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    sink ^= machine.scheduler().SelectTaskRq(probe, /*origin=*/9, EnqueueKind::kWakeup);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  volatile CoreId s = sink;
+  (void)s;
+  return WallSeconds(t0, t1) * 1e9 / iters;
+}
+
+// Wall ns per idle balance pass on a fully loaded Opteron where every other
+// core runs exactly one (unstealable) running thread: the pass scans its
+// domains, finds nothing transferable, and leaves the machine unchanged.
+double MeasureBalanceNs(const std::string& sched, double scale) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Opteron6172(), MakeSched(sched));
+  machine.Boot();
+  const int n = machine.num_cores();
+  for (CoreId c = 0; c < n - 1; ++c) {
+    SpawnHog(&machine, CpuMask::Single(c), Seconds(3600));
+  }
+  engine.RunUntil(Milliseconds(5));
+  const CoreId idle_core = n - 1;
+  const int iters = static_cast<int>(100'000 * scale) + 5'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    machine.scheduler().OnCoreIdle(idle_core);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return WallSeconds(t0, t1) * 1e9 / iters;
+}
+
+struct Metrics {
+  double calib_rate = 0;
+  double events_per_sec[2] = {0, 0};     // cfs, ule
+  double allocs_per_event[2] = {0, 0};
+  double ns_per_pick[2] = {0, 0};
+  double ns_per_balance[2] = {0, 0};
+
+  double events_per_calib(int i) const {
+    return calib_rate > 0 ? events_per_sec[i] / calib_rate : 0;
+  }
+};
+
+const char* const kScheds[2] = {"cfs", "ule"};
+
+// Runs every measurement `runs` times and keeps the best (throughput) /
+// smallest (latency) observation: the minimum-noise estimator for
+// quiet-machine microbenchmarks.
+Metrics MeasureAll(int runs, double scale) {
+  Metrics m;
+  m.calib_rate = CalibrationRate();
+  for (int i = 0; i < 2; ++i) {
+    for (int r = 0; r < runs; ++r) {
+      const ThroughputResult t = MeasureThroughput(kScheds[i], scale);
+      if (t.events_per_sec > m.events_per_sec[i]) {
+        m.events_per_sec[i] = t.events_per_sec;
+        m.allocs_per_event[i] = t.allocs_per_event;
+      }
+      const double pick = MeasurePickNs(kScheds[i], scale);
+      if (r == 0 || pick < m.ns_per_pick[i]) {
+        m.ns_per_pick[i] = pick;
+      }
+      const double bal = MeasureBalanceNs(kScheds[i], scale);
+      if (r == 0 || bal < m.ns_per_balance[i]) {
+        m.ns_per_balance[i] = bal;
+      }
+    }
+  }
+  return m;
+}
+
+std::string MetricsJson(const Metrics& m, int indent) {
+  const std::string pad(indent, ' ');
+  std::ostringstream os;
+  os.precision(6);
+  os << pad << "\"calibration_ops_per_sec\": " << m.calib_rate;
+  for (int i = 0; i < 2; ++i) {
+    os << ",\n" << pad << "\"events_per_sec_" << kScheds[i] << "\": " << m.events_per_sec[i];
+    os << ",\n"
+       << pad << "\"events_per_calib_" << kScheds[i] << "\": " << m.events_per_calib(i);
+    os << ",\n"
+       << pad << "\"allocs_per_event_" << kScheds[i] << "\": " << m.allocs_per_event[i];
+    os << ",\n" << pad << "\"ns_per_pick_" << kScheds[i] << "\": " << m.ns_per_pick[i];
+    os << ",\n" << pad << "\"ns_per_balance_" << kScheds[i] << "\": " << m.ns_per_balance[i];
+  }
+  return os.str();
+}
+
+void PrintMetrics(const Metrics& m) {
+  std::printf("  calibration: %.3g ops/sec\n", m.calib_rate);
+  for (int i = 0; i < 2; ++i) {
+    std::printf(
+        "  %s: %.3g events/sec (%.4f per calib-op), %.3f allocs/event, "
+        "%.1f ns/pick, %.1f ns/balance-pass\n",
+        kScheds[i], m.events_per_sec[i], m.events_per_calib(i), m.allocs_per_event[i],
+        m.ns_per_pick[i], m.ns_per_balance[i]);
+  }
+}
+
+int WriteBaseline(const std::string& path, const Metrics& m, const std::string& before_block) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n  \"schema\": 1,\n";
+  out << "  \"workload\": \"micro_sched_ops throughput sim + Opteron pick/balance probes\",\n";
+  if (!before_block.empty()) {
+    out << "  \"before\": {\n" << before_block << "\n  },\n";
+  }
+  out << "  \"current\": {\n" << MetricsJson(m, 4) << "\n  }\n}\n";
+  return 0;
+}
+
+int CheckAgainst(const std::string& path, const Metrics& fresh, double tolerance) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  minijson::Value root;
+  try {
+    root = minijson::Parser(buf.str()).Parse();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "malformed baseline %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  const minijson::Value& cur = root.at("current");
+  int failures = 0;
+  for (int i = 0; i < 2; ++i) {
+    const std::string sched = kScheds[i];
+    const double want_norm = cur.at("events_per_calib_" + sched).as_number();
+    const double got_norm = fresh.events_per_calib(i);
+    const double floor = want_norm * (1.0 - tolerance);
+    std::printf("%s events/calib-op: committed %.5f, measured %.5f (floor %.5f) %s\n",
+                sched.c_str(), want_norm, got_norm, floor, got_norm >= floor ? "ok" : "REGRESSED");
+    if (got_norm < floor) {
+      ++failures;
+    }
+    const double want_allocs = cur.at("allocs_per_event_" + sched).as_number();
+    const double got_allocs = fresh.allocs_per_event[i];
+    // Allocation counts are deterministic; allow slack for workload drift
+    // but catch a reintroduced per-event allocation (+1.0 would be caught).
+    const double ceiling = want_allocs * (1.0 + tolerance) + 0.2;
+    std::printf("%s allocs/event: committed %.3f, measured %.3f (ceiling %.3f) %s\n",
+                sched.c_str(), want_allocs, got_allocs, ceiling,
+                got_allocs <= ceiling ? "ok" : "REGRESSED");
+    if (got_allocs > ceiling) {
+      ++failures;
+    }
+  }
+  return failures > 0 ? 1 : 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path;
+  std::string baseline_path = "BENCH_schedsim.json";
+  std::string before_json;  // path to a previous measurement to embed as "before"
+  bool check = false;
+  int runs = 3;
+  double scale = 1.0;
+  double tolerance = 0.15;
+
+  FlagSet flags;
+  flags.String("out", &out_path, "write measured metrics to this JSON file")
+      .String("baseline", &baseline_path, "committed baseline for --check")
+      .String("embed-before", &before_json, "JSON file whose \"current\" becomes \"before\"")
+      .Bool("check", &check, "compare against --baseline instead of writing")
+      .Int("runs", &runs, "measurement repetitions (best-of)")
+      .Double("scale", &scale, "workload scale factor (CI smoke uses 0.2)")
+      .Double("tolerance", &tolerance, "allowed relative events/sec regression");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: %s [options]\n%s", argv[0], flags.Help().c_str());
+      return 0;
+    }
+  }
+  std::string error;
+  if (!flags.Parse(argc, argv, 1, &error)) {
+    std::fprintf(stderr, "%s\n%s", error.c_str(), flags.Help().c_str());
+    return 2;
+  }
+
+  std::printf("measuring (runs=%d scale=%.2f)...\n", runs, scale);
+  const Metrics m = MeasureAll(runs, scale);
+  PrintMetrics(m);
+
+  if (check) {
+    return CheckAgainst(baseline_path, m, tolerance);
+  }
+
+  std::string before_block;
+  if (!before_json.empty()) {
+    std::ifstream in(before_json);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", before_json.c_str());
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    try {
+      const minijson::Value prev = minijson::Parser(buf.str()).Parse();
+      const minijson::Value& cur = prev.at("current");
+      Metrics before;
+      before.calib_rate = cur.at("calibration_ops_per_sec").as_number();
+      for (int i = 0; i < 2; ++i) {
+        const std::string sched = kScheds[i];
+        before.events_per_sec[i] = cur.at("events_per_sec_" + sched).as_number();
+        before.allocs_per_event[i] = cur.at("allocs_per_event_" + sched).as_number();
+        before.ns_per_pick[i] = cur.at("ns_per_pick_" + sched).as_number();
+        before.ns_per_balance[i] = cur.at("ns_per_balance_" + sched).as_number();
+      }
+      before_block = MetricsJson(before, 4);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "malformed %s: %s\n", before_json.c_str(), e.what());
+      return 1;
+    }
+  }
+  if (!out_path.empty()) {
+    if (int rc = WriteBaseline(out_path, m, before_block); rc != 0) {
+      return rc;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace schedbattle
+
+int main(int argc, char** argv) { return schedbattle::Main(argc, argv); }
