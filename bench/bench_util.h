@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/core/flags.h"
+#include "src/sched/machine.h"
 
 namespace schedbattle {
 
@@ -31,6 +32,7 @@ struct BenchArgs {
   int jobs = 0;  // 0 = hardware concurrency
   std::string csv_path;
   std::string json_path;  // "-" = stdout
+  std::string tickless = "on";  // tick elision: "on" or "off"
 };
 
 // Flag table shared with schedbattle_cli's experiment subcommands; extra
@@ -42,7 +44,8 @@ inline FlagSet BenchFlagSet(BenchArgs* args) {
       .Int("runs", &args->runs, "seeds per configuration (mean ± stddev)")
       .Int("jobs", &args->jobs, "worker threads (0 = hardware concurrency)")
       .String("csv", &args->csv_path, "also write results to this CSV file")
-      .String("json", &args->json_path, "also write metrics as JSON ('-' = stdout)");
+      .String("json", &args->json_path, "also write metrics as JSON ('-' = stdout)")
+      .String("tickless", &args->tickless, "tick elision: on (default) or off");
   return flags;
 }
 
@@ -140,6 +143,11 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv, double default_scale = 1.
     std::fprintf(stderr, "--runs must be >= 1\n");
     std::exit(2);
   }
+  if (args.tickless != "on" && args.tickless != "off") {
+    std::fprintf(stderr, "--tickless must be on or off (got '%s')\n", args.tickless.c_str());
+    std::exit(2);
+  }
+  SetTicklessEnabled(args.tickless == "on");
   return args;
 }
 

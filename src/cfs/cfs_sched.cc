@@ -8,7 +8,17 @@
 namespace schedbattle {
 
 CfsScheduler::CfsScheduler(CfsTunables tunables) : tun_(tunables) {}
-CfsScheduler::~CfsScheduler() = default;
+
+CfsScheduler::~CfsScheduler() {
+  // The engine may outlive this scheduler (Machine members are destroyed
+  // before external objects); cancel the periodic-balance events, which
+  // capture `this`.
+  if (machine_ != nullptr) {
+    for (auto& cs : cores_) {
+      machine_->engine().Cancel(cs.balance_event);
+    }
+  }
+}
 
 void CfsScheduler::Attach(Machine* machine) {
   machine_ = machine;
@@ -293,6 +303,41 @@ void CfsScheduler::TaskTick(CoreId core, SimThread* current) {
   }
 }
 
+SimTime CfsScheduler::TickBoundary(CoreId core, const SimThread* current,
+                                   SimTime next_tick) const {
+  (void)core;
+  if (current == nullptr) {
+    // Idle CFS ticks do nothing at all (see TaskTick); wake placement and
+    // SetNeedResched restart activity, never the tick.
+    return kTickNever;
+  }
+  // A tick mutates only through CfsCheckPreemptTick. With `current` provably
+  // solo at every hierarchy level — curr chain, one on_rq entity, an empty
+  // timeline and load_weight equal to its weight — the check's only true
+  // branch is slice expiry (the lag branch needs a queued competitor), and
+  // the ideal slice is exactly sched_latency (weight / load_weight cancels,
+  // so concurrent group-weight updates cannot move it). delta_exec advances
+  // 1:1 with wall time while the thread runs, giving a closed-form expiry
+  // instant per level. Read-only: CfsCheckPreemptTick itself calls
+  // CfsUpdateCurr, so it must not be used here.
+  SimTime boundary = kTickNever;
+  for (const SchedEntity* se = &CfsOf(current).se; se != nullptr; se = se->parent) {
+    const CfsRq* rq = se->cfs_rq;
+    if (rq == nullptr || rq->curr != se || !se->on_rq || rq->nr_running != 1 ||
+        rq->load_weight != se->weight || TimelineFirst(rq) != nullptr) {
+      return next_tick;  // not provably solo: keep every tick armed
+    }
+    const int64_t ran =
+        static_cast<int64_t>(se->sum_exec_runtime - se->prev_sum_exec_runtime);
+    const SimTime b = se->exec_start + (tun_.sched_latency - ran);
+    boundary = std::min(boundary, b);
+  }
+  // A tick exactly at the expiry instant sees delta_exec == ideal, which is
+  // not strictly greater: still side-effect free, so the machine arms the
+  // first grid point strictly after the boundary.
+  return std::max(boundary, next_tick);
+}
+
 void CfsScheduler::CheckPreemptWakeup(CoreId core, SimThread* woken) {
   SimThread* curr = machine_->CurrentOn(core);
   if (curr == nullptr || curr == woken) {
@@ -343,6 +388,10 @@ double CfsScheduler::TaskHLoad(const SimThread* thread) const {
 }
 
 double CfsScheduler::CoreLoad(CoreId core) const {
+  // Settle pending elided ticks first: this read pins every attached task's
+  // PELT average to now(), and a later replay of an older tick must never
+  // find last_update_time in its future.
+  machine_->CatchUpTicks();
   double sum = 0.0;
   for (SimThread* t : cores_[core].attached) {
     UpdateTaskLoad(t, /*running=*/t == machine_->CurrentOn(core));

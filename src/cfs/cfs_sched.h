@@ -49,10 +49,19 @@ class CfsScheduler : public Scheduler {
   void CheckPreemptWakeup(CoreId core, SimThread* woken) override;
   void OnCoreIdle(CoreId core) override;
   SimDuration TickPeriod() const override { return tun_.tick; }
+  // Our CFS tick is a strict no-op on idle cores (TaskTick returns
+  // immediately; the NOHZ kick lives on the wakeup path), so elided idle
+  // ticks can be fast-forwarded without replay.
+  bool IdleTickIsNoOp() const override { return true; }
+  SimTime TickBoundary(CoreId core, const SimThread* current,
+                       SimTime next_tick) const override;
 
   double LoadOf(CoreId core) const override;
   int RunnableCountOf(CoreId core) const override;
-  int64_t MinVruntimeOf(CoreId core) const override { return root_->rqs[core]->min_vruntime; }
+  int64_t MinVruntimeOf(CoreId core) const override {
+    machine_->CatchUpTicks();  // pending solo ticks ratchet min_vruntime
+    return root_->rqs[core]->min_vruntime;
+  }
 
   const CfsTunables& tunables() const { return tun_; }
   CfsRq* RootRq(CoreId core) { return root_->rqs[core].get(); }

@@ -37,6 +37,7 @@ void CfsScheduler::ArmBalance(CoreId core, SimDuration delay) {
 }
 
 void CfsScheduler::PeriodicBalance(CoreId core) {
+  machine_->CatchUpTicks();  // balance decisions must see settled tick state
   ++machine_->counters().balance_invocations;
   // NOHZ: a tickless idle core does not run its own periodic balance; it is
   // balanced on demand when an overloaded core kicks it (nohz_balancer_kick).

@@ -177,6 +177,12 @@ RunqueueAccountingMonitor::RunqueueAccountingMonitor(MonitorOptions options)
     : InvariantMonitor("runqueue_accounting", options) {}
 
 void RunqueueAccountingMonitor::OnDispatch(SimTime now, CoreId core, const SimThread& /*thread*/) {
+  CheckAccounting(now, core);
+}
+
+void RunqueueAccountingMonitor::Poll(SimTime now) { CheckAccounting(now, kInvalidCore); }
+
+void RunqueueAccountingMonitor::CheckAccounting(SimTime now, CoreId core) {
   const Scheduler& sched = machine()->scheduler();
   int scheduler_count = 0;
   for (CoreId c = 0; c < machine()->num_cores(); ++c) {

@@ -102,6 +102,13 @@ class RunqueueAccountingMonitor : public InvariantMonitor {
  public:
   explicit RunqueueAccountingMonitor(MonitorOptions options);
   void OnDispatch(SimTime now, CoreId core, const SimThread& thread) override;
+  // Also checked on the shared poll: the accounting must hold during long
+  // dispatch-free stretches too — exactly where tick elision batches work and
+  // where a mid-period idle transition would surface a double-charged tick.
+  void Poll(SimTime now) override;
+
+ private:
+  void CheckAccounting(SimTime now, CoreId core);
 };
 
 // CFS tolerates up to `numa_imbalance_threshold` (25%) per-core load

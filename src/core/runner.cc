@@ -16,7 +16,13 @@ ExperimentRun::ExperimentRun(ExperimentConfig config) : config_(std::move(config
   }
 }
 
-SimTime ExperimentRun::Run() { return workload_->Run(config_.horizon); }
+SimTime ExperimentRun::Run() {
+  const SimTime finish = workload_->Run(config_.horizon);
+  // Settle any still-pending elided ticks so post-run metric reads (PELT
+  // loads, interactivity scores, elision counters) see final state.
+  machine_->CatchUpTicks();
+  return finish;
+}
 
 double ExperimentRun::MetricFor(const Application& app, MetricKind kind) const {
   const AppStats& s = app.stats();

@@ -162,6 +162,7 @@ const LatencyHistogram* SchedStats::wakeup_latency_of(ThreadId id) const {
 }
 
 std::string SchedStats::ToJson() const {
+  machine_->CatchUpTicks();  // settle pending elided ticks into the counters
   std::ostringstream os;
   os.precision(6);
   os << std::fixed;
@@ -169,6 +170,13 @@ std::string SchedStats::ToJson() const {
   os << "\"scheduler\":\"" << JsonEscape(machine_->scheduler().name()) << "\",\n";
   os << "\"num_cores\":" << machine_->num_cores() << ",\n";
   os << "\"sim_time_ns\":" << machine_->now() << ",\n";
+  // Tick-elision telemetry. This is the one line that legitimately differs
+  // between tickless on and off; equivalence checks strip it (one full line)
+  // before comparing snapshots byte-for-byte.
+  const TickElisionCounters& te = machine_->tick_elision();
+  os << "\"tick_elision\":{\"ticks_fired\":" << te.ticks_fired
+     << ",\"ticks_elided\":" << te.ticks_elided
+     << ",\"batch_updates\":" << te.batch_updates << "},\n";
 
   const MachineCounters& mc = machine_->counters();
   os << "\"machine_counters\":{"

@@ -33,6 +33,7 @@ void PeriodicSampler::Arm() {
     if (stopped_) {
       return;
     }
+    machine_->CatchUpTicks();  // samples must see settled tick accounting
     fn_(machine_->now());
     Arm();
   });

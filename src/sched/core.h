@@ -26,6 +26,15 @@ class Core {
   // ---- state managed by Machine ----
   bool resched_pending = false;       // a reschedule event is queued
   EventHandle completion_event;       // pending compute-segment completion
+  EventHandle resched_event;          // pending ReschedCore event
+  // Tickless bookkeeping. `next_tick` is the core's next grid-aligned tick
+  // time — the time of the earliest tick whose effects have NOT yet been
+  // applied. `tick_event`/`armed_at` describe the armed event (if any): the
+  // core is armed iff armed_at >= 0, and the event fires at `armed_at`,
+  // which is >= next_tick when intermediate ticks are being elided.
+  EventHandle tick_event;             // retained handle (cancelled on teardown)
+  SimTime next_tick = 0;
+  SimTime armed_at = -1;
   SimTime idle_since = 0;
   SimDuration idle_ns = 0;            // cumulative idle time
   // Exponential average of recent idle-period lengths (kernel: rq->avg_idle;

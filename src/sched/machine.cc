@@ -1,9 +1,31 @@
 #include "src/sched/machine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <string_view>
 #include <utility>
 
 namespace schedbattle {
+
+namespace {
+bool InitTicklessFromEnv() {
+  const char* v = std::getenv("SCHEDBATTLE_TICKLESS");
+  if (v == nullptr) {
+    return true;
+  }
+  const std::string_view s(v);
+  return !(s == "off" || s == "0" || s == "false");
+}
+
+bool& TicklessFlag() {
+  static bool enabled = InitTicklessFromEnv();
+  return enabled;
+}
+}  // namespace
+
+void SetTicklessEnabled(bool enabled) { TicklessFlag() = enabled; }
+bool TicklessEnabled() { return TicklessFlag(); }
 
 SimTime ThreadContext::now() const { return machine_->now(); }
 
@@ -13,7 +35,8 @@ Machine::Machine(SimEngine* engine, CpuTopology topology, std::unique_ptr<Schedu
       topology_(std::move(topology)),
       scheduler_(std::move(scheduler)),
       params_(params),
-      rng_(params.seed) {
+      rng_(params.seed),
+      tickless_(params.tickless && TicklessEnabled()) {
   assert(topology_.num_cores() <= 64 && "CpuMask supports at most 64 cores");
   cores_.reserve(topology_.num_cores());
   for (CoreId c = 0; c < topology_.num_cores(); ++c) {
@@ -24,20 +47,184 @@ Machine::Machine(SimEngine* engine, CpuTopology topology, std::unique_ptr<Schedu
   scheduler_->Attach(this);
 }
 
-Machine::~Machine() = default;
+Machine::~Machine() {
+  // A Machine may die while its engine (and queued events) live on; every
+  // event the machine armed holds a raw `this`, so cancel them all.
+  for (auto& core : cores_) {
+    engine_->Cancel(core->tick_event);
+    engine_->Cancel(core->completion_event);
+    engine_->Cancel(core->resched_event);
+  }
+}
 
 void Machine::Boot() {
   assert(!booted_);
   booted_ = true;
-  const SimDuration period = scheduler_->TickPeriod();
+  tick_period_ = scheduler_->TickPeriod();
   for (CoreId c = 0; c < num_cores(); ++c) {
     // Stagger first ticks across cores so the simulation does not create an
-    // artificial global tick synchrony real hardware does not have.
-    const SimDuration offset = (period * c) / num_cores();
-    Core* core = cores_[c].get();
-    engine_->PostAfter(offset + period, [this, c] { TickCore(c); });
+    // artificial global tick synchrony real hardware does not have. The
+    // per-core offsets are distinct, so no two cores ever share a tick
+    // instant — CatchUpTicks relies on this for its replay ordering.
+    const SimDuration offset = (tick_period_ * c) / num_cores();
+    cores_[c]->next_tick = engine_->now() + offset + tick_period_;
+    ReevaluateTick(c);
   }
+  RecomputeMinNextTick();
   scheduler_->Start();
+}
+
+// ---- tickless tick delivery ----
+
+void Machine::TickCore(CoreId /*core*/) {
+  // The armed tick event for some core just fired: its grid point is at
+  // engine-now, so CatchUpTicks replays it (counted as fired — it was armed
+  // here) along with any earlier pending points of other cores, then its
+  // final sweep re-arms every core from its new boundary.
+  CatchUpTicks();
+}
+
+void Machine::ReplayTick(CoreId core) {
+  Core* c = cores_[core].get();
+  catchup_dirty_ |= uint64_t{1} << core;
+  const SimTime when = c->next_tick;
+  c->next_tick = when + tick_period_;
+  if (c->armed_at == when) {
+    ++tick_elision_.ticks_fired;
+  } else {
+    ++tick_elision_.ticks_elided;
+  }
+  replay_now_ = when;
+  scheduler_->TaskTick(core, c->current());
+  replay_now_ = -1;
+}
+
+void Machine::CatchUpTicks() {
+  if (in_catchup_ || !booted_) {
+    return;
+  }
+  const SimTime t = engine_->now();
+  if (min_next_tick_ > t) {
+    return;  // fast path: no tick is due anywhere
+  }
+  in_catchup_ = true;
+  const uint64_t elided_before = tick_elision_.ticks_elided;
+  // Idle cores whose ticks are literal no-ops (CFS: TaskTick returns
+  // immediately with no current) are fast-forwarded arithmetically — but
+  // only when unarmed-or-armed-later, so a due armed tick still replays
+  // below and is counted as fired.
+  if (scheduler_->IdleTickIsNoOp()) {
+    for (CoreId c = 0; c < num_cores(); ++c) {
+      Core* core = cores_[c].get();
+      if (!core->idle() || core->next_tick > t ||
+          (core->armed_at >= 0 && core->armed_at <= t)) {
+        continue;
+      }
+      const uint64_t skipped =
+          static_cast<uint64_t>((t - core->next_tick) / tick_period_) + 1;
+      tick_elision_.ticks_elided += skipped;
+      core->next_tick += static_cast<SimDuration>(skipped) * tick_period_;
+      catchup_dirty_ |= uint64_t{1} << c;
+    }
+  }
+  // Replay the rest in global time order (grid instants are pairwise
+  // distinct across cores). Every point strictly before `t` is inside a
+  // certified side-effect-free window; a point at exactly `t` — at most one,
+  // and necessarily last — may mutate (reschedule, steal), which is exact
+  // because its replay clock equals engine-now.
+  while (true) {
+    CoreId best = kInvalidCore;
+    SimTime best_time = INT64_MAX;
+    for (CoreId c = 0; c < num_cores(); ++c) {
+      const SimTime nt = cores_[c]->next_tick;
+      if (nt <= t && nt < best_time) {
+        best_time = nt;
+        best = c;
+      }
+    }
+    if (best == kInvalidCore) {
+      break;
+    }
+    ReplayTick(best);
+  }
+  if (tick_elision_.ticks_elided != elided_before) {
+    ++tick_elision_.batch_updates;
+  }
+  in_catchup_ = false;
+  // Re-arm only the cores whose grid advanced — unless a mutating replay
+  // touched other state (rearm_deferred_), in which case sweep everything.
+  if (rearm_deferred_) {
+    rearm_deferred_ = false;
+    catchup_dirty_ = 0;
+    for (CoreId c = 0; c < num_cores(); ++c) {
+      ReevaluateTick(c);
+    }
+  } else {
+    uint64_t dirty = catchup_dirty_;
+    catchup_dirty_ = 0;
+    while (dirty != 0) {
+      const CoreId c = static_cast<CoreId>(__builtin_ctzll(dirty));
+      dirty &= dirty - 1;
+      ReevaluateTick(c);
+    }
+  }
+  RecomputeMinNextTick();
+}
+
+void Machine::ReevaluateTick(CoreId core) {
+  if (!booted_) {
+    return;
+  }
+  if (in_catchup_) {
+    // State is mid-replay; the sweep at the end of CatchUpTicks re-derives
+    // every core's arming from the settled state.
+    rearm_deferred_ = true;
+    return;
+  }
+  Core* c = cores_[core].get();
+  SimTime arm_at = c->next_tick;
+  if (tickless_) {
+    const SimTime b = scheduler_->TickBoundary(core, c->current(), c->next_tick);
+    if (b == kTickNever) {
+      arm_at = -1;
+    } else if (b > c->next_tick) {
+      // First grid point strictly after the boundary: a tick exactly at the
+      // boundary is still side-effect free.
+      arm_at = c->next_tick + ((b - c->next_tick) / tick_period_ + 1) * tick_period_;
+    }
+  }
+  if (arm_at == c->armed_at) {
+    return;  // already armed there (or unarmed), and the event is live
+  }
+  // Cancel-before-arm: with retained generation-checked handles this is a
+  // structural guarantee that a core never accumulates two live tick events.
+  engine_->Cancel(c->tick_event);
+  c->tick_event.Reset();
+  c->armed_at = arm_at;
+  if (arm_at >= 0) {
+    c->tick_event = engine_->At(arm_at, [this, core] { TickCore(core); });
+  }
+}
+
+void Machine::RearmElidedTicks() {
+  if (!booted_) {
+    return;
+  }
+  if (in_catchup_) {
+    rearm_deferred_ = true;
+    return;
+  }
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    ReevaluateTick(c);
+  }
+}
+
+void Machine::RecomputeMinNextTick() {
+  SimTime m = INT64_MAX;
+  for (const auto& core : cores_) {
+    m = std::min(m, core->next_tick);
+  }
+  min_next_tick_ = m;
 }
 
 SimThread* Machine::CreateThread(ThreadSpec spec) {
@@ -52,6 +239,7 @@ SimThread* Machine::CreateThread(ThreadSpec spec) {
 void Machine::StartThread(SimThread* thread, SimThread* parent) {
   assert(booted_ && "Boot() the machine before starting threads");
   assert(thread->state() == ThreadState::kCreated);
+  CatchUpTicks();
   ++counters_.forks;
   ++alive_threads_;
   scheduler_->TaskNew(thread, parent);
@@ -70,6 +258,7 @@ void Machine::StartThread(SimThread* thread, SimThread* parent) {
   if (cores_[cpu]->idle()) {
     SetNeedResched(cpu);
   }
+  ReevaluateTick(cpu);
 }
 
 SimThread* Machine::Spawn(ThreadSpec spec, SimThread* parent) {
@@ -82,6 +271,7 @@ bool Machine::Wake(SimThread* thread, CoreId waker_core) {
   if (thread->state() != ThreadState::kBlocked) {
     return false;
   }
+  CatchUpTicks();
   ++counters_.wakeups;
   thread->last_sleep_duration = now() - thread->block_start;
   thread->total_sleep += thread->last_sleep_duration;
@@ -102,11 +292,13 @@ bool Machine::Wake(SimThread* thread, CoreId waker_core) {
   if (cores_[cpu]->idle()) {
     SetNeedResched(cpu);
   }
+  ReevaluateTick(cpu);
   return true;
 }
 
 void Machine::SetAffinity(SimThread* thread, const CpuMask& mask) {
   assert(!mask.Empty());
+  CatchUpTicks();
   thread->set_affinity(mask);
   switch (thread->state()) {
     case ThreadState::kRunnable: {
@@ -133,6 +325,7 @@ void Machine::SetNice(SimThread* thread, Nice nice) {
   if (thread->nice() == nice) {
     return;
   }
+  CatchUpTicks();
   thread->set_nice(nice);
   if (thread->state() == ThreadState::kDead || thread->state() == ThreadState::kCreated) {
     return;
@@ -140,6 +333,7 @@ void Machine::SetNice(SimThread* thread, Nice nice) {
   scheduler_->ReniceTask(thread);
   if (thread->state() == ThreadState::kRunning || thread->state() == ThreadState::kRunnable) {
     SetNeedResched(thread->cpu());
+    ReevaluateTick(thread->cpu());
   }
 }
 
@@ -149,7 +343,7 @@ void Machine::SetNeedResched(CoreId core) {
     return;
   }
   c->resched_pending = true;
-  engine_->PostAt(now(), [this, core] { ReschedCore(core); });
+  c->resched_event = engine_->At(now(), [this, core] { ReschedCore(core); });
 }
 
 void Machine::ChargeOverhead(CoreId core, SimDuration d, OverheadKind kind) {
@@ -184,6 +378,8 @@ void Machine::NoteMigration(SimThread* thread, CoreId from, CoreId to) {
   if (cores_[to]->idle()) {
     SetNeedResched(to);
   }
+  ReevaluateTick(from);
+  ReevaluateTick(to);
 }
 
 SimThread* Machine::FindThread(ThreadId id) const {
@@ -196,6 +392,9 @@ SimThread* Machine::FindThread(ThreadId id) const {
 }
 
 SimDuration Machine::TotalBusyTime() const {
+  // Pending elided ticks may still owe overhead charges (ULE's idle steal
+  // scans); settle them so derived fractions match the always-ticking mode.
+  const_cast<Machine*>(this)->CatchUpTicks();
   SimDuration busy = 0;
   const SimTime t = now();
   for (const auto& core : cores_) {
@@ -250,8 +449,10 @@ SimThread* Machine::StopCurrent(CoreId core) {
 }
 
 void Machine::ReschedCore(CoreId core) {
+  CatchUpTicks();
   Core* c = cores_[core].get();
   c->resched_pending = false;
+  c->resched_event.Reset();
   SimThread* prev = StopCurrent(core);
   if (prev != nullptr) {
     prev->set_state(ThreadState::kRunnable);
@@ -279,6 +480,7 @@ void Machine::ReschedCore(CoreId core) {
     if (c->idle_since < 0) {
       c->idle_since = now();
     }
+    ReevaluateTick(core);
     return;
   }
   if (prev != nullptr && next != prev && prev->remaining_work > 0) {
@@ -326,9 +528,11 @@ void Machine::Dispatch(CoreId core, SimThread* thread, bool switched) {
   } else {
     RunBody(core, thread);
   }
+  ReevaluateTick(core);
 }
 
 void Machine::OnComputeDone(CoreId core, SimThread* thread) {
+  CatchUpTicks();
   Core* c = cores_[core].get();
   assert(c->current() == thread);
   c->completion_event.Reset();
@@ -375,6 +579,7 @@ void Machine::RunBody(CoreId core, SimThread* thread) {
           if (c->idle_since < 0) {
             c->idle_since = now();
           }
+          ReevaluateTick(core);
           return;
         }
         Dispatch(core, next, /*switched=*/next != thread);
@@ -407,6 +612,7 @@ void Machine::BlockCurrent(CoreId core, SimThread* thread) {
     if (c->idle_since < 0) {
       c->idle_since = now();
     }
+    ReevaluateTick(core);
     return;
   }
   Dispatch(core, next, /*switched=*/true);
@@ -436,19 +642,10 @@ void Machine::ExitCurrent(CoreId core, SimThread* thread) {
     if (c->idle_since < 0) {
       c->idle_since = now();
     }
+    ReevaluateTick(core);
     return;
   }
   Dispatch(core, next, /*switched=*/true);
-}
-
-void Machine::TickCore(CoreId core) {
-  Core* c = cores_[core].get();
-  scheduler_->TaskTick(core, c->current());
-  ArmTick(core);
-}
-
-void Machine::ArmTick(CoreId core) {
-  engine_->PostAfter(scheduler_->TickPeriod(), [this, core] { TickCore(core); });
 }
 
 }  // namespace schedbattle

@@ -12,6 +12,7 @@
 #ifndef SRC_SCHED_MACHINE_H_
 #define SRC_SCHED_MACHINE_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -40,7 +41,20 @@ struct MachineParams {
   // Deterministic seed for everything random inside the machine (ULE's
   // balancer period, workload RNG streams are split from this).
   uint64_t seed = 42;
+  // NOHZ-style tick elision: skip arming periodic tick events that provably
+  // cannot change a scheduling decision and replay their accounting lazily
+  // (see Machine::CatchUpTicks). Observationally identical to the always-
+  // ticking mode — TicklessEquivalenceTest proves byte-identical schedstats.
+  // The effective mode is this AND the process-wide TicklessEnabled() switch.
+  bool tickless = true;
 };
+
+// Process-wide tickless kill switch, initialized from the SCHEDBATTLE_TICKLESS
+// environment variable ("off"/"0"/"false" disable it; anything else, or the
+// variable being unset, leaves it on). Bench binaries override it from
+// --tickless. Machines read it once, at construction.
+void SetTicklessEnabled(bool enabled);
+bool TicklessEnabled();
 
 // Categories of simulated scheduler overhead, for the paper's Section 6.3
 // accounting ("13% of all CPU cycles spent on scanning cores").
@@ -68,6 +82,16 @@ struct MachineCounters {
   }
 };
 
+// Tick-elision bookkeeping. Kept separate from MachineCounters because those
+// are part of the modeled machine state (and must be identical with tickless
+// on and off), while these describe how the *simulator* delivered the ticks.
+// Invariant: ticks_fired(on) + ticks_elided(on) == ticks_fired(off).
+struct TickElisionCounters {
+  uint64_t ticks_fired = 0;    // tick effects applied by an armed tick event
+  uint64_t ticks_elided = 0;   // tick effects applied with no event (replayed)
+  uint64_t batch_updates = 0;  // CatchUpTicks calls that replayed >=1 elided tick
+};
+
 class Machine {
  public:
   Machine(SimEngine* engine, CpuTopology topology, std::unique_ptr<Scheduler> scheduler,
@@ -77,7 +101,10 @@ class Machine {
   Machine& operator=(const Machine&) = delete;
 
   SimEngine& engine() { return *engine_; }
-  SimTime now() const { return engine_->now(); }
+  // The machine's clock. While CatchUpTicks replays an elided tick this is
+  // the replayed tick's time, so scheduler accounting written against now()
+  // is byte-identical to what the armed tick event would have produced.
+  SimTime now() const { return replay_now_ >= 0 ? replay_now_ : engine_->now(); }
   const CpuTopology& topology() const { return topology_; }
   int num_cores() const { return topology_.num_cores(); }
   Scheduler& scheduler() { return *scheduler_; }
@@ -97,6 +124,33 @@ class Machine {
   // Purely an implementation accelerator: the *modeled* scan costs charged to
   // cores are computed as if the scan had happened.
   uint64_t idle_mask() const { return idle_mask_; }
+
+  // ---- tickless tick delivery ----
+
+  // True iff this machine elides tick events (params.tickless AND the
+  // process-wide switch, sampled at construction).
+  bool tickless() const { return tickless_; }
+  const TickElisionCounters& tick_elision() const { return tick_elision_; }
+
+  // Applies every not-yet-applied tick with grid time <= engine-now, in
+  // global time order, each under a replay clock equal to its grid time.
+  // Called at the top of every machine mutation entry point (and before any
+  // tick-dependent read), so the window of pending ticks never spans a state
+  // change: a replayed tick sees exactly the state the armed tick event
+  // would have seen. Cheap no-op (one compare) when nothing is pending.
+  void CatchUpTicks();
+
+  // Re-derives whether/when core's next tick event must be armed, from the
+  // scheduler's TickBoundary. Cancel-before-arm: a core can never have two
+  // live tick events. Called after any state change that can move a core's
+  // boundary; calling it redundantly is cheap and always safe.
+  void ReevaluateTick(CoreId core);
+
+  // Re-arms every core whose ticks were elided under a certification that an
+  // external state change just invalidated (e.g. a ULE steal source
+  // appearing). Over-arming is always safe; this exists so becoming-eligible
+  // notifications are never missed.
+  void RearmElidedTicks();
 
   // Starts per-core ticks and the scheduler's periodic machinery. Call once,
   // before (or at) the first thread start.
@@ -207,7 +261,10 @@ class Machine {
   void ExitCurrent(CoreId core, SimThread* thread);
 
   void TickCore(CoreId core);
-  void ArmTick(CoreId core);
+
+  // Applies core's earliest pending tick under the replay clock.
+  void ReplayTick(CoreId core);
+  void RecomputeMinNextTick();
 
   SimEngine* engine_;
   CpuTopology topology_;
@@ -222,6 +279,15 @@ class Machine {
   ObserverBus observers_;
   uint64_t idle_mask_ = 0;
   bool booted_ = false;
+  // ---- tickless state ----
+  bool tickless_ = true;           // effective mode (params AND global switch)
+  SimDuration tick_period_ = 0;    // cached at Boot
+  SimTime replay_now_ = -1;        // >= 0 while replaying an elided tick
+  bool in_catchup_ = false;        // CatchUpTicks re-entry guard
+  bool rearm_deferred_ = false;    // ReevaluateTick requested during catch-up
+  uint64_t catchup_dirty_ = 0;     // cores whose grid advanced this catch-up
+  SimTime min_next_tick_ = INT64_MAX;  // min over cores of Core::next_tick
+  TickElisionCounters tick_elision_;
 };
 
 }  // namespace schedbattle

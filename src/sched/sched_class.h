@@ -111,6 +111,30 @@ class Scheduler {
   // Scheduler tick period (CFS: 1ms at HZ=1000; ULE: 1/127s stathz ticks).
   virtual SimDuration TickPeriod() const = 0;
 
+  // ---- tickless (NOHZ-style tick elision) support ----
+
+  // Earliest time >= next_tick at which a tick on `core` could do anything
+  // beyond pure per-tick accounting (request a reschedule, steal work, emit
+  // an observer event). `current` is the core's running thread (nullptr when
+  // idle); `next_tick` is the core's next grid-aligned tick time. Returning
+  // next_tick keeps every tick armed (the default — always correct);
+  // returning kTickNever means no tick can have a side effect until some
+  // external state change (an enqueue, a renice, a steal source appearing)
+  // re-arms the core. Any intermediate ticks in (next_tick, boundary) are
+  // replayed lazily by Machine::CatchUpTicks with byte-identical accounting,
+  // so implementations must only certify *side-effect freedom*, not skip
+  // accounting. Must be side-effect free itself.
+  virtual SimTime TickBoundary(CoreId /*core*/, const SimThread* /*current*/,
+                               SimTime next_tick) const {
+    return next_tick;
+  }
+
+  // True iff TaskTick(core, nullptr) is a complete no-op for this scheduler
+  // (CFS: yes, its tick returns immediately with no current; ULE: no, idle
+  // ticks run the steal path and charge modeled costs). When true, elided
+  // idle-core ticks are fast-forwarded arithmetically instead of replayed.
+  virtual bool IdleTickIsNoOp() const { return false; }
+
   // ---- introspection for metrics / experiments ----
 
   // The scheduler's own notion of a core's load (ULE: runnable thread count;
@@ -131,6 +155,10 @@ class Scheduler {
 
 // Sentinel for MinVruntimeOf: "this scheduler has no fairness clock".
 inline constexpr int64_t kNoMinVruntime = INT64_MIN;
+
+// Sentinel for TickBoundary: "no tick on this core can have a side effect
+// until an external state change re-arms it".
+inline constexpr SimTime kTickNever = INT64_MAX;
 
 }  // namespace schedbattle
 

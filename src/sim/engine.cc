@@ -46,7 +46,11 @@ uint64_t SimEngine::RunUntil(SimTime deadline) {
     ++executed;
     ++events_executed_;
   }
-  if (now_ < deadline && queue_.NextTime() > deadline) {
+  // Advance the clock to the deadline only when the run genuinely reached it.
+  // After RequestStop the clock must rest at the last executed event — the
+  // content of the residual queue (e.g. how many future ticks are still
+  // armed) must not influence the reported time.
+  if (!stop_requested_ && now_ < deadline && queue_.NextTime() > deadline) {
     now_ = deadline;
   }
   return executed;

@@ -49,6 +49,7 @@ SimThread* UleScheduler::StealOne(CoreId src, CoreId dst) {
 }
 
 void UleScheduler::PeriodicBalance() {
+  machine_->CatchUpTicks();  // balance decisions must see settled tick state
   ++machine_->counters().balance_invocations;
   const int n = machine_->num_cores();
   machine_->ChargeOverhead(0, n * tun_.balance_cost_per_core, OverheadKind::kLoadBalance);

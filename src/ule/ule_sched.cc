@@ -6,7 +6,14 @@
 namespace schedbattle {
 
 UleScheduler::UleScheduler(UleTunables tunables) : tun_(tunables) {}
-UleScheduler::~UleScheduler() = default;
+
+UleScheduler::~UleScheduler() {
+  // The engine may outlive this scheduler; a queued balance event would
+  // otherwise fire into a destroyed object.
+  if (machine_ != nullptr) {
+    machine_->engine().Cancel(balance_event_);
+  }
+}
 
 void UleScheduler::Attach(Machine* machine) {
   machine_ = machine;
@@ -86,7 +93,28 @@ int UleScheduler::RunningPriOf(CoreId core) const {
 }
 
 int UleScheduler::InteractivityPenaltyOf(const SimThread* thread) const {
+  machine_->CatchUpTicks();  // pending elided ticks accrue interact.runtime
   return UleInteractScore(UleOf(thread).interact);
+}
+
+SimTime UleScheduler::TickBoundary(CoreId core, const SimThread* current,
+                                   SimTime next_tick) const {
+  if (current == nullptr) {
+    // Idle ticks only poll tdq_idled. With stealing off, or with no core
+    // currently satisfying the steal candidate condition, the poll cannot
+    // move a thread — it only charges the modeled scan cost, which the
+    // catch-up replay reproduces exactly.
+    if (!tun_.steal_enabled ||
+        (steal_source_mask_ & ~(uint64_t{1} << core)) == 0) {
+      return kTickNever;
+    }
+    return next_tick;
+  }
+  // A busy tick can act (tick_preemptions + SetNeedResched) only when slice
+  // expiry finds a queued competitor; with nothing queued the expiry silently
+  // refreshes the slice. Everything else the tick does (calendar advance,
+  // interactivity/%CPU accounting, priority refresh) is replayable as-is.
+  return tdqs_[core].queued_count() == 0 ? kTickNever : next_tick;
 }
 
 void UleScheduler::EnqueueTask(CoreId core, SimThread* thread, EnqueueKind kind) {

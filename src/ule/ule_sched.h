@@ -89,6 +89,11 @@ class UleScheduler : public Scheduler {
   void CheckPreemptWakeup(CoreId core, SimThread* woken) override;
   void OnCoreIdle(CoreId core) override;
   SimDuration TickPeriod() const override { return tun_.tick; }
+  // ULE idle ticks are NOT no-ops: tdq_idled polls for stealable work and
+  // charges the modeled scan cost every stathz tick, so elided idle ticks
+  // must be replayed, not fast-forwarded.
+  SimTime TickBoundary(CoreId core, const SimThread* current,
+                       SimTime next_tick) const override;
 
   double LoadOf(CoreId core) const override { return tdqs_[core].load; }
   int RunnableCountOf(CoreId core) const override { return tdqs_[core].load; }
@@ -125,13 +130,26 @@ class UleScheduler : public Scheduler {
   SimThread* StealOne(CoreId src, CoreId dst);
   bool TryIdleSteal(CoreId core);
 
-  // Re-derives core's bits in the zero-load/queued masks after any tdq load
-  // or runqueue mutation.
+  // Re-derives core's bits in the zero-load/queued/steal-source masks after
+  // any tdq load or runqueue mutation. A bit *appearing* in the queued or
+  // steal-source masks can move another core's tick boundary earlier (a busy
+  // core now has a slice-expiry competitor; an idle core now has a steal
+  // candidate), so those transitions re-arm any elided ticks.
   void SyncLoadMask(CoreId core) {
     const uint64_t bit = uint64_t{1} << core;
     const Tdq& tdq = tdqs_[core];
     zero_load_mask_ = tdq.load == 0 ? (zero_load_mask_ | bit) : (zero_load_mask_ & ~bit);
-    queued_mask_ = tdq.queued_count() > 0 ? (queued_mask_ | bit) : (queued_mask_ & ~bit);
+    const bool had_queued = (queued_mask_ & bit) != 0;
+    const bool has_queued = tdq.queued_count() > 0;
+    queued_mask_ = has_queued ? (queued_mask_ | bit) : (queued_mask_ & ~bit);
+    const bool was_source = (steal_source_mask_ & bit) != 0;
+    const bool is_source = tdq.load >= tun_.steal_thresh && tdq.transferable() > 0;
+    steal_source_mask_ =
+        is_source ? (steal_source_mask_ | bit) : (steal_source_mask_ & ~bit);
+    if (machine_ != nullptr &&
+        ((is_source && !was_source) || (has_queued && !had_queued))) {
+      machine_->RearmElidedTicks();
+    }
   }
 
   Machine* machine_ = nullptr;
@@ -141,6 +159,10 @@ class UleScheduler : public Scheduler {
   // tdqs_[c] has queued (stealable) threads. See UleTunables::placement_fast_path.
   uint64_t zero_load_mask_ = 0;
   uint64_t queued_mask_ = 0;
+  // Bit c set iff core c satisfies the idle-steal candidate condition
+  // (load >= steal_thresh with something transferable); mirrors the scan in
+  // TryIdleSteal so TickBoundary can tell when an idle core's tick is inert.
+  uint64_t steal_source_mask_ = 0;
   EventHandle balance_event_;
 };
 

@@ -1,0 +1,201 @@
+// Tickless-mode correctness: NOHZ-style tick elision is a pure strength
+// reduction. With elision on, idle cores arm no tick and solo-running cores
+// batch runs of ticks into one closed-form catch-up — but every observable
+// (schedstats snapshots, finish times, machine counters, monitor verdicts)
+// must be byte-identical to the eager-tick run. These tests execute the
+// paper's figure scenarios and a generated fuzz corpus in both modes and
+// compare everything except the tick_elision counter line (the one line
+// that legitimately differs).
+//
+// Also here: the tick-event lifetime regression test (a SimEngine that
+// outlives its Machine must not fire dangling per-core tick events) and the
+// counter bookkeeping invariant fired_on + elided_on == fired_off.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/check/fuzz.h"
+#include "src/core/scenarios.h"
+#include "src/core/spec.h"
+#include "src/sched/machine.h"
+#include "src/sim/engine.h"
+#include "tests/minijson.h"
+#include "tests/test_util.h"
+
+namespace schedbattle {
+namespace {
+
+// Drops the "tick_elision" counter line from a schedstats JSON document.
+std::string StripTickElision(const std::string& json) {
+  const size_t pos = json.find("\"tick_elision\"");
+  if (pos == std::string::npos) {
+    return json;
+  }
+  const size_t line_start = json.rfind('\n', pos) + 1;  // npos+1 == 0
+  size_t line_end = json.find('\n', pos);
+  line_end = line_end == std::string::npos ? json.size() : line_end + 1;
+  return json.substr(0, line_start) + json.substr(line_end);
+}
+
+struct TickCounts {
+  uint64_t fired = 0;
+  uint64_t elided = 0;
+  uint64_t batches = 0;
+};
+
+TickCounts CountsFrom(const std::string& stats_json) {
+  const minijson::Value root = minijson::Parse(stats_json);
+  const minijson::Value& te = root.at("tick_elision");
+  TickCounts c;
+  c.fired = static_cast<uint64_t>(te.at("ticks_fired").as_number());
+  c.elided = static_cast<uint64_t>(te.at("ticks_elided").as_number());
+  c.batches = static_cast<uint64_t>(te.at("batch_updates").as_number());
+  return c;
+}
+
+// Runs `spec` with elision on and forced off and asserts full observational
+// equivalence plus the counter bookkeeping invariant: every grid tick the
+// eager run fires is either fired or elided by the tickless run, and the
+// eager run elides nothing. `expect_clean` additionally requires a silent
+// MonitorSuite; fig6's mid-run unpin trips the work-conservation monitor by
+// construction (14.5s of pinned waiting becomes eligible all at once), so
+// that scenario only asserts the verdicts match across modes.
+void ExpectTicklessEquivalent(ExperimentSpec spec, const std::string& what,
+                              bool expect_clean = true) {
+  spec.collect_schedstats = true;
+  spec.check_invariants = true;
+  ExperimentSpec off = spec;
+  off.machine.tickless = false;
+  const RunResult on = ExecuteSpec(spec);
+  const RunResult eager = ExecuteSpec(off);
+  ASSERT_FALSE(on.schedstats_json.empty()) << what;
+  if (expect_clean) {
+    EXPECT_EQ(on.violations, 0u) << what << "\n" << on.violation_report;
+    EXPECT_EQ(eager.violations, 0u) << what << "\n" << eager.violation_report;
+  }
+  EXPECT_EQ(on.violations, eager.violations) << what;
+  EXPECT_EQ(on.violation_report, eager.violation_report) << what;
+  EXPECT_EQ(StripTickElision(on.schedstats_json), StripTickElision(eager.schedstats_json))
+      << what << ": schedstats diverged between tickless and eager runs";
+  EXPECT_EQ(on.finish_time, eager.finish_time) << what;
+  EXPECT_EQ(on.counters.context_switches, eager.counters.context_switches) << what;
+  EXPECT_EQ(on.counters.migrations, eager.counters.migrations) << what;
+  const TickCounts tc_on = CountsFrom(on.schedstats_json);
+  const TickCounts tc_eager = CountsFrom(eager.schedstats_json);
+  EXPECT_EQ(tc_on.fired + tc_on.elided, tc_eager.fired) << what;
+  EXPECT_EQ(tc_eager.elided, 0u) << what;
+}
+
+// Figure 1 / Table 2: fibo + sysbench competing on one core — the solo /
+// near-solo regime where the closed-form CFS boundary does the batching.
+TEST(TicklessEquivalenceTest, Fig1FiboSysbenchIsByteIdentical) {
+  for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
+    auto out = std::make_shared<FiboSysbenchResult>();
+    ExpectTicklessEquivalent(FiboSysbenchSpec(kind, 42, 0.05, out),
+                             std::string("fig1/") + std::string(SchedName(kind)));
+  }
+}
+
+// Figure 6: 512 spinners pinned to core 0 then unpinned — 31 cores idle for
+// 14.5 simulated seconds (the idle-elision path), then a balancer storm.
+TEST(TicklessEquivalenceTest, Fig6LoadBalanceIsByteIdentical) {
+  for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
+    auto out = std::make_shared<LoadBalanceResult>();
+    ExpectTicklessEquivalent(LoadBalanceSpec(kind, 42, Seconds(20), 1, out),
+                             std::string("fig6/") + std::string(SchedName(kind)),
+                             /*expect_clean=*/false);
+  }
+}
+
+// Figure 9 style: two suite applications co-scheduled on the paper's NUMA
+// machine with background system noise.
+TEST(TicklessEquivalenceTest, Fig9MultiAppIsByteIdentical) {
+  for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
+    ExperimentSpec spec = ExperimentSpec::Multicore(kind, 42);
+    spec.scale = 0.02;
+    spec.horizon = Seconds(30);
+    spec.Named("tickless-fig9");
+    spec.Add(RegistryApp("apache"));
+    spec.Add(RegistryApp("sysbench"));
+    ExpectTicklessEquivalent(spec, std::string("fig9/") + std::string(SchedName(kind)));
+  }
+}
+
+// 25 generated fuzz specs x both schedulers = 50 randomized workloads
+// (mutexes, pipes, barriers, odd machine shapes), each run in both modes.
+TEST(TicklessEquivalenceTest, FuzzCorpusIsByteIdentical) {
+  Rng root(7);
+  int runs = 0;
+  for (int i = 0; i < 25; ++i) {
+    Rng stream = root.Split();
+    const FuzzSpec base = GenerateFuzzSpec(&stream, SchedKind::kCfs, 0.05);
+    for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
+      FuzzSpec s = base;
+      s.sched = kind;
+      ExperimentSpec spec = s.ToExperimentSpec();
+      ExpectTicklessEquivalent(spec, s.Label());
+      ++runs;
+    }
+  }
+  EXPECT_EQ(runs, 50);
+}
+
+// Elision must actually happen on an idle-heavy machine: one spinner on a
+// 4-core box leaves 3 cores idle and the busy core solo, so almost every
+// grid tick is batched. With the param off, nothing may be elided.
+TEST(TicklessElisionTest, SoloAndIdleCoresElideTicks) {
+  if (!TicklessEnabled()) {
+    GTEST_SKIP() << "global tickless toggle is off (SCHEDBATTLE_TICKLESS)";
+  }
+  for (const char* name : {"cfs", "ule"}) {
+    SimEngine engine;
+    Machine machine(&engine, CpuTopology::Flat(4), MakeScheduler(name));
+    machine.Boot();
+    machine.Spawn(Spinner("solo", 1), nullptr);
+    engine.RunUntil(Seconds(2));
+    machine.CatchUpTicks();
+    EXPECT_GT(machine.tick_elision().ticks_elided, 0u) << name;
+  }
+  SimEngine engine;
+  MachineParams params;
+  params.tickless = false;
+  Machine machine(&engine, CpuTopology::Flat(4), MakeScheduler("cfs"), params);
+  machine.Boot();
+  machine.Spawn(Spinner("solo", 1), nullptr);
+  engine.RunUntil(Seconds(2));
+  machine.CatchUpTicks();
+  EXPECT_EQ(machine.tick_elision().ticks_elided, 0u);
+  EXPECT_GT(machine.tick_elision().ticks_fired, 0u);
+}
+
+// Regression: per-core tick events used to capture `this` without a retained
+// handle, so destroying the Machine while its SimEngine lived on left armed
+// tick closures pointing at freed memory. The teardown must cancel them —
+// running the engine far past the tick period afterwards is then a no-op.
+TEST(TickLifetimeTest, EngineOutlivesMachineWithoutDanglingTickEvents) {
+  for (const char* name : {"cfs", "ule"}) {
+    SimEngine engine;
+    {
+      Machine machine(&engine, CpuTopology::Flat(2), MakeScheduler(name));
+      machine.Boot();
+      machine.Spawn(Spinner("spin", 1), nullptr);
+      engine.RunUntil(Milliseconds(5));
+    }  // ~Machine: every retained tick/completion/resched handle cancelled
+    engine.RunUntil(Milliseconds(100));  // many tick periods later: no UAF
+  }
+  // Same teardown with elision disabled (every core's tick stays armed).
+  SimEngine engine;
+  {
+    MachineParams params;
+    params.tickless = false;
+    Machine machine(&engine, CpuTopology::Flat(2), MakeScheduler("ule"), params);
+    machine.Boot();
+    machine.Spawn(Spinner("spin", 1), nullptr);
+    engine.RunUntil(Milliseconds(5));
+  }
+  engine.RunUntil(Milliseconds(100));
+}
+
+}  // namespace
+}  // namespace schedbattle

@@ -32,6 +32,7 @@
 #include "src/metrics/heatmap.h"
 #include "src/metrics/schedstats.h"
 #include "src/metrics/trace.h"
+#include "src/sched/machine.h"
 #include "src/workload/script.h"
 
 using namespace schedbattle;
@@ -64,6 +65,8 @@ void Usage() {
       "  --scale=<f>            workload scale factor (default 0.2)\n"
       "  --seed=<n>             RNG seed (default 42)\n"
       "  --horizon=<seconds>    simulation horizon (default 600)\n"
+      "  --tickless=on|off      NOHZ-style tick elision (default on); the\n"
+      "                         stats snapshot reports ticks fired/elided\n"
       "  --noise                add the background kernel-thread app\n"
       "  --heatmap              print the threads-per-core heatmap\n"
       "  --stats-json=<file>    write the schedstats JSON snapshot ('-' for\n"
@@ -146,6 +149,7 @@ int RunCampaignCommand(int argc, char** argv) {
   double scale = 0.2;
   uint64_t seed = 42;
   std::string json_path = "-";
+  std::string tickless = "on";
 
   FlagSet flags;
   flags.String("suite", &suite, "fig5|fig8|desktop machine preset")
@@ -154,7 +158,8 @@ int RunCampaignCommand(int argc, char** argv) {
       .Int("jobs", &jobs, "worker threads (0 = hardware concurrency)")
       .Double("scale", &scale, "workload scale factor")
       .Uint64("seed", &seed, "base RNG seed")
-      .String("json", &json_path, "output path, '-' for stdout");
+      .String("json", &json_path, "output path, '-' for stdout")
+      .String("tickless", &tickless, "tick elision: on (default) or off");
   if (WantsHelp(argc, argv)) {
     std::printf("usage: schedbattle_cli campaign [options]\n%s", flags.Help().c_str());
     return 0;
@@ -168,6 +173,11 @@ int RunCampaignCommand(int argc, char** argv) {
     std::fprintf(stderr, "--runs must be >= 1\n");
     return 2;
   }
+  if (tickless != "on" && tickless != "off") {
+    std::fprintf(stderr, "--tickless must be on or off (got '%s')\n", tickless.c_str());
+    return 2;
+  }
+  SetTicklessEnabled(tickless == "on");
 
   SuiteOptions options;
   if (suite == "fig5") {
@@ -356,6 +366,7 @@ int main(int argc, char** argv) {
   std::string stats_json_path;
   std::string trace_path;
   std::string trace_text_path;
+  std::string tickless = "on";
 
   int first_flag = 1;
   if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
@@ -375,7 +386,8 @@ int main(int argc, char** argv) {
       .String("stats-json", &stats_json_path, "write schedstats JSON ('-' for stdout)")
       .String("trace-json", &trace_path, "write a Chrome/Perfetto trace")
       .String("trace", &trace_path, "alias for --trace-json")
-      .String("trace-text", &trace_text_path, "write a plain-text event log");
+      .String("trace-text", &trace_text_path, "write a plain-text event log")
+      .String("tickless", &tickless, "tick elision: on (default) or off");
   if (stats_mode && WantsHelp(argc, argv)) {
     std::printf("usage: schedbattle_cli stats [options]\n%s", flags.Help().c_str());
     return 0;
@@ -399,6 +411,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--sched must be cfs or ule\n");
     return 2;
   }
+  if (tickless != "on" && tickless != "off") {
+    std::fprintf(stderr, "--tickless must be on or off (got '%s')\n", tickless.c_str());
+    return 2;
+  }
+  SetTicklessEnabled(tickless == "on");
   if (horizon_s < 0) {
     // fig6's spinners run forever; the scenario is over well before 30s.
     horizon_s = scenario == "fig6" ? 30 : 600;

@@ -13,7 +13,11 @@
 //                    thread implicates the scheduler,
 //   3. differential: with --sched=both, CFS and ULE must fork the same
 //                    number of threads for the same spec (workload structure
-//                    is seed-determined, never schedule-determined).
+//                    is seed-determined, never schedule-determined),
+//   4. tickless:     every spec also runs with tick elision forced off; the
+//                    schedstats JSON (minus the tick_elision counter line)
+//                    must be byte-identical to the tickless run — elision is
+//                    an optimization, never a behavior change.
 //
 // Every failure is delta-debugged (ShrinkFuzzSpec) to a minimal reproducer
 // and written to --out as JSON that `schedbattle_cli replay --spec=<file>`
@@ -28,15 +32,41 @@
 #include "src/check/fuzz.h"
 #include "src/core/campaign.h"
 #include "src/core/flags.h"
+#include "src/sched/machine.h"
 
 namespace schedbattle {
 namespace {
 
 struct Failure {
   FuzzSpec spec;
-  std::string kind;    // "violation", "liveness", "differential"
+  std::string kind;    // "violation", "liveness", "differential", "tickless"
   std::string detail;  // monitor name / outcome summary
 };
+
+// Drops the "tick_elision" counter line from a schedstats JSON document: it
+// is the one line that legitimately differs between tickless on and off.
+std::string StripTickElision(const std::string& json) {
+  const size_t pos = json.find("\"tick_elision\"");
+  if (pos == std::string::npos) {
+    return json;
+  }
+  const size_t line_start = json.rfind('\n', pos) + 1;  // npos+1 == 0
+  size_t line_end = json.find('\n', pos);
+  line_end = line_end == std::string::npos ? json.size() : line_end + 1;
+  return json.substr(0, line_start) + json.substr(line_end);
+}
+
+// Runs `spec` with elision on and off; true when the stripped schedstats
+// diverge (the tickless shrink oracle).
+bool TicklessDiverges(const FuzzSpec& spec) {
+  ExperimentSpec on = spec.ToExperimentSpec();
+  on.collect_schedstats = true;
+  ExperimentSpec off = on;
+  off.machine.tickless = false;
+  const RunResult ron = ExecuteSpec(on);
+  const RunResult roff = ExecuteSpec(off);
+  return StripTickElision(ron.schedstats_json) != StripTickElision(roff.schedstats_json);
+}
 
 // Writes `spec` as a replayable reproducer; returns the path (empty on I/O
 // failure, which is reported but not fatal — the summary still lists it).
@@ -63,6 +93,7 @@ int FuzzMain(int argc, char** argv) {
   std::string out_dir = "fuzz-out";
   int max_shrink = 400;
   bool no_shrink = false;
+  std::string tickless = "on";
 
   FlagSet flags;
   flags.String("sched", &sched, "scheduler under test: cfs, ule or both")
@@ -72,7 +103,8 @@ int FuzzMain(int argc, char** argv) {
       .Uint64("seed", &seed, "root RNG seed for spec generation")
       .String("out", &out_dir, "directory for reproducer JSON files")
       .Int("max-shrink", &max_shrink, "oracle budget per shrink")
-      .Bool("no-shrink", &no_shrink, "emit failing specs unshrunk");
+      .Bool("no-shrink", &no_shrink, "emit failing specs unshrunk")
+      .String("tickless", &tickless, "tick elision: on (default) or off");
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,6 +133,11 @@ int FuzzMain(int argc, char** argv) {
     std::fprintf(stderr, "--runs, --scale and --max-shrink must be positive\n");
     return 2;
   }
+  if (tickless != "on" && tickless != "off") {
+    std::fprintf(stderr, "--tickless must be on or off (got '%s')\n", tickless.c_str());
+    return 2;
+  }
+  SetTicklessEnabled(tickless == "on");
 
   // One base spec per run; every scheduler under test gets its own copy so
   // the differential oracle compares identical workloads.
@@ -111,6 +148,9 @@ int FuzzMain(int argc, char** argv) {
     Rng stream = root.Split();
     base.push_back(GenerateFuzzSpec(&stream, kinds.front(), scale));
   }
+  // Every (spec, scheduler) pair runs twice: elision on (index 2n) and
+  // forced off (index 2n+1). The tickless copies collect schedstats so the
+  // differential oracle can byte-compare the accounting.
   std::vector<FuzzSpec> fuzz_specs;
   std::vector<ExperimentSpec> exp_specs;
   for (const FuzzSpec& b : base) {
@@ -118,11 +158,17 @@ int FuzzMain(int argc, char** argv) {
       FuzzSpec s = b;
       s.sched = kind;
       fuzz_specs.push_back(s);
-      exp_specs.push_back(s.ToExperimentSpec());
+      ExperimentSpec on = s.ToExperimentSpec();
+      on.collect_schedstats = true;
+      ExperimentSpec off = on;
+      off.machine.tickless = false;
+      exp_specs.push_back(std::move(on));
+      exp_specs.push_back(std::move(off));
     }
   }
 
-  std::printf("schedfuzz: %d specs x %zu scheduler(s), scale %.2f, seed %" PRIu64 "\n",
+  std::printf("schedfuzz: %d specs x %zu scheduler(s) x {tickless on, off}, "
+              "scale %.2f, seed %" PRIu64 "\n",
               runs, kinds.size(), scale, seed);
   const CampaignRunner runner(jobs);
   const std::vector<RunResult> results = runner.Run(exp_specs);
@@ -132,9 +178,17 @@ int FuzzMain(int argc, char** argv) {
   for (int i = 0; i < runs; ++i) {
     std::vector<FuzzOutcome> outcomes;
     for (size_t k = 0; k < per_spec; ++k) {
-      const size_t idx = static_cast<size_t>(i) * per_spec + k;
+      const size_t pair_idx = static_cast<size_t>(i) * per_spec + k;
+      const size_t idx = pair_idx * 2;
       const FuzzOutcome out = OutcomeFromResult(results[idx]);
-      const FuzzSpec& s = fuzz_specs[idx];
+      const FuzzSpec& s = fuzz_specs[pair_idx];
+      const std::string on_stats = StripTickElision(results[idx].schedstats_json);
+      const std::string off_stats = StripTickElision(results[idx + 1].schedstats_json);
+      if (on_stats != off_stats) {
+        std::fprintf(stderr, "FAIL %s: tickless schedstats diverged from eager-tick run\n",
+                     s.Label().c_str());
+        failures.push_back({s, "tickless", "schedstats differ with elision on vs off"});
+      }
       if (out.violations > 0) {
         std::fprintf(stderr, "FAIL %s: %" PRIu64 " violation(s), first monitor %s\n%s",
                      s.Label().c_str(), out.violations, out.monitor.c_str(),
@@ -167,6 +221,12 @@ int FuzzMain(int argc, char** argv) {
     FuzzSpec minimal = f.spec;
     if (!no_shrink && f.kind == "violation") {
       const ShrinkResult shrunk = ShrinkFuzzSpec(f.spec, MonitorFiresOracle(f.detail), max_shrink);
+      minimal = shrunk.minimal;
+      std::fprintf(stderr, "shrunk %s: %d -> %d threads (%d oracle calls)\n",
+                   f.spec.Label().c_str(), f.spec.TotalThreads(), minimal.TotalThreads(),
+                   shrunk.attempts);
+    } else if (!no_shrink && f.kind == "tickless") {
+      const ShrinkResult shrunk = ShrinkFuzzSpec(f.spec, TicklessDiverges, max_shrink);
       minimal = shrunk.minimal;
       std::fprintf(stderr, "shrunk %s: %d -> %d threads (%d oracle calls)\n",
                    f.spec.Label().c_str(), f.spec.TotalThreads(), minimal.TotalThreads(),
