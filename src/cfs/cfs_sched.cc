@@ -358,7 +358,7 @@ void CfsScheduler::CheckPreemptWakeup(CoreId core, SimThread* woken) {
     }
   }
   const bool fired = CfsWakeupPreemptEntity(tun_, se_curr, se_woken);
-  if (machine_->has_observers()) {
+  if (machine_->observing_decisions()) {
     PreemptDecision d;
     d.preemptor = woken->id();
     d.victim = curr->id();

@@ -172,7 +172,7 @@ int CfsScheduler::BalanceAtLevel(CoreId dst, TopoLevel level, bool idle_pull) {
     return 0;
   }
   bool all_hot = false;
-  const bool probe = machine_->has_observers();
+  const bool probe = machine_->observing_decisions();
   const double src_load_before = probe ? CoreLoad(src) : 0.0;
   const double dst_load_before = probe ? CoreLoad(dst) : 0.0;
   const int moved = PullTasks(src, dst, imbalance, tun_.max_migrate, &all_hot);

@@ -283,6 +283,16 @@ CoreId CfsScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind 
   d.chosen = chosen;
   d.cores_scanned = static_cast<int>(machine_->counters().pickcpu_scans - scans_before);
   d.affine_hit = d.prev != kInvalidCore && chosen == d.prev;
+  if (machine_->observing_decisions()) {
+    // Feature snapshot for the decision-record dataset; skipped entirely on
+    // the detached hot path.
+    d.chosen_rq = chosen != kInvalidCore ? RunnableCountOf(chosen) : -1;
+    d.prev_rq = d.prev != kInvalidCore ? RunnableCountOf(d.prev) : -1;
+    if (thread->sched_data() != nullptr) {
+      d.sched_key = SeOf(thread)->vruntime;
+    }
+    d.idle_mask = machine_->idle_mask();
+  }
   machine_->EmitPickCpu(d);
   return chosen;
 }

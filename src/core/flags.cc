@@ -39,6 +39,20 @@ bool ParseInt(const std::string& s, int* out) {
   return true;
 }
 
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) {
+    return false;
+  }
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
 bool ParseUint64(const std::string& s, uint64_t* out) {
   if (s.empty() || s[0] == '-' || s[0] == '+' || std::isspace(static_cast<unsigned char>(s[0]))) {
     return false;
@@ -59,6 +73,10 @@ FlagSet& FlagSet::Double(std::string name, double* target, std::string help) {
 }
 FlagSet& FlagSet::Int(std::string name, int* target, std::string help) {
   flags_.push_back({Kind::kInt, std::move(name), target, std::move(help)});
+  return *this;
+}
+FlagSet& FlagSet::Int64(std::string name, int64_t* target, std::string help) {
+  flags_.push_back({Kind::kInt64, std::move(name), target, std::move(help)});
   return *this;
 }
 FlagSet& FlagSet::Uint64(std::string name, uint64_t* target, std::string help) {
@@ -131,6 +149,9 @@ bool FlagSet::Parse(int argc, char** argv, int first, std::string* error) const 
       case Kind::kInt:
         ok = ParseInt(value, static_cast<int*>(flag->target));
         break;
+      case Kind::kInt64:
+        ok = ParseInt64(value, static_cast<int64_t*>(flag->target));
+        break;
       case Kind::kUint64:
         ok = ParseUint64(value, static_cast<uint64_t*>(flag->target));
         break;
@@ -163,6 +184,7 @@ std::string FlagSet::Help() const {
         l += "=<float>";
         break;
       case Kind::kInt:
+      case Kind::kInt64:
         l += "=<int>";
         break;
       case Kind::kUint64:

@@ -18,6 +18,7 @@ namespace schedbattle {
 // range; returns false on empty input, garbage, trailing junk or overflow.
 bool ParseDouble(const std::string& s, double* out);
 bool ParseInt(const std::string& s, int* out);
+bool ParseInt64(const std::string& s, int64_t* out);
 bool ParseUint64(const std::string& s, uint64_t* out);
 
 // A declarative table of "--name=value" flags (booleans take no value). Bind
@@ -27,6 +28,7 @@ class FlagSet {
  public:
   FlagSet& Double(std::string name, double* target, std::string help);
   FlagSet& Int(std::string name, int* target, std::string help);
+  FlagSet& Int64(std::string name, int64_t* target, std::string help);
   FlagSet& Uint64(std::string name, uint64_t* target, std::string help);
   FlagSet& String(std::string name, std::string* target, std::string help);
   // Repeatable: every occurrence appends.
@@ -43,7 +45,7 @@ class FlagSet {
   std::string Help() const;
 
  private:
-  enum class Kind { kDouble, kInt, kUint64, kString, kStringList, kBool };
+  enum class Kind { kDouble, kInt, kInt64, kUint64, kString, kStringList, kBool };
   struct Flag {
     Kind kind;
     std::string name;  // without the leading "--"

@@ -33,6 +33,20 @@ double AvgPenalty(const Machine& machine, const std::vector<SimThread*>& threads
 
 bool IsWorker(const SimThread* t) { return t->name().find("/worker-") != std::string::npos; }
 
+// Default tail-latency objectives attached to the paper-figure scenarios so
+// their RunResults (and schedstats JSON) carry SLO verdicts out of the box.
+// Thresholds are deliberately loose — they document the expected order of
+// magnitude and flag regressions, not tuning targets.
+std::vector<SloObjective> DefaultSlo(SimDuration p99, SimDuration p999) {
+  SloObjective o99;
+  o99.metric = SloMetric::kWakeupP99;
+  o99.threshold = p99;
+  SloObjective o999;
+  o999.metric = SloMetric::kWakeupP999;
+  o999.threshold = p999;
+  return {o99, o999};
+}
+
 }  // namespace
 
 // ---- Table 2 / Figures 1 and 2 ----
@@ -42,6 +56,8 @@ ExperimentSpec FiboSysbenchSpec(SchedKind kind, uint64_t seed, double scale,
   ExperimentSpec spec = ExperimentSpec::SingleCore(kind, seed);
   spec.scale = scale;
   spec.Named("fibo+sysbench/" + std::string(SchedName(kind)));
+  // One core shared with a CPU hog: wakeups can wait out whole timeslices.
+  spec.slo = DefaultSlo(Seconds(1), Seconds(5));
 
   AppSpec fibo;
   fibo.name = "fibo";
@@ -325,6 +341,7 @@ std::vector<SuiteRow> RunSuite(const std::vector<AppSpec>& apps, const SuiteOpti
     spec.machine.seed = options.seed;
     spec.scale = options.scale;
     spec.Named(app.name);
+    spec.slo = options.slo;
     spec.Add(app);
     bases.push_back(std::move(spec));
   }
@@ -352,6 +369,28 @@ std::vector<SuiteRow> RunSuite(const std::vector<AppSpec>& apps, const SuiteOpti
     row.ule_overhead_pct = gu.Aggregate(overhead).mean;
     row.cfs_wakeup_preemptions = gc.runs.front()->counters.wakeup_preemptions;
     row.ule_wakeup_preemptions = gu.runs.front()->counters.wakeup_preemptions;
+    if (!options.slo.empty()) {
+      const auto observed = [](SloMetric metric) {
+        return [metric](const RunResult& r) -> double {
+          for (const SloVerdict& v : r.slo_verdicts) {
+            if (v.objective.metric == metric) {
+              return static_cast<double>(v.observed);
+            }
+          }
+          return 0;
+        };
+      };
+      row.cfs_wakeup_p99_ns = gc.Aggregate(observed(SloMetric::kWakeupP99)).mean;
+      row.ule_wakeup_p99_ns = gu.Aggregate(observed(SloMetric::kWakeupP99)).mean;
+      row.cfs_wakeup_p999_ns = gc.Aggregate(observed(SloMetric::kWakeupP999)).mean;
+      row.ule_wakeup_p999_ns = gu.Aggregate(observed(SloMetric::kWakeupP999)).mean;
+      for (const RunResult* r : gc.runs) {
+        row.cfs_slo_pass = row.cfs_slo_pass && r->slo_pass;
+      }
+      for (const RunResult* r : gu.runs) {
+        row.ule_slo_pass = row.ule_slo_pass && r->slo_pass;
+      }
+    }
     if (row.cfs_metric > 0) {
       row.diff_pct = 100.0 * (row.ule_metric - row.cfs_metric) / row.cfs_metric;
     }
@@ -384,6 +423,8 @@ ExperimentSpec LoadBalanceSpec(SchedKind kind, uint64_t seed, SimTime run_for, i
   spec.system_noise = false;  // the paper's experiment uses only the spinners
   spec.horizon = run_for;
   spec.Named("loadbalance-512/" + std::string(SchedName(kind)));
+  // 512 spinners over 32 cores: ~16-deep queues of 5ms slices.
+  spec.slo = DefaultSlo(Seconds(2), Seconds(10));
 
   AppSpec spinners;
   spinners.name = "spinners";
@@ -540,6 +581,10 @@ std::vector<MultiAppRow> RunMultiAppPairs(uint64_t seed, double scale, int runs,
     together.Add(MultiAppSpecFor(pd.a));
     together.Add(MultiAppSpecFor(pd.b));
     bases.push_back(std::move(together));
+  }
+  // Co-scheduled multicore runs: tails dominated by background-noise bursts.
+  for (ExperimentSpec& b : bases) {
+    b.slo = DefaultSlo(Seconds(1), Seconds(5));
   }
 
   const std::vector<ExperimentSpec> specs = SeedSweep(BothSchedulers(bases), runs);

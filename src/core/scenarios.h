@@ -87,6 +87,14 @@ struct SuiteRow {
   double ule_overhead_pct = 0;
   uint64_t cfs_wakeup_preemptions = 0;  // base-seed run
   uint64_t ule_wakeup_preemptions = 0;
+  // Tail-latency aggregation, filled only when SuiteOptions::slo is
+  // non-empty (means across seeds of the per-run SLO observations).
+  double cfs_wakeup_p99_ns = 0;
+  double ule_wakeup_p99_ns = 0;
+  double cfs_wakeup_p999_ns = 0;
+  double ule_wakeup_p999_ns = 0;
+  bool cfs_slo_pass = true;  // AND across seeds
+  bool ule_slo_pass = true;
 };
 
 struct SuiteOptions {
@@ -96,6 +104,9 @@ struct SuiteOptions {
   double scale = 1.0;
   int runs = 1;  // seeds per (app, scheduler) cell
   int jobs = 1;  // campaign worker threads (0 = hardware concurrency)
+  // Latency objectives applied to every run; non-empty attaches a SchedStats
+  // observer per run and fills the SuiteRow tail-latency fields.
+  std::vector<SloObjective> slo;
 };
 
 // Runs every app under both schedulers for `runs` seeds as ONE campaign

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/apps/registry.h"
+#include "src/metrics/decision_log.h"
 #include "src/metrics/schedstats.h"
 
 namespace schedbattle {
@@ -117,8 +118,12 @@ RunResult ExecuteSpec(const ExperimentSpec& spec) {
     monitors = std::make_unique<MonitorSuite>(&run.machine(), spec.monitor_options);
   }
   std::unique_ptr<SchedStats> stats;
-  if (spec.collect_schedstats) {
+  if (spec.collect_schedstats || !spec.slo.empty()) {
     stats = std::make_unique<SchedStats>(&run.machine());
+  }
+  std::unique_ptr<DecisionLog> decision_log;
+  if (spec.collect_decision_log) {
+    decision_log = std::make_unique<DecisionLog>(&run.machine());
   }
 
   RunResult result;
@@ -145,7 +150,18 @@ RunResult ExecuteSpec(const ExperimentSpec& spec) {
   }
   if (stats != nullptr) {
     stats->Detach();
-    result.schedstats_json = stats->ToJson();
+    if (!spec.slo.empty()) {
+      result.slo_verdicts = EvaluateSlos(spec.slo, *stats);
+      result.slo_pass = AllSlosPass(result.slo_verdicts);
+    }
+    if (spec.collect_schedstats) {
+      result.schedstats_json =
+          stats->ToJson(spec.slo.empty() ? nullptr : &result.slo_verdicts);
+    }
+  }
+  if (decision_log != nullptr) {
+    decision_log->Detach();
+    result.decision_log = decision_log->ToJsonl();
   }
   if (monitors != nullptr) {
     monitors->Detach();

@@ -23,6 +23,7 @@
 
 #include "src/check/invariant.h"
 #include "src/core/runner.h"
+#include "src/metrics/slo.h"
 
 namespace schedbattle {
 
@@ -81,6 +82,14 @@ struct ExperimentSpec {
   double scale = 1.0;
   // Attach a SchedStats observer and store its JSON snapshot in the result.
   bool collect_schedstats = false;
+  // Attach a DecisionLog and store its JSONL export in the result
+  // (the schedscope decision-record dataset).
+  bool collect_decision_log = false;
+  // Declarative latency objectives ("wakeup_p99 < 5ms"). A non-empty list
+  // forces stats collection for the evaluation; verdicts land in
+  // RunResult::slo_verdicts and, when collect_schedstats is also set, in an
+  // "slo" section of the schedstats JSON.
+  std::vector<SloObjective> slo;
   // Arm the full invariant MonitorSuite (src/check) for the run; violation
   // counts and the report land in the RunResult. The suite attaches before
   // SchedStats so stats snapshots can include per-monitor counts.
@@ -132,6 +141,12 @@ struct RunResult {
   MachineCounters counters;
   std::vector<AppResult> apps;
   std::string schedstats_json;  // only when spec.collect_schedstats
+  std::string decision_log;     // JSONL; only when spec.collect_decision_log
+
+  // SLO evaluation (only when spec.slo is non-empty). slo_pass is vacuously
+  // true for specs with no objectives.
+  std::vector<SloVerdict> slo_verdicts;
+  bool slo_pass = true;
 
   // Invariant-monitoring outcome (only when spec.check_invariants).
   uint64_t violations = 0;

@@ -1,0 +1,400 @@
+#include "src/metrics/decision_log.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace schedbattle {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'B', 'D', 'L'};
+
+// Little-endian fixed-width writers/readers for the binary framing. The
+// simulator only targets little-endian hosts, but going through memcpy of
+// explicitly-sized integers keeps the format well-defined.
+template <typename T>
+void PutInt(std::vector<uint8_t>* out, T v) {
+  uint8_t buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->insert(out->end(), buf, buf + sizeof(T));
+}
+
+template <typename T>
+bool GetInt(const std::vector<uint8_t>& in, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > in.size()) {
+    return false;
+  }
+  std::memcpy(v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+void PutDouble(std::vector<uint8_t>* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutInt(out, bits);
+}
+
+bool GetDouble(const std::vector<uint8_t>& in, size_t* pos, double* v) {
+  uint64_t bits = 0;
+  if (!GetInt(in, pos, &bits)) {
+    return false;
+  }
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+// Fixed-precision double formatting shared by every JSONL field, so the
+// stream is byte-deterministic.
+void AppendDouble(std::ostringstream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  os << buf;
+}
+
+}  // namespace
+
+const char* DecisionRecordTypeName(DecisionRecord::Type type) {
+  switch (type) {
+    case DecisionRecord::Type::kDispatch:
+      return "dispatch";
+    case DecisionRecord::Type::kDeschedule:
+      return "desched";
+    case DecisionRecord::Type::kWake:
+      return "wake";
+    case DecisionRecord::Type::kMigrate:
+      return "migrate";
+    case DecisionRecord::Type::kFork:
+      return "fork";
+    case DecisionRecord::Type::kPick:
+      return "pick";
+    case DecisionRecord::Type::kBalance:
+      return "balance";
+    case DecisionRecord::Type::kPreempt:
+      return "preempt";
+  }
+  return "unknown";
+}
+
+const char* EnqueueKindName(EnqueueKind kind) {
+  switch (kind) {
+    case EnqueueKind::kFork:
+      return "fork";
+    case EnqueueKind::kWakeup:
+      return "wakeup";
+    case EnqueueKind::kRequeue:
+      return "requeue";
+    case EnqueueKind::kMigrate:
+      return "migrate";
+  }
+  return "unknown";
+}
+
+DecisionLog::DecisionLog(Machine* machine) : machine_(machine) {
+  machine_->AttachDecisionSink(&sink_);
+  attached_ = true;
+}
+
+DecisionLog::~DecisionLog() { Detach(); }
+
+void DecisionLog::Detach() {
+  if (attached_) {
+    machine_->DetachDecisionSink(&sink_);
+    attached_ = false;
+  }
+}
+
+DecisionRecord DecisionLog::Decode(const DecisionSink::RawRecord& raw) {
+  DecisionRecord r;
+  r.t = raw.t;
+  r.type = raw.type;
+  switch (raw.type) {
+    case DecisionType::kPick: {
+      DecisionPickPayload p;
+      std::memcpy(&p, raw.payload, sizeof(p));
+      r.pick.thread = p.thread;
+      r.pick.origin = p.origin;
+      r.pick.prev = p.prev;
+      r.pick.chosen = p.chosen;
+      r.pick.kind = static_cast<EnqueueKind>(p.kind);
+      r.pick.reason = static_cast<PickReason>(p.reason);
+      r.pick.cores_scanned = p.cores_scanned;
+      r.pick.affine_hit = p.affine_hit != 0;
+      r.pick.chosen_rq = p.chosen_rq;
+      r.pick.prev_rq = p.prev_rq;
+      r.pick.sched_key = p.sched_key;
+      r.pick.idle_mask = p.idle_mask;
+      break;
+    }
+    case DecisionType::kBalance:
+      std::memcpy(&r.balance, raw.payload, sizeof(r.balance));
+      break;
+    case DecisionType::kPreempt: {
+      DecisionPreemptPayload p;
+      std::memcpy(&p, raw.payload, sizeof(p));
+      r.preempt.preemptor = p.preemptor;
+      r.preempt.victim = p.victim;
+      r.preempt.core = p.core;
+      r.preempt.fired = p.fired != 0;
+      r.preempt.margin = p.margin;
+      break;
+    }
+    default: {
+      DecisionLifePayload p;
+      std::memcpy(&p, raw.payload, sizeof(p));
+      r.life.thread = p.thread;
+      r.life.core = p.core;
+      r.life.from_core = p.from_core;
+      r.life.reason = static_cast<char>(p.reason);
+      break;
+    }
+  }
+  return r;
+}
+
+DecisionRecord DecisionLog::at(size_t i) const {
+  assert(i < size());
+  return Decode(sink_.RecordAt(i));
+}
+
+DecisionLogHeader DecisionLog::Header() const {
+  DecisionLogHeader h;
+  h.scheduler = machine_->scheduler().name();
+  h.num_cores = machine_->num_cores();
+  h.tickless = machine_->tickless();
+  h.seed = machine_->params().seed;
+  return h;
+}
+
+std::string DecisionLog::ToJsonl(size_t max_records) const {
+  const DecisionLogHeader h = Header();
+  std::ostringstream os;
+  os << "{\"type\":\"header\",\"schema\":" << h.schema << ",\"scheduler\":\"" << h.scheduler
+     << "\",\"num_cores\":" << h.num_cores << ",\"tickless\":" << (h.tickless ? 1 : 0)
+     << ",\"seed\":" << h.seed << ",\"records\":" << size() << "}\n";
+  const size_t n = size() < max_records ? size() : max_records;
+  DecisionSink::Reader reader(sink_);
+  DecisionSink::RawRecord raw;
+  for (size_t i = 0; i < n && reader.Next(&raw); ++i) {
+    const DecisionRecord r = Decode(raw);
+    os << "{\"t\":" << r.t << ",\"type\":\"" << DecisionRecordTypeName(r.type) << "\"";
+    switch (r.type) {
+      case DecisionRecord::Type::kDispatch:
+      case DecisionRecord::Type::kWake:
+      case DecisionRecord::Type::kFork:
+        os << ",\"tid\":" << r.life.thread << ",\"core\":" << r.life.core;
+        break;
+      case DecisionRecord::Type::kDeschedule:
+        os << ",\"tid\":" << r.life.thread << ",\"core\":" << r.life.core << ",\"reason\":\""
+           << r.life.reason << "\"";
+        break;
+      case DecisionRecord::Type::kMigrate:
+        os << ",\"tid\":" << r.life.thread << ",\"from\":" << r.life.from_core
+           << ",\"to\":" << r.life.core;
+        break;
+      case DecisionRecord::Type::kPick:
+        os << ",\"tid\":" << r.pick.thread << ",\"origin\":" << r.pick.origin
+           << ",\"prev\":" << r.pick.prev << ",\"chosen\":" << r.pick.chosen << ",\"kind\":\""
+           << EnqueueKindName(r.pick.kind) << "\",\"reason\":\"" << PickReasonName(r.pick.reason)
+           << "\",\"scanned\":" << r.pick.cores_scanned
+           << ",\"affine\":" << (r.pick.affine_hit ? 1 : 0)
+           << ",\"chosen_rq\":" << r.pick.chosen_rq << ",\"prev_rq\":" << r.pick.prev_rq
+           << ",\"sched_key\":" << r.pick.sched_key << ",\"idle_mask\":" << r.pick.idle_mask;
+        break;
+      case DecisionRecord::Type::kBalance:
+        os << ",\"kind\":\"" << BalanceKindName(r.balance.kind)
+           << "\",\"level\":" << r.balance.level << ",\"src\":" << r.balance.src
+           << ",\"dst\":" << r.balance.dst << ",\"src_load\":";
+        AppendDouble(os, r.balance.src_load);
+        os << ",\"dst_load\":";
+        AppendDouble(os, r.balance.dst_load);
+        os << ",\"imbalance_pct\":";
+        AppendDouble(os, r.balance.imbalance_pct);
+        os << ",\"moved\":" << r.balance.threads_moved;
+        break;
+      case DecisionRecord::Type::kPreempt:
+        os << ",\"preemptor\":" << r.preempt.preemptor << ",\"victim\":" << r.preempt.victim
+           << ",\"core\":" << r.preempt.core << ",\"fired\":" << (r.preempt.fired ? 1 : 0)
+           << ",\"margin\":" << r.preempt.margin;
+        break;
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+bool DecisionLog::WriteFile(const std::string& path, bool binary) const {
+  std::FILE* f = std::fopen(path.c_str(), binary ? "wb" : "w");
+  if (f == nullptr) {
+    return false;
+  }
+  bool ok;
+  if (binary) {
+    const std::vector<uint8_t> bytes = ToBinary();
+    ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  } else {
+    const std::string text = ToJsonl();
+    ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  }
+  return std::fclose(f) == 0 && ok;
+}
+
+std::vector<uint8_t> DecisionLog::ToBinary() const {
+  const DecisionLogHeader h = Header();
+  std::vector<uint8_t> out;
+  out.reserve(64 + size() * 32);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  PutInt<uint32_t>(&out, h.schema);
+  PutInt<uint32_t>(&out, static_cast<uint32_t>(h.scheduler.size()));
+  out.insert(out.end(), h.scheduler.begin(), h.scheduler.end());
+  PutInt<int32_t>(&out, h.num_cores);
+  PutInt<uint8_t>(&out, h.tickless ? 1 : 0);
+  PutInt<uint64_t>(&out, h.seed);
+  PutInt<uint64_t>(&out, size());
+  DecisionSink::Reader reader(sink_);
+  DecisionSink::RawRecord raw;
+  while (reader.Next(&raw)) {
+    const DecisionRecord r = Decode(raw);
+    PutInt<uint8_t>(&out, static_cast<uint8_t>(r.type));
+    PutInt<int64_t>(&out, r.t);
+    switch (r.type) {
+      case DecisionRecord::Type::kDispatch:
+      case DecisionRecord::Type::kDeschedule:
+      case DecisionRecord::Type::kWake:
+      case DecisionRecord::Type::kMigrate:
+      case DecisionRecord::Type::kFork:
+        PutInt<int64_t>(&out, r.life.thread);
+        PutInt<int32_t>(&out, r.life.core);
+        PutInt<int32_t>(&out, r.life.from_core);
+        PutInt<uint8_t>(&out, static_cast<uint8_t>(r.life.reason));
+        break;
+      case DecisionRecord::Type::kPick:
+        PutInt<int64_t>(&out, r.pick.thread);
+        PutInt<int32_t>(&out, r.pick.origin);
+        PutInt<int32_t>(&out, r.pick.prev);
+        PutInt<int32_t>(&out, r.pick.chosen);
+        PutInt<uint8_t>(&out, static_cast<uint8_t>(r.pick.kind));
+        PutInt<uint8_t>(&out, static_cast<uint8_t>(r.pick.reason));
+        PutInt<int32_t>(&out, r.pick.cores_scanned);
+        PutInt<uint8_t>(&out, r.pick.affine_hit ? 1 : 0);
+        PutInt<int32_t>(&out, r.pick.chosen_rq);
+        PutInt<int32_t>(&out, r.pick.prev_rq);
+        PutInt<int64_t>(&out, r.pick.sched_key);
+        PutInt<uint64_t>(&out, r.pick.idle_mask);
+        break;
+      case DecisionRecord::Type::kBalance:
+        PutInt<uint8_t>(&out, static_cast<uint8_t>(r.balance.kind));
+        PutInt<int32_t>(&out, r.balance.level);
+        PutInt<int32_t>(&out, r.balance.src);
+        PutInt<int32_t>(&out, r.balance.dst);
+        PutDouble(&out, r.balance.src_load);
+        PutDouble(&out, r.balance.dst_load);
+        PutDouble(&out, r.balance.imbalance_pct);
+        PutInt<int32_t>(&out, r.balance.threads_moved);
+        break;
+      case DecisionRecord::Type::kPreempt:
+        PutInt<int64_t>(&out, r.preempt.preemptor);
+        PutInt<int64_t>(&out, r.preempt.victim);
+        PutInt<int32_t>(&out, r.preempt.core);
+        PutInt<uint8_t>(&out, r.preempt.fired ? 1 : 0);
+        PutInt<int64_t>(&out, r.preempt.margin);
+        break;
+    }
+  }
+  return out;
+}
+
+bool DecisionLog::ParseBinary(const std::vector<uint8_t>& bytes, ParsedDecisionLog* out) {
+  size_t pos = 0;
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return false;
+  }
+  pos = 4;
+  DecisionLogHeader h;
+  uint32_t name_len = 0;
+  if (!GetInt(bytes, &pos, &h.schema) || !GetInt(bytes, &pos, &name_len) ||
+      pos + name_len > bytes.size()) {
+    return false;
+  }
+  h.scheduler.assign(reinterpret_cast<const char*>(bytes.data() + pos), name_len);
+  pos += name_len;
+  int32_t cores = 0;
+  uint8_t tickless = 0;
+  uint64_t count = 0;
+  if (!GetInt(bytes, &pos, &cores) || !GetInt(bytes, &pos, &tickless) ||
+      !GetInt(bytes, &pos, &h.seed) || !GetInt(bytes, &pos, &count)) {
+    return false;
+  }
+  h.num_cores = cores;
+  h.tickless = tickless != 0;
+  out->header = h;
+  out->records.clear();
+  out->records.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t type = 0;
+    DecisionRecord r;
+    if (!GetInt(bytes, &pos, &type) || type > static_cast<uint8_t>(DecisionRecord::Type::kPreempt) ||
+        !GetInt(bytes, &pos, &r.t)) {
+      return false;
+    }
+    r.type = static_cast<DecisionRecord::Type>(type);
+    bool ok = true;
+    switch (r.type) {
+      case DecisionRecord::Type::kDispatch:
+      case DecisionRecord::Type::kDeschedule:
+      case DecisionRecord::Type::kWake:
+      case DecisionRecord::Type::kMigrate:
+      case DecisionRecord::Type::kFork: {
+        uint8_t reason = 0;
+        ok = GetInt(bytes, &pos, &r.life.thread) && GetInt(bytes, &pos, &r.life.core) &&
+             GetInt(bytes, &pos, &r.life.from_core) && GetInt(bytes, &pos, &reason);
+        r.life.reason = static_cast<char>(reason);
+        break;
+      }
+      case DecisionRecord::Type::kPick: {
+        r.pick = PickCpuDecision{};
+        uint8_t kind = 0, reason = 0, affine = 0;
+        ok = GetInt(bytes, &pos, &r.pick.thread) && GetInt(bytes, &pos, &r.pick.origin) &&
+             GetInt(bytes, &pos, &r.pick.prev) && GetInt(bytes, &pos, &r.pick.chosen) &&
+             GetInt(bytes, &pos, &kind) && GetInt(bytes, &pos, &reason) &&
+             GetInt(bytes, &pos, &r.pick.cores_scanned) && GetInt(bytes, &pos, &affine) &&
+             GetInt(bytes, &pos, &r.pick.chosen_rq) && GetInt(bytes, &pos, &r.pick.prev_rq) &&
+             GetInt(bytes, &pos, &r.pick.sched_key) && GetInt(bytes, &pos, &r.pick.idle_mask);
+        r.pick.kind = static_cast<EnqueueKind>(kind);
+        r.pick.reason = static_cast<PickReason>(reason);
+        r.pick.affine_hit = affine != 0;
+        break;
+      }
+      case DecisionRecord::Type::kBalance: {
+        r.balance = BalancePassRecord{};
+        uint8_t kind = 0;
+        ok = GetInt(bytes, &pos, &kind) && GetInt(bytes, &pos, &r.balance.level) &&
+             GetInt(bytes, &pos, &r.balance.src) && GetInt(bytes, &pos, &r.balance.dst) &&
+             GetDouble(bytes, &pos, &r.balance.src_load) &&
+             GetDouble(bytes, &pos, &r.balance.dst_load) &&
+             GetDouble(bytes, &pos, &r.balance.imbalance_pct) &&
+             GetInt(bytes, &pos, &r.balance.threads_moved);
+        r.balance.kind = static_cast<BalancePassRecord::Kind>(kind);
+        break;
+      }
+      case DecisionRecord::Type::kPreempt: {
+        r.preempt = PreemptDecision{};
+        uint8_t fired = 0;
+        ok = GetInt(bytes, &pos, &r.preempt.preemptor) && GetInt(bytes, &pos, &r.preempt.victim) &&
+             GetInt(bytes, &pos, &r.preempt.core) && GetInt(bytes, &pos, &fired) &&
+             GetInt(bytes, &pos, &r.preempt.margin);
+        r.preempt.fired = fired != 0;
+        break;
+      }
+    }
+    if (!ok) {
+      return false;
+    }
+    out->records.push_back(r);
+  }
+  return pos == bytes.size();
+}
+
+}  // namespace schedbattle

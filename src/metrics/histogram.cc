@@ -42,13 +42,31 @@ double LatencyHistogram::Mean() const {
   return sum / static_cast<double>(samples_.size());
 }
 
+SimDuration LatencyHistogram::Sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), SimDuration{0});
+}
+
 SimDuration LatencyHistogram::Percentile(double p) const {
   if (samples_.empty()) {
     return 0;
   }
   SortIfNeeded();
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-  const size_t idx = static_cast<size_t>(rank + 0.5);
+  // Clamp before any arithmetic: casting a NaN or negative double to size_t
+  // is undefined behavior (the previous implementation did exactly that for
+  // out-of-range p).
+  if (!(p > 0.0)) {  // NaN compares false, mapping NaN -> min()
+    return samples_.front();
+  }
+  if (p >= 100.0) {
+    return samples_.back();
+  }
+  // Nearest-rank: smallest index idx with (idx + 1) / n >= p / 100.
+  const double rank = p / 100.0 * static_cast<double>(samples_.size());
+  size_t idx = static_cast<size_t>(rank);
+  if (static_cast<double>(idx) != rank) {
+    ++idx;  // ceil for fractional ranks
+  }
+  idx = idx > 0 ? idx - 1 : 0;
   return samples_[std::min(idx, samples_.size() - 1)];
 }
 

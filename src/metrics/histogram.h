@@ -18,7 +18,10 @@ class LatencyHistogram {
   SimDuration min() const;
   SimDuration max() const;
   double Mean() const;
-  // p in [0, 100]; exact order statistic (nearest-rank).
+  SimDuration Sum() const;
+  // Exact nearest-rank order statistic: the smallest sample s such that at
+  // least p% of samples are <= s (idx = ceil(p/100 * n) - 1). p is clamped
+  // to [0, 100]; NaN behaves as 0. Empty histograms return 0 for every p.
   SimDuration Percentile(double p) const;
 
   void Clear();

@@ -48,7 +48,8 @@ void AppendHistogramJson(std::ostringstream& os, const LatencyHistogram& h) {
   if (h.count() > 0) {
     os << ",\"min_ns\":" << h.min() << ",\"max_ns\":" << h.max()
        << ",\"mean_ns\":" << h.Mean() << ",\"p50_ns\":" << h.Percentile(50)
-       << ",\"p90_ns\":" << h.Percentile(90) << ",\"p99_ns\":" << h.Percentile(99);
+       << ",\"p90_ns\":" << h.Percentile(90) << ",\"p99_ns\":" << h.Percentile(99)
+       << ",\"p999_ns\":" << h.Percentile(99.9);
   }
   os << "}";
 }
@@ -56,7 +57,7 @@ void AppendHistogramJson(std::ostringstream& os, const LatencyHistogram& h) {
 }  // namespace
 
 SchedStats::SchedStats(Machine* machine, Options options)
-    : machine_(machine), options_(options) {
+    : machine_(machine), options_(options), wakeup_tail_(options.tail_window) {
   rq_depth_.reserve(machine_->num_cores());
   for (CoreId c = 0; c < machine_->num_cores(); ++c) {
     rq_depth_.emplace_back("rq_depth_core" + std::to_string(c));
@@ -100,6 +101,7 @@ void SchedStats::OnDispatch(SimTime now, CoreId /*core*/, const SimThread& threa
   if (auto it = pending_wake_.find(thread.id()); it != pending_wake_.end()) {
     const SimDuration latency = now - it->second;
     wakeup_latency_.Record(latency);
+    wakeup_tail_.Record(now, latency);
     per_thread_wakeup_[thread.id()].Record(latency);
     pending_wake_.erase(it);
   }
@@ -161,7 +163,7 @@ const LatencyHistogram* SchedStats::wakeup_latency_of(ThreadId id) const {
   return it != per_thread_wakeup_.end() ? &it->second : nullptr;
 }
 
-std::string SchedStats::ToJson() const {
+std::string SchedStats::ToJson(const std::vector<SloVerdict>* slo_verdicts) const {
   machine_->CatchUpTicks();  // settle pending elided ticks into the counters
   std::ostringstream os;
   os.precision(6);
@@ -193,6 +195,15 @@ std::string SchedStats::ToJson() const {
   os << ",\n\"fork_latency\":";
   AppendHistogramJson(os, fork_latency_);
   os << ",\n";
+
+  // Windowed tail percentiles of the wakeup latency over simulated time.
+  os << "\"wakeup_tail_series\":" << wakeup_tail_.ToJson() << ",\n";
+
+  // Declarative SLO verdicts, present only when the spec declared
+  // objectives (ExperimentSpec::slo).
+  if (slo_verdicts != nullptr) {
+    os << "\"slo\":" << SloVerdictsJson(*slo_verdicts) << ",\n";
+  }
 
   // Per-thread latency summaries, sorted by thread id for diffability.
   std::vector<ThreadId> tids;

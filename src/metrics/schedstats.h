@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/metrics/histogram.h"
+#include "src/metrics/slo.h"
 #include "src/metrics/timeseries.h"
 #include "src/sched/machine.h"
 
@@ -50,6 +51,9 @@ class SchedStats : public MachineObserver {
     SimDuration rq_sample_period = Milliseconds(10);
     // Capacity of each recent-balance-record ring.
     size_t recent_balance_cap = 128;
+    // Window of the wakeup-latency tail time series (p50/p99/p999 per
+    // window of simulated time).
+    SimDuration tail_window = Milliseconds(100);
   };
 
   // Attaches to the machine's observer bus and starts the periodic
@@ -77,6 +81,8 @@ class SchedStats : public MachineObserver {
   // Per-thread wakeup latency; nullptr if the thread never completed a
   // wake->dispatch pair.
   const LatencyHistogram* wakeup_latency_of(ThreadId id) const;
+  // Windowed wakeup-latency tail percentiles over simulated time.
+  const WindowedTailSeries& wakeup_tail() const { return wakeup_tail_; }
   const TimeSeries& runqueue_depth(CoreId core) const { return rq_depth_[core]; }
   const DecisionCounters& decisions() const { return decisions_; }
   struct TimedBalanceRecord {
@@ -87,8 +93,10 @@ class SchedStats : public MachineObserver {
   const std::vector<TimedBalanceRecord>& recent_moves() const { return recent_moves_; }
 
   // One JSON snapshot of everything above. Deterministic key order; all
-  // durations in nanoseconds.
-  std::string ToJson() const;
+  // durations in nanoseconds. The overload taking SLO verdicts additionally
+  // emits an "slo" section with per-objective pass/fail.
+  std::string ToJson() const { return ToJson(nullptr); }
+  std::string ToJson(const std::vector<SloVerdict>* slo_verdicts) const;
 
  private:
   void SampleRunqueues(SimTime now);
@@ -102,6 +110,7 @@ class SchedStats : public MachineObserver {
 
   LatencyHistogram wakeup_latency_;
   LatencyHistogram fork_latency_;
+  WindowedTailSeries wakeup_tail_;
   std::unordered_map<ThreadId, LatencyHistogram> per_thread_wakeup_;
   // Threads with a wake (or fork) not yet followed by a dispatch.
   std::unordered_map<ThreadId, SimTime> pending_wake_;

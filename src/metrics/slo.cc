@@ -1,0 +1,307 @@
+#include "src/metrics/slo.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/metrics/schedstats.h"
+
+namespace schedbattle {
+
+// ---- LogHistogram ----
+
+int LogHistogram::BucketOf(SimDuration value) {
+  if (value < 0) {
+    value = 0;
+  }
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) {
+    return static_cast<int>(v);  // exact buckets below one octave of sub-buckets
+  }
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - 5;  // log2(kSubBuckets)
+  const int sub = static_cast<int>((v >> shift) & (kSubBuckets - 1));
+  return (msb - 4) * kSubBuckets + sub;
+}
+
+SimDuration LogHistogram::BucketLowerBound(int bucket) {
+  if (bucket < kSubBuckets) {
+    return bucket;
+  }
+  const int msb = bucket / kSubBuckets + 4;
+  const int sub = bucket % kSubBuckets;
+  const int shift = msb - 5;
+  return ((static_cast<int64_t>(1) << 5 | sub)) << shift;
+}
+
+void LogHistogram::Record(SimDuration value) {
+  if (buckets_.empty()) {
+    buckets_.assign(kNumBuckets, 0);
+  }
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  if (count_ == 0 || value > max_) {
+    max_ = value;
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+  ++buckets_[BucketOf(value)];
+}
+
+double LogHistogram::Mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+
+SimDuration LogHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (!(p > 0.0)) {
+    return min();
+  }
+  if (p >= 100.0) {
+    return max();
+  }
+  // Nearest-rank over buckets: find the bucket holding the ceil(p/100*n)-th
+  // sample, report its lower bound (clamped into [min, max]).
+  const double frank = p / 100.0 * static_cast<double>(count_);
+  uint64_t rank = static_cast<uint64_t>(frank);
+  if (static_cast<double>(rank) != frank) {
+    ++rank;
+  }
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      const SimDuration lo = BucketLowerBound(b);
+      if (lo < min_) {
+        return min_;
+      }
+      return lo < max_ ? lo : max_;
+    }
+  }
+  return max_;
+}
+
+void LogHistogram::Clear() {
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0;
+  buckets_.clear();
+}
+
+// ---- WindowedTailSeries ----
+
+void WindowedTailSeries::Record(SimTime t, SimDuration value) {
+  const int64_t idx = t / window_;
+  // Simulated time is monotone, so the window index only grows; appending
+  // keeps indices_ sorted.
+  if (indices_.empty() || indices_.back() != idx) {
+    indices_.push_back(idx);
+    histograms_.emplace_back();
+  }
+  histograms_.back().Record(value);
+}
+
+std::vector<TailWindow> WindowedTailSeries::Rows() const {
+  std::vector<TailWindow> rows;
+  rows.reserve(indices_.size());
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    TailWindow w;
+    w.start = indices_[i] * window_;
+    w.count = histograms_[i].count();
+    w.p50 = histograms_[i].Percentile(50);
+    w.p99 = histograms_[i].Percentile(99);
+    w.p999 = histograms_[i].Percentile(99.9);
+    rows.push_back(w);
+  }
+  return rows;
+}
+
+std::string WindowedTailSeries::ToJson() const {
+  std::ostringstream os;
+  os << "[";
+  const std::vector<TailWindow> rows = Rows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << "{\"start_ns\":" << rows[i].start << ",\"count\":" << rows[i].count
+       << ",\"p50_ns\":" << rows[i].p50 << ",\"p99_ns\":" << rows[i].p99
+       << ",\"p999_ns\":" << rows[i].p999 << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+// ---- SLO objectives ----
+
+const char* SloMetricName(SloMetric metric) {
+  switch (metric) {
+    case SloMetric::kWakeupP50:
+      return "wakeup_p50";
+    case SloMetric::kWakeupP90:
+      return "wakeup_p90";
+    case SloMetric::kWakeupP99:
+      return "wakeup_p99";
+    case SloMetric::kWakeupP999:
+      return "wakeup_p999";
+    case SloMetric::kWakeupMax:
+      return "wakeup_max";
+    case SloMetric::kWakeupMean:
+      return "wakeup_mean";
+    case SloMetric::kForkP99:
+      return "fork_p99";
+    case SloMetric::kForkP999:
+      return "fork_p999";
+  }
+  return "unknown";
+}
+
+std::string SloObjective::Describe() const {
+  char buf[64];
+  const double ms = static_cast<double>(threshold) / 1e6;
+  if (ms >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%s < %gms", SloMetricName(metric), ms);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s < %gus", SloMetricName(metric),
+                  static_cast<double>(threshold) / 1e3);
+  }
+  return buf;
+}
+
+bool ParseSloObjective(const std::string& text, SloObjective* out, std::string* error) {
+  const size_t lt = text.find('<');
+  if (lt == std::string::npos) {
+    if (error != nullptr) {
+      *error = "expected '<' in SLO objective '" + text + "' (e.g. wakeup_p99<5ms)";
+    }
+    return false;
+  }
+  const std::string metric = text.substr(0, lt);
+  const std::string value = text.substr(lt + 1);
+  static const struct {
+    const char* name;
+    SloMetric metric;
+  } kMetrics[] = {
+      {"wakeup_p50", SloMetric::kWakeupP50},   {"wakeup_p90", SloMetric::kWakeupP90},
+      {"wakeup_p99", SloMetric::kWakeupP99},   {"wakeup_p999", SloMetric::kWakeupP999},
+      {"wakeup_max", SloMetric::kWakeupMax},   {"wakeup_mean", SloMetric::kWakeupMean},
+      {"fork_p99", SloMetric::kForkP99},       {"fork_p999", SloMetric::kForkP999},
+  };
+  bool found = false;
+  for (const auto& m : kMetrics) {
+    if (metric == m.name) {
+      out->metric = m.metric;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    if (error != nullptr) {
+      *error = "unknown SLO metric '" + metric + "'";
+    }
+    return false;
+  }
+  char* end = nullptr;
+  const double num = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || num < 0) {
+    if (error != nullptr) {
+      *error = "bad SLO threshold '" + value + "'";
+    }
+    return false;
+  }
+  const std::string unit = end;
+  double scale;
+  if (unit == "ns" || unit.empty()) {
+    scale = 1;
+  } else if (unit == "us") {
+    scale = 1e3;
+  } else if (unit == "ms") {
+    scale = 1e6;
+  } else if (unit == "s") {
+    scale = 1e9;
+  } else {
+    if (error != nullptr) {
+      *error = "bad SLO unit '" + unit + "' (want ns/us/ms/s)";
+    }
+    return false;
+  }
+  out->threshold = static_cast<SimDuration>(num * scale);
+  out->name = text.substr(0, lt);
+  return true;
+}
+
+std::vector<SloVerdict> EvaluateSlos(const std::vector<SloObjective>& objectives,
+                                     const SchedStats& stats) {
+  std::vector<SloVerdict> verdicts;
+  verdicts.reserve(objectives.size());
+  for (const SloObjective& obj : objectives) {
+    SloVerdict v;
+    v.objective = obj;
+    if (v.objective.name.empty()) {
+      v.objective.name = SloMetricName(obj.metric);
+    }
+    const LatencyHistogram& wake = stats.wakeup_latency();
+    const LatencyHistogram& fork = stats.fork_latency();
+    switch (obj.metric) {
+      case SloMetric::kWakeupP50:
+        v.observed = wake.Percentile(50);
+        break;
+      case SloMetric::kWakeupP90:
+        v.observed = wake.Percentile(90);
+        break;
+      case SloMetric::kWakeupP99:
+        v.observed = wake.Percentile(99);
+        break;
+      case SloMetric::kWakeupP999:
+        v.observed = wake.Percentile(99.9);
+        break;
+      case SloMetric::kWakeupMax:
+        v.observed = wake.max();
+        break;
+      case SloMetric::kWakeupMean:
+        v.observed = static_cast<SimDuration>(wake.Mean());
+        break;
+      case SloMetric::kForkP99:
+        v.observed = fork.Percentile(99);
+        break;
+      case SloMetric::kForkP999:
+        v.observed = fork.Percentile(99.9);
+        break;
+    }
+    v.pass = v.observed < obj.threshold;
+    verdicts.push_back(std::move(v));
+  }
+  return verdicts;
+}
+
+bool AllSlosPass(const std::vector<SloVerdict>& verdicts) {
+  for (const SloVerdict& v : verdicts) {
+    if (!v.pass) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string SloVerdictsJson(const std::vector<SloVerdict>& verdicts) {
+  std::ostringstream os;
+  os << "{\"pass\":" << (AllSlosPass(verdicts) ? "true" : "false") << ",\"objectives\":[";
+  for (size_t i = 0; i < verdicts.size(); ++i) {
+    const SloVerdict& v = verdicts[i];
+    if (i > 0) {
+      os << ",";
+    }
+    os << "{\"name\":\"" << v.objective.name << "\",\"metric\":\""
+       << SloMetricName(v.objective.metric) << "\",\"threshold_ns\":" << v.objective.threshold
+       << ",\"observed_ns\":" << v.observed << ",\"pass\":" << (v.pass ? "true" : "false") << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,128 @@
+// SLO engine: log-bucketed latency histograms, windowed tail-percentile
+// time series, and declarative latency objectives with pass/fail verdicts.
+//
+// The ROADMAP's serving-fleet north star is a tail-latency story: which
+// scheduler holds p99/p999 under load. This module supplies the three
+// pieces: a LogHistogram whose memory is O(buckets) rather than O(samples)
+// (for windowed series over long runs), a WindowedTailSeries that tracks
+// how the tail evolves over simulated time, and SloObjective/SloVerdict —
+// objectives declared on an ExperimentSpec ("wakeup_p99 < 5ms"), evaluated
+// against the exact SchedStats histograms, with verdicts landing in the
+// RunResult and the schedstats JSON.
+#ifndef SRC_METRICS_SLO_H_
+#define SRC_METRICS_SLO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+class SchedStats;
+
+// Log-bucketed latency histogram: 32 sub-buckets per power of two, giving a
+// worst-case quantile error of ~3% of the value while holding memory at a
+// fixed ~2000 buckets regardless of sample count. Percentile() returns the
+// lower bound of the selected bucket (deterministic, never over-reports).
+class LogHistogram {
+ public:
+  void Record(SimDuration value);
+  uint64_t count() const { return count_; }
+  SimDuration min() const { return count_ > 0 ? min_ : 0; }
+  SimDuration max() const { return count_ > 0 ? max_ : 0; }
+  double Mean() const;
+  SimDuration Percentile(double p) const;
+  void Clear();
+  // Sub-buckets per octave; exposed for the resolution test.
+  static constexpr int kSubBuckets = 32;
+
+ private:
+  static int BucketOf(SimDuration value);
+  static SimDuration BucketLowerBound(int bucket);
+  // 64 octaves x 32 sub-buckets covers the whole non-negative int64 range.
+  static constexpr int kNumBuckets = 64 * kSubBuckets;
+
+  uint64_t count_ = 0;
+  SimDuration min_ = 0;
+  SimDuration max_ = 0;
+  double sum_ = 0;
+  std::vector<uint32_t> buckets_;  // allocated lazily on first Record
+};
+
+// Tail percentiles of one fixed window of simulated time.
+struct TailWindow {
+  SimTime start = 0;  // window start (window index * period)
+  uint64_t count = 0;
+  SimDuration p50 = 0;
+  SimDuration p99 = 0;
+  SimDuration p999 = 0;
+};
+
+// Windowed time series of tail percentiles: samples are routed into fixed
+// simulated-time windows (LogHistogram per window); Rows() reports how the
+// tail evolved over the run. Empty windows are skipped (not zero-filled).
+class WindowedTailSeries {
+ public:
+  explicit WindowedTailSeries(SimDuration window = Milliseconds(100)) : window_(window) {}
+  void Record(SimTime t, SimDuration value);
+  SimDuration window() const { return window_; }
+  size_t num_windows() const { return histograms_.size(); }
+  std::vector<TailWindow> Rows() const;
+  // Deterministic JSON array: [{"start_ns":..,"count":..,"p50_ns":..,
+  // "p99_ns":..,"p999_ns":..},...].
+  std::string ToJson() const;
+
+ private:
+  SimDuration window_;
+  std::vector<int64_t> indices_;  // sorted window indices, parallel to histograms_
+  std::vector<LogHistogram> histograms_;
+};
+
+// The measurable quantities an objective can constrain.
+enum class SloMetric : uint8_t {
+  kWakeupP50,
+  kWakeupP90,
+  kWakeupP99,
+  kWakeupP999,
+  kWakeupMax,
+  kWakeupMean,
+  kForkP99,
+  kForkP999,
+};
+const char* SloMetricName(SloMetric metric);
+
+// One declarative objective: metric < threshold.
+struct SloObjective {
+  SloMetric metric = SloMetric::kWakeupP99;
+  SimDuration threshold = 0;
+  std::string name;  // optional label; defaults to SloMetricName
+
+  std::string Describe() const;  // "wakeup_p99 < 5ms"
+};
+
+// Parses "wakeup_p99<5ms" / "fork_p999<1.5s" / "wakeup_max<800us" (also
+// accepts a bare nanosecond count). Returns false with *error set on
+// malformed input.
+bool ParseSloObjective(const std::string& text, SloObjective* out, std::string* error);
+
+struct SloVerdict {
+  SloObjective objective;
+  SimDuration observed = 0;
+  bool pass = false;
+};
+
+// Evaluates objectives against the run's exact latency histograms.
+std::vector<SloVerdict> EvaluateSlos(const std::vector<SloObjective>& objectives,
+                                     const SchedStats& stats);
+// True iff every verdict passed (vacuously true when empty).
+bool AllSlosPass(const std::vector<SloVerdict>& verdicts);
+
+// Deterministic JSON: {"pass":true,"objectives":[{"name":..,"metric":..,
+// "threshold_ns":..,"observed_ns":..,"pass":..},...]}.
+std::string SloVerdictsJson(const std::vector<SloVerdict>& verdicts);
+
+}  // namespace schedbattle
+
+#endif  // SRC_METRICS_SLO_H_

@@ -1,0 +1,262 @@
+#include "src/metrics/thread_timeline.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace schedbattle {
+
+namespace {
+
+void AppendTime(std::ostringstream& os, SimTime t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%12.6f", static_cast<double>(t) / 1e9);
+  os << buf;
+}
+
+std::string HumanDuration(SimDuration d) {
+  char buf[40];
+  if (d >= Seconds(1)) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(d) / 1e9);
+  } else if (d >= Milliseconds(1)) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(d) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(d) / 1e3);
+  }
+  return buf;
+}
+
+}  // namespace
+
+const char* TimelineStateName(TimelineSegment::State state) {
+  switch (state) {
+    case TimelineSegment::State::kRunnable:
+      return "runnable";
+    case TimelineSegment::State::kRunning:
+      return "running";
+    case TimelineSegment::State::kBlocked:
+      return "blocked";
+  }
+  return "unknown";
+}
+
+TimelineSet::TimelineSet(const DecisionLog& log, SimTime end_time) : end_time_(end_time) {
+  Fold(log);
+}
+
+void TimelineSet::OpenSegment(ThreadTimeline* tl, TimelineSegment::State state, SimTime t,
+                              CoreId core) {
+  TimelineSegment seg;
+  seg.state = state;
+  seg.start = t;
+  seg.end = t;  // patched by CloseSegment (or finalization)
+  seg.core = core;
+  tl->segments.push_back(seg);
+}
+
+void TimelineSet::CloseSegment(ThreadTimeline* tl, SimTime t) {
+  if (tl->segments.empty()) {
+    return;
+  }
+  TimelineSegment& seg = tl->segments.back();
+  seg.end = t;
+  switch (seg.state) {
+    case TimelineSegment::State::kRunnable:
+      tl->total_runnable += seg.duration();
+      break;
+    case TimelineSegment::State::kRunning:
+      tl->total_running += seg.duration();
+      break;
+    case TimelineSegment::State::kBlocked:
+      tl->total_blocked += seg.duration();
+      break;
+  }
+}
+
+void TimelineSet::Fold(const DecisionLog& log) {
+  for (size_t i = 0; i < log.size(); ++i) {
+    const DecisionRecord& r = log.at(i);
+    switch (r.type) {
+      case DecisionRecord::Type::kFork: {
+        ThreadTimeline& tl = timelines_[r.life.thread];
+        tl.id = r.life.thread;
+        tl.born = r.t;
+        pending_wake_[r.life.thread] = r.t;  // fork-to-first-dispatch wait
+        OpenSegment(&tl, TimelineSegment::State::kRunnable, r.t, r.life.core);
+        break;
+      }
+      case DecisionRecord::Type::kWake: {
+        ThreadTimeline& tl = timelines_[r.life.thread];
+        tl.id = r.life.thread;
+        pending_wake_[r.life.thread] = r.t;
+        CloseSegment(&tl, r.t);  // ends the blocked segment
+        OpenSegment(&tl, TimelineSegment::State::kRunnable, r.t, r.life.core);
+        break;
+      }
+      case DecisionRecord::Type::kDispatch: {
+        ThreadTimeline& tl = timelines_[r.life.thread];
+        tl.id = r.life.thread;
+        ++tl.dispatches;
+        if (auto it = pending_wake_.find(r.life.thread); it != pending_wake_.end()) {
+          // Fork waits are tracked by SchedStats in the fork histogram, not
+          // the wakeup one; mirror that split so totals stay comparable.
+          if (tl.dispatches > 1 || tl.born < 0 || it->second != tl.born) {
+            tl.wake_latency_sum += r.t - it->second;
+            ++tl.wake_latency_count;
+          }
+          pending_wake_.erase(it);
+        }
+        CloseSegment(&tl, r.t);  // ends the runnable segment
+        OpenSegment(&tl, TimelineSegment::State::kRunning, r.t, r.life.core);
+        break;
+      }
+      case DecisionRecord::Type::kDeschedule: {
+        ThreadTimeline& tl = timelines_[r.life.thread];
+        tl.id = r.life.thread;
+        CloseSegment(&tl, r.t);  // ends the running segment
+        switch (r.life.reason) {
+          case 'P':
+            ++tl.preemptions;
+            [[fallthrough]];
+          case 'Y':
+            OpenSegment(&tl, TimelineSegment::State::kRunnable, r.t, r.life.core);
+            break;
+          case 'B':
+            OpenSegment(&tl, TimelineSegment::State::kBlocked, r.t, kInvalidCore);
+            break;
+          case 'X':
+            tl.exited = r.t;
+            break;
+          default:
+            break;
+        }
+        break;
+      }
+      case DecisionRecord::Type::kMigrate: {
+        ThreadTimeline& tl = timelines_[r.life.thread];
+        tl.id = r.life.thread;
+        tl.migrations.push_back({r.t, r.life.from_core, r.life.core});
+        // A migrated thread stays runnable; note the queue move by splitting
+        // the runnable segment at the hop.
+        if (!tl.segments.empty() &&
+            tl.segments.back().state == TimelineSegment::State::kRunnable) {
+          CloseSegment(&tl, r.t);
+          OpenSegment(&tl, TimelineSegment::State::kRunnable, r.t, r.life.core);
+        }
+        break;
+      }
+      case DecisionRecord::Type::kPick:
+      case DecisionRecord::Type::kBalance:
+      case DecisionRecord::Type::kPreempt:
+        break;  // decision probes carry no lifecycle transition
+    }
+  }
+  // Close segments still open when the log ends (threads alive at horizon).
+  for (auto& [id, tl] : timelines_) {
+    if (!tl.segments.empty() && tl.segments.back().end == tl.segments.back().start &&
+        tl.exited < 0) {
+      CloseSegment(&tl, end_time_);
+    }
+  }
+}
+
+const ThreadTimeline* TimelineSet::Find(ThreadId id) const {
+  auto it = timelines_.find(id);
+  return it != timelines_.end() ? &it->second : nullptr;
+}
+
+SimDuration TimelineSet::TotalRunning() const {
+  SimDuration sum = 0;
+  for (const auto& [id, tl] : timelines_) {
+    sum += tl.total_running;
+  }
+  return sum;
+}
+
+SimDuration TimelineSet::TotalWakeLatency() const {
+  SimDuration sum = 0;
+  for (const auto& [id, tl] : timelines_) {
+    sum += tl.wake_latency_sum;
+  }
+  return sum;
+}
+
+uint64_t TimelineSet::TotalWakeCount() const {
+  uint64_t sum = 0;
+  for (const auto& [id, tl] : timelines_) {
+    sum += tl.wake_latency_count;
+  }
+  return sum;
+}
+
+std::string TimelineSet::RenderThread(ThreadId id, size_t max_segments) const {
+  const ThreadTimeline* tl = Find(id);
+  if (tl == nullptr) {
+    return "thread " + std::to_string(id) + ": not in log\n";
+  }
+  std::ostringstream os;
+  os << "thread " << id << ": " << tl->segments.size() << " segments, " << tl->dispatches
+     << " dispatches, " << tl->migrations.size() << " migrations, " << tl->preemptions
+     << " preemptions\n";
+  os << "  on-cpu " << HumanDuration(tl->total_running) << ", runqueue-wait "
+     << HumanDuration(tl->total_runnable) << ", blocked " << HumanDuration(tl->total_blocked);
+  if (tl->wake_latency_count > 0) {
+    os << ", avg wake latency "
+       << HumanDuration(tl->wake_latency_sum / static_cast<SimDuration>(tl->wake_latency_count));
+  }
+  os << "\n";
+  const size_t n = tl->segments.size() < max_segments ? tl->segments.size() : max_segments;
+  for (size_t i = 0; i < n; ++i) {
+    const TimelineSegment& s = tl->segments[i];
+    os << "  ";
+    AppendTime(os, s.start);
+    os << "  ";
+    AppendTime(os, s.end);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  %-8s", TimelineStateName(s.state));
+    os << buf;
+    if (s.core != kInvalidCore) {
+      std::snprintf(buf, sizeof(buf), " c%02d", s.core);
+      os << buf;
+    } else {
+      os << "    ";
+    }
+    os << "  (" << HumanDuration(s.duration()) << ")\n";
+  }
+  if (tl->segments.size() > n) {
+    os << "  ... " << tl->segments.size() - n << " more segments\n";
+  }
+  if (!tl->migrations.empty()) {
+    os << "  migration chain:";
+    for (const MigrationHop& hop : tl->migrations) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " c%d->c%d@%.6f", hop.from, hop.to,
+                    static_cast<double>(hop.t) / 1e9);
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string TimelineSet::RenderSummary(size_t max_threads) const {
+  std::ostringstream os;
+  os << "  tid   on-cpu        rq-wait       blocked       disp   migr  preempt\n";
+  size_t shown = 0;
+  for (const auto& [id, tl] : timelines_) {
+    if (shown++ >= max_threads) {
+      os << "  ... " << timelines_.size() - max_threads << " more threads\n";
+      break;
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  %-5lld %-13s %-13s %-13s %-6llu %-5zu %llu\n",
+                  static_cast<long long>(id), HumanDuration(tl.total_running).c_str(),
+                  HumanDuration(tl.total_runnable).c_str(),
+                  HumanDuration(tl.total_blocked).c_str(),
+                  static_cast<unsigned long long>(tl.dispatches), tl.migrations.size(),
+                  static_cast<unsigned long long>(tl.preemptions));
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace schedbattle

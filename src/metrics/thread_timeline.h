@@ -1,0 +1,93 @@
+// ThreadTimeline: per-thread lifecycle reconstruction from a DecisionLog.
+//
+// Folds the flat decision-record stream back into what each thread actually
+// experienced: alternating runnable (waiting in a runqueue), running
+// (on-CPU) and blocked (sleeping) segments, the wake->dispatch latency of
+// every serviced wakeup, and the chain of migrations. The reconstruction is
+// exact — segments partition each thread's lifetime with no gaps or
+// overlaps, and the summed wake->dispatch waits equal the SchedStats
+// wakeup-latency histogram total for the same run (asserted in tests).
+#ifndef SRC_METRICS_THREAD_TIMELINE_H_
+#define SRC_METRICS_THREAD_TIMELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/metrics/decision_log.h"
+
+namespace schedbattle {
+
+// One contiguous span of a thread's life in a single state.
+struct TimelineSegment {
+  enum class State : uint8_t { kRunnable, kRunning, kBlocked };
+  State state = State::kRunnable;
+  SimTime start = 0;
+  SimTime end = 0;  // == start of the next segment; horizon for the last one
+  CoreId core = kInvalidCore;  // running: the core; runnable: the queue's core
+  SimDuration duration() const { return end - start; }
+};
+const char* TimelineStateName(TimelineSegment::State state);
+
+// One balancer-driven move in a thread's migration chain.
+struct MigrationHop {
+  SimTime t = 0;
+  CoreId from = kInvalidCore;
+  CoreId to = kInvalidCore;
+};
+
+struct ThreadTimeline {
+  ThreadId id = kInvalidThread;
+  SimTime born = -1;    // fork record time (-1 if the log starts mid-life)
+  SimTime exited = -1;  // deschedule-'X' time (-1 if still alive at log end)
+  std::vector<TimelineSegment> segments;
+  std::vector<MigrationHop> migrations;
+
+  // Off-CPU wait breakdown and on-CPU totals, summed over segments.
+  SimDuration total_running = 0;
+  SimDuration total_runnable = 0;  // runqueue wait (incl. preempted time)
+  SimDuration total_blocked = 0;
+  // Wake->dispatch pairs (the SchedStats wakeup-latency pairing): sum and
+  // count of serviced wakeups.
+  SimDuration wake_latency_sum = 0;
+  uint64_t wake_latency_count = 0;
+  uint64_t dispatches = 0;
+  uint64_t preemptions = 0;  // deschedules with reason 'P'
+};
+
+// The full reconstruction: one timeline per thread that appears in the log,
+// keyed (and ordered) by thread id.
+class TimelineSet {
+ public:
+  // Folds `log` into per-thread timelines. Open segments (threads alive when
+  // the log ends) are closed at `end_time` (typically machine.now()).
+  TimelineSet(const DecisionLog& log, SimTime end_time);
+
+  const std::map<ThreadId, ThreadTimeline>& timelines() const { return timelines_; }
+  const ThreadTimeline* Find(ThreadId id) const;
+
+  // Totals across every thread (for schedstats cross-checks).
+  SimDuration TotalRunning() const;
+  SimDuration TotalWakeLatency() const;
+  uint64_t TotalWakeCount() const;
+
+  // Human-readable segment listing for one thread:
+  //   "  12.000345  12.001200  runnable  c02  (855us)"
+  std::string RenderThread(ThreadId id, size_t max_segments = 64) const;
+  // One summary row per thread: totals, dispatch/migration counts.
+  std::string RenderSummary(size_t max_threads = 64) const;
+
+ private:
+  void Fold(const DecisionLog& log);
+  void OpenSegment(ThreadTimeline* tl, TimelineSegment::State state, SimTime t, CoreId core);
+  void CloseSegment(ThreadTimeline* tl, SimTime t);
+
+  SimTime end_time_;
+  std::map<ThreadId, ThreadTimeline> timelines_;
+  std::map<ThreadId, SimTime> pending_wake_;  // wake not yet dispatched
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_METRICS_THREAD_TIMELINE_H_

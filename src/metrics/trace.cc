@@ -23,6 +23,16 @@ void SchedTrace::Detach() {
 }
 
 void SchedTrace::Push(TraceEvent e) {
+  // Tickless accounting rides along at event granularity: one sample per
+  // change of the machine's tick-elision counters, bounded by the same
+  // capacity as the event buffer.
+  const TickElisionCounters& te = machine_->tick_elision();
+  if (tick_samples_.size() < capacity_ &&
+      (tick_samples_.empty() || tick_samples_.back().ticks_fired != te.ticks_fired ||
+       tick_samples_.back().ticks_elided != te.ticks_elided ||
+       tick_samples_.back().batch_updates != te.batch_updates)) {
+    tick_samples_.push_back({e.t, te.ticks_fired, te.ticks_elided, te.batch_updates});
+  }
   // Sample the counter tracks at event granularity: runnable count on the
   // event's core and its NUMA node. RunnableCountOf is O(1)-ish for both
   // schedulers, so this stays cheap even for dense traces.
@@ -132,6 +142,27 @@ std::string SchedTrace::ToChromeJson() const {
                   "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\","
                   "\"args\":{\"name\":\"core %d\"}}",
                   c, c);
+    emit(buf);
+  }
+  // Tickless accounting as three counter tracks (PR-5's NOHZ-style tick
+  // elision: fired vs elided ticks, and batched catch-up invocations).
+  for (const TickElisionSample& s : tick_samples_) {
+    char buf[256];
+    const double us = static_cast<double>(s.t) / 1000.0;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":%.3f,"
+                  "\"name\":\"ticks fired\",\"args\":{\"count\":%llu}}",
+                  us, static_cast<unsigned long long>(s.ticks_fired));
+    emit(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":%.3f,"
+                  "\"name\":\"ticks elided\",\"args\":{\"count\":%llu}}",
+                  us, static_cast<unsigned long long>(s.ticks_elided));
+    emit(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":%.3f,"
+                  "\"name\":\"tick batch updates\",\"args\":{\"count\":%llu}}",
+                  us, static_cast<unsigned long long>(s.batch_updates));
     emit(buf);
   }
   // Pair dispatch/deschedule per core into slices; link wake->dispatch per

@@ -29,6 +29,16 @@ struct TraceEvent {
   int node_runnable = -1;  // summed runnable count of that node's cores
 };
 
+// One tickless-accounting sample, taken whenever the machine's tick-elision
+// counters changed between two recorded events. Exported as Perfetto "C"
+// counter tracks (ticks fired / ticks elided / batch catch-ups).
+struct TickElisionSample {
+  SimTime t = 0;
+  uint64_t ticks_fired = 0;
+  uint64_t ticks_elided = 0;
+  uint64_t batch_updates = 0;
+};
+
 class SchedTrace : public MachineObserver {
  public:
   // Attaches to the machine's observer bus. `capacity` bounds memory: when
@@ -49,6 +59,9 @@ class SchedTrace : public MachineObserver {
   size_t dropped() const { return dropped_; }
   // Events in chronological order (ring-buffer order resolved).
   std::vector<TraceEvent> Events() const;
+  // Tick-elision counter samples, in chronological order (bounded by the
+  // event capacity; sampling stops when full).
+  const std::vector<TickElisionSample>& tick_elision_samples() const { return tick_samples_; }
 
   // One line per event: "12.345678 c03 DISPATCH  tid=7 name".
   std::string ToText(size_t max_events = 10000) const;
@@ -65,6 +78,7 @@ class SchedTrace : public MachineObserver {
 
   Machine* machine_;
   size_t capacity_;
+  std::vector<TickElisionSample> tick_samples_;
   std::vector<TraceEvent> events_;  // ring buffer
   size_t head_ = 0;                 // next write position once wrapped
   bool wrapped_ = false;

@@ -1,0 +1,155 @@
+#include "src/sched/decision_sink.h"
+
+#include <cassert>
+#include <mutex>
+
+namespace schedbattle {
+
+// Process-wide slab freelist. Capture runs are frequent and short-lived
+// (campaign pools, the fuzzer, the bench gate), and a measurable attached
+// cost is first-touch page faults on fresh slab memory — so retired slabs
+// are recycled. Slab contents are never read beyond the fill point, so reuse
+// cannot leak records between runs, and pool order cannot affect any output.
+// Guarded by a mutex: campaign pools run one machine (and thus one sink) per
+// worker thread.
+namespace {
+std::mutex g_slab_pool_mu;
+std::vector<std::vector<uint8_t>> g_slab_pool;
+constexpr size_t kSlabPoolMax = 24;  // cap resident spare memory at 384 MiB
+}  // namespace
+
+void DecisionSink::WarmSlabPool(size_t min_slabs) {
+  std::lock_guard<std::mutex> lock(g_slab_pool_mu);
+  while (g_slab_pool.size() < min_slabs && g_slab_pool.size() < kSlabPoolMax) {
+    std::vector<uint8_t> bytes;
+    bytes.resize(kSlabBytes);  // zero-fill = prefault every page now
+    g_slab_pool.push_back(std::move(bytes));
+  }
+}
+
+std::vector<uint8_t> DecisionSink::AcquireSlabBytes() {
+  {
+    std::lock_guard<std::mutex> lock(g_slab_pool_mu);
+    if (!g_slab_pool.empty()) {
+      std::vector<uint8_t> bytes = std::move(g_slab_pool.back());
+      g_slab_pool.pop_back();
+      return bytes;
+    }
+  }
+  std::vector<uint8_t> bytes;
+  bytes.resize(kSlabBytes);  // zero-fill = prefault every page now
+  return bytes;
+}
+
+DecisionSink::DecisionSink() {
+  // Acquire (and, if fresh, prefault) the first slab at attach time — before
+  // any measured window starts — so the hot path appends into resident pages.
+  slabs_.emplace_back();
+  slabs_.back().bytes = AcquireSlabBytes();
+  write_ptr_ = slabs_.back().bytes.data();
+  slab_end_ = write_ptr_ + kSlabBytes;
+}
+
+DecisionSink::~DecisionSink() {
+  std::lock_guard<std::mutex> lock(g_slab_pool_mu);
+  for (Slab& slab : slabs_) {
+    if (g_slab_pool.size() >= kSlabPoolMax) {
+      break;
+    }
+    g_slab_pool.push_back(std::move(slab.bytes));
+  }
+}
+
+uint8_t* DecisionSink::NextSlab() {
+  // Close the current slab at the fill point; records never straddle slab
+  // boundaries, so readers can walk each slab as a contiguous segment.
+  slabs_.back().used = static_cast<size_t>(write_ptr_ - slabs_.back().bytes.data());
+  slabs_.emplace_back();
+  slabs_.back().bytes = AcquireSlabBytes();
+  write_ptr_ = slabs_.back().bytes.data();
+  slab_end_ = write_ptr_ + kSlabBytes;
+  return write_ptr_;
+}
+
+size_t DecisionSink::TotalBytes() const {
+  size_t total = 0;
+  for (size_t seg = 0; seg < NumSegments(); ++seg) {
+    total += SegmentSize(seg);
+  }
+  return total;
+}
+
+size_t DecisionSink::size() const {
+  const size_t total = TotalBytes();
+  if (counted_bytes_ != total) {
+    size_t count = 0;
+    for (size_t seg = 0; seg < NumSegments(); ++seg) {
+      const uint8_t* data = SegmentData(seg);
+      const size_t fill = SegmentSize(seg);
+      size_t off = 0;
+      while (off < fill) {
+        ++count;
+        const DecisionType type = static_cast<DecisionType>(data[off + 7]);  // header top byte
+        off += DecisionWireSize(type);
+      }
+      assert(off == fill);
+    }
+    counted_records_ = count;
+    counted_bytes_ = total;
+  }
+  return counted_records_;
+}
+
+bool DecisionSink::Reader::Next(RawRecord* out) {
+  while (segment_ < sink_->NumSegments() && offset_ >= sink_->SegmentSize(segment_)) {
+    ++segment_;
+    offset_ = 0;
+  }
+  if (segment_ >= sink_->NumSegments()) {
+    return false;
+  }
+  const uint8_t* p = sink_->SegmentData(segment_) + offset_;
+  uint64_t header;
+  std::memcpy(&header, p, sizeof(header));
+  out->type = static_cast<DecisionType>(header >> kDecisionTimeBits);
+  out->t = static_cast<SimTime>(header & kDecisionTimeMask);
+  out->payload = p + kDecisionRecordOverhead;
+  offset_ += DecisionWireSize(out->type);
+  assert(offset_ <= sink_->SegmentSize(segment_));
+  return true;
+}
+
+const std::vector<uint64_t>& DecisionSink::Index() const {
+  const size_t total = TotalBytes();
+  if (index_bytes_ != total) {
+    index_.clear();
+    index_.reserve(size());
+    for (size_t seg = 0; seg < NumSegments(); ++seg) {
+      const uint8_t* data = SegmentData(seg);
+      const size_t fill = SegmentSize(seg);
+      size_t off = 0;
+      while (off < fill) {
+        index_.push_back(static_cast<uint64_t>(seg) << 32 | off);
+        const DecisionType type = static_cast<DecisionType>(data[off + 7]);  // header top byte
+        off += DecisionWireSize(type);
+      }
+    }
+    assert(index_.size() == size());
+    index_bytes_ = total;
+  }
+  return index_;
+}
+
+DecisionSink::RawRecord DecisionSink::RecordAt(size_t i) const {
+  const uint64_t entry = Index()[i];
+  const uint8_t* p = SegmentData(entry >> 32) + static_cast<uint32_t>(entry);
+  RawRecord out;
+  uint64_t header;
+  std::memcpy(&header, p, sizeof(header));
+  out.type = static_cast<DecisionType>(header >> kDecisionTimeBits);
+  out.t = static_cast<SimTime>(header & kDecisionTimeMask);
+  out.payload = p + kDecisionRecordOverhead;
+  return out;
+}
+
+}  // namespace schedbattle

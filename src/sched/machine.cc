@@ -252,6 +252,9 @@ void Machine::StartThread(SimThread* thread, SimThread* parent) {
   thread->runnable_since = now();
   scheduler_->EnqueueTask(cpu, thread, EnqueueKind::kFork);
   scheduler_->CheckPreemptWakeup(cpu, thread);
+  if (sink_ != nullptr) {
+    sink_->Fork(now(), thread->id(), cpu);
+  }
   if (!observers_.empty()) {
     observers_.OnFork(now(), *thread, cpu);
   }
@@ -286,6 +289,9 @@ bool Machine::Wake(SimThread* thread, CoreId waker_core) {
   thread->runnable_since = now();
   scheduler_->EnqueueTask(cpu, thread, EnqueueKind::kWakeup);
   scheduler_->CheckPreemptWakeup(cpu, thread);
+  if (sink_ != nullptr) {
+    sink_->Wake(now(), thread->id(), cpu);
+  }
   if (!observers_.empty()) {
     observers_.OnWake(now(), *thread, cpu);
   }
@@ -372,6 +378,9 @@ void Machine::NoteMigration(SimThread* thread, CoreId from, CoreId to) {
   ++counters_.migrations;
   ++thread->migrations;
   thread->set_cpu(to);
+  if (sink_ != nullptr) {
+    sink_->Migrate(now(), thread->id(), from, to);
+  }
   if (!observers_.empty()) {
     observers_.OnMigrate(now(), *thread, from, to);
   }
@@ -459,6 +468,9 @@ void Machine::ReschedCore(CoreId core) {
     prev->runnable_since = now();
     ++prev->preemptions;
     ++c->preemptions;
+    if (sink_ != nullptr) {
+      sink_->Deschedule(now(), prev->id(), core, 'P');
+    }
     if (!observers_.empty()) {
       observers_.OnDeschedule(now(), core, *prev, 'P');
     }
@@ -519,6 +531,9 @@ void Machine::Dispatch(CoreId core, SimThread* thread, bool switched) {
   thread->work_started = now() + cost;
   c->set_current(thread);
   idle_mask_ &= ~(uint64_t{1} << core);
+  if (sink_ != nullptr) {
+    sink_->Dispatch(now(), thread->id(), core);
+  }
   if (!observers_.empty()) {
     observers_.OnDispatch(now(), core, *thread);
   }
@@ -566,6 +581,9 @@ void Machine::RunBody(CoreId core, SimThread* thread) {
         StopCurrent(core);
         thread->set_state(ThreadState::kRunnable);
         thread->runnable_since = now();
+        if (sink_ != nullptr) {
+          sink_->Deschedule(now(), thread->id(), core, 'Y');
+        }
         if (!observers_.empty()) {
           observers_.OnDeschedule(now(), core, *thread, 'Y');
         }
@@ -597,6 +615,9 @@ void Machine::BlockCurrent(CoreId core, SimThread* thread) {
   StopCurrent(core);
   thread->set_state(ThreadState::kBlocked);
   thread->block_start = now();
+  if (sink_ != nullptr) {
+    sink_->Deschedule(now(), thread->id(), core, 'B');
+  }
   if (!observers_.empty()) {
     observers_.OnDeschedule(now(), core, *thread, 'B');
   }
@@ -622,6 +643,9 @@ void Machine::ExitCurrent(CoreId core, SimThread* thread) {
   StopCurrent(core);
   thread->set_state(ThreadState::kDead);
   thread->exit_time = now();
+  if (sink_ != nullptr) {
+    sink_->Deschedule(now(), thread->id(), core, 'X');
+  }
   if (!observers_.empty()) {
     observers_.OnDeschedule(now(), core, *thread, 'X');
   }

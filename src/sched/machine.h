@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/sched/core.h"
+#include "src/sched/decision_sink.h"
 #include "src/sched/observer.h"
 #include "src/sched/sched_class.h"
 #include "src/sched/thread.h"
@@ -224,18 +225,46 @@ class Machine {
   const ObserverBus& observers() const { return observers_; }
   bool has_observers() const { return !observers_.empty(); }
 
-  // ---- decision probes (called by schedulers; no-ops with no observers) ----
+  // The decision sink is a dedicated slot beside the bus: the schedscope
+  // decision log consumes every event, and routing it through virtual
+  // observer dispatch would alone eat most of its < 5% overhead budget (see
+  // decision_sink.h). One sink at a time; attaching is idempotent for the
+  // same sink.
+  void AttachDecisionSink(DecisionSink* sink) {
+    assert(sink_ == nullptr || sink_ == sink);
+    sink_ = sink;
+  }
+  void DetachDecisionSink(DecisionSink* sink) {
+    if (sink_ == sink) {
+      sink_ = nullptr;
+    }
+  }
+  // True when decision provenance is being consumed — the schedulers gate
+  // per-decision feature-vector assembly on this, so the detached hot path
+  // pays nothing for it.
+  bool observing_decisions() const { return sink_ != nullptr || !observers_.empty(); }
+
+  // ---- decision probes (called by schedulers; no-ops when detached) ----
   void EmitPickCpu(const PickCpuDecision& d) {
+    if (sink_ != nullptr) {
+      sink_->Pick(now(), d);
+    }
     if (!observers_.empty()) {
       observers_.OnPickCpu(now(), d);
     }
   }
   void EmitBalancePass(const BalancePassRecord& r) {
+    if (sink_ != nullptr) {
+      sink_->Balance(now(), r);
+    }
     if (!observers_.empty()) {
       observers_.OnBalancePass(now(), r);
     }
   }
   void EmitPreempt(const PreemptDecision& d) {
+    if (sink_ != nullptr) {
+      sink_->Preempt(now(), d);
+    }
     if (!observers_.empty()) {
       observers_.OnPreempt(now(), d);
     }
@@ -277,6 +306,7 @@ class Machine {
   int alive_threads_ = 0;
   MachineCounters counters_;
   ObserverBus observers_;
+  DecisionSink* sink_ = nullptr;  // not owned; see AttachDecisionSink
   uint64_t idle_mask_ = 0;
   bool booted_ = false;
   // ---- tickless state ----

@@ -37,6 +37,12 @@ inline constexpr int kNumPickReasons = 8;
 const char* PickReasonName(PickReason reason);
 
 // Provenance of one SelectTaskRq decision.
+//
+// The feature block (chosen_rq .. idle_mask) is the per-decision machine
+// state snapshot schedscope exports as a training-ready dataset: the inputs
+// a learned placement policy would see. It is filled only when something is
+// consuming decisions (Machine::observing_decisions()), so the detached hot
+// path pays nothing for it.
 struct PickCpuDecision {
   ThreadId thread = kInvalidThread;
   CoreId origin = kInvalidCore;  // waker/forker core (or last core)
@@ -46,6 +52,15 @@ struct PickCpuDecision {
   PickReason reason = PickReason::kLowestLoad;
   int cores_scanned = 0;  // cores examined while deciding
   bool affine_hit = false;  // chosen == prev (cache-warm placement)
+
+  // ---- feature vector (observer-attached runs only) ----
+  int chosen_rq = -1;  // runnable count on the chosen core, post-decision
+  int prev_rq = -1;    // runnable count on the previous core (-1: no prev)
+  // Scheduler-specific placement key: CFS = the entity's vruntime (ns-scale
+  // weighted runtime), ULE = the interactivity penalty (0..100). -1 when the
+  // scheduler has no key for the thread yet (first fork).
+  int64_t sched_key = -1;
+  uint64_t idle_mask = 0;  // machine idle-core bitmask at decision time
 };
 
 // One load-balancing pass: a periodic rebalance, a newidle pull, or an idle

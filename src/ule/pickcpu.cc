@@ -235,6 +235,14 @@ CoreId UleScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind 
   d.chosen = chosen;
   d.cores_scanned = static_cast<int>(machine_->counters().pickcpu_scans - scans_before);
   d.affine_hit = d.prev != kInvalidCore && chosen == d.prev;
+  if (machine_->observing_decisions()) {
+    // Feature snapshot for the decision-record dataset; skipped entirely on
+    // the detached hot path.
+    d.chosen_rq = chosen != kInvalidCore ? RunnableCountOf(chosen) : -1;
+    d.prev_rq = d.prev != kInvalidCore ? RunnableCountOf(d.prev) : -1;
+    d.sched_key = InteractivityPenaltyOf(thread);
+    d.idle_mask = machine_->idle_mask();
+  }
   machine_->EmitPickCpu(d);
   return chosen;
 }

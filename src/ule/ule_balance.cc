@@ -96,7 +96,7 @@ void UleScheduler::PeriodicBalance() {
       continue;
     }
     const bool moved = StealOne(donor, receiver) != nullptr;
-    if (machine_->has_observers()) {
+    if (machine_->observing_decisions()) {
       BalancePassRecord rec;
       rec.kind = BalancePassRecord::Kind::kPeriodic;
       rec.level = -1;  // ULE's periodic balancer is flat/global
@@ -158,7 +158,7 @@ bool UleScheduler::TryIdleSteal(CoreId core) {
       const int src_load = tdqs_[busiest].load;
       const int dst_load = tdqs_[core].load;
       const bool moved = StealOne(busiest, core) != nullptr;
-      if (machine_->has_observers()) {
+      if (machine_->observing_decisions()) {
         BalancePassRecord rec;
         rec.kind = BalancePassRecord::Kind::kIdleSteal;
         rec.level = static_cast<int>(level);

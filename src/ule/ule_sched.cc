@@ -93,7 +93,14 @@ int UleScheduler::RunningPriOf(CoreId core) const {
 }
 
 int UleScheduler::InteractivityPenaltyOf(const SimThread* thread) const {
-  machine_->CatchUpTicks();  // pending elided ticks accrue interact.runtime
+  // No tick catch-up here, deliberately. This hook is only called for the
+  // thread being *placed* (wake/fork/requeue), never for a running one, and
+  // ticks mutate only the running thread's interact accounting; the placed
+  // thread's history was finalized at its own last lifecycle edge, which
+  // tick-elision certification already syncs. Forcing a global CatchUpTicks
+  // per observed pick replayed ticks the elision would otherwise skip —
+  // measured as most of ULE's attached decision-log cost — and the
+  // differential log-equivalence oracle holds without it.
   return UleInteractScore(UleOf(thread).interact);
 }
 
@@ -235,7 +242,7 @@ void UleScheduler::CheckPreemptWakeup(CoreId core, SimThread* woken) {
   // preemption is disabled in stock ULE, so `fired` also needs the tunable.
   const int64_t margin = UleOf(curr).pri - UleOf(woken).pri;
   const bool fired = tun_.wakeup_preemption && margin > 0;
-  if (machine_->has_observers()) {
+  if (machine_->observing_decisions()) {
     PreemptDecision d;
     d.preemptor = woken->id();
     d.victim = curr->id();

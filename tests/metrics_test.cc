@@ -1,7 +1,9 @@
 // Metrics tests: histogram percentiles, time series, heatmap balance
 // detection, CSV output, counter formatting.
+#include <cmath>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <limits>
 
 #include "src/cfs/cfs_sched.h"
 #include "src/metrics/counters.h"
@@ -38,6 +40,51 @@ TEST(HistogramTest, ExactStatistics) {
               static_cast<double>(Milliseconds(2)));
   EXPECT_EQ(h.Percentile(0), Milliseconds(1));
   EXPECT_EQ(h.Percentile(100), Milliseconds(100));
+}
+
+TEST(HistogramTest, PercentileEdgeCasesAreClamped) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 10; ++i) {
+    h.Record(i);
+  }
+  // Out-of-range and non-finite p clamp to the extremes instead of indexing
+  // out of bounds (casting NaN/negative doubles to size_t is UB).
+  EXPECT_EQ(h.Percentile(-5), 1);
+  EXPECT_EQ(h.Percentile(0), 1);
+  EXPECT_EQ(h.Percentile(100), 10);
+  EXPECT_EQ(h.Percentile(250), 10);
+  EXPECT_EQ(h.Percentile(std::nan("")), 1);
+  EXPECT_EQ(h.Percentile(std::numeric_limits<double>::infinity()), 10);
+  // Nearest-rank: p just above a rank boundary selects the next sample.
+  EXPECT_EQ(h.Percentile(10), 1);
+  EXPECT_EQ(h.Percentile(10.001), 2);
+  EXPECT_EQ(h.Percentile(90), 9);
+  EXPECT_EQ(h.Percentile(99.9), 10);
+}
+
+TEST(HistogramTest, SingleSampleIsEveryPercentile) {
+  LatencyHistogram h;
+  h.Record(Microseconds(7));
+  for (double p : {-1.0, 0.0, 0.1, 50.0, 99.0, 99.9, 100.0, 1000.0}) {
+    EXPECT_EQ(h.Percentile(p), Microseconds(7)) << "p=" << p;
+  }
+  EXPECT_EQ(h.Sum(), Microseconds(7));
+}
+
+TEST(HistogramTest, P999TracksTheTailOnLargeSampleCounts) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 999; ++i) {
+    h.Record(i);
+  }
+  // With n < 1000, ceil(0.999 * n) == n: p999 is still the max.
+  EXPECT_EQ(h.Percentile(99.9), 999);
+  for (int i = 1000; i <= 2000; ++i) {
+    h.Record(i);
+  }
+  // n == 2000: rank ceil(0.999 * 2000) == 1999, so p999 steps off the max.
+  EXPECT_EQ(h.Percentile(99.9), 1999);
+  EXPECT_EQ(h.Percentile(100), 2000);
+  EXPECT_EQ(h.Sum(), SimDuration{2000} * 2001 / 2);
 }
 
 TEST(HistogramTest, InterleavedRecordAndQuery) {

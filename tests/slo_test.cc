@@ -1,0 +1,198 @@
+// SLO engine tests: LogHistogram bucket resolution, windowed tail series
+// routing, objective parsing, end-to-end verdict evaluation through
+// ExecuteSpec, and the committed fig1 schedstats golden file (the JSON
+// export contract: any schema or accounting change must be intentional).
+#include "src/metrics/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/scenarios.h"
+#include "tests/minijson.h"
+#include "tests/test_util.h"
+
+namespace schedbattle {
+namespace {
+
+TEST(LogHistogramTest, SmallValuesAreExact) {
+  LogHistogram h;
+  // Below kSubBuckets every integer has its own bucket, so percentiles are
+  // exact nearest-rank order statistics.
+  for (SimDuration v : {5, 1, 3, 2, 4}) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 5);
+  EXPECT_EQ(h.Percentile(50), 3);
+  EXPECT_EQ(h.Percentile(100), 5);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+}
+
+TEST(LogHistogramTest, ResolutionIsWithinOneSubBucket) {
+  // One sub-bucket is 1/32 of an octave, so the reported lower bound is
+  // never more than ~3.2% below the recorded value (and never above it).
+  for (SimDuration v : {SimDuration{100}, SimDuration{12345}, SimDuration{987654},
+                        SimDuration{123456789}, Seconds(3)}) {
+    LogHistogram h;
+    h.Record(v);
+    const SimDuration p = h.Percentile(50);
+    EXPECT_LE(p, v);
+    EXPECT_GE(static_cast<double>(p), static_cast<double>(v) * (1.0 - 1.0 / 31.0))
+        << "value " << v;
+  }
+}
+
+TEST(LogHistogramTest, EmptyAndClearReportZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  h.Record(Milliseconds(1));
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(WindowedTailSeriesTest, RoutesSamplesIntoWindowsAndSkipsEmptyOnes) {
+  WindowedTailSeries series(Milliseconds(100));
+  series.Record(Milliseconds(10), Microseconds(100));
+  series.Record(Milliseconds(50), Microseconds(200));
+  series.Record(Milliseconds(150), Microseconds(300));
+  series.Record(Milliseconds(350), Microseconds(400));  // window 2 stays empty
+
+  const std::vector<TailWindow> rows = series.Rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].start, 0);
+  EXPECT_EQ(rows[0].count, 2u);
+  EXPECT_EQ(rows[1].start, Milliseconds(100));
+  EXPECT_EQ(rows[1].count, 1u);
+  EXPECT_EQ(rows[2].start, Milliseconds(300));
+  EXPECT_EQ(rows[2].count, 1u);
+  // Percentiles are lower-bounded bucket values; monotone within a window.
+  EXPECT_LE(rows[0].p50, rows[0].p99);
+  EXPECT_LE(rows[0].p99, rows[0].p999);
+
+  const std::string json = series.ToJson();
+  const minijson::Value parsed = minijson::Parser(json).Parse();
+  (void)parsed;
+  EXPECT_NE(json.find("\"start_ns\""), std::string::npos);
+}
+
+TEST(SloObjectiveTest, ParsesMetricsAndUnits) {
+  const struct {
+    const char* text;
+    SloMetric metric;
+    SimDuration threshold;
+  } kCases[] = {
+      {"wakeup_p50<100us", SloMetric::kWakeupP50, Microseconds(100)},
+      {"wakeup_p90<2ms", SloMetric::kWakeupP90, Milliseconds(2)},
+      {"wakeup_p99<5ms", SloMetric::kWakeupP99, Milliseconds(5)},
+      {"wakeup_p999<1.5s", SloMetric::kWakeupP999, Milliseconds(1500)},
+      {"wakeup_max<800ns", SloMetric::kWakeupMax, 800},
+      {"wakeup_mean<250us", SloMetric::kWakeupMean, Microseconds(250)},
+      {"fork_p99<1s", SloMetric::kForkP99, Seconds(1)},
+      {"fork_p999<42", SloMetric::kForkP999, 42},  // bare count = nanoseconds
+  };
+  for (const auto& c : kCases) {
+    SloObjective obj;
+    std::string error;
+    ASSERT_TRUE(ParseSloObjective(c.text, &obj, &error)) << c.text << ": " << error;
+    EXPECT_EQ(obj.metric, c.metric) << c.text;
+    EXPECT_EQ(obj.threshold, c.threshold) << c.text;
+    // Describe() must round-trip the metric name it was parsed from.
+    EXPECT_NE(obj.Describe().find(SloMetricName(c.metric)), std::string::npos) << c.text;
+  }
+}
+
+TEST(SloObjectiveTest, RejectsMalformedInput) {
+  for (const char* text : {"bogus_p99<5ms", "wakeup_p99", "wakeup_p99<", "wakeup_p99<abc",
+                           "<5ms", "wakeup_p99<5parsecs", ""}) {
+    SloObjective obj;
+    std::string error;
+    EXPECT_FALSE(ParseSloObjective(text, &obj, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(SloEngineTest, ExecuteSpecEvaluatesObjectivesIntoTheResult) {
+  ExperimentSpec spec = StatsSpec(SchedKind::kUle, 42);
+  SloObjective loose, impossible;
+  std::string error;
+  ASSERT_TRUE(ParseSloObjective("wakeup_p99<10s", &loose, &error)) << error;
+  ASSERT_TRUE(ParseSloObjective("wakeup_max<0", &impossible, &error)) << error;
+  spec.slo = {loose, impossible};
+
+  const RunResult r = ExecuteSpec(spec);
+  ASSERT_EQ(r.slo_verdicts.size(), 2u);
+  EXPECT_TRUE(r.slo_verdicts[0].pass);   // 10s bound on a 0.02-scale run
+  EXPECT_FALSE(r.slo_verdicts[1].pass);  // nothing is < 0ns
+  EXPECT_FALSE(r.slo_pass);
+  EXPECT_FALSE(AllSlosPass(r.slo_verdicts));
+
+  // The verdicts also land in the schedstats JSON "slo" section.
+  ASSERT_FALSE(r.schedstats_json.empty());
+  const minijson::Value stats = minijson::Parser(r.schedstats_json).Parse();
+  ASSERT_TRUE(stats.contains("slo"));
+  EXPECT_FALSE(stats.at("slo").at("pass").as_bool());
+
+  const minijson::Value verdicts = minijson::Parser(SloVerdictsJson(r.slo_verdicts)).Parse();
+  EXPECT_FALSE(verdicts.at("pass").as_bool());
+}
+
+TEST(SloEngineTest, VacuousPassWithNoObjectives) {
+  const RunResult r = ExecuteSpec(StatsSpec(SchedKind::kCfs, 42));
+  EXPECT_TRUE(r.slo_verdicts.empty());
+  EXPECT_TRUE(r.slo_pass);
+  EXPECT_TRUE(AllSlosPass(r.slo_verdicts));
+}
+
+// Drops the "tick_elision" counter line from a schedstats JSON document: it
+// is the one line that legitimately differs between tickless modes, and this
+// suite runs under both (SCHEDBATTLE_TICKLESS=off CI leg).
+std::string StripTickElision(const std::string& json) {
+  const size_t pos = json.find("\"tick_elision\"");
+  if (pos == std::string::npos) {
+    return json;
+  }
+  const size_t line_start = json.rfind('\n', pos) + 1;  // npos+1 == 0
+  size_t line_end = json.find('\n', pos);
+  line_end = line_end == std::string::npos ? json.size() : line_end + 1;
+  return json.substr(0, line_start) + json.substr(line_end);
+}
+
+// The fig1 scenario's schedstats JSON, diffed against the committed golden
+// file. Regenerate intentionally with:
+//   REGEN_GOLDEN=1 ./schedbattle_tests --gtest_filter='*Fig1SchedstatsMatchesGolden*'
+TEST(SloEngineTest, Fig1SchedstatsMatchesGoldenFile) {
+  auto out = std::make_shared<FiboSysbenchResult>();
+  ExperimentSpec spec = FiboSysbenchSpec(SchedKind::kCfs, 42, 0.02, out);
+  spec.collect_schedstats = true;
+  const RunResult r = ExecuteSpec(spec);
+  ASSERT_FALSE(r.schedstats_json.empty());
+
+  const std::string golden_path = std::string(GOLDEN_DIR) + "/fig1_schedstats.json";
+  if (std::getenv("REGEN_GOLDEN") != nullptr) {
+    std::ofstream f(golden_path, std::ios::binary);
+    f << r.schedstats_json;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream f(golden_path, std::ios::binary);
+  ASSERT_TRUE(f.good()) << "missing golden file " << golden_path
+                        << " (run with REGEN_GOLDEN=1 to create it)";
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  EXPECT_EQ(StripTickElision(r.schedstats_json), StripTickElision(buf.str()))
+      << "fig1 schedstats JSON drifted from the committed golden file; if the "
+         "change is intentional, regenerate with REGEN_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace schedbattle

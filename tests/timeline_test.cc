@@ -1,0 +1,172 @@
+// TimelineSet tests: the per-thread lifecycle reconstruction folded out of a
+// DecisionLog must tile each thread's lifetime exactly (no gaps, no overlap)
+// and its aggregate totals must agree with the independently-collected
+// SchedStats histograms — the acceptance bar for `schedbattle_cli scope`.
+#include "src/metrics/thread_timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/metrics/decision_log.h"
+#include "src/metrics/schedstats.h"
+#include "tests/test_util.h"
+
+namespace schedbattle {
+namespace {
+
+constexpr SimTime kHorizon = Milliseconds(120);
+
+// A two-core machine with both the decision log and schedstats attached, so
+// the timeline fold can be cross-checked against an independent observer.
+struct TimelineRun {
+  SimEngine engine;
+  Machine machine;
+  DecisionLog log;
+  SchedStats stats;
+
+  explicit TimelineRun(const std::string& sched)
+      : machine(&engine, CpuTopology::Flat(2), MakeScheduler(sched)),
+        log(&machine),
+        stats(&machine) {
+    machine.Boot();
+  }
+
+  void SpawnMix() {
+    // One pinned hog (keeps core 0 saturated, so wakers see real runqueue
+    // waits) plus sleep/compute threads that generate wake->dispatch pairs,
+    // preemptions, and cross-core steals.
+    machine.Spawn(Spinner("hog", 1, /*pin=*/0), nullptr);
+    for (int i = 0; i < 4; ++i) {
+      ThreadSpec spec;
+      spec.name = "w" + std::to_string(i);
+      spec.body = MakeScriptBody(ScriptBuilder()
+                                     .Loop(30)
+                                     .Compute(Microseconds(400))
+                                     .Sleep(Microseconds(300))
+                                     .EndLoop()
+                                     .Build(),
+                                 Rng(i + 2));
+      machine.Spawn(std::move(spec), nullptr);
+    }
+  }
+
+  TimelineSet Finish() {
+    engine.RunUntil(kHorizon);
+    log.Detach();
+    stats.Detach();
+    return TimelineSet(log, machine.now());
+  }
+};
+
+TEST(TimelineTest, SegmentsPartitionEachThreadsLifetime) {
+  for (const char* sched : {"cfs", "ule"}) {
+    TimelineRun run(sched);
+    run.SpawnMix();
+    const TimelineSet timelines = run.Finish();
+    ASSERT_GT(timelines.timelines().size(), 0u) << sched;
+
+    for (const auto& [id, tl] : timelines.timelines()) {
+      ASSERT_FALSE(tl.segments.empty()) << sched << " tid " << id;
+      // All threads here are forked after the observer attached, so the
+      // timeline starts at the fork record.
+      ASSERT_GE(tl.born, 0) << sched << " tid " << id;
+      EXPECT_EQ(tl.segments.front().start, tl.born) << sched << " tid " << id;
+
+      // Contiguous tiling: each segment starts where the previous ended.
+      SimDuration summed = 0;
+      for (size_t i = 0; i < tl.segments.size(); ++i) {
+        const TimelineSegment& s = tl.segments[i];
+        EXPECT_LE(s.start, s.end) << sched << " tid " << id << " seg " << i;
+        if (i > 0) {
+          EXPECT_EQ(s.start, tl.segments[i - 1].end)
+              << sched << " tid " << id << " gap before seg " << i;
+        }
+        summed += s.duration();
+      }
+
+      // The tiling covers the whole lifetime, and the per-state totals are
+      // exactly the segment durations re-bucketed.
+      const SimTime last = tl.exited >= 0 ? tl.exited : run.machine.now();
+      EXPECT_EQ(tl.segments.back().end, last) << sched << " tid " << id;
+      EXPECT_EQ(summed, last - tl.born) << sched << " tid " << id;
+      EXPECT_EQ(tl.total_running + tl.total_runnable + tl.total_blocked, summed)
+          << sched << " tid " << id;
+    }
+  }
+}
+
+TEST(TimelineTest, WakeLatencyTotalsMatchSchedStats) {
+  for (const char* sched : {"cfs", "ule"}) {
+    TimelineRun run(sched);
+    run.SpawnMix();
+    const TimelineSet timelines = run.Finish();
+
+    // The fold mirrors SchedStats' pairing rule (fork-to-first-dispatch goes
+    // to the fork histogram, not the wakeup one), so the totals must agree
+    // to the nanosecond — this is the scope-vs-schedstats acceptance check.
+    ASSERT_GT(run.stats.wakeup_latency().count(), 0u) << sched;
+    EXPECT_EQ(timelines.TotalWakeCount(), run.stats.wakeup_latency().count()) << sched;
+    EXPECT_EQ(timelines.TotalWakeLatency(), run.stats.wakeup_latency().Sum()) << sched;
+  }
+}
+
+TEST(TimelineTest, DispatchAndMigrationCountsMatchTheRawLog) {
+  for (const char* sched : {"cfs", "ule"}) {
+    TimelineRun run(sched);
+    run.SpawnMix();
+    const TimelineSet timelines = run.Finish();
+
+    std::map<ThreadId, uint64_t> dispatches;
+    std::map<ThreadId, size_t> migrations;
+    for (size_t i = 0; i < run.log.size(); ++i) {
+      const DecisionRecord& r = run.log.at(i);
+      if (r.type == DecisionRecord::Type::kDispatch) {
+        ++dispatches[r.life.thread];
+      } else if (r.type == DecisionRecord::Type::kMigrate) {
+        ++migrations[r.life.thread];
+      }
+    }
+    for (const auto& [id, tl] : timelines.timelines()) {
+      EXPECT_EQ(tl.dispatches, dispatches[id]) << sched << " tid " << id;
+      EXPECT_EQ(tl.migrations.size(), migrations[id]) << sched << " tid " << id;
+    }
+  }
+}
+
+TEST(TimelineTest, TotalRunningNeverExceedsMachineBusyTime) {
+  for (const char* sched : {"cfs", "ule"}) {
+    TimelineRun run(sched);
+    run.SpawnMix();
+    const TimelineSet timelines = run.Finish();
+
+    // Machine busy time additionally counts scheduler overhead windows
+    // (context-switch and balance charges), so it upper-bounds the summed
+    // on-cpu segment time but can never be below it.
+    const SimDuration running = timelines.TotalRunning();
+    ASSERT_GT(running, 0) << sched;
+    EXPECT_LE(running, run.machine.TotalBusyTime()) << sched;
+  }
+}
+
+TEST(TimelineTest, RenderOutputsNameThreadsAndStates) {
+  TimelineRun run("ule");
+  run.SpawnMix();
+  const TimelineSet timelines = run.Finish();
+
+  const std::string summary = timelines.RenderSummary(16);
+  EXPECT_NE(summary.find("on-cpu"), std::string::npos);
+  EXPECT_NE(summary.find("rq-wait"), std::string::npos);
+
+  const ThreadId first = timelines.timelines().begin()->first;
+  const std::string rendered = timelines.RenderThread(first, 8);
+  EXPECT_NE(rendered.find("thread"), std::string::npos);
+  EXPECT_NE(rendered.find("running"), std::string::npos);
+  EXPECT_NE(rendered.find("dispatches"), std::string::npos);
+
+  EXPECT_NE(timelines.RenderThread(987654, 8).find("not in log"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace schedbattle

@@ -12,7 +12,9 @@
 //   schedbattle_cli campaign --suite=fig8 --runs=10 --jobs=8   # aggregated JSON
 //   schedbattle_cli --list
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -29,8 +31,11 @@
 #include "src/core/spec.h"
 #include "src/metrics/counters.h"
 #include "src/metrics/csv.h"
+#include "src/metrics/decision_log.h"
 #include "src/metrics/heatmap.h"
 #include "src/metrics/schedstats.h"
+#include "src/metrics/slo.h"
+#include "src/metrics/thread_timeline.h"
 #include "src/metrics/trace.h"
 #include "src/sched/machine.h"
 #include "src/workload/script.h"
@@ -41,17 +46,22 @@ namespace {
 
 void Usage() {
   std::printf(
-      "usage: schedbattle_cli [stats|campaign|replay] [options]\n"
+      "usage: schedbattle_cli [stats|campaign|replay|scope] [options]\n"
       "subcommands:\n"
       "  stats                  run and print the schedstats JSON snapshot to\n"
       "                         stdout (suppresses the human-readable report)\n"
       "  campaign               run every suite app under both schedulers for\n"
       "                         --runs seeds on --jobs worker threads and emit\n"
       "                         aggregated JSON (mean/stddev/min/max per app\n"
-      "                         and scheduler)\n"
+      "                         and scheduler, plus wakeup p99/p999 and SLO\n"
+      "                         verdicts)\n"
       "  replay                 re-execute a schedfuzz reproducer spec\n"
       "                         (--spec=<file.json>) with all invariant\n"
       "                         monitors armed; deterministic output\n"
+      "  scope                  schedscope: run with the decision-record log\n"
+      "                         attached, export the dataset (JSONL/binary),\n"
+      "                         reconstruct per-thread timelines and answer\n"
+      "                         placement queries (--explain=<tid> --at=<s>)\n"
       "  (any subcommand accepts --help for its own flag listing)\n"
       "options:\n"
       "  --list                 list available applications and exit\n"
@@ -132,6 +142,238 @@ bool WantsHelp(int argc, char** argv) {
   return false;
 }
 
+// Parses repeatable --slo=<objective> flags; exits with a message on error.
+bool ParseSloFlags(const std::vector<std::string>& texts, std::vector<SloObjective>* out) {
+  for (const std::string& text : texts) {
+    SloObjective obj;
+    std::string error;
+    if (!ParseSloObjective(text, &obj, &error)) {
+      std::fprintf(stderr, "bad --slo: %s\n", error.c_str());
+      return false;
+    }
+    out->push_back(std::move(obj));
+  }
+  return true;
+}
+
+void PrintSloVerdicts(const std::vector<SloVerdict>& verdicts) {
+  if (verdicts.empty()) {
+    return;
+  }
+  std::printf("\nSLO verdicts:\n");
+  for (const SloVerdict& v : verdicts) {
+    std::printf("  %-4s %s (observed %.3fms)\n", v.pass ? "PASS" : "FAIL",
+                v.objective.Describe().c_str(), static_cast<double>(v.observed) / 1e6);
+  }
+}
+
+// `scope` subcommand: run a workload with the schedscope decision-record log
+// attached; export the dataset, reconstruct per-thread timelines, print the
+// per-scenario latency breakdown, and answer "why was thread T placed on
+// core C at time t" from the captured pick records.
+int RunScopeCommand(int argc, char** argv) {
+  std::string sched = "cfs";
+  std::vector<std::string> apps;
+  std::string scenario;
+  int cores = 32;
+  double scale = 0.2;
+  uint64_t seed = 42;
+  double horizon_s = -1;
+  bool noise = false;
+  std::string tickless = "on";
+  std::string log_path;
+  std::string log_binary_path;
+  bool timelines_flag = false;
+  int64_t thread_tid = -1;
+  int64_t explain_tid = -1;
+  double at_s = -1;
+  std::vector<std::string> slo_texts;
+
+  FlagSet flags;
+  flags.String("sched", &sched, "scheduler: cfs or ule")
+      .StringList("app", &apps, "application to run (repeatable)")
+      .String("scenario", &scenario, "canned scenario (fig6)")
+      .Int("cores", &cores, "core count (32 = the paper's NUMA machine)")
+      .Double("scale", &scale, "workload scale factor")
+      .Uint64("seed", &seed, "RNG seed")
+      .Double("horizon", &horizon_s, "simulation horizon in seconds")
+      .Bool("noise", &noise, "add the background kernel-thread app")
+      .String("tickless", &tickless, "tick elision: on (default) or off")
+      .String("log", &log_path, "write the decision-record log as JSONL")
+      .String("log-binary", &log_binary_path, "write the decision-record log as framed binary")
+      .Bool("timelines", &timelines_flag, "print the per-thread timeline summary table")
+      .Int64("thread", &thread_tid, "print the full segment timeline of one thread id")
+      .Int64("explain", &explain_tid, "explain the placement decisions of one thread id")
+      .Double("at", &at_s, "with --explain: the decision nearest this time (seconds)")
+      .StringList("slo", &slo_texts, "latency objective, e.g. wakeup_p99<5ms (repeatable)");
+  if (WantsHelp(argc, argv)) {
+    std::printf("usage: schedbattle_cli scope [options]\n%s", flags.Help().c_str());
+    return 0;
+  }
+  std::string error;
+  if (!flags.Parse(argc, argv, 2, &error)) {
+    std::fprintf(stderr, "%s\n%s", error.c_str(), flags.Help().c_str());
+    return 2;
+  }
+  if (!scenario.empty() && scenario != "fig6") {
+    std::fprintf(stderr, "unknown scenario '%s' (only fig6 is available)\n", scenario.c_str());
+    return 2;
+  }
+  if (apps.empty() && scenario.empty()) {
+    std::fprintf(stderr, "scope needs --app or --scenario\n");
+    return 2;
+  }
+  if (sched != "cfs" && sched != "ule") {
+    std::fprintf(stderr, "--sched must be cfs or ule\n");
+    return 2;
+  }
+  if (tickless != "on" && tickless != "off") {
+    std::fprintf(stderr, "--tickless must be on or off (got '%s')\n", tickless.c_str());
+    return 2;
+  }
+  SetTicklessEnabled(tickless == "on");
+  std::vector<SloObjective> objectives;
+  if (!ParseSloFlags(slo_texts, &objectives)) {
+    return 2;
+  }
+  if (horizon_s < 0) {
+    horizon_s = scenario == "fig6" ? 30 : 600;
+  }
+
+  ExperimentConfig cfg;
+  cfg.sched = sched == "cfs" ? SchedKind::kCfs : SchedKind::kUle;
+  cfg.topology =
+      cores == 32 ? CpuTopology::Opteron6172().config() : CpuTopology::Flat(cores).config();
+  cfg.machine.seed = seed;
+  cfg.horizon = SecondsF(horizon_s);
+  cfg.system_noise = noise;
+  ExperimentRun run(cfg);
+
+  for (const std::string& name : apps) {
+    const AppEntry* entry = FindApp(name);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "unknown app '%s' (use --list)\n", name.c_str());
+      return 2;
+    }
+    run.Add(entry->make(cores, seed, scale), 0);
+  }
+  if (scenario == "fig6") {
+    AddFig6Scenario(run, seed);
+  }
+
+  DecisionLog log(&run.machine());
+  SchedStats stats(&run.machine());
+  run.Run();
+  log.Detach();
+  stats.Detach();
+
+  Machine& m = run.machine();
+  std::printf("%s", BannerLine("schedscope: " + sched + " on " + m.topology().Describe()).c_str());
+  std::printf("%zu decision records (%s)\n", log.size(), FormatTime(m.now()).c_str());
+
+  if (!log_path.empty()) {
+    if (log.WriteFile(log_path, /*binary=*/false)) {
+      std::printf("wrote decision log (JSONL) to %s\n", log_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", log_path.c_str());
+      return 1;
+    }
+  }
+  if (!log_binary_path.empty()) {
+    if (log.WriteFile(log_binary_path, /*binary=*/true)) {
+      std::printf("wrote decision log (binary) to %s\n", log_binary_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", log_binary_path.c_str());
+      return 1;
+    }
+  }
+
+  TimelineSet timelines(log, m.now());
+
+  // Per-scenario latency breakdown: the wakeup pipeline end to end.
+  const LatencyHistogram& wl = stats.wakeup_latency();
+  std::printf("\nwakeup latency breakdown:\n");
+  TextTable lat({"metric", "count", "mean", "p50", "p99", "p999", "max"});
+  const auto ms = [](double ns) { return TextTable::Num(ns / 1e6, 3) + "ms"; };
+  lat.AddRow({"wake->dispatch", std::to_string(wl.count()), ms(wl.Mean()),
+              ms(static_cast<double>(wl.Percentile(50))),
+              ms(static_cast<double>(wl.Percentile(99))),
+              ms(static_cast<double>(wl.Percentile(99.9))), ms(static_cast<double>(wl.max()))});
+  const LatencyHistogram& fl = stats.fork_latency();
+  lat.AddRow({"fork->dispatch", std::to_string(fl.count()), ms(fl.Mean()),
+              ms(static_cast<double>(fl.Percentile(50))),
+              ms(static_cast<double>(fl.Percentile(99))),
+              ms(static_cast<double>(fl.Percentile(99.9))), ms(static_cast<double>(fl.max()))});
+  std::printf("%s", lat.Render().c_str());
+
+  if (!objectives.empty()) {
+    PrintSloVerdicts(EvaluateSlos(objectives, stats));
+  }
+
+  if (timelines_flag || (thread_tid < 0 && explain_tid < 0)) {
+    std::printf("\nper-thread timelines:\n%s", timelines.RenderSummary().c_str());
+  }
+  if (thread_tid >= 0) {
+    std::printf("\n%s", timelines.RenderThread(thread_tid).c_str());
+  }
+  if (explain_tid >= 0) {
+    const SimTime at = at_s >= 0 ? SecondsF(at_s) : -1;
+    // Find the pick records of this thread; with --at, the nearest one.
+    size_t best = SIZE_MAX;
+    int printed = 0;
+    for (size_t i = 0; i < log.size(); ++i) {
+      const DecisionRecord& r = log.at(i);
+      if (r.type != DecisionRecord::Type::kPick || r.pick.thread != explain_tid) {
+        continue;
+      }
+      if (at >= 0) {
+        if (best == SIZE_MAX ||
+            std::llabs(r.t - at) < std::llabs(log.at(best).t - at)) {
+          best = i;
+        }
+        continue;
+      }
+      if (printed == 0) {
+        std::printf("\nplacement decisions for thread %lld:\n",
+                    static_cast<long long>(explain_tid));
+      }
+      if (printed++ >= 32) {
+        continue;
+      }
+      const PickCpuDecision& d = r.pick;
+      std::printf(
+          "  %.6fs  %s -> c%02d  because %s  (origin c%d, prev c%d, scanned %d,"
+          " chosen_rq %d, prev_rq %d, sched_key %lld, idle 0x%llx)\n",
+          static_cast<double>(r.t) / 1e9, EnqueueKindName(d.kind), d.chosen,
+          PickReasonName(d.reason), d.origin, d.prev, d.cores_scanned, d.chosen_rq, d.prev_rq,
+          static_cast<long long>(d.sched_key), static_cast<unsigned long long>(d.idle_mask));
+    }
+    if (at >= 0 && best != SIZE_MAX) {
+      const DecisionRecord& r = log.at(best);
+      const PickCpuDecision& d = r.pick;
+      std::printf("\nwhy was thread %lld placed on core %d at t=%.6fs?\n",
+                  static_cast<long long>(explain_tid), d.chosen,
+                  static_cast<double>(r.t) / 1e9);
+      std::printf("  decision: %s placement chose c%02d (%s)\n", EnqueueKindName(d.kind),
+                  d.chosen, PickReasonName(d.reason));
+      std::printf("  inputs:   origin c%d, prev c%d (rq %d), chosen rq %d, %d cores scanned,"
+                  " sched_key %lld, idle mask 0x%llx\n",
+                  d.origin, d.prev, d.prev_rq, d.chosen_rq, d.cores_scanned,
+                  static_cast<long long>(d.sched_key), static_cast<unsigned long long>(d.idle_mask));
+      std::printf("  outcome:  affine %s\n", d.affine_hit ? "hit (cache-warm)" : "miss");
+    } else if (at >= 0) {
+      std::printf("\nno placement decisions recorded for thread %lld\n",
+                  static_cast<long long>(explain_tid));
+    } else if (printed == 0) {
+      std::printf("\nno placement decisions recorded for thread %lld\n",
+                  static_cast<long long>(explain_tid));
+    } else if (printed > 32) {
+      std::printf("  ... %d more decisions\n", printed - 32);
+    }
+  }
+  return 0;
+}
+
 std::string JsonStat(const AggregateStat& s) {
   char buf[160];
   std::snprintf(buf, sizeof(buf), "{\"n\": %d, \"mean\": %.6g, \"stddev\": %.6g}", s.n, s.mean,
@@ -150,6 +392,7 @@ int RunCampaignCommand(int argc, char** argv) {
   uint64_t seed = 42;
   std::string json_path = "-";
   std::string tickless = "on";
+  std::vector<std::string> slo_texts;
 
   FlagSet flags;
   flags.String("suite", &suite, "fig5|fig8|desktop machine preset")
@@ -159,7 +402,10 @@ int RunCampaignCommand(int argc, char** argv) {
       .Double("scale", &scale, "workload scale factor")
       .Uint64("seed", &seed, "base RNG seed")
       .String("json", &json_path, "output path, '-' for stdout")
-      .String("tickless", &tickless, "tick elision: on (default) or off");
+      .String("tickless", &tickless, "tick elision: on (default) or off")
+      .StringList("slo", &slo_texts,
+                  "latency objective per run (repeatable; default"
+                  " wakeup_p99<1s + wakeup_p999<5s)");
   if (WantsHelp(argc, argv)) {
     std::printf("usage: schedbattle_cli campaign [options]\n%s", flags.Help().c_str());
     return 0;
@@ -193,6 +439,12 @@ int RunCampaignCommand(int argc, char** argv) {
   options.scale = scale;
   options.runs = runs;
   options.jobs = jobs;
+  if (slo_texts.empty()) {
+    slo_texts = {"wakeup_p99<1s", "wakeup_p999<5s"};
+  }
+  if (!ParseSloFlags(slo_texts, &options.slo)) {
+    return 2;
+  }
 
   std::vector<AppSpec> apps;
   for (const AppEntry& e : BenchmarkSuite()) {
@@ -237,11 +489,16 @@ int RunCampaignCommand(int argc, char** argv) {
     ule.n = row.runs;
     ule.mean = row.ule_metric;
     ule.stddev = row.ule_stddev;
-    char line[512];
+    char line[1024];
     std::snprintf(line, sizeof(line),
-                  "    {\"name\": \"%s\", \"cfs\": %s, \"ule\": %s, \"diff_pct\": %.4g}%s\n",
+                  "    {\"name\": \"%s\", \"cfs\": %s, \"ule\": %s, \"diff_pct\": %.4g,\n"
+                  "     \"cfs_wakeup_p99_ns\": %.0f, \"ule_wakeup_p99_ns\": %.0f,\n"
+                  "     \"cfs_wakeup_p999_ns\": %.0f, \"ule_wakeup_p999_ns\": %.0f,\n"
+                  "     \"cfs_slo_pass\": %s, \"ule_slo_pass\": %s}%s\n",
                   row.name.c_str(), JsonStat(cfs).c_str(), JsonStat(ule).c_str(), row.diff_pct,
-                  i + 1 < rows.size() ? "," : "");
+                  row.cfs_wakeup_p99_ns, row.ule_wakeup_p99_ns, row.cfs_wakeup_p999_ns,
+                  row.ule_wakeup_p999_ns, row.cfs_slo_pass ? "true" : "false",
+                  row.ule_slo_pass ? "true" : "false", i + 1 < rows.size() ? "," : "");
     json += line;
   }
   json += "  ]\n}\n";
@@ -265,9 +522,12 @@ int RunCampaignCommand(int argc, char** argv) {
 int RunReplayCommand(int argc, char** argv) {
   std::string spec_path;
   std::string json_path = "-";
+  std::string decision_log_path;
   FlagSet flags;
   flags.String("spec", &spec_path, "schedfuzz reproducer JSON to replay (required)")
-      .String("json", &json_path, "outcome output path, '-' for stdout");
+      .String("json", &json_path, "outcome output path, '-' for stdout")
+      .String("decision-log", &decision_log_path,
+              "also write the run's decision-record log (JSONL) here");
   if (WantsHelp(argc, argv)) {
     std::printf("usage: schedbattle_cli replay --spec=<file.json> [options]\n%s",
                 flags.Help().c_str());
@@ -300,7 +560,17 @@ int RunReplayCommand(int argc, char** argv) {
     std::fprintf(stderr, "bad reproducer spec %s: %s\n", spec_path.c_str(), error.c_str());
     return 2;
   }
-  const FuzzOutcome outcome = RunFuzzSpec(spec);
+  ExperimentSpec exp = spec.ToExperimentSpec();
+  exp.collect_decision_log = !decision_log_path.empty();
+  const RunResult result = ExecuteSpec(exp);
+  const FuzzOutcome outcome = OutcomeFromResult(result);
+  if (!decision_log_path.empty()) {
+    if (!WriteFile(decision_log_path, result.decision_log)) {
+      std::fprintf(stderr, "failed to write %s\n", decision_log_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote decision log to %s\n", decision_log_path.c_str());
+  }
 
   std::ostringstream os;
   os << "{\n";
@@ -332,7 +602,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argc > 1 ? argv[1] : "";
   // Pre-scan for flags that exit immediately. Subcommands handle --help
   // themselves (each prints its own FlagSet::Help()).
-  const bool has_subcommand = cmd == "stats" || cmd == "campaign" || cmd == "replay";
+  const bool has_subcommand =
+      cmd == "stats" || cmd == "campaign" || cmd == "replay" || cmd == "scope";
   for (int i = 1; i < argc; ++i) {
     if (!has_subcommand &&
         (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0)) {
@@ -352,6 +623,9 @@ int main(int argc, char** argv) {
   if (cmd == "replay") {
     return RunReplayCommand(argc, argv);
   }
+  if (cmd == "scope") {
+    return RunScopeCommand(argc, argv);
+  }
 
   std::string sched = "cfs";
   std::vector<std::string> apps;
@@ -367,6 +641,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string trace_text_path;
   std::string tickless = "on";
+  std::vector<std::string> slo_texts;
 
   int first_flag = 1;
   if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
@@ -387,7 +662,8 @@ int main(int argc, char** argv) {
       .String("trace-json", &trace_path, "write a Chrome/Perfetto trace")
       .String("trace", &trace_path, "alias for --trace-json")
       .String("trace-text", &trace_text_path, "write a plain-text event log")
-      .String("tickless", &tickless, "tick elision: on (default) or off");
+      .String("tickless", &tickless, "tick elision: on (default) or off")
+      .StringList("slo", &slo_texts, "latency objective, e.g. wakeup_p99<5ms (repeatable)");
   if (stats_mode && WantsHelp(argc, argv)) {
     std::printf("usage: schedbattle_cli stats [options]\n%s", flags.Help().c_str());
     return 0;
@@ -416,6 +692,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   SetTicklessEnabled(tickless == "on");
+  std::vector<SloObjective> objectives;
+  if (!ParseSloFlags(slo_texts, &objectives)) {
+    return 2;
+  }
   if (horizon_s < 0) {
     // fig6's spinners run forever; the scenario is over well before 30s.
     horizon_s = scenario == "fig6" ? 30 : 600;
@@ -445,7 +725,7 @@ int main(int argc, char** argv) {
 
   // Observers attach through the bus, so any combination works together.
   std::unique_ptr<SchedStats> stats;
-  if (stats_mode || !stats_json_path.empty()) {
+  if (stats_mode || !stats_json_path.empty() || !objectives.empty()) {
     stats = std::make_unique<SchedStats>(&run.machine());
   }
   std::unique_ptr<SchedTrace> trace;
@@ -459,9 +739,13 @@ int main(int argc, char** argv) {
 
   const SimTime finish = run.Run();
 
+  std::vector<SloVerdict> verdicts;
   if (stats != nullptr) {
     stats->Detach();
-    const std::string json = stats->ToJson();
+    if (!objectives.empty()) {
+      verdicts = EvaluateSlos(objectives, *stats);
+    }
+    const std::string json = stats->ToJson(verdicts.empty() ? nullptr : &verdicts);
     if (!stats_json_path.empty() && stats_json_path != "-") {
       if (WriteFile(stats_json_path, json)) {
         if (!stats_mode) {
@@ -477,8 +761,9 @@ int main(int argc, char** argv) {
     }
   }
   if (stats_mode) {
-    // The subcommand prints machine-readable output only.
-    return 0;
+    // The subcommand prints machine-readable output only; SLO failures are
+    // signalled through the exit code (the verdicts are in the JSON).
+    return AllSlosPass(verdicts) ? 0 : 4;
   }
 
   std::printf("%s", BannerLine("schedbattle: " + sched + " on " +
@@ -503,6 +788,7 @@ int main(int argc, char** argv) {
   std::printf("workload finished at %s (horizon %s)\n", FormatTime(finish).c_str(),
               FormatTime(cfg.horizon).c_str());
   std::printf("%s", FormatCounters(run.machine()).c_str());
+  PrintSloVerdicts(verdicts);
 
   if (hm != nullptr) {
     hm->Stop();
@@ -521,5 +807,5 @@ int main(int argc, char** argv) {
       std::printf("wrote event log to %s\n", trace_text_path.c_str());
     }
   }
-  return 0;
+  return AllSlosPass(verdicts) ? 0 : 4;
 }

@@ -17,7 +17,13 @@
 //   4. tickless:     every spec also runs with tick elision forced off; the
 //                    schedstats JSON (minus the tick_elision counter line)
 //                    must be byte-identical to the tickless run — elision is
-//                    an optimization, never a behavior change.
+//                    an optimization, never a behavior change,
+//   5. log:          the schedscope decision-record log is part of the
+//                    deterministic contract: executing the same spec twice
+//                    yields a byte-identical JSONL log, and the tickless-off
+//                    run's log (minus the header line) matches the tickless
+//                    run's — the decision *stream*, not just the aggregate
+//                    schedstats, is invariant under elision.
 //
 // Every failure is delta-debugged (ShrinkFuzzSpec) to a minimal reproducer
 // and written to --out as JSON that `schedbattle_cli replay --spec=<file>`
@@ -39,7 +45,7 @@ namespace {
 
 struct Failure {
   FuzzSpec spec;
-  std::string kind;    // "violation", "liveness", "differential", "tickless"
+  std::string kind;    // "violation", "liveness", "differential", "tickless", "logdiverge"
   std::string detail;  // monitor name / outcome summary
 };
 
@@ -54,6 +60,27 @@ std::string StripTickElision(const std::string& json) {
   size_t line_end = json.find('\n', pos);
   line_end = line_end == std::string::npos ? json.size() : line_end + 1;
   return json.substr(0, line_start) + json.substr(line_end);
+}
+
+// Drops the header line (the one line that carries the tickless delivery
+// flag) from a decision-log JSONL document, leaving the record stream.
+std::string StripLogHeader(const std::string& jsonl) {
+  const size_t nl = jsonl.find('\n');
+  return nl == std::string::npos ? std::string() : jsonl.substr(nl + 1);
+}
+
+// The decision-log shrink oracle: true when executing `spec` twice yields
+// different logs, or when the record stream changes with elision off.
+bool DecisionLogDiverges(const FuzzSpec& spec) {
+  ExperimentSpec on = spec.ToExperimentSpec();
+  on.collect_decision_log = true;
+  ExperimentSpec off = on;
+  off.machine.tickless = false;
+  const RunResult a = ExecuteSpec(on);
+  const RunResult b = ExecuteSpec(on);
+  const RunResult c = ExecuteSpec(off);
+  return a.decision_log != b.decision_log ||
+         StripLogHeader(a.decision_log) != StripLogHeader(c.decision_log);
 }
 
 // Runs `spec` with elision on and off; true when the stripped schedstats
@@ -148,9 +175,11 @@ int FuzzMain(int argc, char** argv) {
     Rng stream = root.Split();
     base.push_back(GenerateFuzzSpec(&stream, kinds.front(), scale));
   }
-  // Every (spec, scheduler) pair runs twice: elision on (index 2n) and
-  // forced off (index 2n+1). The tickless copies collect schedstats so the
-  // differential oracle can byte-compare the accounting.
+  // Every (spec, scheduler) pair runs three times: elision on (index 3n),
+  // forced off (3n+1), and elision on again (3n+2). All three collect the
+  // decision log; the first two also collect schedstats. The oracles
+  // byte-compare 3n vs 3n+1 (tickless accounting and record stream) and
+  // 3n vs 3n+2 (pure determinism, across campaign worker threads).
   std::vector<FuzzSpec> fuzz_specs;
   std::vector<ExperimentSpec> exp_specs;
   for (const FuzzSpec& b : base) {
@@ -160,14 +189,18 @@ int FuzzMain(int argc, char** argv) {
       fuzz_specs.push_back(s);
       ExperimentSpec on = s.ToExperimentSpec();
       on.collect_schedstats = true;
+      on.collect_decision_log = true;
       ExperimentSpec off = on;
       off.machine.tickless = false;
+      ExperimentSpec again = on;
+      again.collect_schedstats = false;
       exp_specs.push_back(std::move(on));
       exp_specs.push_back(std::move(off));
+      exp_specs.push_back(std::move(again));
     }
   }
 
-  std::printf("schedfuzz: %d specs x %zu scheduler(s) x {tickless on, off}, "
+  std::printf("schedfuzz: %d specs x %zu scheduler(s) x {tickless on, off, repeat}, "
               "scale %.2f, seed %" PRIu64 "\n",
               runs, kinds.size(), scale, seed);
   const CampaignRunner runner(jobs);
@@ -179,7 +212,7 @@ int FuzzMain(int argc, char** argv) {
     std::vector<FuzzOutcome> outcomes;
     for (size_t k = 0; k < per_spec; ++k) {
       const size_t pair_idx = static_cast<size_t>(i) * per_spec + k;
-      const size_t idx = pair_idx * 2;
+      const size_t idx = pair_idx * 3;
       const FuzzOutcome out = OutcomeFromResult(results[idx]);
       const FuzzSpec& s = fuzz_specs[pair_idx];
       const std::string on_stats = StripTickElision(results[idx].schedstats_json);
@@ -188,6 +221,16 @@ int FuzzMain(int argc, char** argv) {
         std::fprintf(stderr, "FAIL %s: tickless schedstats diverged from eager-tick run\n",
                      s.Label().c_str());
         failures.push_back({s, "tickless", "schedstats differ with elision on vs off"});
+      }
+      if (results[idx].decision_log != results[idx + 2].decision_log) {
+        std::fprintf(stderr, "FAIL %s: decision log diverged between identical runs\n",
+                     s.Label().c_str());
+        failures.push_back({s, "logdiverge", "decision log not deterministic"});
+      } else if (StripLogHeader(results[idx].decision_log) !=
+                 StripLogHeader(results[idx + 1].decision_log)) {
+        std::fprintf(stderr, "FAIL %s: decision records diverged with elision off\n",
+                     s.Label().c_str());
+        failures.push_back({s, "logdiverge", "decision records differ with elision on vs off"});
       }
       if (out.violations > 0) {
         std::fprintf(stderr, "FAIL %s: %" PRIu64 " violation(s), first monitor %s\n%s",
@@ -221,6 +264,12 @@ int FuzzMain(int argc, char** argv) {
     FuzzSpec minimal = f.spec;
     if (!no_shrink && f.kind == "violation") {
       const ShrinkResult shrunk = ShrinkFuzzSpec(f.spec, MonitorFiresOracle(f.detail), max_shrink);
+      minimal = shrunk.minimal;
+      std::fprintf(stderr, "shrunk %s: %d -> %d threads (%d oracle calls)\n",
+                   f.spec.Label().c_str(), f.spec.TotalThreads(), minimal.TotalThreads(),
+                   shrunk.attempts);
+    } else if (!no_shrink && f.kind == "logdiverge") {
+      const ShrinkResult shrunk = ShrinkFuzzSpec(f.spec, DecisionLogDiverges, max_shrink);
       minimal = shrunk.minimal;
       std::fprintf(stderr, "shrunk %s: %d -> %d threads (%d oracle calls)\n",
                    f.spec.Label().c_str(), f.spec.TotalThreads(), minimal.TotalThreads(),
