@@ -56,6 +56,16 @@ class CfsScheduler : public Scheduler {
   SimTime TickBoundary(CoreId core, const SimThread* current,
                        SimTime next_tick) const override;
 
+  // Busy-core ticks are core-local (PELT + preempt check against the core's
+  // own rq), *except* that group-weight maintenance walks shared TaskGroup
+  // load sums — so parallel windows are only safe with no group hierarchy.
+  bool ShardParallelSafe() const override {
+    return !tun_.group_scheduling || groups_.empty();
+  }
+  // CFS ticks never touch another core: the idle tick is a no-op and the
+  // balancer runs off its own (global-lane) timer events, not the tick.
+  bool TickMayCross(CoreId /*core*/) const override { return false; }
+
   double LoadOf(CoreId core) const override;
   int RunnableCountOf(CoreId core) const override;
   int64_t MinVruntimeOf(CoreId core) const override {

@@ -68,9 +68,9 @@ void CfsScheduler::PeriodicBalance(CoreId core) {
     // runs an idle-balance pass on its own domains.
     if (RunnableCountOf(core) > 1) {
       if (tun_.placement_fast_path) {
-        const uint64_t idle = machine_->idle_mask();
-        if (idle != 0) {
-          OnCoreIdle(static_cast<CoreId>(std::countr_zero(idle)));
+        const int idle = machine_->idle_mask().FirstSet();
+        if (idle >= 0) {
+          OnCoreIdle(static_cast<CoreId>(idle));
         }
       } else {
         for (CoreId c = 0; c < machine_->num_cores(); ++c) {

@@ -62,12 +62,13 @@ CoreId CfsScheduler::SelectIdleSibling(SimThread* t, CoreId target, PickReason* 
     // scan would stop at. `scanned` still counts every LLC core the scan
     // would have visited (all cores up to and including `found`, or the
     // whole LLC on a miss) so the modeled overhead charge is unchanged.
-    const uint64_t cand = machine_->idle_mask() & topo.GroupMask(target, TopoLevel::kLlc) &
-                          t->affinity().bits() & ~(uint64_t{1} << target);
-    if (cand != 0) {
-      found = static_cast<CoreId>(std::countr_zero(cand));
-      scanned = std::popcount(topo.GroupMask(target, TopoLevel::kLlc) &
-                              ((uint64_t{2} << found) - 1));
+    const CpuSet cand = (machine_->idle_mask() & topo.GroupMask(target, TopoLevel::kLlc) &
+                         t->affinity())
+                            .Without(target);
+    const int first = cand.FirstSet();
+    if (first >= 0) {
+      found = static_cast<CoreId>(first);
+      scanned = topo.GroupMask(target, TopoLevel::kLlc).CountThrough(found);
     } else {
       scanned = static_cast<int>(llc.size());
     }
@@ -110,13 +111,12 @@ CoreId CfsScheduler::FindIdlestCore(SimThread* t, CoreId origin) {
   // idempotent within one call — the first read refreshes every attached
   // thread's PELT average to `now`, so a repeat read returns the same value.
   // `scanned` still counts each examination for the modeled cost.
-  double load_memo[64];
-  uint64_t load_memo_valid = 0;
+  std::vector<double> load_memo(machine_->num_cores());
+  CpuSet load_memo_valid;
   auto core_load = [&](CoreId c) {
-    const uint64_t bit = uint64_t{1} << c;
-    if ((load_memo_valid & bit) == 0) {
+    if (!load_memo_valid.Test(c)) {
       load_memo[c] = CoreLoad(c);
-      load_memo_valid |= bit;
+      load_memo_valid.Set(c);
     }
     return load_memo[c];
   };
@@ -175,8 +175,7 @@ CoreId CfsScheduler::FindIdlestCore(SimThread* t, CoreId origin) {
   if (best == kInvalidCore) {
     // Affinity excludes the chosen cohort entirely: fall back to any allowed.
     if (tun_.placement_fast_path) {
-      for (uint64_t m = t->affinity().bits(); m != 0; m &= m - 1) {
-        const CoreId c = static_cast<CoreId>(std::countr_zero(m));
+      for (int c = t->affinity().FirstSet(); c >= 0; c = t->affinity().NextSet(c)) {
         if (best == kInvalidCore || core_load(c) < best_load) {
           best = c;
           best_load = core_load(c);
@@ -205,7 +204,7 @@ CoreId CfsScheduler::SelectTaskRqImpl(SimThread* thread, CoreId origin, EnqueueK
   if (thread->affinity().Count() == 1) {
     if (tun_.placement_fast_path) {
       *reason = PickReason::kPinned;
-      return static_cast<CoreId>(std::countr_zero(thread->affinity().bits()));
+      return static_cast<CoreId>(thread->affinity().FirstSet());
     }
     for (CoreId c = 0; c < machine_->num_cores(); ++c) {
       if (thread->CanRunOn(c)) {
@@ -291,7 +290,7 @@ CoreId CfsScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind 
     if (thread->sched_data() != nullptr) {
       d.sched_key = SeOf(thread)->vruntime;
     }
-    d.idle_mask = machine_->idle_mask();
+    d.idle_mask = machine_->idle_mask().low64();
   }
   machine_->EmitPickCpu(d);
   return chosen;

@@ -31,6 +31,11 @@ struct ExperimentConfig {
   // Per-core background kernel threads, as on the paper's real testbed; on
   // by default for multicore runs (scenarios set it).
   bool system_noise = false;
+  // Engine shards: the simulation is partitioned into this many per-core-
+  // group event queues advanced under conservative time-window sync (see
+  // src/sim/engine.h). Results are byte-identical for any shard count; >1
+  // only buys wall-clock on multi-core hosts. 1 = the classic single queue.
+  int shards = 1;
 
   // Optional scheduler-construction override. When set, it replaces the
   // default CFS/ULE construction — used by the checking subsystem to wrap

@@ -1,8 +1,33 @@
 #include "src/core/runner.h"
 
+#include <cstdlib>
+
 namespace schedbattle {
 
+namespace {
+// Process-wide default shard count, from SCHEDBATTLE_SHARDS. A config that
+// asks for >1 shards explicitly wins; the variable exists so CI can run the
+// entire test suite at shards=2 and shards=4 and prove shard-count
+// invisibility end to end, the same way SCHEDBATTLE_TICKLESS re-runs it with
+// eager ticks.
+int DefaultShards() {
+  static const int v = [] {
+    const char* e = std::getenv("SCHEDBATTLE_SHARDS");
+    const int n = e == nullptr ? 1 : std::atoi(e);
+    return n >= 1 ? n : 1;
+  }();
+  return v;
+}
+}  // namespace
+
 ExperimentRun::ExperimentRun(ExperimentConfig config) : config_(std::move(config)) {
+  // Shard the engine before the machine exists: the Machine sizes its
+  // per-shard state slabs off engine.num_shards() at construction.
+  const int shards = config_.shards > 1 ? config_.shards : DefaultShards();
+  if (shards > 1) {
+    CpuTopology topo(config_.topology);
+    engine_.ConfigureShards(ShardPlan::Contiguous(topo.num_cores(), shards));
+  }
   machine_ = std::make_unique<Machine>(&engine_, CpuTopology(config_.topology),
                                        MakeSchedulerFor(config_), config_.machine);
   workload_ = std::make_unique<Workload>(machine_.get());

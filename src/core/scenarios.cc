@@ -476,6 +476,46 @@ LoadBalanceResult RunLoadBalance512(SchedKind kind, uint64_t seed, SimTime run_f
   return std::move(*out);
 }
 
+ExperimentSpec LoadBalance4096Spec(SchedKind kind, uint64_t seed, SimTime run_for,
+                                   int tolerance, std::shared_ptr<LoadBalanceResult> out,
+                                   int shards) {
+  ExperimentSpec spec = LoadBalanceSpec(kind, seed, run_for, tolerance, out);
+  spec.topology = CpuTopology::Numa1024().config();
+  spec.shards = shards;
+  spec.cfs.group_scheduling = false;  // keep runs parallel-window eligible
+  // No SLOs: they would attach a SchedStats observer, and observers force
+  // the engine onto the serialized merge (the heatmap is a plain periodic
+  // sampler and does not).
+  spec.slo.clear();
+  spec.Named("loadbalance-4096/" + std::string(SchedName(kind)));
+  // Rebuild the spinner app at 4096 threads (LoadBalanceSpec pinned 512 to
+  // core 0); everything else — unpin hook, heatmap, SLOs — carries over.
+  spec.apps.clear();
+  AppSpec spinners;
+  spinners.name = "spinners";
+  spinners.has_metric = true;
+  spinners.make = [](int, uint64_t s, double) -> std::unique_ptr<Application> {
+    auto app = std::make_unique<ScriptedApp>("spinners", s);
+    ScriptedApp::ThreadTemplate tmpl;
+    tmpl.name = "spin";
+    tmpl.count = 4096;
+    tmpl.affinity = CpuMask::Single(0);
+    tmpl.script = ScriptBuilder().Loop(-1).Compute(Milliseconds(5)).EndLoop().Build();
+    app->AddThreads(std::move(tmpl));
+    app->set_background(true);
+    return app;
+  };
+  spec.Add(spinners);
+  return spec;
+}
+
+LoadBalanceResult RunLoadBalance4096(SchedKind kind, uint64_t seed, SimTime run_for,
+                                     int tolerance, int shards) {
+  auto out = std::make_shared<LoadBalanceResult>();
+  ExecuteSpec(LoadBalance4096Spec(kind, seed, run_for, tolerance, out, shards));
+  return std::move(*out);
+}
+
 // ---- Figure 7 ----
 
 ExperimentSpec CraySpec(SchedKind kind, uint64_t seed, double scale,

@@ -134,6 +134,18 @@ ExperimentSpec LoadBalanceSpec(SchedKind kind, uint64_t seed, SimTime run_for, i
 LoadBalanceResult RunLoadBalance512(SchedKind kind, uint64_t seed, SimTime run_for,
                                     int tolerance);
 
+// Datacenter-scale variant of Figure 6: 4096 pinned spinners over the
+// 1024-core NUMA serving box (Numa1024), unpinned at t=14.5s. Same shape and
+// metrics as loadbalance-512, 32x the cores the balancer must fill — the
+// stress scenario for the sharded engine (`shards` on the spec) and for
+// >64-core CpuSet paths. CFS group scheduling is left off so runs are
+// parallel-window eligible.
+ExperimentSpec LoadBalance4096Spec(SchedKind kind, uint64_t seed, SimTime run_for,
+                                   int tolerance, std::shared_ptr<LoadBalanceResult> out,
+                                   int shards = 1);
+LoadBalanceResult RunLoadBalance4096(SchedKind kind, uint64_t seed, SimTime run_for,
+                                     int tolerance, int shards = 1);
+
 // ---- Figure 7: c-ray thread placement ----
 struct CrayResult {
   SchedKind sched;

@@ -51,6 +51,7 @@ ExperimentConfig ExperimentSpec::ToConfig() const {
   cfg.ule = ule;
   cfg.horizon = horizon;
   cfg.system_noise = system_noise;
+  cfg.shards = shards;
   cfg.scheduler_factory = scheduler_factory;
   return cfg;
 }

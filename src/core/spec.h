@@ -80,6 +80,9 @@ struct ExperimentSpec {
   SimTime horizon = Seconds(600);
   bool system_noise = false;
   double scale = 1.0;
+  // Engine shards (see ExperimentConfig::shards); byte-identical for any
+  // value, so specs and their results stay comparable across shard counts.
+  int shards = 1;
   // Attach a SchedStats observer and store its JSON snapshot in the result.
   bool collect_schedstats = false;
   // Attach a DecisionLog and store its JSONL export in the result

@@ -57,6 +57,15 @@ class ThreadBody {
 
   // Called each time the thread can make progress; returns the next step.
   virtual Step OnRun(ThreadContext& ctx) = 0;
+
+  // True iff the next OnRun call is certain to return kCompute with a
+  // positive *literal* duration, touching nothing outside this body's own
+  // program state — no RNG draws, no sync primitives, no posts, no hooks.
+  // The sharded engine uses this to decide whether a compute-completion
+  // event is core-local (may fire inside a parallel window) or must go to
+  // the global lane. Must be side-effect free, and conservative: the default
+  // (false) is always correct, it only costs window parallelism.
+  virtual bool NextStepIsPureCompute() const { return false; }
 };
 
 }  // namespace schedbattle

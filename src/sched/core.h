@@ -27,6 +27,14 @@ class Core {
   bool resched_pending = false;       // a reschedule event is queued
   EventHandle completion_event;       // pending compute-segment completion
   EventHandle resched_event;          // pending ReschedCore event
+  // Logical-cancellation epoch for the completion event: each arm captures
+  // the post-increment value and a firing with a stale epoch is ignored.
+  // StopCurrent inside a parallel window may not physically cancel a
+  // completion living in the engine's *global* lane (cross-lane Cancel from
+  // a shard thread would race on the lane's node pool), so it only bumps the
+  // epoch and lets the orphaned event fire as a no-op.
+  uint64_t completion_epoch = 0;
+  bool completion_local = false;      // completion lives in the core's shard lane
   // Tickless bookkeeping. `next_tick` is the core's next grid-aligned tick
   // time — the time of the earliest tick whose effects have NOT yet been
   // applied. `tick_event`/`armed_at` describe the armed event (if any): the

@@ -37,12 +37,17 @@ Machine::Machine(SimEngine* engine, CpuTopology topology, std::unique_ptr<Schedu
       params_(params),
       rng_(params.seed),
       tickless_(params.tickless && TicklessEnabled()) {
-  assert(topology_.num_cores() <= 64 && "CpuMask supports at most 64 cores");
+  assert(topology_.num_cores() <= CpuSet::kMaxCpus && "topology exceeds CpuSet::kMaxCpus");
+  const int shards = engine_->num_shards();
+  counter_slabs_.resize(1 + shards);
+  elision_slabs_.resize(1 + shards);
+  replay_.resize(1 + shards);
+  shard_min_next_tick_.assign(shards, INT64_MAX);
   cores_.reserve(topology_.num_cores());
   for (CoreId c = 0; c < topology_.num_cores(); ++c) {
     cores_.push_back(std::make_unique<Core>(c));
     cores_.back()->idle_since = 0;
-    idle_mask_ |= uint64_t{1} << c;
+    idle_mask_.Set(c);
   }
   scheduler_->Attach(this);
 }
@@ -60,6 +65,12 @@ Machine::~Machine() {
 void Machine::Boot() {
   assert(!booted_);
   booted_ = true;
+  if (engine_->num_shards() > 1) {
+    // Wire this machine into the sharded engine: the gate decides when
+    // parallel windows are sound, the hook folds shard slabs at barriers.
+    engine_->SetParallelGate([this] { return ParallelWindowAllowed(); });
+    engine_->SetWindowEndHook([this] { FoldShardSlabs(); });
+  }
   tick_period_ = scheduler_->TickPeriod();
   for (CoreId c = 0; c < num_cores(); ++c) {
     // Stagger first ticks across cores so the simulation does not create an
@@ -84,37 +95,55 @@ void Machine::TickCore(CoreId /*core*/) {
   CatchUpTicks();
 }
 
-void Machine::ReplayTick(CoreId core) {
+void Machine::ReplayTick(CoreId core, TickReplayCtx& rc) {
   Core* c = cores_[core].get();
-  catchup_dirty_ |= uint64_t{1} << core;
+  rc.catchup_dirty.Set(core);
   const SimTime when = c->next_tick;
   c->next_tick = when + tick_period_;
+  TickElisionCounters& el = elision();
   if (c->armed_at == when) {
-    ++tick_elision_.ticks_fired;
+    ++el.ticks_fired;
   } else {
-    ++tick_elision_.ticks_elided;
+    ++el.ticks_elided;
   }
-  replay_now_ = when;
+  rc.replay_now = when;
   scheduler_->TaskTick(core, c->current());
-  replay_now_ = -1;
+  rc.replay_now = -1;
+}
+
+std::pair<CoreId, CoreId> Machine::ContextCoreRange() const {
+  const int shard = engine_->current_shard();
+  const ShardPlan& plan = engine_->shard_plan();
+  if (shard < 0 || plan.num_shards() <= 1) {
+    return {0, num_cores()};
+  }
+  return {plan.begin[shard], std::min(plan.end[shard], num_cores())};
 }
 
 void Machine::CatchUpTicks() {
-  if (in_catchup_ || !booted_) {
+  // Context-scoped: in the serial context this covers every core; inside a
+  // parallel window each shard catches up only its own cores (their grids,
+  // their replay clock, its own elision slab), which is sound because the
+  // window gate guarantees no core's tick can read outside its shard.
+  const int shard = engine_->current_shard();
+  TickReplayCtx& rc = replay_[1 + shard];
+  if (rc.in_catchup || !booted_) {
     return;
   }
   const SimTime t = engine_->now();
-  if (min_next_tick_ > t) {
-    return;  // fast path: no tick is due anywhere
+  if ((shard >= 0 ? shard_min_next_tick_[shard] : min_next_tick_) > t) {
+    return;  // fast path: no tick is due anywhere in this context
   }
-  in_catchup_ = true;
-  const uint64_t elided_before = tick_elision_.ticks_elided;
+  const auto [lo, hi] = ContextCoreRange();
+  rc.in_catchup = true;
+  TickElisionCounters& el = elision();
+  const uint64_t elided_before = el.ticks_elided;
   // Idle cores whose ticks are literal no-ops (CFS: TaskTick returns
   // immediately with no current) are fast-forwarded arithmetically — but
   // only when unarmed-or-armed-later, so a due armed tick still replays
   // below and is counted as fired.
   if (scheduler_->IdleTickIsNoOp()) {
-    for (CoreId c = 0; c < num_cores(); ++c) {
+    for (CoreId c = lo; c < hi; ++c) {
       Core* core = cores_[c].get();
       if (!core->idle() || core->next_tick > t ||
           (core->armed_at >= 0 && core->armed_at <= t)) {
@@ -122,9 +151,9 @@ void Machine::CatchUpTicks() {
       }
       const uint64_t skipped =
           static_cast<uint64_t>((t - core->next_tick) / tick_period_) + 1;
-      tick_elision_.ticks_elided += skipped;
+      el.ticks_elided += skipped;
       core->next_tick += static_cast<SimDuration>(skipped) * tick_period_;
-      catchup_dirty_ |= uint64_t{1} << c;
+      rc.catchup_dirty.Set(c);
     }
   }
   // Replay the rest in global time order (grid instants are pairwise
@@ -135,7 +164,7 @@ void Machine::CatchUpTicks() {
   while (true) {
     CoreId best = kInvalidCore;
     SimTime best_time = INT64_MAX;
-    for (CoreId c = 0; c < num_cores(); ++c) {
+    for (CoreId c = lo; c < hi; ++c) {
       const SimTime nt = cores_[c]->next_tick;
       if (nt <= t && nt < best_time) {
         best_time = nt;
@@ -145,27 +174,25 @@ void Machine::CatchUpTicks() {
     if (best == kInvalidCore) {
       break;
     }
-    ReplayTick(best);
+    ReplayTick(best, rc);
   }
-  if (tick_elision_.ticks_elided != elided_before) {
-    ++tick_elision_.batch_updates;
+  if (el.ticks_elided != elided_before) {
+    ++el.batch_updates;
   }
-  in_catchup_ = false;
+  rc.in_catchup = false;
   // Re-arm only the cores whose grid advanced — unless a mutating replay
-  // touched other state (rearm_deferred_), in which case sweep everything.
-  if (rearm_deferred_) {
-    rearm_deferred_ = false;
-    catchup_dirty_ = 0;
-    for (CoreId c = 0; c < num_cores(); ++c) {
+  // touched other state (rearm_deferred), in which case sweep the context.
+  if (rc.rearm_deferred) {
+    rc.rearm_deferred = false;
+    rc.catchup_dirty = CpuSet();
+    for (CoreId c = lo; c < hi; ++c) {
       ReevaluateTick(c);
     }
   } else {
-    uint64_t dirty = catchup_dirty_;
-    catchup_dirty_ = 0;
-    while (dirty != 0) {
-      const CoreId c = static_cast<CoreId>(__builtin_ctzll(dirty));
-      dirty &= dirty - 1;
-      ReevaluateTick(c);
+    const CpuSet dirty = rc.catchup_dirty;
+    rc.catchup_dirty = CpuSet();
+    for (int c = dirty.FirstSet(); c >= 0; c = dirty.NextSet(c)) {
+      ReevaluateTick(static_cast<CoreId>(c));
     }
   }
   RecomputeMinNextTick();
@@ -175,10 +202,11 @@ void Machine::ReevaluateTick(CoreId core) {
   if (!booted_) {
     return;
   }
-  if (in_catchup_) {
+  TickReplayCtx& rc = replay_[1 + engine_->current_shard()];
+  if (rc.in_catchup) {
     // State is mid-replay; the sweep at the end of CatchUpTicks re-derives
-    // every core's arming from the settled state.
-    rearm_deferred_ = true;
+    // every affected core's arming from the settled state.
+    rc.rearm_deferred = true;
     return;
   }
   Core* c = cores_[core].get();
@@ -202,7 +230,17 @@ void Machine::ReevaluateTick(CoreId core) {
   c->tick_event.Reset();
   c->armed_at = arm_at;
   if (arm_at >= 0) {
-    c->tick_event = engine_->At(arm_at, [this, core] { TickCore(core); });
+    // Lane by certification: a tick that may act across cores (ULE's idle
+    // steal poll) lives in the global lane so it can never fire inside a
+    // parallel window; everything else is core-local and shardable. Cores
+    // reaching this point from a shard context are busy (the window gate
+    // excludes idle cores), and busy-core ticks never cross.
+    if (scheduler_->TickMayCross(core)) {
+      assert(engine_->current_shard() < 0 && "cross-capable tick armed from a shard context");
+      c->tick_event = engine_->At(arm_at, [this, core] { TickCore(core); });
+    } else {
+      c->tick_event = engine_->AtCore(core, arm_at, [this, core] { TickCore(core); });
+    }
   }
 }
 
@@ -210,21 +248,72 @@ void Machine::RearmElidedTicks() {
   if (!booted_) {
     return;
   }
-  if (in_catchup_) {
-    rearm_deferred_ = true;
+  TickReplayCtx& rc = replay_[1 + engine_->current_shard()];
+  if (rc.in_catchup) {
+    rc.rearm_deferred = true;
     return;
   }
-  for (CoreId c = 0; c < num_cores(); ++c) {
+  const auto [lo, hi] = ContextCoreRange();
+  for (CoreId c = lo; c < hi; ++c) {
     ReevaluateTick(c);
   }
 }
 
 void Machine::RecomputeMinNextTick() {
-  SimTime m = INT64_MAX;
-  for (const auto& core : cores_) {
-    m = std::min(m, core->next_tick);
+  const int shard = engine_->current_shard();
+  if (shard >= 0) {
+    const auto [lo, hi] = ContextCoreRange();
+    SimTime m = INT64_MAX;
+    for (CoreId c = lo; c < hi; ++c) {
+      m = std::min(m, cores_[c]->next_tick);
+    }
+    shard_min_next_tick_[shard] = m;
+    return;
   }
-  min_next_tick_ = m;
+  const ShardPlan& plan = engine_->shard_plan();
+  SimTime g = INT64_MAX;
+  if (plan.num_shards() <= 1) {
+    for (const auto& core : cores_) {
+      g = std::min(g, core->next_tick);
+    }
+    if (!shard_min_next_tick_.empty()) {
+      shard_min_next_tick_[0] = g;
+    }
+  } else {
+    for (int s = 0; s < plan.num_shards(); ++s) {
+      SimTime m = INT64_MAX;
+      const CoreId hi = std::min(plan.end[s], num_cores());
+      for (CoreId c = plan.begin[s]; c < hi; ++c) {
+        m = std::min(m, cores_[c]->next_tick);
+      }
+      shard_min_next_tick_[s] = m;
+      g = std::min(g, m);
+    }
+  }
+  min_next_tick_ = g;
+}
+
+bool Machine::ParallelWindowAllowed() const {
+  return booted_ && sink_ == nullptr && observers_.empty() && idle_mask_.Empty() &&
+         scheduler_->ShardParallelSafe();
+}
+
+void Machine::FoldShardSlabs() {
+  const int shards = engine_->num_shards();
+  for (int s = 1; s <= shards; ++s) {
+    counter_slabs_[0].Accumulate(counter_slabs_[s]);
+    counter_slabs_[s] = MachineCounters{};
+    elision_slabs_[0].Accumulate(elision_slabs_[s]);
+    elision_slabs_[s] = TickElisionCounters{};
+    assert(replay_[s].replay_now < 0 && !replay_[s].in_catchup);
+  }
+  // Shard buckets stay exact across the window (every next_tick mutation
+  // ends in a scoped RecomputeMinNextTick), so their min is the global min.
+  SimTime g = INT64_MAX;
+  for (const SimTime m : shard_min_next_tick_) {
+    g = std::min(g, m);
+  }
+  min_next_tick_ = g;
 }
 
 SimThread* Machine::CreateThread(ThreadSpec spec) {
@@ -240,7 +329,7 @@ void Machine::StartThread(SimThread* thread, SimThread* parent) {
   assert(booted_ && "Boot() the machine before starting threads");
   assert(thread->state() == ThreadState::kCreated);
   CatchUpTicks();
-  ++counters_.forks;
+  ++counters().forks;
   ++alive_threads_;
   scheduler_->TaskNew(thread, parent);
   const CoreId origin =
@@ -275,7 +364,7 @@ bool Machine::Wake(SimThread* thread, CoreId waker_core) {
     return false;
   }
   CatchUpTicks();
-  ++counters_.wakeups;
+  ++counters().wakeups;
   thread->last_sleep_duration = now() - thread->block_start;
   thread->total_sleep += thread->last_sleep_duration;
   CoreId origin = waker_core;
@@ -349,24 +438,61 @@ void Machine::SetNeedResched(CoreId core) {
     return;
   }
   c->resched_pending = true;
-  c->resched_event = engine_->At(now(), [this, core] { ReschedCore(core); });
+  if (engine_->current_shard() >= 0) {
+    // Inside a window the only resched source is tick preemption, which is
+    // core-local by construction (the gate excludes idle cores, so no
+    // steal/migrate handler can be the requester) — shard lane.
+    c->resched_event = engine_->AtCore(core, now(), [this, core] { ReschedCore(core); });
+  } else {
+    // Serial-context requests (wake, fork, affinity, renice) may run handlers
+    // that migrate or steal across shards — global lane, as today.
+    c->resched_event = engine_->At(now(), [this, core] { ReschedCore(core); });
+  }
 }
 
 void Machine::ChargeOverhead(CoreId core, SimDuration d, OverheadKind kind) {
   if (d <= 0) {
     return;
   }
-  counters_.overhead_ns[static_cast<int>(kind)] += d;
+  counters().overhead_ns[static_cast<int>(kind)] += d;
   Core* c = cores_[core].get();
   c->sched_overhead_ns += d;
   SimThread* cur = c->current();
   if (cur != nullptr) {
     cur->work_started += d;
     if (c->completion_event.valid()) {
-      engine_->Cancel(c->completion_event);
-      c->completion_event =
-          engine_->At(cur->work_started + cur->remaining_work,
-                      [this, core, cur] { OnComputeDone(core, cur); });
+      if (engine_->current_shard() < 0 || c->completion_local) {
+        engine_->Cancel(c->completion_event);
+      }
+      c->completion_event.Reset();
+      ArmCompletion(core, cur);
+    }
+  }
+}
+
+void Machine::ArmCompletion(CoreId core, SimThread* thread) {
+  Core* c = cores_[core].get();
+  const SimTime when = thread->work_started + thread->remaining_work;
+  // Each arm invalidates any orphaned prior completion (see Core::
+  // completion_epoch): the callback carries the epoch and no-ops if stale.
+  const uint64_t epoch = ++c->completion_epoch;
+  SimThread* t = thread;
+  auto cb = [this, core, t, epoch] { OnComputeDone(core, t, epoch); };
+  if (thread->body()->NextStepIsPureCompute()) {
+    // The post-completion body step provably stays on this core (another
+    // compute segment) — the event is shard-safe.
+    c->completion_local = true;
+    c->completion_event = engine_->AtCore(core, when, std::move(cb));
+  } else {
+    // The body may block, yield, exit, or spawn — all of which can touch
+    // other shards' state. Route through the global lane; from inside a
+    // window that means staging at the barrier (and stopping this shard's
+    // drain, so nothing runs past the uncommitted completion).
+    c->completion_local = false;
+    if (engine_->current_shard() >= 0) {
+      engine_->StageCrossAt(when, std::move(cb), &c->completion_event);
+    } else {
+      c->completion_event = engine_->At(when, std::move(cb));
     }
   }
 }
@@ -375,7 +501,7 @@ void Machine::NoteMigration(SimThread* thread, CoreId from, CoreId to) {
   if (from == to) {
     return;
   }
-  ++counters_.migrations;
+  ++counters().migrations;
   ++thread->migrations;
   thread->set_cpu(to);
   if (sink_ != nullptr) {
@@ -421,7 +547,7 @@ double Machine::OverheadFraction() const {
   if (busy <= 0) {
     return 0.0;
   }
-  return static_cast<double>(counters_.total_overhead()) / static_cast<double>(busy);
+  return static_cast<double>(counters().total_overhead()) / static_cast<double>(busy);
 }
 
 double Machine::SchedulerWorkFraction() const {
@@ -430,8 +556,8 @@ double Machine::SchedulerWorkFraction() const {
     return 0.0;
   }
   const SimDuration work =
-      counters_.total_overhead() -
-      counters_.overhead_ns[static_cast<int>(OverheadKind::kContextSwitch)];
+      counters().total_overhead() -
+      counters().overhead_ns[static_cast<int>(OverheadKind::kContextSwitch)];
   return static_cast<double>(work) / static_cast<double>(busy);
 }
 
@@ -443,7 +569,15 @@ SimThread* Machine::StopCurrent(CoreId core) {
   if (t == nullptr) {
     return nullptr;
   }
-  engine_->Cancel(c->completion_event);
+  // Logical cancellation first: the epoch bump alone makes any in-flight
+  // completion a no-op. Physical Cancel is an optimization (frees the node)
+  // and is only safe when the event's lane belongs to this context — a
+  // shard thread must not touch the global lane's node pool.
+  ++c->completion_epoch;
+  if (engine_->current_shard() < 0 || c->completion_local) {
+    engine_->Cancel(c->completion_event);
+  }
+  c->completion_event.Reset();
   const SimTime t_now = now();
   t->total_runtime += t_now - t->last_dispatch;
   const SimDuration useful = t_now - t->work_started;
@@ -453,7 +587,7 @@ SimThread* Machine::StopCurrent(CoreId core) {
   t->set_last_ran_cpu(core);
   t->last_descheduled = t_now;
   c->set_current(nullptr);
-  idle_mask_ |= uint64_t{1} << core;
+  idle_mask_.Set(core);
   return t;
 }
 
@@ -485,6 +619,10 @@ void Machine::ReschedCore(CoreId core) {
 
   SimThread* next = scheduler_->PickNextTask(core);
   if (next == nullptr) {
+    // Going idle means leaving the parallel regime (the gate requires no
+    // idle cores); a shard-lane resched only exists for tick preemption,
+    // which always has the preempted thread to re-pick.
+    assert(engine_->current_shard() < 0 && "a shard-lane reschedule found an empty runqueue");
     scheduler_->OnCoreIdle(core);
     next = scheduler_->PickNextTask(core);
   }
@@ -523,14 +661,15 @@ void Machine::Dispatch(CoreId core, SimThread* thread, bool switched) {
   SimDuration cost = 0;
   if (switched) {
     cost = params_.context_switch_cost;
-    ++counters_.context_switches;
+    MachineCounters& ctr = counters();
+    ++ctr.context_switches;
     ++c->context_switches;
-    counters_.overhead_ns[static_cast<int>(OverheadKind::kContextSwitch)] += cost;
+    ctr.overhead_ns[static_cast<int>(OverheadKind::kContextSwitch)] += cost;
     c->sched_overhead_ns += cost;
   }
   thread->work_started = now() + cost;
   c->set_current(thread);
-  idle_mask_ &= ~(uint64_t{1} << core);
+  idle_mask_.Clear(core);
   if (sink_ != nullptr) {
     sink_->Dispatch(now(), thread->id(), core);
   }
@@ -538,17 +677,24 @@ void Machine::Dispatch(CoreId core, SimThread* thread, bool switched) {
     observers_.OnDispatch(now(), core, *thread);
   }
   if (thread->remaining_work > 0) {
-    c->completion_event = engine_->At(thread->work_started + thread->remaining_work,
-                                      [this, core, thread] { OnComputeDone(core, thread); });
+    ArmCompletion(core, thread);
+  } else if (engine_->current_shard() >= 0 && !thread->body()->NextStepIsPureCompute()) {
+    // Dispatched with no residual work but an uncertified next step (it may
+    // block/yield/exit): defer the body to the barrier at this same instant.
+    SimThread* t = thread;
+    engine_->StageCrossAt(now(), [this, core, t] { RunBody(core, t); }, nullptr);
   } else {
     RunBody(core, thread);
   }
   ReevaluateTick(core);
 }
 
-void Machine::OnComputeDone(CoreId core, SimThread* thread) {
-  CatchUpTicks();
+void Machine::OnComputeDone(CoreId core, SimThread* thread, uint64_t epoch) {
   Core* c = cores_[core].get();
+  if (epoch != c->completion_epoch) {
+    return;  // logically cancelled (see Core::completion_epoch)
+  }
+  CatchUpTicks();
   assert(c->current() == thread);
   c->completion_event.Reset();
   thread->remaining_work = 0;
@@ -564,14 +710,16 @@ void Machine::RunBody(CoreId core, SimThread* thread) {
   // never consume time.
   for (int spins = 0; spins < 100000; ++spins) {
     const Step step = thread->body()->OnRun(ctx);
+    // A body running inside a window was certified pure-compute; anything
+    // else here means the certification (NextStepIsPureCompute) lied.
+    assert(engine_->current_shard() < 0 || step.kind == Step::Kind::kCompute);
     switch (step.kind) {
       case Step::Kind::kCompute: {
         if (step.duration <= 0) {
           continue;
         }
         thread->remaining_work = step.duration;
-        c->completion_event = engine_->At(thread->work_started + thread->remaining_work,
-                                          [this, core, thread] { OnComputeDone(core, thread); });
+        ArmCompletion(core, thread);
         return;
       }
       case Step::Kind::kBlock:
@@ -650,7 +798,7 @@ void Machine::ExitCurrent(CoreId core, SimThread* thread) {
     observers_.OnDeschedule(now(), core, *thread, 'X');
   }
   --alive_threads_;
-  ++counters_.exits;
+  ++counters().exits;
   scheduler_->TaskExit(thread);
   if (on_thread_exit) {
     on_thread_exit(thread);

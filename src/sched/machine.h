@@ -16,6 +16,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sched/core.h"
@@ -81,6 +82,22 @@ struct MachineCounters {
   SimDuration total_overhead() const {
     return overhead_ns[0] + overhead_ns[1] + overhead_ns[2] + overhead_ns[3];
   }
+
+  // Folds a shard slab into this (master) copy; used at window barriers.
+  void Accumulate(const MachineCounters& o) {
+    context_switches += o.context_switches;
+    wakeup_preemptions += o.wakeup_preemptions;
+    tick_preemptions += o.tick_preemptions;
+    migrations += o.migrations;
+    wakeups += o.wakeups;
+    forks += o.forks;
+    exits += o.exits;
+    pickcpu_scans += o.pickcpu_scans;
+    balance_invocations += o.balance_invocations;
+    for (int i = 0; i < 4; ++i) {
+      overhead_ns[i] += o.overhead_ns[i];
+    }
+  }
 };
 
 // Tick-elision bookkeeping. Kept separate from MachineCounters because those
@@ -91,6 +108,12 @@ struct TickElisionCounters {
   uint64_t ticks_fired = 0;    // tick effects applied by an armed tick event
   uint64_t ticks_elided = 0;   // tick effects applied with no event (replayed)
   uint64_t batch_updates = 0;  // CatchUpTicks calls that replayed >=1 elided tick
+
+  void Accumulate(const TickElisionCounters& o) {
+    ticks_fired += o.ticks_fired;
+    ticks_elided += o.ticks_elided;
+    batch_updates += o.batch_updates;
+  }
 };
 
 class Machine {
@@ -105,15 +128,24 @@ class Machine {
   // The machine's clock. While CatchUpTicks replays an elided tick this is
   // the replayed tick's time, so scheduler accounting written against now()
   // is byte-identical to what the armed tick event would have produced.
-  SimTime now() const { return replay_now_ >= 0 ? replay_now_ : engine_->now(); }
+  // Context-routed: inside a parallel window, each shard has its own replay
+  // state and reads its own lane clock through the engine.
+  SimTime now() const {
+    const SimTime rn = replay_[1 + engine_->current_shard()].replay_now;
+    return rn >= 0 ? rn : engine_->now();
+  }
   const CpuTopology& topology() const { return topology_; }
   int num_cores() const { return topology_.num_cores(); }
   Scheduler& scheduler() { return *scheduler_; }
   const Scheduler& scheduler() const { return *scheduler_; }
   const MachineParams& params() const { return params_; }
   Rng& rng() { return rng_; }
-  MachineCounters& counters() { return counters_; }
-  const MachineCounters& counters() const { return counters_; }
+  // Machine counters are sharded: slab 0 is the master (serial-context) copy,
+  // slabs 1..N collect each shard's bumps inside parallel windows and are
+  // folded into slab 0 at every window barrier — so in the serial context
+  // (where all readers live) slab 0 always holds exact totals.
+  MachineCounters& counters() { return counter_slabs_[1 + engine_->current_shard()]; }
+  const MachineCounters& counters() const { return counter_slabs_[0]; }
 
   Core& core(CoreId id) { return *cores_[id]; }
   const Core& core(CoreId id) const { return *cores_[id]; }
@@ -124,14 +156,14 @@ class Machine {
   // steal-candidate selection are popcount/ctz instead of per-core scans.
   // Purely an implementation accelerator: the *modeled* scan costs charged to
   // cores are computed as if the scan had happened.
-  uint64_t idle_mask() const { return idle_mask_; }
+  const CpuSet& idle_mask() const { return idle_mask_; }
 
   // ---- tickless tick delivery ----
 
   // True iff this machine elides tick events (params.tickless AND the
   // process-wide switch, sampled at construction).
   bool tickless() const { return tickless_; }
-  const TickElisionCounters& tick_elision() const { return tick_elision_; }
+  const TickElisionCounters& tick_elision() const { return elision_slabs_[0]; }
 
   // Applies every not-yet-applied tick with grid time <= engine-now, in
   // global time order, each under a replay clock equal to its grid time.
@@ -270,7 +302,42 @@ class Machine {
     }
   }
 
+  // True when the engine may run the next parallel window: the machine is
+  // booted, no decision consumers are attached (they need the exact total
+  // event order the serialized merge provides), every core is busy (idle
+  // cores are the cross-shard actors: ULE steal targets, wake destinations),
+  // and the scheduler certifies its core-local hooks as shard-safe.
+  // Installed as the engine's parallel gate at Boot.
+  bool ParallelWindowAllowed() const;
+
  private:
+  // Per-execution-context tick-replay state: one for the serial context plus
+  // one per shard, so concurrent shard drains can each replay their own
+  // cores' elided ticks. Padded out of each other's cache lines.
+  struct alignas(64) TickReplayCtx {
+    SimTime replay_now = -1;      // >= 0 while replaying an elided tick
+    bool in_catchup = false;      // CatchUpTicks re-entry guard
+    bool rearm_deferred = false;  // ReevaluateTick requested during catch-up
+    CpuSet catchup_dirty;         // cores whose grid advanced this catch-up
+  };
+
+  // Folds shard counter/elision slabs into the master copies and refreshes
+  // the global min-next-tick from the per-shard buckets. Installed as the
+  // engine's window-end hook at Boot; runs in the serial context.
+  void FoldShardSlabs();
+
+  // [first, one-past-last) core range this context owns: the current shard's
+  // range inside a window, every core otherwise.
+  std::pair<CoreId, CoreId> ContextCoreRange() const;
+
+  TickElisionCounters& elision() { return elision_slabs_[1 + engine_->current_shard()]; }
+
+  // Arms (or re-arms) core's compute-completion event for its current
+  // thread, choosing the lane by body certification: a certified-pure-compute
+  // next step keeps the completion in the core's shard lane; anything else
+  // goes to the global lane (staged, if called inside a window).
+  void ArmCompletion(CoreId core, SimThread* thread);
+
   // Reschedule core: deschedule current (if any), pick next, dispatch.
   void ReschedCore(CoreId core);
 
@@ -283,8 +350,10 @@ class Machine {
   // Runs the thread's body until it produces a non-instantaneous step.
   void RunBody(CoreId core, SimThread* thread);
 
-  // A compute segment finished on `core`.
-  void OnComputeDone(CoreId core, SimThread* thread);
+  // A compute segment finished on `core`. `epoch` is the completion epoch
+  // captured at arm time; a stale epoch means the completion was logically
+  // cancelled (see Core::completion_epoch) and the event is a no-op.
+  void OnComputeDone(CoreId core, SimThread* thread, uint64_t epoch);
 
   void BlockCurrent(CoreId core, SimThread* thread);
   void ExitCurrent(CoreId core, SimThread* thread);
@@ -292,7 +361,9 @@ class Machine {
   void TickCore(CoreId core);
 
   // Applies core's earliest pending tick under the replay clock.
-  void ReplayTick(CoreId core);
+  void ReplayTick(CoreId core, TickReplayCtx& rc);
+  // Refreshes this context's min-next-tick bucket(s): the current shard's
+  // bucket inside a window, all buckets plus the global scalar otherwise.
   void RecomputeMinNextTick();
 
   SimEngine* engine_;
@@ -304,20 +375,23 @@ class Machine {
   std::vector<std::unique_ptr<SimThread>> threads_;
   ThreadId next_thread_id_ = 1;
   int alive_threads_ = 0;
-  MachineCounters counters_;
+  // Slab [0] = master/serial copy; [1 + s] = shard s's window-local slab.
+  std::vector<MachineCounters> counter_slabs_;
+  std::vector<TickElisionCounters> elision_slabs_;
   ObserverBus observers_;
   DecisionSink* sink_ = nullptr;  // not owned; see AttachDecisionSink
-  uint64_t idle_mask_ = 0;
+  CpuSet idle_mask_;
   bool booted_ = false;
   // ---- tickless state ----
   bool tickless_ = true;           // effective mode (params AND global switch)
   SimDuration tick_period_ = 0;    // cached at Boot
-  SimTime replay_now_ = -1;        // >= 0 while replaying an elided tick
-  bool in_catchup_ = false;        // CatchUpTicks re-entry guard
-  bool rearm_deferred_ = false;    // ReevaluateTick requested during catch-up
-  uint64_t catchup_dirty_ = 0;     // cores whose grid advanced this catch-up
+  // Replay context per execution context: [0] serial, [1 + s] shard s.
+  std::vector<TickReplayCtx> replay_;
   SimTime min_next_tick_ = INT64_MAX;  // min over cores of Core::next_tick
-  TickElisionCounters tick_elision_;
+  // Per-shard min-next-tick buckets, so a shard's CatchUpTicks fast path
+  // reads only its own bucket; the global scalar is refreshed from these at
+  // window barriers (FoldShardSlabs).
+  std::vector<SimTime> shard_min_next_tick_;
 };
 
 }  // namespace schedbattle

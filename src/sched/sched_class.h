@@ -135,6 +135,24 @@ class Scheduler {
   // idle-core ticks are fast-forwarded arithmetically instead of replayed.
   virtual bool IdleTickIsNoOp() const { return false; }
 
+  // ---- sharded-engine certification (parallel windows) ----
+
+  // True iff this scheduler's core-local hooks (TaskTick on a busy core,
+  // PickNextTask/PutPrevTask/EnqueueTask on one core) touch only state owned
+  // by that core (its runqueue, the running thread, per-core masks' own
+  // bits), so shards may drain different cores' events concurrently inside a
+  // parallel window. Must be conservative: the default says no, which keeps
+  // unknown schedulers (and fault-injection decorators) on the exact
+  // serialized path.
+  virtual bool ShardParallelSafe() const { return false; }
+
+  // True iff a tick on `core`, in its *current* state, may read or write
+  // another core's state (ULE's idle tick runs the steal path). Such ticks
+  // are armed in the engine's global lane, so they never fire inside a
+  // parallel window. Consulted at arm time; the machine re-arms whenever the
+  // answer can change (current-thread transitions re-run ReevaluateTick).
+  virtual bool TickMayCross(CoreId /*core*/) const { return true; }
+
   // ---- introspection for metrics / experiments ----
 
   // The scheduler's own notion of a core's load (ULE: runnable thread count;

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "src/topo/cpuset.h"
 #include "src/topo/topology.h"
 
 namespace schedbattle {
@@ -23,30 +24,10 @@ inline constexpr Nice kNiceMax = 19;
 using GroupId = int32_t;
 inline constexpr GroupId kRootGroup = 0;
 
-// CPU affinity mask; supports machines of up to 64 logical cores (the paper's
-// machines have 32 and 8).
-class CpuMask {
- public:
-  constexpr CpuMask() : bits_(0) {}
-  explicit constexpr CpuMask(uint64_t bits) : bits_(bits) {}
-
-  static constexpr CpuMask AllOf(int num_cores) {
-    return CpuMask(num_cores >= 64 ? ~0ULL : ((1ULL << num_cores) - 1));
-  }
-  static constexpr CpuMask Single(CoreId core) { return CpuMask(1ULL << core); }
-
-  constexpr bool Test(CoreId core) const { return (bits_ >> core) & 1; }
-  void Set(CoreId core) { bits_ |= (1ULL << core); }
-  void Clear(CoreId core) { bits_ &= ~(1ULL << core); }
-  constexpr bool Empty() const { return bits_ == 0; }
-  constexpr int Count() const { return __builtin_popcountll(bits_); }
-  constexpr uint64_t bits() const { return bits_; }
-
-  constexpr bool operator==(const CpuMask& other) const = default;
-
- private:
-  uint64_t bits_;
-};
+// CPU affinity mask. Historically a bare uint64_t capped at 64 cores; now an
+// alias of the fixed-size CpuSet (src/topo/cpuset.h), which supports the
+// datacenter-scale topologies (up to CpuSet::kMaxCpus cores).
+using CpuMask = CpuSet;
 
 // Why a thread is being enqueued; mirrors the distinction the paper draws
 // between FreeBSD's sched_add (new threads) and sched_wakeup (woken threads),

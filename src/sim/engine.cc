@@ -1,81 +1,487 @@
 #include "src/sim/engine.h"
 
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+#include <thread>
 #include <utility>
 
 namespace schedbattle {
 
+namespace {
+
+using engine_internal::ExecCtx;
+using engine_internal::g_exec_ctx;
+
+// Process-wide worker-thread override (SCHEDBATTLE_SHARD_THREADS=on/off).
+// -1 = unset, defer to hardware_concurrency.
+int ShardThreadsEnv() {
+  static const int v = [] {
+    const char* e = std::getenv("SCHEDBATTLE_SHARD_THREADS");
+    if (e == nullptr) {
+      return -1;
+    }
+    const std::string_view s(e);
+    if (s == "off" || s == "0" || s == "false") {
+      return 0;
+    }
+    return 1;
+  }();
+  return v;
+}
+
+}  // namespace
+
+// Worker pool for threaded window drains. One thread per shard beyond shard
+// 0 (the engine's calling thread drains shard 0 itself). Windows are handed
+// out through a generation counter under a mutex; the mutex acquire/release
+// pair at the window boundary doubles as the memory barrier that publishes
+// every shard's state back to the serial context.
+struct SimEngine::Pool {
+  std::vector<std::thread> workers;
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  uint64_t gen = 0;
+  int pending = 0;
+  SimTime window_end = 0;
+  bool exiting = false;
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      exiting = true;
+    }
+    cv_work.notify_all();
+    for (auto& t : workers) {
+      t.join();
+    }
+  }
+};
+
+SimEngine::SimEngine() {
+  lanes_.push_back(std::make_unique<EventQueue>());
+  slots_.resize(1);
+}
+
+SimEngine::~SimEngine() = default;
+
+void SimEngine::ConfigureShards(ShardPlan plan) {
+  assert(TotalEmpty() && events_executed_ == 0 &&
+         "ConfigureShards must run before any event is scheduled");
+  assert(plan.num_shards() >= 1);
+  plan_ = std::move(plan);
+  pool_.reset();
+  lanes_.clear();
+  const int shards = plan_.num_shards();
+  // Single-shard plans keep one lane that doubles as global + shard 0, which
+  // preserves the classic one-queue fast path (and its exact event order).
+  const int lane_count = shards == 1 ? 1 : 1 + shards;
+  for (int i = 0; i < lane_count; ++i) {
+    lanes_.push_back(std::make_unique<EventQueue>());
+  }
+  slots_.clear();
+  slots_.resize(std::max(shards, 1));
+  parallel_capable_ = shards > 1 && plan_.word_aligned();
+}
+
+uint64_t SimEngine::NextSeq() {
+  const int s = current_shard();
+  if (s < 0) {
+    return next_seq_++;
+  }
+  // Window-born events draw from this window's block: base + k*L + lane.
+  // Deterministic (depends only on the shard's own post order) and disjoint
+  // across lanes, so parallel drains never contend on the shared counter.
+  ShardSlot& slot = slots_[s];
+  const uint64_t lane = static_cast<uint64_t>(1 + s);
+  const uint64_t seq =
+      window_base_ + slot.next_k * static_cast<uint64_t>(lanes_.size()) + lane;
+  ++slot.next_k;
+  return seq;
+}
+
 EventHandle SimEngine::At(SimTime when, EventCallback cb) {
+  const int s = current_shard();
+  if (s >= 0) {
+    // Cross-shard scheduling from inside a window: stage fire-and-forget
+    // (the handle cannot be returned by value before the barrier commits).
+    // Callers that need the handle use Machine's staged-completion path.
+    assert(false && "handle-returning cross post from shard context");
+    StageCrossAt(when, std::move(cb), nullptr);
+    return EventHandle();
+  }
   if (when < now_) {
     when = now_;
   }
-  return queue_.Schedule(when, std::move(cb));
+  return lanes_[0]->ScheduleWithSeq(when, next_seq_++, std::move(cb));
 }
 
 EventHandle SimEngine::After(SimDuration delay, EventCallback cb) {
   if (delay < 0) {
     delay = 0;
   }
-  return queue_.Schedule(now_ + delay, std::move(cb));
+  return At(now() + delay, std::move(cb));
 }
 
 void SimEngine::PostAt(SimTime when, EventCallback cb) {
+  const int s = current_shard();
+  if (s >= 0) {
+    StageCrossAt(when, std::move(cb), nullptr);
+    return;
+  }
   if (when < now_) {
     when = now_;
   }
-  queue_.Post(when, std::move(cb));
+  lanes_[0]->PostWithSeq(when, next_seq_++, std::move(cb));
 }
 
 void SimEngine::PostAfter(SimDuration delay, EventCallback cb) {
   if (delay < 0) {
     delay = 0;
   }
-  queue_.Post(now_ + delay, std::move(cb));
+  PostAt(now() + delay, std::move(cb));
 }
 
-uint64_t SimEngine::RunUntil(SimTime deadline) {
-  uint64_t executed = 0;
-  stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    if (queue_.NextTime() > deadline) {
+EventHandle SimEngine::AtCore(int core, SimTime when, EventCallback cb) {
+  const int lane = LaneOfCore(core);
+  const int s = current_shard();
+  if (s >= 0) {
+    if (lane != 1 + s) {
+      // A shard may only schedule into its own lane; anything else is a
+      // certification bug. Fall back to the (safe, serialized) staging path.
+      assert(false && "cross-lane AtCore from shard context");
+      StageCrossAt(when, std::move(cb), nullptr);
+      return EventHandle();
+    }
+    SimTime t = std::max(when, slots_[s].now);
+    return lanes_[lane]->ScheduleWithSeq(t, NextSeq(), std::move(cb));
+  }
+  if (when < now_) {
+    when = now_;
+  }
+  return lanes_[lane]->ScheduleWithSeq(when, next_seq_++, std::move(cb));
+}
+
+void SimEngine::PostAtCore(int core, SimTime when, EventCallback cb) {
+  const int lane = LaneOfCore(core);
+  const int s = current_shard();
+  if (s >= 0) {
+    if (lane != 1 + s) {
+      assert(false && "cross-lane PostAtCore from shard context");
+      StageCrossAt(when, std::move(cb), nullptr);
+      return;
+    }
+    SimTime t = std::max(when, slots_[s].now);
+    lanes_[lane]->PostWithSeq(t, NextSeq(), std::move(cb));
+    return;
+  }
+  if (when < now_) {
+    when = now_;
+  }
+  lanes_[lane]->PostWithSeq(when, next_seq_++, std::move(cb));
+}
+
+void SimEngine::StageCrossAt(SimTime when, EventCallback cb, EventHandle* out) {
+  const int s = current_shard();
+  assert(s >= 0 && "StageCrossAt is only meaningful inside a parallel window");
+  ShardSlot& slot = slots_[s];
+  slot.staged.push_back(ShardSlot::StagedPost{when, std::move(cb), out});
+  // Stop this shard's drain: no event of this lane may run past a cross
+  // event that is not yet visible to the other lanes.
+  slot.stopped = true;
+}
+
+bool SimEngine::TotalEmpty() {
+  for (auto& lane : lanes_) {
+    if (!lane->empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int SimEngine::PickLane(SimTime* when, uint64_t* seq) {
+  int best = -1;
+  SimTime best_when = 0;
+  uint64_t best_seq = 0;
+  for (int i = 0; i < static_cast<int>(lanes_.size()); ++i) {
+    SimTime w;
+    uint64_t s;
+    if (!lanes_[i]->PeekKey(&w, &s)) {
+      continue;
+    }
+    if (best < 0 || w < best_when || (w == best_when && s < best_seq)) {
+      if (best >= 0 && w == best_when &&
+          (InWindowBlock(s) || InWindowBlock(best_seq))) {
+        ++window_stats_.cross_lane_ties;
+      }
+      best = i;
+      best_when = w;
+      best_seq = s;
+    } else if (w == best_when && (InWindowBlock(s) || InWindowBlock(best_seq))) {
+      ++window_stats_.cross_lane_ties;
+    }
+  }
+  if (best >= 0) {
+    *when = best_when;
+    *seq = best_seq;
+  }
+  return best;
+}
+
+bool SimEngine::InWindowBlock(uint64_t seq) const {
+  if (window_seq_ranges_.empty()) {
+    return false;
+  }
+  auto it = std::upper_bound(
+      window_seq_ranges_.begin(), window_seq_ranges_.end(),
+      std::make_pair(seq, UINT64_MAX));
+  if (it == window_seq_ranges_.begin()) {
+    return false;
+  }
+  --it;
+  return seq >= it->first && seq < it->second;
+}
+
+bool SimEngine::ThreadsEnabled() {
+  if (threads_requested_ < 0) {
+    const int env = ShardThreadsEnv();
+    threads_requested_ =
+        env >= 0 ? env : (std::thread::hardware_concurrency() > 1 ? 1 : 0);
+  }
+  return threads_requested_ != 0;
+}
+
+void SimEngine::DrainShard(int shard, SimTime window_end) {
+  ExecCtx saved = g_exec_ctx;
+  g_exec_ctx = ExecCtx{this, shard};
+  ShardSlot& slot = slots_[shard];
+  EventQueue& lane = *lanes_[1 + shard];
+  SimTime when = 0;
+  EventCallback cb;
+  while (!slot.stopped && !stop_requested_.load(std::memory_order_relaxed)) {
+    if (!lane.PopNextBefore(window_end, &when, &cb)) {
       break;
     }
-    SimTime when = 0;
-    EventCallback cb = queue_.PopNext(&when);
+    slot.now = when;
+    cb();
+    ++slot.executed;
+  }
+  g_exec_ctx = saved;
+}
+
+uint64_t SimEngine::RunParallelWindow(SimTime window_end) {
+  const int shards = num_shards();
+  window_base_ = next_seq_;
+  for (int s = 0; s < shards; ++s) {
+    ShardSlot& slot = slots_[s];
+    slot.now = now_;
+    slot.executed = 0;
+    slot.next_k = 0;
+    slot.stopped = false;
+    slot.staged.clear();
+  }
+  ++window_stats_.windows;
+
+  if (ThreadsEnabled()) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<Pool>();
+      pool_->workers.reserve(shards - 1);
+      for (int s = 1; s < shards; ++s) {
+        pool_->workers.emplace_back([this, s] {
+          uint64_t seen = 0;
+          std::unique_lock<std::mutex> lock(pool_->mu);
+          for (;;) {
+            pool_->cv_work.wait(
+                lock, [&] { return pool_->exiting || pool_->gen != seen; });
+            if (pool_->exiting) {
+              return;
+            }
+            seen = pool_->gen;
+            const SimTime w = pool_->window_end;
+            lock.unlock();
+            DrainShard(s, w);
+            lock.lock();
+            if (--pool_->pending == 0) {
+              pool_->cv_done.notify_one();
+            }
+          }
+        });
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(pool_->mu);
+      ++pool_->gen;
+      pool_->pending = shards - 1;
+      pool_->window_end = window_end;
+    }
+    pool_->cv_work.notify_all();
+    DrainShard(0, window_end);
+    {
+      std::unique_lock<std::mutex> lock(pool_->mu);
+      pool_->cv_done.wait(lock, [&] { return pool_->pending == 0; });
+    }
+  } else {
+    for (int s = 0; s < shards; ++s) {
+      DrainShard(s, window_end);
+    }
+  }
+
+  return CommitWindow();
+}
+
+uint64_t SimEngine::CommitWindow() {
+  const int shards = num_shards();
+  uint64_t drained = 0;
+  uint64_t max_k = 0;
+  SimTime last = now_;
+  for (int s = 0; s < shards; ++s) {
+    ShardSlot& slot = slots_[s];
+    drained += slot.executed;
+    max_k = std::max(max_k, slot.next_k);
+    if (slot.executed > 0) {
+      last = std::max(last, slot.now);
+    }
+    if (slot.stopped) {
+      ++window_stats_.drain_stops;
+    }
+  }
+  if (max_k > 0) {
+    next_seq_ = window_base_ + (max_k + 1) * static_cast<uint64_t>(lanes_.size());
+  }
+  // Commit staged cross posts in (shard, post-order) order — deterministic —
+  // into the global lane with fresh serial seqs.
+  for (int s = 0; s < shards; ++s) {
+    for (auto& p : slots_[s].staged) {
+      ++window_stats_.staged_posts;
+      if (p.out != nullptr) {
+        *p.out = lanes_[0]->ScheduleWithSeq(p.when, next_seq_++, std::move(p.cb));
+      } else {
+        lanes_[0]->PostWithSeq(p.when, next_seq_++, std::move(p.cb));
+      }
+    }
+    slots_[s].staged.clear();
+  }
+  // Everything born this window — in-window block seqs AND staged commits —
+  // is tie-tracked: a same-time tie between any of these and a pre-window
+  // event resolves by block/commit order, not true serial insertion order.
+  if (next_seq_ > window_base_) {
+    window_seq_ranges_.emplace_back(window_base_, next_seq_);
+  }
+  now_ = last;
+  events_executed_ += drained;
+  window_stats_.window_events += drained;
+  if (window_end_hook_) {
+    window_end_hook_();
+  }
+  return drained;
+}
+
+uint64_t SimEngine::RunMerged(SimTime deadline, bool to_completion) {
+  uint64_t executed = 0;
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    SimTime when;
+    uint64_t seq;
+    const int lane = PickLane(&when, &seq);
+    if (lane < 0) {
+      break;
+    }
+    if (!to_completion && when > deadline) {
+      break;
+    }
+    if (parallel_capable_ && lane > 0 && gate_) {
+      // Candidate window: the global lane's next event bounds how far shard
+      // lanes may drain unsupervised (the derived cross-shard lookahead).
+      SimTime window_end = lanes_[0]->NextTime();
+      if (!to_completion && deadline < kTimeNever - 1) {
+        window_end = std::min(window_end, deadline + 1);
+      }
+      if (window_end > when && gate_()) {
+        executed += RunParallelWindow(window_end);
+        continue;
+      }
+    }
+    EventCallback cb = lanes_[lane]->PopNext(&when);
     now_ = when;
     cb();
     ++executed;
     ++events_executed_;
+    ++window_stats_.serial_events;
   }
-  // Advance the clock to the deadline only when the run genuinely reached it.
-  // After RequestStop the clock must rest at the last executed event — the
-  // content of the residual queue (e.g. how many future ticks are still
-  // armed) must not influence the reported time.
-  if (!stop_requested_ && now_ < deadline && queue_.NextTime() > deadline) {
-    now_ = deadline;
+  return executed;
+}
+
+uint64_t SimEngine::RunUntil(SimTime deadline) {
+  stop_requested_.store(false, std::memory_order_relaxed);
+  uint64_t executed = 0;
+  if (lanes_.size() == 1) {
+    EventQueue& queue = *lanes_[0];
+    while (!queue.empty() && !stop_requested_.load(std::memory_order_relaxed)) {
+      if (queue.NextTime() > deadline) {
+        break;
+      }
+      SimTime when = 0;
+      EventCallback cb = queue.PopNext(&when);
+      now_ = when;
+      cb();
+      ++executed;
+      ++events_executed_;
+    }
+    // Advance the clock to the deadline only when the run genuinely reached
+    // it. After RequestStop the clock must rest at the last executed event —
+    // the content of the residual queue (e.g. how many future ticks are
+    // still armed) must not influence the reported time.
+    if (!stop_requested_.load(std::memory_order_relaxed) && now_ < deadline &&
+        queue.NextTime() > deadline) {
+      now_ = deadline;
+    }
+    return executed;
+  }
+  executed = RunMerged(deadline, /*to_completion=*/false);
+  if (!stop_requested_.load(std::memory_order_relaxed) && now_ < deadline) {
+    SimTime when;
+    uint64_t seq;
+    const int lane = PickLane(&when, &seq);
+    if (lane < 0 || when > deadline) {
+      now_ = deadline;
+    }
   }
   return executed;
 }
 
 uint64_t SimEngine::RunToCompletion() {
-  uint64_t executed = 0;
-  stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    SimTime when = 0;
-    EventCallback cb = queue_.PopNext(&when);
-    now_ = when;
-    cb();
-    ++executed;
-    ++events_executed_;
+  stop_requested_.store(false, std::memory_order_relaxed);
+  if (lanes_.size() == 1) {
+    uint64_t executed = 0;
+    EventQueue& queue = *lanes_[0];
+    while (!queue.empty() && !stop_requested_.load(std::memory_order_relaxed)) {
+      SimTime when = 0;
+      EventCallback cb = queue.PopNext(&when);
+      now_ = when;
+      cb();
+      ++executed;
+      ++events_executed_;
+    }
+    return executed;
   }
-  return executed;
+  return RunMerged(kTimeNever, /*to_completion=*/true);
 }
 
 bool SimEngine::Step() {
-  if (queue_.empty()) {
+  SimTime when;
+  uint64_t seq;
+  const int lane = PickLane(&when, &seq);
+  if (lane < 0) {
     return false;
   }
-  SimTime when = 0;
-  EventCallback cb = queue_.PopNext(&when);
+  EventCallback cb = lanes_[lane]->PopNext(&when);
   now_ = when;
   cb();
   ++events_executed_;

@@ -1,26 +1,110 @@
 // SimEngine: the discrete-event simulation driver.
 //
-// Owns the virtual clock and the event queue, and advances time by executing
+// Owns the virtual clock and the event queues, and advances time by executing
 // events in (time, insertion) order. All higher layers (Machine, workloads,
 // metrics samplers) schedule work through this engine; nothing in the
 // simulator ever consults real time.
+//
+// ---- Sharding ----
+//
+// The engine can be partitioned into N shards (ConfigureShards), each owning
+// the event queue of one contiguous core group, plus a global lane for every
+// event that is not certified core-local (balancer passes, wakeups, workload
+// arrivals, samplers). Core-local events are posted through AtCore/PostAtCore
+// with the owning core; everything else uses the classic At/After/Post API
+// and lands in the global lane.
+//
+// Two execution regimes, chosen window by window:
+//
+//  * Serialized k-way merge. All lanes draw sequence numbers from one shared
+//    counter, so popping the lane whose head has the smallest (time, seq)
+//    reproduces *exactly* the order a single queue would have produced —
+//    sharded runs are byte-identical to serial runs by construction,
+//    including every observer callback and decision-log record. This is the
+//    only regime used while observers or a decision sink are attached, and
+//    on plans that are not word-aligned.
+//
+//  * Parallel windows (conservative time-window synchronization). When the
+//    installed gate certifies that in-flight events are core-local and
+//    commute across shards (no observers, no idle cores, scheduler reports
+//    ShardParallelSafe), the engine picks the window end W = the global
+//    lane's next event time (the minimum cross-shard latency: next balancer
+//    pass, wakeup, arrival — the lookahead is derived, not configured) and
+//    lets every shard drain its own lane up to W concurrently. Cross-shard
+//    work discovered mid-window is pushed through per-shard staging channels
+//    and committed into the global lane at the window barrier in (shard,
+//    post-order) — i.e. deterministic — order; a shard that stages stops its
+//    drain for the window so no lane ever runs past an uncommitted cross
+//    event. Events posted inside a window get seqs from a per-window block
+//    (seq = base + k * num_lanes + lane), deterministic and disjoint from the
+//    shared counter, so parallel runs are exactly reproducible run-to-run.
+//
+// The parallel regime trades the total event order for wall-clock speed only
+// where the gate proves order does not matter; its results are identical to
+// the serialized regime except for cross-lane ties at the same nanosecond
+// between a window-born event and a foreign-lane event, which are resolved
+// by block order instead of true insertion order. The engine counts those
+// ties (window_stats().cross_lane_ties) so differential tests can assert the
+// guarantee held exactly.
 #ifndef SRC_SIM_ENGINE_H_
 #define SRC_SIM_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
 
 #include "src/sim/event_queue.h"
+#include "src/sim/shard.h"
 #include "src/sim/time.h"
 
 namespace schedbattle {
 
+class SimEngine;
+
+namespace engine_internal {
+// Which shard (if any) the current OS thread is draining, and for which
+// engine. Shard handlers observe it through SimEngine::current_shard() and
+// SimEngine::now(); everything outside a parallel window sees {nullptr, -1}.
+// In the header (not an engine.cc detail) so the two accessors inline into
+// the simulator's hottest paths.
+struct ExecCtx {
+  const SimEngine* engine = nullptr;
+  int shard = -1;
+};
+// inline + constinit: the definition lives here in the header with a
+// guaranteed-constant initializer, so every TU reads the TLS slot directly —
+// no lazy-init wrapper call, which would both slow the hot path and trip
+// GCC UBSan's spurious null-reference check for extern thread_locals.
+inline constinit thread_local ExecCtx g_exec_ctx;
+}  // namespace engine_internal
+
 class SimEngine {
  public:
-  SimEngine() = default;
+  SimEngine();
+  ~SimEngine();
   SimEngine(const SimEngine&) = delete;
   SimEngine& operator=(const SimEngine&) = delete;
 
-  SimTime now() const { return now_; }
+  // Partitions the engine into the plan's shards (plus the global lane).
+  // Must be called before any event is scheduled. A single-shard plan keeps
+  // the engine on the classic one-queue fast path.
+  void ConfigureShards(ShardPlan plan);
+  const ShardPlan& shard_plan() const { return plan_; }
+  int num_shards() const { return plan_.num_shards() == 0 ? 1 : plan_.num_shards(); }
+
+  // Shard this thread is currently draining for, or -1 outside parallel
+  // windows (the serial context). Machine state slabs index off this.
+  int current_shard() const {
+    const engine_internal::ExecCtx& ctx = engine_internal::g_exec_ctx;
+    return ctx.engine == this ? ctx.shard : -1;
+  }
+
+  SimTime now() const {
+    const int s = current_shard();
+    return s < 0 ? now_ : slots_[s].now;
+  }
   uint64_t events_executed() const { return events_executed_; }
 
   // Schedules a callback at absolute time `when` (clamped to now()).
@@ -35,7 +119,24 @@ class SimEngine {
   void PostAt(SimTime when, EventCallback cb);
   void PostAfter(SimDuration delay, EventCallback cb);
 
-  bool Cancel(EventHandle& handle) { return queue_.Cancel(handle); }
+  // Core-local variants: the event lives in the owning core's shard lane and
+  // may be drained inside a parallel window. Callers certify that the
+  // callback only touches state owned by `core`'s shard (see machine.cc for
+  // the certification rules per event kind).
+  EventHandle AtCore(int core, SimTime when, EventCallback cb);
+  void PostAtCore(int core, SimTime when, EventCallback cb);
+
+  bool Cancel(EventHandle& handle) { return EventQueue::CancelVia(handle); }
+
+  // Stages a cross-shard post from inside a parallel window: the callback is
+  // committed into the global lane at the window barrier (in deterministic
+  // shard/post order), and the staging shard stops draining for the rest of
+  // the window. `out`, when non-null, receives the materialized handle at
+  // commit time — the caller must guarantee the pointed-to slot stays valid
+  // and unread until the window barrier (Machine's per-core completion slots
+  // qualify: the core's shard is stopped, so nothing touches the slot).
+  // Only callable from a shard context.
+  void StageCrossAt(SimTime when, EventCallback cb, EventHandle* out);
 
   // Runs events until the queue is empty or the next event is after
   // `deadline`; the clock then rests at min(deadline, last event time...).
@@ -49,14 +150,97 @@ class SimEngine {
   // Executes a single event if one is pending; returns false if empty.
   bool Step();
 
-  // Requests that RunUntil/RunToCompletion return after the current event.
-  void RequestStop() { stop_requested_ = true; }
+  // Requests that RunUntil/RunToCompletion return after the current event
+  // (after the current window, if one is mid-drain).
+  void RequestStop() { stop_requested_.store(true, std::memory_order_relaxed); }
+
+  // ---- parallel-window control surface (installed by the harness) ----
+
+  // Gate consulted before each candidate window; returning true certifies
+  // that every event currently in the shard lanes is core-local and commutes
+  // across shards. No gate installed = never parallel.
+  void SetParallelGate(std::function<bool()> gate) { gate_ = std::move(gate); }
+
+  // Invoked in the serial context after every parallel window, so the owner
+  // can fold per-shard state slabs back into its master copy.
+  void SetWindowEndHook(std::function<void()> hook) { window_end_hook_ = std::move(hook); }
+
+  // Whether parallel windows use OS worker threads (one per shard) or drain
+  // shards sequentially on the calling thread. Sequential drains produce
+  // bit-identical results to threaded ones (shard state is disjoint and seq
+  // assignment is deterministic); threads only buy wall-clock on multi-core
+  // hosts. Default: threaded iff the host has more than one CPU, overridable
+  // with SCHEDBATTLE_SHARD_THREADS=on/off.
+  void SetShardThreads(bool on) { threads_requested_ = on; }
+
+  struct WindowStats {
+    uint64_t windows = 0;          // parallel windows executed
+    uint64_t window_events = 0;    // events drained inside parallel windows
+    uint64_t serial_events = 0;    // events executed on the merge path
+    uint64_t staged_posts = 0;     // cross posts staged out of windows
+    uint64_t drain_stops = 0;      // shards that stopped a window early
+    uint64_t cross_lane_ties = 0;  // same-time ties involving a window-born seq
+  };
+  const WindowStats& window_stats() const { return window_stats_; }
 
  private:
+  struct alignas(64) ShardSlot {
+    SimTime now = 0;          // shard-local clock while draining a window
+    uint64_t executed = 0;    // events drained this window
+    uint64_t next_k = 0;      // per-window post counter (seq block index)
+    bool stopped = false;     // staged a cross post; drain halted
+    // Cross posts staged during the window, committed at the barrier.
+    struct StagedPost {
+      SimTime when;
+      EventCallback cb;
+      EventHandle* out;  // where to materialize the handle (may be null)
+    };
+    std::vector<StagedPost> staged;
+  };
+
+  struct Pool;  // worker threads + window barrier (engine.cc)
+
+  int LaneOfCore(int core) const {
+    return lanes_.size() == 1 ? 0 : 1 + plan_.shard_of[core];
+  }
+  uint64_t NextSeq();  // serial-context or window-block seq, by context
+
+  uint64_t RunMerged(SimTime deadline, bool to_completion);
+  // Picks the lane with the smallest (when, seq) head. Returns -1 if all
+  // lanes are empty or (when !to_completion) every head is past `deadline`.
+  int PickLane(SimTime* when, uint64_t* seq);
+  bool TotalEmpty();
+
+  // Runs one parallel window ending at `window_end`; returns events drained.
+  uint64_t RunParallelWindow(SimTime window_end);
+  void DrainShard(int shard, SimTime window_end);  // worker body
+  uint64_t CommitWindow();  // staging + seq bookkeeping; returns events drained
+  bool ThreadsEnabled();
+
   SimTime now_ = 0;
-  EventQueue queue_;
+  uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
-  bool stop_requested_ = false;
+  std::atomic<bool> stop_requested_{false};
+
+  ShardPlan plan_;
+  // lanes_[0] is the global lane; lanes_[1 + s] belongs to shard s. A
+  // default-constructed engine has exactly one lane, which doubles as both.
+  std::vector<std::unique_ptr<EventQueue>> lanes_;
+  std::vector<ShardSlot> slots_;  // one per shard (parallel-window state)
+
+  std::function<bool()> gate_;
+  std::function<void()> window_end_hook_;
+  bool parallel_capable_ = false;  // multi-shard && word-aligned plan
+  int threads_requested_ = -1;     // -1 auto, 0 off, 1 on
+  std::unique_ptr<Pool> pool_;
+
+  // Seq ranges handed out as per-window blocks, for cross-lane tie
+  // accounting (sorted, disjoint, grow-only).
+  std::vector<std::pair<uint64_t, uint64_t>> window_seq_ranges_;
+  bool InWindowBlock(uint64_t seq) const;
+  uint64_t window_base_ = 0;  // current window's seq block base
+
+  WindowStats window_stats_;
 };
 
 }  // namespace schedbattle

@@ -14,6 +14,7 @@ struct EventHandle::Node {
   SmallFn cb;
   uint64_t gen = 0;
   Node* next_free = nullptr;
+  EventQueue* owner = nullptr;  // the queue whose pool this node lives in
   uint8_t state = kFired;
 };
 
@@ -31,6 +32,7 @@ EventQueue::Node* EventQueue::AllocNode(EventCallback cb) {
     node_chunks_.push_back(std::make_unique<Node[]>(kNodesPerChunk));
     Node* chunk = node_chunks_.back().get();
     for (size_t i = 0; i < kNodesPerChunk; ++i) {
+      chunk[i].owner = this;
       chunk[i].next_free = free_nodes_;
       free_nodes_ = &chunk[i];
     }
@@ -100,17 +102,25 @@ EventQueue::Entry EventQueue::PopRoot() {
 }
 
 EventHandle EventQueue::Schedule(SimTime when, EventCallback cb) {
+  return ScheduleWithSeq(when, next_seq_++, std::move(cb));
+}
+
+void EventQueue::Post(SimTime when, EventCallback cb) {
+  PostWithSeq(when, next_seq_++, std::move(cb));
+}
+
+EventHandle EventQueue::ScheduleWithSeq(SimTime when, uint64_t seq, EventCallback cb) {
   Node* node = AllocNode(std::move(cb));
-  Push(Entry{when, next_seq_++, node, node->gen});
+  Push(Entry{when, seq, node, node->gen});
   ++live_count_;
   return EventHandle(node, node->gen);
 }
 
-void EventQueue::Post(SimTime when, EventCallback cb) {
+void EventQueue::PostWithSeq(SimTime when, uint64_t seq, EventCallback cb) {
   // Same path as Schedule minus the handle: a posted event's node simply has
   // no handle referencing it, so it can never be cancelled.
   Node* node = AllocNode(std::move(cb));
-  Push(Entry{when, next_seq_++, node, node->gen});
+  Push(Entry{when, seq, node, node->gen});
   ++live_count_;
 }
 
@@ -135,6 +145,17 @@ bool EventQueue::Cancel(EventHandle& handle) {
   return true;
 }
 
+bool EventQueue::CancelVia(EventHandle& handle) {
+  Node* node = handle.node_;
+  if (node == nullptr) {
+    return false;
+  }
+  // The owner pointer is set once when the node's pool chunk is created and
+  // stays valid for the queue's whole lifetime, so even stale handles (fired,
+  // cancelled, or recycled nodes) route to a live queue.
+  return node->owner->Cancel(handle);
+}
+
 void EventQueue::SkimCancelled() {
   while (!heap_.empty() && Stale(heap_.front())) {
     PopRoot();
@@ -144,6 +165,30 @@ void EventQueue::SkimCancelled() {
 SimTime EventQueue::NextTime() {
   SkimCancelled();
   return heap_.empty() ? kTimeNever : heap_.front().when;
+}
+
+bool EventQueue::PeekKey(SimTime* when, uint64_t* seq) {
+  SkimCancelled();
+  if (heap_.empty()) {
+    return false;
+  }
+  *when = heap_.front().when;
+  *seq = heap_.front().seq;
+  return true;
+}
+
+bool EventQueue::PopNextBefore(SimTime bound, SimTime* when, EventCallback* cb) {
+  SkimCancelled();
+  if (heap_.empty() || heap_.front().when >= bound) {
+    return false;
+  }
+  const Entry entry = PopRoot();
+  *cb = std::move(entry.node->cb);
+  Recycle(entry.node, Node::kFired);
+  assert(live_count_ > 0);
+  --live_count_;
+  *when = entry.when;
+  return true;
 }
 
 EventCallback EventQueue::PopNext(SimTime* when) {

@@ -160,10 +160,23 @@ class EventQueue {
   // Posted events cannot be cancelled.
   void Post(SimTime when, EventCallback cb);
 
+  // Variants with a caller-supplied sequence number. The sharded engine owns
+  // one global (time, seq) order across all of its per-shard queues; it hands
+  // every queue seqs from a single counter so a k-way merge of the queues
+  // reproduces exactly the order one big queue would have produced.
+  EventHandle ScheduleWithSeq(SimTime when, uint64_t seq, EventCallback cb);
+  void PostWithSeq(SimTime when, uint64_t seq, EventCallback cb);
+
   // Cancels a previously scheduled event. Safe to call with a null handle or
   // after the event has fired (both are no-ops, including through handle
   // copies). Returns true if the event was pending and is now cancelled.
   bool Cancel(EventHandle& handle);
+
+  // Handle-routed cancel: resolves the owning queue through the handle's
+  // node, so callers holding events from several queues (the sharded engine)
+  // need not remember which queue scheduled what. Null/stale handles are
+  // no-ops, exactly as with Cancel.
+  static bool CancelVia(EventHandle& handle);
 
   bool empty() const { return live_count_ == 0; }
   size_t size() const { return live_count_; }
@@ -171,9 +184,18 @@ class EventQueue {
   // Time of the earliest pending event, or kTimeNever if empty.
   SimTime NextTime();
 
+  // Key of the earliest pending event, for k-way merges across queues.
+  // Returns false if the queue is empty.
+  bool PeekKey(SimTime* when, uint64_t* seq);
+
   // Pops and returns the earliest pending event's callback, setting `when` to
   // its scheduled time. Requires !empty().
   EventCallback PopNext(SimTime* when);
+
+  // Pops the earliest pending event only if its time is strictly before
+  // `bound`; used by window-bounded shard drains. Returns false (and pops
+  // nothing) otherwise.
+  bool PopNextBefore(SimTime bound, SimTime* when, EventCallback* cb);
 
   // Drops all pending events.
   void Clear();

@@ -1,0 +1,89 @@
+// ShardPlan: the static partition of a machine's cores into engine shards.
+//
+// The sharded SimEngine gives each shard its own event queue (lane) holding
+// the per-core event streams (ticks, reschedules, compute completions) of the
+// cores it owns, plus one extra global lane for everything that is not
+// certified core-local (balancer passes, wakeups, workload arrivals, monitor
+// samplers). The plan is pure data: core -> shard, plus the contiguous core
+// range of each shard.
+//
+// Word alignment: parallel window drains let different shards write their own
+// cores' bits of shared CpuSet masks (Machine::idle_mask_, ULE's load masks)
+// concurrently. That is only race-free when no two shards share a 64-bit
+// mask word, so Contiguous() rounds shard boundaries to multiples of 64
+// whenever the machine is large enough; word_aligned() reports whether it
+// succeeded. Plans that are not word-aligned are still valid — the engine
+// simply keeps every event on the serialized k-way-merge path (which is what
+// the byte-identity tests exercise on small topologies).
+#ifndef SRC_SIM_SHARD_H_
+#define SRC_SIM_SHARD_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace schedbattle {
+
+struct ShardPlan {
+  int num_cores = 0;
+  std::vector<int> shard_of;  // core -> shard index
+  std::vector<int> begin;     // shard -> first owned core
+  std::vector<int> end;       // shard -> one past last owned core
+
+  int num_shards() const { return static_cast<int>(begin.size()); }
+
+  bool word_aligned() const {
+    for (int s = 0; s < num_shards(); ++s) {
+      if (begin[s] % 64 != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // One shard owning every core: the serial plan.
+  static ShardPlan Single(int num_cores) { return Contiguous(num_cores, 1); }
+
+  // `shards` contiguous shards over `num_cores` cores. When every shard can
+  // own at least one full 64-core mask word, boundaries are word-aligned;
+  // otherwise cores are split as evenly as possible (and the plan reports
+  // !word_aligned(), disabling parallel drains but not the sharded queues).
+  static ShardPlan Contiguous(int num_cores, int shards) {
+    ShardPlan plan;
+    plan.num_cores = num_cores;
+    if (shards < 1) {
+      shards = 1;
+    }
+    if (shards > num_cores) {
+      shards = num_cores;
+    }
+    const int words = (num_cores + 63) / 64;
+    plan.shard_of.resize(num_cores);
+    int next = 0;
+    for (int s = 0; s < shards; ++s) {
+      int take;
+      if (words >= shards) {
+        // Distribute whole words; shard s gets words [s*w/shards, (s+1)*w/shards).
+        const int w_begin = (s * words) / shards;
+        const int w_end = ((s + 1) * words) / shards;
+        take = (w_end - w_begin) * 64;
+      } else {
+        take = ((s + 1) * num_cores) / shards - (s * num_cores) / shards;
+      }
+      const int b = next;
+      const int e = std::min(num_cores, b + take);
+      plan.begin.push_back(b);
+      plan.end.push_back(s + 1 == shards ? num_cores : e);
+      next = plan.end.back();
+    }
+    for (int s = 0; s < plan.num_shards(); ++s) {
+      for (int c = plan.begin[s]; c < plan.end[s]; ++c) {
+        plan.shard_of[c] = s;
+      }
+    }
+    return plan;
+  }
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_SIM_SHARD_H_

@@ -1,0 +1,170 @@
+// CpuSet: fixed-size CPU bitmask for machines of up to kMaxCpus cores.
+//
+// Replaces the bare uint64_t masks (Machine::idle_mask_, ULE's
+// zero_load/queued/steal_source masks, CpuTopology::GroupMask) that silently
+// capped the simulator at 64 cores: on a >64-core topology, bits for cores
+// 64+ aliased into the low word and placement/steal decisions were wrong.
+// The datacenter-scale scenarios (1024-core NUMA, loadbalance-4096) need the
+// full width, and the sharded engine needs word-aligned per-shard ownership
+// of mask regions (each shard only writes the words covering its own cores,
+// so parallel window drains never race on a shared word).
+//
+// Design notes:
+//   - Plain value type, 16 x uint64_t words. All hot operations (&, |,
+//     FirstSet, Count) are straight word loops the compiler unrolls; the
+//     O(1) placement fast paths keep their shape (mask AND mask, then ctz).
+//   - FirstSet/NextSet give the ctz idiom; CountThrough gives the "rank of
+//     core c inside this mask" popcount idiom used for modeled scan costs.
+//   - low64() exists only for the decision-record wire format, which keeps
+//     its uint64_t idle-mask field (documented as truncated to cores 0-63).
+#ifndef SRC_TOPO_CPUSET_H_
+#define SRC_TOPO_CPUSET_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace schedbattle {
+
+class CpuSet {
+ public:
+  static constexpr int kMaxCpus = 1024;
+  static constexpr int kWords = kMaxCpus / 64;
+
+  constexpr CpuSet() : w_{} {}
+  // Low-word constructor (cores 0-63), for compatibility with the old
+  // uint64_t CpuMask and for tests that spell masks as literals.
+  explicit constexpr CpuSet(uint64_t low_bits) : w_{} { w_[0] = low_bits; }
+
+  static constexpr CpuSet AllOf(int num_cores) {
+    CpuSet s;
+    int full = num_cores / 64;
+    for (int i = 0; i < full; ++i) {
+      s.w_[i] = ~0ULL;
+    }
+    if (full < kWords && (num_cores % 64) != 0) {
+      s.w_[full] = (1ULL << (num_cores % 64)) - 1;
+    }
+    return s;
+  }
+  static constexpr CpuSet Single(int core) {
+    CpuSet s;
+    s.w_[core >> 6] = 1ULL << (core & 63);
+    return s;
+  }
+
+  constexpr bool Test(int core) const { return (w_[core >> 6] >> (core & 63)) & 1; }
+  constexpr void Set(int core) { w_[core >> 6] |= 1ULL << (core & 63); }
+  constexpr void Clear(int core) { w_[core >> 6] &= ~(1ULL << (core & 63)); }
+
+  constexpr bool Empty() const {
+    uint64_t acc = 0;
+    for (int i = 0; i < kWords; ++i) {
+      acc |= w_[i];
+    }
+    return acc == 0;
+  }
+
+  constexpr int Count() const {
+    int n = 0;
+    for (int i = 0; i < kWords; ++i) {
+      n += std::popcount(w_[i]);
+    }
+    return n;
+  }
+
+  // Index of the lowest set bit, or -1 if empty (the ctz fast-path idiom).
+  constexpr int FirstSet() const {
+    for (int i = 0; i < kWords; ++i) {
+      if (w_[i] != 0) {
+        return i * 64 + std::countr_zero(w_[i]);
+      }
+    }
+    return -1;
+  }
+
+  // Lowest set bit with index > from, or -1 (iteration: for (c = FirstSet();
+  // c >= 0; c = NextSet(c))).
+  constexpr int NextSet(int from) const {
+    int i = (from + 1) >> 6;
+    if (i >= kWords) {
+      return -1;
+    }
+    uint64_t word = w_[i] & (~0ULL << ((from + 1) & 63));
+    while (true) {
+      if (word != 0) {
+        return i * 64 + std::countr_zero(word);
+      }
+      if (++i >= kWords) {
+        return -1;
+      }
+      word = w_[i];
+    }
+  }
+
+  // Number of set bits with index <= core — the "how many candidates a
+  // literal scan would have examined up to and including this hit" rank used
+  // to charge modeled scan costs.
+  constexpr int CountThrough(int core) const {
+    const int word = core >> 6;
+    int n = 0;
+    for (int i = 0; i < word; ++i) {
+      n += std::popcount(w_[i]);
+    }
+    const int off = core & 63;
+    const uint64_t below = off == 63 ? ~0ULL : ((2ULL << off) - 1);
+    return n + std::popcount(w_[word] & below);
+  }
+
+  constexpr CpuSet& operator&=(const CpuSet& o) {
+    for (int i = 0; i < kWords; ++i) {
+      w_[i] &= o.w_[i];
+    }
+    return *this;
+  }
+  constexpr CpuSet& operator|=(const CpuSet& o) {
+    for (int i = 0; i < kWords; ++i) {
+      w_[i] |= o.w_[i];
+    }
+    return *this;
+  }
+  friend constexpr CpuSet operator&(CpuSet a, const CpuSet& b) { return a &= b; }
+  friend constexpr CpuSet operator|(CpuSet a, const CpuSet& b) { return a |= b; }
+
+  // this AND NOT other (there is no operator~: complements of a fixed-width
+  // set are almost always a bug — they include cores the machine lacks).
+  constexpr CpuSet AndNot(const CpuSet& o) const {
+    CpuSet r;
+    for (int i = 0; i < kWords; ++i) {
+      r.w_[i] = w_[i] & ~o.w_[i];
+    }
+    return r;
+  }
+  constexpr CpuSet Without(int core) const {
+    CpuSet r = *this;
+    r.Clear(core);
+    return r;
+  }
+
+  constexpr bool Intersects(const CpuSet& o) const {
+    uint64_t acc = 0;
+    for (int i = 0; i < kWords; ++i) {
+      acc |= w_[i] & o.w_[i];
+    }
+    return acc != 0;
+  }
+
+  constexpr bool operator==(const CpuSet& o) const = default;
+
+  // Cores 0-63 only; used by the decision-record wire format, whose
+  // idle-mask field stays a uint64_t (documented truncation on big boxes).
+  constexpr uint64_t low64() const { return w_[0]; }
+  constexpr uint64_t word(int i) const { return w_[i]; }
+  constexpr void set_word(int i, uint64_t v) { w_[i] = v; }
+
+ private:
+  uint64_t w_[kWords];
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_TOPO_CPUSET_H_

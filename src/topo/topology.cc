@@ -51,16 +51,14 @@ CpuTopology::CpuTopology(const TopologyConfig& config)
   build_level(TopoLevel::kNode, node_of_);
   build_level(TopoLevel::kMachine, all);
 
+  assert(num_cores_ <= CpuSet::kMaxCpus && "topology exceeds CpuSet::kMaxCpus");
   group_mask_.resize(num_levels);
   for (int level = 0; level < num_levels; ++level) {
-    group_mask_[level].assign(num_cores_, 0);
-    if (num_cores_ > 64) {
-      continue;  // masks unavailable; placement falls back to scans
-    }
+    group_mask_[level].assign(num_cores_, CpuSet());
     for (const auto& group : groups_[level]) {
-      uint64_t mask = 0;
+      CpuSet mask;
       for (CoreId c : group) {
-        mask |= uint64_t{1} << c;
+        mask.Set(c);
       }
       for (CoreId c : group) {
         group_mask_[level][c] = mask;
@@ -84,6 +82,18 @@ CpuTopology CpuTopology::I7_3770() {
   config.llcs_per_node = 1;
   config.cores_per_llc = 4;
   config.smt_per_core = 2;
+  return CpuTopology(config);
+}
+
+CpuTopology CpuTopology::Numa1024() {
+  // The datacenter-scale serving box: 1024 cores as 8 NUMA nodes of 128
+  // cores, two 64-core LLC groups per node (large chiplet-style LLCs keep
+  // wake placement's LLC scans wide, as in the oversubscription scenarios).
+  TopologyConfig config;
+  config.numa_nodes = 8;
+  config.llcs_per_node = 2;
+  config.cores_per_llc = 64;
+  config.smt_per_core = 1;
   return CpuTopology(config);
 }
 

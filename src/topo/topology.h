@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "src/topo/cpuset.h"
+
 namespace schedbattle {
 
 using CoreId = int32_t;
@@ -49,6 +51,8 @@ class CpuTopology {
   static CpuTopology Opteron6172();
   // The paper's secondary machine: 8-core Intel i7-3770 desktop (4 cores x 2 SMT).
   static CpuTopology I7_3770();
+  // Datacenter-scale serving box: 1024 cores, 8 NUMA nodes x 2 LLCs x 64.
+  static CpuTopology Numa1024();
   // A flat machine: n cores, one node, one LLC. Handy for unit tests.
   static CpuTopology Flat(int cores);
 
@@ -70,10 +74,10 @@ class CpuTopology {
   const std::vector<std::vector<CoreId>>& GroupsAt(TopoLevel level) const;
 
   // Bitmask of GroupOf(core, level) — bit c set iff core c is in the group.
-  // Precomputed; only available on machines with <= 64 cores (everything the
-  // paper models). Fast-path placement code combines these with the machine's
-  // idle/load masks so "first idle core in my LLC" is a ctz, not a scan.
-  uint64_t GroupMask(CoreId core, TopoLevel level) const {
+  // Precomputed for any machine size up to CpuSet::kMaxCpus. Fast-path
+  // placement code combines these with the machine's idle/load masks so
+  // "first idle core in my LLC" is a ctz, not a scan.
+  const CpuSet& GroupMask(CoreId core, TopoLevel level) const {
     return group_mask_[static_cast<int>(level)][core];
   }
 
@@ -97,9 +101,8 @@ class CpuTopology {
   std::vector<std::vector<std::vector<CoreId>>> groups_;
   // group_index_[level][core] = index of the core's group at that level.
   std::vector<std::vector<int>> group_index_;
-  // group_mask_[level][core] = bitmask of the core's group (machines <= 64
-  // cores; zero otherwise).
-  std::vector<std::vector<uint64_t>> group_mask_;
+  // group_mask_[level][core] = bitmask of the core's group.
+  std::vector<std::vector<CpuSet>> group_mask_;
 };
 
 }  // namespace schedbattle

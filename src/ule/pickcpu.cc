@@ -32,8 +32,8 @@ bool UleScheduler::AffineAt(const SimThread* t, CoreId core, TopoLevel level) co
 }
 
 CoreId UleScheduler::LowestLoadWhereRunnable(const std::vector<CoreId>& cores,
-                                             uint64_t group_mask, const SimThread* t, int pri,
-                                             int* scanned) const {
+                                             const CpuSet& group_mask, const SimThread* t,
+                                             int pri, int* scanned) const {
   // O(1) shortcut: a zero-load allowed core always wins the scan below — its
   // load is the global minimum, the first such core beats every earlier
   // (load >= 1) core on the strict-< tie-break, and zero load implies
@@ -41,10 +41,11 @@ CoreId UleScheduler::LowestLoadWhereRunnable(const std::vector<CoreId>& cores,
   // `*scanned` is still advanced by the full group so the modeled scan cost
   // the caller charges is unchanged (the loop never breaks early).
   if (tun_.placement_fast_path) {
-    const uint64_t zero = zero_load_mask_ & group_mask & t->affinity().bits();
-    if (zero != 0) {
+    const CpuSet zero = zero_load_mask_ & group_mask & t->affinity();
+    const int first = zero.FirstSet();
+    if (first >= 0) {
       *scanned += static_cast<int>(cores.size());
-      return static_cast<CoreId>(std::countr_zero(zero));
+      return static_cast<CoreId>(first);
     }
   }
   CoreId best = kInvalidCore;
@@ -66,15 +67,16 @@ CoreId UleScheduler::LowestLoadWhereRunnable(const std::vector<CoreId>& cores,
   return best;
 }
 
-CoreId UleScheduler::LowestLoad(const std::vector<CoreId>& cores, uint64_t group_mask,
+CoreId UleScheduler::LowestLoad(const std::vector<CoreId>& cores, const CpuSet& group_mask,
                                 const SimThread* t, int* scanned) const {
   // Same zero-load shortcut as LowestLoadWhereRunnable, minus the priority
   // filter (which a zero-load core passes anyway).
   if (tun_.placement_fast_path) {
-    const uint64_t zero = zero_load_mask_ & group_mask & t->affinity().bits();
-    if (zero != 0) {
+    const CpuSet zero = zero_load_mask_ & group_mask & t->affinity();
+    const int first = zero.FirstSet();
+    if (first >= 0) {
       *scanned += static_cast<int>(cores.size());
-      return static_cast<CoreId>(std::countr_zero(zero));
+      return static_cast<CoreId>(first);
     }
   }
   CoreId best = kInvalidCore;
@@ -193,7 +195,7 @@ CoreId UleScheduler::SelectTaskRqImpl(SimThread* thread, CoreId origin, EnqueueK
   if (thread->affinity().Count() == 1) {
     if (tun_.placement_fast_path) {
       *reason = PickReason::kPinned;
-      return static_cast<CoreId>(std::countr_zero(thread->affinity().bits()));
+      return static_cast<CoreId>(thread->affinity().FirstSet());
     }
     for (CoreId c = 0; c < machine_->num_cores(); ++c) {
       if (thread->CanRunOn(c)) {
@@ -241,7 +243,7 @@ CoreId UleScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind 
     d.chosen_rq = chosen != kInvalidCore ? RunnableCountOf(chosen) : -1;
     d.prev_rq = d.prev != kInvalidCore ? RunnableCountOf(d.prev) : -1;
     d.sched_key = InteractivityPenaltyOf(thread);
-    d.idle_mask = machine_->idle_mask();
+    d.idle_mask = machine_->idle_mask().low64();
   }
   machine_->EmitPickCpu(d);
   return chosen;

@@ -131,7 +131,7 @@ bool UleScheduler::TryIdleSteal(CoreId core) {
       continue;
     }
     if (tun_.placement_fast_path &&
-        (queued_mask_ & topo.GroupMask(core, level) & ~(uint64_t{1} << core)) == 0) {
+        (queued_mask_ & topo.GroupMask(core, level)).Without(core).Empty()) {
       // No core in this group has anything stealable (transferable() == 0
       // everywhere), so the scan below cannot find a candidate. Skip it but
       // charge the modeled cost of the scan ULE would have performed — idle

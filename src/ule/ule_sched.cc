@@ -111,8 +111,7 @@ SimTime UleScheduler::TickBoundary(CoreId core, const SimThread* current,
     // currently satisfying the steal candidate condition, the poll cannot
     // move a thread — it only charges the modeled scan cost, which the
     // catch-up replay reproduces exactly.
-    if (!tun_.steal_enabled ||
-        (steal_source_mask_ & ~(uint64_t{1} << core)) == 0) {
+    if (!tun_.steal_enabled || steal_source_mask_.Without(core).Empty()) {
       return kTickNever;
     }
     return next_tick;
@@ -122,6 +121,13 @@ SimTime UleScheduler::TickBoundary(CoreId core, const SimThread* current,
   // refreshes the slice. Everything else the tick does (calendar advance,
   // interactivity/%CPU accounting, priority refresh) is replayable as-is.
   return tdqs_[core].queued_count() == 0 ? kTickNever : next_tick;
+}
+
+bool UleScheduler::TickMayCross(CoreId core) const {
+  // Only idle ticks leave the core (tdq_idled steals from peers); the
+  // busy-core tick acts purely on the core's own tdq and running thread.
+  // Stealing disabled makes even idle ticks local (scan-cost charge only).
+  return machine_->CurrentOn(core) == nullptr && tun_.steal_enabled;
 }
 
 void UleScheduler::EnqueueTask(CoreId core, SimThread* thread, EnqueueKind kind) {

@@ -95,6 +95,13 @@ class UleScheduler : public Scheduler {
   SimTime TickBoundary(CoreId core, const SimThread* current,
                        SimTime next_tick) const override;
 
+  // ULE's busy-core tick is core-local (interactivity/%cpu bookkeeping, slice
+  // expiry against the core's own tdq); every thread is independent, so
+  // windows are always safe. Idle ticks run the steal path (cross-core), so
+  // they are routed to the global lane via TickMayCross.
+  bool ShardParallelSafe() const override { return true; }
+  bool TickMayCross(CoreId core) const override;
+
   double LoadOf(CoreId core) const override { return tdqs_[core].load; }
   int RunnableCountOf(CoreId core) const override { return tdqs_[core].load; }
   int InteractivityPenaltyOf(const SimThread* thread) const override;
@@ -118,10 +125,10 @@ class UleScheduler : public Scheduler {
   // higher) than `pri`; kInvalidCore if none. Adds to *scanned. `group_mask`
   // is the bitmask of `cores` (CpuTopology::GroupMask), used by the O(1)
   // zero-load shortcut: an idle-load core is always the scan's answer.
-  CoreId LowestLoadWhereRunnable(const std::vector<CoreId>& cores, uint64_t group_mask,
+  CoreId LowestLoadWhereRunnable(const std::vector<CoreId>& cores, const CpuSet& group_mask,
                                  const SimThread* t, int pri, int* scanned) const;
-  CoreId LowestLoad(const std::vector<CoreId>& cores, uint64_t group_mask, const SimThread* t,
-                    int* scanned) const;
+  CoreId LowestLoad(const std::vector<CoreId>& cores, const CpuSet& group_mask,
+                    const SimThread* t, int* scanned) const;
 
   // ---- ule_balance.cc ----
   void PeriodicBalance();
@@ -136,16 +143,26 @@ class UleScheduler : public Scheduler {
   // core now has a slice-expiry competitor; an idle core now has a steal
   // candidate), so those transitions re-arm any elided ticks.
   void SyncLoadMask(CoreId core) {
-    const uint64_t bit = uint64_t{1} << core;
     const Tdq& tdq = tdqs_[core];
-    zero_load_mask_ = tdq.load == 0 ? (zero_load_mask_ | bit) : (zero_load_mask_ & ~bit);
-    const bool had_queued = (queued_mask_ & bit) != 0;
+    if (tdq.load == 0) {
+      zero_load_mask_.Set(core);
+    } else {
+      zero_load_mask_.Clear(core);
+    }
+    const bool had_queued = queued_mask_.Test(core);
     const bool has_queued = tdq.queued_count() > 0;
-    queued_mask_ = has_queued ? (queued_mask_ | bit) : (queued_mask_ & ~bit);
-    const bool was_source = (steal_source_mask_ & bit) != 0;
+    if (has_queued) {
+      queued_mask_.Set(core);
+    } else {
+      queued_mask_.Clear(core);
+    }
+    const bool was_source = steal_source_mask_.Test(core);
     const bool is_source = tdq.load >= tun_.steal_thresh && tdq.transferable() > 0;
-    steal_source_mask_ =
-        is_source ? (steal_source_mask_ | bit) : (steal_source_mask_ & ~bit);
+    if (is_source) {
+      steal_source_mask_.Set(core);
+    } else {
+      steal_source_mask_.Clear(core);
+    }
     if (machine_ != nullptr &&
         ((is_source && !was_source) || (has_queued && !had_queued))) {
       machine_->RearmElidedTicks();
@@ -157,12 +174,12 @@ class UleScheduler : public Scheduler {
   std::vector<Tdq> tdqs_;
   // Incremental aggregates over tdqs_: bit c set iff tdqs_[c].load == 0 /
   // tdqs_[c] has queued (stealable) threads. See UleTunables::placement_fast_path.
-  uint64_t zero_load_mask_ = 0;
-  uint64_t queued_mask_ = 0;
+  CpuSet zero_load_mask_;
+  CpuSet queued_mask_;
   // Bit c set iff core c satisfies the idle-steal candidate condition
   // (load >= steal_thresh with something transferable); mirrors the scan in
   // TryIdleSteal so TickBoundary can tell when an idle core's tick is inert.
-  uint64_t steal_source_mask_ = 0;
+  CpuSet steal_source_mask_;
   EventHandle balance_event_;
 };
 

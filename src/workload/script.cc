@@ -230,6 +230,96 @@ Step ScriptBody::OnRun(ThreadContext& ctx) {
   }
 }
 
+bool ScriptBody::NextStepIsPureCompute() const {
+  // Simulated loop counters for the walk: OnRun will mutate loop_remaining_
+  // as it executes the same instructions, so the walk shadows the entries it
+  // passes in a small local array instead of touching the real state.
+  struct SimLoop {
+    int idx;
+    int remaining;
+  };
+  SimLoop sim[8];
+  int sim_n = 0;
+  const auto find = [&](int idx) -> int* {
+    for (int i = 0; i < sim_n; ++i) {
+      if (sim[i].idx == idx) {
+        return &sim[i].remaining;
+      }
+    }
+    return nullptr;
+  };
+  size_t pc = pc_;
+  bool resuming = resuming_sleep_;
+  for (int steps = 0; steps < 64; ++steps) {
+    if (pc >= script_->instrs.size()) {
+      return false;  // next step is kExit
+    }
+    const ScriptInstr& in = script_->instrs[pc];
+    switch (in.op) {
+      case ScriptInstr::Op::kCompute:
+        if (in.duration_fn) {
+          return false;  // draws from the RNG / user state
+        }
+        if (in.duration > 0) {
+          return true;
+        }
+        ++pc;
+        break;
+      case ScriptInstr::Op::kSleep:
+        if (!resuming) {
+          return false;  // would post a wakeup and block
+        }
+        resuming = false;  // the resume path just advances pc
+        ++pc;
+        break;
+      case ScriptInstr::Op::kLoopBegin: {
+        if (in.predicate) {
+          return false;
+        }
+        if (in.count == 0) {
+          pc = static_cast<size_t>(in.jump);
+          break;
+        }
+        if (int* r = find(static_cast<int>(pc)); r != nullptr) {
+          *r = in.count;
+        } else {
+          if (sim_n == 8) {
+            return false;  // walk too deep; bail conservative
+          }
+          sim[sim_n++] = SimLoop{static_cast<int>(pc), in.count};
+        }
+        ++pc;
+        break;
+      }
+      case ScriptInstr::Op::kLoopEnd: {
+        const int begin = in.jump;
+        const ScriptInstr& b = script_->instrs[begin];
+        if (b.predicate) {
+          return false;
+        }
+        int* r = find(begin);
+        int remaining = r != nullptr ? *r : loop_remaining_[begin];
+        if (remaining > 0) {
+          --remaining;
+        }
+        if (r != nullptr) {
+          *r = remaining;
+        } else {
+          if (sim_n == 8) {
+            return false;
+          }
+          sim[sim_n++] = SimLoop{begin, remaining};
+        }
+        pc = (b.count < 0 || remaining > 0) ? static_cast<size_t>(begin) + 1 : pc + 1;
+        break;
+      }
+      default:
+        return false;  // sync primitives, hooks, yields: not pure compute
+    }
+  }
+  return false;
+}
+
 std::unique_ptr<ThreadBody> MakeScriptBody(std::shared_ptr<const Script> script, Rng rng) {
   return std::make_unique<ScriptBody>(std::move(script), rng);
 }

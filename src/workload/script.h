@@ -112,6 +112,13 @@ class ScriptBody : public ThreadBody {
 
   Step OnRun(ThreadContext& ctx) override;
 
+  // Walks the program from the current VM state (without mutating it) and
+  // certifies whether the next OnRun returns a positive-literal kCompute
+  // reachable through loop bookkeeping alone — the spinner shape the sharded
+  // engine's parallel windows feed on. Anything data-dependent (duration_fn,
+  // loop predicates, sync primitives, hooks, sleeps) fails the walk.
+  bool NextStepIsPureCompute() const override;
+
  private:
   std::shared_ptr<const Script> script_;
   Rng rng_;

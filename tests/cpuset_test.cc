@@ -1,0 +1,171 @@
+// CpuSet regression tests for the >64-core port.
+//
+// The simulator's masks (Machine::idle_mask_, ULE's load masks, topology
+// group masks) were once bare uint64_t, silently aliasing cores 64+ into the
+// low word. These tests pin the CpuSet semantics across word boundaries and
+// then exercise the two decision paths that went wrong on big boxes: wake
+// placement picking an idle core above bit 63, and ULE's idle steal finding a
+// steal source above bit 63.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sched/machine.h"
+#include "src/sim/engine.h"
+#include "src/topo/cpuset.h"
+#include "src/topo/topology.h"
+#include "src/ule/ule_sched.h"
+#include "src/workload/script.h"
+#include "tests/test_util.h"
+
+namespace schedbattle {
+namespace {
+
+TEST(CpuSetTest, SetTestClearAcrossWordBoundaries) {
+  CpuSet s;
+  for (int c : {0, 63, 64, 65, 127, 128, 512, 1023}) {
+    EXPECT_FALSE(s.Test(c)) << c;
+    s.Set(c);
+    EXPECT_TRUE(s.Test(c)) << c;
+  }
+  EXPECT_EQ(s.Count(), 8);
+  // Setting bit 64 must not alias into the low word (the old uint64_t bug).
+  EXPECT_EQ(s.low64(), (1ULL << 0) | (1ULL << 63));
+  s.Clear(64);
+  EXPECT_FALSE(s.Test(64));
+  EXPECT_TRUE(s.Test(65));
+  EXPECT_EQ(s.Count(), 7);
+}
+
+TEST(CpuSetTest, IterationCrossesWords) {
+  CpuSet s;
+  const std::vector<int> bits = {3, 63, 64, 190, 191, 192, 1000, 1023};
+  for (int c : bits) {
+    s.Set(c);
+  }
+  std::vector<int> seen;
+  for (int c = s.FirstSet(); c >= 0; c = s.NextSet(c)) {
+    seen.push_back(c);
+  }
+  EXPECT_EQ(seen, bits);
+  EXPECT_EQ(s.NextSet(1023), -1);
+}
+
+TEST(CpuSetTest, AllOfFillsExactWidth) {
+  const CpuSet all = CpuSet::AllOf(1024);
+  EXPECT_EQ(all.Count(), 1024);
+  EXPECT_TRUE(all.Test(1023));
+  const CpuSet some = CpuSet::AllOf(100);
+  EXPECT_EQ(some.Count(), 100);
+  EXPECT_TRUE(some.Test(99));
+  EXPECT_FALSE(some.Test(100));
+  EXPECT_EQ(CpuSet::AllOf(64).Count(), 64);
+  EXPECT_FALSE(CpuSet::AllOf(64).Test(64));
+}
+
+TEST(CpuSetTest, CountThroughRanksAcrossWords) {
+  CpuSet s;
+  for (int c : {10, 70, 130, 700}) {
+    s.Set(c);
+  }
+  EXPECT_EQ(s.CountThrough(9), 0);
+  EXPECT_EQ(s.CountThrough(10), 1);
+  EXPECT_EQ(s.CountThrough(63), 1);
+  EXPECT_EQ(s.CountThrough(70), 2);
+  EXPECT_EQ(s.CountThrough(129), 2);
+  EXPECT_EQ(s.CountThrough(130), 3);
+  EXPECT_EQ(s.CountThrough(1023), 4);
+}
+
+TEST(CpuSetTest, WordwiseOperators) {
+  CpuSet a;
+  a.Set(5);
+  a.Set(100);
+  a.Set(900);
+  CpuSet b;
+  b.Set(100);
+  b.Set(901);
+  EXPECT_EQ((a & b).Count(), 1);
+  EXPECT_TRUE((a & b).Test(100));
+  EXPECT_EQ((a | b).Count(), 4);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.AndNot(b).Test(100));
+  EXPECT_TRUE(a.AndNot(b).Test(900));
+  EXPECT_TRUE(a.Without(900) == (a.AndNot(CpuSet::Single(900))));
+}
+
+// ---- >64-core decision-path regressions ----
+
+// Wake placement on a 128-core flat box whose only idle cores are above bit
+// 63: the chosen core must come from the high word. Under the old uint64_t
+// masks the idle-core search saw an empty (or aliased) mask and fell back to
+// a busy core.
+TEST(WideMachinePickTest, WakePlacementFindsIdleCoreAboveBit63) {
+  for (const char* sched : {"cfs", "ule"}) {
+    SimEngine engine;
+    Machine machine(&engine, CpuTopology::Flat(128), MakeScheduler(sched));
+    machine.Boot();
+    // Busy-fill cores 0..95: every idle core is >= 96 (word 1 of the mask).
+    std::vector<SimThread*> hogs;
+    for (CoreId c = 0; c < 96; ++c) {
+      hogs.push_back(machine.Spawn(Spinner("hog", c + 1, c), nullptr));
+    }
+    engine.RunUntil(Milliseconds(5));
+    ASSERT_EQ(machine.idle_mask().FirstSet(), 96) << sched;
+
+    ThreadSpec spec;
+    spec.name = "waker";
+    spec.body = MakeScriptBody(ScriptBuilder()
+                                   .Loop(-1)
+                                   .Compute(Microseconds(100))
+                                   .Sleep(Milliseconds(1))
+                                   .EndLoop()
+                                   .Build(),
+                               Rng(7));
+    SimThread* probe = machine.Spawn(std::move(spec), nullptr);
+    engine.RunUntil(Milliseconds(8));
+    EXPECT_GE(probe->cpu(), 96) << sched << " placed the wakee on a busy low-word core";
+    engine.RequestStop();
+  }
+}
+
+// ULE steal/balance across the word boundary: the only surplus work in the
+// box is queued on core 100 (word 1) and the only core that ever goes idle is
+// core 3 (word 0). Every other thread is pinned single-core, so the ONLY way
+// core 3 gets fed is by finding core 100's surplus across the word boundary.
+TEST(WideMachinePickTest, UleIdleStealFindsSourceAboveBit63) {
+  SimEngine engine;
+  Machine machine(&engine, CpuTopology::Flat(128), MakeScheduler("ule"));
+  machine.Boot();
+  std::vector<SimThread*> extra;
+  for (CoreId c = 0; c < 128; ++c) {
+    if (c == 3) {
+      continue;
+    }
+    machine.Spawn(Spinner("hog", c + 1, c), nullptr);
+  }
+  // Core 3 gets a finite hog so it goes idle mid-run (triggering the idle
+  // steal scan); core 100 gets two extra spinners that sit queued.
+  ThreadSpec finite;
+  finite.name = "finite";
+  finite.affinity = CpuMask::Single(3);
+  finite.body = MakeScriptBody(ScriptBuilder().Compute(Milliseconds(10)).Build(), Rng(99));
+  machine.Spawn(std::move(finite), nullptr);
+  for (int i = 0; i < 2; ++i) {
+    extra.push_back(machine.Spawn(Spinner("queued", 200 + i, 100), nullptr));
+  }
+  engine.RunUntil(Milliseconds(1));
+  // Widen the queued spinners' affinity so migration is allowed.
+  for (SimThread* t : extra) {
+    machine.SetAffinity(t, CpuMask::AllOf(128));
+  }
+  engine.RunUntil(Milliseconds(300));
+  const bool stolen = extra[0]->cpu() == 3 || extra[1]->cpu() == 3;
+  EXPECT_TRUE(stolen) << "core 100's surplus never reached idle core 3 "
+                      << "(cpus: " << extra[0]->cpu() << ", " << extra[1]->cpu() << ")";
+  EXPECT_FALSE(machine.idle_mask().Test(3));
+  engine.RequestStop();
+}
+
+}  // namespace
+}  // namespace schedbattle

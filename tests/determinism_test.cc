@@ -1,13 +1,27 @@
 // Determinism: the same ExperimentSpec must produce byte-identical schedstats
-// JSON on every execution, and a thread-pool campaign must match a serial one
-// exactly. This is the property that makes parallel campaigns trustworthy —
-// --jobs only changes wall-clock time, never results.
+// JSON on every execution, a thread-pool campaign must match a serial one
+// exactly, and — since the engine was sharded — the shard count must be
+// equally invisible: schedstats, decision logs and monitor verdicts for
+// --shards in {1, 2, 4} are compared byte for byte, on figure-shaped specs
+// and on a fuzzed corpus, in both tick modes.
+//
+// Note on regimes: collect_schedstats attaches an observer, which (by design)
+// keeps sharded runs on the serialized k-way-merge path. These tests
+// therefore pin merge-path identity; the parallel-window path's identity is
+// pinned by MachineShardTest in sharding_test.cc, which compares raw machine
+// counters without observers attached.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/check/fuzz.h"
 #include "src/core/campaign.h"
+#include "src/core/scenarios.h"
+#include "src/workload/app.h"
+#include "src/workload/script.h"
 #include "tests/test_util.h"
 
 namespace schedbattle {
@@ -46,6 +60,135 @@ TEST(DeterminismTest, PoolExecutionMatchesSerialByteForByte) {
     EXPECT_EQ(serial[i].schedstats_json, pool[i].schedstats_json)
         << "run " << i << " (" << serial[i].label << ") diverged under the pool";
     EXPECT_EQ(serial[i].finish_time, pool[i].finish_time);
+  }
+}
+
+// ---- shard-count invisibility ----
+
+// Builds a fresh spec per execution (scenario specs carry shared output
+// objects in their hooks, so one spec value must not be executed twice),
+// runs it at shards=1 and at each count in `shard_counts`, and compares
+// every externally visible byte.
+void ExpectShardInvariant(const std::function<ExperimentSpec()>& build,
+                          const std::vector<int>& shard_counts, const std::string& label) {
+  ExperimentSpec base = build();
+  base.shards = 1;
+  const RunResult one = ExecuteSpec(base);
+  ASSERT_FALSE(one.schedstats_json.empty()) << label;
+  for (int shards : shard_counts) {
+    ExperimentSpec spec = build();
+    spec.shards = shards;
+    const RunResult n = ExecuteSpec(spec);
+    const std::string at = label + " shards=" + std::to_string(shards);
+    EXPECT_EQ(one.schedstats_json, n.schedstats_json) << at;
+    EXPECT_EQ(one.decision_log, n.decision_log) << at;
+    EXPECT_EQ(one.finish_time, n.finish_time) << at;
+    EXPECT_EQ(one.counters.context_switches, n.counters.context_switches) << at;
+    EXPECT_EQ(one.counters.migrations, n.counters.migrations) << at;
+    EXPECT_EQ(one.violations, n.violations) << at;
+    EXPECT_EQ(one.violation_report, n.violation_report) << at;
+  }
+}
+
+// Figure 1 shape: fibo + sysbench on one core, schedstats + decision log.
+TEST(ShardDeterminismTest, Fig1SpecIsShardInvariant) {
+  for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
+    for (bool tickless : {true, false}) {
+      auto build = [kind, tickless] {
+        auto out = std::make_shared<FiboSysbenchResult>();
+        ExperimentSpec spec = FiboSysbenchSpec(kind, 42, 0.02, out);
+        spec.collect_schedstats = true;
+        spec.collect_decision_log = true;
+        spec.machine.tickless = tickless;
+        // `out` stays alive through the hooks' captures; the scenario's own
+        // on_finish also stops its sampler before the run is torn down.
+        return spec;
+      };
+      ExpectShardInvariant(build, {2, 4},
+                           std::string("fig1/") + std::string(SchedName(kind)) +
+                               (tickless ? "/tickless" : "/ticking"));
+    }
+  }
+}
+
+// Figure 6 shape, compacted for test runtime: pinned spinners on the paper's
+// multicore box, unpinned mid-run so the balancer spreads them across the
+// whole machine (and across shard boundaries).
+TEST(ShardDeterminismTest, Fig6StyleSpecIsShardInvariant) {
+  for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
+    auto build = [kind] {
+      ExperimentSpec spec = ExperimentSpec::Multicore(kind, 42);
+      spec.system_noise = false;
+      spec.horizon = Milliseconds(400);
+      spec.Named("fig6-compact");
+      spec.collect_schedstats = true;
+      spec.collect_decision_log = true;
+      AppSpec spinners;
+      spinners.name = "spinners";
+      spinners.has_metric = true;
+      spinners.make = [](int, uint64_t s, double) -> std::unique_ptr<Application> {
+        auto app = std::make_unique<ScriptedApp>("spinners", s);
+        ScriptedApp::ThreadTemplate tmpl;
+        tmpl.name = "spin";
+        tmpl.count = 96;
+        tmpl.affinity = CpuMask::Single(0);
+        tmpl.script = ScriptBuilder().Loop(-1).Compute(Milliseconds(5)).EndLoop().Build();
+        app->AddThreads(std::move(tmpl));
+        app->set_background(true);
+        return app;
+      };
+      spec.Add(spinners);
+      spec.hooks.on_start = [](SpecRunContext& ctx) {
+        Machine* m = &ctx.run.machine();
+        Application* app = ctx.apps[0];
+        ctx.run.engine().PostAt(Milliseconds(50), [m, app] {
+          const CpuMask all = CpuMask::AllOf(m->num_cores());
+          for (SimThread* t : app->threads()) {
+            m->SetAffinity(t, all);
+          }
+        });
+      };
+      return spec;
+    };
+    ExpectShardInvariant(build, {2, 4}, std::string("fig6/") + std::string(SchedName(kind)));
+  }
+}
+
+// Figure 9 shape: two co-scheduled registry applications on the multicore
+// box, with system noise on.
+TEST(ShardDeterminismTest, Fig9StyleSpecIsShardInvariant) {
+  for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
+    auto build = [kind] {
+      ExperimentSpec spec = ExperimentSpec::Multicore(kind, 42);
+      spec.scale = 0.02;
+      spec.Named("fig9-compact");
+      spec.collect_schedstats = true;
+      spec.collect_decision_log = true;
+      spec.Add(RegistryApp("apache"));
+      spec.Add(RegistryApp("gzip"));
+      return spec;
+    };
+    ExpectShardInvariant(build, {2, 4}, std::string("fig9/") + std::string(SchedName(kind)));
+  }
+}
+
+// A 50-spec fuzzed corpus (25 per scheduler, alternating tick modes, with
+// the full MonitorSuite armed): every spec must be byte-identical between
+// shards=1 and shards=4, including monitor verdicts.
+TEST(ShardDeterminismTest, FuzzCorpusIsShardInvariant) {
+  Rng rng(20260809);
+  for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
+    for (int i = 0; i < 25; ++i) {
+      const FuzzSpec fz = GenerateFuzzSpec(&rng, kind, 0.1);
+      auto build = [&fz, i] {
+        ExperimentSpec spec = fz.ToExperimentSpec();
+        spec.collect_schedstats = true;
+        spec.collect_decision_log = true;
+        spec.machine.tickless = (i % 2) == 0;
+        return spec;
+      };
+      ExpectShardInvariant(build, {4}, fz.Label() + "#" + std::to_string(i));
+    }
   }
 }
 

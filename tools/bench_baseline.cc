@@ -38,6 +38,7 @@
 #include <new>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/cfs/cfs_sched.h"
@@ -324,6 +325,41 @@ ThroughputResult MeasureIdleThroughput(const std::string& sched, double scale) {
   return r;
 }
 
+// The sharded-serving suite: the 1024-core NUMA box (Numa1024) fully loaded
+// with one pinned infinite spinner per core — the topology and load shape of
+// the loadbalance-4096 scenario after it settles. Every event is core-local
+// (certified pure-compute completions, busy-core ticks), so the engine's
+// parallel windows cover nearly the whole run; the 1/2/4-shard legs measure
+// what conservative time-window sync buys. On a single-CPU host the shards
+// drain sequentially (bit-identical, no wall-clock win) — `host_cpus` in the
+// JSON says which regime a committed number came from.
+ThroughputResult MeasureShardedServing(const std::string& sched, double scale, int shards) {
+  SimEngine engine;
+  const CpuTopology topo = CpuTopology::Numa1024();
+  if (shards > 1) {
+    engine.ConfigureShards(ShardPlan::Contiguous(topo.num_cores(), shards));
+  }
+  Machine machine(&engine, topo, MakeSched(sched));
+  machine.Boot();
+  const auto script = ScriptBuilder().Loop(-1).Compute(Milliseconds(5)).EndLoop().Build();
+  for (CoreId c = 0; c < topo.num_cores(); ++c) {
+    ThreadSpec spec;
+    spec.name = "serve";
+    spec.affinity = CpuMask::Single(c);
+    spec.body = MakeScriptBody(script, Rng(c + 1));
+    machine.Spawn(std::move(spec), nullptr);
+  }
+  engine.RunUntil(Milliseconds(50));
+  const uint64_t events_before = engine.events_executed();
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.RunUntil(Milliseconds(50) + static_cast<SimDuration>(Seconds(2) * scale));
+  const auto t1 = std::chrono::steady_clock::now();
+  ThroughputResult r;
+  r.events = static_cast<double>(engine.events_executed() - events_before);
+  r.events_per_sec = r.events / WallSeconds(t0, t1);
+  return r;
+}
+
 // Spawns a thread that computes for `work` and then blocks forever.
 SimThread* SpawnHog(Machine* machine, const CpuMask& affinity, SimDuration work) {
   ThreadSpec spec;
@@ -404,6 +440,11 @@ struct Metrics {
   double ticks_fired[2] = {0, 0};
   double ticks_elided[2] = {0, 0};
   double batch_updates[2] = {0, 0};
+  // Sharded-serving suite: events/sec at 1, 2 and 4 engine shards on the
+  // fully loaded 1024-core box, plus the host's CPU count (the speedup is
+  // only meaningful when host_cpus >= shards).
+  double serving_events_per_sec[2][3] = {{0, 0, 0}, {0, 0, 0}};
+  int host_cpus = 0;
 
   double events_per_calib(int i) const {
     return calib_rate > 0 ? events_per_sec[i] / calib_rate : 0;
@@ -441,8 +482,15 @@ Metrics MeasureAll(int runs, double scale) {
       if (r == 0 || bal < m.ns_per_balance[i]) {
         m.ns_per_balance[i] = bal;
       }
+      static const int kShardLegs[3] = {1, 2, 4};
+      for (int leg = 0; leg < 3; ++leg) {
+        const ThroughputResult sv = MeasureShardedServing(kScheds[i], scale, kShardLegs[leg]);
+        m.serving_events_per_sec[i][leg] =
+            std::max(m.serving_events_per_sec[i][leg], sv.events_per_sec);
+      }
     }
   }
+  m.host_cpus = static_cast<int>(std::thread::hardware_concurrency());
   return m;
 }
 
@@ -466,7 +514,14 @@ std::string MetricsJson(const Metrics& m, int indent) {
     os << ",\n" << pad << "\"ticks_fired_" << kScheds[i] << "\": " << m.ticks_fired[i];
     os << ",\n" << pad << "\"ticks_elided_" << kScheds[i] << "\": " << m.ticks_elided[i];
     os << ",\n" << pad << "\"batch_updates_" << kScheds[i] << "\": " << m.batch_updates[i];
+    static const int kShardLegs[3] = {1, 2, 4};
+    for (int leg = 0; leg < 3; ++leg) {
+      os << ",\n"
+         << pad << "\"serving_events_per_sec_" << kScheds[i] << "_shards" << kShardLegs[leg]
+         << "\": " << m.serving_events_per_sec[i][leg];
+    }
   }
+  os << ",\n" << pad << "\"host_cpus\": " << m.host_cpus;
   return os.str();
 }
 
@@ -483,6 +538,15 @@ void PrintMetrics(const Metrics& m) {
         "%.0f ticks fired, %.0f elided, %.0f batch updates\n",
         kScheds[i], m.idle_events_per_sec[i], m.idle_events_per_calib(i), m.ticks_fired[i],
         m.ticks_elided[i], m.batch_updates[i]);
+    std::printf(
+        "  %s sharded-serving (1024 cores): %.3g / %.3g / %.3g events/sec at 1/2/4 shards "
+        "(4-shard speedup %.2fx; host has %d CPU%s)\n",
+        kScheds[i], m.serving_events_per_sec[i][0], m.serving_events_per_sec[i][1],
+        m.serving_events_per_sec[i][2],
+        m.serving_events_per_sec[i][0] > 0
+            ? m.serving_events_per_sec[i][2] / m.serving_events_per_sec[i][0]
+            : 0.0,
+        m.host_cpus, m.host_cpus == 1 ? "" : "s");
   }
 }
 

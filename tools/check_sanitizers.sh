@@ -1,12 +1,18 @@
 #!/bin/sh
 # Builds the full tree with AddressSanitizer + UndefinedBehaviorSanitizer in
-# a separate build directory and runs the whole test suite under it.
+# a separate build directory and runs the whole test suite under it, then
+# does the same with ThreadSanitizer — with the engine's shard worker
+# threads forced ON (SCHEDBATTLE_SHARD_THREADS=on), so the parallel-window
+# drains in the sharding tests run on real OS threads even on single-CPU
+# hosts. TSan is a separate build because it cannot be combined with ASan.
 #
-#   tools/check_sanitizers.sh [build-dir]   (default: build-asan)
+#   tools/check_sanitizers.sh [build-dir] [tsan-build-dir]
+#     (defaults: build-asan, build-tsan)
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build-asan"}
+tsan_dir=${2:-"$repo_root/build-tsan"}
 
 san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 
@@ -21,5 +27,17 @@ cmake --build "$build_dir" -j "$(nproc)"
 ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="print_stacktrace=1" \
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+tsan_flags="-fsanitize=thread -fno-omit-frame-pointer"
+
+cmake -B "$tsan_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="$tsan_flags" \
+  -DCMAKE_EXE_LINKER_FLAGS="$tsan_flags"
+cmake --build "$tsan_dir" -j "$(nproc)"
+
+SCHEDBATTLE_SHARD_THREADS=on \
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "$tsan_dir" --output-on-failure -j "$(nproc)"
 
 echo "sanitizer check: PASSED"

@@ -70,8 +70,15 @@ void Usage() {
       "  --scenario=fig6        run the paper's Figure 6 load-balancing\n"
       "                         scenario (512 spinners pinned to core 0,\n"
       "                         unpinned at t=14.5s; default horizon 30s)\n"
+      "  --scenario=loadbalance-4096  the datacenter-scale variant: 4096\n"
+      "                         spinners over the 1024-core NUMA box (pairs\n"
+      "                         well with --shards)\n"
       "  --cores=<n>            core count; 32 uses the paper's NUMA topology\n"
       "                         (default 32)\n"
+      "  --shards=<n>           engine shards: per-core-group event queues\n"
+      "                         advanced under conservative time-window sync;\n"
+      "                         results are byte-identical for any value\n"
+      "                         (default 1)\n"
       "  --scale=<f>            workload scale factor (default 0.2)\n"
       "  --seed=<n>             RNG seed (default 42)\n"
       "  --horizon=<seconds>    simulation horizon (default 600)\n"
@@ -94,14 +101,15 @@ void Usage() {
       "  --json=<file>          output path, '-' for stdout (default '-')\n");
 }
 
-// The paper's Figure 6 workload: 512 infinite spinners pinned to core 0,
+// The paper's Figure 6 workload: `count` infinite spinners pinned to core 0,
 // unpinned at t=14.5s — the canonical stress test for each scheduler's load
-// balancer (and for the OnBalancePass provenance probes).
-Application* AddFig6Scenario(ExperimentRun& run, uint64_t seed) {
+// balancer (and for the OnBalancePass provenance probes). 512 is the paper's
+// figure; loadbalance-4096 runs the same shape at datacenter scale.
+Application* AddFig6Scenario(ExperimentRun& run, uint64_t seed, int count = 512) {
   auto spinners = std::make_unique<ScriptedApp>("spinners", seed);
   ScriptedApp::ThreadTemplate tmpl;
   tmpl.name = "spin";
-  tmpl.count = 512;
+  tmpl.count = count;
   tmpl.affinity = CpuMask::Single(0);
   tmpl.script = ScriptBuilder().Loop(-1).Compute(Milliseconds(5)).EndLoop().Build();
   spinners->AddThreads(std::move(tmpl));
@@ -631,6 +639,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> apps;
   std::string scenario;
   int cores = 32;
+  int shards = 1;
   double scale = 0.2;
   uint64_t seed = 42;
   double horizon_s = -1;  // default depends on the workload
@@ -651,8 +660,9 @@ int main(int argc, char** argv) {
   FlagSet flags;
   flags.String("sched", &sched, "scheduler: cfs or ule")
       .StringList("app", &apps, "application to run (repeatable)")
-      .String("scenario", &scenario, "canned scenario (fig6)")
+      .String("scenario", &scenario, "canned scenario (fig6, loadbalance-4096)")
       .Int("cores", &cores, "core count (32 = the paper's NUMA machine)")
+      .Int("shards", &shards, "engine shards (byte-identical for any value)")
       .Double("scale", &scale, "workload scale factor")
       .Uint64("seed", &seed, "RNG seed")
       .Double("horizon", &horizon_s, "simulation horizon in seconds")
@@ -674,8 +684,8 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  if (!scenario.empty() && scenario != "fig6") {
-    std::fprintf(stderr, "unknown scenario '%s' (only fig6 is available)\n", scenario.c_str());
+  if (!scenario.empty() && scenario != "fig6" && scenario != "loadbalance-4096") {
+    std::fprintf(stderr, "unknown scenario '%s' (fig6, loadbalance-4096)\n", scenario.c_str());
     return 2;
   }
   if (apps.empty() && scenario.empty()) {
@@ -685,6 +695,10 @@ int main(int argc, char** argv) {
   }
   if (sched != "cfs" && sched != "ule") {
     std::fprintf(stderr, "--sched must be cfs or ule\n");
+    return 2;
+  }
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
     return 2;
   }
   if (tickless != "on" && tickless != "off") {
@@ -697,17 +711,23 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (horizon_s < 0) {
-    // fig6's spinners run forever; the scenario is over well before 30s.
-    horizon_s = scenario == "fig6" ? 30 : 600;
+    // The spinner scenarios run forever; they are over well before 30s.
+    horizon_s = scenario.empty() ? 600 : 30;
   }
 
   ExperimentConfig cfg;
   cfg.sched = sched == "cfs" ? SchedKind::kCfs : SchedKind::kUle;
-  cfg.topology =
-      cores == 32 ? CpuTopology::Opteron6172().config() : CpuTopology::Flat(cores).config();
+  if (scenario == "loadbalance-4096") {
+    cfg.topology = CpuTopology::Numa1024().config();
+    cfg.cfs.group_scheduling = false;  // keep runs parallel-window eligible
+  } else {
+    cfg.topology =
+        cores == 32 ? CpuTopology::Opteron6172().config() : CpuTopology::Flat(cores).config();
+  }
   cfg.machine.seed = seed;
   cfg.horizon = SecondsF(horizon_s);
   cfg.system_noise = noise;
+  cfg.shards = shards;
   ExperimentRun run(cfg);
 
   std::vector<std::pair<Application*, MetricKind>> launched;
@@ -721,6 +741,8 @@ int main(int argc, char** argv) {
   }
   if (scenario == "fig6") {
     AddFig6Scenario(run, seed);
+  } else if (scenario == "loadbalance-4096") {
+    AddFig6Scenario(run, seed, 4096);
   }
 
   // Observers attach through the bus, so any combination works together.

@@ -23,7 +23,12 @@
 //                    yields a byte-identical JSONL log, and the tickless-off
 //                    run's log (minus the header line) matches the tickless
 //                    run's — the decision *stream*, not just the aggregate
-//                    schedstats, is invariant under elision.
+//                    schedstats, is invariant under elision,
+//   6. sharded:      every spec also runs on a sharded engine (--shards,
+//                    default 4); its schedstats JSON and decision log must be
+//                    byte-identical to the single-queue run — sharding, like
+//                    elision, is an engine optimization, never a behavior
+//                    change.
 //
 // Every failure is delta-debugged (ShrinkFuzzSpec) to a minimal reproducer
 // and written to --out as JSON that `schedbattle_cli replay --spec=<file>`
@@ -45,7 +50,9 @@ namespace {
 
 struct Failure {
   FuzzSpec spec;
-  std::string kind;    // "violation", "liveness", "differential", "tickless", "logdiverge"
+  // "violation", "liveness", "differential", "tickless", "logdiverge" or
+  // "sharddiverge".
+  std::string kind;
   std::string detail;  // monitor name / outcome summary
 };
 
@@ -81,6 +88,20 @@ bool DecisionLogDiverges(const FuzzSpec& spec) {
   const RunResult c = ExecuteSpec(off);
   return a.decision_log != b.decision_log ||
          StripLogHeader(a.decision_log) != StripLogHeader(c.decision_log);
+}
+
+// The sharded-engine shrink oracle: true when executing `spec` on a sharded
+// engine produces different bytes (schedstats or decision log) than the
+// single-queue engine.
+bool ShardedDiverges(int shards, const FuzzSpec& spec) {
+  ExperimentSpec serial = spec.ToExperimentSpec();
+  serial.collect_schedstats = true;
+  serial.collect_decision_log = true;
+  ExperimentSpec sharded = serial;
+  sharded.shards = shards;
+  const RunResult a = ExecuteSpec(serial);
+  const RunResult b = ExecuteSpec(sharded);
+  return a.schedstats_json != b.schedstats_json || a.decision_log != b.decision_log;
 }
 
 // Runs `spec` with elision on and off; true when the stripped schedstats
@@ -121,6 +142,7 @@ int FuzzMain(int argc, char** argv) {
   int max_shrink = 400;
   bool no_shrink = false;
   std::string tickless = "on";
+  int shards = 4;
 
   FlagSet flags;
   flags.String("sched", &sched, "scheduler under test: cfs, ule or both")
@@ -131,7 +153,8 @@ int FuzzMain(int argc, char** argv) {
       .String("out", &out_dir, "directory for reproducer JSON files")
       .Int("max-shrink", &max_shrink, "oracle budget per shrink")
       .Bool("no-shrink", &no_shrink, "emit failing specs unshrunk")
-      .String("tickless", &tickless, "tick elision: on (default) or off");
+      .String("tickless", &tickless, "tick elision: on (default) or off")
+      .Int("shards", &shards, "engine shards for the sharded differential leg");
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -156,8 +179,8 @@ int FuzzMain(int argc, char** argv) {
     std::fprintf(stderr, "--sched must be cfs, ule or both (got '%s')\n", sched.c_str());
     return 2;
   }
-  if (runs < 1 || scale <= 0.0 || max_shrink < 1) {
-    std::fprintf(stderr, "--runs, --scale and --max-shrink must be positive\n");
+  if (runs < 1 || scale <= 0.0 || max_shrink < 1 || shards < 2) {
+    std::fprintf(stderr, "--runs, --scale and --max-shrink must be positive, --shards >= 2\n");
     return 2;
   }
   if (tickless != "on" && tickless != "off") {
@@ -175,11 +198,12 @@ int FuzzMain(int argc, char** argv) {
     Rng stream = root.Split();
     base.push_back(GenerateFuzzSpec(&stream, kinds.front(), scale));
   }
-  // Every (spec, scheduler) pair runs three times: elision on (index 3n),
-  // forced off (3n+1), and elision on again (3n+2). All three collect the
-  // decision log; the first two also collect schedstats. The oracles
-  // byte-compare 3n vs 3n+1 (tickless accounting and record stream) and
-  // 3n vs 3n+2 (pure determinism, across campaign worker threads).
+  // Every (spec, scheduler) pair runs four times: elision on (index 4n),
+  // forced off (4n+1), elision on again (4n+2), and on a sharded engine
+  // (4n+3). All collect the decision log; 4n, 4n+1 and 4n+3 also collect
+  // schedstats. The oracles byte-compare 4n vs 4n+1 (tickless accounting and
+  // record stream), 4n vs 4n+2 (pure determinism, across campaign worker
+  // threads) and 4n vs 4n+3 (shard-count invisibility).
   std::vector<FuzzSpec> fuzz_specs;
   std::vector<ExperimentSpec> exp_specs;
   for (const FuzzSpec& b : base) {
@@ -194,15 +218,18 @@ int FuzzMain(int argc, char** argv) {
       off.machine.tickless = false;
       ExperimentSpec again = on;
       again.collect_schedstats = false;
+      ExperimentSpec sharded = on;
+      sharded.shards = shards;
       exp_specs.push_back(std::move(on));
       exp_specs.push_back(std::move(off));
       exp_specs.push_back(std::move(again));
+      exp_specs.push_back(std::move(sharded));
     }
   }
 
-  std::printf("schedfuzz: %d specs x %zu scheduler(s) x {tickless on, off, repeat}, "
-              "scale %.2f, seed %" PRIu64 "\n",
-              runs, kinds.size(), scale, seed);
+  std::printf("schedfuzz: %d specs x %zu scheduler(s) x {tickless on, off, repeat, "
+              "%d-shard}, scale %.2f, seed %" PRIu64 "\n",
+              runs, kinds.size(), shards, scale, seed);
   const CampaignRunner runner(jobs);
   const std::vector<RunResult> results = runner.Run(exp_specs);
 
@@ -212,7 +239,7 @@ int FuzzMain(int argc, char** argv) {
     std::vector<FuzzOutcome> outcomes;
     for (size_t k = 0; k < per_spec; ++k) {
       const size_t pair_idx = static_cast<size_t>(i) * per_spec + k;
-      const size_t idx = pair_idx * 3;
+      const size_t idx = pair_idx * 4;
       const FuzzOutcome out = OutcomeFromResult(results[idx]);
       const FuzzSpec& s = fuzz_specs[pair_idx];
       const std::string on_stats = StripTickElision(results[idx].schedstats_json);
@@ -221,6 +248,12 @@ int FuzzMain(int argc, char** argv) {
         std::fprintf(stderr, "FAIL %s: tickless schedstats diverged from eager-tick run\n",
                      s.Label().c_str());
         failures.push_back({s, "tickless", "schedstats differ with elision on vs off"});
+      }
+      if (results[idx].schedstats_json != results[idx + 3].schedstats_json ||
+          results[idx].decision_log != results[idx + 3].decision_log) {
+        std::fprintf(stderr, "FAIL %s: %d-shard engine diverged from single-queue run\n",
+                     s.Label().c_str(), shards);
+        failures.push_back({s, "sharddiverge", "schedstats or decision log differ on a sharded engine"});
       }
       if (results[idx].decision_log != results[idx + 2].decision_log) {
         std::fprintf(stderr, "FAIL %s: decision log diverged between identical runs\n",
@@ -270,6 +303,14 @@ int FuzzMain(int argc, char** argv) {
                    shrunk.attempts);
     } else if (!no_shrink && f.kind == "logdiverge") {
       const ShrinkResult shrunk = ShrinkFuzzSpec(f.spec, DecisionLogDiverges, max_shrink);
+      minimal = shrunk.minimal;
+      std::fprintf(stderr, "shrunk %s: %d -> %d threads (%d oracle calls)\n",
+                   f.spec.Label().c_str(), f.spec.TotalThreads(), minimal.TotalThreads(),
+                   shrunk.attempts);
+    } else if (!no_shrink && f.kind == "sharddiverge") {
+      const ShrinkResult shrunk = ShrinkFuzzSpec(
+          f.spec, [shards](const FuzzSpec& s) { return ShardedDiverges(shards, s); },
+          max_shrink);
       minimal = shrunk.minimal;
       std::fprintf(stderr, "shrunk %s: %d -> %d threads (%d oracle calls)\n",
                    f.spec.Label().c_str(), f.spec.TotalThreads(), minimal.TotalThreads(),
