@@ -34,6 +34,40 @@ bool ParseFaultKind(std::string_view name, FaultKind* out) {
   return false;
 }
 
+bool FaultApplicable(FaultKind fault, SchedKind sched, std::string* why) {
+  const SchedulerRegistry& reg = SchedulerRegistry::Instance();
+  const SchedulerClass& sc = reg.Of(sched);
+  bool ok = true;
+  std::string capability;
+  switch (fault) {
+    case FaultKind::kCorruptVruntime:
+      ok = sc.has_vruntime;
+      capability = "a vruntime clock";
+      break;
+    case FaultKind::kCorruptScore:
+      ok = sc.has_interactivity;
+      capability = "an interactivity score";
+      break;
+    default:
+      break;  // drop_wakeup / no_balance / miscount_load are universal
+  }
+  if (ok || why == nullptr) {
+    return ok;
+  }
+  std::string supported;
+  for (const SchedulerClass& other : reg.classes()) {
+    const bool has = fault == FaultKind::kCorruptVruntime ? other.has_vruntime
+                                                          : other.has_interactivity;
+    if (has) {
+      supported += (supported.empty() ? "" : ", ") + other.id;
+    }
+  }
+  *why = "fault '" + std::string(FaultKindName(fault)) + "' needs " + capability +
+         ", which scheduler '" + sc.id + "' does not keep (supported by: " +
+         (supported.empty() ? "none" : supported) + ")";
+  return false;
+}
+
 FaultySched::FaultySched(std::unique_ptr<Scheduler> inner, FaultConfig fault)
     : inner_(std::move(inner)), fault_(fault) {}
 

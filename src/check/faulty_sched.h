@@ -13,8 +13,10 @@
 #define SRC_CHECK_FAULTY_SCHED_H_
 
 #include <memory>
+#include <string>
 #include <string_view>
 
+#include "src/sched/registry.h"
 #include "src/sched/sched_class.h"
 
 namespace schedbattle {
@@ -48,6 +50,15 @@ struct FaultConfig {
   FaultKind kind = FaultKind::kNone;
   int arg = 1;  // fault-specific parameter, see FaultKind
 };
+
+// True iff scheduling class `sched` can express `fault`. Corrupting a clock
+// the class does not keep (corrupt_vruntime without a vruntime,
+// corrupt_score without an interactivity score) silently no-ops — the
+// sentinel return already disarms the corresponding monitor — so spec
+// parsing rejects such combinations up front. When inapplicable and `why`
+// is non-null, *why receives a one-line explanation naming the classes that
+// do support the fault.
+bool FaultApplicable(FaultKind fault, SchedKind sched, std::string* why = nullptr);
 
 class FaultySched : public Scheduler {
  public:

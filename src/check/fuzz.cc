@@ -288,7 +288,7 @@ std::string FuzzSpec::ToJson() const {
   std::ostringstream os;
   os << "{\n";
   os << "\"fuzz_spec\":1,\n";
-  os << "\"sched\":\"" << (sched == SchedKind::kCfs ? "cfs" : "ule") << "\",\n";
+  os << "\"sched\":\"" << SchedId(sched) << "\",\n";
   os << "\"seed\":\"" << seed << "\",\n";
   os << "\"cores\":" << cores << ",\n";
   os << "\"numa_nodes\":" << numa_nodes << ",\n";
@@ -325,12 +325,9 @@ bool FuzzSpec::Parse(const std::string& json, FuzzSpec* out, std::string* error)
       if (!cur.ParseString(&s)) {
         return false;
       }
-      if (s == "cfs") {
-        out->sched = SchedKind::kCfs;
-      } else if (s == "ule") {
-        out->sched = SchedKind::kUle;
-      } else {
-        return cur.Fail("unknown sched: " + s);
+      if (!ParseSchedKind(s, &out->sched)) {
+        return cur.Fail("unknown sched: " + s + " (registered: " +
+                        SchedulerRegistry::Instance().IdList() + ")");
       }
       return true;
     }
@@ -434,6 +431,12 @@ bool FuzzSpec::Parse(const std::string& json, FuzzSpec* out, std::string* error)
   }
   if (out->numa_nodes > 1 && out->cores % out->numa_nodes != 0) {
     return cur.Fail("numa_nodes must divide cores");
+  }
+  // A fault the wrapped class cannot express would silently no-op at
+  // runtime; reject the combination while the spec is still just data.
+  std::string why;
+  if (!FaultApplicable(out->fault.kind, out->sched, &why)) {
+    return cur.Fail(why);
   }
   return true;
 }

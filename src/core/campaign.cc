@@ -19,26 +19,45 @@ void AppendTag(ExperimentSpec& spec, const std::string& tag, bool to_group) {
 
 }  // namespace
 
-std::vector<ExperimentSpec> BothSchedulers(const ExperimentSpec& spec) {
+std::vector<ExperimentSpec> SchedulerSet(const ExperimentSpec& spec,
+                                         const std::vector<SchedKind>& kinds) {
   std::vector<ExperimentSpec> out;
-  for (SchedKind kind : {SchedKind::kCfs, SchedKind::kUle}) {
+  out.reserve(kinds.size());
+  for (SchedKind kind : kinds) {
     ExperimentSpec s = spec;
     s.sched = kind;
-    AppendTag(s, kind == SchedKind::kCfs ? "cfs" : "ule", /*to_group=*/true);
+    AppendTag(s, std::string(SchedId(kind)), /*to_group=*/true);
     out.push_back(std::move(s));
   }
   return out;
 }
 
-std::vector<ExperimentSpec> BothSchedulers(const std::vector<ExperimentSpec>& specs) {
+std::vector<ExperimentSpec> SchedulerSet(const std::vector<ExperimentSpec>& specs,
+                                         const std::vector<SchedKind>& kinds) {
   std::vector<ExperimentSpec> out;
-  out.reserve(specs.size() * 2);
+  out.reserve(specs.size() * kinds.size());
   for (const ExperimentSpec& spec : specs) {
-    for (ExperimentSpec& s : BothSchedulers(spec)) {
+    for (ExperimentSpec& s : SchedulerSet(spec, kinds)) {
       out.push_back(std::move(s));
     }
   }
   return out;
+}
+
+std::vector<ExperimentSpec> AllSchedulers(const ExperimentSpec& spec) {
+  return SchedulerSet(spec, SchedulerRegistry::Instance().AllKinds());
+}
+
+std::vector<ExperimentSpec> AllSchedulers(const std::vector<ExperimentSpec>& specs) {
+  return SchedulerSet(specs, SchedulerRegistry::Instance().AllKinds());
+}
+
+std::vector<ExperimentSpec> BothSchedulers(const ExperimentSpec& spec) {
+  return SchedulerSet(spec, {SchedKind::kCfs, SchedKind::kUle});
+}
+
+std::vector<ExperimentSpec> BothSchedulers(const std::vector<ExperimentSpec>& specs) {
+  return SchedulerSet(specs, {SchedKind::kCfs, SchedKind::kUle});
 }
 
 std::vector<ExperimentSpec> SeedSweep(const ExperimentSpec& spec, int runs) {

@@ -27,7 +27,19 @@ namespace schedbattle {
 // group; replicating combinators (seed sweep) extend only the label, so
 // results aggregate by group.
 
-// One spec -> {CFS, ULE} pair with "/cfs" and "/ule" suffixes.
+// One spec -> one per given scheduling class, suffixed with the class's
+// canonical id ("/cfs", "/mlfq", ...), in the order given.
+std::vector<ExperimentSpec> SchedulerSet(const ExperimentSpec& spec,
+                                         const std::vector<SchedKind>& kinds);
+std::vector<ExperimentSpec> SchedulerSet(const std::vector<ExperimentSpec>& specs,
+                                         const std::vector<SchedKind>& kinds);
+
+// One spec -> every class in the SchedulerRegistry — the N-way tournament.
+std::vector<ExperimentSpec> AllSchedulers(const ExperimentSpec& spec);
+std::vector<ExperimentSpec> AllSchedulers(const std::vector<ExperimentSpec>& specs);
+
+// One spec -> {CFS, ULE} pair with "/cfs" and "/ule" suffixes (the paper's
+// original two-way battle; SchedulerSet({kCfs, kUle})).
 std::vector<ExperimentSpec> BothSchedulers(const ExperimentSpec& spec);
 std::vector<ExperimentSpec> BothSchedulers(const std::vector<ExperimentSpec>& specs);
 

@@ -2,8 +2,6 @@
 
 namespace schedbattle {
 
-std::string_view SchedName(SchedKind kind) { return kind == SchedKind::kCfs ? "CFS" : "ULE"; }
-
 ExperimentConfig ExperimentConfig::SingleCore(SchedKind kind, uint64_t seed) {
   ExperimentConfig cfg;
   cfg.sched = kind;
@@ -25,10 +23,7 @@ std::unique_ptr<Scheduler> MakeSchedulerFor(const ExperimentConfig& config) {
   if (config.scheduler_factory) {
     return config.scheduler_factory(config);
   }
-  if (config.sched == SchedKind::kCfs) {
-    return std::make_unique<CfsScheduler>(config.cfs);
-  }
-  return std::make_unique<UleScheduler>(config.ule);
+  return SchedulerRegistry::Instance().Of(config.sched).make(config);
 }
 
 }  // namespace schedbattle

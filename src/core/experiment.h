@@ -1,8 +1,11 @@
 // Experiment configuration: one machine + one scheduler + tunables.
 //
-// The harness realizes the paper's methodology in simulator form: build two
-// otherwise identical machines — one scheduled by CFS, one by ULE — run the
-// same workload on both, and attribute every difference to the scheduler.
+// The harness realizes the paper's methodology in simulator form: build N
+// otherwise identical machines — one per scheduling class under test — run
+// the same workload on each, and attribute every difference to the
+// scheduler. The classes themselves live in the SchedulerRegistry
+// (src/sched/registry.h); this layer owns the per-class tunable structs and
+// the machine/topology/horizon around them.
 #ifndef SRC_CORE_EXPERIMENT_H_
 #define SRC_CORE_EXPERIMENT_H_
 
@@ -11,15 +14,14 @@
 #include <string>
 
 #include "src/cfs/cfs_sched.h"
+#include "src/eevdf/eevdf_sched.h"
+#include "src/mlfq/mlfq_sched.h"
 #include "src/sched/machine.h"
+#include "src/sched/registry.h"
 #include "src/topo/topology.h"
 #include "src/ule/ule_sched.h"
 
 namespace schedbattle {
-
-enum class SchedKind { kCfs, kUle };
-
-std::string_view SchedName(SchedKind kind);
 
 struct ExperimentConfig {
   SchedKind sched = SchedKind::kCfs;
@@ -27,6 +29,8 @@ struct ExperimentConfig {
   MachineParams machine;
   CfsTunables cfs;
   UleTunables ule;
+  MlfqTunables mlfq;
+  EevdfTunables eevdf;
   SimTime horizon = Seconds(600);
   // Per-core background kernel threads, as on the paper's real testbed; on
   // by default for multicore runs (scenarios set it).
@@ -38,8 +42,8 @@ struct ExperimentConfig {
   int shards = 1;
 
   // Optional scheduler-construction override. When set, it replaces the
-  // default CFS/ULE construction — used by the checking subsystem to wrap
-  // the real scheduler in a fault-injecting decorator (FaultySched).
+  // registry factory — used by the checking subsystem to wrap the real
+  // scheduler in a fault-injecting decorator (FaultySched).
   std::function<std::unique_ptr<Scheduler>(const ExperimentConfig&)> scheduler_factory;
 
   static ExperimentConfig SingleCore(SchedKind kind, uint64_t seed = 42);

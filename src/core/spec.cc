@@ -49,6 +49,8 @@ ExperimentConfig ExperimentSpec::ToConfig() const {
   cfg.machine = machine;
   cfg.cfs = cfs;
   cfg.ule = ule;
+  cfg.mlfq = mlfq;
+  cfg.eevdf = eevdf;
   cfg.horizon = horizon;
   cfg.system_noise = system_noise;
   cfg.shards = shards;

@@ -77,6 +77,8 @@ struct ExperimentSpec {
   MachineParams machine;
   CfsTunables cfs;
   UleTunables ule;
+  MlfqTunables mlfq;
+  EevdfTunables eevdf;
   SimTime horizon = Seconds(600);
   bool system_noise = false;
   double scale = 1.0;

@@ -1,0 +1,427 @@
+#include "src/eevdf/eevdf_sched.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace schedbattle {
+
+EevdfScheduler::EevdfScheduler(EevdfTunables tunables) : tun_(tunables) {}
+
+EevdfScheduler::~EevdfScheduler() = default;
+
+void EevdfScheduler::Attach(Machine* machine) {
+  machine_ = machine;
+  rqs_.resize(machine->num_cores());
+  for (CoreId c = 0; c < machine->num_cores(); ++c) {
+    SyncMasks(c);
+  }
+}
+
+void EevdfScheduler::SyncMasks(CoreId core) {
+  const EevdfRq& rq = rqs_[core];
+  const bool had_queued = queued_mask_.Test(core);
+  const bool has_queued = !rq.queued.empty();
+  if (has_queued) {
+    queued_mask_.Set(core);
+  } else {
+    queued_mask_.Clear(core);
+  }
+  const bool was_source = steal_source_mask_.Test(core);
+  const bool is_source = rq.load >= tun_.steal_thresh && !rq.queued.empty();
+  if (is_source) {
+    steal_source_mask_.Set(core);
+  } else {
+    steal_source_mask_.Clear(core);
+  }
+  if (machine_ != nullptr &&
+      ((is_source && !was_source) || (has_queued && !had_queued))) {
+    machine_->RearmElidedTicks();
+  }
+}
+
+EevdfScheduler::VAgg EevdfScheduler::AggOf(CoreId core, bool include_curr) const {
+  VAgg agg;
+  for (const SimThread* t : rqs_[core].queued) {
+    const EevdfTaskData& d = EevdfOf(t);
+    agg.sum_wv += static_cast<__int128>(d.vruntime) * d.weight;
+    agg.sum_w += d.weight;
+  }
+  if (include_curr) {
+    const SimThread* curr = machine_->CurrentOn(core);
+    if (curr != nullptr && curr->sched_data() != nullptr) {
+      const EevdfTaskData& d = EevdfOf(curr);
+      agg.sum_wv += static_cast<__int128>(d.vruntime) * d.weight;
+      agg.sum_w += d.weight;
+    }
+  }
+  return agg;
+}
+
+int64_t EevdfScheduler::PlacementV(CoreId core, const VAgg& agg) const {
+  if (agg.sum_w == 0) {
+    return rqs_[core].min_vruntime;
+  }
+  return static_cast<int64_t>(agg.sum_wv / static_cast<__int128>(agg.sum_w));
+}
+
+void EevdfScheduler::AdvanceCurr(SimThread* t) {
+  EevdfTaskData& d = EevdfOf(t);
+  const SimTime now = machine_->now();
+  const SimDuration delta = now - d.last_account;
+  if (delta <= 0) {
+    return;
+  }
+  d.last_account = now;
+  d.vruntime += static_cast<int64_t>(CalcDeltaFair(delta, d.weight));
+}
+
+void EevdfScheduler::TaskNew(SimThread* thread, SimThread* /*parent*/) {
+  auto data = std::make_unique<EevdfTaskData>();
+  data->weight = CfsWeightOf(thread->nice());
+  thread->set_sched_data(std::move(data));
+}
+
+void EevdfScheduler::TaskExit(SimThread* thread) {
+  AdvanceCurr(thread);  // the exiting thread was running
+  EevdfRq& rq = rqs_[thread->cpu()];
+  rq.load -= 1;
+  assert(rq.load >= 0);
+  SyncMasks(thread->cpu());
+}
+
+void EevdfScheduler::ReniceTask(SimThread* thread) {
+  EevdfTaskData& d = EevdfOf(thread);
+  if (thread->state() == ThreadState::kRunning) {
+    AdvanceCurr(thread);  // close the old-weight accounting stretch
+  }
+  d.weight = CfsWeightOf(thread->nice());
+  // The deadline encodes slice/weight; re-derive it under the new weight.
+  d.vdeadline = d.vruntime + VSlice(d.weight);
+}
+
+CoreId EevdfScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind kind) {
+  PickCpuDecision d;
+  d.thread = thread->id();
+  d.origin = origin;
+  d.prev = thread->last_ran_cpu();
+  d.kind = kind;
+  const uint64_t scans_before = machine_->counters().pickcpu_scans;
+
+  CoreId chosen = kInvalidCore;
+  if (thread->affinity().Count() == 1) {
+    d.reason = PickReason::kPinned;
+    chosen = static_cast<CoreId>(thread->affinity().FirstSet());
+  } else {
+    // Idle-first placement, same shape as MLFQ's: previous core if idle
+    // (warm caches), else the first idle allowed core, else least-loaded.
+    const CpuSet idle_allowed = machine_->idle_mask() & thread->affinity();
+    int scanned = 0;
+    const CoreId prev = thread->last_ran_cpu();
+    if (prev != kInvalidCore && idle_allowed.Test(prev)) {
+      d.reason = PickReason::kPrevAffine;
+      chosen = prev;
+      scanned = 1;
+    } else {
+      const int first_idle = idle_allowed.FirstSet();
+      if (first_idle >= 0) {
+        d.reason = PickReason::kIdleSibling;
+        chosen = static_cast<CoreId>(first_idle);
+        scanned = first_idle + 1;
+      } else {
+        int min_load = std::numeric_limits<int>::max();
+        for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+          if (!thread->CanRunOn(c)) {
+            continue;
+          }
+          ++scanned;
+          if (rqs_[c].load < min_load) {
+            min_load = rqs_[c].load;
+            chosen = c;
+          }
+        }
+        d.reason = PickReason::kLowestLoad;
+      }
+    }
+    machine_->counters().pickcpu_scans += scanned;
+    const CoreId charge_to = origin != kInvalidCore ? origin : chosen;
+    machine_->ChargeOverhead(charge_to, scanned * tun_.pickcpu_scan_cost,
+                             OverheadKind::kPickCpuScan);
+  }
+  assert(chosen != kInvalidCore);
+
+  d.chosen = chosen;
+  d.cores_scanned = static_cast<int>(machine_->counters().pickcpu_scans - scans_before);
+  d.affine_hit = d.prev != kInvalidCore && chosen == d.prev;
+  if (machine_->observing_decisions()) {
+    d.chosen_rq = RunnableCountOf(chosen);
+    d.prev_rq = d.prev != kInvalidCore ? RunnableCountOf(d.prev) : -1;
+    if (thread->sched_data() != nullptr) {
+      d.sched_key = EevdfOf(thread).vruntime;
+    }
+    d.idle_mask = machine_->idle_mask().low64();
+  }
+  machine_->EmitPickCpu(d);
+  return chosen;
+}
+
+void EevdfScheduler::EnqueueTask(CoreId core, SimThread* thread, EnqueueKind kind) {
+  EevdfTaskData& d = EevdfOf(thread);
+  EevdfRq& rq = rqs_[core];
+  // Place against the queue's current weighted-average vruntime (the running
+  // thread included: it is part of the competition the newcomer joins).
+  const VAgg agg = AggOf(core, /*include_curr=*/true);
+  const int64_t v_queue = PlacementV(core, agg);
+  switch (kind) {
+    case EnqueueKind::kFork:
+      // A forked thread starts exactly at par — zero lag, full slice ahead.
+      d.vruntime = v_queue;
+      d.vdeadline = d.vruntime + VSlice(d.weight);
+      break;
+    case EnqueueKind::kWakeup:
+      // A waking thread keeps any positive lag it is owed but never banks
+      // service from its sleep: it rejoins no further back than par.
+      d.vruntime = std::max(d.vruntime, v_queue);
+      d.vdeadline = d.vruntime + VSlice(d.weight);
+      break;
+    case EnqueueKind::kMigrate:
+      // Lag preservation: re-establish the lag captured at DequeueTask
+      // against the destination queue's V.
+      d.vruntime = v_queue - d.lag;
+      d.vdeadline = d.vruntime + VSlice(d.weight);
+      break;
+    case EnqueueKind::kRequeue:
+      break;  // keep clock and deadline
+  }
+  rq.queued.push_back(thread);
+  rq.load += 1;
+  d.queued = true;
+  d.rq_cpu = core;
+  SyncMasks(core);
+}
+
+void EevdfScheduler::DequeueTask(CoreId core, SimThread* thread) {
+  EevdfTaskData& d = EevdfOf(thread);
+  EevdfRq& rq = rqs_[core];
+  // Capture lag = V - vruntime (with the thread still counted) so a migrate
+  // re-enqueue can preserve how far ahead/behind par the thread was. Clamped
+  // to one slice either way, as Linux clamps lag.
+  const VAgg agg = AggOf(core, /*include_curr=*/true);
+  const int64_t vslice = VSlice(d.weight);
+  d.lag = std::clamp(PlacementV(core, agg) - d.vruntime, -vslice, vslice);
+  auto it = std::find(rq.queued.begin(), rq.queued.end(), thread);
+  assert(it != rq.queued.end());
+  rq.queued.erase(it);
+  rq.load -= 1;
+  assert(rq.load >= 0);
+  d.queued = false;
+  SyncMasks(core);
+}
+
+SimThread* EevdfScheduler::PickNextTask(CoreId core) {
+  EevdfRq& rq = rqs_[core];
+  if (rq.queued.empty()) {
+    return nullptr;
+  }
+  // Ratchet min_vruntime forward to the minimum queued service clock.
+  int64_t min_v = std::numeric_limits<int64_t>::max();
+  VAgg agg;
+  for (const SimThread* t : rq.queued) {
+    const EevdfTaskData& d = EevdfOf(t);
+    min_v = std::min(min_v, d.vruntime);
+    agg.sum_wv += static_cast<__int128>(d.vruntime) * d.weight;
+    agg.sum_w += d.weight;
+  }
+  rq.min_vruntime = std::max(rq.min_vruntime, min_v);
+
+  // Earliest eligible virtual deadline; ties broken by thread id so the pick
+  // is deterministic. The min-vruntime thread is always eligible, so best
+  // cannot stay null.
+  SimThread* best = nullptr;
+  for (SimThread* t : rq.queued) {
+    const EevdfTaskData& d = EevdfOf(t);
+    if (!EligibleIn(agg, d.vruntime)) {
+      continue;
+    }
+    if (best == nullptr || d.vdeadline < EevdfOf(best).vdeadline ||
+        (d.vdeadline == EevdfOf(best).vdeadline && t->id() < best->id())) {
+      best = t;
+    }
+  }
+  assert(best != nullptr);
+  auto it = std::find(rq.queued.begin(), rq.queued.end(), best);
+  rq.queued.erase(it);
+  EevdfTaskData& d = EevdfOf(best);
+  d.queued = false;
+  if (d.vruntime >= d.vdeadline) {
+    // The previous request is fully served; open the next one.
+    d.vdeadline = d.vruntime + VSlice(d.weight);
+  }
+  d.last_account = machine_->now();
+  SyncMasks(core);
+  return best;
+}
+
+void EevdfScheduler::PutPrevTask(CoreId core, SimThread* thread) {
+  AdvanceCurr(thread);
+  EevdfTaskData& d = EevdfOf(thread);
+  EevdfRq& rq = rqs_[core];
+  rq.queued.push_back(thread);
+  // load unchanged: the thread was already counted while running.
+  d.queued = true;
+  d.rq_cpu = core;
+  SyncMasks(core);
+}
+
+void EevdfScheduler::OnTaskBlock(CoreId core, SimThread* thread, bool /*voluntary*/) {
+  AdvanceCurr(thread);
+  EevdfRq& rq = rqs_[core];
+  rq.load -= 1;
+  assert(rq.load >= 0);
+  SyncMasks(core);
+}
+
+void EevdfScheduler::YieldTask(CoreId core, SimThread* thread) {
+  AdvanceCurr(thread);
+  // Yield forfeits the rest of the current request: push the deadline a full
+  // slice out so everyone else's request is served first.
+  EevdfTaskData& d = EevdfOf(thread);
+  d.vdeadline = d.vruntime + VSlice(d.weight);
+  PutPrevTask(core, thread);
+}
+
+void EevdfScheduler::TaskTick(CoreId core, SimThread* current) {
+  if (current == nullptr) {
+    if (tun_.steal_enabled) {
+      TryIdleSteal(core);
+    }
+    return;
+  }
+  AdvanceCurr(current);
+  const EevdfTaskData& d = EevdfOf(current);
+  // Deadline expiry: the current request is served; if anyone is waiting,
+  // reschedule so pick can run the next earliest eligible deadline.
+  if (!rqs_[core].queued.empty() && d.vruntime >= d.vdeadline) {
+    ++machine_->counters().tick_preemptions;
+    machine_->SetNeedResched(core);
+  }
+}
+
+void EevdfScheduler::CheckPreemptWakeup(CoreId core, SimThread* woken) {
+  SimThread* curr = machine_->CurrentOn(core);
+  if (curr == nullptr || curr == woken) {
+    return;
+  }
+  AdvanceCurr(curr);  // compare against up-to-date clocks
+  const EevdfTaskData& wd = EevdfOf(woken);
+  const EevdfTaskData& cd = EevdfOf(curr);
+  const VAgg agg = AggOf(core, /*include_curr=*/true);
+  // Positive margin = the woken thread's virtual deadline is earlier.
+  const int64_t margin = cd.vdeadline - wd.vdeadline;
+  const bool fired =
+      tun_.wakeup_preemption && EligibleIn(agg, wd.vruntime) && margin > 0;
+  if (machine_->observing_decisions()) {
+    PreemptDecision d;
+    d.preemptor = woken->id();
+    d.victim = curr->id();
+    d.core = core;
+    d.fired = fired;
+    d.margin = margin;
+    machine_->EmitPreempt(d);
+  }
+  if (fired) {
+    ++machine_->counters().wakeup_preemptions;
+    machine_->SetNeedResched(core);
+  }
+}
+
+void EevdfScheduler::OnCoreIdle(CoreId core) {
+  if (tun_.steal_enabled) {
+    TryIdleSteal(core);
+  }
+}
+
+SimTime EevdfScheduler::TickBoundary(CoreId core, const SimThread* current,
+                                     SimTime next_tick) const {
+  if (current == nullptr) {
+    // Idle ticks only poll the steal path; without a steal source the poll
+    // cannot move a thread, only charge the modeled (replayable) scan cost.
+    if (!tun_.steal_enabled || steal_source_mask_.Without(core).Empty()) {
+      return kTickNever;
+    }
+    return next_tick;
+  }
+  // A busy tick can act (deadline-expiry preemption) only with a queued
+  // competitor; the vruntime advance itself is replayable accounting.
+  return rqs_[core].queued.empty() ? kTickNever : next_tick;
+}
+
+bool EevdfScheduler::TickMayCross(CoreId core) const {
+  return machine_->CurrentOn(core) == nullptr && tun_.steal_enabled;
+}
+
+SimThread* EevdfScheduler::StealOne(CoreId src, CoreId dst) {
+  EevdfRq& rq = rqs_[src];
+  // Steal the movable thread with the earliest virtual deadline: the most
+  // service-starved request gets the idle core.
+  SimThread* pick = nullptr;
+  for (SimThread* t : rq.queued) {
+    if (!t->CanRunOn(dst)) {
+      continue;
+    }
+    if (pick == nullptr || EevdfOf(t).vdeadline < EevdfOf(pick).vdeadline ||
+        (EevdfOf(t).vdeadline == EevdfOf(pick).vdeadline && t->id() < pick->id())) {
+      pick = t;
+    }
+  }
+  if (pick == nullptr) {
+    return nullptr;
+  }
+  DequeueTask(src, pick);
+  EnqueueTask(dst, pick, EnqueueKind::kMigrate);
+  machine_->NoteMigration(pick, src, dst);
+  return pick;
+}
+
+bool EevdfScheduler::TryIdleSteal(CoreId core) {
+  const int n = machine_->num_cores();
+  // Flat scan, one visit per peer charged whether or not the mask
+  // short-circuits, so the modeled cost is scan-shape independent.
+  machine_->ChargeOverhead(core, n * tun_.steal_cost_per_core,
+                           OverheadKind::kLoadBalance);
+  if (steal_source_mask_.Without(core).Empty()) {
+    return false;
+  }
+  CoreId busiest = kInvalidCore;
+  int max_load = tun_.steal_thresh - 1;
+  for (CoreId c = 0; c < n; ++c) {
+    if (c == core) {
+      continue;
+    }
+    if (rqs_[c].load > max_load && !rqs_[c].queued.empty()) {
+      max_load = rqs_[c].load;
+      busiest = c;
+    }
+  }
+  if (busiest == kInvalidCore) {
+    return false;
+  }
+  const int src_load = rqs_[busiest].load;
+  const int dst_load = rqs_[core].load;
+  const bool moved = StealOne(busiest, core) != nullptr;
+  if (machine_->observing_decisions()) {
+    BalancePassRecord rec;
+    rec.kind = BalancePassRecord::Kind::kIdleSteal;
+    rec.level = -1;  // flat scan, no topology level
+    rec.src = busiest;
+    rec.dst = core;
+    rec.src_load = src_load;
+    rec.dst_load = dst_load;
+    rec.imbalance_pct = src_load > 0 ? 100.0 * (src_load - dst_load) / src_load : 0.0;
+    rec.threads_moved = moved ? 1 : 0;
+    machine_->EmitBalancePass(rec);
+  }
+  return moved;
+}
+
+}  // namespace schedbattle

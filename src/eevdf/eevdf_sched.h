@@ -1,0 +1,160 @@
+// EevdfScheduler: an EEVDF (Earliest Eligible Virtual Deadline First)
+// scheduler, modeled on the policy that replaced CFS in Linux 6.6
+// (kernel/sched/fair.c after commit "sched/fair: Implement an EEVDF-like
+// scheduling policy", itself after Stoica & Abdel-Wahab's 1995 paper).
+//
+//  - Each thread keeps a vruntime (weight-scaled service clock, same
+//    nice-to-weight table as CFS) and a virtual deadline
+//    vd = vruntime + slice/weight.
+//  - A thread is *eligible* when its vruntime is at or behind the queue's
+//    weighted-average vruntime V — i.e. its lag = V - vruntime is >= 0: it
+//    has received no more than its weighted fair share.
+//  - Pick = the eligible thread with the earliest virtual deadline. The
+//    deadline term bounds latency (a short-slice thread gets service soon);
+//    the eligibility term bounds unfairness (nobody runs ahead of its
+//    entitlement). The thread with minimum vruntime is always eligible, so
+//    the pick never comes up empty while threads are queued.
+//  - Lag is preserved across migrations: DequeueTask captures V - vruntime
+//    and EnqueueTask(kMigrate) re-establishes it against the destination
+//    queue's V, so a thread owed service is still owed after moving.
+//
+// Per-core runqueues with idle-first wake placement and ULE-style idle
+// stealing; no cgroup hierarchy (flat, like ULE).
+#ifndef SRC_EEVDF_EEVDF_SCHED_H_
+#define SRC_EEVDF_EEVDF_SCHED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cfs/weights.h"
+#include "src/sched/machine.h"
+#include "src/sched/sched_class.h"
+
+namespace schedbattle {
+
+struct EevdfTunables {
+  // Tick period (Linux: 1ms at HZ=1000).
+  SimDuration tick = Milliseconds(1);
+  // Base slice: the request size whose weight-scaled form sets the virtual
+  // deadline (Linux sysctl_sched_base_slice).
+  SimDuration base_slice = Milliseconds(3);
+
+  // A woken eligible thread with an earlier virtual deadline preempts the
+  // running one (Linux wakeup_preempt -> pick_eevdf beats curr).
+  bool wakeup_preemption = true;
+
+  // Idle cores steal one queued thread from the most loaded core.
+  bool steal_enabled = true;
+  int steal_thresh = 2;  // minimum donor load
+  SimDuration steal_cost_per_core = Nanoseconds(150);
+  SimDuration pickcpu_scan_cost = Nanoseconds(90);
+};
+
+// Per-thread EEVDF state.
+struct EevdfTaskData : ThreadSchedData {
+  uint64_t weight = kNice0Load;
+  int64_t vruntime = 0;   // weight-scaled service clock (virtual ns)
+  int64_t vdeadline = 0;  // vruntime + base_slice/weight at last refresh
+  int64_t lag = 0;        // V - vruntime captured at dequeue (virtual ns)
+  SimTime last_account = 0;  // start of the current on-CPU stretch
+  bool queued = false;
+  CoreId rq_cpu = kInvalidCore;
+};
+
+inline EevdfTaskData& EevdfOf(SimThread* t) { return t->sched<EevdfTaskData>(); }
+inline const EevdfTaskData& EevdfOf(const SimThread* t) {
+  return *static_cast<const EevdfTaskData*>(t->sched_data());
+}
+
+// Per-core runqueue: a flat set scanned at pick time (the eligibility test
+// needs the weighted aggregates anyway, so a scan costs nothing extra).
+struct EevdfRq {
+  std::vector<SimThread*> queued;
+  int load = 0;  // runnable thread count, including the running thread
+  // Monotonic ratchet over the minimum queued vruntime, advanced at pick
+  // time; the base for fork placement on an empty queue and the value
+  // MinVruntimeOf reports (the vruntime_monotonic monitor polls it).
+  int64_t min_vruntime = 0;
+
+  int queued_count() const { return static_cast<int>(queued.size()); }
+  int transferable() const { return static_cast<int>(queued.size()); }
+};
+
+class EevdfScheduler : public Scheduler {
+ public:
+  explicit EevdfScheduler(EevdfTunables tunables = {});
+  ~EevdfScheduler() override;
+
+  std::string_view name() const override { return "eevdf"; }
+  void Attach(Machine* machine) override;
+
+  void TaskNew(SimThread* thread, SimThread* parent) override;
+  void TaskExit(SimThread* thread) override;
+  void ReniceTask(SimThread* thread) override;
+  CoreId SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind kind) override;
+  void EnqueueTask(CoreId core, SimThread* thread, EnqueueKind kind) override;
+  void DequeueTask(CoreId core, SimThread* thread) override;
+  SimThread* PickNextTask(CoreId core) override;
+  void PutPrevTask(CoreId core, SimThread* thread) override;
+  void OnTaskBlock(CoreId core, SimThread* thread, bool voluntary) override;
+  void YieldTask(CoreId core, SimThread* thread) override;
+  void TaskTick(CoreId core, SimThread* current) override;
+  void CheckPreemptWakeup(CoreId core, SimThread* woken) override;
+  void OnCoreIdle(CoreId core) override;
+  SimDuration TickPeriod() const override { return tun_.tick; }
+
+  // Idle ticks poll the steal path; busy ticks can only act (deadline-expiry
+  // preemption) with a queued competitor. Same boundary discipline as ULE;
+  // elided ticks replay vruntime advances byte-identically via CatchUpTicks.
+  SimTime TickBoundary(CoreId core, const SimThread* current,
+                       SimTime next_tick) const override;
+  bool TickMayCross(CoreId core) const override;
+  // Busy-core hooks touch only the core's own queue and running thread;
+  // wake placement, stealing and migration run in the global lane.
+  bool ShardParallelSafe() const override { return true; }
+
+  double LoadOf(CoreId core) const override { return rqs_[core].load; }
+  int RunnableCountOf(CoreId core) const override { return rqs_[core].load; }
+  int64_t MinVruntimeOf(CoreId core) const override { return rqs_[core].min_vruntime; }
+
+  const EevdfTunables& tunables() const { return tun_; }
+  const EevdfRq& rq(CoreId core) const { return rqs_[core]; }
+
+ private:
+  // Weighted-vruntime aggregates over a core's queued threads (optionally
+  // plus the running thread), in __int128 so no product can overflow.
+  struct VAgg {
+    __int128 sum_wv = 0;
+    uint64_t sum_w = 0;
+  };
+  VAgg AggOf(CoreId core, bool include_curr) const;
+  // Eligibility without division: v * sum_w <= sum_wv.
+  static bool EligibleIn(const VAgg& agg, int64_t v) {
+    return static_cast<__int128>(v) * agg.sum_w <= agg.sum_wv;
+  }
+  // The queue's weighted-average vruntime V (placement base); min_vruntime
+  // ratchet when the aggregate is empty.
+  int64_t PlacementV(CoreId core, const VAgg& agg) const;
+
+  // base_slice scaled by the thread's weight, in virtual ns.
+  int64_t VSlice(uint64_t weight) const {
+    return static_cast<int64_t>(CalcDeltaFair(tun_.base_slice, weight));
+  }
+  // Advances the running thread's vruntime by its on-CPU time since
+  // last_account (exact, not tick-granular).
+  void AdvanceCurr(SimThread* t);
+
+  SimThread* StealOne(CoreId src, CoreId dst);
+  bool TryIdleSteal(CoreId core);
+  void SyncMasks(CoreId core);
+
+  Machine* machine_ = nullptr;
+  EevdfTunables tun_;
+  std::vector<EevdfRq> rqs_;
+  CpuSet queued_mask_;
+  CpuSet steal_source_mask_;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_EEVDF_EEVDF_SCHED_H_

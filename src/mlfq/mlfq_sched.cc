@@ -1,0 +1,431 @@
+#include "src/mlfq/mlfq_sched.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace schedbattle {
+
+MlfqScheduler::MlfqScheduler(MlfqTunables tunables) : tun_(tunables) {
+  tun_.num_levels = std::clamp(tun_.num_levels, 1, 64);
+  tun_.quantum_ticks = std::max(1, tun_.quantum_ticks);
+  tun_.allotment_quanta = std::max(1, tun_.allotment_quanta);
+}
+
+MlfqScheduler::~MlfqScheduler() {
+  // The engine may outlive this scheduler; a queued boost event would
+  // otherwise fire into a destroyed object.
+  if (machine_ != nullptr) {
+    machine_->engine().Cancel(boost_event_);
+  }
+}
+
+void MlfqScheduler::Attach(Machine* machine) {
+  machine_ = machine;
+  rqs_.resize(machine->num_cores());
+  for (auto& rq : rqs_) {
+    rq.levels.resize(tun_.num_levels);
+  }
+  for (CoreId c = 0; c < machine->num_cores(); ++c) {
+    SyncMasks(c);
+  }
+}
+
+void MlfqScheduler::Start() {
+  if (tun_.boost_enabled) {
+    ArmBoost();
+  }
+}
+
+int MlfqScheduler::QuantumTicks(int level) const {
+  // Doubling per level, capped so the shift stays defined for 64 levels.
+  const int shift = std::min(level, 20);
+  return tun_.quantum_ticks << shift;
+}
+
+void MlfqScheduler::ResetBudget(SimThread* t) const {
+  MlfqTaskData& d = MlfqOf(t);
+  d.quantum_left = QuantumTicks(d.level);
+  d.allot_left = AllotTicks(d.level);
+}
+
+int MlfqScheduler::BestLevel(CoreId core) const {
+  const MlfqRq& rq = rqs_[core];
+  for (int l = 0; l < tun_.num_levels; ++l) {
+    if (!rq.levels[l].empty()) {
+      return l;
+    }
+  }
+  return -1;
+}
+
+void MlfqScheduler::SyncMasks(CoreId core) {
+  const MlfqRq& rq = rqs_[core];
+  const bool had_queued = queued_mask_.Test(core);
+  const bool has_queued = rq.queued > 0;
+  if (has_queued) {
+    queued_mask_.Set(core);
+  } else {
+    queued_mask_.Clear(core);
+  }
+  const bool was_source = steal_source_mask_.Test(core);
+  const bool is_source = rq.load >= tun_.steal_thresh && rq.queued > 0;
+  if (is_source) {
+    steal_source_mask_.Set(core);
+  } else {
+    steal_source_mask_.Clear(core);
+  }
+  if (machine_ != nullptr &&
+      ((is_source && !was_source) || (has_queued && !had_queued))) {
+    machine_->RearmElidedTicks();
+  }
+}
+
+void MlfqScheduler::TaskNew(SimThread* thread, SimThread* /*parent*/) {
+  // Rule 3: every job — forked or external — starts at the topmost level.
+  // Nothing is inherited: MLFQ learns behaviour from scratch.
+  auto data = std::make_unique<MlfqTaskData>();
+  data->level = 0;
+  thread->set_sched_data(std::move(data));
+  ResetBudget(thread);
+}
+
+void MlfqScheduler::TaskExit(SimThread* thread) {
+  MlfqRq& rq = rqs_[thread->cpu()];
+  rq.load -= 1;
+  assert(rq.load >= 0);
+  SyncMasks(thread->cpu());
+}
+
+void MlfqScheduler::ReniceTask(SimThread* /*thread*/) {
+  // Textbook MLFQ has no nice values: priority is the queue level, learned
+  // purely from CPU-burst behaviour. Renice is accepted and ignored.
+}
+
+CoreId MlfqScheduler::SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind kind) {
+  PickCpuDecision d;
+  d.thread = thread->id();
+  d.origin = origin;
+  d.prev = thread->last_ran_cpu();
+  d.kind = kind;
+  const uint64_t scans_before = machine_->counters().pickcpu_scans;
+
+  CoreId chosen = kInvalidCore;
+  if (thread->affinity().Count() == 1) {
+    d.reason = PickReason::kPinned;
+    chosen = static_cast<CoreId>(thread->affinity().FirstSet());
+  } else {
+    // Idle-first placement: a previously used core that is now idle wins
+    // (warm caches), then any idle allowed core, then the least-loaded
+    // allowed core. The whole allowed set is examined, so the modeled scan
+    // cost is one visit per allowed core.
+    const CpuSet idle_allowed = machine_->idle_mask() & thread->affinity();
+    int scanned = 0;
+    const CoreId prev = thread->last_ran_cpu();
+    if (prev != kInvalidCore && idle_allowed.Test(prev)) {
+      d.reason = PickReason::kPrevAffine;
+      chosen = prev;
+      scanned = 1;
+    } else {
+      const int first_idle = idle_allowed.FirstSet();
+      if (first_idle >= 0) {
+        d.reason = PickReason::kIdleSibling;
+        chosen = static_cast<CoreId>(first_idle);
+        scanned = first_idle + 1;
+      } else {
+        int min_load = std::numeric_limits<int>::max();
+        for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+          if (!thread->CanRunOn(c)) {
+            continue;
+          }
+          ++scanned;
+          if (rqs_[c].load < min_load) {
+            min_load = rqs_[c].load;
+            chosen = c;
+          }
+        }
+        d.reason = PickReason::kLowestLoad;
+      }
+    }
+    machine_->counters().pickcpu_scans += scanned;
+    const CoreId charge_to = origin != kInvalidCore ? origin : chosen;
+    machine_->ChargeOverhead(charge_to, scanned * tun_.pickcpu_scan_cost,
+                             OverheadKind::kPickCpuScan);
+  }
+  assert(chosen != kInvalidCore);
+
+  d.chosen = chosen;
+  d.cores_scanned = static_cast<int>(machine_->counters().pickcpu_scans - scans_before);
+  d.affine_hit = d.prev != kInvalidCore && chosen == d.prev;
+  if (machine_->observing_decisions()) {
+    d.chosen_rq = RunnableCountOf(chosen);
+    d.prev_rq = d.prev != kInvalidCore ? RunnableCountOf(d.prev) : -1;
+    if (thread->sched_data() != nullptr) {
+      d.sched_key = MlfqOf(thread).level;
+    }
+    d.idle_mask = machine_->idle_mask().low64();
+  }
+  machine_->EmitPickCpu(d);
+  return chosen;
+}
+
+void MlfqScheduler::EnqueueTask(CoreId core, SimThread* thread, EnqueueKind kind) {
+  MlfqTaskData& d = MlfqOf(thread);
+  if (kind == EnqueueKind::kFork) {
+    d.level = 0;  // rule 3
+    ResetBudget(thread);
+  } else if (kind == EnqueueKind::kWakeup) {
+    // Rule 4(b): the thread gave up the CPU before its allotment was up, so
+    // it keeps its level and its allotment is reset.
+    ResetBudget(thread);
+  }
+  MlfqRq& rq = rqs_[core];
+  rq.levels[d.level].push_back(thread);
+  rq.queued += 1;
+  rq.load += 1;
+  d.queued = true;
+  d.rq_cpu = core;
+  SyncMasks(core);
+}
+
+void MlfqScheduler::DequeueTask(CoreId core, SimThread* thread) {
+  MlfqTaskData& d = MlfqOf(thread);
+  MlfqRq& rq = rqs_[core];
+  auto& level = rq.levels[d.level];
+  auto it = std::find(level.begin(), level.end(), thread);
+  assert(it != level.end());
+  level.erase(it);
+  rq.queued -= 1;
+  rq.load -= 1;
+  assert(rq.load >= 0);
+  d.queued = false;
+  SyncMasks(core);
+}
+
+SimThread* MlfqScheduler::PickNextTask(CoreId core) {
+  const int best = BestLevel(core);
+  if (best < 0) {
+    return nullptr;
+  }
+  MlfqRq& rq = rqs_[core];
+  SimThread* t = rq.levels[best].front();
+  rq.levels[best].pop_front();
+  rq.queued -= 1;
+  MlfqTaskData& d = MlfqOf(t);
+  d.queued = false;
+  if (d.quantum_left <= 0) {
+    d.quantum_left = QuantumTicks(d.level);
+  }
+  if (d.allot_left <= 0) {
+    d.allot_left = AllotTicks(d.level);
+  }
+  SyncMasks(core);
+  return t;
+}
+
+void MlfqScheduler::PutPrevTask(CoreId core, SimThread* thread) {
+  MlfqTaskData& d = MlfqOf(thread);
+  MlfqRq& rq = rqs_[core];
+  rq.levels[d.level].push_back(thread);
+  rq.queued += 1;
+  // load unchanged: the thread was already counted while running.
+  d.queued = true;
+  d.rq_cpu = core;
+  SyncMasks(core);
+}
+
+void MlfqScheduler::OnTaskBlock(CoreId core, SimThread* /*thread*/, bool /*voluntary*/) {
+  MlfqRq& rq = rqs_[core];
+  rq.load -= 1;
+  assert(rq.load >= 0);
+  SyncMasks(core);
+}
+
+void MlfqScheduler::YieldTask(CoreId core, SimThread* thread) {
+  // Rule 4(b): yielding relinquishes the CPU before the allotment is up, so
+  // the level is kept and the budgets reset; back to the level's tail.
+  ResetBudget(thread);
+  PutPrevTask(core, thread);
+}
+
+void MlfqScheduler::TaskTick(CoreId core, SimThread* current) {
+  if (current == nullptr) {
+    // The idle loop keeps polling for stealable work, like ULE's sched_idletd.
+    if (tun_.steal_enabled) {
+      TryIdleSteal(core);
+    }
+    return;
+  }
+  MlfqTaskData& d = MlfqOf(current);
+  d.quantum_left -= 1;
+  d.allot_left -= 1;
+  bool quantum_end = false;
+  if (d.allot_left <= 0) {
+    // Rule 4(a): allotment used up at this level — demote (bottom level
+    // absorbs) and start the next level's budget.
+    if (d.level < tun_.num_levels - 1) {
+      d.level += 1;
+    }
+    ResetBudget(current);
+    quantum_end = true;
+  } else if (d.quantum_left <= 0) {
+    quantum_end = true;
+    d.quantum_left = QuantumTicks(d.level);
+  }
+  const int best = BestLevel(core);
+  if (best < 0) {
+    return;
+  }
+  // Rule 1 at tick granularity: a strictly better queued thread preempts
+  // immediately (it got here by boost or by the current thread's demotion —
+  // wakeups are handled by CheckPreemptWakeup). Rule 2: an equal-level
+  // thread only rotates in at a quantum edge.
+  if (best < d.level || (quantum_end && best == d.level)) {
+    ++machine_->counters().tick_preemptions;
+    machine_->SetNeedResched(core);
+  }
+}
+
+void MlfqScheduler::CheckPreemptWakeup(CoreId core, SimThread* woken) {
+  SimThread* curr = machine_->CurrentOn(core);
+  if (curr == nullptr || curr == woken) {
+    return;
+  }
+  // Margin: how many levels better the woken thread is than the running one.
+  const int64_t margin = MlfqOf(curr).level - MlfqOf(woken).level;
+  const bool fired = tun_.wakeup_preemption && margin > 0;
+  if (machine_->observing_decisions()) {
+    PreemptDecision d;
+    d.preemptor = woken->id();
+    d.victim = curr->id();
+    d.core = core;
+    d.fired = fired;
+    d.margin = margin;
+    machine_->EmitPreempt(d);
+  }
+  if (fired) {
+    ++machine_->counters().wakeup_preemptions;
+    machine_->SetNeedResched(core);
+  }
+}
+
+void MlfqScheduler::OnCoreIdle(CoreId core) {
+  if (tun_.steal_enabled) {
+    TryIdleSteal(core);
+  }
+}
+
+SimTime MlfqScheduler::TickBoundary(CoreId core, const SimThread* current,
+                                    SimTime next_tick) const {
+  if (current == nullptr) {
+    // Idle ticks only poll the steal path. With stealing off, or no core
+    // currently a steal source, the poll cannot move a thread — it only
+    // charges the modeled scan cost, which catch-up replay reproduces.
+    if (!tun_.steal_enabled || steal_source_mask_.Without(core).Empty()) {
+      return kTickNever;
+    }
+    return next_tick;
+  }
+  // A busy tick can act (rotate / preempt) only against a queued competitor.
+  // Budget decrements and rule-4(a) demotion are pure replayable state.
+  return rqs_[core].queued_count() == 0 ? kTickNever : next_tick;
+}
+
+bool MlfqScheduler::TickMayCross(CoreId core) const {
+  // Only idle ticks leave the core (the steal poll); busy ticks act purely
+  // on the core's own queue array and running thread.
+  return machine_->CurrentOn(core) == nullptr && tun_.steal_enabled;
+}
+
+void MlfqScheduler::ArmBoost() {
+  boost_event_ = machine_->engine().After(tun_.boost_period, [this] { Boost(); });
+}
+
+void MlfqScheduler::Boost() {
+  machine_->CatchUpTicks();  // settle elided budget accounting first
+  ++machine_->counters().balance_invocations;
+  // Rule 5: move every job to the topmost level. Queued threads concatenate
+  // level by level onto queue 0 (FIFO order within a level is preserved);
+  // running threads just get their level and budgets reset.
+  for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+    MlfqRq& rq = rqs_[c];
+    for (int l = 1; l < tun_.num_levels; ++l) {
+      while (!rq.levels[l].empty()) {
+        SimThread* t = rq.levels[l].front();
+        rq.levels[l].pop_front();
+        MlfqTaskData& d = MlfqOf(t);
+        d.level = 0;
+        ResetBudget(t);
+        rq.levels[0].push_back(t);
+      }
+    }
+    SimThread* curr = machine_->CurrentOn(c);
+    if (curr != nullptr && curr->sched_data() != nullptr) {
+      MlfqTaskData& d = MlfqOf(curr);
+      d.level = 0;
+      ResetBudget(curr);
+    }
+  }
+  ArmBoost();
+}
+
+SimThread* MlfqScheduler::StealOne(CoreId src, CoreId dst) {
+  MlfqRq& rq = rqs_[src];
+  // Steal the lowest-priority (deepest-level) movable thread: batch work
+  // migrates, interactive work keeps its warm cache.
+  for (int l = tun_.num_levels - 1; l >= 0; --l) {
+    for (SimThread* t : rq.levels[l]) {
+      if (t->CanRunOn(dst)) {
+        DequeueTask(src, t);
+        EnqueueTask(dst, t, EnqueueKind::kMigrate);
+        machine_->NoteMigration(t, src, dst);
+        return t;
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool MlfqScheduler::TryIdleSteal(CoreId core) {
+  const int n = machine_->num_cores();
+  // Flat scan (no topology climb): charge one visit per peer core whether or
+  // not the mask short-circuits the loop, so the modeled cost is identical
+  // either way.
+  machine_->ChargeOverhead(core, n * tun_.steal_cost_per_core,
+                           OverheadKind::kLoadBalance);
+  if (steal_source_mask_.Without(core).Empty()) {
+    return false;
+  }
+  CoreId busiest = kInvalidCore;
+  int max_load = tun_.steal_thresh - 1;
+  for (CoreId c = 0; c < n; ++c) {
+    if (c == core) {
+      continue;
+    }
+    if (rqs_[c].load > max_load && rqs_[c].queued > 0) {
+      max_load = rqs_[c].load;
+      busiest = c;
+    }
+  }
+  if (busiest == kInvalidCore) {
+    return false;
+  }
+  const int src_load = rqs_[busiest].load;
+  const int dst_load = rqs_[core].load;
+  const bool moved = StealOne(busiest, core) != nullptr;
+  if (machine_->observing_decisions()) {
+    BalancePassRecord rec;
+    rec.kind = BalancePassRecord::Kind::kIdleSteal;
+    rec.level = -1;  // flat scan, no topology level
+    rec.src = busiest;
+    rec.dst = core;
+    rec.src_load = src_load;
+    rec.dst_load = dst_load;
+    rec.imbalance_pct = src_load > 0 ? 100.0 * (src_load - dst_load) / src_load : 0.0;
+    rec.threads_moved = moved ? 1 : 0;
+    machine_->EmitBalancePass(rec);
+  }
+  return moved;
+}
+
+}  // namespace schedbattle

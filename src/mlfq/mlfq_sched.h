@@ -1,0 +1,156 @@
+// MlfqScheduler: a classic multi-level feedback queue, per the CS140-notes
+// rules (SNIPPETS.md):
+//
+//   1. If Priority(A) > Priority(B), A runs.
+//   2. If Priority(A) == Priority(B), A and B run round-robin with the
+//      level's time quantum.
+//   3. A new job enters at the topmost (highest-priority) level.
+//   4. (a) A job that uses up its allotment at a level is demoted one level.
+//      (b) A job that gives up the CPU (sleep, yield) before the allotment is
+//          up stays at its level; its allotment is reset.
+//   5. Every boost period S, all jobs in the system move to the topmost level
+//      (the starvation / gaming repair).
+//
+// Priorities are *learned from behaviour*, not declared: CPU hogs sink to the
+// deep levels (long quanta, batch service), interactive sleepers stay on top.
+// This is the same classification goal ULE reaches through its interactivity
+// penalty — expressed as queue position instead of a score, which is why the
+// class has neither a fairness clock (MinVruntimeOf: sentinel) nor a
+// 0..100 penalty (InteractivityPenaltyOf: -1); nice values are ignored, as in
+// the textbook algorithm. Per-core queues with idle stealing and an
+// idle-first wake placement keep it work-conserving on multicore.
+#ifndef SRC_MLFQ_MLFQ_SCHED_H_
+#define SRC_MLFQ_MLFQ_SCHED_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/sched/machine.h"
+#include "src/sched/sched_class.h"
+
+namespace schedbattle {
+
+struct MlfqTunables {
+  // Number of priority levels; level 0 is the topmost. Max 64.
+  int num_levels = 8;
+  // Tick period; quanta and allotments are accounted in whole ticks.
+  SimDuration tick = Milliseconds(10);
+  // Round-robin quantum at level 0, in ticks; doubles per level (deeper
+  // levels run longer, classic MLFQ batch amortization).
+  int quantum_ticks = 1;
+  // Allotment per level, in quanta: a thread may consume this many full
+  // quanta at a level before rule 4(a) demotes it.
+  int allotment_quanta = 2;
+  // Rule 5: every boost period, every thread moves back to level 0.
+  SimDuration boost_period = Seconds(1);
+  bool boost_enabled = true;
+
+  // Rule 1 enforced on wakeups: a woken thread with a strictly better level
+  // preempts the running one.
+  bool wakeup_preemption = true;
+
+  // Idle cores steal one queued thread from the most loaded core.
+  bool steal_enabled = true;
+  int steal_thresh = 2;  // minimum donor load
+  // Modeled cost per core examined by the steal scan / wake placement scan.
+  SimDuration steal_cost_per_core = Nanoseconds(150);
+  SimDuration pickcpu_scan_cost = Nanoseconds(90);
+};
+
+// Per-thread MLFQ state.
+struct MlfqTaskData : ThreadSchedData {
+  int level = 0;          // current queue level (0 = topmost)
+  int quantum_left = 0;   // remaining ticks of the current quantum
+  int allot_left = 0;     // remaining ticks of the level allotment
+  bool queued = false;
+  CoreId rq_cpu = kInvalidCore;
+};
+
+inline MlfqTaskData& MlfqOf(SimThread* t) { return t->sched<MlfqTaskData>(); }
+inline const MlfqTaskData& MlfqOf(const SimThread* t) {
+  return *static_cast<const MlfqTaskData*>(t->sched_data());
+}
+
+// Per-core queue array.
+struct MlfqRq {
+  std::vector<std::deque<SimThread*>> levels;
+  int load = 0;    // runnable thread count, including the running thread
+  int queued = 0;  // threads sitting in the level queues
+
+  int queued_count() const { return queued; }
+  int transferable() const { return queued; }
+};
+
+class MlfqScheduler : public Scheduler {
+ public:
+  explicit MlfqScheduler(MlfqTunables tunables = {});
+  ~MlfqScheduler() override;
+
+  std::string_view name() const override { return "mlfq"; }
+  void Attach(Machine* machine) override;
+  void Start() override;
+
+  void TaskNew(SimThread* thread, SimThread* parent) override;
+  void TaskExit(SimThread* thread) override;
+  void ReniceTask(SimThread* thread) override;
+  CoreId SelectTaskRq(SimThread* thread, CoreId origin, EnqueueKind kind) override;
+  void EnqueueTask(CoreId core, SimThread* thread, EnqueueKind kind) override;
+  void DequeueTask(CoreId core, SimThread* thread) override;
+  SimThread* PickNextTask(CoreId core) override;
+  void PutPrevTask(CoreId core, SimThread* thread) override;
+  void OnTaskBlock(CoreId core, SimThread* thread, bool voluntary) override;
+  void YieldTask(CoreId core, SimThread* thread) override;
+  void TaskTick(CoreId core, SimThread* current) override;
+  void CheckPreemptWakeup(CoreId core, SimThread* woken) override;
+  void OnCoreIdle(CoreId core) override;
+  SimDuration TickPeriod() const override { return tun_.tick; }
+
+  // Idle ticks poll the steal path (and charge its modeled scan cost), so
+  // they are only inert — and elidable — while no steal source exists; busy
+  // ticks can only act (rotate / demote-and-preempt) with a queued
+  // competitor. Mirrors ULE's boundary discipline; the masks below re-arm
+  // elided ticks when a bit appears.
+  SimTime TickBoundary(CoreId core, const SimThread* current,
+                       SimTime next_tick) const override;
+  bool TickMayCross(CoreId core) const override;
+  // Busy-core hooks touch only the core's own queue array and the running
+  // thread; every cross-core path (wake placement, idle steal, the boost
+  // event) runs in the engine's global lane.
+  bool ShardParallelSafe() const override { return true; }
+
+  double LoadOf(CoreId core) const override { return rqs_[core].load; }
+  int RunnableCountOf(CoreId core) const override { return rqs_[core].load; }
+
+  const MlfqTunables& tunables() const { return tun_; }
+  const MlfqRq& rq(CoreId core) const { return rqs_[core]; }
+
+ private:
+  int QuantumTicks(int level) const;
+  int AllotTicks(int level) const { return tun_.allotment_quanta * QuantumTicks(level); }
+  void ResetBudget(SimThread* t) const;
+  // Topmost non-empty level of core's queues, or -1.
+  int BestLevel(CoreId core) const;
+
+  // Rule 5: move every thread (queued and running) back to level 0.
+  void Boost();
+  void ArmBoost();
+
+  SimThread* StealOne(CoreId src, CoreId dst);
+  bool TryIdleSteal(CoreId core);
+
+  // Re-derives core's bits in the queued/steal-source masks after any queue
+  // or load mutation; a bit appearing re-arms elided ticks (a busy core has
+  // a new rotate competitor, an idle core a new steal candidate).
+  void SyncMasks(CoreId core);
+
+  Machine* machine_ = nullptr;
+  MlfqTunables tun_;
+  std::vector<MlfqRq> rqs_;
+  CpuSet queued_mask_;
+  CpuSet steal_source_mask_;
+  EventHandle boost_event_;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_MLFQ_MLFQ_SCHED_H_

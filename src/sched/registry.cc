@@ -1,0 +1,187 @@
+#include "src/sched/registry.h"
+
+#include <cassert>
+
+#include "src/cfs/cfs_sched.h"
+#include "src/core/experiment.h"
+#include "src/eevdf/eevdf_sched.h"
+#include "src/mlfq/mlfq_sched.h"
+#include "src/ule/ule_sched.h"
+
+namespace schedbattle {
+
+std::string_view SchedName(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::kCfs:
+      return "CFS";
+    case SchedKind::kUle:
+      return "ULE";
+    case SchedKind::kMlfq:
+      return "MLFQ";
+    case SchedKind::kEevdf:
+      return "EEVDF";
+  }
+  return "?";
+}
+
+std::string_view SchedId(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::kCfs:
+      return "cfs";
+    case SchedKind::kUle:
+      return "ule";
+    case SchedKind::kMlfq:
+      return "mlfq";
+    case SchedKind::kEevdf:
+      return "eevdf";
+  }
+  return "?";
+}
+
+bool ParseSchedKind(std::string_view id, SchedKind* out) {
+  for (const SchedulerClass& sc : SchedulerRegistry::Instance().classes()) {
+    if (id == sc.id) {
+      *out = sc.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+const SchedulerRegistry& SchedulerRegistry::Instance() {
+  // Explicit construction (no static self-registration): immune to linker
+  // dead-stripping and initialization-order surprises.
+  static const SchedulerRegistry registry;
+  return registry;
+}
+
+const SchedulerClass* SchedulerRegistry::Find(std::string_view id) const {
+  for (const SchedulerClass& sc : classes_) {
+    if (id == sc.id) {
+      return &sc;
+    }
+  }
+  return nullptr;
+}
+
+const SchedulerClass& SchedulerRegistry::Of(SchedKind kind) const {
+  for (const SchedulerClass& sc : classes_) {
+    if (sc.kind == kind) {
+      return sc;
+    }
+  }
+  assert(false && "unregistered SchedKind");
+  return classes_.front();
+}
+
+std::vector<SchedKind> SchedulerRegistry::AllKinds() const {
+  std::vector<SchedKind> kinds;
+  kinds.reserve(classes_.size());
+  for (const SchedulerClass& sc : classes_) {
+    kinds.push_back(sc.kind);
+  }
+  return kinds;
+}
+
+std::string SchedulerRegistry::IdList() const {
+  std::string ids;
+  for (const SchedulerClass& sc : classes_) {
+    if (!ids.empty()) {
+      ids += ", ";
+    }
+    ids += sc.id;
+  }
+  return ids;
+}
+
+SchedulerRegistry::SchedulerRegistry() {
+  {
+    SchedulerClass sc;
+    sc.kind = SchedKind::kCfs;
+    sc.id = "cfs";
+    sc.display = "CFS";
+    sc.summary =
+        "Linux Completely Fair Scheduler: weighted fair queuing by vruntime, "
+        "hierarchical load balancing, cgroup group scheduling";
+    sc.tunables = {
+        {"sched_latency", "24ms", "target period for running every queued thread once"},
+        {"min_granularity", "3ms", "floor on a thread's slice within the period"},
+        {"wakeup_granularity", "4ms", "vruntime deficit required to preempt on wakeup"},
+        {"balance_period", "4ms", "periodic hierarchical load-balance cadence"},
+        {"start_debit", "true", "fork starts one slice behind (no instant starvation)"},
+        {"sleeper_credit", "true", "waking threads get up to sched_latency/2 credit"},
+        {"group_sched", "true", "cgroup-style hierarchical shares"},
+    };
+    sc.has_vruntime = true;
+    sc.make = [](const ExperimentConfig& cfg) -> std::unique_ptr<Scheduler> {
+      return std::make_unique<CfsScheduler>(cfg.cfs);
+    };
+    classes_.push_back(std::move(sc));
+  }
+  {
+    SchedulerClass sc;
+    sc.kind = SchedKind::kUle;
+    sc.id = "ule";
+    sc.display = "ULE";
+    sc.summary =
+        "FreeBSD ULE: interactivity scoring with absolute interactive "
+        "priority, per-core runqueues, periodic + idle-steal balancing";
+    sc.tunables = {
+        {"slice_ticks", "10", "timeslice in stathz ticks, divided by core load"},
+        {"tick", "1/127s", "stathz accounting tick"},
+        {"balance_min/max", "500ms/1500ms", "periodic balancer period bounds (core 0)"},
+        {"steal_thresh", "2", "minimum donor load for idle stealing"},
+        {"affinity_window", "1ms", "per-topology-level cache-affinity window"},
+        {"wakeup_preemption", "false", "full preemption (off in stock ULE)"},
+    };
+    sc.has_interactivity = true;
+    sc.make = [](const ExperimentConfig& cfg) -> std::unique_ptr<Scheduler> {
+      return std::make_unique<UleScheduler>(cfg.ule);
+    };
+    classes_.push_back(std::move(sc));
+  }
+  {
+    SchedulerClass sc;
+    sc.kind = SchedKind::kMlfq;
+    sc.id = "mlfq";
+    sc.display = "MLFQ";
+    sc.summary =
+        "Multi-level feedback queue: behaviour-learned priorities, per-level "
+        "allotments with demotion, periodic boost; nice values ignored";
+    sc.tunables = {
+        {"num_levels", "8", "priority levels (0 = topmost)"},
+        {"tick", "10ms", "accounting tick; quanta measured in ticks"},
+        {"quantum_ticks", "1", "level-0 round-robin quantum, doubling per level"},
+        {"allotment_quanta", "2", "quanta at a level before rule-4(a) demotion"},
+        {"boost_period", "1s", "rule-5 move-everyone-to-top cadence"},
+        {"wakeup_preemption", "true", "strictly better level preempts on wakeup"},
+        {"steal_thresh", "2", "minimum donor load for idle stealing"},
+    };
+    sc.make = [](const ExperimentConfig& cfg) -> std::unique_ptr<Scheduler> {
+      return std::make_unique<MlfqScheduler>(cfg.mlfq);
+    };
+    classes_.push_back(std::move(sc));
+  }
+  {
+    SchedulerClass sc;
+    sc.kind = SchedKind::kEevdf;
+    sc.id = "eevdf";
+    sc.display = "EEVDF";
+    sc.summary =
+        "Earliest eligible virtual deadline first (CFS's Linux 6.6 "
+        "successor): lag-bounded fairness, deadline-bounded latency";
+    sc.tunables = {
+        {"tick", "1ms", "accounting tick (HZ=1000)"},
+        {"base_slice", "3ms", "request size setting the virtual deadline"},
+        {"wakeup_preemption", "true", "eligible earlier-deadline wakeup preempts"},
+        {"steal_thresh", "2", "minimum donor load for idle stealing"},
+    };
+    sc.has_vruntime = true;
+    sc.make = [](const ExperimentConfig& cfg) -> std::unique_ptr<Scheduler> {
+      return std::make_unique<EevdfScheduler>(cfg.eevdf);
+    };
+    classes_.push_back(std::move(sc));
+  }
+}
+
+}  // namespace schedbattle

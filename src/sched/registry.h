@@ -1,0 +1,91 @@
+// The scheduler registry: every scheduling class the simulator can run,
+// as data.
+//
+// The paper stages a two-way battle (CFS vs. ULE), but the harness around it
+// — ObserverBus, invariant monitors, the differential fuzzer, campaigns,
+// tickless elision, the sharded engine — is scheduler-generic. The registry
+// makes that genericity first-class: each class registers a canonical id, a
+// display name, a factory and its tunables *as data* (name / default /
+// description), and every consumer (ExperimentSpec, the CLI's --sched flags,
+// schedfuzz, bench binaries) resolves schedulers through it instead of
+// hardcoding the CFS/ULE pair. Adding a fifth class means adding one entry
+// here and implementing the Scheduler interface — nothing else changes.
+#ifndef SRC_SCHED_REGISTRY_H_
+#define SRC_SCHED_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace schedbattle {
+
+class Scheduler;
+struct ExperimentConfig;
+
+// The registered scheduling classes. The enum stays the compact spec/wire
+// representation; the registry carries everything else about a class.
+enum class SchedKind { kCfs, kUle, kMlfq, kEevdf };
+inline constexpr int kNumSchedKinds = 4;
+
+// Display name ("CFS", "ULE", "MLFQ", "EEVDF") — figure labels, tables.
+std::string_view SchedName(SchedKind kind);
+// Canonical lowercase id ("cfs", "ule", "mlfq", "eevdf") — CLI flags, spec
+// JSON, campaign label tags.
+std::string_view SchedId(SchedKind kind);
+// Resolves a canonical id to its kind; false (out untouched) for unknown
+// names. Callers wanting a helpful error message append
+// SchedulerRegistry::Instance().IdList().
+bool ParseSchedKind(std::string_view id, SchedKind* out);
+
+// One tunable, as data: its field name, its compiled-in default rendered as
+// a string, and what it does. `list-schedulers` prints these.
+struct SchedTunableDesc {
+  std::string name;
+  std::string def;
+  std::string what;
+};
+
+// One registered scheduling class.
+struct SchedulerClass {
+  SchedKind kind = SchedKind::kCfs;
+  std::string id;       // canonical lowercase id ("cfs")
+  std::string display;  // display name ("CFS")
+  std::string summary;  // one-line description for list-schedulers
+  std::vector<SchedTunableDesc> tunables;
+
+  // Capability flags: which introspection hooks are meaningful. They gate
+  // both the monitors (vruntime_monotonic / ule_score_range activate on the
+  // corresponding sentinel) and FaultySched fault applicability — a fault
+  // that corrupts a clock the class does not keep cannot fire any monitor.
+  bool has_vruntime = false;        // MinVruntimeOf != kNoMinVruntime
+  bool has_interactivity = false;   // InteractivityPenaltyOf >= 0
+
+  // Builds the scheduler from the experiment's tunables (each factory reads
+  // its own member of the config: cfg.cfs, cfg.ule, cfg.mlfq, cfg.eevdf).
+  std::function<std::unique_ptr<Scheduler>(const ExperimentConfig&)> make;
+};
+
+class SchedulerRegistry {
+ public:
+  // The process-wide registry of built-in classes, in SchedKind order.
+  static const SchedulerRegistry& Instance();
+
+  const std::vector<SchedulerClass>& classes() const { return classes_; }
+  // Lookup by canonical id; nullptr for unknown names.
+  const SchedulerClass* Find(std::string_view id) const;
+  const SchedulerClass& Of(SchedKind kind) const;
+  // Every registered kind, in registration order.
+  std::vector<SchedKind> AllKinds() const;
+  // "cfs, ule, mlfq, eevdf" — for unknown-scheduler error messages.
+  std::string IdList() const;
+
+ private:
+  SchedulerRegistry();
+  std::vector<SchedulerClass> classes_;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_SCHED_REGISTRY_H_

@@ -1,0 +1,320 @@
+// Scheduler-class conformance suite.
+//
+// Every class in the SchedulerRegistry must honor the same external
+// contract, whatever its internal policy: wakeups dispatch onto idle cores,
+// forked threads all run and get reaped, renice never breaks work
+// conservation, hard affinity is absolute, idle cores eventually take work
+// from overloaded ones, the invariant monitors stay silent on the paper's
+// figure workloads, and the engine optimizations (tick elision, sharding)
+// are byte-invisible. The suite iterates the registry, so a newly
+// registered class is conformance-tested without touching this file.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/check/fuzz.h"
+#include "src/core/scenarios.h"
+#include "src/core/spec.h"
+#include "src/sched/machine.h"
+#include "src/sched/registry.h"
+#include "src/sim/engine.h"
+#include "src/workload/script.h"
+#include "tests/test_util.h"
+
+namespace schedbattle {
+namespace {
+
+std::vector<SchedKind> AllKinds() { return SchedulerRegistry::Instance().AllKinds(); }
+
+// Drops the "tick_elision" counter line from a schedstats JSON document (the
+// one line that legitimately differs between elision on and off).
+std::string StripTickElision(const std::string& json) {
+  const size_t pos = json.find("\"tick_elision\"");
+  if (pos == std::string::npos) {
+    return json;
+  }
+  const size_t line_start = json.rfind('\n', pos) + 1;  // npos+1 == 0
+  size_t line_end = json.find('\n', pos);
+  line_end = line_end == std::string::npos ? json.size() : line_end + 1;
+  return json.substr(0, line_start) + json.substr(line_end);
+}
+
+// ---- registry round trips ----
+
+TEST(SchedConformanceTest, RegistryEntriesAreComplete) {
+  const SchedulerRegistry& reg = SchedulerRegistry::Instance();
+  ASSERT_EQ(static_cast<int>(reg.classes().size()), kNumSchedKinds);
+  for (const SchedulerClass& sc : reg.classes()) {
+    SCOPED_TRACE(sc.id);
+    EXPECT_FALSE(sc.id.empty());
+    EXPECT_FALSE(sc.display.empty());
+    EXPECT_FALSE(sc.summary.empty());
+    EXPECT_FALSE(sc.tunables.empty());
+    EXPECT_EQ(sc.id, SchedId(sc.kind));
+    EXPECT_EQ(sc.display, SchedName(sc.kind));
+    SchedKind parsed;
+    ASSERT_TRUE(ParseSchedKind(sc.id, &parsed));
+    EXPECT_EQ(parsed, sc.kind);
+    ASSERT_EQ(reg.Find(sc.id), &reg.Of(sc.kind));
+    std::unique_ptr<Scheduler> sched = sc.make(ExperimentConfig{});
+    ASSERT_NE(sched, nullptr);
+    EXPECT_EQ(sched->name(), sc.id);
+  }
+  SchedKind unknown;
+  EXPECT_FALSE(ParseSchedKind("nosuch", &unknown));
+  EXPECT_EQ(reg.Find("nosuch"), nullptr);
+}
+
+// ---- wakeup contract ----
+
+// A periodically-waking thread on an otherwise idle machine must be
+// dispatched after every wakeup: its 1ms-compute / 5ms-sleep duty cycle
+// accumulates ~1/6 of wall time regardless of policy.
+TEST(SchedConformanceTest, WakeupsDispatchOntoIdleCores) {
+  for (SchedKind kind : AllKinds()) {
+    SCOPED_TRACE(SchedId(kind));
+    SimEngine engine;
+    Machine machine(&engine, CpuTopology::Flat(2),
+                    MakeScheduler(std::string(SchedId(kind))));
+    machine.Boot();
+    ThreadSpec spec;
+    spec.name = "waker";
+    spec.body = MakeScriptBody(ScriptBuilder()
+                                   .Loop(-1)
+                                   .Compute(Milliseconds(1))
+                                   .Sleep(Milliseconds(5))
+                                   .EndLoop()
+                                   .Build(),
+                               Rng(1));
+    SimThread* t = machine.Spawn(std::move(spec), nullptr);
+    engine.RunUntil(Seconds(1));
+    machine.CatchUpTicks();
+    const double runtime = ToSeconds(t->RuntimeAt(engine.now()));
+    EXPECT_GT(runtime, 0.1) << "woken thread starved on an idle machine";
+    EXPECT_LT(runtime, 0.25) << "duty cycle should cap runtime near 1/6";
+  }
+}
+
+// ---- fork + monitor contract, randomized workloads ----
+
+// Generated fuzz workloads are structurally terminating: under every class,
+// every forked thread must run to completion and be reaped, with the full
+// MonitorSuite (work conservation, runqueue accounting, lost wakeups, ...)
+// silent throughout.
+TEST(SchedConformanceTest, FuzzWorkloadsForkRunAndReapCleanly) {
+  Rng root(11);
+  std::vector<FuzzSpec> base;
+  for (int i = 0; i < 3; ++i) {
+    Rng stream = root.Split();
+    base.push_back(GenerateFuzzSpec(&stream, SchedKind::kCfs, 0.05));
+  }
+  for (SchedKind kind : AllKinds()) {
+    for (const FuzzSpec& b : base) {
+      FuzzSpec s = b;
+      s.sched = kind;
+      SCOPED_TRACE(s.Label());
+      ExperimentSpec spec = s.ToExperimentSpec();
+      spec.check_invariants = true;
+      const RunResult r = ExecuteSpec(spec);
+      EXPECT_EQ(r.violations, 0u) << r.violation_report;
+      EXPECT_EQ(r.counters.forks, r.counters.exits) << "unreaped forked thread";
+      for (const AppResult& app : r.apps) {
+        EXPECT_TRUE(app.finished) << app.name << " did not finish";
+      }
+    }
+  }
+}
+
+// ---- renice contract ----
+
+// SetNice on running and queued threads must never break work conservation:
+// whatever a class does with the hint (CFS reweights, ULE rescores, MLFQ
+// deliberately ignores it), two hogs on one core still consume the whole
+// core between them.
+TEST(SchedConformanceTest, ReniceKeepsTheMachineWorkConserving) {
+  for (SchedKind kind : AllKinds()) {
+    SCOPED_TRACE(SchedId(kind));
+    SimEngine engine;
+    Machine machine(&engine, CpuTopology::Flat(1),
+                    MakeScheduler(std::string(SchedId(kind))));
+    machine.Boot();
+    SimThread* a = machine.Spawn(Spinner("a", 1), nullptr);
+    SimThread* b = machine.Spawn(Spinner("b", 2), nullptr);
+    engine.RunUntil(Seconds(1));
+    machine.SetNice(b, 10);   // whichever of a/b is queued vs running, both
+    machine.SetNice(a, -5);   // paths (ReniceTask on each state) are hit
+    engine.RunUntil(Seconds(2));
+    machine.CatchUpTicks();
+    const double total =
+        ToSeconds(a->RuntimeAt(engine.now())) + ToSeconds(b->RuntimeAt(engine.now()));
+    EXPECT_NEAR(total, 2.0, 0.05) << "renice must not stall the core";
+    EXPECT_GT(machine.counters().context_switches, 0u);
+  }
+}
+
+// ---- affinity contract ----
+
+// Hard affinity is absolute: pinned threads never run elsewhere, and an
+// affinity change to a disjoint mask migrates the thread onto it.
+TEST(SchedConformanceTest, AffinityPinningIsAbsolute) {
+  for (SchedKind kind : AllKinds()) {
+    SCOPED_TRACE(SchedId(kind));
+    SimEngine engine;
+    Machine machine(&engine, CpuTopology::Flat(4),
+                    MakeScheduler(std::string(SchedId(kind))));
+    machine.Boot();
+    std::vector<SimThread*> pinned;
+    for (int i = 0; i < 3; ++i) {
+      pinned.push_back(machine.Spawn(Spinner("p" + std::to_string(i), i + 1, /*pin=*/2),
+                                     nullptr));
+    }
+    engine.RunUntil(Milliseconds(500));
+    machine.CatchUpTicks();
+    for (SimThread* t : pinned) {
+      EXPECT_EQ(t->cpu(), 2) << "pinned thread ran off its core";
+    }
+    machine.SetAffinity(pinned[0], CpuMask::Single(0));
+    engine.RunUntil(Milliseconds(600));
+    machine.CatchUpTicks();
+    EXPECT_EQ(pinned[0]->cpu(), 0) << "affinity change did not migrate the thread";
+  }
+}
+
+// ---- idle-steal / balance contract ----
+
+// The fig6 shape in miniature: spinners pinned to core 0 then released must
+// spread — an idle core that can legally take work eventually does, by idle
+// steal or periodic balancing (the slowest machinery is ULE's <= 1.5s
+// balancer period).
+TEST(SchedConformanceTest, IdleCoresTakeReleasedWork) {
+  for (SchedKind kind : AllKinds()) {
+    SCOPED_TRACE(SchedId(kind));
+    SimEngine engine;
+    Machine machine(&engine, CpuTopology::Flat(2),
+                    MakeScheduler(std::string(SchedId(kind))));
+    machine.Boot();
+    std::vector<SimThread*> threads;
+    for (int i = 0; i < 4; ++i) {
+      threads.push_back(
+          machine.Spawn(Spinner("s" + std::to_string(i), i + 1, /*pin=*/0), nullptr));
+    }
+    engine.RunUntil(Milliseconds(200));
+    for (SimThread* t : threads) {
+      machine.SetAffinity(t, CpuMask::AllOf(2));
+    }
+    engine.RunUntil(Seconds(2) + Milliseconds(200));
+    machine.CatchUpTicks();
+    const std::vector<int> counts = CountsPerCore(machine, threads);
+    EXPECT_GE(counts[1], 1) << "released work never reached the idle core";
+    EXPECT_GT(machine.counters().migrations, 0u);
+  }
+}
+
+// ---- figure workloads under the monitors ----
+
+// Figure 1 (fibo + sysbench, one core) and a Figure 9 style co-scheduled
+// multicore run must be monitor-clean for every class.
+TEST(SchedConformanceTest, Fig1IsMonitorClean) {
+  for (SchedKind kind : AllKinds()) {
+    SCOPED_TRACE(SchedId(kind));
+    auto out = std::make_shared<FiboSysbenchResult>();
+    ExperimentSpec spec = FiboSysbenchSpec(kind, 42, 0.02, out);
+    spec.check_invariants = true;
+    const RunResult r = ExecuteSpec(spec);
+    EXPECT_EQ(r.violations, 0u) << r.violation_report;
+    EXPECT_GT(out->sysbench_tps, 0.0);
+  }
+}
+
+TEST(SchedConformanceTest, Fig9MultiAppIsMonitorClean) {
+  for (SchedKind kind : AllKinds()) {
+    SCOPED_TRACE(SchedId(kind));
+    ExperimentSpec spec = ExperimentSpec::Multicore(kind, 42);
+    spec.scale = 0.02;
+    spec.horizon = Seconds(30);
+    spec.Named("conformance-fig9");
+    spec.Add(RegistryApp("apache"));
+    spec.Add(RegistryApp("sysbench"));
+    spec.check_invariants = true;
+    const RunResult r = ExecuteSpec(spec);
+    EXPECT_EQ(r.violations, 0u) << r.violation_report;
+  }
+}
+
+// Figure 6's mid-run unpin floods 14.5s of pinned waiting into the
+// work-conservation monitor by construction (see tickless_test.cc), so the
+// conformance bar is verdict stability: the monitors must report the exact
+// same outcome with elision on and off, and nothing but work conservation
+// may fire.
+TEST(SchedConformanceTest, Fig6MonitorVerdictsAreElisionInvariant) {
+  for (SchedKind kind : AllKinds()) {
+    SCOPED_TRACE(SchedId(kind));
+    auto out = std::make_shared<LoadBalanceResult>();
+    ExperimentSpec spec = LoadBalanceSpec(kind, 42, Seconds(16), 1, out);
+    spec.check_invariants = true;
+    ExperimentSpec off = spec;
+    off.machine.tickless = false;
+    const RunResult on = ExecuteSpec(spec);
+    const RunResult eager = ExecuteSpec(off);
+    EXPECT_EQ(on.violations, eager.violations);
+    EXPECT_EQ(on.violation_report, eager.violation_report);
+    if (on.violations > 0) {
+      EXPECT_EQ(on.first_violation_monitor, "work_conservation");
+    }
+  }
+}
+
+// ---- engine-optimization byte identity ----
+
+// Tick elision is a pure strength reduction for every class: the schedstats
+// snapshot (minus the elision counter line), finish time and counters must
+// be byte-identical with elision forced off.
+TEST(SchedConformanceTest, TicklessElisionIsByteIdentical) {
+  for (SchedKind kind : AllKinds()) {
+    SCOPED_TRACE(SchedId(kind));
+    ExperimentSpec spec = StatsSpec(kind, 42);
+    ExperimentSpec off = spec;
+    off.machine.tickless = false;
+    const RunResult on = ExecuteSpec(spec);
+    const RunResult eager = ExecuteSpec(off);
+    ASSERT_FALSE(on.schedstats_json.empty());
+    EXPECT_EQ(StripTickElision(on.schedstats_json), StripTickElision(eager.schedstats_json));
+    EXPECT_EQ(on.finish_time, eager.finish_time);
+    EXPECT_EQ(on.counters.context_switches, eager.counters.context_switches);
+  }
+}
+
+// Shard count is likewise invisible: the same multicore spec at shards
+// {1, 2, 4} produces byte-identical schedstats.
+TEST(SchedConformanceTest, ShardCountIsByteInvisible) {
+  for (SchedKind kind : AllKinds()) {
+    SCOPED_TRACE(SchedId(kind));
+    ExperimentSpec spec = ExperimentSpec::Multicore(kind, 42);
+    spec.scale = 0.02;
+    spec.horizon = Seconds(20);
+    spec.Named("conformance-shards");
+    spec.collect_schedstats = true;
+    spec.cfs.group_scheduling = false;  // keep runs parallel-window eligible
+    spec.Add(RegistryApp("apache"));
+    RunResult serial;
+    for (int shards : {1, 2, 4}) {
+      ExperimentSpec s = spec;
+      s.shards = shards;
+      const RunResult r = ExecuteSpec(s);
+      ASSERT_FALSE(r.schedstats_json.empty());
+      if (shards == 1) {
+        serial = r;
+        continue;
+      }
+      EXPECT_EQ(r.schedstats_json, serial.schedstats_json)
+          << shards << "-shard run diverged from the single-queue engine";
+      EXPECT_EQ(r.finish_time, serial.finish_time);
+      EXPECT_EQ(r.counters.migrations, serial.counters.migrations);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace schedbattle

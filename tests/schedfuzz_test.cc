@@ -77,6 +77,40 @@ TEST(FuzzSpecTest, ParseRejectsMalformedInput) {
   EXPECT_FALSE(FuzzSpec::Parse(DropWakeupSpec().ToJson() + "x", &out, &error));
 }
 
+// A fault corrupting a clock the wrapped class does not keep is rejected at
+// parse time with a message naming the capable classes — silently no-opping
+// would disarm the monitor the fault exists to validate.
+TEST(FuzzSpecTest, ParseRejectsInapplicableFaults) {
+  FuzzSpec spec = DropWakeupSpec();
+  FuzzSpec out;
+  std::string error;
+
+  spec.sched = SchedKind::kMlfq;  // neither vruntime nor interactivity
+  spec.fault = FaultConfig{FaultKind::kCorruptVruntime, 1};
+  EXPECT_FALSE(FuzzSpec::Parse(spec.ToJson(), &out, &error));
+  EXPECT_NE(error.find("mlfq"), std::string::npos) << error;
+  EXPECT_NE(error.find("vruntime"), std::string::npos) << error;
+
+  spec.fault = FaultConfig{FaultKind::kCorruptScore, 200};
+  EXPECT_FALSE(FuzzSpec::Parse(spec.ToJson(), &out, &error));
+  EXPECT_NE(error.find("interactivity"), std::string::npos) << error;
+
+  // The same faults parse fine on classes that keep the corrupted state.
+  spec.sched = SchedKind::kEevdf;
+  spec.fault = FaultConfig{FaultKind::kCorruptVruntime, 1};
+  EXPECT_TRUE(FuzzSpec::Parse(spec.ToJson(), &out, &error)) << error;
+  spec.sched = SchedKind::kUle;
+  spec.fault = FaultConfig{FaultKind::kCorruptScore, 200};
+  EXPECT_TRUE(FuzzSpec::Parse(spec.ToJson(), &out, &error)) << error;
+
+  // FaultApplicable is the same predicate spec parsing uses.
+  std::string why;
+  EXPECT_FALSE(FaultApplicable(FaultKind::kCorruptVruntime, SchedKind::kMlfq, &why));
+  EXPECT_FALSE(why.empty());
+  EXPECT_TRUE(FaultApplicable(FaultKind::kCorruptVruntime, SchedKind::kCfs));
+  EXPECT_TRUE(FaultApplicable(FaultKind::kDropWakeup, SchedKind::kMlfq));
+}
+
 TEST(FuzzSpecTest, GeneratedSpecsAreValidAndLabeled) {
   Rng rng(7);
   for (int i = 0; i < 20; ++i) {

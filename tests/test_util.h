@@ -18,13 +18,13 @@
 
 namespace schedbattle {
 
-// "cfs" -> CfsScheduler, anything else -> UleScheduler. Test suites
-// parameterize on the string so failures name the scheduler.
+// Registry id -> freshly built scheduler with default tunables; unknown
+// names fall back to ULE (the historical default). Test suites parameterize
+// on the string so failures name the scheduler.
 inline std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
-  if (name == "cfs") {
-    return std::make_unique<CfsScheduler>();
-  }
-  return std::make_unique<UleScheduler>();
+  SchedKind kind = SchedKind::kUle;
+  ParseSchedKind(name, &kind);
+  return SchedulerRegistry::Instance().Of(kind).make(ExperimentConfig{});
 }
 
 // An infinite (or pinned) CPU hog for balance/placement tests.

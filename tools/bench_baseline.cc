@@ -1,7 +1,7 @@
 // bench_baseline: the machine-readable performance baseline for the
 // simulator's hot paths.
 //
-// Measures, for both schedulers:
+// Measures, for the paper's CFS/ULE pair:
 //   - events_per_sec  : simulated events per wall-second on the standard
 //                       micro_sched_ops throughput workload (64 mixed
 //                       sleep/compute threads on 8 flat cores)
@@ -13,6 +13,12 @@
 //                       fully loaded Opteron with nothing stealable
 // plus a scheduler-independent calibration rate (a fixed integer spin loop)
 // so results can be compared across machines as `events_per_calib`.
+//
+// Every other registered scheduler class (mlfq, eevdf, ...) gets a *micro*
+// leg — events/sec, allocs/event, ns/pick, ns/balance on the same probes —
+// recorded under `<metric>_<id>` keys. The CFS/ULE keys and their committed
+// values are untouched; --check validates a micro leg only when its keys are
+// present in the baseline file, so older files keep working.
 //
 // Usage:
 //   bench_baseline --out=BENCH_schedsim.json            measure, write JSON
@@ -41,13 +47,13 @@
 #include <thread>
 #include <vector>
 
-#include "src/cfs/cfs_sched.h"
 #include "src/core/flags.h"
+#include "src/core/spec.h"
 #include "src/metrics/decision_log.h"
 #include "src/sched/machine.h"
+#include "src/sched/registry.h"
 #include "src/sim/engine.h"
 #include "src/topo/topology.h"
-#include "src/ule/ule_sched.h"
 #include "src/workload/script.h"
 #include "tests/minijson.h"
 
@@ -91,10 +97,14 @@ double WallSeconds(std::chrono::steady_clock::time_point a,
 }
 
 std::unique_ptr<Scheduler> MakeSched(const std::string& name) {
-  if (name == "cfs") {
-    return std::make_unique<CfsScheduler>();
+  SchedKind kind = SchedKind::kCfs;
+  if (!ParseSchedKind(name, &kind)) {
+    std::fprintf(stderr, "unknown scheduler '%s' (registered: %s)\n", name.c_str(),
+                 SchedulerRegistry::Instance().IdList().c_str());
+    std::exit(2);
   }
-  return std::make_unique<UleScheduler>();
+  const ExperimentConfig defaults;  // every factory reads its compiled-in tunables
+  return SchedulerRegistry::Instance().Of(kind).make(defaults);
 }
 
 // Fixed integer spin loop; its rate captures the host machine's single-core
@@ -121,6 +131,9 @@ double CalibrationRate() {
 }
 
 const char* const kScheds[2] = {"cfs", "ule"};
+// Registered classes outside the paper's pair: full-suite coverage stays on
+// CFS/ULE (the committed baseline history), these get the micro leg only.
+const char* const kMicroScheds[2] = {"mlfq", "eevdf"};
 
 struct ThroughputResult {
   double events_per_sec = 0;
@@ -445,12 +458,20 @@ struct Metrics {
   // only meaningful when host_cpus >= shards).
   double serving_events_per_sec[2][3] = {{0, 0, 0}, {0, 0, 0}};
   int host_cpus = 0;
+  // Micro legs for the non-paper classes (kMicroScheds order).
+  double micro_events_per_sec[2] = {0, 0};
+  double micro_allocs_per_event[2] = {0, 0};
+  double micro_ns_per_pick[2] = {0, 0};
+  double micro_ns_per_balance[2] = {0, 0};
 
   double events_per_calib(int i) const {
     return calib_rate > 0 ? events_per_sec[i] / calib_rate : 0;
   }
   double idle_events_per_calib(int i) const {
     return calib_rate > 0 ? idle_events_per_sec[i] / calib_rate : 0;
+  }
+  double micro_events_per_calib(int i) const {
+    return calib_rate > 0 ? micro_events_per_sec[i] / calib_rate : 0;
   }
 };
 
@@ -490,6 +511,23 @@ Metrics MeasureAll(int runs, double scale) {
       }
     }
   }
+  for (int i = 0; i < 2; ++i) {
+    for (int r = 0; r < runs; ++r) {
+      const ThroughputResult t = MeasureThroughput(kMicroScheds[i], scale);
+      if (t.events_per_sec > m.micro_events_per_sec[i]) {
+        m.micro_events_per_sec[i] = t.events_per_sec;
+        m.micro_allocs_per_event[i] = t.allocs_per_event;
+      }
+      const double pick = MeasurePickNs(kMicroScheds[i], scale);
+      if (r == 0 || pick < m.micro_ns_per_pick[i]) {
+        m.micro_ns_per_pick[i] = pick;
+      }
+      const double bal = MeasureBalanceNs(kMicroScheds[i], scale);
+      if (r == 0 || bal < m.micro_ns_per_balance[i]) {
+        m.micro_ns_per_balance[i] = bal;
+      }
+    }
+  }
   m.host_cpus = static_cast<int>(std::thread::hardware_concurrency());
   return m;
 }
@@ -521,6 +559,17 @@ std::string MetricsJson(const Metrics& m, int indent) {
          << "\": " << m.serving_events_per_sec[i][leg];
     }
   }
+  for (int i = 0; i < 2; ++i) {
+    os << ",\n"
+       << pad << "\"events_per_sec_" << kMicroScheds[i] << "\": " << m.micro_events_per_sec[i];
+    os << ",\n"
+       << pad << "\"events_per_calib_" << kMicroScheds[i] << "\": " << m.micro_events_per_calib(i);
+    os << ",\n"
+       << pad << "\"allocs_per_event_" << kMicroScheds[i] << "\": " << m.micro_allocs_per_event[i];
+    os << ",\n" << pad << "\"ns_per_pick_" << kMicroScheds[i] << "\": " << m.micro_ns_per_pick[i];
+    os << ",\n"
+       << pad << "\"ns_per_balance_" << kMicroScheds[i] << "\": " << m.micro_ns_per_balance[i];
+  }
   os << ",\n" << pad << "\"host_cpus\": " << m.host_cpus;
   return os.str();
 }
@@ -547,6 +596,13 @@ void PrintMetrics(const Metrics& m) {
             ? m.serving_events_per_sec[i][2] / m.serving_events_per_sec[i][0]
             : 0.0,
         m.host_cpus, m.host_cpus == 1 ? "" : "s");
+  }
+  for (int i = 0; i < 2; ++i) {
+    std::printf(
+        "  %s (micro leg): %.3g events/sec (%.4f per calib-op), %.3f allocs/event, "
+        "%.1f ns/pick, %.1f ns/balance-pass\n",
+        kMicroScheds[i], m.micro_events_per_sec[i], m.micro_events_per_calib(i),
+        m.micro_allocs_per_event[i], m.micro_ns_per_pick[i], m.micro_ns_per_balance[i]);
   }
 }
 
@@ -609,6 +665,31 @@ int CheckAgainst(const std::string& path, const Metrics& fresh, double tolerance
     const double got_allocs = fresh.allocs_per_event[i];
     // Allocation counts are deterministic; allow slack for workload drift
     // but catch a reintroduced per-event allocation (+1.0 would be caught).
+    const double ceiling = want_allocs * (1.0 + tolerance) + 0.2;
+    std::printf("%s allocs/event: committed %.3f, measured %.3f (ceiling %.3f) %s\n",
+                sched.c_str(), want_allocs, got_allocs, ceiling,
+                got_allocs <= ceiling ? "ok" : "REGRESSED");
+    if (got_allocs > ceiling) {
+      ++failures;
+    }
+  }
+  // Micro legs: present only in baselines refreshed after the registry grew
+  // past the CFS/ULE pair; their absence is not a failure.
+  for (int i = 0; i < 2; ++i) {
+    const std::string sched = kMicroScheds[i];
+    if (!cur.contains("events_per_calib_" + sched)) {
+      continue;
+    }
+    const double want_norm = cur.at("events_per_calib_" + sched).as_number();
+    const double got_norm = fresh.micro_events_per_calib(i);
+    const double floor = want_norm * (1.0 - tolerance);
+    std::printf("%s events/calib-op: committed %.5f, measured %.5f (floor %.5f) %s\n",
+                sched.c_str(), want_norm, got_norm, floor, got_norm >= floor ? "ok" : "REGRESSED");
+    if (got_norm < floor) {
+      ++failures;
+    }
+    const double want_allocs = cur.at("allocs_per_event_" + sched).as_number();
+    const double got_allocs = fresh.micro_allocs_per_event[i];
     const double ceiling = want_allocs * (1.0 + tolerance) + 0.2;
     std::printf("%s allocs/event: committed %.3f, measured %.3f (ceiling %.3f) %s\n",
                 sched.c_str(), want_allocs, got_allocs, ceiling,

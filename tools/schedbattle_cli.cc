@@ -38,6 +38,7 @@
 #include "src/metrics/thread_timeline.h"
 #include "src/metrics/trace.h"
 #include "src/sched/machine.h"
+#include "src/sched/registry.h"
 #include "src/workload/script.h"
 
 using namespace schedbattle;
@@ -46,7 +47,7 @@ namespace {
 
 void Usage() {
   std::printf(
-      "usage: schedbattle_cli [stats|campaign|replay|scope] [options]\n"
+      "usage: schedbattle_cli [stats|campaign|replay|scope|list-schedulers] [options]\n"
       "subcommands:\n"
       "  stats                  run and print the schedstats JSON snapshot to\n"
       "                         stdout (suppresses the human-readable report)\n"
@@ -54,7 +55,11 @@ void Usage() {
       "                         --runs seeds on --jobs worker threads and emit\n"
       "                         aggregated JSON (mean/stddev/min/max per app\n"
       "                         and scheduler, plus wakeup p99/p999 and SLO\n"
-      "                         verdicts)\n"
+      "                         verdicts); --scenario=fig1 runs the fibo +\n"
+      "                         sysbench tournament across every registered\n"
+      "                         scheduler class instead\n"
+      "  list-schedulers        print every registered scheduler class with\n"
+      "                         its tunables and defaults, then exit\n"
       "  replay                 re-execute a schedfuzz reproducer spec\n"
       "                         (--spec=<file.json>) with all invariant\n"
       "                         monitors armed; deterministic output\n"
@@ -65,7 +70,8 @@ void Usage() {
       "  (any subcommand accepts --help for its own flag listing)\n"
       "options:\n"
       "  --list                 list available applications and exit\n"
-      "  --sched=cfs|ule        scheduler (default cfs)\n"
+      "  --sched=<class>        scheduler class id (default cfs; see\n"
+      "                         list-schedulers for the registered set)\n"
       "  --app=<name>           application to run (repeatable)\n"
       "  --scenario=fig6        run the paper's Figure 6 load-balancing\n"
       "                         scenario (512 spinners pinned to core 0,\n"
@@ -95,6 +101,11 @@ void Usage() {
       "  --trace-text=<file>    write a plain-text event log\n"
       "campaign options:\n"
       "  --suite=fig5|fig8|desktop  machine/topology preset (default fig8)\n"
+      "  --scenario=fig1        N-way tournament: the paper's fibo + sysbench\n"
+      "                         run under every registered scheduler class\n"
+      "                         (schedstats + SLO verdicts per class)\n"
+      "  --sched=<class>        with --scenario: restrict the tournament to\n"
+      "                         these classes (repeatable; default all)\n"
       "  --app=<name>           restrict to these suite apps (repeatable)\n"
       "  --runs=<n>             seeds per (app, scheduler) cell (default 3)\n"
       "  --jobs=<n>             worker threads (default 0 = hardware concurrency)\n"
@@ -175,6 +186,33 @@ void PrintSloVerdicts(const std::vector<SloVerdict>& verdicts) {
   }
 }
 
+// `list-schedulers` subcommand: the registry as a reference card — every
+// class with its capabilities and its tunables (name, compiled-in default,
+// one-line description).
+int RunListSchedulersCommand() {
+  const SchedulerRegistry& reg = SchedulerRegistry::Instance();
+  for (const SchedulerClass& sc : reg.classes()) {
+    std::printf("%s (%s)\n", sc.id.c_str(), sc.display.c_str());
+    std::printf("  %s\n", sc.summary.c_str());
+    std::string caps;
+    if (sc.has_vruntime) {
+      caps += "vruntime clock";
+    }
+    if (sc.has_interactivity) {
+      caps += (caps.empty() ? "" : ", ") + std::string("interactivity score");
+    }
+    std::printf("  introspection: %s\n", caps.empty() ? "(none)" : caps.c_str());
+    std::printf("  tunables:\n");
+    for (const SchedTunableDesc& t : sc.tunables) {
+      std::printf("    %-22s %-14s %s\n", t.name.c_str(), t.def.c_str(), t.what.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("%d classes registered; select one with --sched=<id>\n",
+              static_cast<int>(reg.classes().size()));
+  return 0;
+}
+
 // `scope` subcommand: run a workload with the schedscope decision-record log
 // attached; export the dataset, reconstruct per-thread timelines, print the
 // per-scenario latency breakdown, and answer "why was thread T placed on
@@ -198,7 +236,7 @@ int RunScopeCommand(int argc, char** argv) {
   std::vector<std::string> slo_texts;
 
   FlagSet flags;
-  flags.String("sched", &sched, "scheduler: cfs or ule")
+  flags.String("sched", &sched, "scheduler class id (see list-schedulers)")
       .StringList("app", &apps, "application to run (repeatable)")
       .String("scenario", &scenario, "canned scenario (fig6)")
       .Int("cores", &cores, "core count (32 = the paper's NUMA machine)")
@@ -231,8 +269,10 @@ int RunScopeCommand(int argc, char** argv) {
     std::fprintf(stderr, "scope needs --app or --scenario\n");
     return 2;
   }
-  if (sched != "cfs" && sched != "ule") {
-    std::fprintf(stderr, "--sched must be cfs or ule\n");
+  SchedKind sched_kind = SchedKind::kCfs;
+  if (!ParseSchedKind(sched, &sched_kind)) {
+    std::fprintf(stderr, "unknown scheduler '%s' (registered: %s)\n", sched.c_str(),
+                 SchedulerRegistry::Instance().IdList().c_str());
     return 2;
   }
   if (tickless != "on" && tickless != "off") {
@@ -249,7 +289,7 @@ int RunScopeCommand(int argc, char** argv) {
   }
 
   ExperimentConfig cfg;
-  cfg.sched = sched == "cfs" ? SchedKind::kCfs : SchedKind::kUle;
+  cfg.sched = sched_kind;
   cfg.topology =
       cores == 32 ? CpuTopology::Opteron6172().config() : CpuTopology::Flat(cores).config();
   cfg.machine.seed = seed;
@@ -389,10 +429,124 @@ std::string JsonStat(const AggregateStat& s) {
   return buf;
 }
 
+// `campaign --scenario=fig1`: the paper's Table 2 workload (fibo + sysbench
+// on one core) run as an N-way tournament over the registered scheduler
+// classes — one campaign of (class x seed) specs, schedstats collection and
+// SLO evaluation per run, one aggregated verdict row per class.
+int RunFig1Tournament(const std::vector<SchedKind>& kinds, int runs, int jobs, double scale,
+                      uint64_t seed, const std::vector<SloObjective>& slo,
+                      const std::string& json_path) {
+  std::vector<ExperimentSpec> specs;
+  std::vector<std::shared_ptr<FiboSysbenchResult>> outs;
+  for (SchedKind kind : kinds) {
+    for (int k = 0; k < runs; ++k) {
+      auto out = std::make_shared<FiboSysbenchResult>();
+      ExperimentSpec spec = FiboSysbenchSpec(kind, seed + static_cast<uint64_t>(k), scale, out);
+      spec.label += "/s" + std::to_string(k);
+      spec.collect_schedstats = true;
+      if (!slo.empty()) {
+        spec.slo = slo;  // override the scenario's built-in objectives
+      }
+      specs.push_back(std::move(spec));
+      outs.push_back(std::move(out));
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<RunResult> results = CampaignRunner(jobs).Run(specs);
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+  std::printf("%s", BannerLine("fig1 tournament: fibo + sysbench, " +
+                               std::to_string(kinds.size()) + " classes x " +
+                               std::to_string(runs) + " seeds")
+                        .c_str());
+  TextTable table(
+      {"class", "fibo runtime", "sysbench tps", "avg latency", "wakeup p99", "SLO"});
+  std::string json = "{\n";
+  char head[192];
+  std::snprintf(head, sizeof(head),
+                "  \"scenario\": \"fig1\",\n  \"seed\": %llu,\n  \"scale\": %.6g,\n"
+                "  \"runs\": %d,\n  \"wall_clock_ms\": %lld,\n  \"classes\": [\n",
+                static_cast<unsigned long long>(seed), scale, runs,
+                static_cast<long long>(wall_ms));
+  json += head;
+
+  bool all_pass = true;
+  for (size_t c = 0; c < kinds.size(); ++c) {
+    const SchedKind kind = kinds[c];
+    std::vector<double> fibo_s, tps, lat_ms;
+    bool slo_pass = true;
+    const RunResult* base = nullptr;  // base-seed run: source of the verdict listing
+    for (int k = 0; k < runs; ++k) {
+      const size_t i = c * static_cast<size_t>(runs) + static_cast<size_t>(k);
+      const FiboSysbenchResult& r = *outs[i];
+      fibo_s.push_back(ToSeconds(r.fibo_runtime));
+      tps.push_back(r.sysbench_tps);
+      lat_ms.push_back(ToMilliseconds(r.sysbench_avg_latency));
+      slo_pass = slo_pass && results[i].slo_pass;
+      if (k == 0) {
+        base = &results[i];
+      }
+    }
+    const AggregateStat fibo_stat = AggregateStat::Of(fibo_s);
+    const AggregateStat tps_stat = AggregateStat::Of(tps);
+    const AggregateStat lat_stat = AggregateStat::Of(lat_ms);
+    double p99_ms = 0;
+    for (const SloVerdict& v : base->slo_verdicts) {
+      if (v.objective.metric == SloMetric::kWakeupP99) {
+        p99_ms = static_cast<double>(v.observed) / 1e6;
+      }
+    }
+    table.AddRow({std::string(SchedName(kind)), fibo_stat.Format(1) + "s",
+                  tps_stat.Format(1), lat_stat.Format(2) + "ms",
+                  TextTable::Num(p99_ms, 3) + "ms", slo_pass ? "PASS" : "FAIL"});
+    all_pass = all_pass && slo_pass;
+
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "    {\"sched\": \"%s\", \"fibo_runtime_s\": %s, \"sysbench_tps\": %s,\n"
+                  "     \"sysbench_latency_ms\": %s, \"wakeup_p99_ms\": %.4g,"
+                  " \"slo_pass\": %s}%s\n",
+                  std::string(SchedId(kind)).c_str(), JsonStat(fibo_stat).c_str(),
+                  JsonStat(tps_stat).c_str(), JsonStat(lat_stat).c_str(), p99_ms,
+                  slo_pass ? "true" : "false", c + 1 < kinds.size() ? "," : "");
+    json += line;
+  }
+  json += "  ]\n}\n";
+
+  std::printf("%s", table.Render().c_str());
+  for (size_t c = 0; c < kinds.size(); ++c) {
+    const RunResult& base = results[c * static_cast<size_t>(runs)];
+    if (base.slo_verdicts.empty()) {
+      continue;
+    }
+    std::printf("\n%s:\n", std::string(SchedName(kinds[c])).c_str());
+    for (const SloVerdict& v : base.slo_verdicts) {
+      std::printf("  %-4s %s (observed %.3fms)\n", v.pass ? "PASS" : "FAIL",
+                  v.objective.Describe().c_str(), static_cast<double>(v.observed) / 1e6);
+    }
+  }
+
+  if (json_path.empty() || json_path == "-") {
+    std::printf("\n%s", json.c_str());
+  } else if (WriteFile(json_path, json)) {
+    std::printf("\nwrote tournament JSON (%zu classes, %d runs, %lld ms) to %s\n",
+                kinds.size(), runs, static_cast<long long>(wall_ms), json_path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return all_pass ? 0 : 4;
+}
+
 // `campaign` subcommand: the Figure 5/8/desktop suite as one parallel
 // campaign, emitting aggregated JSON.
 int RunCampaignCommand(int argc, char** argv) {
   std::string suite = "fig8";
+  std::string scenario;
+  std::vector<std::string> scheds;
   std::vector<std::string> only;
   int runs = 3;
   int jobs = 0;
@@ -404,6 +558,9 @@ int RunCampaignCommand(int argc, char** argv) {
 
   FlagSet flags;
   flags.String("suite", &suite, "fig5|fig8|desktop machine preset")
+      .String("scenario", &scenario, "fig1: N-way fibo+sysbench tournament")
+      .StringList("sched", &scheds,
+                  "with --scenario: tournament classes (repeatable; default all)")
       .StringList("app", &only, "restrict to these suite apps (repeatable)")
       .Int("runs", &runs, "seeds per (app, scheduler) cell")
       .Int("jobs", &jobs, "worker threads (0 = hardware concurrency)")
@@ -432,6 +589,36 @@ int RunCampaignCommand(int argc, char** argv) {
     return 2;
   }
   SetTicklessEnabled(tickless == "on");
+
+  if (!scenario.empty()) {
+    if (scenario != "fig1") {
+      std::fprintf(stderr, "unknown campaign scenario '%s' (only fig1 is available)\n",
+                   scenario.c_str());
+      return 2;
+    }
+    std::vector<SchedKind> kinds;
+    for (const std::string& s : scheds) {
+      SchedKind kind;
+      if (!ParseSchedKind(s, &kind)) {
+        std::fprintf(stderr, "unknown scheduler '%s' (registered: %s)\n", s.c_str(),
+                     SchedulerRegistry::Instance().IdList().c_str());
+        return 2;
+      }
+      kinds.push_back(kind);
+    }
+    if (kinds.empty()) {
+      kinds = SchedulerRegistry::Instance().AllKinds();
+    }
+    std::vector<SloObjective> slo;
+    if (!ParseSloFlags(slo_texts, &slo)) {
+      return 2;
+    }
+    return RunFig1Tournament(kinds, runs, jobs, scale, seed, slo, json_path);
+  }
+  if (!scheds.empty()) {
+    std::fprintf(stderr, "--sched is only meaningful with --scenario=fig1\n");
+    return 2;
+  }
 
   SuiteOptions options;
   if (suite == "fig5") {
@@ -610,8 +797,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argc > 1 ? argv[1] : "";
   // Pre-scan for flags that exit immediately. Subcommands handle --help
   // themselves (each prints its own FlagSet::Help()).
-  const bool has_subcommand =
-      cmd == "stats" || cmd == "campaign" || cmd == "replay" || cmd == "scope";
+  const bool has_subcommand = cmd == "stats" || cmd == "campaign" || cmd == "replay" ||
+                              cmd == "scope" || cmd == "list-schedulers";
   for (int i = 1; i < argc; ++i) {
     if (!has_subcommand &&
         (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0)) {
@@ -624,6 +811,9 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+  }
+  if (cmd == "list-schedulers") {
+    return RunListSchedulersCommand();
   }
   if (cmd == "campaign") {
     return RunCampaignCommand(argc, argv);
@@ -658,7 +848,7 @@ int main(int argc, char** argv) {
     first_flag = 2;
   }
   FlagSet flags;
-  flags.String("sched", &sched, "scheduler: cfs or ule")
+  flags.String("sched", &sched, "scheduler class id (see list-schedulers)")
       .StringList("app", &apps, "application to run (repeatable)")
       .String("scenario", &scenario, "canned scenario (fig6, loadbalance-4096)")
       .Int("cores", &cores, "core count (32 = the paper's NUMA machine)")
@@ -693,8 +883,10 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  if (sched != "cfs" && sched != "ule") {
-    std::fprintf(stderr, "--sched must be cfs or ule\n");
+  SchedKind sched_kind = SchedKind::kCfs;
+  if (!ParseSchedKind(sched, &sched_kind)) {
+    std::fprintf(stderr, "unknown scheduler '%s' (registered: %s)\n", sched.c_str(),
+                 SchedulerRegistry::Instance().IdList().c_str());
     return 2;
   }
   if (shards < 1) {
@@ -716,7 +908,7 @@ int main(int argc, char** argv) {
   }
 
   ExperimentConfig cfg;
-  cfg.sched = sched == "cfs" ? SchedKind::kCfs : SchedKind::kUle;
+  cfg.sched = sched_kind;
   if (scenario == "loadbalance-4096") {
     cfg.topology = CpuTopology::Numa1024().config();
     cfg.cfs.group_scheduling = false;  // keep runs parallel-window eligible

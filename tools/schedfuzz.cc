@@ -1,5 +1,5 @@
-// schedfuzz: randomized differential fuzzing of CFS and ULE under the
-// online invariant monitors (src/check).
+// schedfuzz: randomized differential fuzzing of the registered scheduler
+// classes under the online invariant monitors (src/check).
 //
 // Generates --runs random terminating workload specs (GenerateFuzzSpec) and
 // executes every spec under the selected scheduler(s) with the full
@@ -11,7 +11,8 @@
 //                    reaps every thread it forked (forks == exits) — fuzz
 //                    workloads are structurally terminating, so a stuck
 //                    thread implicates the scheduler,
-//   3. differential: with --sched=both, CFS and ULE must fork the same
+//   3. differential: with two or more schedulers selected (--sched=both or
+//                    --sched=all), every pair of classes must fork the same
 //                    number of threads for the same spec (workload structure
 //                    is seed-determined, never schedule-determined),
 //   4. tickless:     every spec also runs with tick elision forced off; the
@@ -44,6 +45,7 @@
 #include "src/core/campaign.h"
 #include "src/core/flags.h"
 #include "src/sched/machine.h"
+#include "src/sched/registry.h"
 
 namespace schedbattle {
 namespace {
@@ -145,7 +147,8 @@ int FuzzMain(int argc, char** argv) {
   int shards = 4;
 
   FlagSet flags;
-  flags.String("sched", &sched, "scheduler under test: cfs, ule or both")
+  flags.String("sched", &sched,
+               "scheduler(s) under test: a registry id, 'both' (cfs+ule) or 'all'")
       .Int("runs", &runs, "number of random specs to generate")
       .Int("jobs", &jobs, "campaign worker threads (0 = hardware concurrency)")
       .Double("scale", &scale, "loop-count scale factor (CI smoke uses 0.1)")
@@ -169,15 +172,19 @@ int FuzzMain(int argc, char** argv) {
     return 2;
   }
   std::vector<SchedKind> kinds;
-  if (sched == "cfs") {
-    kinds = {SchedKind::kCfs};
-  } else if (sched == "ule") {
-    kinds = {SchedKind::kUle};
-  } else if (sched == "both") {
+  if (sched == "both") {
     kinds = {SchedKind::kCfs, SchedKind::kUle};
+  } else if (sched == "all") {
+    kinds = SchedulerRegistry::Instance().AllKinds();
   } else {
-    std::fprintf(stderr, "--sched must be cfs, ule or both (got '%s')\n", sched.c_str());
-    return 2;
+    SchedKind kind;
+    if (!ParseSchedKind(sched, &kind)) {
+      std::fprintf(stderr, "--sched must be a registered class (%s), 'both' or 'all'"
+                   " (got '%s')\n",
+                   SchedulerRegistry::Instance().IdList().c_str(), sched.c_str());
+      return 2;
+    }
+    kinds = {kind};
   }
   if (runs < 1 || scale <= 0.0 || max_shrink < 1 || shards < 2) {
     std::fprintf(stderr, "--runs, --scale and --max-shrink must be positive, --shards >= 2\n");
@@ -278,10 +285,17 @@ int FuzzMain(int argc, char** argv) {
       }
       outcomes.push_back(out);
     }
-    if (per_spec == 2 && outcomes[0].forks != outcomes[1].forks) {
+    // Pairwise differential: all classes must agree on the fork count, so
+    // comparing each against the first covers every pair.
+    for (size_t k = 1; k < outcomes.size(); ++k) {
+      if (outcomes[k].forks == outcomes[0].forks) {
+        continue;
+      }
       const size_t idx = static_cast<size_t>(i) * per_spec;
-      std::fprintf(stderr, "FAIL %s: differential forks cfs=%" PRIu64 " ule=%" PRIu64 "\n",
-                   fuzz_specs[idx].Label().c_str(), outcomes[0].forks, outcomes[1].forks);
+      std::fprintf(stderr, "FAIL %s: differential forks %s=%" PRIu64 " %s=%" PRIu64 "\n",
+                   fuzz_specs[idx].Label().c_str(), std::string(SchedId(kinds[0])).c_str(),
+                   outcomes[0].forks, std::string(SchedId(kinds[k])).c_str(),
+                   outcomes[k].forks);
       failures.push_back({fuzz_specs[idx], "differential", "fork count diverged"});
     }
   }
