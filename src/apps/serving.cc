@@ -1,0 +1,202 @@
+#include "src/apps/serving.h"
+
+#include <algorithm>
+
+#include "src/workload/script.h"
+#include "src/workload/sync.h"
+
+namespace schedbattle {
+
+const char* ServiceModelName(ServiceModel model) {
+  switch (model) {
+    case ServiceModel::kApache:
+      return "apache";
+    case ServiceModel::kSysbench:
+      return "sysbench";
+    case ServiceModel::kRocksdb:
+      return "rocksdb";
+  }
+  return "unknown";
+}
+
+ServingParams ApacheServeDefaults() {
+  ServingParams p;
+  p.name = "apache-serve";
+  p.model = ServiceModel::kApache;
+  p.service_compute = Milliseconds(4);
+  return p;
+}
+
+ServingParams SysbenchServeDefaults() {
+  ServingParams p;
+  p.name = "sysbench-serve";
+  p.model = ServiceModel::kSysbench;
+  p.service_compute = Milliseconds(2);
+  p.service_stall = Milliseconds(3);
+  p.stall_probability = 1.0;
+  return p;
+}
+
+ServingParams RocksdbServeDefaults() {
+  ServingParams p;
+  p.name = "rocksdb-serve";
+  p.model = ServiceModel::kRocksdb;
+  p.service_compute = Microseconds(500);
+  p.service_stall = Microseconds(250);
+  p.stall_probability = 0.25;
+  p.write_fraction = 0.25;
+  p.write_compute = Microseconds(300);
+  p.write_stall = Microseconds(2500);
+  return p;
+}
+
+namespace {
+
+// Fill zero-valued service knobs from the model defaults, so scenarios can
+// override just the fields they care about.
+ServingParams WithModelDefaults(ServingParams p) {
+  ServingParams d;
+  switch (p.model) {
+    case ServiceModel::kApache:
+      d = ApacheServeDefaults();
+      break;
+    case ServiceModel::kSysbench:
+      d = SysbenchServeDefaults();
+      break;
+    case ServiceModel::kRocksdb:
+      d = RocksdbServeDefaults();
+      break;
+  }
+  if (p.service_compute == 0) {
+    p.service_compute = d.service_compute;
+  }
+  if (p.service_stall == 0) {
+    p.service_stall = d.service_stall;
+  }
+  if (p.stall_probability == 0) {
+    p.stall_probability = d.stall_probability;
+  }
+  if (p.write_fraction == 0) {
+    p.write_fraction = d.write_fraction;
+  }
+  if (p.write_compute == 0) {
+    p.write_compute = d.write_compute;
+  }
+  if (p.write_stall == 0) {
+    p.write_stall = d.write_stall;
+  }
+  return p;
+}
+
+}  // namespace
+
+ServingApp::ServingApp(ServingParams p)
+    : Application(p.name),
+      p_(WithModelDefaults(std::move(p))),
+      arrivals_(p_.arrivals),
+      tail_(p_.tail_window) {}
+
+SimDuration ServingApp::DrawService(Rng& rng, Inflight* request) {
+  const bool is_write = p_.write_fraction > 0.0 && rng.NextBool(p_.write_fraction);
+  SimDuration compute_mean;
+  if (is_write) {
+    compute_mean = p_.write_compute;
+    request->stall = p_.write_stall;
+  } else {
+    compute_mean = p_.service_compute;
+    request->stall =
+        (p_.stall_probability > 0.0 && rng.NextBool(p_.stall_probability)) ? p_.service_stall : 0;
+  }
+  return std::max<SimDuration>(
+      Microseconds(2),
+      static_cast<SimDuration>(rng.NextExponential(static_cast<double>(compute_mean))));
+}
+
+void ServingApp::Complete(SimTime start, SimTime end) {
+  ++completed_;
+  stats().RecordOp(start, end);
+  const SimDuration latency = end - start;
+  if (latency <= p_.deadline) {
+    ++good_;
+  }
+  tail_.Record(end, latency);
+  if (arrivals_done_ && completed_ == admitted_) {
+    stats().finished = end;
+  }
+}
+
+void ServingApp::Admit(Machine& machine, SimTime now) {
+  ++admitted_;
+  queue_.push_back(now);
+  // Timer-style wake: the arrival is an engine event, not a thread, so the
+  // pipe wakes the reader exactly like a device interrupt would.
+  requests_->Write(machine, /*writer=*/nullptr, 1);
+}
+
+void ServingApp::ScheduleArrival(Machine& machine, SimTime at) {
+  Machine* m = &machine;
+  m->engine().PostAt(at, [this, m, at] {
+    Admit(*m, at);
+    if (p_.max_requests > 0 && admitted_ >= p_.max_requests) {
+      arrivals_done_ = true;
+    } else {
+      const SimTime next = arrivals_.Next(at);
+      if (next <= p_.arrivals_until) {
+        ScheduleArrival(*m, next);
+        return;
+      }
+      arrivals_done_ = true;
+    }
+    if (completed_ == admitted_) {
+      stats().finished = at;
+    }
+  });
+}
+
+void ServingApp::Launch(Machine& machine) {
+  auto requests = std::make_shared<SimPipe>();
+  requests_ = KeepAlive(requests);
+
+  // Worker: park on the request pipe, serve, repeat — forever, like httpd.
+  // The pop in ComputeFn pairs FIFO with the pipe's FIFO read grants, so the
+  // k-th successful read always serves the k-th arrival.
+  auto script =
+      ScriptBuilder()
+          .Loop(-1)
+          .PipeRead(requests.get())
+          .ComputeFn([this](ScriptEnv& env) {
+            Inflight request;
+            request.start = queue_.front();
+            queue_.pop_front();
+            const SimDuration compute = DrawService(env.rng, &request);
+            inflight_[&env.ctx.thread()] = request;
+            return compute;
+          })
+          .SleepFn([this](ScriptEnv& env) { return inflight_[&env.ctx.thread()].stall; })
+          .Call([this](ScriptEnv& env) {
+            Complete(inflight_[&env.ctx.thread()].start, env.ctx.now());
+          })
+          .EndLoop()
+          .Build();
+  for (int i = 0; i < p_.workers; ++i) {
+    ThreadSpec spec;
+    spec.name = p_.name + "/worker-" + std::to_string(i);
+    spec.body = MakeScriptBody(script, Rng(p_.seed * 7919 + static_cast<uint64_t>(i)));
+    spec.parent_sleep_hint = Seconds(4);
+    SpawnThread(machine, std::move(spec), nullptr);
+  }
+
+  const SimTime first = arrivals_.Next(machine.now());
+  if (first <= p_.arrivals_until && p_.max_requests >= 0) {
+    ScheduleArrival(machine, first);
+  } else {
+    arrivals_done_ = true;
+  }
+  MarkLaunched();
+}
+
+std::unique_ptr<Application> MakeServing(ServingParams p) {
+  return std::make_unique<ServingApp>(std::move(p));
+}
+
+}  // namespace schedbattle

@@ -1,0 +1,123 @@
+// Open-loop serving adapters for the apache/sysbench/rocksdb app models.
+//
+// A ServingApp is a worker pool fed by an ArrivalProcess instead of a
+// closed-loop load injector: each arrival is an engine event (global lane,
+// identically ordered by both shard regimes) that timestamps the request,
+// enqueues it on the request pipe and wakes one parked worker through the
+// scheduler's full wake path. The worker serves the request with the model's
+// service-time distribution (compute burst, optional disk/WAL stall) and
+// records the arrival-to-completion latency — queueing delay included, which
+// is where the schedulers diverge — into the app's histogram and a
+// WindowedTailSeries.
+//
+// Serving apps are horizon-bounded: workers park forever on the request pipe
+// (like httpd), arrivals stop at `arrivals_until` (or after `max_requests`),
+// and finished() reports whether every admitted request completed. Goodput
+// counts requests that completed within `deadline`.
+#ifndef SRC_APPS_SERVING_H_
+#define SRC_APPS_SERVING_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/metrics/slo.h"
+#include "src/workload/app.h"
+#include "src/workload/arrivals.h"
+
+namespace schedbattle {
+
+// Which app model's service-time shape each request draws from.
+enum class ServiceModel : uint8_t {
+  kApache,    // pure compute burst (httpd request handling)
+  kSysbench,  // compute + a disk wait per transaction (MySQL OLTP)
+  kRocksdb,   // read/write mix: cached reads vs. WAL/compaction stalls
+};
+const char* ServiceModelName(ServiceModel model);
+
+struct ServingParams {
+  std::string name = "serve";
+  ServiceModel model = ServiceModel::kApache;
+  int workers = 64;
+
+  ArrivalSpec arrivals;
+  SimTime arrivals_until = Seconds(2);  // stop admitting past this time
+  int64_t max_requests = 0;             // 0 = bounded by arrivals_until only
+
+  // Goodput deadline: a request completed within `deadline` of its arrival
+  // counts as good.
+  SimDuration deadline = Milliseconds(50);
+  // Window of the per-run tail-latency series.
+  SimDuration tail_window = Milliseconds(100);
+
+  // Service-time knobs (exponential means). Zero-valued fields are filled
+  // from the model's defaults by MakeServing.
+  SimDuration service_compute = 0;  // per-request CPU (read-class for rocksdb)
+  SimDuration service_stall = 0;    // blocking wait (0 probability = never)
+  double stall_probability = 0.0;
+  // kRocksdb only: fraction of write-class requests and their shape.
+  double write_fraction = 0.0;
+  SimDuration write_compute = 0;
+  SimDuration write_stall = 0;
+
+  uint64_t seed = 1;
+};
+
+// Model-default parameter sets (service shapes scaled to serving-fleet
+// request sizes; arrival rate/topology are chosen by the scenario).
+ServingParams ApacheServeDefaults();
+ServingParams SysbenchServeDefaults();
+ServingParams RocksdbServeDefaults();
+
+class ServingApp : public Application {
+ public:
+  explicit ServingApp(ServingParams p);
+
+  void Launch(Machine& machine) override;
+  // All admitted requests served and no more arrivals coming. Workers never
+  // exit, so the run is ended by the horizon, not by thread-exit tracking.
+  bool finished() const override {
+    return launched() && arrivals_done_ && completed_ == admitted_;
+  }
+
+  const ServingParams& params() const { return p_; }
+  int64_t admitted() const { return admitted_; }
+  int64_t completed() const { return completed_; }
+  int64_t good() const { return good_; }
+  // Fraction of admitted requests that completed within the deadline
+  // (unserved requests count against goodput).
+  double GoodputFraction() const {
+    return admitted_ > 0 ? static_cast<double>(good_) / static_cast<double>(admitted_) : 0.0;
+  }
+  const WindowedTailSeries& tail() const { return tail_; }
+
+ private:
+  struct Inflight {
+    SimTime start = 0;
+    SimDuration stall = 0;
+  };
+
+  void ScheduleArrival(Machine& machine, SimTime at);
+  void Admit(Machine& machine, SimTime now);
+  SimDuration DrawService(Rng& rng, Inflight* request);
+  void Complete(SimTime start, SimTime end);
+
+  ServingParams p_;
+  ArrivalProcess arrivals_;
+  SimPipe* requests_ = nullptr;  // KeepAlive-anchored
+  std::deque<SimTime> queue_;    // arrival timestamps, FIFO with pipe grants
+  std::unordered_map<const SimThread*, Inflight> inflight_;
+  WindowedTailSeries tail_;
+  int64_t admitted_ = 0;
+  int64_t completed_ = 0;
+  int64_t good_ = 0;
+  bool arrivals_done_ = false;
+};
+
+std::unique_ptr<Application> MakeServing(ServingParams p = {});
+
+}  // namespace schedbattle
+
+#endif  // SRC_APPS_SERVING_H_

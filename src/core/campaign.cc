@@ -17,6 +17,16 @@ void AppendTag(ExperimentSpec& spec, const std::string& tag, bool to_group) {
   }
 }
 
+// A sweep over zero seeds is always caller error (the old behavior returned
+// an empty campaign that aggregated to all-zero rows downstream); reject it
+// in the flags layer's exit-2 validation style.
+void ValidateSweepRuns(int runs) {
+  if (runs <= 0) {
+    std::fprintf(stderr, "SeedSweep: runs must be >= 1 (got %d)\n", runs);
+    std::exit(2);
+  }
+}
+
 }  // namespace
 
 std::vector<ExperimentSpec> SchedulerSet(const ExperimentSpec& spec,
@@ -61,8 +71,9 @@ std::vector<ExperimentSpec> BothSchedulers(const std::vector<ExperimentSpec>& sp
 }
 
 std::vector<ExperimentSpec> SeedSweep(const ExperimentSpec& spec, int runs) {
+  ValidateSweepRuns(runs);
   std::vector<ExperimentSpec> out;
-  out.reserve(runs > 0 ? runs : 0);
+  out.reserve(static_cast<size_t>(runs));
   for (int k = 0; k < runs; ++k) {
     ExperimentSpec s = spec;
     s.machine.seed = spec.machine.seed + static_cast<uint64_t>(k);
@@ -77,8 +88,9 @@ std::vector<ExperimentSpec> SeedSweep(const ExperimentSpec& spec, int runs) {
 }
 
 std::vector<ExperimentSpec> SeedSweep(const std::vector<ExperimentSpec>& specs, int runs) {
+  ValidateSweepRuns(runs);
   std::vector<ExperimentSpec> out;
-  out.reserve(specs.size() * (runs > 0 ? runs : 0));
+  out.reserve(specs.size() * static_cast<size_t>(runs));
   for (const ExperimentSpec& spec : specs) {
     for (ExperimentSpec& s : SeedSweep(spec, runs)) {
       out.push_back(std::move(s));

@@ -11,6 +11,7 @@
 #include "src/apps/parsec.h"
 #include "src/apps/phoronix.h"
 #include "src/apps/registry.h"
+#include "src/apps/serving.h"
 #include "src/apps/sysbench.h"
 #include "src/workload/app.h"
 #include "src/workload/script.h"
@@ -557,6 +558,224 @@ ExperimentSpec CraySpec(SchedKind kind, uint64_t seed, double scale,
 CrayResult RunCrayPlacement(SchedKind kind, uint64_t seed, double scale) {
   auto out = std::make_shared<CrayResult>();
   ExecuteSpec(CraySpec(kind, seed, scale, out));
+  return std::move(*out);
+}
+
+// ---- Serving fleet ----
+
+namespace {
+
+struct ServePresetDef {
+  TopologyConfig topology;
+  int cores = 0;
+  ServingParams params;  // arrivals_until already scaled
+  int colo_spinners = 0;
+  std::vector<SloObjective> slo;
+};
+
+SloObjective RequestSlo(SloMetric metric, SimDuration threshold) {
+  SloObjective o;
+  o.metric = metric;
+  o.threshold = threshold;
+  return o;
+}
+
+// Scales the arrival window (request volume) while holding rates fixed, so
+// utilization — the thing each preset is calibrated for — is scale-invariant.
+SimTime ScaledWindow(double seconds, double scale) {
+  return std::max<SimTime>(Milliseconds(20), SecondsF(seconds * scale));
+}
+
+bool BuildServePreset(const std::string& preset, double scale, ServePresetDef* def) {
+  // Rates are calibrated as util = rate * mean_compute / cores against each
+  // model's default service shape (see src/apps/serving.cc).
+  if (preset == "serve-smoke") {
+    def->topology = CpuTopology::Flat(16).config();
+    def->cores = 16;
+    def->params = ApacheServeDefaults();  // 4ms compute
+    def->params.workers = 64;
+    def->params.arrivals.rate_per_sec = 3200;  // ~80% of 16 cores
+    def->params.arrivals_until = ScaledWindow(0.5, scale);
+    def->params.deadline = Milliseconds(50);
+    def->slo = {RequestSlo(SloMetric::kRequestP99, Milliseconds(250)),
+                RequestSlo(SloMetric::kRequestP999, Milliseconds(500))};
+    return true;
+  }
+  if (preset == "serve-smoke-sysbench") {
+    def->topology = CpuTopology::Flat(16).config();
+    def->cores = 16;
+    def->params = SysbenchServeDefaults();  // 2ms compute + 3ms disk wait
+    def->params.workers = 64;
+    def->params.arrivals.rate_per_sec = 6400;  // ~80% of 16 cores
+    def->params.arrivals_until = ScaledWindow(0.25, scale);
+    def->params.deadline = Milliseconds(50);
+    def->slo = {RequestSlo(SloMetric::kRequestP99, Milliseconds(250)),
+                RequestSlo(SloMetric::kRequestP999, Milliseconds(500))};
+    return true;
+  }
+  if (preset == "serve-smoke-rocksdb") {
+    def->topology = CpuTopology::Flat(16).config();
+    def->cores = 16;
+    def->params = RocksdbServeDefaults();  // 0.45ms mean compute, WAL stalls
+    def->params.workers = 64;
+    def->params.arrivals.rate_per_sec = 16000;  // ~45% of 16 cores
+    def->params.arrivals_until = ScaledWindow(0.1, scale);
+    def->params.deadline = Milliseconds(20);
+    def->slo = {RequestSlo(SloMetric::kRequestP99, Milliseconds(100)),
+                RequestSlo(SloMetric::kRequestP999, Milliseconds(250))};
+    return true;
+  }
+  if (preset == "serve1024") {
+    def->topology = CpuTopology::Numa1024().config();
+    def->cores = 1024;
+    def->params = ApacheServeDefaults();
+    def->params.service_compute = Milliseconds(10);
+    def->params.workers = 3072;  // 3 runnable-capable threads per core
+    def->params.arrivals.rate_per_sec = 97280;  // 95% of 1024 cores at 10ms
+    def->params.arrivals_until = ScaledWindow(1.0, scale);
+    def->params.deadline = Milliseconds(100);
+    def->slo = {RequestSlo(SloMetric::kRequestP50, Milliseconds(100)),
+                RequestSlo(SloMetric::kRequestP99, Milliseconds(500)),
+                RequestSlo(SloMetric::kRequestP999, Seconds(2))};
+    return true;
+  }
+  if (preset == "serve1024-spike") {
+    def->topology = CpuTopology::Numa1024().config();
+    def->cores = 1024;
+    def->params = ApacheServeDefaults();
+    def->params.service_compute = Milliseconds(10);
+    def->params.workers = 3072;
+    def->params.arrivals.kind = ArrivalKind::kSpike;
+    def->params.arrivals.rate_per_sec = 71680;  // 70% baseline...
+    def->params.arrivals.spike_multiplier = 2.2;  // ...154% during the spike
+    def->params.arrivals_until = ScaledWindow(1.0, scale);
+    def->params.arrivals.spike_start =
+        static_cast<SimTime>(0.35 * static_cast<double>(def->params.arrivals_until));
+    def->params.arrivals.spike_duration =
+        static_cast<SimDuration>(0.30 * static_cast<double>(def->params.arrivals_until));
+    def->params.deadline = Milliseconds(100);
+    def->slo = {RequestSlo(SloMetric::kRequestP50, Milliseconds(250)),
+                RequestSlo(SloMetric::kRequestP99, Seconds(2)),
+                RequestSlo(SloMetric::kRequestP999, Seconds(5))};
+    return true;
+  }
+  if (preset == "serve1024-colo") {
+    def->topology = CpuTopology::Numa1024().config();
+    def->cores = 1024;
+    def->params = ApacheServeDefaults();
+    def->params.service_compute = Milliseconds(10);
+    def->params.workers = 3072;
+    def->params.arrivals.rate_per_sec = 61440;  // 60% serving...
+    def->params.arrivals_until = ScaledWindow(1.0, scale);
+    def->params.deadline = Milliseconds(100);
+    def->colo_spinners = 2048;  // ...co-located with a batch runtime
+    def->slo = {RequestSlo(SloMetric::kRequestP50, Milliseconds(500)),
+                RequestSlo(SloMetric::kRequestP99, Seconds(3)),
+                RequestSlo(SloMetric::kRequestP999, Seconds(10))};
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<std::string>& ServePresets() {
+  static const std::vector<std::string> kPresets = {
+      "serve-smoke",  "serve-smoke-sysbench", "serve-smoke-rocksdb",
+      "serve1024",    "serve1024-spike",      "serve1024-colo",
+  };
+  return kPresets;
+}
+
+bool IsServePreset(const std::string& preset) {
+  for (const std::string& p : ServePresets()) {
+    if (p == preset) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int ServePresetCores(const std::string& preset) {
+  ServePresetDef def;
+  return BuildServePreset(preset, 1.0, &def) ? def.cores : 0;
+}
+
+ExperimentSpec ServeSpec(const std::string& preset, SchedKind kind, uint64_t seed,
+                         double scale, std::shared_ptr<ServeResult> out) {
+  ServePresetDef def;
+  if (!BuildServePreset(preset, scale, &def)) {
+    std::fprintf(stderr, "ServeSpec: unknown serve preset '%s'\n", preset.c_str());
+    std::exit(2);
+  }
+  ExperimentSpec spec;
+  spec.sched = kind;
+  spec.topology = def.topology;
+  spec.machine.seed = seed;
+  spec.system_noise = false;
+  // Serving runs are horizon-bounded (workers park forever, like httpd): the
+  // horizon leaves a drain window after the last admission; requests still
+  // unserved there count against goodput.
+  spec.horizon = def.params.arrivals_until + Milliseconds(500);
+  spec.Named(preset + "/" + std::string(SchedName(kind)));
+  spec.slo = def.slo;
+
+  AppSpec serve;
+  serve.name = def.params.name;
+  serve.has_metric = true;
+  serve.metric = MetricKind::kOpsPerSec;
+  const ServingParams params = def.params;
+  serve.make = [params](int, uint64_t s, double) {
+    ServingParams p = params;
+    p.seed = s;
+    p.arrivals.seed = s * 31 + 7;  // arrival stream independent of workers
+    return MakeServing(p);
+  };
+  spec.Add(serve);
+
+  if (def.colo_spinners > 0) {
+    AppSpec batch;
+    batch.name = "batch";
+    batch.has_metric = true;  // metric unused; avoids a registry lookup
+    const int spinners = def.colo_spinners;
+    batch.make = [spinners](int, uint64_t s, double) -> std::unique_ptr<Application> {
+      auto app = std::make_unique<ScriptedApp>("batch", s);
+      ScriptedApp::ThreadTemplate tmpl;
+      tmpl.name = "batch";
+      tmpl.count = spinners;
+      tmpl.script = ScriptBuilder().Loop(-1).Compute(Milliseconds(5)).EndLoop().Build();
+      app->AddThreads(std::move(tmpl));
+      app->set_background(true);
+      return app;
+    };
+    spec.Add(batch);
+  }
+
+  if (out != nullptr) {
+    spec.hooks.on_finish = [out, kind](SpecRunContext& ctx, RunResult&) {
+      const auto* app = dynamic_cast<const ServingApp*>(ctx.apps[0]);
+      if (app == nullptr) {
+        return;
+      }
+      out->sched = kind;
+      out->admitted = app->admitted();
+      out->completed = app->completed();
+      out->good = app->good();
+      out->goodput_fraction = app->GoodputFraction();
+      const LatencyHistogram& lat = app->stats().latency;
+      out->request_p50 = lat.Percentile(50);
+      out->request_p99 = lat.Percentile(99);
+      out->request_p999 = lat.Percentile(99.9);
+      out->request_max = lat.max();
+      out->tail_series_json = app->tail().ToJson();
+    };
+  }
+  return spec;
+}
+
+ServeResult RunServe(const std::string& preset, SchedKind kind, uint64_t seed, double scale) {
+  auto out = std::make_shared<ServeResult>();
+  ExecuteSpec(ServeSpec(preset, kind, seed, scale, out));
   return std::move(*out);
 }
 

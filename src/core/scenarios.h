@@ -157,6 +157,44 @@ ExperimentSpec CraySpec(SchedKind kind, uint64_t seed, double scale,
                         std::shared_ptr<CrayResult> out);
 CrayResult RunCrayPlacement(SchedKind kind, uint64_t seed, double scale = 1.0);
 
+// ---- Serving fleet: open-loop arrivals, oversubscription, tail SLOs ----
+//
+// The ROADMAP's "millions of users" scenario family. Requests arrive on
+// their own clock (Poisson / diurnal / spike traces, src/workload/arrivals),
+// wake parked workers of a serving adapter (src/apps/serving) and land their
+// arrival-to-completion latency in per-run histograms, a WindowedTailSeries
+// and request_* SLO verdicts. Presets:
+//   serve-smoke            16 cores, apache model at ~80% util (tests/CI)
+//   serve-smoke-sysbench   16 cores, MySQL OLTP model (compute + disk wait)
+//   serve-smoke-rocksdb    16 cores, read/write-mix model (WAL stalls)
+//   serve1024              1024-core NUMA box, 3072 workers, 95% utilization
+//   serve1024-spike        70% baseline with a 2.2x spike mid-run (the
+//                          "which scheduler holds p99" tournament)
+//   serve1024-colo         60% serving co-located with 2048 batch spinners
+//                          (oversubscription: runnable threads >> cores)
+// `scale` stretches the arrival window (request volume), not the rates.
+struct ServeResult {
+  SchedKind sched = SchedKind::kCfs;
+  int64_t admitted = 0;
+  int64_t completed = 0;
+  int64_t good = 0;           // completed within the preset's deadline
+  double goodput_fraction = 0;  // good / admitted
+  SimDuration request_p50 = 0;
+  SimDuration request_p99 = 0;
+  SimDuration request_p999 = 0;
+  SimDuration request_max = 0;
+  std::string tail_series_json;  // WindowedTailSeries of request latency
+};
+// All preset names, in documentation order.
+const std::vector<std::string>& ServePresets();
+bool IsServePreset(const std::string& preset);
+// Number of cores in the preset's topology (for banners/JSON).
+int ServePresetCores(const std::string& preset);
+ExperimentSpec ServeSpec(const std::string& preset, SchedKind kind, uint64_t seed,
+                         double scale, std::shared_ptr<ServeResult> out = nullptr);
+ServeResult RunServe(const std::string& preset, SchedKind kind, uint64_t seed,
+                     double scale = 1.0);
+
 // ---- Figure 9: multi-application workloads ----
 struct MultiAppRow {
   std::string pair_name;

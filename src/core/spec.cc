@@ -154,7 +154,16 @@ RunResult ExecuteSpec(const ExperimentSpec& spec) {
   if (stats != nullptr) {
     stats->Detach();
     if (!spec.slo.empty()) {
-      result.slo_verdicts = EvaluateSlos(spec.slo, *stats);
+      // request_* objectives measure the primary app's per-operation latency
+      // (arrival-to-completion for serving apps).
+      const LatencyHistogram* request_latency = nullptr;
+      for (Application* a : apps) {
+        if (a != nullptr) {
+          request_latency = &a->stats().latency;
+          break;
+        }
+      }
+      result.slo_verdicts = EvaluateSlos(spec.slo, *stats, request_latency);
       result.slo_pass = AllSlosPass(result.slo_verdicts);
     }
     if (spec.collect_schedstats) {

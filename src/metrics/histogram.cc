@@ -1,14 +1,122 @@
 #include "src/metrics/histogram.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
-#include <numeric>
 
 namespace schedbattle {
 
+// ---- LogHistogram ----
+
+int LogHistogram::BucketOf(SimDuration value) {
+  if (value < 0) {
+    value = 0;
+  }
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) {
+    return static_cast<int>(v);  // exact buckets below one octave of sub-buckets
+  }
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - 5;  // log2(kSubBuckets)
+  const int sub = static_cast<int>((v >> shift) & (kSubBuckets - 1));
+  return (msb - 4) * kSubBuckets + sub;
+}
+
+SimDuration LogHistogram::BucketLowerBound(int bucket) {
+  if (bucket < kSubBuckets) {
+    return bucket;
+  }
+  const int msb = bucket / kSubBuckets + 4;
+  const int sub = bucket % kSubBuckets;
+  const int shift = msb - 5;
+  return ((static_cast<int64_t>(1) << 5 | sub)) << shift;
+}
+
+void LogHistogram::Record(SimDuration value) {
+  if (buckets_.empty()) {
+    buckets_.assign(kNumBuckets, 0);
+  }
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  if (count_ == 0 || value > max_) {
+    max_ = value;
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+  ++buckets_[BucketOf(value)];
+}
+
+double LogHistogram::Mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+
+SimDuration LogHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (!(p > 0.0)) {
+    return min();
+  }
+  if (p >= 100.0) {
+    return max();
+  }
+  // Nearest-rank over buckets: find the bucket holding the ceil(p/100*n)-th
+  // sample, report its lower bound (clamped into [min, max]).
+  const double frank = p / 100.0 * static_cast<double>(count_);
+  uint64_t rank = static_cast<uint64_t>(frank);
+  if (static_cast<double>(rank) != frank) {
+    ++rank;
+  }
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      const SimDuration lo = BucketLowerBound(b);
+      if (lo < min_) {
+        return min_;
+      }
+      return lo < max_ ? lo : max_;
+    }
+  }
+  return max_;
+}
+
+void LogHistogram::Clear() {
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0;
+  buckets_.clear();
+}
+
+// ---- LatencyHistogram ----
+
 void LatencyHistogram::Record(SimDuration value) {
-  samples_.push_back(value);
-  sorted_ = false;
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  if (count_ == 0 || value > max_) {
+    max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+  if (count_ <= kExactSampleCap) {
+    samples_.push_back(value);
+    sorted_ = false;
+    return;
+  }
+  if (!samples_.empty()) {
+    // First record past the cap: fold every retained sample into the log
+    // buckets and release the vector (bounded memory from here on).
+    for (SimDuration s : samples_) {
+      spill_.Record(s);
+    }
+    samples_.clear();
+    samples_.shrink_to_fit();
+    sorted_ = true;
+  }
+  spill_.Record(value);
 }
 
 void LatencyHistogram::SortIfNeeded() const {
@@ -18,37 +126,19 @@ void LatencyHistogram::SortIfNeeded() const {
   }
 }
 
-SimDuration LatencyHistogram::min() const {
-  if (samples_.empty()) {
-    return 0;
-  }
-  SortIfNeeded();
-  return samples_.front();
-}
-
-SimDuration LatencyHistogram::max() const {
-  if (samples_.empty()) {
-    return 0;
-  }
-  SortIfNeeded();
-  return samples_.back();
-}
-
 double LatencyHistogram::Mean() const {
-  if (samples_.empty()) {
+  if (count_ == 0) {
     return 0.0;
   }
-  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
-  return sum / static_cast<double>(samples_.size());
-}
-
-SimDuration LatencyHistogram::Sum() const {
-  return std::accumulate(samples_.begin(), samples_.end(), SimDuration{0});
+  return static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
 SimDuration LatencyHistogram::Percentile(double p) const {
-  if (samples_.empty()) {
+  if (count_ == 0) {
     return 0;
+  }
+  if (!exact()) {
+    return spill_.Percentile(p);
   }
   SortIfNeeded();
   // Clamp before any arithmetic: casting a NaN or negative double to size_t
@@ -71,8 +161,13 @@ SimDuration LatencyHistogram::Percentile(double p) const {
 }
 
 void LatencyHistogram::Clear() {
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0;
   samples_.clear();
+  samples_.shrink_to_fit();
   sorted_ = true;
+  spill_.Clear();
 }
 
 }  // namespace schedbattle

@@ -1,5 +1,16 @@
-// Latency histogram with exact percentiles (samples are retained; simulation
-// volumes are small enough that exactness beats bucketing).
+// Latency histograms.
+//
+// LatencyHistogram is the per-operation / per-event histogram used across the
+// simulator. It is exact (retained samples, nearest-rank order statistics) up
+// to kExactSampleCap samples; past the cap it folds into log-bucketed storage
+// so memory and read cost stay bounded at serving scale (open-loop arrival
+// scenarios record millions of request latencies). count/min/max/Sum/Mean are
+// exact at any volume; percentiles beyond the cap carry the LogHistogram
+// error bound (one sub-bucket, <= 1/32 ~ 3.2% of the value, never
+// over-reporting).
+//
+// LogHistogram is the fixed-memory building block: 32 sub-buckets per power
+// of two over the whole non-negative int64 range.
 #ifndef SRC_METRICS_HISTOGRAM_H_
 #define SRC_METRICS_HISTOGRAM_H_
 
@@ -10,27 +21,71 @@
 
 namespace schedbattle {
 
-class LatencyHistogram {
+// Log-bucketed latency histogram: 32 sub-buckets per power of two, giving a
+// worst-case quantile error of ~3% of the value while holding memory at a
+// fixed ~2000 buckets regardless of sample count. Percentile() returns the
+// lower bound of the selected bucket (deterministic, never over-reports).
+class LogHistogram {
  public:
   void Record(SimDuration value);
-
-  uint64_t count() const { return samples_.size(); }
-  SimDuration min() const;
-  SimDuration max() const;
+  uint64_t count() const { return count_; }
+  SimDuration min() const { return count_ > 0 ? min_ : 0; }
+  SimDuration max() const { return count_ > 0 ? max_ : 0; }
   double Mean() const;
-  SimDuration Sum() const;
-  // Exact nearest-rank order statistic: the smallest sample s such that at
-  // least p% of samples are <= s (idx = ceil(p/100 * n) - 1). p is clamped
-  // to [0, 100]; NaN behaves as 0. Empty histograms return 0 for every p.
   SimDuration Percentile(double p) const;
+  void Clear();
+  // Sub-buckets per octave; exposed for the resolution test.
+  static constexpr int kSubBuckets = 32;
+
+ private:
+  static int BucketOf(SimDuration value);
+  static SimDuration BucketLowerBound(int bucket);
+  // 64 octaves x 32 sub-buckets covers the whole non-negative int64 range.
+  static constexpr int kNumBuckets = 64 * kSubBuckets;
+
+  uint64_t count_ = 0;
+  SimDuration min_ = 0;
+  SimDuration max_ = 0;
+  double sum_ = 0;
+  std::vector<uint32_t> buckets_;  // allocated lazily on first Record
+};
+
+class LatencyHistogram {
+ public:
+  // Exact-mode capacity: up to this many samples percentiles are exact
+  // nearest-rank order statistics; recording past it spills every retained
+  // sample into log buckets and frees the sample vector.
+  static constexpr uint64_t kExactSampleCap = 8192;
+
+  void Record(SimDuration value);
+
+  uint64_t count() const { return count_; }
+  SimDuration min() const { return count_ > 0 ? min_ : 0; }
+  SimDuration max() const { return count_ > 0 ? max_ : 0; }
+  double Mean() const;
+  SimDuration Sum() const { return sum_; }
+  // Exact nearest-rank order statistic while in exact mode: the smallest
+  // sample s such that at least p% of samples are <= s
+  // (idx = ceil(p/100 * n) - 1). p is clamped to [0, 100]; NaN behaves as 0.
+  // Empty histograms return 0 for every p. Past kExactSampleCap the log
+  // buckets answer instead (bucket lower bound clamped into [min, max]).
+  SimDuration Percentile(double p) const;
+
+  // True while percentiles are still exact (count <= kExactSampleCap).
+  bool exact() const { return spill_.count() == 0; }
 
   void Clear();
 
  private:
   void SortIfNeeded() const;
 
-  mutable std::vector<SimDuration> samples_;
+  uint64_t count_ = 0;
+  SimDuration min_ = 0;
+  SimDuration max_ = 0;
+  SimDuration sum_ = 0;
+  mutable std::vector<SimDuration> samples_;  // exact mode only
   mutable bool sorted_ = true;
+  LogHistogram spill_;  // takes over once count_ exceeds kExactSampleCap
 };
 
 }  // namespace schedbattle

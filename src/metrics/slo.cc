@@ -1,6 +1,6 @@
 #include "src/metrics/slo.h"
 
-#include <bit>
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -9,101 +9,32 @@
 
 namespace schedbattle {
 
-// ---- LogHistogram ----
-
-int LogHistogram::BucketOf(SimDuration value) {
-  if (value < 0) {
-    value = 0;
-  }
-  const uint64_t v = static_cast<uint64_t>(value);
-  if (v < kSubBuckets) {
-    return static_cast<int>(v);  // exact buckets below one octave of sub-buckets
-  }
-  const int msb = 63 - std::countl_zero(v);
-  const int shift = msb - 5;  // log2(kSubBuckets)
-  const int sub = static_cast<int>((v >> shift) & (kSubBuckets - 1));
-  return (msb - 4) * kSubBuckets + sub;
-}
-
-SimDuration LogHistogram::BucketLowerBound(int bucket) {
-  if (bucket < kSubBuckets) {
-    return bucket;
-  }
-  const int msb = bucket / kSubBuckets + 4;
-  const int sub = bucket % kSubBuckets;
-  const int shift = msb - 5;
-  return ((static_cast<int64_t>(1) << 5 | sub)) << shift;
-}
-
-void LogHistogram::Record(SimDuration value) {
-  if (buckets_.empty()) {
-    buckets_.assign(kNumBuckets, 0);
-  }
-  if (count_ == 0 || value < min_) {
-    min_ = value;
-  }
-  if (count_ == 0 || value > max_) {
-    max_ = value;
-  }
-  ++count_;
-  sum_ += static_cast<double>(value);
-  ++buckets_[BucketOf(value)];
-}
-
-double LogHistogram::Mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
-
-SimDuration LogHistogram::Percentile(double p) const {
-  if (count_ == 0) {
-    return 0;
-  }
-  if (!(p > 0.0)) {
-    return min();
-  }
-  if (p >= 100.0) {
-    return max();
-  }
-  // Nearest-rank over buckets: find the bucket holding the ceil(p/100*n)-th
-  // sample, report its lower bound (clamped into [min, max]).
-  const double frank = p / 100.0 * static_cast<double>(count_);
-  uint64_t rank = static_cast<uint64_t>(frank);
-  if (static_cast<double>(rank) != frank) {
-    ++rank;
-  }
-  if (rank == 0) {
-    rank = 1;
-  }
-  uint64_t seen = 0;
-  for (int b = 0; b < kNumBuckets; ++b) {
-    seen += buckets_[b];
-    if (seen >= rank) {
-      const SimDuration lo = BucketLowerBound(b);
-      if (lo < min_) {
-        return min_;
-      }
-      return lo < max_ ? lo : max_;
-    }
-  }
-  return max_;
-}
-
-void LogHistogram::Clear() {
-  count_ = 0;
-  min_ = max_ = 0;
-  sum_ = 0;
-  buckets_.clear();
-}
-
 // ---- WindowedTailSeries ----
 
 void WindowedTailSeries::Record(SimTime t, SimDuration value) {
   const int64_t idx = t / window_;
-  // Simulated time is monotone, so the window index only grows; appending
-  // keeps indices_ sorted.
-  if (indices_.empty() || indices_.back() != idx) {
+  // Fast path: simulated time is monotone in the common case, so samples land
+  // in the newest window (or open the next one).
+  if (indices_.empty() || indices_.back() < idx) {
     indices_.push_back(idx);
     histograms_.emplace_back();
+    histograms_.back().Record(value);
+    return;
   }
-  histograms_.back().Record(value);
+  if (indices_.back() == idx) {
+    histograms_.back().Record(value);
+    return;
+  }
+  // Out-of-order sample (shard slabs folding at a window barrier can replay
+  // boundary records behind the newest window): route it into the right
+  // window, inserting one if the series skipped it, keeping indices_ sorted.
+  const auto it = std::lower_bound(indices_.begin(), indices_.end(), idx);
+  const size_t pos = static_cast<size_t>(it - indices_.begin());
+  if (it == indices_.end() || *it != idx) {
+    indices_.insert(it, idx);
+    histograms_.emplace(histograms_.begin() + static_cast<ptrdiff_t>(pos));
+  }
+  histograms_[pos].Record(value);
 }
 
 std::vector<TailWindow> WindowedTailSeries::Rows() const {
@@ -157,8 +88,31 @@ const char* SloMetricName(SloMetric metric) {
       return "fork_p99";
     case SloMetric::kForkP999:
       return "fork_p999";
+    case SloMetric::kRequestP50:
+      return "request_p50";
+    case SloMetric::kRequestP99:
+      return "request_p99";
+    case SloMetric::kRequestP999:
+      return "request_p999";
+    case SloMetric::kRequestMax:
+      return "request_max";
+    case SloMetric::kRequestMean:
+      return "request_mean";
   }
   return "unknown";
+}
+
+bool IsRequestMetric(SloMetric metric) {
+  switch (metric) {
+    case SloMetric::kRequestP50:
+    case SloMetric::kRequestP99:
+    case SloMetric::kRequestP999:
+    case SloMetric::kRequestMax:
+    case SloMetric::kRequestMean:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::string SloObjective::Describe() const {
@@ -191,6 +145,9 @@ bool ParseSloObjective(const std::string& text, SloObjective* out, std::string* 
       {"wakeup_p99", SloMetric::kWakeupP99},   {"wakeup_p999", SloMetric::kWakeupP999},
       {"wakeup_max", SloMetric::kWakeupMax},   {"wakeup_mean", SloMetric::kWakeupMean},
       {"fork_p99", SloMetric::kForkP99},       {"fork_p999", SloMetric::kForkP999},
+      {"request_p50", SloMetric::kRequestP50}, {"request_p99", SloMetric::kRequestP99},
+      {"request_p999", SloMetric::kRequestP999}, {"request_max", SloMetric::kRequestMax},
+      {"request_mean", SloMetric::kRequestMean},
   };
   bool found = false;
   for (const auto& m : kMetrics) {
@@ -236,7 +193,8 @@ bool ParseSloObjective(const std::string& text, SloObjective* out, std::string* 
 }
 
 std::vector<SloVerdict> EvaluateSlos(const std::vector<SloObjective>& objectives,
-                                     const SchedStats& stats) {
+                                     const SchedStats& stats,
+                                     const LatencyHistogram* request_latency) {
   std::vector<SloVerdict> verdicts;
   verdicts.reserve(objectives.size());
   for (const SloObjective& obj : objectives) {
@@ -247,6 +205,13 @@ std::vector<SloVerdict> EvaluateSlos(const std::vector<SloObjective>& objectives
     }
     const LatencyHistogram& wake = stats.wakeup_latency();
     const LatencyHistogram& fork = stats.fork_latency();
+    if (IsRequestMetric(obj.metric) && request_latency == nullptr) {
+      // No request histogram in this run: nothing to measure, vacuous pass.
+      v.observed = 0;
+      v.pass = true;
+      verdicts.push_back(std::move(v));
+      continue;
+    }
     switch (obj.metric) {
       case SloMetric::kWakeupP50:
         v.observed = wake.Percentile(50);
@@ -271,6 +236,21 @@ std::vector<SloVerdict> EvaluateSlos(const std::vector<SloObjective>& objectives
         break;
       case SloMetric::kForkP999:
         v.observed = fork.Percentile(99.9);
+        break;
+      case SloMetric::kRequestP50:
+        v.observed = request_latency->Percentile(50);
+        break;
+      case SloMetric::kRequestP99:
+        v.observed = request_latency->Percentile(99);
+        break;
+      case SloMetric::kRequestP999:
+        v.observed = request_latency->Percentile(99.9);
+        break;
+      case SloMetric::kRequestMax:
+        v.observed = request_latency->max();
+        break;
+      case SloMetric::kRequestMean:
+        v.observed = static_cast<SimDuration>(request_latency->Mean());
         break;
     }
     v.pass = v.observed < obj.threshold;

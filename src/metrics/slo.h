@@ -1,14 +1,21 @@
-// SLO engine: log-bucketed latency histograms, windowed tail-percentile
-// time series, and declarative latency objectives with pass/fail verdicts.
+// SLO engine: windowed tail-percentile time series and declarative latency
+// objectives with pass/fail verdicts.
 //
 // The ROADMAP's serving-fleet north star is a tail-latency story: which
-// scheduler holds p99/p999 under load. This module supplies the three
-// pieces: a LogHistogram whose memory is O(buckets) rather than O(samples)
-// (for windowed series over long runs), a WindowedTailSeries that tracks
-// how the tail evolves over simulated time, and SloObjective/SloVerdict —
-// objectives declared on an ExperimentSpec ("wakeup_p99 < 5ms"), evaluated
-// against the exact SchedStats histograms, with verdicts landing in the
-// RunResult and the schedstats JSON.
+// scheduler holds p99/p999 under load. This module supplies the pieces: a
+// WindowedTailSeries that tracks how the tail evolves over simulated time
+// (built on the fixed-memory LogHistogram from src/metrics/histogram.h), and
+// SloObjective/SloVerdict — objectives declared on an ExperimentSpec
+// ("wakeup_p99 < 5ms", "request_p999 < 100ms"), evaluated against the run's
+// latency histograms, with verdicts landing in the RunResult and the
+// schedstats JSON.
+//
+// Two metric families:
+//   wakeup_* / fork_*  — scheduler-pipeline latencies from SchedStats.
+//   request_*          — end-to-end per-operation latency (arrival/submit to
+//                        completion) of the spec's primary application, the
+//                        serving-scenario objective. Evaluated against the
+//                        first app's AppStats latency histogram.
 #ifndef SRC_METRICS_SLO_H_
 #define SRC_METRICS_SLO_H_
 
@@ -16,40 +23,12 @@
 #include <string>
 #include <vector>
 
+#include "src/metrics/histogram.h"
 #include "src/sim/time.h"
 
 namespace schedbattle {
 
 class SchedStats;
-
-// Log-bucketed latency histogram: 32 sub-buckets per power of two, giving a
-// worst-case quantile error of ~3% of the value while holding memory at a
-// fixed ~2000 buckets regardless of sample count. Percentile() returns the
-// lower bound of the selected bucket (deterministic, never over-reports).
-class LogHistogram {
- public:
-  void Record(SimDuration value);
-  uint64_t count() const { return count_; }
-  SimDuration min() const { return count_ > 0 ? min_ : 0; }
-  SimDuration max() const { return count_ > 0 ? max_ : 0; }
-  double Mean() const;
-  SimDuration Percentile(double p) const;
-  void Clear();
-  // Sub-buckets per octave; exposed for the resolution test.
-  static constexpr int kSubBuckets = 32;
-
- private:
-  static int BucketOf(SimDuration value);
-  static SimDuration BucketLowerBound(int bucket);
-  // 64 octaves x 32 sub-buckets covers the whole non-negative int64 range.
-  static constexpr int kNumBuckets = 64 * kSubBuckets;
-
-  uint64_t count_ = 0;
-  SimDuration min_ = 0;
-  SimDuration max_ = 0;
-  double sum_ = 0;
-  std::vector<uint32_t> buckets_;  // allocated lazily on first Record
-};
 
 // Tail percentiles of one fixed window of simulated time.
 struct TailWindow {
@@ -63,6 +42,10 @@ struct TailWindow {
 // Windowed time series of tail percentiles: samples are routed into fixed
 // simulated-time windows (LogHistogram per window); Rows() reports how the
 // tail evolved over the run. Empty windows are skipped (not zero-filled).
+// Records need not arrive in time order: when per-shard slabs fold at window
+// barriers, boundary samples can land behind the newest window — Record
+// routes them into the right (possibly interior) window and keeps the series
+// sorted by window index.
 class WindowedTailSeries {
  public:
   explicit WindowedTailSeries(SimDuration window = Milliseconds(100)) : window_(window) {}
@@ -90,8 +73,16 @@ enum class SloMetric : uint8_t {
   kWakeupMean,
   kForkP99,
   kForkP999,
+  kRequestP50,
+  kRequestP99,
+  kRequestP999,
+  kRequestMax,
+  kRequestMean,
 };
 const char* SloMetricName(SloMetric metric);
+// True for the request_* family (evaluated against app latency, not
+// SchedStats).
+bool IsRequestMetric(SloMetric metric);
 
 // One declarative objective: metric < threshold.
 struct SloObjective {
@@ -102,7 +93,7 @@ struct SloObjective {
   std::string Describe() const;  // "wakeup_p99 < 5ms"
 };
 
-// Parses "wakeup_p99<5ms" / "fork_p999<1.5s" / "wakeup_max<800us" (also
+// Parses "wakeup_p99<5ms" / "fork_p999<1.5s" / "request_p99<100ms" (also
 // accepts a bare nanosecond count). Returns false with *error set on
 // malformed input.
 bool ParseSloObjective(const std::string& text, SloObjective* out, std::string* error);
@@ -113,9 +104,13 @@ struct SloVerdict {
   bool pass = false;
 };
 
-// Evaluates objectives against the run's exact latency histograms.
+// Evaluates objectives against the run's latency histograms. wakeup_*/fork_*
+// metrics read the exact SchedStats histograms; request_* metrics read
+// `request_latency` (the primary app's per-operation histogram). A request_*
+// objective with no histogram supplied observes 0 and passes vacuously.
 std::vector<SloVerdict> EvaluateSlos(const std::vector<SloObjective>& objectives,
-                                     const SchedStats& stats);
+                                     const SchedStats& stats,
+                                     const LatencyHistogram* request_latency = nullptr);
 // True iff every verdict passed (vacuously true when empty).
 bool AllSlosPass(const std::vector<SloVerdict>& verdicts);
 

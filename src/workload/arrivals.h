@@ -1,0 +1,82 @@
+// Deterministic open-loop arrival processes.
+//
+// Closed-loop app models (everything in src/apps before the serving fleet)
+// tie offered load to completion: a worker only issues its next operation
+// after the previous one finished, so an overloaded scheduler silently sheds
+// load. Serving a fleet of users is the opposite regime — requests arrive on
+// their own clock whether or not the machine keeps up, and the interesting
+// question is how far the tail stretches when it doesn't.
+//
+// ArrivalProcess generates one seeded, reproducible arrival sequence:
+//   kPoisson  - constant-rate Poisson (exponential inter-arrivals).
+//   kDiurnal  - Poisson with a raised-cosine rate curve between
+//               trough_fraction*rate and rate (a compressed day/night cycle).
+//   kSpike    - baseline Poisson with the rate multiplied by
+//               spike_multiplier inside [spike_start, spike_start+duration)
+//               — the "load spike lands on a saturated box" trace.
+//
+// Time-varying rates are sampled by thinning against the peak rate, so the
+// RNG consumption depends only on the seed and the spec — the sequence is
+// identical across shard counts, tick modes and host machines. Arrival
+// events themselves are injected into the engine's global lane
+// (SimEngine::PostAt), which both shard regimes order identically.
+#ifndef SRC_WORKLOAD_ARRIVALS_H_
+#define SRC_WORKLOAD_ARRIVALS_H_
+
+#include <cstdint>
+
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+enum class ArrivalKind : uint8_t {
+  kPoisson,
+  kDiurnal,
+  kSpike,
+};
+const char* ArrivalKindName(ArrivalKind kind);
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate_per_sec = 1000.0;  // baseline (= peak) arrival rate
+
+  // kDiurnal: raised cosine with this period; the instantaneous rate swings
+  // between trough_fraction * rate_per_sec (at t = period/2) and
+  // rate_per_sec (at t = 0 mod period).
+  SimDuration diurnal_period = Seconds(10);
+  double trough_fraction = 0.25;
+
+  // kSpike: rate_per_sec * spike_multiplier inside the spike window.
+  SimTime spike_start = Seconds(1);
+  SimDuration spike_duration = Milliseconds(500);
+  double spike_multiplier = 4.0;
+
+  uint64_t seed = 1;
+
+  // Instantaneous rate at simulated time t (requests/sec).
+  double RateAt(SimTime t) const;
+  // Maximum of RateAt over all t — the thinning envelope.
+  double PeakRate() const;
+};
+
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(ArrivalSpec spec);
+
+  // The next arrival strictly after `now`. Strictly increasing when called
+  // with its own return values; the full sequence is a pure function of the
+  // spec (thinning consumes RNG draws deterministically).
+  SimTime Next(SimTime now);
+
+  const ArrivalSpec& spec() const { return spec_; }
+
+ private:
+  ArrivalSpec spec_;
+  Rng rng_;
+  double peak_;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_WORKLOAD_ARRIVALS_H_

@@ -1,0 +1,145 @@
+// Arrival-process unit tests: determinism, strict monotonicity, rate
+// accuracy of the thinning sampler, and the diurnal/spike modulation shapes.
+#include "src/workload/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace schedbattle {
+namespace {
+
+std::vector<SimTime> Draw(const ArrivalSpec& spec, SimTime until) {
+  ArrivalProcess proc(spec);
+  std::vector<SimTime> out;
+  SimTime t = 0;
+  for (;;) {
+    t = proc.Next(t);
+    if (t > until) {
+      break;
+    }
+    out.push_back(t);
+  }
+  return out;
+}
+
+TEST(ArrivalsTest, KindNamesRoundTrip) {
+  EXPECT_STREQ(ArrivalKindName(ArrivalKind::kPoisson), "poisson");
+  EXPECT_STREQ(ArrivalKindName(ArrivalKind::kDiurnal), "diurnal");
+  EXPECT_STREQ(ArrivalKindName(ArrivalKind::kSpike), "spike");
+}
+
+TEST(ArrivalsTest, SameSpecSameTrace) {
+  ArrivalSpec spec;
+  spec.rate_per_sec = 5000;
+  spec.seed = 7;
+  const std::vector<SimTime> a = Draw(spec, Seconds(1));
+  const std::vector<SimTime> b = Draw(spec, Seconds(1));
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ArrivalsTest, DifferentSeedsDifferentTraces) {
+  ArrivalSpec a;
+  a.rate_per_sec = 5000;
+  a.seed = 1;
+  ArrivalSpec b = a;
+  b.seed = 2;
+  EXPECT_NE(Draw(a, Seconds(1)), Draw(b, Seconds(1)));
+}
+
+TEST(ArrivalsTest, ArrivalsAreStrictlyIncreasing) {
+  ArrivalSpec spec;
+  spec.rate_per_sec = 2e6;  // mean gap 500ns: exercises the 1ns floor
+  const std::vector<SimTime> trace = Draw(spec, Milliseconds(10));
+  ASSERT_GT(trace.size(), 1000u);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    ASSERT_LT(trace[i - 1], trace[i]);
+  }
+}
+
+TEST(ArrivalsTest, PoissonRateIsAccurate) {
+  ArrivalSpec spec;
+  spec.rate_per_sec = 10000;
+  spec.seed = 3;
+  const std::vector<SimTime> trace = Draw(spec, Seconds(2));
+  // 20000 expected arrivals; +-5% is ~7 standard deviations.
+  EXPECT_NEAR(static_cast<double>(trace.size()), 20000.0, 1000.0);
+}
+
+TEST(ArrivalsTest, ZeroRateNeverFires) {
+  ArrivalSpec spec;
+  spec.rate_per_sec = 0;
+  ArrivalProcess proc(spec);
+  EXPECT_GT(proc.Next(0), Seconds(1000000));
+}
+
+TEST(ArrivalsTest, SpikeWindowMultipliesRate) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kSpike;
+  spec.rate_per_sec = 10000;
+  spec.spike_start = Seconds(1);
+  spec.spike_duration = Seconds(1);
+  spec.spike_multiplier = 3.0;
+  EXPECT_DOUBLE_EQ(spec.RateAt(Milliseconds(500)), 10000.0);
+  EXPECT_DOUBLE_EQ(spec.RateAt(Milliseconds(1500)), 30000.0);
+  EXPECT_DOUBLE_EQ(spec.RateAt(Milliseconds(2500)), 10000.0);
+  EXPECT_DOUBLE_EQ(spec.PeakRate(), 30000.0);
+
+  const std::vector<SimTime> trace = Draw(spec, Seconds(3));
+  int before = 0, during = 0, after = 0;
+  for (SimTime t : trace) {
+    if (t < spec.spike_start) {
+      ++before;
+    } else if (t < spec.spike_start + spec.spike_duration) {
+      ++during;
+    } else {
+      ++after;
+    }
+  }
+  // The spike second should hold ~3x the arrivals of the flanking seconds.
+  EXPECT_GT(during, 2 * before);
+  EXPECT_GT(during, 2 * after);
+  EXPECT_NEAR(static_cast<double>(during), 30000.0, 1500.0);
+}
+
+TEST(ArrivalsTest, DiurnalTroughAndPeak) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kDiurnal;
+  spec.rate_per_sec = 8000;
+  spec.diurnal_period = Seconds(10);
+  spec.trough_fraction = 0.25;
+  // Phase 0 is the peak, phase pi (half a period) the trough.
+  EXPECT_DOUBLE_EQ(spec.RateAt(0), 8000.0);
+  EXPECT_NEAR(spec.RateAt(Seconds(5)), 2000.0, 1.0);
+  EXPECT_DOUBLE_EQ(spec.PeakRate(), 8000.0);
+
+  const std::vector<SimTime> trace = Draw(spec, Seconds(10));
+  int near_peak = 0, near_trough = 0;
+  for (SimTime t : trace) {
+    if (t < Seconds(1)) {
+      ++near_peak;
+    } else if (t >= Seconds(4) && t < Seconds(5)) {
+      ++near_trough;
+    }
+  }
+  EXPECT_GT(near_peak, 2 * near_trough);
+}
+
+TEST(ArrivalsTest, NextAlwaysAdvancesPastAnyAnchor) {
+  // Even from an arbitrary anchor (a restart, a clock far past the last
+  // arrival) the next arrival is strictly in the future.
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kSpike;
+  spec.rate_per_sec = 1000;
+  spec.spike_start = Milliseconds(100);
+  spec.spike_duration = Milliseconds(100);
+  spec.seed = 11;
+  ArrivalProcess proc(spec);
+  for (SimTime anchor : {SimTime{0}, Milliseconds(150), Seconds(3), Seconds(60)}) {
+    EXPECT_GT(proc.Next(anchor), anchor);
+  }
+}
+
+}  // namespace
+}  // namespace schedbattle

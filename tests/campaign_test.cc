@@ -83,10 +83,28 @@ TEST(AggregateTest, HandComputedMeanAndSampleStddev) {
 }
 
 TEST(AggregateTest, SingleValueHasZeroStddev) {
+  // Regression guard for the n==1 case: the sample-stddev denominator is
+  // n-1, so a lone value must short-circuit to 0, never divide to NaN.
   const AggregateStat s = AggregateStat::Of({7.5});
   EXPECT_EQ(s.n, 1);
   EXPECT_DOUBLE_EQ(s.mean, 7.5);
   EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_FALSE(std::isnan(s.stddev));
+  // Format must render a clean number, no "nan" leaking into tables/JSON.
+  const std::string f = s.Format(1);
+  EXPECT_EQ(f.find("nan"), std::string::npos) << f;
+  EXPECT_NE(f.find("7.5"), std::string::npos) << f;
+}
+
+TEST(CombinatorDeathTest, SeedSweepRejectsNonPositiveRuns) {
+  // Flag-validation contract: a non-positive sweep width is a usage error
+  // and exits 2 (the CLI's flag-error code), never a silent empty campaign.
+  EXPECT_EXIT(SeedSweep(QuickSpec(), 0), ::testing::ExitedWithCode(2),
+              "runs must be >= 1");
+  EXPECT_EXIT(SeedSweep(QuickSpec(), -3), ::testing::ExitedWithCode(2),
+              "runs must be >= 1");
+  EXPECT_EXIT(SeedSweep(BothSchedulers(QuickSpec()), 0), ::testing::ExitedWithCode(2),
+              "runs must be >= 1");
 }
 
 TEST(CampaignRunnerTest, ResultsInSpecOrder) {

@@ -1,9 +1,11 @@
 // Metrics tests: histogram percentiles, time series, heatmap balance
 // detection, CSV output, counter formatting.
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <gtest/gtest.h>
 #include <limits>
+#include <vector>
 
 #include "src/cfs/cfs_sched.h"
 #include "src/metrics/counters.h"
@@ -96,6 +98,79 @@ TEST(HistogramTest, InterleavedRecordAndQuery) {
   EXPECT_EQ(h.Percentile(50), 20);
   h.Clear();
   EXPECT_EQ(h.count(), 0u);
+}
+
+// ---- bounded storage: log-bucketed spill past the exact-mode cap ----
+
+TEST(HistogramTest, StaysExactUpToTheSampleCap) {
+  LatencyHistogram h;
+  for (uint64_t i = 0; i < LatencyHistogram::kExactSampleCap; ++i) {
+    h.Record(static_cast<SimDuration>(i + 1));
+  }
+  EXPECT_TRUE(h.exact());
+  // Nearest-rank on 1..cap is exact to the sample.
+  EXPECT_EQ(h.Percentile(50), static_cast<SimDuration>(LatencyHistogram::kExactSampleCap / 2));
+}
+
+TEST(HistogramTest, SpillKeepsScalarStatisticsExact) {
+  LatencyHistogram h;
+  const uint64_t n = 4 * LatencyHistogram::kExactSampleCap;
+  SimDuration sum = 0;
+  // Deterministic spread over ~4 decades (splitmix-style mixer).
+  uint64_t x = 12345;
+  for (uint64_t i = 0; i < n; ++i) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    const SimDuration v = static_cast<SimDuration>(1000 + z % 10000000);
+    h.Record(v);
+    sum += v;
+  }
+  EXPECT_FALSE(h.exact());
+  EXPECT_EQ(h.count(), n);
+  EXPECT_EQ(h.Sum(), sum);
+  EXPECT_DOUBLE_EQ(h.Mean(), static_cast<double>(sum) / static_cast<double>(n));
+  EXPECT_GE(h.min(), 1000);
+  EXPECT_LT(h.max(), 10001000);
+}
+
+TEST(HistogramTest, SpilledPercentilesStayWithinTheDocumentedBound) {
+  LatencyHistogram bounded;
+  std::vector<SimDuration> all;
+  uint64_t x = 777;
+  const uint64_t n = 3 * LatencyHistogram::kExactSampleCap;
+  for (uint64_t i = 0; i < n; ++i) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    const SimDuration v = static_cast<SimDuration>(1 + z % 50000000);
+    bounded.Record(v);
+    all.push_back(v);
+  }
+  ASSERT_FALSE(bounded.exact());
+  std::sort(all.begin(), all.end());
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    const size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(all.size())));
+    const double ref = static_cast<double>(all[rank == 0 ? 0 : rank - 1]);
+    const double got = static_cast<double>(bounded.Percentile(p));
+    // 32 sub-buckets per octave: <= ~3.2% relative error (1/32 of a octave
+    // width plus rank quantization) — the bound documented in histogram.h.
+    EXPECT_NEAR(got, ref, 0.04 * ref) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, ClearResetsSpillMode) {
+  LatencyHistogram h;
+  for (uint64_t i = 0; i < 2 * LatencyHistogram::kExactSampleCap; ++i) {
+    h.Record(static_cast<SimDuration>(i + 1));
+  }
+  ASSERT_FALSE(h.exact());
+  h.Clear();
+  EXPECT_TRUE(h.exact());
+  EXPECT_EQ(h.count(), 0u);
+  h.Record(42);
+  EXPECT_EQ(h.Percentile(99), 42);
 }
 
 TEST(TimeSeriesTest, ValueAtStepHold) {

@@ -1,0 +1,117 @@
+// Serving conformance suite: every registered scheduler class must run the
+// open-loop serving scenario monitor-clean, fill the request_* SLO verdicts,
+// and keep the engine optimizations byte-invisible (shard counts {1, 2, 4}
+// and tick elision on/off). Iterates the registry, so new classes are
+// covered without touching this file.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/scenarios.h"
+#include "src/core/spec.h"
+#include "src/sched/registry.h"
+
+namespace schedbattle {
+namespace {
+
+std::vector<SchedKind> AllKinds() { return SchedulerRegistry::Instance().AllKinds(); }
+
+// Drops the "tick_elision" counter line from a schedstats JSON document (the
+// one line that legitimately differs between elision on and off).
+std::string StripTickElision(const std::string& json) {
+  const size_t pos = json.find("\"tick_elision\"");
+  if (pos == std::string::npos) {
+    return json;
+  }
+  const size_t line_start = json.rfind('\n', pos) + 1;  // npos+1 == 0
+  size_t line_end = json.find('\n', pos);
+  line_end = line_end == std::string::npos ? json.size() : line_end + 1;
+  return json.substr(0, line_start) + json.substr(line_end);
+}
+
+// The smoke preset at a CI-friendly scale (~20ms arrival window).
+ExperimentSpec SmokeSpec(SchedKind kind, std::shared_ptr<ServeResult> out = nullptr) {
+  return ServeSpec("serve-smoke", kind, 42, /*scale=*/0.04, std::move(out));
+}
+
+TEST(ServingConformanceTest, ServeSmokeIsMonitorClean) {
+  for (SchedKind kind : AllKinds()) {
+    SCOPED_TRACE(SchedId(kind));
+    auto out = std::make_shared<ServeResult>();
+    ExperimentSpec spec = SmokeSpec(kind, out);
+    spec.check_invariants = true;
+    const RunResult r = ExecuteSpec(spec);
+    EXPECT_EQ(r.violations, 0u) << r.violation_report;
+    EXPECT_GT(out->admitted, 0);
+    EXPECT_EQ(out->completed, out->admitted) << "request left unserved in the drain window";
+  }
+}
+
+TEST(ServingConformanceTest, RequestSloVerdictsArePopulated) {
+  for (SchedKind kind : AllKinds()) {
+    SCOPED_TRACE(SchedId(kind));
+    auto out = std::make_shared<ServeResult>();
+    ExperimentSpec spec = SmokeSpec(kind, out);
+    const RunResult r = ExecuteSpec(spec);
+    ASSERT_EQ(r.slo_verdicts.size(), spec.slo.size());
+    for (const SloVerdict& v : r.slo_verdicts) {
+      SCOPED_TRACE(v.objective.Describe());
+      EXPECT_TRUE(IsRequestMetric(v.objective.metric));
+      EXPECT_GT(v.observed, 0) << "request percentile missing from the verdict";
+    }
+    EXPECT_GT(out->request_p99, out->request_p50 / 2) << "percentiles inconsistent";
+  }
+}
+
+TEST(ServingConformanceTest, ShardCountIsByteInvisible) {
+  for (SchedKind kind : AllKinds()) {
+    SCOPED_TRACE(SchedId(kind));
+    RunResult serial;
+    ServeResult serial_out;
+    for (int shards : {1, 2, 4}) {
+      auto out = std::make_shared<ServeResult>();
+      ExperimentSpec spec = SmokeSpec(kind, out);
+      spec.collect_schedstats = true;
+      spec.cfs.group_scheduling = false;  // keep runs parallel-window eligible
+      spec.shards = shards;
+      const RunResult r = ExecuteSpec(spec);
+      ASSERT_FALSE(r.schedstats_json.empty());
+      if (shards == 1) {
+        serial = r;
+        serial_out = *out;
+        continue;
+      }
+      EXPECT_EQ(r.schedstats_json, serial.schedstats_json)
+          << shards << "-shard serving run diverged from the single-queue engine";
+      EXPECT_EQ(r.finish_time, serial.finish_time);
+      EXPECT_EQ(out->admitted, serial_out.admitted);
+      EXPECT_EQ(out->request_p999, serial_out.request_p999);
+      EXPECT_EQ(out->tail_series_json, serial_out.tail_series_json);
+    }
+  }
+}
+
+TEST(ServingConformanceTest, TicklessElisionIsByteIdentical) {
+  for (SchedKind kind : AllKinds()) {
+    SCOPED_TRACE(SchedId(kind));
+    auto out_on = std::make_shared<ServeResult>();
+    ExperimentSpec spec = SmokeSpec(kind, out_on);
+    spec.collect_schedstats = true;
+    auto out_off = std::make_shared<ServeResult>();
+    ExperimentSpec off = ServeSpec("serve-smoke", kind, 42, 0.04, out_off);
+    off.collect_schedstats = true;
+    off.machine.tickless = false;
+    const RunResult on = ExecuteSpec(spec);
+    const RunResult eager = ExecuteSpec(off);
+    ASSERT_FALSE(on.schedstats_json.empty());
+    EXPECT_EQ(StripTickElision(on.schedstats_json), StripTickElision(eager.schedstats_json));
+    EXPECT_EQ(on.finish_time, eager.finish_time);
+    EXPECT_EQ(out_on->request_p999, out_off->request_p999);
+    EXPECT_EQ(out_on->good, out_off->good);
+  }
+}
+
+}  // namespace
+}  // namespace schedbattle

@@ -1,0 +1,195 @@
+// ServingApp unit tests: open-loop bookkeeping (admitted/completed/goodput),
+// deadline accounting, max_requests bounding, determinism, and the serve
+// scenario presets' result plumbing.
+#include "src/apps/serving.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "src/core/scenarios.h"
+#include "src/core/spec.h"
+
+namespace schedbattle {
+namespace {
+
+// A small, fast configuration: 4 cores, 8 workers, ~60% utilization.
+ServingParams SmallParams() {
+  ServingParams p = ApacheServeDefaults();
+  p.workers = 8;
+  p.service_compute = Milliseconds(2);
+  p.arrivals.rate_per_sec = 1200;
+  p.arrivals_until = Milliseconds(200);
+  p.deadline = Milliseconds(50);
+  return p;
+}
+
+ExperimentSpec SmallSpec(SchedKind kind, ServingParams params, uint64_t seed = 42) {
+  ExperimentSpec spec;
+  spec.sched = kind;
+  spec.topology = CpuTopology::Flat(4).config();
+  spec.machine.seed = seed;
+  spec.horizon = params.arrivals_until + Milliseconds(500);
+  spec.Named("serving-test");
+  AppSpec app;
+  app.name = params.name;
+  app.has_metric = true;
+  app.metric = MetricKind::kOpsPerSec;
+  app.make = [params](int, uint64_t s, double) {
+    ServingParams p = params;
+    p.seed = s;
+    p.arrivals.seed = s * 31 + 7;
+    return MakeServing(p);
+  };
+  spec.Add(app);
+  return spec;
+}
+
+const ServingApp* AppOf(const SpecRunContext& ctx) {
+  return dynamic_cast<const ServingApp*>(ctx.apps[0]);
+}
+
+TEST(ServingTest, ModelDefaultsFillZeroFields) {
+  ServingParams p;
+  p.model = ServiceModel::kRocksdb;
+  p.service_compute = Milliseconds(1);  // explicit override survives
+  auto app = MakeServing(p);
+  const auto* serving = dynamic_cast<const ServingApp*>(app.get());
+  ASSERT_NE(serving, nullptr);
+  EXPECT_EQ(serving->params().service_compute, Milliseconds(1));
+  EXPECT_DOUBLE_EQ(serving->params().write_fraction, 0.25);
+  EXPECT_EQ(serving->params().write_stall, Microseconds(2500));
+}
+
+TEST(ServingTest, ServesEveryAdmittedRequest) {
+  ExperimentSpec spec = SmallSpec(SchedKind::kCfs, SmallParams());
+  int64_t admitted = 0, completed = 0, good = 0;
+  bool finished = false;
+  spec.hooks.on_finish = [&](SpecRunContext& ctx, RunResult&) {
+    const ServingApp* app = AppOf(ctx);
+    ASSERT_NE(app, nullptr);
+    admitted = app->admitted();
+    completed = app->completed();
+    good = app->good();
+    finished = app->finished();
+  };
+  const RunResult r = ExecuteSpec(spec);
+  // ~240 expected arrivals in the 200ms window; the drain window is ample.
+  EXPECT_GT(admitted, 150);
+  EXPECT_EQ(completed, admitted);
+  EXPECT_TRUE(finished);
+  EXPECT_GT(good, 0);
+  EXPECT_LE(good, completed);
+  EXPECT_EQ(r.apps[0].ops, static_cast<uint64_t>(completed));
+}
+
+TEST(ServingTest, MaxRequestsBoundsAdmission) {
+  ServingParams p = SmallParams();
+  p.max_requests = 25;
+  ExperimentSpec spec = SmallSpec(SchedKind::kUle, p);
+  int64_t admitted = 0, completed = 0;
+  spec.hooks.on_finish = [&](SpecRunContext& ctx, RunResult&) {
+    admitted = AppOf(ctx)->admitted();
+    completed = AppOf(ctx)->completed();
+  };
+  ExecuteSpec(spec);
+  EXPECT_EQ(admitted, 25);
+  EXPECT_EQ(completed, 25);
+}
+
+TEST(ServingTest, TightDeadlineShrinksGoodput) {
+  ServingParams p = SmallParams();
+  p.deadline = Microseconds(100);  // under the 2ms mean service time
+  ExperimentSpec spec = SmallSpec(SchedKind::kCfs, p);
+  int64_t admitted = 0, good = 0;
+  double fraction = 1.0;
+  spec.hooks.on_finish = [&](SpecRunContext& ctx, RunResult&) {
+    admitted = AppOf(ctx)->admitted();
+    good = AppOf(ctx)->good();
+    fraction = AppOf(ctx)->GoodputFraction();
+  };
+  ExecuteSpec(spec);
+  EXPECT_GT(admitted, 0);
+  EXPECT_LT(good, admitted);
+  EXPECT_LT(fraction, 1.0);
+}
+
+TEST(ServingTest, IdenticalSpecsProduceIdenticalResults) {
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE(round);
+    auto run = [] {
+      ExperimentSpec spec = SmallSpec(SchedKind::kUle, SmallParams());
+      struct Out {
+        int64_t admitted = 0;
+        int64_t good = 0;
+        SimDuration p99 = 0;
+      } out;
+      spec.hooks.on_finish = [&out](SpecRunContext& ctx, RunResult&) {
+        out.admitted = AppOf(ctx)->admitted();
+        out.good = AppOf(ctx)->good();
+        out.p99 = AppOf(ctx)->stats().latency.Percentile(99);
+      };
+      const RunResult r = ExecuteSpec(spec);
+      return std::make_tuple(out.admitted, out.good, out.p99, r.finish_time);
+    };
+    EXPECT_EQ(run(), run());
+  }
+}
+
+TEST(ServingTest, TailSeriesCoversTheRun) {
+  ExperimentSpec spec = SmallSpec(SchedKind::kCfs, SmallParams());
+  std::string tail_json;
+  spec.hooks.on_finish = [&](SpecRunContext& ctx, RunResult&) {
+    tail_json = AppOf(ctx)->tail().ToJson();
+  };
+  ExecuteSpec(spec);
+  EXPECT_NE(tail_json.find("\"p99_ns\""), std::string::npos);
+  EXPECT_NE(tail_json.find("\"start_ns\""), std::string::npos);
+}
+
+// ---- scenario presets ----
+
+TEST(ServingScenarioTest, PresetListIsConsistent) {
+  EXPECT_EQ(ServePresets().size(), 6u);
+  for (const std::string& p : ServePresets()) {
+    SCOPED_TRACE(p);
+    EXPECT_TRUE(IsServePreset(p));
+    EXPECT_GT(ServePresetCores(p), 0);
+  }
+  EXPECT_FALSE(IsServePreset("fig1"));
+  EXPECT_FALSE(IsServePreset("serve-nope"));
+  EXPECT_EQ(ServePresetCores("serve-nope"), 0);
+  EXPECT_EQ(ServePresetCores("serve1024"), 1024);
+  EXPECT_EQ(ServePresetCores("serve-smoke"), 16);
+}
+
+TEST(ServingScenarioTest, SmokePresetFillsResult) {
+  const ServeResult r = RunServe("serve-smoke", SchedKind::kCfs, 42, /*scale=*/0.1);
+  EXPECT_EQ(r.sched, SchedKind::kCfs);
+  EXPECT_GT(r.admitted, 0);
+  EXPECT_EQ(r.completed, r.admitted);
+  EXPECT_GT(r.goodput_fraction, 0.9);
+  EXPECT_GT(r.request_p50, 0);
+  EXPECT_LE(r.request_p50, r.request_p99);
+  EXPECT_LE(r.request_p99, r.request_p999);
+  EXPECT_LE(r.request_p999, r.request_max);
+  EXPECT_FALSE(r.tail_series_json.empty());
+}
+
+TEST(ServingScenarioTest, SpecCarriesRequestSlos) {
+  const ExperimentSpec spec = ServeSpec("serve-smoke", SchedKind::kUle, 42, 0.1);
+  ASSERT_FALSE(spec.slo.empty());
+  for (const SloObjective& o : spec.slo) {
+    EXPECT_TRUE(IsRequestMetric(o.metric));
+  }
+  const RunResult r = ExecuteSpec(spec);
+  ASSERT_EQ(r.slo_verdicts.size(), spec.slo.size());
+  for (const SloVerdict& v : r.slo_verdicts) {
+    EXPECT_GT(v.observed, 0);
+  }
+}
+
+}  // namespace
+}  // namespace schedbattle

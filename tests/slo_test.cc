@@ -86,6 +86,45 @@ TEST(WindowedTailSeriesTest, RoutesSamplesIntoWindowsAndSkipsEmptyOnes) {
   EXPECT_NE(json.find("\"start_ns\""), std::string::npos);
 }
 
+TEST(WindowedTailSeriesTest, OutOfOrderAndBoundaryRecordsLandInTheirWindows) {
+  // Regression: Record() used to assume monotone time and only append, so a
+  // sample for an earlier window (per-shard slabs folding at a window
+  // barrier, app callbacks observing different clocks) silently polluted the
+  // latest window. Out-of-order records must land in the window their
+  // timestamp names, including exact-boundary timestamps.
+  WindowedTailSeries series(Milliseconds(100));
+  series.Record(Milliseconds(250), Microseconds(100));  // window 2 first
+  series.Record(Milliseconds(50), Microseconds(200));   // then window 0
+  series.Record(Milliseconds(150), Microseconds(300));  // then window 1
+  series.Record(Milliseconds(100), Microseconds(400));  // boundary: window 1
+  series.Record(Milliseconds(199), Microseconds(500));  // window 1 again
+  series.Record(Milliseconds(250), Microseconds(600));  // back to window 2
+
+  const std::vector<TailWindow> rows = series.Rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].start, 0);
+  EXPECT_EQ(rows[0].count, 1u);
+  EXPECT_EQ(rows[1].start, Milliseconds(100));
+  EXPECT_EQ(rows[1].count, 3u);
+  EXPECT_EQ(rows[2].start, Milliseconds(200));
+  EXPECT_EQ(rows[2].count, 2u);
+}
+
+TEST(WindowedTailSeriesTest, InOrderFastPathMatchesShuffledInsertion) {
+  WindowedTailSeries ordered(Milliseconds(10));
+  WindowedTailSeries shuffled(Milliseconds(10));
+  const SimTime times[] = {Milliseconds(5),  Milliseconds(12), Milliseconds(25),
+                           Milliseconds(38), Milliseconds(47), Milliseconds(55)};
+  for (SimTime t : times) {
+    ordered.Record(t, t);
+  }
+  const int order[] = {3, 0, 5, 2, 4, 1};
+  for (int i : order) {
+    shuffled.Record(times[i], times[i]);
+  }
+  EXPECT_EQ(ordered.ToJson(), shuffled.ToJson());
+}
+
 TEST(SloObjectiveTest, ParsesMetricsAndUnits) {
   const struct {
     const char* text;
@@ -100,6 +139,11 @@ TEST(SloObjectiveTest, ParsesMetricsAndUnits) {
       {"wakeup_mean<250us", SloMetric::kWakeupMean, Microseconds(250)},
       {"fork_p99<1s", SloMetric::kForkP99, Seconds(1)},
       {"fork_p999<42", SloMetric::kForkP999, 42},  // bare count = nanoseconds
+      {"request_p50<20ms", SloMetric::kRequestP50, Milliseconds(20)},
+      {"request_p99<100ms", SloMetric::kRequestP99, Milliseconds(100)},
+      {"request_p999<1s", SloMetric::kRequestP999, Seconds(1)},
+      {"request_max<5s", SloMetric::kRequestMax, Seconds(5)},
+      {"request_mean<10ms", SloMetric::kRequestMean, Milliseconds(10)},
   };
   for (const auto& c : kCases) {
     SloObjective obj;
@@ -110,6 +154,16 @@ TEST(SloObjectiveTest, ParsesMetricsAndUnits) {
     // Describe() must round-trip the metric name it was parsed from.
     EXPECT_NE(obj.Describe().find(SloMetricName(c.metric)), std::string::npos) << c.text;
   }
+}
+
+TEST(SloObjectiveTest, RequestMetricsAreClassified) {
+  EXPECT_TRUE(IsRequestMetric(SloMetric::kRequestP50));
+  EXPECT_TRUE(IsRequestMetric(SloMetric::kRequestP99));
+  EXPECT_TRUE(IsRequestMetric(SloMetric::kRequestP999));
+  EXPECT_TRUE(IsRequestMetric(SloMetric::kRequestMax));
+  EXPECT_TRUE(IsRequestMetric(SloMetric::kRequestMean));
+  EXPECT_FALSE(IsRequestMetric(SloMetric::kWakeupP99));
+  EXPECT_FALSE(IsRequestMetric(SloMetric::kForkP999));
 }
 
 TEST(SloObjectiveTest, RejectsMalformedInput) {

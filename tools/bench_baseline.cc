@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "src/core/flags.h"
+#include "src/core/scenarios.h"
 #include "src/core/spec.h"
 #include "src/metrics/decision_log.h"
 #include "src/sched/machine.h"
@@ -373,6 +374,32 @@ ThroughputResult MeasureShardedServing(const std::string& sched, double scale, i
   return r;
 }
 
+// The open-loop serving suite: the serve-smoke preset (16 cores, apache
+// model at ~80% utilization, Poisson arrivals) executed end to end through
+// ExecuteSpec — arrival events, pipe wakes through the full scheduler wake
+// path, request-latency histograms and SLO evaluation included. This is the
+// serving-fleet hot path the closed-loop probes above never touch; the rate
+// is served requests per wall-second.
+ThroughputResult MeasureOpenLoopServing(const std::string& sched, double scale) {
+  SchedKind kind = SchedKind::kCfs;
+  if (!ParseSchedKind(sched, &kind)) {
+    std::exit(2);
+  }
+  // Fixed size, independent of --scale: the rate divides by wall time that
+  // includes per-run setup (boot, 64 worker spawns), so committed and CI
+  // measurements must run the same request volume to be comparable. 8x the
+  // preset window = 4s of arrivals, ~12.8k requests, tens of ms of wall.
+  (void)scale;
+  const ExperimentSpec spec = ServeSpec("serve-smoke", kind, 42, 8.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunResult result = ExecuteSpec(spec);
+  const auto t1 = std::chrono::steady_clock::now();
+  ThroughputResult r;
+  r.events = static_cast<double>(result.apps[0].ops);
+  r.events_per_sec = r.events / WallSeconds(t0, t1);
+  return r;
+}
+
 // Spawns a thread that computes for `work` and then blocks forever.
 SimThread* SpawnHog(Machine* machine, const CpuMask& affinity, SimDuration work) {
   ThreadSpec spec;
@@ -457,6 +484,9 @@ struct Metrics {
   // fully loaded 1024-core box, plus the host's CPU count (the speedup is
   // only meaningful when host_cpus >= shards).
   double serving_events_per_sec[2][3] = {{0, 0, 0}, {0, 0, 0}};
+  // Open-loop serving suite: served requests per wall-second through the
+  // full serve-smoke scenario (arrivals, pipe wakes, SLO evaluation).
+  double openloop_requests_per_sec[2] = {0, 0};
   int host_cpus = 0;
   // Micro legs for the non-paper classes (kMicroScheds order).
   double micro_events_per_sec[2] = {0, 0};
@@ -472,6 +502,9 @@ struct Metrics {
   }
   double micro_events_per_calib(int i) const {
     return calib_rate > 0 ? micro_events_per_sec[i] / calib_rate : 0;
+  }
+  double openloop_requests_per_calib(int i) const {
+    return calib_rate > 0 ? openloop_requests_per_sec[i] / calib_rate : 0;
   }
 };
 
@@ -509,6 +542,9 @@ Metrics MeasureAll(int runs, double scale) {
         m.serving_events_per_sec[i][leg] =
             std::max(m.serving_events_per_sec[i][leg], sv.events_per_sec);
       }
+      const ThroughputResult ol = MeasureOpenLoopServing(kScheds[i], scale);
+      m.openloop_requests_per_sec[i] =
+          std::max(m.openloop_requests_per_sec[i], ol.events_per_sec);
     }
   }
   for (int i = 0; i < 2; ++i) {
@@ -558,6 +594,12 @@ std::string MetricsJson(const Metrics& m, int indent) {
          << pad << "\"serving_events_per_sec_" << kScheds[i] << "_shards" << kShardLegs[leg]
          << "\": " << m.serving_events_per_sec[i][leg];
     }
+    os << ",\n"
+       << pad << "\"openloop_requests_per_sec_" << kScheds[i]
+       << "\": " << m.openloop_requests_per_sec[i];
+    os << ",\n"
+       << pad << "\"openloop_requests_per_calib_" << kScheds[i]
+       << "\": " << m.openloop_requests_per_calib(i);
   }
   for (int i = 0; i < 2; ++i) {
     os << ",\n"
@@ -596,6 +638,8 @@ void PrintMetrics(const Metrics& m) {
             ? m.serving_events_per_sec[i][2] / m.serving_events_per_sec[i][0]
             : 0.0,
         m.host_cpus, m.host_cpus == 1 ? "" : "s");
+    std::printf("  %s open-loop serving (serve-smoke): %.3g requests/sec (%.6f per calib-op)\n",
+                kScheds[i], m.openloop_requests_per_sec[i], m.openloop_requests_per_calib(i));
   }
   for (int i = 0; i < 2; ++i) {
     std::printf(
@@ -658,6 +702,19 @@ int CheckAgainst(const std::string& path, const Metrics& fresh, double tolerance
                   sched.c_str(), want_idle, got_idle, idle_floor,
                   got_idle >= idle_floor ? "ok" : "REGRESSED");
       if (got_idle < idle_floor) {
+        ++failures;
+      }
+    }
+    // Open-loop serving throughput: only present in baselines refreshed
+    // after the serving-fleet scenarios landed.
+    if (cur.contains("openloop_requests_per_calib_" + sched)) {
+      const double want_ol = cur.at("openloop_requests_per_calib_" + sched).as_number();
+      const double got_ol = fresh.openloop_requests_per_calib(i);
+      const double ol_floor = want_ol * (1.0 - tolerance);
+      std::printf("%s open-loop requests/calib-op: committed %.6f, measured %.6f (floor %.6f) %s\n",
+                  sched.c_str(), want_ol, got_ol, ol_floor,
+                  got_ol >= ol_floor ? "ok" : "REGRESSED");
+      if (got_ol < ol_floor) {
         ++failures;
       }
     }

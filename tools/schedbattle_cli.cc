@@ -104,6 +104,13 @@ void Usage() {
       "  --scenario=fig1        N-way tournament: the paper's fibo + sysbench\n"
       "                         run under every registered scheduler class\n"
       "                         (schedstats + SLO verdicts per class)\n"
+      "  --scenario=serve*      open-loop serving tournament: arrival-rate\n"
+      "                         traffic against a worker fleet, goodput and\n"
+      "                         request p50/p99/p999 + SLO verdicts per class\n"
+      "                         (serve-smoke, serve-smoke-sysbench,\n"
+      "                         serve-smoke-rocksdb, serve1024,\n"
+      "                         serve1024-spike, serve1024-colo;\n"
+      "                         see docs/SERVING.md)\n"
       "  --sched=<class>        with --scenario: restrict the tournament to\n"
       "                         these classes (repeatable; default all)\n"
       "  --app=<name>           restrict to these suite apps (repeatable)\n"
@@ -541,6 +548,117 @@ int RunFig1Tournament(const std::vector<SchedKind>& kinds, int runs, int jobs, d
   return all_pass ? 0 : 4;
 }
 
+// `campaign --scenario=serve*`: an open-loop serving tournament. Every
+// scheduler class serves the same arrival trace (same seeds, same topology);
+// rows compare goodput and request-latency percentiles, the per-run request_*
+// SLO verdicts decide PASS/FAIL.
+int RunServeTournament(const std::string& preset, const std::vector<SchedKind>& kinds, int runs,
+                       int jobs, double scale, uint64_t seed,
+                       const std::vector<SloObjective>& slo, const std::string& json_path) {
+  std::vector<ExperimentSpec> specs;
+  std::vector<std::shared_ptr<ServeResult>> outs;
+  for (SchedKind kind : kinds) {
+    for (int k = 0; k < runs; ++k) {
+      auto out = std::make_shared<ServeResult>();
+      ExperimentSpec spec = ServeSpec(preset, kind, seed + static_cast<uint64_t>(k), scale, out);
+      spec.label += "/s" + std::to_string(k);
+      if (!slo.empty()) {
+        spec.slo = slo;  // override the preset's built-in objectives
+      }
+      specs.push_back(std::move(spec));
+      outs.push_back(std::move(out));
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<RunResult> results = CampaignRunner(jobs).Run(specs);
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+  std::printf("%s", BannerLine(preset + " tournament: " +
+                               std::to_string(ServePresetCores(preset)) + " cores, " +
+                               std::to_string(kinds.size()) + " classes x " +
+                               std::to_string(runs) + " seeds")
+                        .c_str());
+  TextTable table({"class", "requests", "goodput", "p50", "p99", "p999", "SLO"});
+  std::string json = "{\n";
+  char head[224];
+  std::snprintf(head, sizeof(head),
+                "  \"scenario\": \"%s\",\n  \"cores\": %d,\n  \"seed\": %llu,\n"
+                "  \"scale\": %.6g,\n  \"runs\": %d,\n  \"wall_clock_ms\": %lld,\n"
+                "  \"classes\": [\n",
+                preset.c_str(), ServePresetCores(preset),
+                static_cast<unsigned long long>(seed), scale, runs,
+                static_cast<long long>(wall_ms));
+  json += head;
+
+  bool all_pass = true;
+  for (size_t c = 0; c < kinds.size(); ++c) {
+    const SchedKind kind = kinds[c];
+    std::vector<double> goodput, p50_ms, p99_ms, p999_ms;
+    int64_t admitted = 0;
+    bool slo_pass = true;
+    for (int k = 0; k < runs; ++k) {
+      const size_t i = c * static_cast<size_t>(runs) + static_cast<size_t>(k);
+      const ServeResult& r = *outs[i];
+      goodput.push_back(100.0 * r.goodput_fraction);
+      p50_ms.push_back(ToMilliseconds(r.request_p50));
+      p99_ms.push_back(ToMilliseconds(r.request_p99));
+      p999_ms.push_back(ToMilliseconds(r.request_p999));
+      slo_pass = slo_pass && results[i].slo_pass;
+      if (k == 0) {
+        admitted = r.admitted;
+      }
+    }
+    const AggregateStat goodput_stat = AggregateStat::Of(goodput);
+    const AggregateStat p50_stat = AggregateStat::Of(p50_ms);
+    const AggregateStat p99_stat = AggregateStat::Of(p99_ms);
+    const AggregateStat p999_stat = AggregateStat::Of(p999_ms);
+    table.AddRow({std::string(SchedName(kind)), std::to_string(admitted),
+                  goodput_stat.Format(1) + "%", p50_stat.Format(1) + "ms",
+                  p99_stat.Format(1) + "ms", p999_stat.Format(1) + "ms",
+                  slo_pass ? "PASS" : "FAIL"});
+    all_pass = all_pass && slo_pass;
+
+    char line[640];
+    std::snprintf(line, sizeof(line),
+                  "    {\"sched\": \"%s\", \"admitted\": %lld, \"goodput_pct\": %s,\n"
+                  "     \"request_p50_ms\": %s, \"request_p99_ms\": %s,"
+                  " \"request_p999_ms\": %s, \"slo_pass\": %s}%s\n",
+                  std::string(SchedId(kind)).c_str(), static_cast<long long>(admitted),
+                  JsonStat(goodput_stat).c_str(), JsonStat(p50_stat).c_str(),
+                  JsonStat(p99_stat).c_str(), JsonStat(p999_stat).c_str(),
+                  slo_pass ? "true" : "false", c + 1 < kinds.size() ? "," : "");
+    json += line;
+  }
+  json += "  ]\n}\n";
+
+  std::printf("%s", table.Render().c_str());
+  for (size_t c = 0; c < kinds.size(); ++c) {
+    const RunResult& base = results[c * static_cast<size_t>(runs)];
+    if (base.slo_verdicts.empty()) {
+      continue;
+    }
+    std::printf("\n%s:\n", std::string(SchedName(kinds[c])).c_str());
+    for (const SloVerdict& v : base.slo_verdicts) {
+      std::printf("  %-4s %s (observed %.3fms)\n", v.pass ? "PASS" : "FAIL",
+                  v.objective.Describe().c_str(), static_cast<double>(v.observed) / 1e6);
+    }
+  }
+
+  if (json_path.empty() || json_path == "-") {
+    std::printf("\n%s", json.c_str());
+  } else if (WriteFile(json_path, json)) {
+    std::printf("\nwrote tournament JSON (%zu classes, %d runs, %lld ms) to %s\n",
+                kinds.size(), runs, static_cast<long long>(wall_ms), json_path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return all_pass ? 0 : 4;
+}
+
 // `campaign` subcommand: the Figure 5/8/desktop suite as one parallel
 // campaign, emitting aggregated JSON.
 int RunCampaignCommand(int argc, char** argv) {
@@ -558,7 +676,7 @@ int RunCampaignCommand(int argc, char** argv) {
 
   FlagSet flags;
   flags.String("suite", &suite, "fig5|fig8|desktop machine preset")
-      .String("scenario", &scenario, "fig1: N-way fibo+sysbench tournament")
+      .String("scenario", &scenario, "fig1 or a serve preset (N-way tournament)")
       .StringList("sched", &scheds,
                   "with --scenario: tournament classes (repeatable; default all)")
       .StringList("app", &only, "restrict to these suite apps (repeatable)")
@@ -591,9 +709,14 @@ int RunCampaignCommand(int argc, char** argv) {
   SetTicklessEnabled(tickless == "on");
 
   if (!scenario.empty()) {
-    if (scenario != "fig1") {
-      std::fprintf(stderr, "unknown campaign scenario '%s' (only fig1 is available)\n",
-                   scenario.c_str());
+    const bool is_serve = IsServePreset(scenario);
+    if (scenario != "fig1" && !is_serve) {
+      std::string presets;
+      for (const std::string& p : ServePresets()) {
+        presets += ", " + p;
+      }
+      std::fprintf(stderr, "unknown campaign scenario '%s' (available: fig1%s)\n",
+                   scenario.c_str(), presets.c_str());
       return 2;
     }
     std::vector<SchedKind> kinds;
@@ -613,10 +736,13 @@ int RunCampaignCommand(int argc, char** argv) {
     if (!ParseSloFlags(slo_texts, &slo)) {
       return 2;
     }
+    if (is_serve) {
+      return RunServeTournament(scenario, kinds, runs, jobs, scale, seed, slo, json_path);
+    }
     return RunFig1Tournament(kinds, runs, jobs, scale, seed, slo, json_path);
   }
   if (!scheds.empty()) {
-    std::fprintf(stderr, "--sched is only meaningful with --scenario=fig1\n");
+    std::fprintf(stderr, "--sched is only meaningful with --scenario\n");
     return 2;
   }
 
