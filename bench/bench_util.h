@@ -33,6 +33,7 @@ struct BenchArgs {
   std::string csv_path;
   std::string json_path;  // "-" = stdout
   std::string tickless = "on";  // tick elision: "on" or "off"
+  std::string queue;  // event-queue backend: "heap"/"wheel"; "" = env default
 };
 
 // Flag table shared with schedbattle_cli's experiment subcommands; extra
@@ -45,7 +46,9 @@ inline FlagSet BenchFlagSet(BenchArgs* args) {
       .Int("jobs", &args->jobs, "worker threads (0 = hardware concurrency)")
       .String("csv", &args->csv_path, "also write results to this CSV file")
       .String("json", &args->json_path, "also write metrics as JSON ('-' = stdout)")
-      .String("tickless", &args->tickless, "tick elision: on (default) or off");
+      .String("tickless", &args->tickless, "tick elision: on (default) or off")
+      .String("queue", &args->queue,
+              "event-queue backend: heap or wheel (default: SCHEDBATTLE_QUEUE)");
   return flags;
 }
 
@@ -148,6 +151,14 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv, double default_scale = 1.
     std::exit(2);
   }
   SetTicklessEnabled(args.tickless == "on");
+  if (!args.queue.empty()) {
+    QueueKind kind;
+    if (!ParseQueueKind(args.queue, &kind)) {
+      std::fprintf(stderr, "--queue must be heap or wheel (got '%s')\n", args.queue.c_str());
+      std::exit(2);
+    }
+    SetDefaultQueueKind(kind);
+  }
   return args;
 }
 

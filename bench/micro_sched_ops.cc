@@ -103,6 +103,42 @@ void BM_EventQueuePostNoHandle(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePostNoHandle)->Arg(1024)->Arg(16384);
 
+// Steady-state pop+post at a held depth, per backend: the queue is prefilled
+// with `pending` events spread over ~10ms of virtual time, then each
+// iteration pops the minimum and posts a replacement at a random future
+// offset — the regime the serve1024 presets live in, where the binary heap
+// pays O(log n) sift costs per op and the timing wheel stays O(1) amortized.
+// Args: {pending depth, backend (0 = heap, 1 = wheel)}.
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  const int pending = static_cast<int>(state.range(0));
+  const QueueKind kind = state.range(1) == 0 ? QueueKind::kHeap : QueueKind::kWheel;
+  EventQueue q(kind);
+  Rng rng(7);
+  uint64_t sink = 0;
+  const auto offset = [&rng]() -> SimDuration {
+    return 1 + static_cast<SimDuration>(rng.NextBelow(Milliseconds(10)));
+  };
+  for (int i = 0; i < pending; ++i) {
+    q.Post(offset(), [&sink] { ++sink; });
+  }
+  SimTime when = 0;
+  for (auto _ : state) {
+    q.PopNext(&when)();
+    q.Post(when + offset(), [&sink] { ++sink; });
+  }
+  benchmark::DoNotOptimize(sink);
+  q.Clear();
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(kind == QueueKind::kHeap ? "heap" : "wheel");
+}
+BENCHMARK(BM_EventQueueSteadyState)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({16384, 0})
+    ->Args({16384, 1})
+    ->Args({262144, 0})
+    ->Args({262144, 1});
+
 void BM_PeltUpdate(benchmark::State& state) {
   PeltAvg avg;
   SimTime now = 0;

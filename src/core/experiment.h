@@ -40,6 +40,12 @@ struct ExperimentConfig {
   // src/sim/engine.h). Results are byte-identical for any shard count; >1
   // only buys wall-clock on multi-core hosts. 1 = the classic single queue.
   int shards = 1;
+  // Event-queue backend for every engine lane (see src/sim/event_queue.h):
+  // kHeap, kWheel, or kDefault to follow SCHEDBATTLE_QUEUE / the process
+  // default. Pop order is byte-identical across backends by contract, so
+  // this is purely a performance knob (the wheel wins on deep serving
+  // queues, the heap on shallow ones).
+  QueueKind queue = QueueKind::kDefault;
 
   // Optional scheduler-construction override. When set, it replaces the
   // registry factory — used by the checking subsystem to wrap the real

@@ -21,6 +21,12 @@ int DefaultShards() {
 }  // namespace
 
 ExperimentRun::ExperimentRun(ExperimentConfig config) : config_(std::move(config)) {
+  // Pick the event-queue backend before anything is scheduled. An explicit
+  // config wins; kDefault lets each lane resolve SCHEDBATTLE_QUEUE / the
+  // process default itself (mirrors the shards logic below).
+  if (config_.queue != QueueKind::kDefault) {
+    engine_.SetQueueKind(config_.queue);
+  }
   // Shard the engine before the machine exists: the Machine sizes its
   // per-shard state slabs off engine.num_shards() at construction.
   const int shards = config_.shards > 1 ? config_.shards : DefaultShards();

@@ -54,6 +54,7 @@ ExperimentConfig ExperimentSpec::ToConfig() const {
   cfg.horizon = horizon;
   cfg.system_noise = system_noise;
   cfg.shards = shards;
+  cfg.queue = queue;
   cfg.scheduler_factory = scheduler_factory;
   return cfg;
 }

@@ -85,6 +85,9 @@ struct ExperimentSpec {
   // Engine shards (see ExperimentConfig::shards); byte-identical for any
   // value, so specs and their results stay comparable across shard counts.
   int shards = 1;
+  // Event-queue backend (see ExperimentConfig::queue); byte-identical across
+  // backends, so results stay comparable. kDefault follows SCHEDBATTLE_QUEUE.
+  QueueKind queue = QueueKind::kDefault;
   // Attach a SchedStats observer and store its JSON snapshot in the result.
   bool collect_schedstats = false;
   // Attach a DecisionLog and store its JSONL export in the result

@@ -63,11 +63,20 @@ struct SimEngine::Pool {
 };
 
 SimEngine::SimEngine() {
-  lanes_.push_back(std::make_unique<EventQueue>());
+  lanes_.push_back(std::make_unique<EventQueue>(queue_kind_));
   slots_.resize(1);
 }
 
 SimEngine::~SimEngine() = default;
+
+void SimEngine::SetQueueKind(QueueKind kind) {
+  assert(TotalEmpty() && events_executed_ == 0 &&
+         "SetQueueKind must run before any event is scheduled");
+  queue_kind_ = kind;
+  for (auto& lane : lanes_) {
+    lane = std::make_unique<EventQueue>(queue_kind_);
+  }
+}
 
 void SimEngine::ConfigureShards(ShardPlan plan) {
   assert(TotalEmpty() && events_executed_ == 0 &&
@@ -81,7 +90,7 @@ void SimEngine::ConfigureShards(ShardPlan plan) {
   // preserves the classic one-queue fast path (and its exact event order).
   const int lane_count = shards == 1 ? 1 : 1 + shards;
   for (int i = 0; i < lane_count; ++i) {
-    lanes_.push_back(std::make_unique<EventQueue>());
+    lanes_.push_back(std::make_unique<EventQueue>(queue_kind_));
   }
   slots_.clear();
   slots_.resize(std::max(shards, 1));

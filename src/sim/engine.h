@@ -94,6 +94,15 @@ class SimEngine {
   const ShardPlan& shard_plan() const { return plan_; }
   int num_shards() const { return plan_.num_shards() == 0 ? 1 : plan_.num_shards(); }
 
+  // Selects the event-queue backend (heap or timing wheel) for every lane.
+  // Must be called before any event is scheduled; composes with sharding in
+  // either order (ConfigureShards recreates its lanes with this kind, and
+  // this call recreates any lanes that already exist). kDefault defers to
+  // the process default (SCHEDBATTLE_QUEUE / SetDefaultQueueKind), resolved
+  // when each lane is constructed.
+  void SetQueueKind(QueueKind kind);
+  QueueKind queue_kind() const { return queue_kind_; }
+
   // Shard this thread is currently draining for, or -1 outside parallel
   // windows (the serial context). Machine state slabs index off this.
   int current_shard() const {
@@ -223,6 +232,7 @@ class SimEngine {
   std::atomic<bool> stop_requested_{false};
 
   ShardPlan plan_;
+  QueueKind queue_kind_ = QueueKind::kDefault;
   // lanes_[0] is the global lane; lanes_[1 + s] belongs to shard s. A
   // default-constructed engine has exactly one lane, which doubles as both.
   std::vector<std::unique_ptr<EventQueue>> lanes_;

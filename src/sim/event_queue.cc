@@ -1,29 +1,71 @@
 #include "src/sim/event_queue.h"
 
 #include <cassert>
+#include <cstdlib>
+
+#include "src/sim/timing_wheel.h"
 
 namespace schedbattle {
-
-// Pooled event node: owns the callback from scheduling until the event fires
-// (or is cancelled), plus the cancellation state. Lives in pool chunks owned
-// by the queue; `gen` is bumped every time the node is handed out for a new
-// event, so handles from an earlier life of the node fail the generation
-// check.
-struct EventHandle::Node {
-  enum State : uint8_t { kPending, kFired, kCancelled };
-  SmallFn cb;
-  uint64_t gen = 0;
-  Node* next_free = nullptr;
-  EventQueue* owner = nullptr;  // the queue whose pool this node lives in
-  uint8_t state = kFired;
-};
 
 namespace {
 constexpr size_t kNodesPerChunk = 256;
 constexpr size_t kHeapArity = 4;
+
+QueueKind InitQueueKindFromEnv() {
+  const char* value = std::getenv("SCHEDBATTLE_QUEUE");
+  if (value != nullptr && std::string_view(value) == "wheel") {
+    return QueueKind::kWheel;
+  }
+  return QueueKind::kHeap;
+}
+
+QueueKind& QueueKindFlag() {
+  // Lazily initialized from the environment on first use, so a test or a
+  // bench main() can override it before any queue is constructed.
+  static QueueKind kind = InitQueueKindFromEnv();
+  return kind;
+}
 }  // namespace
 
-EventQueue::EventQueue() = default;
+void SetDefaultQueueKind(QueueKind kind) {
+  QueueKindFlag() = kind == QueueKind::kDefault ? InitQueueKindFromEnv() : kind;
+}
+
+QueueKind DefaultQueueKind() { return QueueKindFlag(); }
+
+QueueKind ResolveQueueKind(QueueKind kind) {
+  return kind == QueueKind::kDefault ? DefaultQueueKind() : kind;
+}
+
+bool ParseQueueKind(std::string_view name, QueueKind* out) {
+  if (name == "heap") {
+    *out = QueueKind::kHeap;
+    return true;
+  }
+  if (name == "wheel") {
+    *out = QueueKind::kWheel;
+    return true;
+  }
+  return false;
+}
+
+const char* QueueKindName(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kDefault:
+      return "default";
+    case QueueKind::kHeap:
+      return "heap";
+    case QueueKind::kWheel:
+      return "wheel";
+  }
+  return "?";
+}
+
+EventQueue::EventQueue(QueueKind kind) : kind_(ResolveQueueKind(kind)) {
+  if (kind_ == QueueKind::kWheel) {
+    wheel_ = std::make_unique<TimingWheel>(this);
+  }
+}
 
 EventQueue::~EventQueue() = default;
 
@@ -111,7 +153,13 @@ void EventQueue::Post(SimTime when, EventCallback cb) {
 
 EventHandle EventQueue::ScheduleWithSeq(SimTime when, uint64_t seq, EventCallback cb) {
   Node* node = AllocNode(std::move(cb));
-  Push(Entry{when, seq, node, node->gen});
+  if (wheel_ != nullptr) {
+    node->when = when;
+    node->seq = seq;
+    wheel_->Insert(node);
+  } else {
+    Push(Entry{when, seq, node, node->gen});
+  }
   ++live_count_;
   return EventHandle(node, node->gen);
 }
@@ -120,7 +168,13 @@ void EventQueue::PostWithSeq(SimTime when, uint64_t seq, EventCallback cb) {
   // Same path as Schedule minus the handle: a posted event's node simply has
   // no handle referencing it, so it can never be cancelled.
   Node* node = AllocNode(std::move(cb));
-  Push(Entry{when, seq, node, node->gen});
+  if (wheel_ != nullptr) {
+    node->when = when;
+    node->seq = seq;
+    wheel_->Insert(node);
+  } else {
+    Push(Entry{when, seq, node, node->gen});
+  }
   ++live_count_;
 }
 
@@ -137,11 +191,18 @@ bool EventQueue::Cancel(EventHandle& handle) {
   }
   assert(live_count_ > 0);
   --live_count_;
-  // Destroy the callback eagerly (it may own resources) and recycle. The
-  // heap entry stays behind as a tombstone; that is safe because Stale()
-  // then sees kCancelled (or a newer generation after reuse).
+  // Destroy the callback eagerly (it may own resources) and tombstone. The
+  // heap recycles the node immediately — its Entry carries the generation,
+  // so a stale entry is detected even after the node is reused. The wheel's
+  // slot lists ARE the nodes, so there the node stays linked (and out of the
+  // freelist) until a pop, cascade, or slot-reuse walk recycles it.
   node->cb = SmallFn();
-  Recycle(node, Node::kCancelled);
+  if (wheel_ != nullptr) {
+    node->state = Node::kCancelled;
+    wheel_->OnCancel(node);
+  } else {
+    Recycle(node, Node::kCancelled);
+  }
   return true;
 }
 
@@ -163,11 +224,19 @@ void EventQueue::SkimCancelled() {
 }
 
 SimTime EventQueue::NextTime() {
+  if (wheel_ != nullptr) {
+    SimTime when;
+    uint64_t seq;
+    return wheel_->PeekKey(&when, &seq) ? when : kTimeNever;
+  }
   SkimCancelled();
   return heap_.empty() ? kTimeNever : heap_.front().when;
 }
 
 bool EventQueue::PeekKey(SimTime* when, uint64_t* seq) {
+  if (wheel_ != nullptr) {
+    return wheel_->PeekKey(when, seq);
+  }
   SkimCancelled();
   if (heap_.empty()) {
     return false;
@@ -178,6 +247,20 @@ bool EventQueue::PeekKey(SimTime* when, uint64_t* seq) {
 }
 
 bool EventQueue::PopNextBefore(SimTime bound, SimTime* when, EventCallback* cb) {
+  if (wheel_ != nullptr) {
+    SimTime next;
+    uint64_t seq;
+    if (!wheel_->PeekKey(&next, &seq) || next >= bound) {
+      return false;
+    }
+    Node* node = wheel_->PopMin();
+    *when = node->when;
+    *cb = std::move(node->cb);
+    Recycle(node, Node::kFired);
+    assert(live_count_ > 0);
+    --live_count_;
+    return true;
+  }
   SkimCancelled();
   if (heap_.empty() || heap_.front().when >= bound) {
     return false;
@@ -192,6 +275,16 @@ bool EventQueue::PopNextBefore(SimTime bound, SimTime* when, EventCallback* cb) 
 }
 
 EventCallback EventQueue::PopNext(SimTime* when) {
+  if (wheel_ != nullptr) {
+    Node* node = wheel_->PopMin();
+    assert(node != nullptr);
+    *when = node->when;
+    EventCallback cb = std::move(node->cb);
+    Recycle(node, Node::kFired);
+    assert(live_count_ > 0);
+    --live_count_;
+    return cb;
+  }
   SkimCancelled();
   assert(!heap_.empty());
   const Entry entry = PopRoot();
@@ -204,6 +297,11 @@ EventCallback EventQueue::PopNext(SimTime* when) {
 }
 
 void EventQueue::Clear() {
+  if (wheel_ != nullptr) {
+    wheel_->Clear();
+    live_count_ = 0;
+    return;
+  }
   for (const Entry& e : heap_) {
     if (!Stale(e)) {
       e.node->cb = SmallFn();

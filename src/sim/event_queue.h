@@ -3,9 +3,23 @@
 // The queue orders events by (time, sequence number): ties in simulated time
 // fire in insertion order, which makes every simulation fully deterministic.
 // Events can be cancelled in O(1) through the handle returned at scheduling
-// time; cancelled entries are lazily discarded when they reach the top of the
-// heap (the usual "tombstone" technique, which keeps Cancel cheap even with
-// hundreds of thousands of pending timers).
+// time; cancelled entries are lazily discarded when they surface (the usual
+// "tombstone" technique, which keeps Cancel cheap even with hundreds of
+// thousands of pending timers).
+//
+// Two backends share this interface, selected per queue by QueueKind:
+//
+//   kHeap  — a 4-ary min-heap over 32-byte POD keys. O(log n) post/pop, the
+//            best structure for shallow queues (a few hundred pending).
+//   kWheel — a hierarchical timing wheel (src/sim/timing_wheel.h): 4 levels
+//            x 256 slots of intrusive node lists plus a far-future overflow
+//            heap. O(1) amortized post/cancel/pop, which is what deep
+//            serving queues (tens of thousands of pending events) want.
+//
+// Both backends produce the exact same (time, seq) total order — pop
+// sequences are byte-identical by contract, proven by tests/timing_wheel_test
+// and the schedfuzz wheel-vs-heap differential leg — so the backend is a pure
+// performance knob, never a behavior change.
 //
 // Hot-path design (this queue is the simulator's innermost loop):
 //   - Callbacks are stored in a move-only small-buffer type (SmallFn) with 48
@@ -19,7 +33,8 @@
 //     misreport a fired event as pending.
 //   - The heap holds only 32-byte POD keys {when, seq, node, gen}; sift
 //     moves never touch the callback buffers, which stay put in their nodes
-//     until popped.
+//     until popped. The wheel links the nodes themselves into per-slot
+//     lists, so it allocates nothing beyond the same node pool.
 //   - The heap is 4-ary: ~half the depth of a binary heap, and the four
 //     children share a cache line worth of (when, seq) keys.
 #ifndef SRC_SIM_EVENT_QUEUE_H_
@@ -29,6 +44,7 @@
 #include <cstdint>
 #include <memory>
 #include <new>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -36,6 +52,31 @@
 #include "src/sim/time.h"
 
 namespace schedbattle {
+
+// Event-queue backend selector. kDefault resolves to the process-wide
+// default at queue construction (see SetDefaultQueueKind below); the other
+// two pin a backend regardless of environment.
+enum class QueueKind : uint8_t {
+  kDefault,
+  kHeap,
+  kWheel,
+};
+
+// Process-wide default backend, initialized from the SCHEDBATTLE_QUEUE
+// environment variable ("wheel" selects the timing wheel; "heap", anything
+// else, or the variable being unset keeps the heap). Bench binaries and the
+// CLI override it from --queue; a spec that sets ExperimentSpec::queue
+// explicitly wins over both. Queues resolve the default once, at
+// construction — the same contract as SetTicklessEnabled.
+void SetDefaultQueueKind(QueueKind kind);
+QueueKind DefaultQueueKind();  // never returns kDefault
+
+// kDefault -> DefaultQueueKind(); kHeap/kWheel pass through.
+QueueKind ResolveQueueKind(QueueKind kind);
+
+// "heap" / "wheel". Returns false (out untouched) for anything else.
+bool ParseQueueKind(std::string_view name, QueueKind* out);
+const char* QueueKindName(QueueKind kind);
 
 // Move-only void() callable with inline storage for captures up to
 // kInlineSize bytes; larger callables fall back to one heap allocation.
@@ -121,6 +162,9 @@ class SmallFn {
 
 using EventCallback = SmallFn;
 
+class EventQueue;
+class TimingWheel;
+
 // Opaque handle to a scheduled event. Default-constructed handles are null.
 // Trivially copyable: the (node, generation) pair identifies one scheduling,
 // so copies all agree on whether the event is still pending — the queue
@@ -137,18 +181,47 @@ class EventHandle {
 
  private:
   friend class EventQueue;
+  friend class TimingWheel;
   struct Node;
   EventHandle(Node* node, uint64_t gen) : node_(node), gen_(gen) {}
   Node* node_ = nullptr;
   uint64_t gen_ = 0;
 };
 
+// Pooled event node: owns the callback from scheduling until the event fires
+// (or is cancelled), plus the cancellation state. Lives in pool chunks owned
+// by the queue; `gen` is bumped every time the node is handed out for a new
+// event, so handles from an earlier life of the node fail the generation
+// check. Defined here (not in event_queue.cc) because the timing wheel links
+// nodes directly into its slot lists.
+struct EventHandle::Node {
+  enum State : uint8_t { kPending, kFired, kCancelled };
+  SmallFn cb;
+  uint64_t gen = 0;
+  // Freelist link while pooled; intrusive slot-list link while the node sits
+  // in a timing-wheel slot. A node is in exactly one of those places at a
+  // time (the heap backend keeps its keys in a separate Entry array and uses
+  // this only as the freelist link).
+  Node* next_free = nullptr;
+  EventQueue* owner = nullptr;  // the queue whose pool this node lives in
+  // The (time, seq) key. The heap never reads these; the wheel's slot lists
+  // are the nodes themselves, so the key must travel with the node.
+  SimTime when = 0;
+  uint64_t seq = 0;
+  uint8_t state = kFired;
+};
+
 class EventQueue {
  public:
-  EventQueue();
+  // kDefault resolves against the process-wide default (SCHEDBATTLE_QUEUE /
+  // SetDefaultQueueKind) once, here.
+  explicit EventQueue(QueueKind kind = QueueKind::kDefault);
   ~EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
+
+  // The resolved backend (kHeap or kWheel, never kDefault).
+  QueueKind kind() const { return kind_; }
 
   // Schedules `cb` to run at absolute time `when`. `when` must not be in the
   // past relative to the last popped event.
@@ -201,6 +274,8 @@ class EventQueue {
   void Clear();
 
  private:
+  friend class TimingWheel;  // recycles skimmed tombstones into the pool
+
   using Node = EventHandle::Node;
 
   // Heap key. Trivially copyable and 32 bytes, so sift moves are cheap; the
@@ -232,7 +307,9 @@ class EventQueue {
   // Discards cancelled entries at the top of the heap.
   void SkimCancelled();
 
-  std::vector<Entry> heap_;  // 4-ary min-heap on (when, seq)
+  QueueKind kind_;
+  std::vector<Entry> heap_;  // 4-ary min-heap on (when, seq); kHeap only
+  std::unique_ptr<TimingWheel> wheel_;  // kWheel only
   uint64_t next_seq_ = 0;
   size_t live_count_ = 0;
 

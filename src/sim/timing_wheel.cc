@@ -1,0 +1,394 @@
+#include "src/sim/timing_wheel.h"
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+namespace schedbattle {
+
+namespace {
+
+bool OverflowLess(SimTime aw, uint64_t as, SimTime bw, uint64_t bs) {
+  if (aw != bw) {
+    return aw < bw;
+  }
+  return as < bs;
+}
+
+}  // namespace
+
+TimingWheel::~TimingWheel() = default;
+
+int TimingWheel::LevelFor(SimTime t) const {
+  const uint64_t diff = static_cast<uint64_t>(t) ^ static_cast<uint64_t>(cur_);
+  if ((diff >> (kLevelBits * kLevels)) != 0) {
+    return kOverflowLevel;
+  }
+  if (diff == 0) {
+    return 0;
+  }
+  return (std::bit_width(diff) - 1) / kLevelBits;
+}
+
+int TimingWheel::NextOccupied(int level, int from) const {
+  if (from >= kSlotsPerLevel) {
+    return -1;
+  }
+  int word = from >> 6;
+  uint64_t bits = occupied_[level][word] & (~uint64_t{0} << (from & 63));
+  for (;;) {
+    if (bits != 0) {
+      return (word << 6) + std::countr_zero(bits);
+    }
+    if (++word >= kBitmapWords) {
+      return -1;
+    }
+    bits = occupied_[level][word];
+  }
+}
+
+void TimingWheel::Insert(Node* node) {
+  // The queue contract forbids scheduling before the last popped time, and
+  // the clock never advances past a pending (or freshly popped) time.
+  assert(node->when >= cur_);
+  int level = LevelFor(node->when);
+  int slot_idx = 0;
+  if (level >= kLevels) {
+    level = kOverflowLevel;
+    OverflowPush(OverflowEntry{node->when, node->seq, node});
+  } else {
+    PlaceInWheel(node, level);
+    slot_idx = SlotIndex(node->when, level);
+  }
+  if (cache_valid_) {
+    if (node->when < cache_when_ ||
+        (node->when == cache_when_ && node->seq < cache_seq_)) {
+      cache_when_ = node->when;
+      cache_seq_ = node->seq;
+      cache_node_ = node;
+      cache_level_ = level;
+      cache_slot_ = slot_idx;
+    }
+  } else if (owner_->live_count_ == 0) {
+    // The queue was empty (the owner bumps live_count_ after Insert), so the
+    // new event is trivially the minimum. An invalid cache over a non-empty
+    // queue stays invalid until the next peek/pop rescans.
+    cache_when_ = node->when;
+    cache_seq_ = node->seq;
+    cache_node_ = node;
+    cache_level_ = level;
+    cache_slot_ = slot_idx;
+    cache_valid_ = true;
+  }
+}
+
+void TimingWheel::PlaceInWheel(Node* node, int level) {
+  assert(level >= 0 && level < kLevels);
+  if (level < 0 || level >= kLevels) {
+    // Every caller checks the range (overflow times never reach here); the
+    // hint keeps GCC's -Warray-bounds from flagging the slots_ access.
+    __builtin_unreachable();
+  }
+  const int idx = SlotIndex(node->when, level);
+  Slot& slot = slots_[level][idx];
+  node->next_free = nullptr;
+  if (slot.head == nullptr) {
+    slot.head = slot.tail = node;
+    MarkOccupied(level, idx);
+    return;
+  }
+  if (level > 0) {
+    // Unsorted: the cascade re-sorts on the way down to level 0.
+    slot.tail->next_free = node;
+    slot.tail = node;
+    return;
+  }
+  // Level 0: the slot's pending entries all share one absolute time (every
+  // index byte is pinned), and the list is kept sorted by seq so the head is
+  // the slot's minimum. Per-lane seqs are handed out monotonically, so the
+  // tail append dominates; the scan path also recycles tombstones left over
+  // from earlier laps of the wheel.
+  if (slot.tail->state == Node::kPending && slot.tail->seq <= node->seq) {
+    slot.tail->next_free = node;
+    slot.tail = node;
+    return;
+  }
+  Node** link = &slot.head;
+  while (*link != nullptr) {
+    Node* n = *link;
+    if (n->state != Node::kPending) {
+      *link = n->next_free;
+      owner_->Recycle(n, Node::kCancelled);
+      continue;
+    }
+    if (n->seq >= node->seq) {
+      break;
+    }
+    link = &n->next_free;
+  }
+  node->next_free = *link;
+  *link = node;
+  if (node->next_free == nullptr) {
+    slot.tail = node;
+  }
+}
+
+void TimingWheel::OnCancel(Node* node) {
+  if (cache_valid_ && node == cache_node_) {
+    cache_valid_ = false;
+  }
+}
+
+bool TimingWheel::PeekKey(SimTime* when, uint64_t* seq) {
+  if (!FindMin()) {
+    return false;
+  }
+  *when = cache_when_;
+  *seq = cache_seq_;
+  return true;
+}
+
+bool TimingWheel::FindMin() {
+  if (cache_valid_) {
+    return true;
+  }
+  // Level 0 first: pending entries all live in the clock's current 256-block,
+  // so only slots at or above the clock's low byte can hold one. Occupied
+  // slots below that hold only tombstones; they are skipped here and
+  // recycled when their slot is next reused or cascaded over.
+  for (int idx = NextOccupied(0, SlotIndex(cur_, 0)); idx >= 0;
+       idx = NextOccupied(0, idx + 1)) {
+    Slot& slot = slots_[0][idx];
+    while (slot.head != nullptr && slot.head->state != Node::kPending) {
+      Node* tomb = slot.head;
+      slot.head = tomb->next_free;
+      owner_->Recycle(tomb, Node::kCancelled);
+    }
+    if (slot.head == nullptr) {
+      slot.tail = nullptr;
+      ClearOccupied(0, idx);
+      continue;
+    }
+    // Sorted list: the first pending node is the slot minimum, and the
+    // lowest pending level-0 slot holds the wheel-wide minimum.
+    cache_when_ = slot.head->when;
+    cache_seq_ = slot.head->seq;
+    cache_node_ = slot.head;
+    cache_level_ = 0;
+    cache_slot_ = idx;
+    cache_valid_ = true;
+    return true;
+  }
+  // Higher levels: pending entries have their level byte strictly above the
+  // clock's, and a lower level always beats a higher one (its entries agree
+  // with the clock on every byte the higher level differs in).
+  for (int level = 1; level < kLevels; ++level) {
+    for (int idx = NextOccupied(level, SlotIndex(cur_, level) + 1); idx >= 0;
+         idx = NextOccupied(level, idx + 1)) {
+      Slot& slot = slots_[level][idx];
+      Node* best = nullptr;
+      Node* last = nullptr;
+      Node** link = &slot.head;
+      while (*link != nullptr) {
+        Node* n = *link;
+        if (n->state != Node::kPending) {
+          *link = n->next_free;
+          owner_->Recycle(n, Node::kCancelled);
+          continue;
+        }
+        if (best == nullptr || n->when < best->when ||
+            (n->when == best->when && n->seq < best->seq)) {
+          best = n;
+        }
+        last = n;
+        link = &n->next_free;
+      }
+      slot.tail = last;
+      if (slot.head == nullptr) {
+        ClearOccupied(level, idx);
+        continue;
+      }
+      cache_when_ = best->when;
+      cache_seq_ = best->seq;
+      cache_node_ = best;
+      cache_level_ = level;
+      cache_slot_ = idx;
+      cache_valid_ = true;
+      return true;
+    }
+  }
+  // Wheel empty: the overflow root (if any) is the minimum — overflow times
+  // sit in a later 2^32 epoch than everything the wheel can hold.
+  OverflowSkim();
+  if (!overflow_.empty()) {
+    cache_when_ = overflow_.front().when;
+    cache_seq_ = overflow_.front().seq;
+    cache_node_ = overflow_.front().node;
+    cache_level_ = kOverflowLevel;
+    cache_slot_ = 0;
+    cache_valid_ = true;
+    return true;
+  }
+  return false;
+}
+
+TimingWheel::Node* TimingWheel::PopMin() {
+  if (!FindMin()) {
+    return nullptr;
+  }
+  if (cache_level_ == kOverflowLevel) {
+    // The wheel proper is empty (it always beats overflow): jump the clock
+    // to the popped time and promote the newly reachable epoch.
+    OverflowEntry entry = OverflowPop();
+    assert(entry.node == cache_node_);
+    cur_ = entry.when;
+    for (;;) {
+      OverflowSkim();
+      if (overflow_.empty()) {
+        break;
+      }
+      const int level = LevelFor(overflow_.front().when);
+      if (level >= kLevels) {
+        break;
+      }
+      OverflowEntry promoted = OverflowPop();
+      PlaceInWheel(promoted.node, level);
+    }
+    cache_valid_ = false;
+    return entry.node;
+  }
+  // Cascade the minimum down to level 0. Each iteration advances the clock
+  // to the holding slot's base time — which is <= the minimum pending time,
+  // so no pending event is ever left behind the clock — and redistributes
+  // that slot one or more levels down.
+  while (cache_level_ > 0) {
+    const int level = cache_level_;
+    const int idx = cache_slot_;
+    const uint64_t keep = ~((uint64_t{1} << (kLevelBits * (level + 1))) - 1);
+    cur_ = static_cast<SimTime>(
+        (static_cast<uint64_t>(cur_) & keep) |
+        (static_cast<uint64_t>(idx) << (kLevelBits * level)));
+    CascadeSlot(level, idx);
+    cache_level_ = LevelFor(cache_when_);
+    cache_slot_ = SlotIndex(cache_when_, cache_level_);
+    assert(cache_level_ < level);
+  }
+  Slot& slot = slots_[0][cache_slot_];
+  while (slot.head != nullptr && slot.head->state != Node::kPending) {
+    Node* tomb = slot.head;
+    slot.head = tomb->next_free;
+    owner_->Recycle(tomb, Node::kCancelled);
+  }
+  Node* node = slot.head;
+  assert(node == cache_node_);
+  slot.head = node->next_free;
+  if (slot.head == nullptr) {
+    slot.tail = nullptr;
+    ClearOccupied(0, cache_slot_);
+  }
+  cur_ = node->when;
+  cache_valid_ = false;
+  return node;
+}
+
+void TimingWheel::CascadeSlot(int level, int idx) {
+  Slot& slot = slots_[level][idx];
+  Node* n = slot.head;
+  slot.head = slot.tail = nullptr;
+  ClearOccupied(level, idx);
+  while (n != nullptr) {
+    Node* next = n->next_free;
+    if (n->state != Node::kPending) {
+      owner_->Recycle(n, Node::kCancelled);
+    } else {
+      const int new_level = LevelFor(n->when);
+      assert(new_level < level);
+      PlaceInWheel(n, new_level);
+    }
+    n = next;
+  }
+}
+
+void TimingWheel::OverflowPush(OverflowEntry e) {
+  overflow_.push_back(e);
+  size_t i = overflow_.size() - 1;
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!OverflowLess(overflow_[i].when, overflow_[i].seq,
+                      overflow_[parent].when, overflow_[parent].seq)) {
+      break;
+    }
+    std::swap(overflow_[i], overflow_[parent]);
+    i = parent;
+  }
+}
+
+TimingWheel::OverflowEntry TimingWheel::OverflowPop() {
+  assert(!overflow_.empty());
+  const OverflowEntry root = overflow_.front();
+  overflow_.front() = overflow_.back();
+  overflow_.pop_back();
+  const size_t n = overflow_.size();
+  size_t i = 0;
+  for (;;) {
+    size_t best = i;
+    const size_t l = 2 * i + 1;
+    const size_t r = 2 * i + 2;
+    if (l < n && OverflowLess(overflow_[l].when, overflow_[l].seq,
+                              overflow_[best].when, overflow_[best].seq)) {
+      best = l;
+    }
+    if (r < n && OverflowLess(overflow_[r].when, overflow_[r].seq,
+                              overflow_[best].when, overflow_[best].seq)) {
+      best = r;
+    }
+    if (best == i) {
+      break;
+    }
+    std::swap(overflow_[i], overflow_[best]);
+    i = best;
+  }
+  return root;
+}
+
+void TimingWheel::OverflowSkim() {
+  // Tombstones inside the heap sift like live entries and get dropped when
+  // they surface, exactly like the heap backend's lazy discard.
+  while (!overflow_.empty() &&
+         overflow_.front().node->state != Node::kPending) {
+    Node* tomb = overflow_.front().node;
+    OverflowPop();
+    owner_->Recycle(tomb, Node::kCancelled);
+  }
+}
+
+void TimingWheel::Clear() {
+  for (int level = 0; level < kLevels; ++level) {
+    for (int idx = 0; idx < kSlotsPerLevel; ++idx) {
+      Node* n = slots_[level][idx].head;
+      slots_[level][idx] = Slot{};
+      while (n != nullptr) {
+        Node* next = n->next_free;
+        if (n->state == Node::kPending) {
+          n->cb = SmallFn();
+        }
+        owner_->Recycle(n, Node::kCancelled);
+        n = next;
+      }
+    }
+    for (int word = 0; word < kBitmapWords; ++word) {
+      occupied_[level][word] = 0;
+    }
+  }
+  for (OverflowEntry& e : overflow_) {
+    if (e.node->state == Node::kPending) {
+      e.node->cb = SmallFn();
+    }
+    owner_->Recycle(e.node, Node::kCancelled);
+  }
+  overflow_.clear();
+  cache_valid_ = false;
+}
+
+}  // namespace schedbattle

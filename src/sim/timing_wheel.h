@@ -1,0 +1,165 @@
+// Hierarchical timing wheel — the O(1) event-queue backend.
+//
+// Layout ("digital clock" with absolute indexing):
+//
+//     level 3:  [256 slots]   each spans 2^24 ns  (~16.8 ms)   bits 24..31
+//     level 2:  [256 slots]   each spans 2^16 ns  (~65.5 us)   bits 16..23
+//     level 1:  [256 slots]   each spans 2^8  ns  (256 ns)     bits  8..15
+//     level 0:  [256 slots]   each spans 1 ns                  bits  0..7
+//     overflow: binary min-heap on (when, seq) for events >= 2^32 ns
+//               (~4.29 s) past the wheel clock
+//
+// The wheel keeps a clock `cur_` (<= every pending event's time). An event at
+// absolute time `t` lives at the level of the highest byte in which `t`
+// differs from `cur_`, in the slot indexed by that byte of `t`; events whose
+// difference reaches above bit 31 go to the overflow heap. Each slot is an
+// intrusive singly-linked list of the queue's pooled nodes (the node's
+// freelist link is reused as the slot link), so the wheel allocates nothing
+// beyond the pool the heap backend already uses.
+//
+// Popping finds the lowest occupied slot via 256-bit occupancy bitmaps. If
+// that slot is at level 0 it holds exactly one absolute time (all 8 index
+// bytes pinned), list kept sorted by seq — pop the head. Otherwise the clock
+// advances to the slot's base time and the slot's list cascades down to lower
+// levels (each entry re-indexed against the new clock); cascade work is O(1)
+// amortized because each event moves down at most kLevels times over its
+// lifetime. When the wheel is empty the overflow root pops directly, the
+// clock jumps to its time, and every overflow event now within the horizon is
+// promoted into the wheel.
+//
+// Cancellation is deferred: Cancel marks the node and destroys its callback,
+// but the node stays linked in its slot (or the overflow heap) as a tombstone
+// until a pop, cascade, or slot-reuse walk recycles it — the same lazy
+// strategy the heap backend uses, giving O(1) cancel without list backlinks.
+//
+// Peeks never advance the clock. RunUntil can reach a deadline without
+// popping and then schedule at exactly that deadline, so a peek that cascaded
+// (advancing `cur_` past the deadline) would corrupt the wheel; instead the
+// minimum key is cached (maintained across inserts, invalidated by pops and
+// by cancelling the cached event), which also makes the sharded engine's
+// per-event lane peeks O(1).
+//
+// Pop order is byte-identical to the heap backend by construction — both
+// realize the same strict (when, seq) total order — which
+// tests/timing_wheel_test.cc and schedfuzz's wheel-vs-heap differential leg
+// enforce.
+#ifndef SRC_SIM_TIMING_WHEEL_H_
+#define SRC_SIM_TIMING_WHEEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace schedbattle {
+
+class TimingWheel {
+ public:
+  using Node = EventHandle::Node;
+
+  explicit TimingWheel(EventQueue* owner) : owner_(owner) {}
+  TimingWheel(const TimingWheel&) = delete;
+  TimingWheel& operator=(const TimingWheel&) = delete;
+  ~TimingWheel();
+
+  // Links a node whose (when, seq, state=kPending, cb) fields are already
+  // set. `when` must not be before the last popped event's time.
+  void Insert(Node* node);
+
+  // Called after the owner marks `node` cancelled (deferred recycle): only
+  // drops the cached minimum if it pointed at this node.
+  void OnCancel(Node* node);
+
+  // Key of the earliest pending event; false if none. Never advances the
+  // clock (may skim tombstones and fill the min cache).
+  bool PeekKey(SimTime* when, uint64_t* seq);
+
+  // Unlinks and returns the earliest pending node (cb still owned by the
+  // node); nullptr if empty. Advances the clock to the popped time.
+  Node* PopMin();
+
+  // Recycles every linked node, pending or tombstone.
+  void Clear();
+
+ private:
+  static constexpr int kLevels = 4;
+  static constexpr int kLevelBits = 8;
+  static constexpr int kSlotsPerLevel = 1 << kLevelBits;  // 256
+  static constexpr int kBitmapWords = kSlotsPerLevel / 64;
+  // Pseudo-level used in the min cache when the minimum sits in overflow_.
+  static constexpr int kOverflowLevel = kLevels;
+
+  struct Slot {
+    Node* head = nullptr;
+    Node* tail = nullptr;
+  };
+
+  // (when, seq) copied out of the node so heap sifts stay in one array.
+  struct OverflowEntry {
+    SimTime when;
+    uint64_t seq;
+    Node* node;
+  };
+
+  static int SlotIndex(SimTime t, int level) {
+    return static_cast<int>(
+        (static_cast<uint64_t>(t) >> (kLevelBits * level)) & (kSlotsPerLevel - 1));
+  }
+  // Level an event at `t` occupies relative to the current clock: the index
+  // of the highest differing byte. Returns kOverflowLevel when t and the
+  // clock differ at or above bit 32.
+  int LevelFor(SimTime t) const;
+
+  void MarkOccupied(int level, int idx) {
+    occupied_[level][idx >> 6] |= uint64_t{1} << (idx & 63);
+  }
+  void ClearOccupied(int level, int idx) {
+    occupied_[level][idx >> 6] &= ~(uint64_t{1} << (idx & 63));
+  }
+  // Lowest occupied slot index >= from at `level`, or -1.
+  int NextOccupied(int level, int from) const;
+
+  // Links `node` into its slot at `level` (< kLevels). Level 0 keeps each
+  // slot's list sorted by seq (tail-append in the common monotone-seq case);
+  // higher levels append, since the cascade re-sorts on the way down.
+  void PlaceInWheel(Node* node, int level);
+
+  // Redistributes every entry of slots_[level][idx] against the (already
+  // advanced) clock, recycling tombstones.
+  void CascadeSlot(int level, int idx);
+
+  void OverflowPush(OverflowEntry e);
+  OverflowEntry OverflowPop();
+  // Drops cancelled entries at the overflow root.
+  void OverflowSkim();
+
+  // Ensures the min cache holds the earliest pending key (and its location).
+  // Returns false if no event is pending. Skims tombstones encountered on
+  // the way but never advances the clock.
+  bool FindMin();
+
+  EventQueue* owner_;
+  // The wheel clock: <= every pending event's time; advances only in
+  // PopMin (to the popped time, or to a cascaded slot's base time, which is
+  // itself <= the minimum pending time).
+  SimTime cur_ = 0;
+  Slot slots_[kLevels][kSlotsPerLevel];
+  uint64_t occupied_[kLevels][kBitmapWords] = {};
+  std::vector<OverflowEntry> overflow_;
+
+  // Cached minimum. Inserts of a smaller key update it in place; pops
+  // invalidate it; cancelling the cached node invalidates it. While valid,
+  // cache_level_/cache_slot_ locate the node (kOverflowLevel = overflow
+  // root), letting PopMin skip the bitmap scan.
+  bool cache_valid_ = false;
+  SimTime cache_when_ = 0;
+  uint64_t cache_seq_ = 0;
+  Node* cache_node_ = nullptr;
+  int cache_level_ = 0;
+  int cache_slot_ = 0;
+};
+
+}  // namespace schedbattle
+
+#endif  // SRC_SIM_TIMING_WHEEL_H_

@@ -1,0 +1,55 @@
+// Unit tests for the bench_baseline --check verdict helpers
+// (tools/baseline_check.h): the floor zero-skip rule — a committed 0 means
+// "key added to the schema, not yet measured", so the gate must neither pass
+// nor fail on it — and the ceiling rule, which deliberately has no such skip
+// because a committed 0 allocs/event is a real budget.
+#include <gtest/gtest.h>
+
+#include "tools/baseline_check.h"
+
+namespace schedbattle {
+namespace {
+
+TEST(BaselineCheckTest, FloorSkipsZeroCommittedValue) {
+  // Regardless of what was measured: a zero baseline is a placeholder, and a
+  // floor of 0 would otherwise pass vacuously forever.
+  EXPECT_EQ(CheckBaselineFloor(0.0, 123.0, 0.15), BaselineVerdict::kSkippedZeroBaseline);
+  EXPECT_EQ(CheckBaselineFloor(0.0, 0.0, 0.15), BaselineVerdict::kSkippedZeroBaseline);
+}
+
+TEST(BaselineCheckTest, FloorPassesWithinTolerance) {
+  EXPECT_EQ(CheckBaselineFloor(100.0, 100.0, 0.15), BaselineVerdict::kOk);
+  EXPECT_EQ(CheckBaselineFloor(100.0, 90.0, 0.15), BaselineVerdict::kOk);
+  EXPECT_EQ(CheckBaselineFloor(100.0, 85.0, 0.15), BaselineVerdict::kOk);  // exactly at floor
+  EXPECT_EQ(CheckBaselineFloor(100.0, 200.0, 0.15), BaselineVerdict::kOk);  // improvement
+}
+
+TEST(BaselineCheckTest, FloorFlagsRegression) {
+  EXPECT_EQ(CheckBaselineFloor(100.0, 84.0, 0.15), BaselineVerdict::kRegressed);
+  EXPECT_EQ(CheckBaselineFloor(100.0, 0.0, 0.15), BaselineVerdict::kRegressed);
+}
+
+TEST(BaselineCheckTest, CeilingChecksZeroCommittedValue) {
+  // No zero skip for ceilings: committed 0 allocs/event is a real budget.
+  // The additive slack keeps the bound non-degenerate.
+  EXPECT_EQ(CheckBaselineCeiling(0.0, 0.0, 0.15, 0.2), BaselineVerdict::kOk);
+  EXPECT_EQ(CheckBaselineCeiling(0.0, 0.1, 0.15, 0.2), BaselineVerdict::kOk);
+  EXPECT_EQ(CheckBaselineCeiling(0.0, 1.0, 0.15, 0.2), BaselineVerdict::kRegressed);
+}
+
+TEST(BaselineCheckTest, CeilingAllowsToleranceAndSlack) {
+  // ceiling = 2.0 * 1.15 + 0.2 = 2.5
+  EXPECT_EQ(CheckBaselineCeiling(2.0, 2.5, 0.15, 0.2), BaselineVerdict::kOk);
+  EXPECT_EQ(CheckBaselineCeiling(2.0, 2.51, 0.15, 0.2), BaselineVerdict::kRegressed);
+}
+
+TEST(BaselineCheckTest, LabelsAreStable) {
+  // CI log output greps on these.
+  EXPECT_STREQ(BaselineVerdictLabel(BaselineVerdict::kOk), "ok");
+  EXPECT_STREQ(BaselineVerdictLabel(BaselineVerdict::kRegressed), "REGRESSED");
+  EXPECT_STREQ(BaselineVerdictLabel(BaselineVerdict::kSkippedZeroBaseline),
+               "skipped (no committed value yet)");
+}
+
+}  // namespace
+}  // namespace schedbattle

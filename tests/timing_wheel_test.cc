@@ -1,0 +1,245 @@
+// Timing-wheel backend unit tests: the wheel-specific structural cases that
+// the scenario-level byte-identity suite (tests/queue_equivalence_test.cc)
+// exercises only incidentally — same-slot tie order, cancellation of nodes
+// that have been cascaded between levels, far-future overflow promotion,
+// slot-index rollover at the byte and horizon boundaries — plus a randomized
+// heap-vs-wheel pop-order property test on mirrored operation sequences.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+
+namespace schedbattle {
+namespace {
+
+// The wheel spans 4 levels x 8 bits: events at or beyond 2^32 ns from the
+// current time go to the overflow heap (see src/sim/timing_wheel.h).
+constexpr SimTime kHorizon = SimTime{1} << 32;
+
+// Pops everything, returning the fired ids in order. Each scheduled callback
+// appends its id; cancelled events must never appear.
+std::vector<int> DrainIds(EventQueue& q, std::vector<int>& fired) {
+  SimTime when = 0;
+  while (!q.empty()) {
+    q.PopNext(&when)();
+  }
+  return fired;
+}
+
+TEST(TimingWheelTest, SameSlotTiesFireInInsertionOrder) {
+  EventQueue q(QueueKind::kWheel);
+  std::vector<int> fired;
+  // All five land in the same level-0 slot; the facade's internal sequence
+  // numbers are monotone, so pop order must equal insertion order.
+  for (int i = 0; i < 5; ++i) {
+    q.Post(100, [&fired, i] { fired.push_back(i); });
+  }
+  DrainIds(q, fired);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TimingWheelTest, SameSlotOutOfOrderSeqsFireInSeqOrder) {
+  // The sharded engine hands queues explicit sequence numbers, which can
+  // arrive out of insertion order — the slot list must stay (time, seq)
+  // sorted, exercising the non-tail-append insert path.
+  EventQueue q(QueueKind::kWheel);
+  std::vector<int> fired;
+  for (uint64_t seq : {5, 1, 3, 2, 4}) {
+    q.PostWithSeq(100, seq, [&fired, seq] { fired.push_back(static_cast<int>(seq)); });
+  }
+  // A later time with a smaller seq must still fire after every t=100 event.
+  q.PostWithSeq(101, 0, [&fired] { fired.push_back(100); });
+  DrainIds(q, fired);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 4, 5, 100}));
+}
+
+TEST(TimingWheelTest, CancelAfterCascadeStillWorks) {
+  EventQueue q(QueueKind::kWheel);
+  std::vector<int> fired;
+  // Both start on level 1 (byte 1 of 260 and 300 differs from cur=0).
+  EventHandle victim = q.Schedule(300, [&fired] { fired.push_back(300); });
+  q.Post(260, [&fired] { fired.push_back(260); });
+  SimTime when = 0;
+  q.PopNext(&when)();  // cascades the level-1 slot down to level 0
+  EXPECT_EQ(when, 260);
+  // The victim's node now sits in a level-0 slot; the handle must still
+  // resolve and cancel it there.
+  EXPECT_TRUE(q.Cancel(victim));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.NextTime(), kTimeNever);
+  EXPECT_EQ(fired, (std::vector<int>{260}));
+  // Stale handle on a fired/cancelled event: no-op, including copies.
+  EventHandle copy = victim;
+  EXPECT_FALSE(q.Cancel(copy));
+}
+
+TEST(TimingWheelTest, CancelledEventsNeverFire) {
+  EventQueue q(QueueKind::kWheel);
+  std::vector<int> fired;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 20; ++i) {
+    handles.push_back(q.Schedule(50 + 10 * i, [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 20; i += 2) {
+    EXPECT_TRUE(q.Cancel(handles[i]));
+  }
+  EXPECT_EQ(q.size(), 10u);
+  DrainIds(q, fired);
+  EXPECT_EQ(fired, (std::vector<int>{1, 3, 5, 7, 9, 11, 13, 15, 17, 19}));
+}
+
+TEST(TimingWheelTest, FarFutureOverflowPromotesIntoWheel) {
+  EventQueue q(QueueKind::kWheel);
+  std::vector<int> fired;
+  const SimTime far1 = 5'000'000'000;  // ~5s: beyond the 2^32 ns horizon
+  const SimTime far2 = 6'000'000'000;
+  q.Post(far2, [&fired] { fired.push_back(2); });
+  q.Post(far1, [&fired] { fired.push_back(1); });
+  q.Post(100, [&fired] { fired.push_back(0); });
+  EXPECT_EQ(q.NextTime(), 100);
+  SimTime when = 0;
+  q.PopNext(&when)();
+  EXPECT_EQ(when, 100);
+  // Popping the first overflow event advances the clock to ~5s, which brings
+  // the ~6s event inside the horizon: it must be promoted into the wheel and
+  // still pop in order.
+  q.PopNext(&when)();
+  EXPECT_EQ(when, far1);
+  EXPECT_EQ(q.NextTime(), far2);
+  q.PopNext(&when)();
+  EXPECT_EQ(when, far2);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TimingWheelTest, RollsOverAtByteBoundaries) {
+  // Events straddling each level boundary: 2^8 (level 0 -> 1), 2^16
+  // (level 1 -> 2), 2^24 (level 2 -> 3), and the 2^32 horizon itself.
+  EventQueue q(QueueKind::kWheel);
+  std::vector<int> fired;
+  const std::vector<SimTime> times = {255,        256,        257,          65535,
+                                      65536,      16777215,   16777216,     kHorizon - 1,
+                                      kHorizon,   kHorizon + 5};
+  for (size_t i = 0; i < times.size(); ++i) {
+    q.Post(times[i], [&fired, i] { fired.push_back(static_cast<int>(i)); });
+  }
+  SimTime prev = 0;
+  SimTime when = 0;
+  for (size_t i = 0; i < times.size(); ++i) {
+    ASSERT_FALSE(q.empty());
+    q.PopNext(&when)();
+    EXPECT_EQ(when, times[i]);
+    EXPECT_GE(when, prev);
+    prev = when;
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(fired.size(), times.size());
+}
+
+TEST(TimingWheelTest, RandomizedPopOrderMatchesHeap) {
+  // Mirrored operation sequences on both backends: every post, schedule,
+  // cancel, and pop is applied to each queue, and every observable (peeked
+  // key, popped time, cancel result, size) must agree at every step. Both
+  // queues assign internal sequence numbers from identical op streams, so
+  // even tie order must match exactly.
+  EventQueue heap(QueueKind::kHeap);
+  EventQueue wheel(QueueKind::kWheel);
+  Rng rng(2024);
+  std::vector<std::pair<EventHandle, EventHandle>> handles;
+  uint64_t fired_heap = 0;
+  uint64_t fired_wheel = 0;
+  SimTime now = 0;
+  for (int op = 0; op < 4000; ++op) {
+    const uint64_t roll = rng.NextBelow(100);
+    if (roll < 45) {
+      // Mostly near posts, occasionally far enough to hit the overflow heap.
+      const SimTime span = rng.NextBelow(20) == 0 ? 6'000'000'000 : Milliseconds(10);
+      const SimTime when = now + 1 + static_cast<SimTime>(rng.NextBelow(span));
+      heap.Post(when, [&fired_heap] { ++fired_heap; });
+      wheel.Post(when, [&fired_wheel] { ++fired_wheel; });
+    } else if (roll < 65) {
+      const SimTime when = now + 1 + static_cast<SimTime>(rng.NextBelow(Milliseconds(50)));
+      handles.emplace_back(heap.Schedule(when, [&fired_heap] { ++fired_heap; }),
+                           wheel.Schedule(when, [&fired_wheel] { ++fired_wheel; }));
+    } else if (roll < 75) {
+      if (!handles.empty()) {
+        const size_t pick = rng.NextBelow(handles.size());
+        auto [h, w] = handles[pick];
+        EXPECT_EQ(heap.Cancel(h), wheel.Cancel(w));
+        handles.erase(handles.begin() + static_cast<ptrdiff_t>(pick));
+      }
+    } else if (!heap.empty()) {
+      SimTime hw = 0;
+      SimTime ww = 0;
+      uint64_t hs = 0;
+      uint64_t ws = 0;
+      ASSERT_TRUE(heap.PeekKey(&hw, &hs));
+      ASSERT_TRUE(wheel.PeekKey(&ww, &ws));
+      EXPECT_EQ(hw, ww) << "op " << op;
+      EXPECT_EQ(hs, ws) << "op " << op;
+      heap.PopNext(&hw)();
+      wheel.PopNext(&ww)();
+      ASSERT_EQ(hw, ww) << "op " << op;
+      now = hw;
+    }
+    ASSERT_EQ(heap.size(), wheel.size()) << "op " << op;
+    ASSERT_EQ(heap.NextTime(), wheel.NextTime()) << "op " << op;
+  }
+  // Drain both completely; the full tails must match one to one.
+  while (!heap.empty()) {
+    ASSERT_FALSE(wheel.empty());
+    SimTime hw = 0;
+    SimTime ww = 0;
+    heap.PopNext(&hw)();
+    wheel.PopNext(&ww)();
+    ASSERT_EQ(hw, ww);
+  }
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(fired_heap, fired_wheel);
+}
+
+TEST(TimingWheelTest, ClearDropsEverything) {
+  EventQueue q(QueueKind::kWheel);
+  std::vector<int> fired;
+  q.Post(10, [&fired] { fired.push_back(0); });
+  q.Post(1000, [&fired] { fired.push_back(1); });
+  q.Post(6'000'000'000, [&fired] { fired.push_back(2); });  // overflow
+  EventHandle h = q.Schedule(500, [&fired] { fired.push_back(3); });
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.NextTime(), kTimeNever);
+  EXPECT_FALSE(q.Cancel(h));
+  EXPECT_TRUE(fired.empty());
+  // The queue stays usable after Clear.
+  q.Post(7, [&fired] { fired.push_back(4); });
+  SimTime when = 0;
+  q.PopNext(&when)();
+  EXPECT_EQ(when, 7);
+  EXPECT_EQ(fired, (std::vector<int>{4}));
+}
+
+TEST(QueueKindTest, ParseAndNameRoundTrip) {
+  QueueKind kind = QueueKind::kDefault;
+  EXPECT_TRUE(ParseQueueKind("heap", &kind));
+  EXPECT_EQ(kind, QueueKind::kHeap);
+  EXPECT_TRUE(ParseQueueKind("wheel", &kind));
+  EXPECT_EQ(kind, QueueKind::kWheel);
+  EXPECT_FALSE(ParseQueueKind("ring", &kind));
+  EXPECT_EQ(kind, QueueKind::kWheel);  // untouched on failure
+  EXPECT_EQ(std::string(QueueKindName(QueueKind::kHeap)), "heap");
+  EXPECT_EQ(std::string(QueueKindName(QueueKind::kWheel)), "wheel");
+  // The process default never resolves to kDefault, and explicit kinds pass
+  // through ResolveQueueKind untouched.
+  EXPECT_NE(DefaultQueueKind(), QueueKind::kDefault);
+  EXPECT_EQ(ResolveQueueKind(QueueKind::kHeap), QueueKind::kHeap);
+  EXPECT_EQ(ResolveQueueKind(QueueKind::kWheel), QueueKind::kWheel);
+  EXPECT_EQ(ResolveQueueKind(QueueKind::kDefault), DefaultQueueKind());
+}
+
+}  // namespace
+}  // namespace schedbattle

@@ -1,0 +1,57 @@
+// Verdict helpers for bench_baseline --check: one committed-vs-measured
+// comparison per metric key, factored out so the gate's skip/regress rules
+// are unit-testable (tests/baseline_check_test.cc) without running benches.
+#ifndef TOOLS_BASELINE_CHECK_H_
+#define TOOLS_BASELINE_CHECK_H_
+
+namespace schedbattle {
+
+enum class BaselineVerdict {
+  kOk,
+  kRegressed,
+  // The committed value is 0: the key was added to the schema but has not
+  // been measured into the committed baseline yet (the placeholder state
+  // between adding a metric and its first refresh). Comparing against it
+  // would pass vacuously (floor 0), so the gate reports it as skipped and
+  // neither passes nor fails on it.
+  kSkippedZeroBaseline,
+};
+
+// Floor check for a higher-is-better metric (throughput per calibration op):
+// regressed when `measured` drops more than `tolerance` below `committed`.
+inline BaselineVerdict CheckBaselineFloor(double committed, double measured,
+                                          double tolerance) {
+  if (committed == 0) {
+    return BaselineVerdict::kSkippedZeroBaseline;
+  }
+  return measured >= committed * (1.0 - tolerance) ? BaselineVerdict::kOk
+                                                   : BaselineVerdict::kRegressed;
+}
+
+// Ceiling check for a lower-is-better metric (allocations per event):
+// regressed when `measured` exceeds committed * (1 + tolerance) + slack.
+// No zero skip here — a committed 0 is a real, meaningful ceiling for
+// allocation counts (the additive `slack` keeps it non-degenerate), not a
+// placeholder.
+inline BaselineVerdict CheckBaselineCeiling(double committed, double measured,
+                                            double tolerance, double slack) {
+  return measured <= committed * (1.0 + tolerance) + slack
+             ? BaselineVerdict::kOk
+             : BaselineVerdict::kRegressed;
+}
+
+inline const char* BaselineVerdictLabel(BaselineVerdict v) {
+  switch (v) {
+    case BaselineVerdict::kOk:
+      return "ok";
+    case BaselineVerdict::kRegressed:
+      return "REGRESSED";
+    case BaselineVerdict::kSkippedZeroBaseline:
+      return "skipped (no committed value yet)";
+  }
+  return "?";
+}
+
+}  // namespace schedbattle
+
+#endif  // TOOLS_BASELINE_CHECK_H_

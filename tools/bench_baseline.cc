@@ -54,9 +54,11 @@
 #include "src/sched/machine.h"
 #include "src/sched/registry.h"
 #include "src/sim/engine.h"
+#include "src/sim/rng.h"
 #include "src/topo/topology.h"
 #include "src/workload/script.h"
 #include "tests/minijson.h"
+#include "tools/baseline_check.h"
 
 // ---- interposing allocation counter ----------------------------------------
 // Counts every operator-new in the process. Only deltas taken around the
@@ -347,8 +349,10 @@ ThroughputResult MeasureIdleThroughput(const std::string& sched, double scale) {
 // what conservative time-window sync buys. On a single-CPU host the shards
 // drain sequentially (bit-identical, no wall-clock win) — `host_cpus` in the
 // JSON says which regime a committed number came from.
-ThroughputResult MeasureShardedServing(const std::string& sched, double scale, int shards) {
+ThroughputResult MeasureShardedServing(const std::string& sched, double scale, int shards,
+                                       QueueKind queue = QueueKind::kHeap) {
   SimEngine engine;
+  engine.SetQueueKind(queue);
   const CpuTopology topo = CpuTopology::Numa1024();
   if (shards > 1) {
     engine.ConfigureShards(ShardPlan::Contiguous(topo.num_cores(), shards));
@@ -398,6 +402,37 @@ ThroughputResult MeasureOpenLoopServing(const std::string& sched, double scale) 
   r.events = static_cast<double>(result.apps[0].ops);
   r.events_per_sec = r.events / WallSeconds(t0, t1);
   return r;
+}
+
+// Wall ns per steady-state (pop + post) pair on a bare EventQueue holding
+// 256k pending events — the deep-queue regime of the serve1024 presets,
+// isolated from the machine/scheduler layers. This is where the heap pays
+// O(log n) sifts per operation and the timing wheel stays O(1); the shallow
+// regime is covered by the events_per_calib legs (a few hundred pending).
+double MeasureQueueOps(QueueKind queue, double scale) {
+  EventQueue q(queue);
+  Rng rng(42);
+  uint64_t sink = 0;
+  constexpr int kDepth = 262144;
+  // Arrival spread ~10ms: deep enough that level-1/2 cascades and heap
+  // depth are both exercised, far from the overflow horizon.
+  const auto offset = [&rng]() -> SimDuration {
+    return 1 + static_cast<SimDuration>(rng.NextBelow(Milliseconds(10)));
+  };
+  for (int i = 0; i < kDepth; ++i) {
+    q.Post(offset(), [&sink] { ++sink; });
+  }
+  const int iters = static_cast<int>(400'000 * scale) + 50'000;
+  SimTime when = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    EventCallback cb = q.PopNext(&when);
+    cb();
+    q.Post(when + offset(), [&sink] { ++sink; });
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  q.Clear();
+  return WallSeconds(t0, t1) * 1e9 / iters;
 }
 
 // Spawns a thread that computes for `work` and then blocks forever.
@@ -484,6 +519,12 @@ struct Metrics {
   // fully loaded 1024-core box, plus the host's CPU count (the speedup is
   // only meaningful when host_cpus >= shards).
   double serving_events_per_sec[2][3] = {{0, 0, 0}, {0, 0, 0}};
+  // The same serving legs on the timing-wheel event queue (--queue=wheel);
+  // the heap numbers above stay the like-for-like committed reference.
+  double serving_events_per_sec_wheel[2][3] = {{0, 0, 0}, {0, 0, 0}};
+  // Bare event-queue steady state at 256k pending: wall ns per (pop + post)
+  // pair, per backend (heap, wheel).
+  double queue_post_pop_ns[2] = {0, 0};
   // Open-loop serving suite: served requests per wall-second through the
   // full serve-smoke scenario (arrivals, pipe wakes, SLO evaluation).
   double openloop_requests_per_sec[2] = {0, 0};
@@ -505,6 +546,13 @@ struct Metrics {
   }
   double openloop_requests_per_calib(int i) const {
     return calib_rate > 0 ? openloop_requests_per_sec[i] / calib_rate : 0;
+  }
+  // Queue ops per calibration op (hardware-normalized, so --check can gate
+  // it across machines): (pairs per second) / calib_rate.
+  double queue_ops_per_calib(int i) const {
+    return calib_rate > 0 && queue_post_pop_ns[i] > 0
+               ? (1e9 / queue_post_pop_ns[i]) / calib_rate
+               : 0;
   }
 };
 
@@ -538,9 +586,14 @@ Metrics MeasureAll(int runs, double scale) {
       }
       static const int kShardLegs[3] = {1, 2, 4};
       for (int leg = 0; leg < 3; ++leg) {
-        const ThroughputResult sv = MeasureShardedServing(kScheds[i], scale, kShardLegs[leg]);
+        const ThroughputResult sv =
+            MeasureShardedServing(kScheds[i], scale, kShardLegs[leg], QueueKind::kHeap);
         m.serving_events_per_sec[i][leg] =
             std::max(m.serving_events_per_sec[i][leg], sv.events_per_sec);
+        const ThroughputResult svw =
+            MeasureShardedServing(kScheds[i], scale, kShardLegs[leg], QueueKind::kWheel);
+        m.serving_events_per_sec_wheel[i][leg] =
+            std::max(m.serving_events_per_sec_wheel[i][leg], svw.events_per_sec);
       }
       const ThroughputResult ol = MeasureOpenLoopServing(kScheds[i], scale);
       m.openloop_requests_per_sec[i] =
@@ -561,6 +614,15 @@ Metrics MeasureAll(int runs, double scale) {
       const double bal = MeasureBalanceNs(kMicroScheds[i], scale);
       if (r == 0 || bal < m.micro_ns_per_balance[i]) {
         m.micro_ns_per_balance[i] = bal;
+      }
+    }
+  }
+  static const QueueKind kQueueLegs[2] = {QueueKind::kHeap, QueueKind::kWheel};
+  for (int i = 0; i < 2; ++i) {
+    for (int r = 0; r < runs; ++r) {
+      const double ns = MeasureQueueOps(kQueueLegs[i], scale);
+      if (r == 0 || ns < m.queue_post_pop_ns[i]) {
+        m.queue_post_pop_ns[i] = ns;
       }
     }
   }
@@ -594,6 +656,11 @@ std::string MetricsJson(const Metrics& m, int indent) {
          << pad << "\"serving_events_per_sec_" << kScheds[i] << "_shards" << kShardLegs[leg]
          << "\": " << m.serving_events_per_sec[i][leg];
     }
+    for (int leg = 0; leg < 3; ++leg) {
+      os << ",\n"
+         << pad << "\"serving_events_per_sec_" << kScheds[i] << "_shards" << kShardLegs[leg]
+         << "_wheel\": " << m.serving_events_per_sec_wheel[i][leg];
+    }
     os << ",\n"
        << pad << "\"openloop_requests_per_sec_" << kScheds[i]
        << "\": " << m.openloop_requests_per_sec[i];
@@ -611,6 +678,13 @@ std::string MetricsJson(const Metrics& m, int indent) {
     os << ",\n" << pad << "\"ns_per_pick_" << kMicroScheds[i] << "\": " << m.micro_ns_per_pick[i];
     os << ",\n"
        << pad << "\"ns_per_balance_" << kMicroScheds[i] << "\": " << m.micro_ns_per_balance[i];
+  }
+  static const char* kQueueNames[2] = {"heap", "wheel"};
+  for (int i = 0; i < 2; ++i) {
+    os << ",\n"
+       << pad << "\"queue_post_pop_ns_" << kQueueNames[i] << "\": " << m.queue_post_pop_ns[i];
+    os << ",\n"
+       << pad << "\"queue_ops_per_calib_" << kQueueNames[i] << "\": " << m.queue_ops_per_calib(i);
   }
   os << ",\n" << pad << "\"host_cpus\": " << m.host_cpus;
   return os.str();
@@ -638,6 +712,14 @@ void PrintMetrics(const Metrics& m) {
             ? m.serving_events_per_sec[i][2] / m.serving_events_per_sec[i][0]
             : 0.0,
         m.host_cpus, m.host_cpus == 1 ? "" : "s");
+    std::printf(
+        "  %s sharded-serving, wheel queue: %.3g / %.3g / %.3g events/sec at 1/2/4 shards "
+        "(1-shard wheel/heap %.2fx)\n",
+        kScheds[i], m.serving_events_per_sec_wheel[i][0], m.serving_events_per_sec_wheel[i][1],
+        m.serving_events_per_sec_wheel[i][2],
+        m.serving_events_per_sec[i][0] > 0
+            ? m.serving_events_per_sec_wheel[i][0] / m.serving_events_per_sec[i][0]
+            : 0.0);
     std::printf("  %s open-loop serving (serve-smoke): %.3g requests/sec (%.6f per calib-op)\n",
                 kScheds[i], m.openloop_requests_per_sec[i], m.openloop_requests_per_calib(i));
   }
@@ -647,6 +729,11 @@ void PrintMetrics(const Metrics& m) {
         "%.1f ns/pick, %.1f ns/balance-pass\n",
         kMicroScheds[i], m.micro_events_per_sec[i], m.micro_events_per_calib(i),
         m.micro_allocs_per_event[i], m.micro_ns_per_pick[i], m.micro_ns_per_balance[i]);
+  }
+  static const char* kQueueNames[2] = {"heap", "wheel"};
+  for (int i = 0; i < 2; ++i) {
+    std::printf("  %s queue at 256k pending: %.1f ns per pop+post pair (%.4f ops per calib-op)\n",
+                kQueueNames[i], m.queue_post_pop_ns[i], m.queue_ops_per_calib(i));
   }
 }
 
@@ -682,53 +769,49 @@ int CheckAgainst(const std::string& path, const Metrics& fresh, double tolerance
   }
   const minijson::Value& cur = root.at("current");
   int failures = 0;
-  for (int i = 0; i < 2; ++i) {
-    const std::string sched = kScheds[i];
-    const double want_norm = cur.at("events_per_calib_" + sched).as_number();
-    const double got_norm = fresh.events_per_calib(i);
-    const double floor = want_norm * (1.0 - tolerance);
-    std::printf("%s events/calib-op: committed %.5f, measured %.5f (floor %.5f) %s\n",
-                sched.c_str(), want_norm, got_norm, floor, got_norm >= floor ? "ok" : "REGRESSED");
-    if (got_norm < floor) {
+  // Floors (higher-is-better, throughput per calib op) skip keys whose
+  // committed value is still the 0 placeholder — a schema-only refresh must
+  // not pass vacuously against a floor of 0. Ceilings never skip: a
+  // committed 0 allocs/event is a real budget (see tools/baseline_check.h).
+  const auto floor_check = [&](const std::string& label, double want, double got,
+                               const char* fmt) {
+    const BaselineVerdict v = CheckBaselineFloor(want, got, tolerance);
+    std::printf(fmt, label.c_str(), want, got, want * (1.0 - tolerance), BaselineVerdictLabel(v));
+    if (v == BaselineVerdict::kRegressed) {
       ++failures;
     }
+  };
+  const auto ceiling_check = [&](const std::string& label, double want, double got) {
+    // Allocation counts are deterministic; allow slack for workload drift
+    // but catch a reintroduced per-event allocation (+1.0 would be caught).
+    const BaselineVerdict v = CheckBaselineCeiling(want, got, tolerance, 0.2);
+    std::printf("%s allocs/event: committed %.3f, measured %.3f (ceiling %.3f) %s\n",
+                label.c_str(), want, got, want * (1.0 + tolerance) + 0.2, BaselineVerdictLabel(v));
+    if (v == BaselineVerdict::kRegressed) {
+      ++failures;
+    }
+  };
+  static const char* kNormFmt =
+      "%s events/calib-op: committed %.5f, measured %.5f (floor %.5f) %s\n";
+  for (int i = 0; i < 2; ++i) {
+    const std::string sched = kScheds[i];
+    floor_check(sched, cur.at("events_per_calib_" + sched).as_number(), fresh.events_per_calib(i),
+                kNormFmt);
     // Idle-heavy throughput: only present in baselines refreshed after the
     // suite was added; older files are checked on the classic metrics alone.
     if (cur.contains("idle_events_per_calib_" + sched)) {
-      const double want_idle = cur.at("idle_events_per_calib_" + sched).as_number();
-      const double got_idle = fresh.idle_events_per_calib(i);
-      const double idle_floor = want_idle * (1.0 - tolerance);
-      std::printf("%s idle events/calib-op: committed %.5f, measured %.5f (floor %.5f) %s\n",
-                  sched.c_str(), want_idle, got_idle, idle_floor,
-                  got_idle >= idle_floor ? "ok" : "REGRESSED");
-      if (got_idle < idle_floor) {
-        ++failures;
-      }
+      floor_check(sched + " idle", cur.at("idle_events_per_calib_" + sched).as_number(),
+                  fresh.idle_events_per_calib(i), kNormFmt);
     }
     // Open-loop serving throughput: only present in baselines refreshed
     // after the serving-fleet scenarios landed.
     if (cur.contains("openloop_requests_per_calib_" + sched)) {
-      const double want_ol = cur.at("openloop_requests_per_calib_" + sched).as_number();
-      const double got_ol = fresh.openloop_requests_per_calib(i);
-      const double ol_floor = want_ol * (1.0 - tolerance);
-      std::printf("%s open-loop requests/calib-op: committed %.6f, measured %.6f (floor %.6f) %s\n",
-                  sched.c_str(), want_ol, got_ol, ol_floor,
-                  got_ol >= ol_floor ? "ok" : "REGRESSED");
-      if (got_ol < ol_floor) {
-        ++failures;
-      }
+      floor_check(sched, cur.at("openloop_requests_per_calib_" + sched).as_number(),
+                  fresh.openloop_requests_per_calib(i),
+                  "%s open-loop requests/calib-op: committed %.6f, measured %.6f (floor %.6f) %s\n");
     }
-    const double want_allocs = cur.at("allocs_per_event_" + sched).as_number();
-    const double got_allocs = fresh.allocs_per_event[i];
-    // Allocation counts are deterministic; allow slack for workload drift
-    // but catch a reintroduced per-event allocation (+1.0 would be caught).
-    const double ceiling = want_allocs * (1.0 + tolerance) + 0.2;
-    std::printf("%s allocs/event: committed %.3f, measured %.3f (ceiling %.3f) %s\n",
-                sched.c_str(), want_allocs, got_allocs, ceiling,
-                got_allocs <= ceiling ? "ok" : "REGRESSED");
-    if (got_allocs > ceiling) {
-      ++failures;
-    }
+    ceiling_check(sched, cur.at("allocs_per_event_" + sched).as_number(),
+                  fresh.allocs_per_event[i]);
   }
   // Micro legs: present only in baselines refreshed after the registry grew
   // past the CFS/ULE pair; their absence is not a failure.
@@ -737,23 +820,23 @@ int CheckAgainst(const std::string& path, const Metrics& fresh, double tolerance
     if (!cur.contains("events_per_calib_" + sched)) {
       continue;
     }
-    const double want_norm = cur.at("events_per_calib_" + sched).as_number();
-    const double got_norm = fresh.micro_events_per_calib(i);
-    const double floor = want_norm * (1.0 - tolerance);
-    std::printf("%s events/calib-op: committed %.5f, measured %.5f (floor %.5f) %s\n",
-                sched.c_str(), want_norm, got_norm, floor, got_norm >= floor ? "ok" : "REGRESSED");
-    if (got_norm < floor) {
-      ++failures;
+    floor_check(sched, cur.at("events_per_calib_" + sched).as_number(),
+                fresh.micro_events_per_calib(i), kNormFmt);
+    ceiling_check(sched, cur.at("allocs_per_event_" + sched).as_number(),
+                  fresh.micro_allocs_per_event[i]);
+  }
+  // Bare queue-backend probes: present only in baselines refreshed after the
+  // timing-wheel backend landed. The zero-skip rule matters here — these keys
+  // enter the schema with value 0 until the next full refresh.
+  static const char* kQueueNames[2] = {"heap", "wheel"};
+  for (int i = 0; i < 2; ++i) {
+    const std::string key = std::string("queue_ops_per_calib_") + kQueueNames[i];
+    if (!cur.contains(key)) {
+      continue;
     }
-    const double want_allocs = cur.at("allocs_per_event_" + sched).as_number();
-    const double got_allocs = fresh.micro_allocs_per_event[i];
-    const double ceiling = want_allocs * (1.0 + tolerance) + 0.2;
-    std::printf("%s allocs/event: committed %.3f, measured %.3f (ceiling %.3f) %s\n",
-                sched.c_str(), want_allocs, got_allocs, ceiling,
-                got_allocs <= ceiling ? "ok" : "REGRESSED");
-    if (got_allocs > ceiling) {
-      ++failures;
-    }
+    floor_check(std::string(kQueueNames[i]) + " queue", cur.at(key).as_number(),
+                fresh.queue_ops_per_calib(i),
+                "%s ops/calib-op: committed %.5f, measured %.5f (floor %.5f) %s\n");
   }
   return failures > 0 ? 1 : 0;
 }
@@ -767,6 +850,7 @@ int Main(int argc, char** argv) {
   double scale = 1.0;
   double tolerance = 0.15;
   std::string tickless = "on";
+  std::string queue;  // "" keeps the SCHEDBATTLE_QUEUE / heap default
   bool observer_gate = false;
   double observer_tolerance = 0.05;
   std::string decision_log_out;
@@ -780,6 +864,9 @@ int Main(int argc, char** argv) {
       .Double("scale", &scale, "workload scale factor (CI smoke uses 0.2)")
       .Double("tolerance", &tolerance, "allowed relative events/sec regression")
       .String("tickless", &tickless, "tick elision: on (default) or off")
+      .String("queue", &queue,
+              "default event-queue backend for the micro/idle/open-loop legs: "
+              "heap or wheel (sharded-serving and queue probes always run both)")
       .Bool("observer-gate", &observer_gate,
             "measure attached-DecisionLog overhead instead; fail above"
             " --observer-tolerance")
@@ -803,6 +890,14 @@ int Main(int argc, char** argv) {
     return 2;
   }
   SetTicklessEnabled(tickless == "on");
+  if (!queue.empty()) {
+    QueueKind kind;
+    if (!ParseQueueKind(queue, &kind)) {
+      std::fprintf(stderr, "--queue must be heap or wheel (got '%s')\n", queue.c_str());
+      return 2;
+    }
+    SetDefaultQueueKind(kind);
+  }
 
   if (observer_gate) {
     std::printf("observer gate (runs=%d scale=%.2f tolerance=%.0f%%)...\n", runs, scale,

@@ -90,6 +90,9 @@ void Usage() {
       "  --horizon=<seconds>    simulation horizon (default 600)\n"
       "  --tickless=on|off      NOHZ-style tick elision (default on); the\n"
       "                         stats snapshot reports ticks fired/elided\n"
+      "  --queue=heap|wheel     event-queue backend (default heap, or\n"
+      "                         SCHEDBATTLE_QUEUE); byte-identical results,\n"
+      "                         the wheel wins on deep serving queues\n"
       "  --noise                add the background kernel-thread app\n"
       "  --heatmap              print the threads-per-core heatmap\n"
       "  --stats-json=<file>    write the schedstats JSON snapshot ('-' for\n"
@@ -168,6 +171,21 @@ bool WantsHelp(int argc, char** argv) {
   return false;
 }
 
+// Applies a --queue=<backend> flag ("" = leave the SCHEDBATTLE_QUEUE / heap
+// default in place); prints a message and returns false on a bad value.
+bool ApplyQueueFlag(const std::string& queue) {
+  if (queue.empty()) {
+    return true;
+  }
+  QueueKind kind;
+  if (!ParseQueueKind(queue, &kind)) {
+    std::fprintf(stderr, "--queue must be heap or wheel (got '%s')\n", queue.c_str());
+    return false;
+  }
+  SetDefaultQueueKind(kind);
+  return true;
+}
+
 // Parses repeatable --slo=<objective> flags; exits with a message on error.
 bool ParseSloFlags(const std::vector<std::string>& texts, std::vector<SloObjective>* out) {
   for (const std::string& text : texts) {
@@ -234,6 +252,7 @@ int RunScopeCommand(int argc, char** argv) {
   double horizon_s = -1;
   bool noise = false;
   std::string tickless = "on";
+  std::string queue;
   std::string log_path;
   std::string log_binary_path;
   bool timelines_flag = false;
@@ -252,6 +271,8 @@ int RunScopeCommand(int argc, char** argv) {
       .Double("horizon", &horizon_s, "simulation horizon in seconds")
       .Bool("noise", &noise, "add the background kernel-thread app")
       .String("tickless", &tickless, "tick elision: on (default) or off")
+      .String("queue", &queue,
+              "event-queue backend: heap or wheel (default: SCHEDBATTLE_QUEUE)")
       .String("log", &log_path, "write the decision-record log as JSONL")
       .String("log-binary", &log_binary_path, "write the decision-record log as framed binary")
       .Bool("timelines", &timelines_flag, "print the per-thread timeline summary table")
@@ -287,6 +308,9 @@ int RunScopeCommand(int argc, char** argv) {
     return 2;
   }
   SetTicklessEnabled(tickless == "on");
+  if (!ApplyQueueFlag(queue)) {
+    return 2;
+  }
   std::vector<SloObjective> objectives;
   if (!ParseSloFlags(slo_texts, &objectives)) {
     return 2;
@@ -672,6 +696,7 @@ int RunCampaignCommand(int argc, char** argv) {
   uint64_t seed = 42;
   std::string json_path = "-";
   std::string tickless = "on";
+  std::string queue;
   std::vector<std::string> slo_texts;
 
   FlagSet flags;
@@ -686,6 +711,8 @@ int RunCampaignCommand(int argc, char** argv) {
       .Uint64("seed", &seed, "base RNG seed")
       .String("json", &json_path, "output path, '-' for stdout")
       .String("tickless", &tickless, "tick elision: on (default) or off")
+      .String("queue", &queue,
+              "event-queue backend: heap or wheel (default: SCHEDBATTLE_QUEUE)")
       .StringList("slo", &slo_texts,
                   "latency objective per run (repeatable; default"
                   " wakeup_p99<1s + wakeup_p999<5s)");
@@ -707,6 +734,9 @@ int RunCampaignCommand(int argc, char** argv) {
     return 2;
   }
   SetTicklessEnabled(tickless == "on");
+  if (!ApplyQueueFlag(queue)) {
+    return 2;
+  }
 
   if (!scenario.empty()) {
     const bool is_serve = IsServePreset(scenario);
@@ -966,6 +996,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string trace_text_path;
   std::string tickless = "on";
+  std::string queue;
   std::vector<std::string> slo_texts;
 
   int first_flag = 1;
@@ -989,6 +1020,8 @@ int main(int argc, char** argv) {
       .String("trace", &trace_path, "alias for --trace-json")
       .String("trace-text", &trace_text_path, "write a plain-text event log")
       .String("tickless", &tickless, "tick elision: on (default) or off")
+      .String("queue", &queue,
+              "event-queue backend: heap or wheel (default: SCHEDBATTLE_QUEUE)")
       .StringList("slo", &slo_texts, "latency objective, e.g. wakeup_p99<5ms (repeatable)");
   if (stats_mode && WantsHelp(argc, argv)) {
     std::printf("usage: schedbattle_cli stats [options]\n%s", flags.Help().c_str());
@@ -1024,6 +1057,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   SetTicklessEnabled(tickless == "on");
+  if (!ApplyQueueFlag(queue)) {
+    return 2;
+  }
   std::vector<SloObjective> objectives;
   if (!ParseSloFlags(slo_texts, &objectives)) {
     return 2;

@@ -29,7 +29,12 @@
 //                    default 4); its schedstats JSON and decision log must be
 //                    byte-identical to the single-queue run — sharding, like
 //                    elision, is an engine optimization, never a behavior
-//                    change.
+//                    change,
+//   7. queue:        every spec also runs on the other event-queue backend
+//                    (timing wheel vs 4-ary heap, whichever is not the
+//                    session default); both realize the same (time, seq)
+//                    total order, so schedstats and the decision log must be
+//                    byte-identical — the backend is a pure performance knob.
 //
 // Every failure is delta-debugged (ShrinkFuzzSpec) to a minimal reproducer
 // and written to --out as JSON that `schedbattle_cli replay --spec=<file>`
@@ -52,8 +57,8 @@ namespace {
 
 struct Failure {
   FuzzSpec spec;
-  // "violation", "liveness", "differential", "tickless", "logdiverge" or
-  // "sharddiverge".
+  // "violation", "liveness", "differential", "tickless", "logdiverge",
+  // "sharddiverge" or "queuediverge".
   std::string kind;
   std::string detail;  // monitor name / outcome summary
 };
@@ -106,6 +111,22 @@ bool ShardedDiverges(int shards, const FuzzSpec& spec) {
   return a.schedstats_json != b.schedstats_json || a.decision_log != b.decision_log;
 }
 
+// The queue-backend shrink oracle: true when the timing-wheel engine
+// produces different bytes (schedstats or decision log) than the heap
+// engine for `spec` — both backends realize one (time, seq) total order, so
+// any divergence is a queue bug.
+bool QueueBackendDiverges(const FuzzSpec& spec) {
+  ExperimentSpec heap = spec.ToExperimentSpec();
+  heap.collect_schedstats = true;
+  heap.collect_decision_log = true;
+  ExperimentSpec wheel = heap;
+  heap.queue = QueueKind::kHeap;
+  wheel.queue = QueueKind::kWheel;
+  const RunResult a = ExecuteSpec(heap);
+  const RunResult b = ExecuteSpec(wheel);
+  return a.schedstats_json != b.schedstats_json || a.decision_log != b.decision_log;
+}
+
 // Runs `spec` with elision on and off; true when the stripped schedstats
 // diverge (the tickless shrink oracle).
 bool TicklessDiverges(const FuzzSpec& spec) {
@@ -145,6 +166,7 @@ int FuzzMain(int argc, char** argv) {
   bool no_shrink = false;
   std::string tickless = "on";
   int shards = 4;
+  std::string queue;
 
   FlagSet flags;
   flags.String("sched", &sched,
@@ -157,7 +179,10 @@ int FuzzMain(int argc, char** argv) {
       .Int("max-shrink", &max_shrink, "oracle budget per shrink")
       .Bool("no-shrink", &no_shrink, "emit failing specs unshrunk")
       .String("tickless", &tickless, "tick elision: on (default) or off")
-      .Int("shards", &shards, "engine shards for the sharded differential leg");
+      .Int("shards", &shards, "engine shards for the sharded differential leg")
+      .String("queue", &queue,
+              "event-queue backend for the non-differential legs: heap or"
+              " wheel (default: SCHEDBATTLE_QUEUE)");
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -195,6 +220,19 @@ int FuzzMain(int argc, char** argv) {
     return 2;
   }
   SetTicklessEnabled(tickless == "on");
+  if (!queue.empty()) {
+    QueueKind kind;
+    if (!ParseQueueKind(queue, &kind)) {
+      std::fprintf(stderr, "--queue must be heap or wheel (got '%s')\n", queue.c_str());
+      return 2;
+    }
+    SetDefaultQueueKind(kind);
+  }
+  // The queue-differential leg runs whichever backend the session is NOT
+  // using, so the comparison always crosses the wheel/heap boundary.
+  const QueueKind base_queue = DefaultQueueKind();
+  const QueueKind other_queue =
+      base_queue == QueueKind::kWheel ? QueueKind::kHeap : QueueKind::kWheel;
 
   // One base spec per run; every scheduler under test gets its own copy so
   // the differential oracle compares identical workloads.
@@ -205,12 +243,13 @@ int FuzzMain(int argc, char** argv) {
     Rng stream = root.Split();
     base.push_back(GenerateFuzzSpec(&stream, kinds.front(), scale));
   }
-  // Every (spec, scheduler) pair runs four times: elision on (index 4n),
-  // forced off (4n+1), elision on again (4n+2), and on a sharded engine
-  // (4n+3). All collect the decision log; 4n, 4n+1 and 4n+3 also collect
-  // schedstats. The oracles byte-compare 4n vs 4n+1 (tickless accounting and
-  // record stream), 4n vs 4n+2 (pure determinism, across campaign worker
-  // threads) and 4n vs 4n+3 (shard-count invisibility).
+  // Every (spec, scheduler) pair runs five times: elision on (index 5n),
+  // forced off (5n+1), elision on again (5n+2), on a sharded engine (5n+3),
+  // and on the other event-queue backend (5n+4). All collect the decision
+  // log; 5n, 5n+1, 5n+3 and 5n+4 also collect schedstats. The oracles
+  // byte-compare 5n vs 5n+1 (tickless accounting and record stream), 5n vs
+  // 5n+2 (pure determinism, across campaign worker threads), 5n vs 5n+3
+  // (shard-count invisibility) and 5n vs 5n+4 (queue-backend invisibility).
   std::vector<FuzzSpec> fuzz_specs;
   std::vector<ExperimentSpec> exp_specs;
   for (const FuzzSpec& b : base) {
@@ -221,22 +260,26 @@ int FuzzMain(int argc, char** argv) {
       ExperimentSpec on = s.ToExperimentSpec();
       on.collect_schedstats = true;
       on.collect_decision_log = true;
+      on.queue = base_queue;
       ExperimentSpec off = on;
       off.machine.tickless = false;
       ExperimentSpec again = on;
       again.collect_schedstats = false;
       ExperimentSpec sharded = on;
       sharded.shards = shards;
+      ExperimentSpec wheelq = on;
+      wheelq.queue = other_queue;
       exp_specs.push_back(std::move(on));
       exp_specs.push_back(std::move(off));
       exp_specs.push_back(std::move(again));
       exp_specs.push_back(std::move(sharded));
+      exp_specs.push_back(std::move(wheelq));
     }
   }
 
   std::printf("schedfuzz: %d specs x %zu scheduler(s) x {tickless on, off, repeat, "
-              "%d-shard}, scale %.2f, seed %" PRIu64 "\n",
-              runs, kinds.size(), shards, scale, seed);
+              "%d-shard, %s-queue}, scale %.2f, seed %" PRIu64 "\n",
+              runs, kinds.size(), shards, QueueKindName(other_queue), scale, seed);
   const CampaignRunner runner(jobs);
   const std::vector<RunResult> results = runner.Run(exp_specs);
 
@@ -246,7 +289,7 @@ int FuzzMain(int argc, char** argv) {
     std::vector<FuzzOutcome> outcomes;
     for (size_t k = 0; k < per_spec; ++k) {
       const size_t pair_idx = static_cast<size_t>(i) * per_spec + k;
-      const size_t idx = pair_idx * 4;
+      const size_t idx = pair_idx * 5;
       const FuzzOutcome out = OutcomeFromResult(results[idx]);
       const FuzzSpec& s = fuzz_specs[pair_idx];
       const std::string on_stats = StripTickElision(results[idx].schedstats_json);
@@ -261,6 +304,13 @@ int FuzzMain(int argc, char** argv) {
         std::fprintf(stderr, "FAIL %s: %d-shard engine diverged from single-queue run\n",
                      s.Label().c_str(), shards);
         failures.push_back({s, "sharddiverge", "schedstats or decision log differ on a sharded engine"});
+      }
+      if (results[idx].schedstats_json != results[idx + 4].schedstats_json ||
+          results[idx].decision_log != results[idx + 4].decision_log) {
+        std::fprintf(stderr, "FAIL %s: %s-queue engine diverged from %s-queue run\n",
+                     s.Label().c_str(), QueueKindName(other_queue), QueueKindName(base_queue));
+        failures.push_back(
+            {s, "queuediverge", "schedstats or decision log differ across queue backends"});
       }
       if (results[idx].decision_log != results[idx + 2].decision_log) {
         std::fprintf(stderr, "FAIL %s: decision log diverged between identical runs\n",
@@ -325,6 +375,12 @@ int FuzzMain(int argc, char** argv) {
       const ShrinkResult shrunk = ShrinkFuzzSpec(
           f.spec, [shards](const FuzzSpec& s) { return ShardedDiverges(shards, s); },
           max_shrink);
+      minimal = shrunk.minimal;
+      std::fprintf(stderr, "shrunk %s: %d -> %d threads (%d oracle calls)\n",
+                   f.spec.Label().c_str(), f.spec.TotalThreads(), minimal.TotalThreads(),
+                   shrunk.attempts);
+    } else if (!no_shrink && f.kind == "queuediverge") {
+      const ShrinkResult shrunk = ShrinkFuzzSpec(f.spec, QueueBackendDiverges, max_shrink);
       minimal = shrunk.minimal;
       std::fprintf(stderr, "shrunk %s: %d -> %d threads (%d oracle calls)\n",
                    f.spec.Label().c_str(), f.spec.TotalThreads(), minimal.TotalThreads(),
