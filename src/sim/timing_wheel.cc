@@ -239,7 +239,10 @@ TimingWheel::Node* TimingWheel::PopMin() {
   }
   if (cache_level_ == kOverflowLevel) {
     // The wheel proper is empty (it always beats overflow): jump the clock
-    // to the popped time and promote the newly reachable epoch.
+    // to the popped time and promote the newly reachable epoch. The cache may
+    // have been set by Insert's queue-empty fast path, so cancelled entries
+    // with smaller keys can still sit at the heap root — skim them first.
+    OverflowSkim();
     OverflowEntry entry = OverflowPop();
     assert(entry.node == cache_node_);
     cur_ = entry.when;

@@ -117,6 +117,28 @@ TEST(TimingWheelTest, FarFutureOverflowPromotesIntoWheel) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(TimingWheelTest, CancelSoleOverflowEventThenInsertLater) {
+  // Regression: cancelling the only pending event (an overflow-heap entry)
+  // drops the live count to 0, so the next insert takes the queue-empty cache
+  // fast path without rescanning. The cancelled tombstone still sits at the
+  // overflow-heap root with a smaller (time, seq) key; PopNext must skim it
+  // and hand back the live event's callback, not the tombstone's empty one.
+  EventQueue q(QueueKind::kWheel);
+  std::vector<int> fired;
+  EventHandle victim =
+      q.Schedule(kHorizon + 100, [&fired] { fired.push_back(0); });
+  EXPECT_TRUE(q.Cancel(victim));
+  EXPECT_TRUE(q.empty());
+  q.Post(kHorizon + 200, [&fired] { fired.push_back(1); });
+  EXPECT_EQ(q.NextTime(), kHorizon + 200);
+  SimTime when = 0;
+  q.PopNext(&when)();
+  EXPECT_EQ(when, kHorizon + 200);
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.NextTime(), kTimeNever);
+}
+
 TEST(TimingWheelTest, RollsOverAtByteBoundaries) {
   // Events straddling each level boundary: 2^8 (level 0 -> 1), 2^16
   // (level 1 -> 2), 2^24 (level 2 -> 3), and the 2^32 horizon itself.
@@ -163,7 +185,10 @@ TEST(TimingWheelTest, RandomizedPopOrderMatchesHeap) {
       heap.Post(when, [&fired_heap] { ++fired_heap; });
       wheel.Post(when, [&fired_wheel] { ++fired_wheel; });
     } else if (roll < 65) {
-      const SimTime when = now + 1 + static_cast<SimTime>(rng.NextBelow(Milliseconds(50)));
+      // Schedules also occasionally land in the overflow heap, so cancels
+      // can leave tombstones there.
+      const SimTime span = rng.NextBelow(20) == 0 ? 6'000'000'000 : Milliseconds(50);
+      const SimTime when = now + 1 + static_cast<SimTime>(rng.NextBelow(span));
       handles.emplace_back(heap.Schedule(when, [&fired_heap] { ++fired_heap; }),
                            wheel.Schedule(when, [&fired_wheel] { ++fired_wheel; }));
     } else if (roll < 75) {
@@ -173,6 +198,21 @@ TEST(TimingWheelTest, RandomizedPopOrderMatchesHeap) {
         EXPECT_EQ(heap.Cancel(h), wheel.Cancel(w));
         handles.erase(handles.begin() + static_cast<ptrdiff_t>(pick));
       }
+    } else if (roll < 77) {
+      // Rarely drain both queues to empty: the next inserts then take the
+      // empty-queue cache fast path while cancelled overflow tombstones may
+      // still sit in the wheel's overflow heap (regression coverage for the
+      // cancel-sole-overflow-event bug).
+      while (!heap.empty()) {
+        ASSERT_FALSE(wheel.empty());
+        SimTime hw = 0;
+        SimTime ww = 0;
+        heap.PopNext(&hw)();
+        wheel.PopNext(&ww)();
+        ASSERT_EQ(hw, ww) << "op " << op;
+        now = hw;
+      }
+      ASSERT_TRUE(wheel.empty());
     } else if (!heap.empty()) {
       SimTime hw = 0;
       SimTime ww = 0;
